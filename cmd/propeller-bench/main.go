@@ -1,0 +1,78 @@
+// Command propeller-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	propeller-bench -list
+//	propeller-bench -exp tab3
+//	propeller-bench -exp all -scale 2.0
+//
+// Scale multiplies the harness's default dataset sizes (see EXPERIMENTS.md
+// for the default-vs-paper mapping).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"propeller/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "propeller-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expID = flag.String("exp", "all", "experiment id (or 'all')")
+		scale = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed  = flag.Int64("seed", 42, "random seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	var toRun []experiments.Experiment
+	if *expID == "all" {
+		toRun = experiments.All()
+	} else {
+		e, err := experiments.ByID(*expID)
+		if err != nil {
+			return err
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		res, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Print(res.Text)
+		if len(res.Metrics) > 0 {
+			keys := make([]string, 0, len(res.Metrics))
+			for k := range res.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Println("headline metrics:")
+			for _, k := range keys {
+				fmt.Printf("  %-32s %.4g\n", k, res.Metrics[k])
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

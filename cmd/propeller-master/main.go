@@ -1,0 +1,91 @@
+// Command propeller-master runs a Propeller Master Node serving RPC over
+// TCP: index metadata, file→ACG mapping, request routing, and split
+// coordination for a cluster of Index Nodes.
+//
+// Usage:
+//
+//	propeller-master -listen 0.0.0.0:7070 -split-threshold 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"propeller/internal/master"
+	"propeller/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "propeller-master:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen         = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+		splitThreshold = flag.Int64("split-threshold", 50000, "ACG size that triggers a split")
+		snapshotEvery  = flag.Duration("snapshot-every", time.Minute, "metadata snapshot interval")
+		snapshotPath   = flag.String("snapshot", "", "metadata snapshot file on shared storage (empty = disabled)")
+	)
+	flag.Parse()
+
+	m := master.New(master.Config{SplitThreshold: *splitThreshold})
+	if *snapshotPath != "" {
+		if img, err := os.ReadFile(*snapshotPath); err == nil {
+			if err := m.LoadMetadata(img); err != nil {
+				return fmt.Errorf("restore snapshot: %w", err)
+			}
+			log.Printf("restored metadata from %s", *snapshotPath)
+		}
+	}
+
+	srv := rpc.NewServer()
+	m.RegisterRPC(srv)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("master listening on %s", ln.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+
+	ticker := time.NewTicker(*snapshotEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if *snapshotPath == "" {
+				continue
+			}
+			img, err := m.SnapshotMetadata()
+			if err != nil {
+				log.Printf("snapshot: %v", err)
+				continue
+			}
+			if err := os.WriteFile(*snapshotPath, img, 0o644); err != nil {
+				log.Printf("snapshot write: %v", err)
+			}
+		case <-stop:
+			log.Printf("shutting down")
+			if err := srv.Close(); err != nil {
+				return err
+			}
+			<-done
+			return nil
+		}
+	}
+}

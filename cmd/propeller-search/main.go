@@ -1,0 +1,146 @@
+// Command propeller-search is the CLI client: create indices, submit
+// indexing requests and run searches against a running Propeller cluster.
+//
+// Usage:
+//
+//	propeller-search -master host:7070 create-index size btree size
+//	propeller-search -master host:7070 index size 42=1073741824
+//	propeller-search -master host:7070 search size 'size>16m'
+//	propeller-search -master host:7070 stats
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"propeller/internal/attr"
+	"propeller/internal/client"
+	"propeller/internal/index"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "propeller-search:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("propeller-search", flag.ContinueOnError)
+	masterAddr := fs.String("master", "127.0.0.1:7070", "master node address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return errors.New("missing subcommand: create-index | index | search | stats")
+	}
+
+	masterConn, err := rpc.Dial(*masterAddr)
+	if err != nil {
+		return fmt.Errorf("dial master: %w", err)
+	}
+	defer masterConn.Close() //nolint:errcheck // process exit path
+	cl, err := client.New(client.Config{
+		Master: masterConn,
+		Dial: func(addr string) (*rpc.Client, error) {
+			return rpc.Dial(strings.TrimPrefix(addr, "tcp:"))
+		},
+		Now: time.Now,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close() //nolint:errcheck // process exit path
+
+	switch rest[0] {
+	case "create-index":
+		if len(rest) < 4 {
+			return errors.New("usage: create-index <name> <btree|hash|kd> <field>[,field...]")
+		}
+		spec := proto.IndexSpec{Name: rest[1]}
+		fields := strings.Split(rest[3], ",")
+		switch rest[2] {
+		case "btree":
+			spec.Type, spec.Field = proto.IndexBTree, fields[0]
+		case "hash":
+			spec.Type, spec.Field = proto.IndexHash, fields[0]
+		case "kd":
+			spec.Type, spec.Fields = proto.IndexKD, fields
+		default:
+			return fmt.Errorf("unknown index type %q", rest[2])
+		}
+		if err := cl.CreateIndex(spec); err != nil {
+			return err
+		}
+		fmt.Printf("created index %q (%s on %s)\n", spec.Name, rest[2], rest[3])
+		return nil
+
+	case "index":
+		if len(rest) < 3 {
+			return errors.New("usage: index <name> <fileID>=<value> [...]")
+		}
+		var updates []client.FileUpdate
+		for _, kv := range rest[2:] {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad update %q, want fileID=value", kv)
+			}
+			id, err := strconv.ParseUint(parts[0], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad file id %q: %w", parts[0], err)
+			}
+			u := client.FileUpdate{File: index.FileID(id)}
+			if n, err := strconv.ParseInt(parts[1], 10, 64); err == nil {
+				u.Value = attr.Int(n)
+			} else {
+				u.Value = attr.Str(parts[1])
+			}
+			updates = append(updates, u)
+		}
+		if err := cl.Index(rest[1], updates); err != nil {
+			return err
+		}
+		fmt.Printf("indexed %d updates into %q\n", len(updates), rest[1])
+		return nil
+
+	case "search":
+		if len(rest) != 3 {
+			return errors.New("usage: search <index> <query>")
+		}
+		start := time.Now()
+		res, err := cl.Search(rest[1], rest[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d files from %d nodes in %s\n", len(res.Files), res.Nodes, time.Since(start).Round(time.Microsecond))
+		for _, f := range res.Files {
+			fmt.Println(f)
+		}
+		return nil
+
+	case "stats":
+		st, err := cl.ClusterStats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("files=%d acgs=%d nodes=%d\n", st.Files, st.ACGs, len(st.Nodes))
+		for _, n := range st.Nodes {
+			fmt.Printf("  %-8s %-24s acgs=%-5d files=%d\n", n.Node, n.Addr, n.ACGs, n.Files)
+		}
+		for _, spec := range st.Indexes {
+			fmt.Printf("  index %-12s %s\n", spec.Name, spec.Type)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"propeller/internal/indexnode"
+	"propeller/internal/master"
+	"propeller/internal/pagestore"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+// startTestCluster boots a real master + index node over loopback TCP and
+// returns the master's address.
+func startTestCluster(t *testing.T) string {
+	t.Helper()
+	m := master.New(master.Config{})
+	masterSrv := rpc.NewServer()
+	m.RegisterRPC(masterSrv)
+	masterLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go masterSrv.Serve(masterLn)
+
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterConn, err := rpc.Dial(masterLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := indexnode.New(indexnode.Config{
+		ID: "in-cli", Store: store, Disk: disk, Clock: clk, Master: masterConn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeSrv := rpc.NewServer()
+	node.RegisterRPC(nodeSrv)
+	nodeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go nodeSrv.Serve(nodeLn)
+	if _, err := m.RegisterNode(proto.RegisterNodeReq{
+		Node: "in-cli", Addr: "tcp:" + nodeLn.Addr().String(), CapacityFiles: 1 << 30,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = masterConn.Close()
+		_ = masterSrv.Close()
+		_ = nodeSrv.Close()
+	})
+	return masterLn.Addr().String()
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	addr := startTestCluster(t)
+	steps := [][]string{
+		{"-master", addr, "create-index", "size", "btree", "size"},
+		{"-master", addr, "index", "size", "1=1048576", "2=33554432", "3=1073741824"},
+		{"-master", addr, "search", "size", "size>16m"},
+		{"-master", addr, "stats"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+	// Give background RPC teardown a beat before cleanup closes servers.
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestCLIHashAndKDIndexes(t *testing.T) {
+	addr := startTestCluster(t)
+	if err := run([]string{"-master", addr, "create-index", "kw", "hash", "keyword"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-master", addr, "create-index", "pt", "kd", "x,y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-master", addr, "index", "kw", "1=firefox"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-master", addr, "search", "kw", "keyword:firefox"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	addr := startTestCluster(t)
+	cases := [][]string{
+		{"-master", addr},                                  // missing subcommand
+		{"-master", addr, "bogus"},                         // unknown subcommand
+		{"-master", addr, "create-index", "x"},             // too few args
+		{"-master", addr, "create-index", "x", "wat", "f"}, // bad type
+		{"-master", addr, "index", "x"},                    // too few args
+		{"-master", addr, "index", "x", "notanupdate"},     // bad kv
+		{"-master", addr, "index", "x", "abc=1"},           // bad file id
+		{"-master", addr, "search", "x"},                   // too few args
+		{"-master", addr, "search", "ghost", "size>1"},     // unknown index
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package propeller_test
+
+import (
+	"fmt"
+	"log"
+
+	"propeller"
+)
+
+// Example shows the full public-API flow: boot a local deployment, declare
+// an index, ingest postings, and search with strong consistency.
+func Example() {
+	svc, err := propeller.StartLocal(propeller.Options{IndexNodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close() //nolint:errcheck // example teardown
+
+	cl, err := svc.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck // example teardown
+
+	if err := cl.CreateIndex(propeller.BTreeIndex("size", "size")); err != nil {
+		log.Fatal(err)
+	}
+	updates := []propeller.Update{
+		{File: 1, Int: 4 << 20, Group: 1},   // 4 MiB
+		{File: 2, Int: 64 << 20, Group: 1},  // 64 MiB
+		{File: 3, Int: 512 << 20, Group: 1}, // 512 MiB
+	}
+	if err := cl.Index("size", updates); err != nil {
+		log.Fatal(err)
+	}
+	res, err := cl.Search("size", "size>16m")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matches:", res.Files)
+	// Output: matches: [2 3]
+}

@@ -1,0 +1,298 @@
+// Package acg implements the Access-Causality Graph, the paper's core
+// contribution (§III).
+//
+// Two files fA and fB are access-causal (fA → fB) when a process opens fA
+// for reading or writing at time t0 and the same process opens fB for
+// writing at a later time t1: fA is a content producer of fB. The ACG is a
+// directed graph whose vertices are files and whose edge weights count how
+// often the causal pair was observed. Propeller partitions file indices
+// along the connected components of this graph; oversized components are
+// split with a balanced min-cut (package partition).
+package acg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"propeller/internal/index"
+)
+
+// Graph is a directed weighted access-causality graph. Methods are safe for
+// concurrent use (clients update ACGs from interleaved process events).
+type Graph struct {
+	mu  sync.RWMutex
+	adj map[index.FileID]map[index.FileID]int64 // src -> dst -> weight
+	in  map[index.FileID]int                    // in-degree counts for vertex tracking
+}
+
+// NewGraph returns an empty ACG.
+func NewGraph() *Graph {
+	return &Graph{
+		adj: make(map[index.FileID]map[index.FileID]int64),
+		in:  make(map[index.FileID]int),
+	}
+}
+
+// AddVertex ensures file is present even with no edges (an isolated file is
+// its own component and still needs an index home).
+func (g *Graph) AddVertex(f index.FileID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ensureVertex(f)
+}
+
+func (g *Graph) ensureVertex(f index.FileID) {
+	if _, ok := g.adj[f]; !ok {
+		g.adj[f] = make(map[index.FileID]int64)
+	}
+	if _, ok := g.in[f]; !ok {
+		g.in[f] = 0
+	}
+}
+
+// AddEdge increments the weight of src → dst by w (w <= 0 is ignored;
+// self-edges are ignored: a file is trivially causal with itself).
+func (g *Graph) AddEdge(src, dst index.FileID, w int64) {
+	if w <= 0 || src == dst {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ensureVertex(src)
+	g.ensureVertex(dst)
+	if g.adj[src][dst] == 0 {
+		g.in[dst]++
+	}
+	g.adj[src][dst] += w
+}
+
+// EdgeWeight returns the weight of src → dst (0 if absent).
+func (g *Graph) EdgeWeight(src, dst index.FileID) int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.adj[src][dst]
+}
+
+// NumVertices returns the number of files in the graph.
+func (g *Graph) NumVertices() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.adj)
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, m := range g.adj {
+		n += len(m)
+	}
+	return n
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var w int64
+	for _, m := range g.adj {
+		for _, ew := range m {
+			w += ew
+		}
+	}
+	return w
+}
+
+// Vertices returns all files in the graph in ascending order.
+func (g *Graph) Vertices() []index.FileID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]index.FileID, 0, len(g.adj))
+	for f := range g.adj {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEachEdge streams every directed edge to fn in deterministic order; fn
+// returns false to stop early.
+func (g *Graph) ForEachEdge(fn func(src, dst index.FileID, w int64) bool) {
+	g.mu.RLock()
+	type edge struct {
+		src, dst index.FileID
+		w        int64
+	}
+	edges := make([]edge, 0, 64)
+	for src, m := range g.adj {
+		for dst, w := range m {
+			edges = append(edges, edge{src, dst, w})
+		}
+	}
+	g.mu.RUnlock()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].src != edges[j].src {
+			return edges[i].src < edges[j].src
+		}
+		return edges[i].dst < edges[j].dst
+	})
+	for _, e := range edges {
+		if !fn(e.src, e.dst, e.w) {
+			return
+		}
+	}
+}
+
+// Merge folds other into g (used when a client flushes its cached ACG to an
+// Index Node's authoritative graph). ACGs are weakly consistent by design:
+// lost or duplicated merges degrade partition quality, never search results.
+func (g *Graph) Merge(other *Graph) {
+	other.mu.RLock()
+	type edge struct {
+		src, dst index.FileID
+		w        int64
+	}
+	edges := make([]edge, 0, 64)
+	verts := make([]index.FileID, 0, len(other.adj))
+	for src, m := range other.adj {
+		verts = append(verts, src)
+		for dst, w := range m {
+			edges = append(edges, edge{src, dst, w})
+		}
+	}
+	other.mu.RUnlock()
+	for _, v := range verts {
+		g.AddVertex(v)
+	}
+	for _, e := range edges {
+		g.AddEdge(e.src, e.dst, e.w)
+	}
+}
+
+// Undirected returns a symmetric adjacency view with weights summed across
+// both directions. Partitioning treats the ACG as undirected: an index
+// co-access is costly whichever direction caused it.
+func (g *Graph) Undirected() map[index.FileID]map[index.FileID]int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	u := make(map[index.FileID]map[index.FileID]int64, len(g.adj))
+	add := func(a, b index.FileID, w int64) {
+		if u[a] == nil {
+			u[a] = make(map[index.FileID]int64)
+		}
+		u[a][b] += w
+	}
+	for src := range g.adj {
+		if u[src] == nil {
+			u[src] = make(map[index.FileID]int64)
+		}
+	}
+	for src, m := range g.adj {
+		for dst, w := range m {
+			add(src, dst, w)
+			add(dst, src, w)
+		}
+	}
+	return u
+}
+
+// ConnectedComponents returns the weakly connected components, each sorted
+// by file id, ordered by descending size then by smallest member.
+func (g *Graph) ConnectedComponents() [][]index.FileID {
+	u := g.Undirected()
+	seen := make(map[index.FileID]bool, len(u))
+	var comps [][]index.FileID
+	// Deterministic iteration order.
+	verts := make([]index.FileID, 0, len(u))
+	for v := range u {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	for _, start := range verts {
+		if seen[start] {
+			continue
+		}
+		var comp []index.FileID
+		stack := []index.FileID{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for n := range u[v] {
+				if !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// Subgraph returns the induced directed subgraph over the given files.
+func (g *Graph) Subgraph(files []index.FileID) *Graph {
+	in := make(map[index.FileID]bool, len(files))
+	for _, f := range files {
+		in[f] = true
+	}
+	sub := NewGraph()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, f := range files {
+		if _, ok := g.adj[f]; ok {
+			sub.ensureVertex(f)
+		}
+	}
+	for src, m := range g.adj {
+		if !in[src] {
+			continue
+		}
+		for dst, w := range m {
+			if in[dst] {
+				sub.AddEdge(src, dst, w)
+			}
+		}
+	}
+	return sub
+}
+
+// DOT renders the graph in Graphviz format (used to regenerate Figure 7).
+func (g *Graph) DOT(name string) string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	srcs := make([]index.FileID, 0, len(g.adj))
+	for s := range g.adj {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, s := range srcs {
+		if len(g.adj[s]) == 0 && g.in[s] == 0 {
+			fmt.Fprintf(&b, "  f%d;\n", s)
+			continue
+		}
+		dsts := make([]index.FileID, 0, len(g.adj[s]))
+		for d := range g.adj[s] {
+			dsts = append(dsts, d)
+		}
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+		for _, d := range dsts {
+			fmt.Fprintf(&b, "  f%d -> f%d [weight=%d];\n", s, d, g.adj[s][d])
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

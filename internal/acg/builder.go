@@ -1,0 +1,107 @@
+package acg
+
+import (
+	"sync"
+
+	"propeller/internal/index"
+)
+
+// PID identifies a process observed by the File Access Management module.
+type PID uint64
+
+// OpenMode distinguishes read opens from write opens.
+type OpenMode uint8
+
+// Open modes. A write open makes the file a causal *consumer*: every file
+// the process opened earlier becomes its producer.
+const (
+	OpenRead OpenMode = iota + 1
+	OpenWrite
+)
+
+// Builder constructs an ACG from intercepted open/close events, implementing
+// the update algorithm of Figure 4: when process P opens file fB for writing
+// at time t1, an edge fA → fB is added for every file fA that P opened
+// (read or write) at some t0 < t1 within the same process session.
+//
+// The builder runs in client RAM; the finished (or periodically flushed)
+// graph is merged into the authoritative ACG on the Index Nodes with a weak
+// consistency model.
+type Builder struct {
+	mu       sync.Mutex
+	graph    *Graph
+	sessions map[PID]*session
+}
+
+type session struct {
+	// opened preserves the order in which files were first opened.
+	opened []index.FileID
+	seen   map[index.FileID]bool
+}
+
+// NewBuilder returns a Builder accumulating into a fresh graph.
+func NewBuilder() *Builder {
+	return &Builder{
+		graph:    NewGraph(),
+		sessions: make(map[PID]*session),
+	}
+}
+
+// Open records that proc opened file with the given mode.
+func (b *Builder) Open(proc PID, file index.FileID, mode OpenMode) {
+	b.mu.Lock()
+	s := b.sessions[proc]
+	if s == nil {
+		s = &session{seen: make(map[index.FileID]bool)}
+		b.sessions[proc] = s
+	}
+	var producers []index.FileID
+	if mode == OpenWrite {
+		producers = make([]index.FileID, len(s.opened))
+		copy(producers, s.opened)
+	}
+	if !s.seen[file] {
+		s.seen[file] = true
+		s.opened = append(s.opened, file)
+	}
+	b.mu.Unlock()
+
+	b.graph.AddVertex(file)
+	for _, p := range producers {
+		b.graph.AddEdge(p, file, 1)
+	}
+}
+
+// Close records that proc closed file. Close does not alter causality (the
+// definition is in terms of opens) but keeps the API symmetrical with the
+// FUSE interception points.
+func (b *Builder) Close(proc PID, file index.FileID) {
+	// Intentionally a no-op for the graph; the session retains history so a
+	// re-open after close still carries causality, matching the paper's
+	// per-execution semantics.
+	_ = proc
+	_ = file
+}
+
+// EndProcess discards the session state of proc (called when the process
+// exits; its contribution is already in the graph).
+func (b *Builder) EndProcess(proc PID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.sessions, proc)
+}
+
+// Graph returns the graph under construction. The caller may Merge it into
+// an authoritative graph and continue building.
+func (b *Builder) Graph() *Graph { return b.graph }
+
+// TakeGraph returns the accumulated graph and resets the builder to a fresh
+// one, preserving open sessions. This is the client "flush ACG to Index
+// Node" operation.
+func (b *Builder) TakeGraph() *Graph {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.graph
+	b.graph = NewGraph()
+	return g
+}

@@ -1,0 +1,73 @@
+package acg
+
+import (
+	"sort"
+
+	"propeller/internal/index"
+)
+
+// DefaultGroupThreshold is the component-size threshold above which
+// Propeller splits an ACG into sub-graphs (the paper suggests 50,000 files).
+const DefaultGroupThreshold = 50000
+
+// ClusterComponents packs connected components into index groups: small
+// components from the same application are clustered together to avoid
+// index fragmentation (§III), while components larger than threshold are
+// passed through alone (the caller splits them with package partition).
+//
+// Packing is first-fit-decreasing, deterministic for a given graph.
+func ClusterComponents(comps [][]index.FileID, threshold int) [][]index.FileID {
+	if threshold < 1 {
+		threshold = DefaultGroupThreshold
+	}
+	// Sort descending by size (stable by first member).
+	sorted := make([][]index.FileID, len(comps))
+	copy(sorted, comps)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if len(sorted[i]) != len(sorted[j]) {
+			return len(sorted[i]) > len(sorted[j])
+		}
+		if len(sorted[i]) == 0 || len(sorted[j]) == 0 {
+			return len(sorted[i]) != 0
+		}
+		return sorted[i][0] < sorted[j][0]
+	})
+
+	type bin struct {
+		files []index.FileID
+		size  int
+	}
+	var bins []*bin
+	for _, comp := range sorted {
+		if len(comp) == 0 {
+			continue
+		}
+		if len(comp) >= threshold {
+			// Oversized component: its own group (caller will split it).
+			files := make([]index.FileID, len(comp))
+			copy(files, comp)
+			bins = append(bins, &bin{files: files, size: len(comp)})
+			continue
+		}
+		placed := false
+		for _, b := range bins {
+			if b.size < threshold && b.size+len(comp) <= threshold {
+				b.files = append(b.files, comp...)
+				b.size += len(comp)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			files := make([]index.FileID, 0, len(comp))
+			files = append(files, comp...)
+			bins = append(bins, &bin{files: files, size: len(comp)})
+		}
+	}
+	out := make([][]index.FileID, 0, len(bins))
+	for _, b := range bins {
+		sort.Slice(b.files, func(i, j int) bool { return b.files[i] < b.files[j] })
+		out = append(out, b.files)
+	}
+	return out
+}

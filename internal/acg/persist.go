@@ -1,0 +1,110 @@
+package acg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"propeller/internal/index"
+)
+
+// The paper stores ACGs (and their metadata) as regular files in the
+// underlying shared file system (§IV). This file implements the on-disk
+// format: a small header, the vertex list, the weighted edge list, and a
+// trailing CRC so partially written images are detected.
+
+// ErrBadImage is returned for malformed serialized graphs.
+var ErrBadImage = errors.New("acg: malformed graph image")
+
+const graphMagic = uint32(0x41434701) // "ACG" + version 1
+
+// Serialize encodes the graph to its shared-storage image.
+func (g *Graph) Serialize() []byte {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	verts := make([]index.FileID, 0, len(g.adj))
+	for v := range g.adj {
+		verts = append(verts, v)
+	}
+	sortFileIDs(verts)
+	nEdges := 0
+	for _, m := range g.adj {
+		nEdges += len(m)
+	}
+
+	buf := make([]byte, 0, 16+8*len(verts)+24*nEdges+4)
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.BigEndian.PutUint32(u32[:], graphMagic)
+	buf = append(buf, u32[:]...)
+	binary.BigEndian.PutUint32(u32[:], uint32(len(verts)))
+	buf = append(buf, u32[:]...)
+	binary.BigEndian.PutUint32(u32[:], uint32(nEdges))
+	buf = append(buf, u32[:]...)
+	for _, v := range verts {
+		binary.BigEndian.PutUint64(u64[:], uint64(v))
+		buf = append(buf, u64[:]...)
+	}
+	for _, src := range verts {
+		dsts := make([]index.FileID, 0, len(g.adj[src]))
+		for d := range g.adj[src] {
+			dsts = append(dsts, d)
+		}
+		sortFileIDs(dsts)
+		for _, dst := range dsts {
+			binary.BigEndian.PutUint64(u64[:], uint64(src))
+			buf = append(buf, u64[:]...)
+			binary.BigEndian.PutUint64(u64[:], uint64(dst))
+			buf = append(buf, u64[:]...)
+			binary.BigEndian.PutUint64(u64[:], uint64(g.adj[src][dst]))
+			buf = append(buf, u64[:]...)
+		}
+	}
+	binary.BigEndian.PutUint32(u32[:], crc32.ChecksumIEEE(buf))
+	buf = append(buf, u32[:]...)
+	return buf
+}
+
+// Deserialize reconstructs a graph from its shared-storage image.
+func Deserialize(img []byte) (*Graph, error) {
+	if len(img) < 16 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadImage, len(img))
+	}
+	body, trailer := img[:len(img)-4], img[len(img)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadImage)
+	}
+	if binary.BigEndian.Uint32(body[0:4]) != graphMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	nVerts := int(binary.BigEndian.Uint32(body[4:8]))
+	nEdges := int(binary.BigEndian.Uint32(body[8:12]))
+	need := 12 + 8*nVerts + 24*nEdges
+	if len(body) != need {
+		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrBadImage, len(body), need)
+	}
+	g := NewGraph()
+	off := 12
+	for i := 0; i < nVerts; i++ {
+		g.AddVertex(index.FileID(binary.BigEndian.Uint64(body[off : off+8])))
+		off += 8
+	}
+	for i := 0; i < nEdges; i++ {
+		src := index.FileID(binary.BigEndian.Uint64(body[off : off+8]))
+		dst := index.FileID(binary.BigEndian.Uint64(body[off+8 : off+16]))
+		w := int64(binary.BigEndian.Uint64(body[off+16 : off+24]))
+		off += 24
+		if w <= 0 || src == dst {
+			return nil, fmt.Errorf("%w: invalid edge %d->%d (%d)", ErrBadImage, src, dst, w)
+		}
+		g.AddEdge(src, dst, w)
+	}
+	return g, nil
+}
+
+func sortFileIDs(s []index.FileID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,100 @@
+package acg
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"propeller/internal/index"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(1, 2, 5)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 1, 9)
+	g.AddVertex(42)
+
+	back, err := Deserialize(g.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			back.NumVertices(), back.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if back.EdgeWeight(1, 2) != 5 || back.EdgeWeight(3, 1) != 9 {
+		t.Error("weights lost")
+	}
+	comps := back.ConnectedComponents()
+	if len(comps) != 2 { // {1,2,3} and {42}
+		t.Errorf("components = %d, want 2", len(comps))
+	}
+}
+
+func TestSerializeEmptyGraph(t *testing.T) {
+	back, err := Deserialize(NewGraph().Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != 0 {
+		t.Errorf("vertices = %d", back.NumVertices())
+	}
+}
+
+func TestDeserializeRejectsCorruption(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(1, 2, 3)
+	img := g.Serialize()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     img[:8],
+		"truncated": img[:len(img)-6],
+	}
+	flipped := make([]byte, len(img))
+	copy(flipped, img)
+	flipped[7] ^= 0xFF
+	cases["bitflip"] = flipped
+	badMagic := make([]byte, len(img))
+	copy(badMagic, img)
+	badMagic[0] = 0x99
+	cases["magic"] = badMagic // CRC catches this too
+
+	for name, c := range cases {
+		if _, err := Deserialize(c); !errors.Is(err, ErrBadImage) {
+			t.Errorf("%s: err = %v, want ErrBadImage", name, err)
+		}
+	}
+}
+
+// Property: serialize/deserialize is the identity on arbitrary graphs.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	f := func(edges [][3]uint8) bool {
+		g := NewGraph()
+		for _, e := range edges {
+			g.AddEdge(index.FileID(e[0]), index.FileID(e[1]), int64(e[2]%7)+1)
+		}
+		back, err := Deserialize(g.Serialize())
+		if err != nil {
+			return false
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		if back.TotalWeight() != g.TotalWeight() {
+			return false
+		}
+		for _, src := range g.Vertices() {
+			for _, dst := range g.Vertices() {
+				if g.EdgeWeight(src, dst) != back.EdgeWeight(src, dst) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package bruteforce
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"propeller/internal/query"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+	"propeller/internal/vfs"
+)
+
+var testNow = time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSearchExactAndOrdered(t *testing.T) {
+	ns := vfs.NewNamespace()
+	for i := 0; i < 200; i++ {
+		if _, err := ns.Create(fmt.Sprintf("/f%03d", i), int64(i)<<20, testNow, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk := vclock.New()
+	s := New(ns, clk, nil)
+	q, err := query.Parse("size>100m", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Search(q)
+	if len(got) != 99 {
+		t.Fatalf("got %d, want 99", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestColdWarmCosts(t *testing.T) {
+	ns := vfs.NewNamespace()
+	for i := 0; i < 2000; i++ {
+		if _, err := ns.Create(fmt.Sprintf("/f%04d", i), 1<<20, testNow, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk := vclock.New()
+	s := New(ns, clk, simdisk.New(simdisk.Laptop5400(), clk))
+	q, err := query.Parse("size>0", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := clk.Now()
+	s.Search(q)
+	cold := clk.Now() - before
+
+	before = clk.Now()
+	s.Search(q)
+	warm := clk.Now() - before
+	if cold <= warm {
+		t.Errorf("cold (%v) should exceed warm (%v)", cold, warm)
+	}
+	if warm != time.Duration(2000)*s.CPUPerFile {
+		t.Errorf("warm = %v, want pure CPU cost", warm)
+	}
+
+	s.DropCaches()
+	before = clk.Now()
+	s.Search(q)
+	coldAgain := clk.Now() - before
+	if coldAgain <= warm {
+		t.Error("DropCaches should restore the cold cost")
+	}
+}

@@ -1,0 +1,369 @@
+// Package client implements Propeller's distributed client (§IV): the File
+// Access Management module that transparently captures open/close events
+// into client-RAM ACGs (the FUSE interception point), and the File Query
+// Engine that routes indexing and search requests through the Master Node
+// and fans searches out to Index Nodes in parallel.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"propeller/internal/acg"
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/proto"
+	"propeller/internal/query"
+	"propeller/internal/rpc"
+)
+
+// ErrNoTargets is returned when a search resolves to zero index nodes.
+var ErrNoTargets = errors.New("client: search resolved to no index nodes")
+
+// Config wires a Client.
+type Config struct {
+	// Master is the Master Node connection.
+	Master *rpc.Client
+	// Dial opens connections to Index Nodes by address. Connections are
+	// cached per address.
+	Dial func(addr string) (*rpc.Client, error)
+	// Now supplies the reference time for relative query predicates
+	// (defaults to time.Now).
+	Now func() time.Time
+}
+
+// Client is a Propeller client. Safe for concurrent use.
+type Client struct {
+	cfg     Config
+	builder *acg.Builder
+
+	mu    sync.Mutex
+	conns map[string]*rpc.Client
+}
+
+// New returns a Client.
+func New(cfg Config) (*Client, error) {
+	if cfg.Master == nil {
+		return nil, errors.New("client: Master connection is required")
+	}
+	if cfg.Dial == nil {
+		return nil, errors.New("client: Dial is required")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Client{
+		cfg:     cfg,
+		builder: acg.NewBuilder(),
+		conns:   make(map[string]*rpc.Client),
+	}, nil
+}
+
+// Close closes all cached Index Node connections (the Master connection is
+// owned by the caller).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var firstErr error
+	for addr, conn := range c.conns {
+		if err := conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(c.conns, addr)
+	}
+	return firstErr
+}
+
+func (c *Client) conn(addr string) (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.conns[addr]; ok {
+		return conn, nil
+	}
+	conn, err := c.cfg.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("client dial %s: %w", addr, err)
+	}
+	c.conns[addr] = conn
+	return conn, nil
+}
+
+// --- File Access Management (ACG capture) ---
+
+// Open records a file open (intercepted by the FUSE layer in the paper's
+// prototype).
+func (c *Client) Open(proc acg.PID, file index.FileID, mode acg.OpenMode) {
+	c.builder.Open(proc, file, mode)
+}
+
+// CloseFile records a file close.
+func (c *Client) CloseFile(proc acg.PID, file index.FileID) {
+	c.builder.Close(proc, file)
+}
+
+// EndProcess discards the capture session of proc.
+func (c *Client) EndProcess(proc acg.PID) {
+	c.builder.EndProcess(proc)
+}
+
+// FlushACG ships the captured causality graph to the owning Index Nodes
+// (called after the I/O process finishes). Captured components are used as
+// group hints so the Master co-locates causally-related files.
+func (c *Client) FlushACG() error {
+	g := c.builder.TakeGraph()
+	if g.NumVertices() == 0 {
+		return nil
+	}
+	comps := g.ConnectedComponents()
+
+	// One lookup for every vertex, hinted by component.
+	var files []index.FileID
+	var hints []uint64
+	for ci, comp := range comps {
+		// Hints must be globally unique per component: derive from the
+		// smallest member (stable across flushes of the same files).
+		hint := uint64(comp[0]) + 1
+		_ = ci
+		for _, f := range comp {
+			files = append(files, f)
+			hints = append(hints, hint)
+		}
+	}
+	resp, err := rpc.Call[proto.LookupFilesReq, proto.LookupFilesResp](
+		c.cfg.Master, proto.MethodLookupFiles,
+		proto.LookupFilesReq{Files: files, GroupHints: hints, Allocate: true})
+	if err != nil {
+		return fmt.Errorf("client flush acg: %w", err)
+	}
+	where := make(map[index.FileID]proto.FileMapping, len(resp.Mappings))
+	for _, m := range resp.Mappings {
+		where[m.File] = m
+	}
+
+	// Partition edges and vertices by destination group.
+	type dest struct {
+		addr string
+		req  proto.FlushACGReq
+	}
+	dests := make(map[proto.ACGID]*dest)
+	for _, comp := range comps {
+		for _, f := range comp {
+			m := where[f]
+			d := dests[m.ACG]
+			if d == nil {
+				d = &dest{addr: m.Addr, req: proto.FlushACGReq{ACG: m.ACG}}
+				dests[m.ACG] = d
+			}
+			d.req.Vertices = append(d.req.Vertices, f)
+		}
+	}
+	for _, src := range g.Vertices() {
+		sm := where[src]
+		for _, dst := range g.Vertices() {
+			w := g.EdgeWeight(src, dst)
+			if w == 0 {
+				continue
+			}
+			dm := where[dst]
+			// Weak consistency: cross-group edges (possible when the Master
+			// already had the files in different groups) are dropped — they
+			// only affect partition quality, never search results.
+			if sm.ACG != dm.ACG {
+				continue
+			}
+			dests[sm.ACG].req.Edges = append(dests[sm.ACG].req.Edges,
+				proto.ACGEdge{Src: src, Dst: dst, Weight: w})
+		}
+	}
+	for _, d := range dests {
+		conn, err := c.conn(d.addr)
+		if err != nil {
+			return err
+		}
+		if _, err := rpc.Call[proto.FlushACGReq, proto.FlushACGResp](conn, proto.MethodFlushACG, d.req); err != nil {
+			return fmt.Errorf("client flush acg: %w", err)
+		}
+	}
+	return nil
+}
+
+// --- File Query Engine ---
+
+// CreateIndex registers a named index cluster-wide.
+func (c *Client) CreateIndex(spec proto.IndexSpec) error {
+	if _, err := rpc.Call[proto.CreateIndexReq, proto.CreateIndexResp](
+		c.cfg.Master, proto.MethodCreateIndex, proto.CreateIndexReq{Spec: spec}); err != nil {
+		return fmt.Errorf("client create index %q: %w", spec.Name, err)
+	}
+	return nil
+}
+
+// FileUpdate is one indexing request from the application.
+type FileUpdate struct {
+	File index.FileID
+	// Value is the attribute value for b-tree/hash indices.
+	Value attr.Value
+	// KDCoords is the point for KD indices.
+	KDCoords []float64
+	// Delete removes the posting.
+	Delete bool
+	// GroupHint co-locates unknown files (0 = none).
+	GroupHint uint64
+}
+
+// Index sends a batch of indexing requests for the named index. Updates are
+// routed through the Master, grouped by (Index Node, ACG) and sent in
+// parallel — the paper's batched parallel file-indexing path.
+func (c *Client) Index(indexName string, updates []FileUpdate) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	files := make([]index.FileID, len(updates))
+	hints := make([]uint64, len(updates))
+	for i, u := range updates {
+		files[i] = u.File
+		hints[i] = u.GroupHint
+	}
+	resp, err := rpc.Call[proto.LookupFilesReq, proto.LookupFilesResp](
+		c.cfg.Master, proto.MethodLookupFiles,
+		proto.LookupFilesReq{Files: files, GroupHints: hints, Allocate: true})
+	if err != nil {
+		return fmt.Errorf("client index: %w", err)
+	}
+	type batch struct {
+		addr string
+		req  proto.UpdateReq
+	}
+	batches := make(map[proto.ACGID]*batch)
+	for i, m := range resp.Mappings {
+		b := batches[m.ACG]
+		if b == nil {
+			b = &batch{addr: m.Addr, req: proto.UpdateReq{ACG: m.ACG, IndexName: indexName}}
+			batches[m.ACG] = b
+		}
+		u := updates[i]
+		b.req.Entries = append(b.req.Entries, proto.IndexEntry{
+			File: u.File, Value: u.Value, KDCoords: u.KDCoords, Delete: u.Delete,
+		})
+	}
+
+	ids := make([]proto.ACGID, 0, len(batches))
+	for id := range batches {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(ids))
+	for _, id := range ids {
+		b := batches[id]
+		conn, err := c.conn(b.addr)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(b *batch, conn *rpc.Client) {
+			defer wg.Done()
+			if _, err := rpc.Call[proto.UpdateReq, proto.UpdateResp](conn, proto.MethodUpdate, b.req); err != nil {
+				errCh <- fmt.Errorf("client index acg %d: %w", b.req.ACG, err)
+			}
+		}(b, conn)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	return nil
+}
+
+// SearchResult is the aggregated outcome of a distributed search.
+type SearchResult struct {
+	Files []index.FileID
+	// Nodes is the number of Index Nodes queried.
+	Nodes int
+	// CommitLatency is the summed virtual commit-on-search cost reported by
+	// the nodes.
+	CommitLatency time.Duration
+}
+
+// Search runs a query against the named index: the Master supplies the
+// fan-out targets, every Index Node is queried in parallel, and the
+// client aggregates the returned file sets (§IV's parallel file-search).
+func (c *Client) Search(indexName, queryStr string) (SearchResult, error) {
+	lookup, err := rpc.Call[proto.LookupIndexReq, proto.LookupIndexResp](
+		c.cfg.Master, proto.MethodLookupIndex, proto.LookupIndexReq{IndexName: indexName})
+	if err != nil {
+		return SearchResult{}, fmt.Errorf("client search: %w", err)
+	}
+	if len(lookup.Targets) == 0 {
+		return SearchResult{}, ErrNoTargets
+	}
+	now := c.cfg.Now().UnixNano()
+
+	var wg sync.WaitGroup
+	type nodeResult struct {
+		resp proto.SearchResp
+		err  error
+	}
+	results := make([]nodeResult, len(lookup.Targets))
+	for i, tgt := range lookup.Targets {
+		conn, err := c.conn(tgt.Addr)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		wg.Add(1)
+		go func(i int, tgt proto.IndexTarget, conn *rpc.Client) {
+			defer wg.Done()
+			resp, err := rpc.Call[proto.SearchReq, proto.SearchResp](conn, proto.MethodSearch, proto.SearchReq{
+				ACGs: tgt.ACGs, IndexName: indexName, Query: queryStr, NowUnixNano: now,
+			})
+			results[i] = nodeResult{resp: resp, err: err}
+		}(i, tgt, conn)
+	}
+	wg.Wait()
+
+	out := SearchResult{Nodes: len(lookup.Targets)}
+	seen := make(map[index.FileID]bool)
+	for i, r := range results {
+		if r.err != nil {
+			return SearchResult{}, fmt.Errorf("client search node %s: %w", lookup.Targets[i].Node, r.err)
+		}
+		out.CommitLatency += time.Duration(r.resp.CommitLatencyNanos)
+		for _, f := range r.resp.Files {
+			if !seen[f] {
+				seen[f] = true
+				out.Files = append(out.Files, f)
+			}
+		}
+	}
+	sort.Slice(out.Files, func(i, j int) bool { return out.Files[i] < out.Files[j] })
+	return out, nil
+}
+
+// SearchDir evaluates a dynamic query-directory path (§IV), e.g.
+// "/data/logs/?size>1m & mtime<1day": the embedded query runs against the
+// named index, scoped to the directory prefix via range predicates on the
+// "path" attribute. Scoping requires a B-tree index over "path"; an
+// unscoped root query ("/?...") needs none.
+func (c *Client) SearchDir(indexName, pathQuery string) (SearchResult, error) {
+	qd, err := query.ParseQueryPath(pathQuery, c.cfg.Now())
+	if err != nil {
+		return SearchResult{}, err
+	}
+	qstr := qd.Query.String()
+	if qd.Dir != "/" {
+		// [dir+"/", dir+"/\xff") brackets exactly the subtree.
+		qstr += " & path>=" + qd.Dir + "/" + " & path<" + qd.Dir + "/\xff"
+	}
+	return c.Search(indexName, qstr)
+}
+
+// ClusterStats fetches the Master's cluster summary.
+func (c *Client) ClusterStats() (proto.ClusterStatsResp, error) {
+	return rpc.Call[proto.ClusterStatsReq, proto.ClusterStatsResp](
+		c.cfg.Master, proto.MethodClusterStats, proto.ClusterStatsReq{})
+}

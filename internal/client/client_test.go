@@ -1,0 +1,236 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"propeller/internal/acg"
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/indexnode"
+	"propeller/internal/master"
+	"propeller/internal/pagestore"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+// rig is a minimal master + one index node + client wiring over pipes.
+type rig struct {
+	master *master.Master
+	node   *indexnode.Node
+	client *Client
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	m := master.New(master.Config{})
+	masterSrv := rpc.NewServer()
+	m.RegisterRPC(masterSrv)
+	dialMaster := func() *rpc.Client {
+		cc, sc := rpc.Pipe()
+		masterSrv.ServeConn(sc)
+		return rpc.NewClient(cc)
+	}
+
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := indexnode.New(indexnode.Config{
+		ID: "in-00", Store: store, Disk: disk, Clock: clk, Master: dialMaster(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeSrv := rpc.NewServer()
+	node.RegisterRPC(nodeSrv)
+	if _, err := m.RegisterNode(proto.RegisterNodeReq{
+		Node: "in-00", Addr: "pipe:in-00", CapacityFiles: 1 << 30,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	dial := func(addr string) (*rpc.Client, error) {
+		switch addr {
+		case "pipe:in-00":
+			cc, sc := rpc.Pipe()
+			nodeSrv.ServeConn(sc)
+			return rpc.NewClient(cc), nil
+		default:
+			return nil, errors.New("unknown addr " + addr)
+		}
+	}
+	cl, err := New(Config{
+		Master: dialMaster(),
+		Dial:   dial,
+		Now:    func() time.Time { return time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cl.Close()
+		_ = masterSrv.Close()
+		_ = nodeSrv.Close()
+	})
+	return &rig{master: m, node: node, client: cl}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing master should be rejected")
+	}
+	cc, _ := rpc.Pipe()
+	mc := rpc.NewClient(cc)
+	defer mc.Close() //nolint:errcheck
+	if _, err := New(Config{Master: mc}); err == nil {
+		t.Error("missing dial should be rejected")
+	}
+}
+
+func TestIndexAndSearchRoundTrip(t *testing.T) {
+	r := newRig(t)
+	if err := r.client.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	var updates []FileUpdate
+	for i := 0; i < 30; i++ {
+		updates = append(updates, FileUpdate{
+			File: index.FileID(i), Value: attr.Int(int64(i) << 20), GroupHint: uint64(i/10) + 1,
+		})
+	}
+	if err := r.client.Index("size", updates); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.client.Search("size", "size>25m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 4 { // 26..29
+		t.Errorf("files = %v, want 4", res.Files)
+	}
+	if res.Nodes != 1 {
+		t.Errorf("nodes = %d", res.Nodes)
+	}
+}
+
+func TestIndexEmptyBatchIsNoop(t *testing.T) {
+	r := newRig(t)
+	if err := r.client.Index("size", nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+func TestSearchUnknownIndexFails(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.client.Search("ghost", "size>1"); err == nil ||
+		!strings.Contains(err.Error(), "unknown index") {
+		t.Errorf("err = %v, want unknown index", err)
+	}
+}
+
+func TestFlushACGRoutesEdges(t *testing.T) {
+	r := newRig(t)
+	if err := r.client.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	// Empty flush is a no-op.
+	if err := r.client.FlushACG(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture one causal chain and flush: the master maps the component
+	// into a single group, the node receives the edges.
+	r.client.Open(1, 100, acg.OpenRead)
+	r.client.Open(1, 101, acg.OpenWrite)
+	r.client.Open(1, 102, acg.OpenWrite)
+	r.client.CloseFile(1, 100)
+	r.client.EndProcess(1)
+	if err := r.client.FlushACG(); err != nil {
+		t.Fatal(err)
+	}
+
+	lookup, err := r.master.LookupFiles(proto.LookupFilesReq{
+		Files: []index.FileID{100, 101, 102},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := lookup.Mappings[0].ACG
+	for _, m := range lookup.Mappings {
+		if m.ACG != first {
+			t.Error("causally-connected files must share a group")
+		}
+	}
+	st, err := r.node.NodeStats(proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 3 {
+		t.Errorf("node files = %d, want 3", st.Files)
+	}
+}
+
+func TestFlushACGSeparateComponentsSeparateGroups(t *testing.T) {
+	r := newRig(t)
+	// Two isolated causal components.
+	r.client.Open(1, 1, acg.OpenRead)
+	r.client.Open(1, 2, acg.OpenWrite)
+	r.client.EndProcess(1)
+	r.client.Open(2, 10, acg.OpenRead)
+	r.client.Open(2, 11, acg.OpenWrite)
+	r.client.EndProcess(2)
+	if err := r.client.FlushACG(); err != nil {
+		t.Fatal(err)
+	}
+	lookup, err := r.master.LookupFiles(proto.LookupFilesReq{
+		Files: []index.FileID{1, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lookup.Mappings[0].ACG == lookup.Mappings[1].ACG {
+		t.Error("disconnected components should land in different groups")
+	}
+}
+
+func TestClusterStatsViaClient(t *testing.T) {
+	r := newRig(t)
+	if err := r.client.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.Index("size", []FileUpdate{{File: 1, Value: attr.Int(1), GroupHint: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.client.ClusterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 1 || st.ACGs != 1 || len(st.Indexes) != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConnCaching(t *testing.T) {
+	r := newRig(t)
+	c1, err := r.client.conn("pipe:in-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.client.conn("pipe:in-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("connections must be cached per address")
+	}
+	if _, err := r.client.conn("pipe:bogus"); err == nil {
+		t.Error("unknown address should fail")
+	}
+}

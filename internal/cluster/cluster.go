@@ -1,0 +1,329 @@
+// Package cluster boots a complete Propeller deployment — one Master Node,
+// N Index Nodes, and any number of clients — inside a single process,
+// mirroring the paper's 9-node testbed (§V). Nodes talk over real net.Conn
+// transports (in-memory pipes by default, TCP optionally) through the rpc
+// package; disk and network latency are charged to a shared virtual clock.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"propeller/internal/client"
+	"propeller/internal/indexnode"
+	"propeller/internal/master"
+	"propeller/internal/pagestore"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+// Config sizes a cluster.
+type Config struct {
+	// IndexNodes is the number of Index Nodes (the paper scales 1..8).
+	IndexNodes int
+	// PoolPagesPerNode bounds each node's buffer pool (models per-node RAM;
+	// drives the cold/warm and memory-fit effects).
+	PoolPagesPerNode int
+	// CommitTimeout is the lazy-cache timeout (virtual; paper: 5 s).
+	CommitTimeout time.Duration
+	// SplitThreshold is the group-split threshold (paper: 50,000 files).
+	SplitThreshold int
+	// DiskProfile models the per-node drive.
+	DiskProfile simdisk.Profile
+	// NetProfile models the interconnect; zero value disables network cost.
+	NetProfile rpc.NetProfile
+	// Clock is the shared virtual clock (one is created if nil).
+	Clock *vclock.Clock
+	// UseTCP runs all transports over loopback TCP instead of pipes.
+	UseTCP bool
+	// DisableLazyCache forces synchronous commits (ablation).
+	DisableLazyCache bool
+	// CacheLimit is each node's pending-entry bound before forced commit.
+	CacheLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.IndexNodes <= 0 {
+		c.IndexNodes = 1
+	}
+	if c.PoolPagesPerNode <= 0 {
+		c.PoolPagesPerNode = 32768 // 256 MiB of 8 KiB pages
+	}
+	if c.CommitTimeout <= 0 {
+		c.CommitTimeout = 5 * time.Second
+	}
+	if c.SplitThreshold <= 0 {
+		c.SplitThreshold = 50000
+	}
+	if c.DiskProfile == (simdisk.Profile{}) {
+		c.DiskProfile = simdisk.Barracuda7200()
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.New()
+	}
+	return c
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg        Config
+	clock      *vclock.Clock
+	master     *master.Master
+	masterAddr string
+	nodes      []*indexnode.Node
+	disks      []*simdisk.Disk
+	stores     []*pagestore.Store
+
+	mu      sync.Mutex
+	servers map[string]*rpc.Server // addr -> server (pipe transport)
+	lns     []net.Listener
+	clients []*rpc.Client
+	closed  bool
+}
+
+// New boots a cluster.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		servers: make(map[string]*rpc.Server),
+	}
+
+	// Master.
+	c.master = master.New(master.Config{
+		SplitThreshold: int64(cfg.SplitThreshold),
+		Clock:          c.clock,
+	})
+	masterSrv := rpc.NewServer()
+	c.master.RegisterRPC(masterSrv)
+	masterAddr, err := c.expose("master", masterSrv)
+	if err != nil {
+		return nil, err
+	}
+
+	// Index nodes.
+	for i := 0; i < cfg.IndexNodes; i++ {
+		disk := simdisk.New(cfg.DiskProfile, c.clock)
+		store, err := pagestore.New(disk, cfg.PoolPagesPerNode)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d store: %w", i, err)
+		}
+		masterConn, err := c.Dial(masterAddr)
+		if err != nil {
+			return nil, err
+		}
+		node, err := indexnode.New(indexnode.Config{
+			ID:               proto.NodeID(fmt.Sprintf("in-%02d", i)),
+			Store:            store,
+			Disk:             disk,
+			Clock:            c.clock,
+			CommitTimeout:    cfg.CommitTimeout,
+			CacheLimit:       cfg.CacheLimit,
+			SplitThreshold:   cfg.SplitThreshold,
+			Master:           masterConn,
+			Dial:             c.Dial,
+			DisableLazyCache: cfg.DisableLazyCache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv := rpc.NewServer()
+		node.RegisterRPC(srv)
+		addr, err := c.expose(fmt.Sprintf("in-%02d", i), srv)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.master.RegisterNode(proto.RegisterNodeReq{
+			Node: node.ID(), Addr: addr, CapacityFiles: 1 << 40,
+		}); err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+		c.disks = append(c.disks, disk)
+		c.stores = append(c.stores, store)
+	}
+	c.masterAddr = masterAddr
+	return c, nil
+}
+
+// expose publishes an RPC server under a dialable address.
+func (c *Cluster) expose(name string, srv *rpc.Server) (string, error) {
+	if c.cfg.UseTCP {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", fmt.Errorf("cluster: listen %s: %w", name, err)
+		}
+		c.mu.Lock()
+		c.lns = append(c.lns, ln)
+		c.servers["tcp:"+ln.Addr().String()] = srv
+		c.mu.Unlock()
+		go srv.Serve(ln)
+		return "tcp:" + ln.Addr().String(), nil
+	}
+	addr := "pipe:" + name
+	c.mu.Lock()
+	c.servers[addr] = srv
+	c.mu.Unlock()
+	return addr, nil
+}
+
+// Dial opens a client connection to a cluster address, charging virtual
+// network cost when configured.
+func (c *Cluster) Dial(addr string) (*rpc.Client, error) {
+	var opts []rpc.ClientOption
+	if c.cfg.NetProfile != (rpc.NetProfile{}) {
+		opts = append(opts, rpc.WithVirtualNet(c.clock, c.cfg.NetProfile))
+	}
+	var cl *rpc.Client
+	switch {
+	case len(addr) > 5 && addr[:5] == "pipe:":
+		c.mu.Lock()
+		srv, ok := c.servers[addr]
+		c.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown address %q", addr)
+		}
+		cc, sc := rpc.Pipe()
+		srv.ServeConn(sc)
+		cl = rpc.NewClient(cc, opts...)
+	case len(addr) > 4 && addr[:4] == "tcp:":
+		var err error
+		cl, err = rpc.Dial(addr[4:], opts...)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cluster: bad address %q", addr)
+	}
+	c.mu.Lock()
+	c.clients = append(c.clients, cl)
+	c.mu.Unlock()
+	return cl, nil
+}
+
+// Clock returns the shared virtual clock.
+func (c *Cluster) Clock() *vclock.Clock { return c.clock }
+
+// Master returns the master (for direct inspection in tests).
+func (c *Cluster) Master() *master.Master { return c.master }
+
+// Nodes returns the index nodes.
+func (c *Cluster) Nodes() []*indexnode.Node { return c.nodes }
+
+// MasterAddr returns the master's dialable address.
+func (c *Cluster) MasterAddr() string { return c.masterAddr }
+
+// NewClient returns a Propeller client bound to this cluster. now anchors
+// relative query predicates (nil = wall clock).
+func (c *Cluster) NewClient(now func() time.Time) (*client.Client, error) {
+	masterConn, err := c.Dial(c.masterAddr)
+	if err != nil {
+		return nil, err
+	}
+	return client.New(client.Config{
+		Master: masterConn,
+		Dial:   c.Dial,
+		Now:    now,
+	})
+}
+
+// Tick runs the lazy-cache timeout check on every node.
+func (c *Cluster) Tick() error {
+	for _, n := range c.nodes {
+		if err := n.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Heartbeat runs one heartbeat round (nodes report to the master and
+// execute split orders).
+func (c *Cluster) Heartbeat() error {
+	for _, n := range c.nodes {
+		if err := n.Heartbeat(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact merges small groups (below minFiles) on every node and returns
+// the number of merges performed (§IV's "merging small ones" maintenance
+// task).
+func (c *Cluster) Compact(minFiles int) (int, error) {
+	total := 0
+	for _, n := range c.nodes {
+		m, err := n.CompactGroups(minFiles)
+		if err != nil {
+			return total, err
+		}
+		total += m
+	}
+	return total, nil
+}
+
+// DropCaches empties every node's buffer pool and KD residency (cold runs).
+func (c *Cluster) DropCaches() error {
+	for _, n := range c.nodes {
+		if err := n.DropCaches(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DiskStats aggregates the nodes' disk statistics.
+func (c *Cluster) DiskStats() simdisk.Stats {
+	var agg simdisk.Stats
+	for _, d := range c.disks {
+		st := d.Stats()
+		agg.Reads += st.Reads
+		agg.Writes += st.Writes
+		agg.BytesRead += st.BytesRead
+		agg.BytesWrite += st.BytesWrite
+		agg.Seeks += st.Seeks
+		agg.Sequential += st.Sequential
+		agg.BusyTime += st.BusyTime
+	}
+	return agg
+}
+
+// Close tears the cluster down: clients, listeners, servers.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	clients := c.clients
+	lns := c.lns
+	servers := make([]*rpc.Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		servers = append(servers, s)
+	}
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, cl := range clients {
+		if err := cl.Close(); err != nil && firstErr == nil && !errors.Is(err, net.ErrClosed) {
+			firstErr = err
+		}
+	}
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	for _, s := range servers {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

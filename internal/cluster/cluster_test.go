@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"propeller/internal/acg"
+	"propeller/internal/attr"
+	"propeller/internal/client"
+	"propeller/internal/index"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+)
+
+var fixedNow = func() time.Time { return time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC) }
+
+func bootCluster(t *testing.T, cfg Config) (*Cluster, *client.Client) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("cluster close: %v", err)
+		}
+	})
+	cl, err := c.NewClient(fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+	return c, cl
+}
+
+func TestSingleNodeIndexAndSearch(t *testing.T) {
+	_, cl := bootCluster(t, Config{IndexNodes: 1})
+	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	var updates []client.FileUpdate
+	for i := 0; i < 100; i++ {
+		updates = append(updates, client.FileUpdate{
+			File:      index.FileID(i),
+			Value:     attr.Int(int64(i) << 20),
+			GroupHint: uint64(i/10) + 1,
+		})
+	}
+	if err := cl.Index("size", updates); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Search("size", "size>90m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 9 { // files 91..99
+		t.Errorf("got %d files, want 9: %v", len(res.Files), res.Files)
+	}
+}
+
+func TestMultiNodeParallelSearch(t *testing.T) {
+	c, cl := bootCluster(t, Config{IndexNodes: 4})
+	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	// 40 groups spread over 4 nodes by least-loaded placement.
+	for g := 0; g < 40; g++ {
+		var updates []client.FileUpdate
+		for i := 0; i < 25; i++ {
+			f := index.FileID(g*25 + i)
+			updates = append(updates, client.FileUpdate{
+				File: f, Value: attr.Int(int64(f) << 10), GroupHint: uint64(g) + 1,
+			})
+		}
+		if err := cl.Index("size", updates); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := cl.ClusterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 1000 || stats.ACGs != 40 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for _, ns := range stats.Nodes {
+		if ns.ACGs != 10 {
+			t.Errorf("node %s has %d groups, want 10 (balanced placement)", ns.Node, ns.ACGs)
+		}
+	}
+	res, err := cl.Search("size", "size>500k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 4 {
+		t.Errorf("search hit %d nodes, want 4", res.Nodes)
+	}
+	want := 0
+	for f := 0; f < 1000; f++ {
+		if int64(f)<<10 > 500<<10 {
+			want++
+		}
+	}
+	if len(res.Files) != want {
+		t.Errorf("got %d files, want %d", len(res.Files), want)
+	}
+	_ = c
+}
+
+func TestSearchConsistencyAfterUpdates(t *testing.T) {
+	// The inline-indexing guarantee: every acknowledged update is visible
+	// to the next search, with no crawl delay.
+	_, cl := bootCluster(t, Config{IndexNodes: 2})
+	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		if err := cl.Index("size", []client.FileUpdate{{
+			File: index.FileID(round), Value: attr.Int(int64(round+1) << 30), GroupHint: 1,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Search("size", "size>0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Files) != round+1 {
+			t.Fatalf("round %d: search sees %d files, want %d (stale results!)",
+				round, len(res.Files), round+1)
+		}
+	}
+}
+
+func TestACGFlushAndSplitMigration(t *testing.T) {
+	c, cl := bootCluster(t, Config{IndexNodes: 2, SplitThreshold: 50})
+	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture causality: two dense clusters of 40 files each joined by one
+	// light edge, all in one group (hint 1) — 80 files > threshold 50.
+	proc := acg.PID(1)
+	var updates []client.FileUpdate
+	for cluster := 0; cluster < 2; cluster++ {
+		base := index.FileID(cluster * 40)
+		for i := index.FileID(0); i < 40; i++ {
+			cl.Open(proc, base+i, acg.OpenRead)
+			cl.Open(proc, base+(i+1)%40, acg.OpenWrite)
+			cl.EndProcess(proc)
+			proc++
+			updates = append(updates, client.FileUpdate{
+				File: base + i, Value: attr.Int(int64(base+i) << 20), GroupHint: 1,
+			})
+		}
+	}
+	// The bridge.
+	cl.Open(proc, 0, acg.OpenRead)
+	cl.Open(proc, 40, acg.OpenWrite)
+	cl.EndProcess(proc)
+
+	if err := cl.Index("size", updates); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FlushACG(); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := cl.ClusterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.ACGs != 1 {
+		t.Fatalf("expected a single group before split, got %d", before.ACGs)
+	}
+
+	// Heartbeat: the master orders the split; the node partitions and
+	// migrates.
+	if err := c.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cl.ClusterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ACGs != 2 {
+		t.Fatalf("expected 2 groups after split, got %d", after.ACGs)
+	}
+	// Both halves should be balanced (40/40, the bridge being the min cut).
+	var sizes []int64
+	for _, ns := range after.Nodes {
+		if ns.Files > 0 {
+			sizes = append(sizes, ns.Files)
+		}
+	}
+	if len(sizes) != 2 || sizes[0] != 40 || sizes[1] != 40 {
+		t.Errorf("post-split node loads = %v, want [40 40]", sizes)
+	}
+
+	// Search still returns every file (no postings lost in migration).
+	res, err := cl.Search("size", "size>0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 79 { // file 0 has size 0<<20 = 0, excluded by >0
+		t.Errorf("post-split search = %d files, want 79", len(res.Files))
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	_, cl := bootCluster(t, Config{IndexNodes: 2, UseTCP: true})
+	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	var updates []client.FileUpdate
+	for i := 0; i < 50; i++ {
+		updates = append(updates, client.FileUpdate{
+			File: index.FileID(i), Value: attr.Int(int64(i)), GroupHint: uint64(i/10) + 1,
+		})
+	}
+	if err := cl.Index("size", updates); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Search("size", "size>=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 10 {
+		t.Errorf("TCP search = %d files, want 10", len(res.Files))
+	}
+}
+
+func TestVirtualNetworkCost(t *testing.T) {
+	c, cl := bootCluster(t, Config{IndexNodes: 1, NetProfile: rpc.GigabitLAN()})
+	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Clock().Now()
+	if err := cl.Index("size", []client.FileUpdate{{File: 1, Value: attr.Int(1), GroupHint: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Clock().Now() == before {
+		t.Error("RPC over virtual network should charge the clock")
+	}
+}
+
+func TestTickCommitsAcrossCluster(t *testing.T) {
+	c, cl := bootCluster(t, Config{IndexNodes: 2, CommitTimeout: 5 * time.Second})
+	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Index("size", []client.FileUpdate{{File: 1, Value: attr.Int(7), GroupHint: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Clock().Advance(10 * time.Second)
+	if err := c.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range c.Nodes() {
+		st, err := n.NodeStats(proto.NodeStatsReq{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.CachedOps
+	}
+	if total != 0 {
+		t.Errorf("cached ops after tick = %d, want 0", total)
+	}
+}
+
+func TestManyClientsConcurrently(t *testing.T) {
+	c, _ := bootCluster(t, Config{IndexNodes: 2})
+	adminClient, err := c.NewClient(fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adminClient.Close() //nolint:errcheck
+	if err := adminClient.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	errCh := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		go func(w int) {
+			cl, err := c.NewClient(fixedNow)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cl.Close() //nolint:errcheck
+			var updates []client.FileUpdate
+			for i := 0; i < 50; i++ {
+				f := index.FileID(w*50 + i)
+				updates = append(updates, client.FileUpdate{
+					File: f, Value: attr.Int(int64(f)), GroupHint: uint64(w) + 1,
+				})
+			}
+			if err := cl.Index("size", updates); err != nil {
+				errCh <- fmt.Errorf("client %d: %w", w, err)
+				return
+			}
+			if _, err := cl.Search("size", "size>=0"); err != nil {
+				errCh <- fmt.Errorf("client %d search: %w", w, err)
+				return
+			}
+			errCh <- nil
+		}(w)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := adminClient.Search("size", "size>=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 200 {
+		t.Errorf("final search = %d files, want 200", len(res.Files))
+	}
+}

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"propeller/internal/attr"
+	"propeller/internal/client"
+	"propeller/internal/index"
+	"propeller/internal/indexnode"
+	"propeller/internal/pagestore"
+	"propeller/internal/proto"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+// TestMasterCrashRecovery exercises the paper's metadata durability story:
+// the Master periodically flushes the file-to-ACG mappings to shared
+// storage; after a crash a fresh Master restores them and routing resumes.
+func TestMasterCrashRecovery(t *testing.T) {
+	c, cl := bootCluster(t, Config{IndexNodes: 2})
+	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	var updates []client.FileUpdate
+	for i := 0; i < 60; i++ {
+		updates = append(updates, client.FileUpdate{
+			File: index.FileID(i), Value: attr.Int(int64(i)), GroupHint: uint64(i/20) + 1,
+		})
+	}
+	if err := cl.Index("size", updates); err != nil {
+		t.Fatal(err)
+	}
+
+	// Periodic flush to shared storage.
+	img, err := c.Master().SnapshotMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": load the snapshot into the same master after wiping is not
+	// possible without restarting the process; emulate by loading into the
+	// running master (idempotent) and verifying lookups still resolve the
+	// same groups.
+	before, err := c.Master().LookupFiles(proto.LookupFilesReq{
+		Files: []index.FileID{0, 20, 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Master().LoadMetadata(img); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Master().LookupFiles(proto.LookupFilesReq{
+		Files: []index.FileID{0, 20, 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.Mappings {
+		if before.Mappings[i].ACG != after.Mappings[i].ACG {
+			t.Errorf("file %d group changed across metadata reload", before.Mappings[i].File)
+		}
+	}
+	// Searches still work after the reload.
+	res, err := cl.Search("size", "size>=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 60 {
+		t.Errorf("post-reload search = %d files, want 60", len(res.Files))
+	}
+}
+
+// TestIndexNodeCrashRecovery kills an index node after acknowledged (but
+// uncommitted) updates and proves a replacement node recovers them from the
+// WAL image on shared storage — the guarantee behind the acknowledgement.
+func TestIndexNodeCrashRecovery(t *testing.T) {
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := indexnode.New(indexnode.Config{
+		ID: "in-a", Store: store, Disk: disk, Clock: clk, CacheLimit: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}
+	node.DeclareIndex(spec)
+	for i := 0; i < 50; i++ {
+		if _, err := node.Update(proto.UpdateReq{
+			ACG: 1, IndexName: "size",
+			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i) << 20)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := node.NodeStats(proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CachedOps != 50 {
+		t.Fatalf("expected all 50 updates cached (uncommitted), got %d", st.CachedOps)
+	}
+	// The WAL image lives on shared storage at crash time.
+	img, err := node.WALImage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replacement node on fresh hardware.
+	clk2 := vclock.New()
+	disk2 := simdisk.New(simdisk.Barracuda7200(), clk2)
+	store2, err := pagestore.New(disk2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node2, err := indexnode.New(indexnode.Config{ID: "in-b", Store: store2, Disk: disk2, Clock: clk2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node2.DeclareIndex(spec)
+	recovered, err := node2.RecoverGroup(1, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 50 {
+		t.Fatalf("recovered %d updates, want 50", recovered)
+	}
+	resp, err := node2.Search(proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 33 { // 17..49
+		t.Errorf("recovered search = %d files, want 33", len(resp.Files))
+	}
+}
+
+// TestRepeatedSplitsUnderLoad grows one group through several split rounds
+// and checks no postings are lost.
+func TestRepeatedSplitsUnderLoad(t *testing.T) {
+	c, cl := bootCluster(t, Config{IndexNodes: 3, SplitThreshold: 30})
+	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for round := 0; round < 4; round++ {
+		var updates []client.FileUpdate
+		proc := uint64(round*1000 + 1)
+		for i := 0; i < 25; i++ {
+			f := index.FileID(round*25 + i)
+			updates = append(updates, client.FileUpdate{
+				File: f, Value: attr.Int(int64(f) + 1), GroupHint: 1,
+			})
+			// Dense causal chain within the round.
+			cl.Open(1, f, 2) // OpenWrite
+			_ = proc
+		}
+		cl.EndProcess(1)
+		if err := cl.Index("size", updates); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.FlushACG(); err != nil {
+			t.Fatal(err)
+		}
+		total += 25
+		if err := c.Heartbeat(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Search("size", "size>0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Files) != total {
+			t.Fatalf("round %d: %d files found, want %d", round, len(res.Files), total)
+		}
+	}
+	stats, err := cl.ClusterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ACGs < 2 {
+		t.Errorf("expected splits to have happened, groups = %d", stats.ACGs)
+	}
+}
+
+// TestCommitLatencyReported verifies the commit-on-search cost is surfaced
+// to clients (used by the Figure 10 analysis).
+func TestCommitLatencyReported(t *testing.T) {
+	c, cl := bootCluster(t, Config{IndexNodes: 1, CacheLimit: 1 << 20})
+	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	var updates []client.FileUpdate
+	for i := 0; i < 2000; i++ {
+		updates = append(updates, client.FileUpdate{
+			File: index.FileID(i), Value: attr.Int(int64(i * 7919)), GroupHint: 1,
+		})
+	}
+	if err := cl.Index("size", updates); err != nil {
+		t.Fatal(err)
+	}
+	// Constrain the pool so the commit performs real I/O.
+	if err := c.Nodes()[0].DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Search("size", "size>0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommitLatency <= 0 {
+		t.Error("search after cached updates should report commit latency")
+	}
+	// A second search has nothing to commit.
+	res2, err := cl.Search("size", "size>0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CommitLatency != 0 {
+		t.Errorf("idle commit latency = %v, want 0", res2.CommitLatency)
+	}
+	_ = time.Second
+}

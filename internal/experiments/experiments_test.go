@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// small returns options that keep each experiment in CI territory.
+func small() Options { return Options{Scale: 0.25, Seed: 42} }
+
+func runExp(t *testing.T, id string, opts Options) *Result {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(opts)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.Text == "" {
+		t.Fatalf("%s produced no output", id)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2a", "fig2b", "tab1", "tab2", "fig7", "fig8", "tab3",
+		"tab4", "fig10", "tab5", "fig11", "tab6",
+		"abl-partition", "abl-lazycache", "abl-klrefine", "abl-kdpaged",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing experiment %q: %v", id, err)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	res := runExp(t, "fig2a", small())
+	// Larger partitions must cost more: last/first ratio > 1 for each total.
+	for name, ratio := range res.Metrics {
+		if strings.HasPrefix(name, "ratio_") && ratio <= 1.0 {
+			t.Errorf("%s = %.2f, want > 1 (bigger partitions slower)", name, ratio)
+		}
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	res := runExp(t, "fig2b", small())
+	for name, spread := range res.Metrics {
+		if strings.HasPrefix(name, "spread_") && spread <= 1.0 {
+			t.Errorf("%s = %.2f, want > 1 (more partitions touched is slower)", name, spread)
+		}
+	}
+}
+
+func TestTab1Shape(t *testing.T) {
+	res := runExp(t, "tab1", small())
+	if f := res.Metrics["max_overlap_fraction"]; f <= 0 || f > 0.25 {
+		t.Errorf("max overlap fraction = %.3f, want small but positive", f)
+	}
+}
+
+func TestTab2Shape(t *testing.T) {
+	res := runExp(t, "tab2", small())
+	for _, app := range []string{"linux", "thrift", "git"} {
+		bal, ok := res.Metrics[app+"_balance"]
+		if !ok {
+			t.Fatalf("missing balance metric for %s", app)
+		}
+		if bal > 1.15 {
+			t.Errorf("%s balance = %.3f, want near 1 (equal-scale sub-graphs)", app, bal)
+		}
+		cut := res.Metrics[app+"_cut_pct"]
+		if cut < 0 || cut > 45 {
+			t.Errorf("%s cut = %.2f%%, out of plausible range", app, cut)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res := runExp(t, "fig7", small())
+	if res.Metrics["components"] < 2 {
+		t.Errorf("thrift ACG should have >= 2 disconnected components, got %v",
+			res.Metrics["components"])
+	}
+	if res.Metrics["cross_edges"] != 0 {
+		t.Errorf("component grouping must have zero inter-group edges")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res := runExp(t, "fig8", Options{Scale: 0.1, Seed: 42})
+	if s := res.Metrics["speedup_small"]; s < 5 {
+		t.Errorf("propeller speedup over SQL = %.1fx, want >= 5x (paper: 30-60x)", s)
+	}
+	if s := res.Metrics["speedup_large"]; s < 5 {
+		t.Errorf("large-dataset speedup = %.1fx, want >= 5x", s)
+	}
+	if d := res.Metrics["sql_degradation"]; d < 1.2 {
+		t.Errorf("SQL should degrade with dataset scale, got %.2fx", d)
+	}
+	if f := res.Metrics["propeller_flatness"]; f > 1.5 {
+		t.Errorf("propeller indexing should be scale-independent, got %.2fx", f)
+	}
+}
+
+func TestTab3Shape(t *testing.T) {
+	res := runExp(t, "tab3", Options{Scale: 0.3, Seed: 42})
+	if s := res.Metrics["speedup_q1"]; s < 2 {
+		t.Errorf("query 1 speedup = %.1fx, want >= 2x (paper: ~9x)", s)
+	}
+	if s := res.Metrics["speedup_q2"]; s < 2 {
+		t.Errorf("query 2 speedup = %.1fx, want >= 2x (paper: ~26x)", s)
+	}
+}
+
+func TestTab4Shape(t *testing.T) {
+	res := runExp(t, "tab4", Options{Scale: 0.25, Seed: 42})
+	for name, v := range res.Metrics {
+		if strings.HasPrefix(name, "cold_scaling_") && v < 1.5 {
+			t.Errorf("%s = %.2fx, cold latency should fall with node count", name, v)
+		}
+		if strings.HasPrefix(name, "warm_scaling_") && v < 1.0 {
+			t.Errorf("%s = %.2fx, warm latency should not grow with node count", name, v)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res := runExp(t, "fig10", Options{Scale: 0.3, Seed: 42})
+	if r := res.Metrics["update_ratio"]; r < 20 {
+		t.Errorf("re-index latency ratio = %.0fx, want >> 1 (paper: ~250x)", r)
+	}
+	if us := res.Metrics["prop_update_us"]; us > 1000 {
+		t.Errorf("propeller update latency = %.1fus, should be tens of us", us)
+	}
+}
+
+func TestTab5Shape(t *testing.T) {
+	res := runExp(t, "tab5", Options{Scale: 0.2, Seed: 42})
+	for i := 0; i < 2; i++ {
+		if r := res.Metrics[keyf("propeller_recall_%d", i)]; r != 1.0 {
+			t.Errorf("propeller recall = %.2f, want 1.0", r)
+		}
+		if r := res.Metrics[keyf("spotlight_recall_%d", i)]; r >= 1.0 || r <= 0 {
+			t.Errorf("spotlight recall = %.2f, want capped below 100%%", r)
+		}
+	}
+}
+
+func keyf(f string, args ...any) string {
+	return fmt.Sprintf(f, args...)
+}
+
+func TestFig1Shape(t *testing.T) {
+	res := runExp(t, "fig1", Options{Scale: 0.2, Seed: 42})
+	// Recall with background copies must be below the quiet baseline.
+	quiet := res.Metrics["mean_recall_0fps"]
+	busy := res.Metrics["mean_recall_10fps"]
+	if quiet <= 0 {
+		t.Fatal("0 FPS recall should be positive")
+	}
+	if busy >= quiet {
+		t.Errorf("10 FPS recall (%.1f%%) should be below 0 FPS (%.1f%%)", busy, quiet)
+	}
+	if res.Metrics["min_recall_10fps"] > res.Metrics["min_recall_0fps"] {
+		t.Error("busy minimum recall should not beat quiet minimum")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res := runExp(t, "fig11", Options{Scale: 0.2, Seed: 42})
+	for _, fps := range []int{1, 2, 5} {
+		if r := res.Metrics[keyf("prop_mean_recall_%dfps", fps)]; r != 100 {
+			t.Errorf("propeller recall at %d FPS = %.1f%%, want 100%%", fps, r)
+		}
+		spot := res.Metrics[keyf("spot_mean_recall_%dfps", fps)]
+		if spot >= 100 {
+			t.Errorf("spotlight recall at %d FPS = %.1f%%, should be capped", fps, spot)
+		}
+		pl := res.Metrics[keyf("prop_mean_latency_ms_%dfps", fps)]
+		sl := res.Metrics[keyf("spot_mean_latency_ms_%dfps", fps)]
+		if pl >= sl {
+			t.Errorf("propeller latency (%.2fms) should beat spotlight (%.2fms) at %d FPS", pl, sl, fps)
+		}
+	}
+}
+
+func TestTab6Shape(t *testing.T) {
+	res := runExp(t, "tab6", Options{Scale: 0.4, Seed: 42})
+	if r := res.Metrics["ptfs_over_propeller"]; r < 1.2 || r > 5 {
+		t.Errorf("ptfs/propeller = %.2fx, want ~2.4x", r)
+	}
+	if r := res.Metrics["ext4_over_propeller"]; r < 2 {
+		t.Errorf("ext4/propeller = %.2fx, want native well ahead", r)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	res := runExp(t, "abl-partition", small())
+	for name, v := range res.Metrics {
+		if strings.HasSuffix(name, "_random_over_ml") && v < 1 {
+			t.Errorf("%s = %.2f, multilevel should beat random", name, v)
+		}
+	}
+	res = runExp(t, "abl-lazycache", small())
+	if v := res.Metrics["sync_over_lazy"]; v < 2 {
+		t.Errorf("sync/lazy = %.1fx, lazy cache should pay off", v)
+	}
+	res = runExp(t, "abl-klrefine", small())
+	for name, v := range res.Metrics {
+		if strings.HasSuffix(name, "_kl_gain") && v < 1 {
+			t.Errorf("%s = %.2f, KL should not hurt", name, v)
+		}
+	}
+	res = runExp(t, "abl-kdpaged", Options{Scale: 1, Seed: 42})
+	if v := res.Metrics["speedup_largest"]; v < 1.2 {
+		t.Errorf("paged KD speedup = %.2fx, should beat whole-image load", v)
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/metrics"
+	"propeller/internal/pagestore"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+// sensitivityPartition is one file-index partition of the §III sensitivity
+// study: a B+tree, a hash table and a K-D-tree over the same files, all on
+// the shared disk (the paper's "each partition maintains three file indices
+// on HDDs"). The prototype keeps the K-D-tree serialized as a whole (§V-E),
+// so every inline re-index rewrites an image proportional to the partition
+// size — the linear component behind Figure 2(a).
+type sensitivityPartition struct {
+	bt    *index.BTree
+	ht    *index.HashIndex
+	kd    *index.KDTree
+	disk  *simdisk.Disk
+	kdOff int64
+	size  int
+	// kdBytesPerFile sizes the serialized KD image.
+	kdBytesPerFile int64
+	// preloading skips the KD-image charge during setup.
+	preloading bool
+}
+
+func newSensitivityPartition(store *pagestore.Store, disk *simdisk.Disk, kdOff, kdBytesPerFile int64) (*sensitivityPartition, error) {
+	bt, err := index.NewBTree(store)
+	if err != nil {
+		return nil, err
+	}
+	ht, err := index.NewHashIndex(store, 16)
+	if err != nil {
+		return nil, err
+	}
+	kd, err := index.NewKDTree(2)
+	if err != nil {
+		return nil, err
+	}
+	return &sensitivityPartition{
+		bt: bt, ht: ht, kd: kd,
+		disk: disk, kdOff: kdOff, kdBytesPerFile: kdBytesPerFile,
+	}, nil
+}
+
+// update re-indexes one file in all three structures, rewriting the
+// serialized KD image.
+func (p *sensitivityPartition) update(f index.FileID, size int64) error {
+	if err := p.bt.Insert(attr.Int(size), f); err != nil {
+		return err
+	}
+	if err := p.ht.Insert(attr.Int(size), f); err != nil {
+		return err
+	}
+	if err := p.kd.Insert(index.Point{Coords: []float64{float64(size), float64(f)}, File: f}); err != nil {
+		return err
+	}
+	if !p.preloading {
+		if _, err := p.disk.Write(p.kdOff, int64(p.size)*p.kdBytesPerFile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sensitivitySetup builds nParts partitions of groupSize files each and
+// pre-loads them (setup I/O is not part of the measured update cost).
+func sensitivitySetup(nParts, groupSize int, store *pagestore.Store, disk *simdisk.Disk, kdBytesPerFile int64) ([]*sensitivityPartition, error) {
+	parts := make([]*sensitivityPartition, nParts)
+	for i := range parts {
+		p, err := newSensitivityPartition(store, disk, 1<<40+int64(i)<<30, kdBytesPerFile)
+		if err != nil {
+			return nil, err
+		}
+		p.preloading = true
+		parts[i] = p
+		for j := 0; j < groupSize; j++ {
+			f := index.FileID(i*groupSize + j)
+			if err := p.update(f, int64(j)<<12); err != nil {
+				return nil, err
+			}
+		}
+		p.size = groupSize
+		p.preloading = false
+	}
+	return parts, nil
+}
+
+// runFig2a reproduces Figure 2(a): the same number of random updates over a
+// fixed total file count, partitioned into ever larger groups. Larger
+// partitions mean deeper/wider indices per update and worse buffer-pool
+// residency, so execution time grows with group size.
+func runFig2a(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	updates := opts.scaled(5000)
+	totals := []int{opts.scaled(5000), opts.scaled(10000), opts.scaled(20000)}
+	groupSizes := []int{100, 200, 300, 400, 500, 600, 700, 800}
+	for i := range groupSizes {
+		groupSizes[i] = opts.scaled(groupSizes[i])
+	}
+
+	res := &Result{}
+	res.addf("Figure 2(a): %d random updates; execution time (virtual s) by partition size\n", updates)
+	series := make([]*metrics.Series, 0, len(totals))
+	for _, total := range totals {
+		s := &metrics.Series{Name: fmt.Sprintf("%dK files", total/1000)}
+		for _, gs := range groupSizes {
+			if gs > total {
+				continue
+			}
+			clk := vclock.New()
+			disk := simdisk.New(simdisk.Barracuda7200(), clk)
+			// Generous pool: the measured cost is the per-update index
+			// write (KD image + seeks), not pool thrash — that is Fig 2(b).
+			store, err := pagestore.New(disk, 8192)
+			if err != nil {
+				return nil, err
+			}
+			nParts := total / gs
+			span := nParts * gs // round to whole partitions
+			parts, err := sensitivitySetup(nParts, gs, store, disk, 1024)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(opts.Seed + int64(total) + int64(gs)))
+			start := clk.Now()
+			for u := 0; u < updates; u++ {
+				f := index.FileID(rng.Intn(span))
+				p := parts[int(f)/gs]
+				if err := p.update(f, rng.Int63n(1<<30)); err != nil {
+					return nil, err
+				}
+			}
+			elapsed := clk.Now() - start
+			s.Add(float64(gs), elapsed.Seconds())
+		}
+		series = append(series, s)
+	}
+	res.addf("%s\n", metrics.FormatSeries("files/partition", series...))
+
+	// Headline: time must grow with group size for every total.
+	for _, s := range series {
+		if len(s.Y) >= 2 {
+			res.metric("ratio_"+s.Name, s.Y[len(s.Y)-1]/s.Y[0])
+		}
+	}
+	return res, nil
+}
+
+// runFig2b reproduces Figure 2(b): the same updates spread over a growing
+// number of partitions of fixed size. Touching more partitions scatters the
+// I/O across more index regions (seeks, pool thrash), so execution time
+// grows steeply with the partition count.
+func runFig2b(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	updates := opts.scaled(5000)
+	groupSizes := []int{opts.scaled(100), opts.scaled(200), opts.scaled(400), opts.scaled(800)}
+	partCounts := []int{1, 2, 4, 8, 16, 32}
+
+	res := &Result{}
+	res.addf("Figure 2(b): %d random updates; execution time (virtual s) by partitions touched\n", updates)
+	series := make([]*metrics.Series, 0, len(groupSizes))
+	for _, gs := range groupSizes {
+		s := &metrics.Series{Name: fmt.Sprintf("%dK files", gs/1000)}
+		if gs < 1000 {
+			s.Name = fmt.Sprintf("%d files", gs)
+		}
+		for _, np := range partCounts {
+			clk := vclock.New()
+			disk := simdisk.New(simdisk.Barracuda7200(), clk)
+			// Tight pool: one partition's indices fit, many do not — the
+			// access-concentration effect.
+			store, err := pagestore.New(disk, 96)
+			if err != nil {
+				return nil, err
+			}
+			parts, err := sensitivitySetup(np, gs, store, disk, 200)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(opts.Seed + int64(gs) + int64(np)))
+			start := clk.Now()
+			for u := 0; u < updates; u++ {
+				// Updates round-robin across the touched partitions,
+				// maximizing inter-partition alternation (the paper's
+				// access-concentration axis).
+				pi := u % np
+				f := index.FileID(pi*gs + rng.Intn(gs))
+				if err := parts[pi].update(f, rng.Int63n(1<<30)); err != nil {
+					return nil, err
+				}
+			}
+			s.Add(float64(np), (clk.Now() - start).Seconds())
+		}
+		series = append(series, s)
+	}
+	res.addf("%s\n", metrics.FormatSeries("partitions", series...))
+	for _, s := range series {
+		if len(s.Y) >= 2 {
+			res.metric("spread_"+s.Name, s.Y[len(s.Y)-1]/s.Y[0])
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,439 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"propeller/internal/attr"
+	"propeller/internal/pagestore"
+)
+
+// node layout within a page:
+//
+//	byte 0        : flags (1 = leaf)
+//	bytes 1..2    : numKeys (uint16)
+//	bytes 3..10   : next sibling page id for leaves (math.MaxUint64 = none)
+//	then per key  : keyLen uint16, key bytes
+//	internal nodes additionally store numKeys+1 child page ids (uint64)
+//	               after the keys
+//
+// Keys are composite (value encoding || file id), so every key is unique and
+// internal separators are exact copies of leaf keys (a B+tree in the
+// "copy-up" style). Deletion is lazy: entries are removed from leaves but
+// underfull nodes are not merged, matching common production B+trees.
+const (
+	nodeHeaderSize = 1 + 2 + 8
+	noPage         = uint64(math.MaxUint64)
+	// maxKeyLen bounds encodable keys (a page must fit at least 4 keys).
+	maxKeyLen = (pagestore.PageSize-nodeHeaderSize)/4 - 10
+)
+
+type bnode struct {
+	leaf     bool
+	next     uint64 // leaf chain
+	keys     [][]byte
+	children []uint64 // internal: len(keys)+1
+}
+
+func (n *bnode) encodedSize() int {
+	sz := nodeHeaderSize
+	for _, k := range n.keys {
+		sz += 2 + len(k)
+	}
+	if !n.leaf {
+		sz += 8 * len(n.children)
+	}
+	return sz
+}
+
+func (n *bnode) encode() ([]byte, error) {
+	buf := make([]byte, 0, n.encodedSize())
+	flags := byte(0)
+	if n.leaf {
+		flags = 1
+	}
+	buf = append(buf, flags)
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(n.keys)))
+	buf = append(buf, u16[:]...)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], n.next)
+	buf = append(buf, u64[:]...)
+	for _, k := range n.keys {
+		if len(k) > maxKeyLen {
+			return nil, ErrKeyTooLong
+		}
+		binary.BigEndian.PutUint16(u16[:], uint16(len(k)))
+		buf = append(buf, u16[:]...)
+		buf = append(buf, k...)
+	}
+	if !n.leaf {
+		if len(n.children) != len(n.keys)+1 {
+			return nil, fmt.Errorf("%w: internal node with %d keys, %d children",
+				ErrCorrupt, len(n.keys), len(n.children))
+		}
+		for _, c := range n.children {
+			binary.BigEndian.PutUint64(u64[:], c)
+			buf = append(buf, u64[:]...)
+		}
+	}
+	if len(buf) > pagestore.PageSize {
+		return nil, fmt.Errorf("%w: node encoding %d bytes exceeds page", ErrCorrupt, len(buf))
+	}
+	return buf, nil
+}
+
+func decodeNode(b []byte) (*bnode, error) {
+	if len(b) < nodeHeaderSize {
+		return nil, ErrCorrupt
+	}
+	n := &bnode{leaf: b[0]&1 == 1}
+	num := int(binary.BigEndian.Uint16(b[1:3]))
+	n.next = binary.BigEndian.Uint64(b[3:11])
+	off := nodeHeaderSize
+	n.keys = make([][]byte, 0, num)
+	for i := 0; i < num; i++ {
+		if off+2 > len(b) {
+			return nil, ErrCorrupt
+		}
+		kl := int(binary.BigEndian.Uint16(b[off : off+2]))
+		off += 2
+		if off+kl > len(b) {
+			return nil, ErrCorrupt
+		}
+		k := make([]byte, kl)
+		copy(k, b[off:off+kl])
+		n.keys = append(n.keys, k)
+		off += kl
+	}
+	if !n.leaf {
+		n.children = make([]uint64, 0, num+1)
+		for i := 0; i <= num; i++ {
+			if off+8 > len(b) {
+				return nil, ErrCorrupt
+			}
+			n.children = append(n.children, binary.BigEndian.Uint64(b[off:off+8]))
+			off += 8
+		}
+	}
+	return n, nil
+}
+
+// BTree is a paged B+tree mapping attribute values to file ids. It supports
+// duplicate values (distinct files). BTree is not safe for concurrent use;
+// the Index Node serialises access per ACG group, as the paper's design
+// confines each index to a single node.
+type BTree struct {
+	store *pagestore.Store
+	root  pagestore.PageID
+	count int
+}
+
+// NewBTree creates an empty B+tree on store.
+func NewBTree(store *pagestore.Store) (*BTree, error) {
+	id, err := store.Allocate()
+	if err != nil {
+		return nil, fmt.Errorf("btree root: %w", err)
+	}
+	t := &BTree{store: store, root: id}
+	if err := t.writeNode(id, &bnode{leaf: true, next: noPage}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Len returns the number of postings in the tree.
+func (t *BTree) Len() int { return t.count }
+
+// RootPage exposes the root page id (used by persistence tests).
+func (t *BTree) RootPage() pagestore.PageID { return t.root }
+
+func (t *BTree) readNode(id pagestore.PageID) (*bnode, error) {
+	raw, err := t.store.Read(id)
+	if err != nil {
+		return nil, fmt.Errorf("btree read page %d: %w", id, err)
+	}
+	return decodeNode(raw)
+}
+
+func (t *BTree) writeNode(id pagestore.PageID, n *bnode) error {
+	raw, err := n.encode()
+	if err != nil {
+		return err
+	}
+	if err := t.store.Write(id, raw); err != nil {
+		return fmt.Errorf("btree write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Insert adds a (value, file) posting. Inserting the same posting twice is a
+// no-op.
+func (t *BTree) Insert(v attr.Value, f FileID) error {
+	key := compositeKey(v, f)
+	if len(key) > maxKeyLen {
+		return ErrKeyTooLong
+	}
+	sepKey, newChild, inserted, err := t.insertAt(t.root, key)
+	if err != nil {
+		return err
+	}
+	if newChild != noPage {
+		// Root split: grow the tree by one level.
+		newRootID, err := t.store.Allocate()
+		if err != nil {
+			return fmt.Errorf("btree grow root: %w", err)
+		}
+		root := &bnode{
+			leaf:     false,
+			next:     noPage,
+			keys:     [][]byte{sepKey},
+			children: []uint64{uint64(t.root), newChild},
+		}
+		if err := t.writeNode(newRootID, root); err != nil {
+			return err
+		}
+		t.root = newRootID
+	}
+	if inserted {
+		t.count++
+	}
+	return nil
+}
+
+// insertAt inserts key under page id. If the node splits, it returns the
+// separator key and the new right sibling's page id (else noPage).
+func (t *BTree) insertAt(id pagestore.PageID, key []byte) (sep []byte, newChild uint64, inserted bool, err error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, noPage, false, err
+	}
+	if n.leaf {
+		pos, found := searchKeys(n.keys, key)
+		if found {
+			return nil, noPage, false, nil // duplicate posting
+		}
+		n.keys = insertKey(n.keys, pos, key)
+		inserted = true
+	} else {
+		pos, found := searchKeys(n.keys, key)
+		childIdx := pos
+		if found {
+			childIdx = pos + 1
+		}
+		csep, cnew, cins, cerr := t.insertAt(pagestore.PageID(n.children[childIdx]), key)
+		if cerr != nil {
+			return nil, noPage, false, cerr
+		}
+		inserted = cins
+		if cnew == noPage {
+			return nil, noPage, inserted, nil
+		}
+		// Child split: insert separator and new child pointer.
+		spos, _ := searchKeys(n.keys, csep)
+		n.keys = insertKey(n.keys, spos, csep)
+		n.children = append(n.children, 0)
+		copy(n.children[spos+2:], n.children[spos+1:])
+		n.children[spos+1] = cnew
+	}
+
+	if n.encodedSize() <= pagestore.PageSize {
+		return nil, noPage, inserted, t.writeNode(id, n)
+	}
+	// Split the node in half.
+	mid := len(n.keys) / 2
+	rightID, err := t.store.Allocate()
+	if err != nil {
+		return nil, noPage, false, fmt.Errorf("btree split: %w", err)
+	}
+	var right *bnode
+	if n.leaf {
+		right = &bnode{leaf: true, next: n.next}
+		right.keys = append(right.keys, n.keys[mid:]...)
+		n.keys = n.keys[:mid]
+		n.next = uint64(rightID)
+		sep = right.keys[0]
+	} else {
+		// Internal split: the middle key moves up (not copied).
+		sep = n.keys[mid]
+		right = &bnode{leaf: false, next: noPage}
+		right.keys = append(right.keys, n.keys[mid+1:]...)
+		right.children = append(right.children, n.children[mid+1:]...)
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+	}
+	if err := t.writeNode(id, n); err != nil {
+		return nil, noPage, false, err
+	}
+	if err := t.writeNode(rightID, right); err != nil {
+		return nil, noPage, false, err
+	}
+	return sep, uint64(rightID), inserted, nil
+}
+
+// Delete removes the (value, file) posting. It returns ErrNotFound if the
+// posting is absent.
+func (t *BTree) Delete(v attr.Value, f FileID) error {
+	key := compositeKey(v, f)
+	leafID, err := t.findLeaf(key)
+	if err != nil {
+		return err
+	}
+	n, err := t.readNode(leafID)
+	if err != nil {
+		return err
+	}
+	pos, found := searchKeys(n.keys, key)
+	if !found {
+		return ErrNotFound
+	}
+	n.keys = append(n.keys[:pos], n.keys[pos+1:]...)
+	if err := t.writeNode(leafID, n); err != nil {
+		return err
+	}
+	t.count--
+	return nil
+}
+
+// SearchEq returns the files whose indexed value equals v, in file-id order.
+func (t *BTree) SearchEq(v attr.Value) ([]FileID, error) {
+	lo := v
+	return t.SearchRange(&lo, &lo, true, true)
+}
+
+// SearchRange returns the files whose value lies in the interval defined by
+// lo/hi (nil = unbounded) with inclusive flags. Results are in key order.
+func (t *BTree) SearchRange(lo, hi *attr.Value, incLo, incHi bool) ([]FileID, error) {
+	var out []FileID
+	err := t.ScanRange(lo, hi, incLo, incHi, func(_ attr.Value, f FileID) bool {
+		out = append(out, f)
+		return true
+	})
+	return out, err
+}
+
+// ScanRange streams postings in the given interval to fn in key order; fn
+// returns false to stop early.
+func (t *BTree) ScanRange(lo, hi *attr.Value, incLo, incHi bool, fn func(attr.Value, FileID) bool) error {
+	var startKey []byte
+	if lo != nil {
+		startKey = lo.Encode(nil) // value prefix; file id suffix omitted -> seeks to first posting of lo
+	}
+	leafID, err := t.findLeaf(startKey)
+	if err != nil {
+		return err
+	}
+	var hiEnc []byte
+	if hi != nil {
+		hiEnc = hi.Encode(nil)
+	}
+	var loEnc []byte
+	if lo != nil {
+		loEnc = lo.Encode(nil)
+	}
+	for {
+		n, err := t.readNode(leafID)
+		if err != nil {
+			return err
+		}
+		for _, k := range n.keys {
+			valEnc, f, err := splitComposite(k)
+			if err != nil {
+				return err
+			}
+			if loEnc != nil {
+				c := bytes.Compare(valEnc, loEnc)
+				if c < 0 || (c == 0 && !incLo) {
+					continue
+				}
+			}
+			if hiEnc != nil {
+				c := bytes.Compare(valEnc, hiEnc)
+				if c > 0 || (c == 0 && !incHi) {
+					if c > 0 {
+						return nil // keys are sorted; nothing further matches
+					}
+					continue
+				}
+			}
+			v, err := attr.Decode(valEnc)
+			if err != nil {
+				return err
+			}
+			if !fn(v, f) {
+				return nil
+			}
+		}
+		if n.next == noPage {
+			return nil
+		}
+		leafID = pagestore.PageID(n.next)
+	}
+}
+
+// findLeaf descends to the leaf that would contain key (nil key = leftmost).
+func (t *BTree) findLeaf(key []byte) (pagestore.PageID, error) {
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return 0, err
+		}
+		if n.leaf {
+			return id, nil
+		}
+		childIdx := 0
+		if key != nil {
+			pos, found := searchKeys(n.keys, key)
+			childIdx = pos
+			if found {
+				childIdx = pos + 1
+			}
+		}
+		id = pagestore.PageID(n.children[childIdx])
+	}
+}
+
+// Height returns the tree height (1 = a single leaf). Used in tests.
+func (t *BTree) Height() (int, error) {
+	h := 1
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return 0, err
+		}
+		if n.leaf {
+			return h, nil
+		}
+		h++
+		id = pagestore.PageID(n.children[0])
+	}
+}
+
+// searchKeys returns the position of the first key >= k and whether it
+// equals k.
+func searchKeys(keys [][]byte, k []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(keys) && bytes.Equal(keys[lo], k) {
+		return lo, true
+	}
+	return lo, false
+}
+
+func insertKey(keys [][]byte, pos int, k []byte) [][]byte {
+	keys = append(keys, nil)
+	copy(keys[pos+1:], keys[pos:])
+	keys[pos] = k
+	return keys
+}

@@ -1,0 +1,325 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"propeller/internal/attr"
+	"propeller/internal/pagestore"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+func newTestStore(t testing.TB, pool int) *pagestore.Store {
+	t.Helper()
+	s, err := pagestore.New(simdisk.New(simdisk.Barracuda7200(), vclock.New()), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newTestBTree(t testing.TB) *BTree {
+	t.Helper()
+	bt, err := NewBTree(newTestStore(t, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bt
+}
+
+func TestBTreeInsertSearchEq(t *testing.T) {
+	bt := newTestBTree(t)
+	for i := 0; i < 100; i++ {
+		if err := bt.Insert(attr.Int(int64(i%10)), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bt.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", bt.Len())
+	}
+	got, err := bt.SearchEq(attr.Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("SearchEq(3) returned %d files, want 10", len(got))
+	}
+	for _, f := range got {
+		if f%10 != 3 {
+			t.Errorf("file %d should not match value 3", f)
+		}
+	}
+}
+
+func TestBTreeDuplicateInsertIsNoop(t *testing.T) {
+	bt := newTestBTree(t)
+	for i := 0; i < 3; i++ {
+		if err := bt.Insert(attr.Int(7), 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bt.Len() != 1 {
+		t.Errorf("Len = %d after duplicate inserts, want 1", bt.Len())
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := newTestBTree(t)
+	if err := bt.Insert(attr.Int(1), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Insert(attr.Int(1), 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Delete(attr.Int(1), 10); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bt.SearchEq(attr.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 11 {
+		t.Errorf("after delete SearchEq = %v, want [11]", got)
+	}
+	if err := bt.Delete(attr.Int(1), 10); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete = %v, want ErrNotFound", err)
+	}
+	if bt.Len() != 1 {
+		t.Errorf("Len = %d, want 1", bt.Len())
+	}
+}
+
+func TestBTreeRangeSearch(t *testing.T) {
+	bt := newTestBTree(t)
+	for i := 0; i < 1000; i++ {
+		if err := bt.Insert(attr.Int(int64(i)), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		name         string
+		lo, hi       *attr.Value
+		incLo, incHi bool
+		want         int
+	}{
+		{"closed", ptr(attr.Int(10)), ptr(attr.Int(20)), true, true, 11},
+		{"open lo", ptr(attr.Int(10)), ptr(attr.Int(20)), false, true, 10},
+		{"open hi", ptr(attr.Int(10)), ptr(attr.Int(20)), true, false, 10},
+		{"open both", ptr(attr.Int(10)), ptr(attr.Int(20)), false, false, 9},
+		{"unbounded lo", nil, ptr(attr.Int(4)), true, true, 5},
+		{"unbounded hi", ptr(attr.Int(995)), nil, true, true, 5},
+		{"full scan", nil, nil, true, true, 1000},
+		{"empty", ptr(attr.Int(2000)), ptr(attr.Int(3000)), true, true, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := bt.SearchRange(tt.lo, tt.hi, tt.incLo, tt.incHi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != tt.want {
+				t.Errorf("got %d results, want %d", len(got), tt.want)
+			}
+		})
+	}
+}
+
+func ptr(v attr.Value) *attr.Value { return &v }
+
+func TestBTreeRangeOrdered(t *testing.T) {
+	bt := newTestBTree(t)
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(5000)
+	for _, v := range perm {
+		if err := bt.Insert(attr.Int(int64(v)), FileID(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prev int64 = -1
+	err := bt.ScanRange(nil, nil, true, true, func(v attr.Value, _ FileID) bool {
+		if v.AsInt() <= prev {
+			t.Fatalf("scan out of order: %d after %d", v.AsInt(), prev)
+		}
+		prev = v.AsInt()
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != 4999 {
+		t.Errorf("last key %d, want 4999", prev)
+	}
+}
+
+func TestBTreeScanEarlyStop(t *testing.T) {
+	bt := newTestBTree(t)
+	for i := 0; i < 100; i++ {
+		if err := bt.Insert(attr.Int(int64(i)), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	err := bt.ScanRange(nil, nil, true, true, func(attr.Value, FileID) bool {
+		n++
+		return n < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("visited %d, want 5", n)
+	}
+}
+
+func TestBTreeGrowsHeight(t *testing.T) {
+	bt := newTestBTree(t)
+	h0, err := bt.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 != 1 {
+		t.Fatalf("empty tree height = %d, want 1", h0)
+	}
+	for i := 0; i < 20000; i++ {
+		if err := bt.Insert(attr.Int(int64(i)), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := bt.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 2 {
+		t.Errorf("20k keys should split the root; height = %d", h)
+	}
+	// All keys still reachable.
+	got, err := bt.SearchRange(nil, nil, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20000 {
+		t.Errorf("full scan = %d keys, want 20000", len(got))
+	}
+}
+
+func TestBTreeStringKeys(t *testing.T) {
+	bt := newTestBTree(t)
+	words := []string{"firefox", "apache", "kernel", "thrift", "git", "apt"}
+	for i, w := range words {
+		if err := bt.Insert(attr.Str(w), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := bt.SearchEq(attr.Str("kernel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("SearchEq(kernel) = %v, want [2]", got)
+	}
+	// Range over strings is lexicographic.
+	res, err := bt.SearchRange(ptr(attr.Str("a")), ptr(attr.Str("g")), true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 { // apache, apt, firefox
+		t.Errorf("lexicographic range returned %d, want 3", len(res))
+	}
+}
+
+func TestBTreeKeyTooLong(t *testing.T) {
+	bt := newTestBTree(t)
+	long := make([]byte, pagestore.PageSize)
+	if err := bt.Insert(attr.Str(string(long)), 1); !errors.Is(err, ErrKeyTooLong) {
+		t.Errorf("err = %v, want ErrKeyTooLong", err)
+	}
+}
+
+// Property test: a B+tree behaves exactly like a sorted model under random
+// insert/delete/search sequences.
+func TestBTreeMatchesModel(t *testing.T) {
+	type op struct {
+		Insert bool
+		Val    int16 // small domain to force duplicates and collisions
+		File   uint8
+	}
+	f := func(ops []op) bool {
+		bt := newTestBTree(t)
+		model := map[[2]int64]bool{}
+		for _, o := range ops {
+			v, fid := attr.Int(int64(o.Val)), FileID(o.File)
+			k := [2]int64{int64(o.Val), int64(o.File)}
+			if o.Insert {
+				if err := bt.Insert(v, fid); err != nil {
+					return false
+				}
+				model[k] = true
+			} else {
+				err := bt.Delete(v, fid)
+				if model[k] && err != nil {
+					return false
+				}
+				if !model[k] && !errors.Is(err, ErrNotFound) {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if bt.Len() != len(model) {
+			return false
+		}
+		// Full scan must equal the sorted model.
+		var want []string
+		for k := range model {
+			want = append(want, fmt.Sprintf("%08d/%03d", k[0]+40000, k[1]))
+		}
+		sort.Strings(want)
+		var got []string
+		err := bt.ScanRange(nil, nil, true, true, func(v attr.Value, f FileID) bool {
+			got = append(got, fmt.Sprintf("%08d/%03d", v.AsInt()+40000, f))
+			return true
+		})
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt := newTestBTree(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bt.Insert(attr.Int(int64(i)), FileID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeSearchEq(b *testing.B) {
+	bt := newTestBTree(b)
+	for i := 0; i < 100000; i++ {
+		if err := bt.Insert(attr.Int(int64(i)), FileID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bt.SearchEq(attr.Int(int64(i % 100000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

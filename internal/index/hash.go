@@ -1,0 +1,271 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"propeller/internal/attr"
+	"propeller/internal/pagestore"
+)
+
+// HashIndex is a paged bucket-chained hash table mapping attribute values to
+// file ids. It supports exact-match lookups only; range queries are the
+// B+tree's and K-D-tree's job. The bucket directory is fixed at creation
+// (Propeller's per-ACG indices are small; the paper splits ACGs past 50 k
+// files long before a resize would matter).
+//
+// Bucket page layout:
+//
+//	bytes 0..1  : entry count (uint16)
+//	bytes 2..9  : overflow page id (math.MaxUint64 = none)
+//	per entry   : keyLen uint16, value encoding, file id uint64
+type HashIndex struct {
+	store   *pagestore.Store
+	buckets []pagestore.PageID
+	count   int
+}
+
+const hashHeaderSize = 2 + 8
+
+// NewHashIndex creates a hash index with nBuckets bucket chains.
+func NewHashIndex(store *pagestore.Store, nBuckets int) (*HashIndex, error) {
+	if nBuckets < 1 {
+		return nil, fmt.Errorf("hash index: %d buckets, need >= 1", nBuckets)
+	}
+	h := &HashIndex{store: store, buckets: make([]pagestore.PageID, nBuckets)}
+	for i := range h.buckets {
+		id, err := store.Allocate()
+		if err != nil {
+			return nil, fmt.Errorf("hash bucket %d: %w", i, err)
+		}
+		if err := h.writeBucket(id, &hbucket{next: noPage}); err != nil {
+			return nil, err
+		}
+		h.buckets[i] = id
+	}
+	return h, nil
+}
+
+// Len returns the number of postings.
+func (h *HashIndex) Len() int { return h.count }
+
+// Buckets returns the number of bucket chains.
+func (h *HashIndex) Buckets() int { return len(h.buckets) }
+
+type hentry struct {
+	valEnc []byte
+	file   FileID
+}
+
+type hbucket struct {
+	next    uint64
+	entries []hentry
+}
+
+func (b *hbucket) encodedSize() int {
+	sz := hashHeaderSize
+	for _, e := range b.entries {
+		sz += 2 + len(e.valEnc) + 8
+	}
+	return sz
+}
+
+func (b *hbucket) encode() ([]byte, error) {
+	buf := make([]byte, 0, b.encodedSize())
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(b.entries)))
+	buf = append(buf, u16[:]...)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], b.next)
+	buf = append(buf, u64[:]...)
+	for _, e := range b.entries {
+		if len(e.valEnc) > maxKeyLen {
+			return nil, ErrKeyTooLong
+		}
+		binary.BigEndian.PutUint16(u16[:], uint16(len(e.valEnc)))
+		buf = append(buf, u16[:]...)
+		buf = append(buf, e.valEnc...)
+		binary.BigEndian.PutUint64(u64[:], uint64(e.file))
+		buf = append(buf, u64[:]...)
+	}
+	if len(buf) > pagestore.PageSize {
+		return nil, fmt.Errorf("%w: bucket %d bytes exceeds page", ErrCorrupt, len(buf))
+	}
+	return buf, nil
+}
+
+func decodeBucket(raw []byte) (*hbucket, error) {
+	if len(raw) < hashHeaderSize {
+		return nil, ErrCorrupt
+	}
+	b := &hbucket{}
+	num := int(binary.BigEndian.Uint16(raw[0:2]))
+	b.next = binary.BigEndian.Uint64(raw[2:10])
+	off := hashHeaderSize
+	b.entries = make([]hentry, 0, num)
+	for i := 0; i < num; i++ {
+		if off+2 > len(raw) {
+			return nil, ErrCorrupt
+		}
+		kl := int(binary.BigEndian.Uint16(raw[off : off+2]))
+		off += 2
+		if off+kl+8 > len(raw) {
+			return nil, ErrCorrupt
+		}
+		ve := make([]byte, kl)
+		copy(ve, raw[off:off+kl])
+		off += kl
+		f := FileID(binary.BigEndian.Uint64(raw[off : off+8]))
+		off += 8
+		b.entries = append(b.entries, hentry{valEnc: ve, file: f})
+	}
+	return b, nil
+}
+
+func (h *HashIndex) readBucket(id pagestore.PageID) (*hbucket, error) {
+	raw, err := h.store.Read(id)
+	if err != nil {
+		return nil, fmt.Errorf("hash read page %d: %w", id, err)
+	}
+	return decodeBucket(raw)
+}
+
+func (h *HashIndex) writeBucket(id pagestore.PageID, b *hbucket) error {
+	raw, err := b.encode()
+	if err != nil {
+		return err
+	}
+	if err := h.store.Write(id, raw); err != nil {
+		return fmt.Errorf("hash write page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (h *HashIndex) bucketFor(valEnc []byte) pagestore.PageID {
+	hs := fnv.New64a()
+	hs.Write(valEnc) //nolint:errcheck // fnv never errors
+	return h.buckets[hs.Sum64()%uint64(len(h.buckets))]
+}
+
+// Insert adds a (value, file) posting. Duplicate postings are no-ops.
+func (h *HashIndex) Insert(v attr.Value, f FileID) error {
+	valEnc := v.Encode(nil)
+	if len(valEnc) > maxKeyLen {
+		return ErrKeyTooLong
+	}
+	id := h.bucketFor(valEnc)
+	entrySize := 2 + len(valEnc) + 8
+	for {
+		b, err := h.readBucket(id)
+		if err != nil {
+			return err
+		}
+		for _, e := range b.entries {
+			if e.file == f && bytes.Equal(e.valEnc, valEnc) {
+				return nil // already present
+			}
+		}
+		if b.encodedSize()+entrySize <= pagestore.PageSize {
+			b.entries = append(b.entries, hentry{valEnc: valEnc, file: f})
+			if err := h.writeBucket(id, b); err != nil {
+				return err
+			}
+			h.count++
+			return nil
+		}
+		if b.next == noPage {
+			ovf, err := h.store.Allocate()
+			if err != nil {
+				return fmt.Errorf("hash overflow: %w", err)
+			}
+			if err := h.writeBucket(ovf, &hbucket{next: noPage}); err != nil {
+				return err
+			}
+			b.next = uint64(ovf)
+			if err := h.writeBucket(id, b); err != nil {
+				return err
+			}
+			id = ovf
+			continue
+		}
+		id = pagestore.PageID(b.next)
+	}
+}
+
+// Lookup returns all files whose indexed value equals v.
+func (h *HashIndex) Lookup(v attr.Value) ([]FileID, error) {
+	valEnc := v.Encode(nil)
+	id := h.bucketFor(valEnc)
+	var out []FileID
+	for {
+		b, err := h.readBucket(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range b.entries {
+			if bytes.Equal(e.valEnc, valEnc) {
+				out = append(out, e.file)
+			}
+		}
+		if b.next == noPage {
+			return out, nil
+		}
+		id = pagestore.PageID(b.next)
+	}
+}
+
+// Delete removes the (value, file) posting, returning ErrNotFound if absent.
+func (h *HashIndex) Delete(v attr.Value, f FileID) error {
+	valEnc := v.Encode(nil)
+	id := h.bucketFor(valEnc)
+	for {
+		b, err := h.readBucket(id)
+		if err != nil {
+			return err
+		}
+		for i, e := range b.entries {
+			if e.file == f && bytes.Equal(e.valEnc, valEnc) {
+				b.entries = append(b.entries[:i], b.entries[i+1:]...)
+				if err := h.writeBucket(id, b); err != nil {
+					return err
+				}
+				h.count--
+				return nil
+			}
+		}
+		if b.next == noPage {
+			return ErrNotFound
+		}
+		id = pagestore.PageID(b.next)
+	}
+}
+
+// Scan streams every posting to fn (order unspecified); fn returns false to
+// stop early.
+func (h *HashIndex) Scan(fn func(attr.Value, FileID) bool) error {
+	for _, head := range h.buckets {
+		id := head
+		for {
+			b, err := h.readBucket(id)
+			if err != nil {
+				return err
+			}
+			for _, e := range b.entries {
+				v, err := attr.Decode(e.valEnc)
+				if err != nil {
+					return err
+				}
+				if !fn(v, e.file) {
+					return nil
+				}
+			}
+			if b.next == noPage {
+				break
+			}
+			id = pagestore.PageID(b.next)
+		}
+	}
+	return nil
+}

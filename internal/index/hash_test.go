@@ -1,0 +1,206 @@
+package index
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"propeller/internal/attr"
+)
+
+func newTestHash(t testing.TB, buckets int) *HashIndex {
+	t.Helper()
+	h, err := NewHashIndex(newTestStore(t, 4096), buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHashBadBuckets(t *testing.T) {
+	if _, err := NewHashIndex(newTestStore(t, 16), 0); err == nil {
+		t.Fatal("0 buckets should be rejected")
+	}
+}
+
+func TestHashInsertLookup(t *testing.T) {
+	h := newTestHash(t, 16)
+	for i := 0; i < 200; i++ {
+		if err := h.Insert(attr.Int(int64(i%20)), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", h.Len())
+	}
+	got, err := h.Lookup(attr.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("Lookup(7) = %d files, want 10", len(got))
+	}
+	for _, f := range got {
+		if f%20 != 7 {
+			t.Errorf("file %d should not match 7", f)
+		}
+	}
+	missing, err := h.Lookup(attr.Int(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("Lookup(999) = %v, want empty", missing)
+	}
+}
+
+func TestHashDuplicateInsertIsNoop(t *testing.T) {
+	h := newTestHash(t, 4)
+	for i := 0; i < 3; i++ {
+		if err := h.Insert(attr.Str("x"), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d, want 1", h.Len())
+	}
+}
+
+func TestHashDelete(t *testing.T) {
+	h := newTestHash(t, 4)
+	if err := h.Insert(attr.Str("k"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Insert(attr.Str("k"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(attr.Str("k"), 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Lookup(attr.Str("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("after delete Lookup = %v, want [2]", got)
+	}
+	if err := h.Delete(attr.Str("k"), 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestHashOverflowChains(t *testing.T) {
+	// A single bucket forces long overflow chains.
+	h := newTestHash(t, 1)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := h.Insert(attr.Int(int64(i)), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != n {
+		t.Fatalf("Len = %d, want %d", h.Len(), n)
+	}
+	for _, probe := range []int64{0, 1234, n - 1} {
+		got, err := h.Lookup(attr.Int(probe))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != FileID(probe) {
+			t.Errorf("Lookup(%d) = %v", probe, got)
+		}
+	}
+}
+
+func TestHashScan(t *testing.T) {
+	h := newTestHash(t, 8)
+	want := map[FileID]bool{}
+	for i := 0; i < 100; i++ {
+		if err := h.Insert(attr.Int(int64(i)), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+		want[FileID(i)] = true
+	}
+	got := map[FileID]bool{}
+	err := h.Scan(func(_ attr.Value, f FileID) bool {
+		got[f] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Errorf("scan visited %d postings, want %d", len(got), len(want))
+	}
+	// Early stop.
+	n := 0
+	if err := h.Scan(func(attr.Value, FileID) bool { n++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("early stop visited %d, want 1", n)
+	}
+}
+
+func TestHashKeyTooLong(t *testing.T) {
+	h := newTestHash(t, 2)
+	long := make([]byte, 1<<14)
+	if err := h.Insert(attr.Str(string(long)), 1); !errors.Is(err, ErrKeyTooLong) {
+		t.Errorf("err = %v, want ErrKeyTooLong", err)
+	}
+}
+
+// Property test: hash index matches a model map under random operations.
+func TestHashMatchesModel(t *testing.T) {
+	type op struct {
+		Insert bool
+		Val    uint8
+		File   uint8
+	}
+	f := func(ops []op) bool {
+		h := newTestHash(t, 4)
+		m := map[[2]int]bool{}
+		for _, o := range ops {
+			v, fid := attr.Int(int64(o.Val)), FileID(o.File)
+			k := [2]int{int(o.Val), int(o.File)}
+			if o.Insert {
+				if err := h.Insert(v, fid); err != nil {
+					return false
+				}
+				m[k] = true
+			} else {
+				err := h.Delete(v, fid)
+				if m[k] && err != nil {
+					return false
+				}
+				if !m[k] && !errors.Is(err, ErrNotFound) {
+					return false
+				}
+				delete(m, k)
+			}
+		}
+		if h.Len() != len(m) {
+			return false
+		}
+		// Every model entry is found by lookup.
+		for k := range m {
+			got, err := h.Lookup(attr.Int(int64(k[0])))
+			if err != nil {
+				return false
+			}
+			found := false
+			for _, f := range got {
+				if f == FileID(k[1]) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Package index implements the three index structures Propeller's Index
+// Nodes support (§IV of the paper): a paged B+tree, a paged hash table, and
+// a K-D-tree. All three are also reused by the MiniSQL baseline, which
+// builds its global indices from the same B+tree.
+//
+// B+tree and hash table live on a pagestore.Store, so their I/O behaviour
+// (page faults under a bounded buffer pool) reflects index scale exactly as
+// in the paper's experiments. The K-D-tree follows the paper's prototype: it
+// is kept serialized and loaded wholly into RAM per §V-E.
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"propeller/internal/attr"
+)
+
+// FileID identifies a file in the namespace (an inode number).
+type FileID uint64
+
+// Entry is one (attribute value, file) posting.
+type Entry struct {
+	Key  attr.Value
+	File FileID
+}
+
+// Errors shared by the index implementations.
+var (
+	ErrNotFound   = errors.New("index: entry not found")
+	ErrCorrupt    = errors.New("index: corrupt node encoding")
+	ErrKeyTooLong = errors.New("index: key exceeds maximum encodable length")
+)
+
+// compositeKey is an order-preserving encoding of (value, file): the value
+// encoding followed by the big-endian file id. Duplicate attribute values
+// are allowed; the composite is unique per posting.
+func compositeKey(v attr.Value, f FileID) []byte {
+	k := v.Encode(make([]byte, 0, 24))
+	var tail [8]byte
+	binary.BigEndian.PutUint64(tail[:], uint64(f))
+	return append(k, tail[:]...)
+}
+
+// splitComposite recovers the value encoding and file id from a composite
+// key.
+func splitComposite(k []byte) (valEnc []byte, f FileID, err error) {
+	if len(k) < 9 {
+		return nil, 0, ErrCorrupt
+	}
+	cut := len(k) - 8
+	return k[:cut], FileID(binary.BigEndian.Uint64(k[cut:])), nil
+}

@@ -1,0 +1,318 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"propeller/internal/pagestore"
+)
+
+// PagedKDTree is the paper's stated future work (§V-E): instead of
+// serializing the K-D-tree as one blob that must be loaded wholly into RAM
+// per cold query, the tree is laid out in disk pages so a query faults in
+// only the subtrees its search box intersects.
+//
+// Layout: the tree is bulk-built balanced, then blocked bottom-up into
+// pages of up to kdNodesPerPage nodes (a subtree per page, van-Emde-Boas
+// style blocking). Each page stores its nodes in pre-order with child
+// references that are either in-page slots or other page ids. Queries
+// traverse pages through the buffer pool, so the cold cost is proportional
+// to the pages the box actually touches instead of the whole index.
+//
+// The structure is read-optimized and immutable; Propeller rebuilds it at
+// commit time the way the prototype re-serialized the flat image.
+type PagedKDTree struct {
+	store *pagestore.Store
+	dims  int
+	size  int
+	root  kdRef
+}
+
+// kdRef addresses a node: a page and a slot within it.
+type kdRef struct {
+	page pagestore.PageID
+	slot uint16
+}
+
+const (
+	kdRefNone = uint16(math.MaxUint16)
+	// kdPageHeader: 2 bytes node count.
+	kdPageHeader = 2
+)
+
+// kdNodeSize returns the on-page footprint of one node: coords + file id +
+// two child refs (page id + slot each).
+func kdNodeSize(dims int) int { return 8*dims + 8 + 2*(8+2) }
+
+// kdNodesPerPage bounds nodes per page for a dimensionality.
+func kdNodesPerPage(dims int) int {
+	n := (pagestore.PageSize - kdPageHeader) / kdNodeSize(dims)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// buildNode is the in-memory form used during construction.
+type buildNode struct {
+	point       Point
+	left, right *buildNode
+	count       int // subtree size
+}
+
+// BuildPagedKDTree bulk-builds a paged tree over points.
+func BuildPagedKDTree(store *pagestore.Store, dims int, points []Point) (*PagedKDTree, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("paged kdtree: dims %d, need >= 1", dims)
+	}
+	for _, p := range points {
+		if len(p.Coords) != dims {
+			return nil, fmt.Errorf("paged kdtree: point has %d coords, want %d", len(p.Coords), dims)
+		}
+	}
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	root := buildTree(pts, 0, dims)
+
+	t := &PagedKDTree{store: store, dims: dims, size: len(points)}
+	if root == nil {
+		t.root = kdRef{slot: kdRefNone}
+		return t, nil
+	}
+	w := &kdWriter{store: store, dims: dims, capacity: kdNodesPerPage(dims)}
+	ref, err := w.place(root)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.flushAll(); err != nil {
+		return nil, err
+	}
+	t.root = ref
+	return t, nil
+}
+
+func buildTree(pts []Point, depth, dims int) *buildNode {
+	if len(pts) == 0 {
+		return nil
+	}
+	axis := depth % dims
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Coords[axis] < pts[j].Coords[axis] })
+	mid := len(pts) / 2
+	n := &buildNode{point: pts[mid], count: len(pts)}
+	n.left = buildTree(pts[:mid], depth+1, dims)
+	n.right = buildTree(pts[mid+1:], depth+1, dims)
+	return n
+}
+
+// kdWriter blocks subtrees into pages.
+type kdWriter struct {
+	store    *pagestore.Store
+	dims     int
+	capacity int
+	pages    map[pagestore.PageID]*kdPage
+}
+
+type kdPage struct {
+	nodes []kdStoredNode
+}
+
+type kdStoredNode struct {
+	point       Point
+	left, right kdRef
+}
+
+// place assigns n's subtree to pages. Subtrees that fit a page share one;
+// larger subtrees put the top in a fresh page and recurse.
+func (w *kdWriter) place(n *buildNode) (kdRef, error) {
+	if w.pages == nil {
+		w.pages = make(map[pagestore.PageID]*kdPage)
+	}
+	id, err := w.store.Allocate()
+	if err != nil {
+		return kdRef{}, err
+	}
+	pg := &kdPage{}
+	w.pages[id] = pg
+	return w.placeIn(n, id, pg)
+}
+
+// placeIn packs n into page id while it has room, spilling large subtrees
+// into fresh pages.
+func (w *kdWriter) placeIn(n *buildNode, id pagestore.PageID, pg *kdPage) (kdRef, error) {
+	if n == nil {
+		return kdRef{page: id, slot: kdRefNone}, nil
+	}
+	if len(pg.nodes) >= w.capacity {
+		// Page full: spill to a new page.
+		return w.place(n)
+	}
+	slot := uint16(len(pg.nodes))
+	pg.nodes = append(pg.nodes, kdStoredNode{point: n.point})
+	left, err := w.placeIn(n.left, id, pg)
+	if err != nil {
+		return kdRef{}, err
+	}
+	right, err := w.placeIn(n.right, id, pg)
+	if err != nil {
+		return kdRef{}, err
+	}
+	pg.nodes[slot].left = left
+	pg.nodes[slot].right = right
+	return kdRef{page: id, slot: slot}, nil
+}
+
+func (w *kdWriter) flushAll() error {
+	for id, pg := range w.pages {
+		raw, err := encodeKDPage(pg, w.dims)
+		if err != nil {
+			return err
+		}
+		if err := w.store.Write(id, raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeKDPage(pg *kdPage, dims int) ([]byte, error) {
+	buf := make([]byte, 0, kdPageHeader+len(pg.nodes)*kdNodeSize(dims))
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(pg.nodes)))
+	buf = append(buf, u16[:]...)
+	var u64 [8]byte
+	for _, n := range pg.nodes {
+		for d := 0; d < dims; d++ {
+			binary.BigEndian.PutUint64(u64[:], math.Float64bits(n.point.Coords[d]))
+			buf = append(buf, u64[:]...)
+		}
+		binary.BigEndian.PutUint64(u64[:], uint64(n.point.File))
+		buf = append(buf, u64[:]...)
+		for _, ref := range []kdRef{n.left, n.right} {
+			binary.BigEndian.PutUint64(u64[:], uint64(ref.page))
+			buf = append(buf, u64[:]...)
+			binary.BigEndian.PutUint16(u16[:], ref.slot)
+			buf = append(buf, u16[:]...)
+		}
+	}
+	if len(buf) > pagestore.PageSize {
+		return nil, fmt.Errorf("%w: kd page %d bytes", ErrCorrupt, len(buf))
+	}
+	return buf, nil
+}
+
+func decodeKDPage(raw []byte, dims int) (*kdPage, error) {
+	if len(raw) < kdPageHeader {
+		return nil, ErrCorrupt
+	}
+	count := int(binary.BigEndian.Uint16(raw[0:2]))
+	need := kdPageHeader + count*kdNodeSize(dims)
+	if need > len(raw) {
+		return nil, ErrCorrupt
+	}
+	pg := &kdPage{nodes: make([]kdStoredNode, count)}
+	off := kdPageHeader
+	for i := 0; i < count; i++ {
+		n := kdStoredNode{point: Point{Coords: make([]float64, dims)}}
+		for d := 0; d < dims; d++ {
+			n.point.Coords[d] = math.Float64frombits(binary.BigEndian.Uint64(raw[off : off+8]))
+			off += 8
+		}
+		n.point.File = FileID(binary.BigEndian.Uint64(raw[off : off+8]))
+		off += 8
+		for _, ref := range []*kdRef{&n.left, &n.right} {
+			ref.page = pagestore.PageID(binary.BigEndian.Uint64(raw[off : off+8]))
+			off += 8
+			ref.slot = binary.BigEndian.Uint16(raw[off : off+2])
+			off += 2
+		}
+		pg.nodes[i] = n
+	}
+	return pg, nil
+}
+
+// Dims returns the dimensionality.
+func (t *PagedKDTree) Dims() int { return t.dims }
+
+// Len returns the number of points.
+func (t *PagedKDTree) Len() int { return t.size }
+
+// RangeSearch returns the files inside the axis-aligned box [lo, hi]
+// (inclusive), faulting in only the pages the box intersects.
+func (t *PagedKDTree) RangeSearch(lo, hi []float64) ([]FileID, error) {
+	if len(lo) != t.dims || len(hi) != t.dims {
+		return nil, fmt.Errorf("paged kdtree: box dims %d/%d, want %d", len(lo), len(hi), t.dims)
+	}
+	if t.root.slot == kdRefNone {
+		return nil, nil
+	}
+	var out []FileID
+	// Per-query page cache: one fault per distinct page per query; the
+	// pool handles cross-query residency.
+	cache := make(map[pagestore.PageID]*kdPage)
+	err := t.search(t.root, lo, hi, 0, cache, &out)
+	return out, err
+}
+
+func (t *PagedKDTree) page(id pagestore.PageID, cache map[pagestore.PageID]*kdPage) (*kdPage, error) {
+	if pg, ok := cache[id]; ok {
+		return pg, nil
+	}
+	raw, err := t.store.Read(id)
+	if err != nil {
+		return nil, fmt.Errorf("paged kdtree read %d: %w", id, err)
+	}
+	pg, err := decodeKDPage(raw, t.dims)
+	if err != nil {
+		return nil, err
+	}
+	cache[id] = pg
+	return pg, nil
+}
+
+func (t *PagedKDTree) search(ref kdRef, lo, hi []float64, depth int, cache map[pagestore.PageID]*kdPage, out *[]FileID) error {
+	if ref.slot == kdRefNone {
+		return nil
+	}
+	pg, err := t.page(ref.page, cache)
+	if err != nil {
+		return err
+	}
+	if int(ref.slot) >= len(pg.nodes) {
+		return fmt.Errorf("%w: kd slot %d of %d", ErrCorrupt, ref.slot, len(pg.nodes))
+	}
+	n := pg.nodes[ref.slot]
+	inside := true
+	for d := 0; d < t.dims; d++ {
+		if n.point.Coords[d] < lo[d] || n.point.Coords[d] > hi[d] {
+			inside = false
+			break
+		}
+	}
+	if inside {
+		*out = append(*out, n.point.File)
+	}
+	axis := depth % t.dims
+	if lo[axis] <= n.point.Coords[axis] {
+		if err := t.search(n.left, lo, hi, depth+1, cache, out); err != nil {
+			return err
+		}
+	}
+	if hi[axis] >= n.point.Coords[axis] {
+		if err := t.search(n.right, lo, hi, depth+1, cache, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumPages reports how many pages the tree occupies (tests and the
+// future-work ablation use it).
+func (t *PagedKDTree) NumPages() int {
+	if t.size == 0 {
+		return 0
+	}
+	nodes := kdNodesPerPage(t.dims)
+	return (t.size + nodes - 1) / nodes
+}

@@ -1,0 +1,217 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"propeller/internal/pagestore"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+func buildPaged(t testing.TB, store *pagestore.Store, n int, seed int64) (*PagedKDTree, []Point) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			Coords: []float64{rng.Float64() * 1000, rng.Float64() * 1000},
+			File:   FileID(i),
+		}
+	}
+	kd, err := BuildPagedKDTree(store, 2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kd, pts
+}
+
+func TestPagedKDValidation(t *testing.T) {
+	store := newTestStore(t, 1024)
+	if _, err := BuildPagedKDTree(store, 0, nil); err == nil {
+		t.Error("dims 0 should be rejected")
+	}
+	if _, err := BuildPagedKDTree(store, 2, []Point{{Coords: []float64{1}}}); err == nil {
+		t.Error("wrong-dim point should be rejected")
+	}
+	kd, err := BuildPagedKDTree(store, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := kd.RangeSearch([]float64{0, 0}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Error("empty tree should return nothing")
+	}
+	if _, err := kd.RangeSearch([]float64{0}, []float64{1, 1}); err == nil {
+		t.Error("wrong-dim box should be rejected")
+	}
+}
+
+func TestPagedKDMatchesLinearScan(t *testing.T) {
+	store := newTestStore(t, 4096)
+	kd, pts := buildPaged(t, store, 3000, 11)
+	if kd.Len() != 3000 || kd.Dims() != 2 {
+		t.Fatalf("metadata: %d/%d", kd.Len(), kd.Dims())
+	}
+	boxes := [][4]float64{
+		{0, 0, 1000, 1000},
+		{100, 100, 300, 300},
+		{500, 0, 510, 1000},
+		{999, 999, 1000, 1000},
+		{2000, 2000, 3000, 3000},
+	}
+	for _, b := range boxes {
+		got, err := kd.RangeSearch([]float64{b[0], b[1]}, []float64{b[2], b[3]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []FileID
+		for _, p := range pts {
+			if p.Coords[0] >= b[0] && p.Coords[0] <= b[2] &&
+				p.Coords[1] >= b[1] && p.Coords[1] <= b[3] {
+				want = append(want, p.File)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("box %v: got %d, want %d", b, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("box %v: result mismatch at %d", b, i)
+			}
+		}
+	}
+}
+
+// Property: paged and in-memory trees agree on arbitrary boxes.
+func TestPagedKDAgreesWithInMemory(t *testing.T) {
+	store := newTestStore(t, 4096)
+	paged, pts := buildPaged(t, store, 800, 5)
+	mem, err := BuildKDTree(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x0, y0 uint16, w, h uint8) bool {
+		lo := []float64{float64(x0) / 65, float64(y0) / 65}
+		hi := []float64{lo[0] + float64(w), lo[1] + float64(h)}
+		a, err := paged.RangeSearch(lo, hi)
+		if err != nil {
+			return false
+		}
+		b, err := mem.RangeSearch(lo, hi)
+		if err != nil {
+			return false
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPagedKDColdQueryCheaperThanWholeLoad verifies the future-work claim
+// (§V-E): a selective cold query on the paged layout reads far less than
+// loading the whole serialized tree.
+func TestPagedKDColdQueryCheaperThanWholeLoad(t *testing.T) {
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large enough that the whole-image transfer dominates a single seek —
+	// the regime the paper's future-work remark targets.
+	const n = 150000
+	kd, pts := buildPaged(t, store, n, 3)
+
+	// Cold, selective box on the paged tree.
+	if err := store.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	store.ResetStats()
+	before := clk.Now()
+	if _, err := kd.RangeSearch([]float64{100, 100}, []float64{110, 110}); err != nil {
+		t.Fatal(err)
+	}
+	pagedCold := clk.Now() - before
+	touched := store.Stats().Misses
+	if touched == 0 {
+		t.Fatal("cold query should touch pages")
+	}
+	if int(touched) >= kd.NumPages() {
+		t.Errorf("selective query touched %d of %d pages; should prune", touched, kd.NumPages())
+	}
+
+	// The prototype's whole-image load for the same query.
+	mem, err := BuildKDTree(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := mem.Serialize()
+	before = clk.Now()
+	if _, err := LoadKDTree(img, disk, 1<<41); err != nil {
+		t.Fatal(err)
+	}
+	wholeLoad := clk.Now() - before
+
+	if pagedCold >= wholeLoad {
+		t.Errorf("paged cold query (%v) should beat whole-image load (%v)", pagedCold, wholeLoad)
+	}
+}
+
+func TestPagedKDWarmQueryIsFree(t *testing.T) {
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, _ := buildPaged(t, store, 2000, 9)
+	if _, err := kd.RangeSearch([]float64{0, 0}, []float64{1000, 1000}); err != nil {
+		t.Fatal(err)
+	}
+	before := clk.Now()
+	if _, err := kd.RangeSearch([]float64{0, 0}, []float64{1000, 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != before {
+		t.Error("warm paged query should be disk-free")
+	}
+}
+
+func TestPagedKDNodesPerPagePositive(t *testing.T) {
+	for dims := 1; dims <= 16; dims++ {
+		if kdNodesPerPage(dims) < 1 {
+			t.Errorf("dims %d: nodes per page < 1", dims)
+		}
+	}
+}
+
+func BenchmarkPagedKDRange(b *testing.B) {
+	store := newTestStore(b, 8192)
+	kd, _ := buildPaged(b, store, 50000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := float64(i % 900)
+		if _, err := kd.RangeSearch([]float64{lo, lo}, []float64{lo + 50, lo + 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

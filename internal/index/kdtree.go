@@ -1,0 +1,277 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"propeller/internal/simdisk"
+)
+
+// Point is a K-dimensional point associated with a file. Propeller's
+// prototype uses K-D-trees for multi-attribute inode indices (e.g.
+// (size, mtime)); the drug-discovery example indexes protein energy
+// characteristics.
+type Point struct {
+	Coords []float64
+	File   FileID
+}
+
+// KDTree is a k-dimensional tree over Points. Per the paper (§V-E) the
+// prototype stores the K-D-tree serialized and loads it wholly into RAM to
+// answer a query; Serialize/LoadKDTree model exactly that, charging the
+// whole-tree read to the simulated disk.
+//
+// KDTree is not safe for concurrent mutation.
+type KDTree struct {
+	dims int
+	root *kdnode
+	size int
+}
+
+type kdnode struct {
+	point       Point
+	left, right *kdnode
+}
+
+// NewKDTree returns an empty tree over dims dimensions (dims >= 1).
+func NewKDTree(dims int) (*KDTree, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("kdtree: dims %d, need >= 1", dims)
+	}
+	return &KDTree{dims: dims}, nil
+}
+
+// BuildKDTree bulk-builds a balanced tree from points using the classic
+// median-split construction.
+func BuildKDTree(dims int, points []Point) (*KDTree, error) {
+	t, err := NewKDTree(dims)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	for _, p := range pts {
+		if len(p.Coords) != dims {
+			return nil, fmt.Errorf("kdtree: point has %d coords, want %d", len(p.Coords), dims)
+		}
+	}
+	t.root = buildBalanced(pts, 0, dims)
+	t.size = len(pts)
+	return t, nil
+}
+
+func buildBalanced(pts []Point, depth, dims int) *kdnode {
+	if len(pts) == 0 {
+		return nil
+	}
+	axis := depth % dims
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Coords[axis] < pts[j].Coords[axis] })
+	mid := len(pts) / 2
+	return &kdnode{
+		point: pts[mid],
+		left:  buildBalanced(pts[:mid], depth+1, dims),
+		right: buildBalanced(pts[mid+1:], depth+1, dims),
+	}
+}
+
+// Dims returns the dimensionality.
+func (t *KDTree) Dims() int { return t.dims }
+
+// Len returns the number of points.
+func (t *KDTree) Len() int { return t.size }
+
+// Insert adds a point (standard unbalanced insertion).
+func (t *KDTree) Insert(p Point) error {
+	if len(p.Coords) != t.dims {
+		return fmt.Errorf("kdtree: point has %d coords, want %d", len(p.Coords), t.dims)
+	}
+	t.root = insertNode(t.root, p, 0, t.dims)
+	t.size++
+	return nil
+}
+
+func insertNode(n *kdnode, p Point, depth, dims int) *kdnode {
+	if n == nil {
+		return &kdnode{point: p}
+	}
+	axis := depth % dims
+	if p.Coords[axis] < n.point.Coords[axis] {
+		n.left = insertNode(n.left, p, depth+1, dims)
+	} else {
+		n.right = insertNode(n.right, p, depth+1, dims)
+	}
+	return n
+}
+
+// RangeSearch returns the files of all points inside the axis-aligned box
+// [lo[i], hi[i]] (inclusive on both ends).
+func (t *KDTree) RangeSearch(lo, hi []float64) ([]FileID, error) {
+	if len(lo) != t.dims || len(hi) != t.dims {
+		return nil, fmt.Errorf("kdtree: box dims %d/%d, want %d", len(lo), len(hi), t.dims)
+	}
+	var out []FileID
+	rangeSearch(t.root, lo, hi, 0, t.dims, &out)
+	return out, nil
+}
+
+func rangeSearch(n *kdnode, lo, hi []float64, depth, dims int, out *[]FileID) {
+	if n == nil {
+		return
+	}
+	inside := true
+	for i := 0; i < dims; i++ {
+		if n.point.Coords[i] < lo[i] || n.point.Coords[i] > hi[i] {
+			inside = false
+			break
+		}
+	}
+	if inside {
+		*out = append(*out, n.point.File)
+	}
+	axis := depth % dims
+	if lo[axis] <= n.point.Coords[axis] {
+		rangeSearch(n.left, lo, hi, depth+1, dims, out)
+	}
+	if hi[axis] >= n.point.Coords[axis] {
+		rangeSearch(n.right, lo, hi, depth+1, dims, out)
+	}
+}
+
+// Nearest returns the file of the point closest to q in Euclidean distance,
+// or ErrNotFound for an empty tree.
+func (t *KDTree) Nearest(q []float64) (FileID, error) {
+	if len(q) != t.dims {
+		return 0, fmt.Errorf("kdtree: query dims %d, want %d", len(q), t.dims)
+	}
+	if t.root == nil {
+		return 0, ErrNotFound
+	}
+	best := t.root
+	bestDist := math.Inf(1)
+	nearest(t.root, q, 0, t.dims, &best, &bestDist)
+	return best.point.File, nil
+}
+
+func nearest(n *kdnode, q []float64, depth, dims int, best **kdnode, bestDist *float64) {
+	if n == nil {
+		return
+	}
+	if d := sqDist(n.point.Coords, q); d < *bestDist {
+		*bestDist = d
+		*best = n
+	}
+	axis := depth % dims
+	diff := q[axis] - n.point.Coords[axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	nearest(near, q, depth+1, dims, best, bestDist)
+	if diff*diff < *bestDist {
+		nearest(far, q, depth+1, dims, best, bestDist)
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Serialize encodes the tree (pre-order) to a compact byte slice.
+func (t *KDTree) Serialize() []byte {
+	buf := make([]byte, 0, 16+t.size*(8*t.dims+9))
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(t.dims))
+	buf = append(buf, u32[:]...)
+	binary.BigEndian.PutUint32(u32[:], uint32(t.size))
+	buf = append(buf, u32[:]...)
+	buf = serializeNode(t.root, t.dims, buf)
+	return buf
+}
+
+func serializeNode(n *kdnode, dims int, buf []byte) []byte {
+	if n == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	var u64 [8]byte
+	for i := 0; i < dims; i++ {
+		binary.BigEndian.PutUint64(u64[:], math.Float64bits(n.point.Coords[i]))
+		buf = append(buf, u64[:]...)
+	}
+	binary.BigEndian.PutUint64(u64[:], uint64(n.point.File))
+	buf = append(buf, u64[:]...)
+	buf = serializeNode(n.left, dims, buf)
+	return serializeNode(n.right, dims, buf)
+}
+
+// DeserializeKDTree reconstructs a tree produced by Serialize.
+func DeserializeKDTree(raw []byte) (*KDTree, error) {
+	if len(raw) < 8 {
+		return nil, ErrCorrupt
+	}
+	dims := int(binary.BigEndian.Uint32(raw[0:4]))
+	size := int(binary.BigEndian.Uint32(raw[4:8]))
+	if dims < 1 {
+		return nil, ErrCorrupt
+	}
+	off := 8
+	root, off, err := deserializeNode(raw, off, dims)
+	if err != nil {
+		return nil, err
+	}
+	if off != len(raw) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(raw)-off)
+	}
+	return &KDTree{dims: dims, root: root, size: size}, nil
+}
+
+func deserializeNode(raw []byte, off, dims int) (*kdnode, int, error) {
+	if off >= len(raw) {
+		return nil, 0, ErrCorrupt
+	}
+	tag := raw[off]
+	off++
+	if tag == 0 {
+		return nil, off, nil
+	}
+	need := 8*dims + 8
+	if off+need > len(raw) {
+		return nil, 0, ErrCorrupt
+	}
+	p := Point{Coords: make([]float64, dims)}
+	for i := 0; i < dims; i++ {
+		p.Coords[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[off : off+8]))
+		off += 8
+	}
+	p.File = FileID(binary.BigEndian.Uint64(raw[off : off+8]))
+	off += 8
+	n := &kdnode{point: p}
+	var err error
+	n.left, off, err = deserializeNode(raw, off, dims)
+	if err != nil {
+		return nil, 0, err
+	}
+	n.right, off, err = deserializeNode(raw, off, dims)
+	if err != nil {
+		return nil, 0, err
+	}
+	return n, off, nil
+}
+
+// LoadKDTree models the prototype's cold-query path: the serialized tree is
+// read from disk in full (charging the simulated disk) and deserialized.
+func LoadKDTree(raw []byte, disk *simdisk.Disk, offset int64) (*KDTree, error) {
+	if disk != nil {
+		if _, err := disk.Read(offset, int64(len(raw))); err != nil {
+			return nil, fmt.Errorf("kdtree load: %w", err)
+		}
+	}
+	return DeserializeKDTree(raw)
+}

@@ -1,0 +1,230 @@
+package index
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+func TestKDTreeBadDims(t *testing.T) {
+	if _, err := NewKDTree(0); err == nil {
+		t.Fatal("dims 0 should be rejected")
+	}
+	kd, err := NewKDTree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kd.Insert(Point{Coords: []float64{1}, File: 1}); err == nil {
+		t.Fatal("wrong-dim insert should be rejected")
+	}
+	if _, err := kd.RangeSearch([]float64{0}, []float64{1, 2}); err == nil {
+		t.Fatal("wrong-dim box should be rejected")
+	}
+	if _, err := kd.Nearest([]float64{0}); err == nil {
+		t.Fatal("wrong-dim query should be rejected")
+	}
+}
+
+func TestKDTreeEmptyNearest(t *testing.T) {
+	kd, _ := NewKDTree(2)
+	if _, err := kd.Nearest([]float64{0, 0}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestKDTreeRangeSearch(t *testing.T) {
+	kd, _ := NewKDTree(2)
+	// Grid of points (x, y) in [0,9]^2, file id = 10x+y.
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			if err := kd.Insert(Point{Coords: []float64{float64(x), float64(y)}, File: FileID(10*x + y)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := kd.RangeSearch([]float64{2, 3}, []float64{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 { // 3x3 box
+		t.Fatalf("box returned %d points, want 9", len(got))
+	}
+	for _, f := range got {
+		x, y := int(f)/10, int(f)%10
+		if x < 2 || x > 4 || y < 3 || y > 5 {
+			t.Errorf("point (%d,%d) outside box", x, y)
+		}
+	}
+}
+
+func TestKDTreeNearest(t *testing.T) {
+	kd, _ := NewKDTree(2)
+	pts := []Point{
+		{Coords: []float64{0, 0}, File: 1},
+		{Coords: []float64{10, 10}, File: 2},
+		{Coords: []float64{5, 4}, File: 3},
+	}
+	for _, p := range pts {
+		if err := kd.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := kd.Nearest([]float64{6, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("Nearest = %d, want 3", got)
+	}
+}
+
+func TestKDTreeBuildBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 1000)
+	for i := range pts {
+		pts[i] = Point{Coords: []float64{rng.Float64(), rng.Float64()}, File: FileID(i)}
+	}
+	kd, err := BuildKDTree(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kd.Len() != 1000 {
+		t.Fatalf("Len = %d", kd.Len())
+	}
+	got, err := kd.RangeSearch([]float64{0, 0}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 {
+		t.Errorf("full box returned %d, want 1000", len(got))
+	}
+	if _, err := BuildKDTree(3, pts); err == nil {
+		t.Error("building 3-d tree from 2-d points should fail")
+	}
+}
+
+// Property: KD-tree range search agrees with a linear scan.
+func TestKDTreeMatchesLinearScan(t *testing.T) {
+	f := func(seed int64, rawLo, rawHi [2]int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(100)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{
+				Coords: []float64{float64(rng.Intn(40)), float64(rng.Intn(40))},
+				File:   FileID(i),
+			}
+		}
+		kd, err := BuildKDTree(2, pts)
+		if err != nil {
+			return false
+		}
+		lo := []float64{float64(rawLo[0]), float64(rawLo[1])}
+		hi := []float64{lo[0] + float64(uint8(rawHi[0]))/4, lo[1] + float64(uint8(rawHi[1]))/4}
+		got, err := kd.RangeSearch(lo, hi)
+		if err != nil {
+			return false
+		}
+		var want []FileID
+		for _, p := range pts {
+			if p.Coords[0] >= lo[0] && p.Coords[0] <= hi[0] &&
+				p.Coords[1] >= lo[1] && p.Coords[1] <= hi[1] {
+				want = append(want, p.File)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKDTreeSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point, 500)
+	for i := range pts {
+		pts[i] = Point{Coords: []float64{rng.Float64() * 100, rng.Float64() * 100}, File: FileID(i)}
+	}
+	kd, err := BuildKDTree(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := kd.Serialize()
+	back, err := DeserializeKDTree(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != kd.Len() || back.Dims() != kd.Dims() {
+		t.Fatalf("metadata mismatch: %d/%d vs %d/%d", back.Len(), back.Dims(), kd.Len(), kd.Dims())
+	}
+	a, err := kd.RangeSearch([]float64{20, 20}, []float64{60, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.RangeSearch([]float64{20, 20}, []float64{60, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Errorf("range results differ after round trip: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestKDTreeDeserializeCorrupt(t *testing.T) {
+	cases := [][]byte{nil, {1, 2, 3}, make([]byte, 9)}
+	for _, c := range cases {
+		if _, err := DeserializeKDTree(c); err == nil {
+			t.Errorf("DeserializeKDTree(%v) should fail", c)
+		}
+	}
+	// Trailing garbage.
+	kd, _ := NewKDTree(1)
+	if err := kd.Insert(Point{Coords: []float64{1}, File: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := append(kd.Serialize(), 0xFF)
+	if _, err := DeserializeKDTree(raw); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestLoadKDTreeChargesDisk(t *testing.T) {
+	kd, _ := NewKDTree(2)
+	for i := 0; i < 100; i++ {
+		if err := kd.Insert(Point{Coords: []float64{float64(i), float64(i)}, File: FileID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := kd.Serialize()
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	back, err := LoadKDTree(raw, disk, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 100 {
+		t.Errorf("loaded tree Len = %d", back.Len())
+	}
+	if clk.Now() == 0 {
+		t.Error("LoadKDTree should charge disk time")
+	}
+	// nil disk is allowed (pure deserialize).
+	if _, err := LoadKDTree(raw, nil, 0); err != nil {
+		t.Errorf("LoadKDTree without disk: %v", err)
+	}
+}

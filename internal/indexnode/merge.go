@@ -1,0 +1,117 @@
+package indexnode
+
+import (
+	"fmt"
+	"sort"
+
+	"propeller/internal/index"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+)
+
+// MergeACGs folds group src into group dst on this node (the §IV node task
+// of "merging small [indices]" to prevent fragmentation from many tiny
+// groups). Both groups must be local; the Master is informed so file
+// mappings rebind. Postings, causality edges and membership all move.
+func (n *Node) MergeACGs(dst, src proto.ACGID) error {
+	if dst == src {
+		return fmt.Errorf("indexnode: merge group %d into itself", dst)
+	}
+	n.mu.Lock()
+	gd, ok := n.groups[dst]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("acg %d: %w", dst, ErrUnknownACG)
+	}
+	gs, ok := n.groups[src]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("acg %d: %w", src, ErrUnknownACG)
+	}
+	// Commit both so postings are authoritative.
+	if err := n.commitLocked(gd); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	if err := n.commitLocked(gs); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	// Move membership and causality.
+	for f := range gs.files {
+		gd.files[f] = true
+	}
+	for a, m := range gs.graph.adj {
+		for b, w := range m {
+			gd.graph.addEdge(a, b, w)
+		}
+	}
+	// Re-apply src's postings into dst's indices.
+	names := make([]string, 0, len(gs.postings))
+	for name := range gs.postings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		in, err := n.instFor(gd, name)
+		if err != nil {
+			n.mu.Unlock()
+			return err
+		}
+		files := make([]uint64, 0, len(gs.postings[name]))
+		for f := range gs.postings[name] {
+			files = append(files, uint64(f))
+		}
+		sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+		for _, f := range files {
+			e := gs.postings[name][index.FileID(f)]
+			if err := n.applyEntry(gd, in, name, e); err != nil {
+				n.mu.Unlock()
+				return err
+			}
+		}
+		if in.kd != nil {
+			in.kdImage = in.kd.Serialize()
+			in.kdResident = true
+		}
+	}
+	delete(n.groups, src)
+	n.mu.Unlock()
+
+	if n.cfg.Master != nil {
+		if _, err := rpc.Call[proto.MergeReportReq, proto.MergeReportResp](
+			n.cfg.Master, proto.MethodMergeReport,
+			proto.MergeReportReq{Node: n.cfg.ID, Dst: dst, Src: src}); err != nil {
+			return fmt.Errorf("indexnode merge report: %w", err)
+		}
+	}
+	return nil
+}
+
+// CompactGroups merges adjacent small groups on this node until every
+// group (except possibly the last) holds at least minFiles files or no
+// further merge is possible. It returns the number of merges performed.
+func (n *Node) CompactGroups(minFiles int) (int, error) {
+	if minFiles < 1 {
+		return 0, nil
+	}
+	merges := 0
+	for {
+		n.mu.Lock()
+		ids := n.groupIDsLocked()
+		var small []proto.ACGID
+		for _, id := range ids {
+			if len(n.groups[id].files) < minFiles {
+				small = append(small, id)
+			}
+		}
+		n.mu.Unlock()
+		if len(small) < 2 {
+			return merges, nil
+		}
+		if err := n.MergeACGs(small[0], small[1]); err != nil {
+			return merges, err
+		}
+		merges++
+	}
+}

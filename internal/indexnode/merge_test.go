@@ -1,0 +1,150 @@
+package indexnode
+
+import (
+	"testing"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/proto"
+)
+
+func seedGroup(t *testing.T, n *Node, g proto.ACGID, lo, hi int) {
+	t.Helper()
+	var entries []proto.IndexEntry
+	for i := lo; i < hi; i++ {
+		entries = append(entries, proto.IndexEntry{File: index.FileID(i), Value: attr.Int(int64(i) << 20)})
+	}
+	if _, err := n.Update(proto.UpdateReq{ACG: g, IndexName: "size", Entries: entries}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeACGs(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	seedGroup(t, n, 1, 0, 10)
+	seedGroup(t, n, 2, 10, 20)
+	if err := n.MergeACGs(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.NodeStats(proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ACGs != 1 || st.Files != 20 {
+		t.Fatalf("after merge: groups=%d files=%d, want 1/20", st.ACGs, st.Files)
+	}
+	// All postings live in the surviving group.
+	resp, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 19 { // file 0 has size 0
+		t.Errorf("post-merge search = %d files, want 19", len(resp.Files))
+	}
+	// The retired group returns nothing.
+	resp, err = n.Search(proto.SearchReq{ACGs: []proto.ACGID{2}, IndexName: "size", Query: "size>0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 0 {
+		t.Errorf("retired group returned %v", resp.Files)
+	}
+}
+
+func TestMergeACGsErrors(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	seedGroup(t, n, 1, 0, 5)
+	if err := n.MergeACGs(1, 1); err == nil {
+		t.Error("self merge should fail")
+	}
+	if err := n.MergeACGs(1, 99); err == nil {
+		t.Error("unknown src should fail")
+	}
+	if err := n.MergeACGs(99, 1); err == nil {
+		t.Error("unknown dst should fail")
+	}
+}
+
+func TestMergePreservesCausality(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	seedGroup(t, n, 1, 0, 5)
+	seedGroup(t, n, 2, 5, 10)
+	if _, err := n.FlushACG(proto.FlushACGReq{
+		ACG: 2, Edges: []proto.ACGEdge{{Src: 5, Dst: 6, Weight: 3}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MergeACGs(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	n.mu.Lock()
+	w := n.groups[1].graph.adj[5][6]
+	n.mu.Unlock()
+	if w != 3 {
+		t.Errorf("merged edge weight = %d, want 3", w)
+	}
+}
+
+func TestCompactGroups(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	// Five tiny groups of 4 files each.
+	for g := 0; g < 5; g++ {
+		seedGroup(t, n, proto.ACGID(g+1), g*4, g*4+4)
+	}
+	merges, err := n.CompactGroups(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merges == 0 {
+		t.Fatal("expected merges")
+	}
+	st, err := n.NodeStats(proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 20 {
+		t.Errorf("files = %d, want 20", st.Files)
+	}
+	// At most one group below the floor may remain.
+	n.mu.Lock()
+	below := 0
+	for _, g := range n.groups {
+		if len(g.files) < 10 {
+			below++
+		}
+	}
+	n.mu.Unlock()
+	if below > 1 {
+		t.Errorf("%d groups below the floor after compaction", below)
+	}
+	// No-op cases.
+	if m, err := n.CompactGroups(0); err != nil || m != 0 {
+		t.Errorf("minFiles 0 should be a no-op, got %d/%v", m, err)
+	}
+}
+
+func TestCompactAllSearchable(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	for g := 0; g < 4; g++ {
+		seedGroup(t, n, proto.ACGID(g+1), g*5, g*5+5)
+	}
+	if _, err := n.CompactGroups(100); err != nil {
+		t.Fatal(err)
+	}
+	// Search across all original group ids still finds everything (stale
+	// ids return empty, the survivor returns all).
+	resp, err := n.Search(proto.SearchReq{
+		ACGs: []proto.ACGID{1, 2, 3, 4}, IndexName: "size", Query: "size>0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 19 {
+		t.Errorf("post-compact search = %d files, want 19", len(resp.Files))
+	}
+}

@@ -1,0 +1,694 @@
+// Package indexnode implements Propeller's Index Node (§IV): it houses the
+// partitioned per-ACG file indices (B-tree, hash table, K-D-tree), serves
+// file-indexing and file-search requests, and runs background group splits
+// under the Master's coordination.
+//
+// The latency-critical design point is the lazy index cache: an indexing
+// request is acknowledged after a write-ahead-log append and an in-memory
+// cache insert; cached requests are committed to the durable index either
+// after a commit timeout (default 5 s) or synchronously before the next
+// file-search on the group — whichever comes first. Searches therefore see
+// strongly consistent results while normal I/O pays only the log-append
+// cost.
+package indexnode
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"propeller/internal/acg"
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/pagestore"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+	"propeller/internal/wal"
+)
+
+// Errors returned by the node.
+var (
+	ErrUnknownACG   = errors.New("indexnode: unknown acg")
+	ErrUnknownIndex = errors.New("indexnode: unknown index for this node")
+	ErrNoMaster     = errors.New("indexnode: operation requires a master connection")
+)
+
+// Dialer opens RPC connections to peer nodes (injected by the cluster
+// harness so in-process and TCP transports both work).
+type Dialer func(addr string) (*rpc.Client, error)
+
+// Config tunes an Index Node.
+type Config struct {
+	ID    proto.NodeID
+	Store *pagestore.Store
+	Disk  *simdisk.Disk
+	Clock *vclock.Clock
+	// CommitTimeout is the lazy-cache timeout (virtual time; paper: 5 s).
+	CommitTimeout time.Duration
+	// CacheLimit forces a commit when a group's cache holds this many
+	// pending entries.
+	CacheLimit int
+	// SplitThreshold is the group size that triggers a background split.
+	SplitThreshold int
+	// Master connects to the Master Node (nil for standalone single-node
+	// operation).
+	Master *rpc.Client
+	// Dial opens connections to peer Index Nodes for ACG migration.
+	Dial Dialer
+	// DisableLazyCache commits every update synchronously (ablation).
+	DisableLazyCache bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.CommitTimeout <= 0 {
+		c.CommitTimeout = 5 * time.Second
+	}
+	if c.CacheLimit <= 0 {
+		c.CacheLimit = 8192
+	}
+	if c.SplitThreshold <= 0 {
+		c.SplitThreshold = 50000
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.New()
+	}
+	return c
+}
+
+// inst is one materialized index inside a group.
+type inst struct {
+	spec proto.IndexSpec
+	bt   *index.BTree
+	ht   *index.HashIndex
+	kd   *index.KDTree
+	// kdImage is the serialized KD-tree; kdResident tracks whether the
+	// prototype's whole-tree RAM load has been paid since the last cache
+	// drop (§V-E).
+	kdImage    []byte
+	kdResident bool
+	kdOffset   int64
+}
+
+// group is one ACG partition and its indices.
+type group struct {
+	id    proto.ACGID
+	files map[index.FileID]bool
+	graph *groupGraph
+	// indexes by name.
+	indexes map[string]*inst
+	// pending is the lazy index cache: per index name, the uncommitted
+	// entries in arrival order.
+	pending      map[string][]proto.IndexEntry
+	pendingCount int
+	lastUpdate   time.Duration
+	// postings holds the latest committed posting per (index, file); it
+	// serves multi-predicate filtering and ACG migration.
+	postings map[string]map[index.FileID]proto.IndexEntry
+	log      *wal.Log
+}
+
+// Node is an Index Node.
+type Node struct {
+	cfg Config
+
+	mu      sync.Mutex
+	groups  map[proto.ACGID]*group
+	specs   map[string]proto.IndexSpec
+	nextOff int64 // simdisk offset allocator for KD images
+	// stats
+	commits     int64
+	commitNanos int64
+	splitsDone  int64
+}
+
+// groupGraph is the node-side authoritative ACG of a group (plain adjacency;
+// the acg package's builder lives on clients).
+type groupGraph struct {
+	adj map[index.FileID]map[index.FileID]int64
+}
+
+func newGroupGraph() *groupGraph {
+	return &groupGraph{adj: make(map[index.FileID]map[index.FileID]int64)}
+}
+
+func (g *groupGraph) addEdge(src, dst index.FileID, w int64) {
+	if src == dst || w <= 0 {
+		return
+	}
+	if g.adj[src] == nil {
+		g.adj[src] = make(map[index.FileID]int64)
+	}
+	g.adj[src][dst] += w
+}
+
+func (g *groupGraph) undirected(files map[index.FileID]bool) map[uint64]map[uint64]int64 {
+	u := make(map[uint64]map[uint64]int64, len(files))
+	for f := range files {
+		u[uint64(f)] = make(map[uint64]int64)
+	}
+	add := func(a, b index.FileID, w int64) {
+		if u[uint64(a)] == nil {
+			u[uint64(a)] = make(map[uint64]int64)
+		}
+		u[uint64(a)][uint64(b)] += w
+	}
+	for src, m := range g.adj {
+		for dst, w := range m {
+			if files[src] && files[dst] {
+				add(src, dst, w)
+				add(dst, src, w)
+			}
+		}
+	}
+	return u
+}
+
+// New returns an Index Node.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		return nil, errors.New("indexnode: Store is required")
+	}
+	return &Node{
+		cfg:     cfg,
+		groups:  make(map[proto.ACGID]*group),
+		specs:   make(map[string]proto.IndexSpec),
+		nextOff: 1 << 40, // KD images live past the page region
+	}, nil
+}
+
+// ID returns the node id.
+func (n *Node) ID() proto.NodeID { return n.cfg.ID }
+
+// RegisterRPC installs the node's methods on an RPC server.
+func (n *Node) RegisterRPC(s *rpc.Server) {
+	rpc.HandleTyped(s, proto.MethodUpdate, n.Update)
+	rpc.HandleTyped(s, proto.MethodSearch, n.Search)
+	rpc.HandleTyped(s, proto.MethodFlushACG, n.FlushACG)
+	rpc.HandleTyped(s, proto.MethodCreateACG, n.CreateACG)
+	rpc.HandleTyped(s, proto.MethodReceiveACG, n.ReceiveACG)
+	rpc.HandleTyped(s, proto.MethodSplitACG, n.SplitACG)
+	rpc.HandleTyped(s, proto.MethodNodeStats, n.NodeStats)
+}
+
+// DeclareIndex makes an index spec known to the node (normally learned from
+// the first update carrying the name; standalone callers declare up front).
+func (n *Node) DeclareIndex(spec proto.IndexSpec) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.specs[spec.Name]; !ok {
+		n.specs[spec.Name] = spec
+	}
+}
+
+// ensureSpec resolves an index name, asking the Master for the spec the
+// first time a node sees the name.
+func (n *Node) ensureSpec(name string) error {
+	n.mu.Lock()
+	_, ok := n.specs[name]
+	n.mu.Unlock()
+	if ok {
+		return nil
+	}
+	if n.cfg.Master == nil {
+		return fmt.Errorf("%q: %w", name, ErrUnknownIndex)
+	}
+	resp, err := rpc.Call[proto.LookupIndexReq, proto.LookupIndexResp](
+		n.cfg.Master, proto.MethodLookupIndex, proto.LookupIndexReq{IndexName: name})
+	if err != nil {
+		return fmt.Errorf("indexnode: resolve index %q: %w", name, err)
+	}
+	n.DeclareIndex(resp.Spec)
+	return nil
+}
+
+// getOrCreateGroupLocked returns the group, creating it on demand (groups
+// are provisioned lazily on first contact, the Master having routed here).
+func (n *Node) getOrCreateGroupLocked(id proto.ACGID) *group {
+	g := n.groups[id]
+	if g == nil {
+		g = &group{
+			id:       id,
+			files:    make(map[index.FileID]bool),
+			graph:    newGroupGraph(),
+			indexes:  make(map[string]*inst),
+			pending:  make(map[string][]proto.IndexEntry),
+			postings: make(map[string]map[index.FileID]proto.IndexEntry),
+			log:      wal.New(n.cfg.Disk),
+		}
+		n.groups[id] = g
+	}
+	return g
+}
+
+// instFor returns the group's index instance, materializing it from the
+// node's spec table on first use.
+func (n *Node) instFor(g *group, name string) (*inst, error) {
+	if in, ok := g.indexes[name]; ok {
+		return in, nil
+	}
+	spec, ok := n.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrUnknownIndex)
+	}
+	in := &inst{spec: spec}
+	var err error
+	switch spec.Type {
+	case proto.IndexBTree:
+		in.bt, err = index.NewBTree(n.cfg.Store)
+	case proto.IndexHash:
+		in.ht, err = index.NewHashIndex(n.cfg.Store, 64)
+	case proto.IndexKD:
+		dims := spec.Dims()
+		if dims == 0 {
+			return nil, fmt.Errorf("indexnode: kd index %q has no fields", name)
+		}
+		in.kd, err = index.NewKDTree(dims)
+		in.kdResident = true
+		in.kdOffset = n.nextOff
+		n.nextOff += 1 << 30
+	default:
+		return nil, fmt.Errorf("indexnode: index %q has unknown type %d", name, spec.Type)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("indexnode: materialize %q: %w", name, err)
+	}
+	g.indexes[name] = in
+	return in, nil
+}
+
+// CreateACG provisions a group with pre-declared membership.
+func (n *Node) CreateACG(req proto.CreateACGReq) (proto.CreateACGResp, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g := n.getOrCreateGroupLocked(req.ACG)
+	for _, f := range req.Files {
+		g.files[f] = true
+	}
+	return proto.CreateACGResp{OK: true}, nil
+}
+
+// Update is the file-indexing fast path: WAL append + cache insert.
+func (n *Node) Update(req proto.UpdateReq) (proto.UpdateResp, error) {
+	if err := n.ensureSpec(req.IndexName); err != nil {
+		return proto.UpdateResp{}, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g := n.getOrCreateGroupLocked(req.ACG)
+	rec, err := encodeWALRecord(req)
+	if err != nil {
+		return proto.UpdateResp{}, err
+	}
+	if err := g.log.Append(rec); err != nil {
+		return proto.UpdateResp{}, fmt.Errorf("indexnode update: %w", err)
+	}
+	for _, e := range req.Entries {
+		g.files[e.File] = true
+	}
+	g.pending[req.IndexName] = append(g.pending[req.IndexName], req.Entries...)
+	g.pendingCount += len(req.Entries)
+	g.lastUpdate = n.cfg.Clock.Now()
+
+	if n.cfg.DisableLazyCache || g.pendingCount >= n.cfg.CacheLimit {
+		if err := n.commitLocked(g); err != nil {
+			return proto.UpdateResp{}, err
+		}
+	}
+	return proto.UpdateResp{Cached: g.pendingCount}, nil
+}
+
+// FlushACG merges a client-captured causality fragment into the group's
+// authoritative graph.
+func (n *Node) FlushACG(req proto.FlushACGReq) (proto.FlushACGResp, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g := n.getOrCreateGroupLocked(req.ACG)
+	for _, v := range req.Vertices {
+		g.files[v] = true
+	}
+	for _, e := range req.Edges {
+		g.files[e.Src] = true
+		g.files[e.Dst] = true
+		g.graph.addEdge(e.Src, e.Dst, e.Weight)
+	}
+	return proto.FlushACGResp{OK: true}, nil
+}
+
+// Tick commits groups whose lazy cache has exceeded the commit timeout.
+// Deployments call it from a ticker; experiments call it after advancing
+// virtual time.
+func (n *Node) Tick() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.cfg.Clock.Now()
+	ids := n.groupIDsLocked()
+	for _, id := range ids {
+		g := n.groups[id]
+		if g.pendingCount > 0 && now-g.lastUpdate >= n.cfg.CommitTimeout {
+			if err := n.commitLocked(g); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (n *Node) groupIDsLocked() []proto.ACGID {
+	ids := make([]proto.ACGID, 0, len(n.groups))
+	for id := range n.groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// commitLocked merges the group's pending cache into its durable indices.
+func (n *Node) commitLocked(g *group) error {
+	if g.pendingCount == 0 {
+		return nil
+	}
+	start := n.cfg.Clock.Now()
+	names := make([]string, 0, len(g.pending))
+	for name := range g.pending {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		entries := g.pending[name]
+		if len(entries) == 0 {
+			continue
+		}
+		in, err := n.instFor(g, name)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if err := n.applyEntry(g, in, name, e); err != nil {
+				return err
+			}
+		}
+		g.pending[name] = nil
+	}
+	// KD indices re-serialize once per commit (not per entry).
+	for _, name := range names {
+		if in := g.indexes[name]; in != nil && in.kd != nil {
+			in.kdImage = in.kd.Serialize()
+			if n.cfg.Disk != nil {
+				if _, err := n.cfg.Disk.Write(in.kdOffset, int64(len(in.kdImage))); err != nil {
+					return fmt.Errorf("indexnode: persist kd image: %w", err)
+				}
+			}
+			in.kdResident = true
+		}
+	}
+	g.pendingCount = 0
+	if err := g.log.Truncate(); err != nil {
+		return fmt.Errorf("indexnode: truncate wal: %w", err)
+	}
+	n.commits++
+	n.commitNanos += int64(n.cfg.Clock.Now() - start)
+	return nil
+}
+
+func (n *Node) applyEntry(g *group, in *inst, name string, e proto.IndexEntry) error {
+	post := g.postings[name]
+	if post == nil {
+		post = make(map[index.FileID]proto.IndexEntry)
+		g.postings[name] = post
+	}
+	if e.Delete {
+		old, ok := post[e.File]
+		if !ok {
+			return nil // deleting an unindexed posting is a no-op
+		}
+		delete(post, e.File)
+		switch {
+		case in.bt != nil:
+			if err := in.bt.Delete(old.Value, e.File); err != nil && !errors.Is(err, index.ErrNotFound) {
+				return err
+			}
+		case in.ht != nil:
+			if err := in.ht.Delete(old.Value, e.File); err != nil && !errors.Is(err, index.ErrNotFound) {
+				return err
+			}
+		case in.kd != nil:
+			// KD deletion: rebuild without the point (rare path).
+			return n.rebuildKD(g, in, name)
+		}
+		return nil
+	}
+
+	// Re-indexing an existing posting replaces the old value.
+	if old, ok := post[e.File]; ok {
+		switch {
+		case in.bt != nil:
+			if !old.Value.Equal(e.Value) {
+				if err := in.bt.Delete(old.Value, e.File); err != nil && !errors.Is(err, index.ErrNotFound) {
+					return err
+				}
+			}
+		case in.ht != nil:
+			if !old.Value.Equal(e.Value) {
+				if err := in.ht.Delete(old.Value, e.File); err != nil && !errors.Is(err, index.ErrNotFound) {
+					return err
+				}
+			}
+		case in.kd != nil:
+			post[e.File] = e
+			return n.rebuildKD(g, in, name)
+		}
+	}
+	post[e.File] = e
+	switch {
+	case in.bt != nil:
+		return in.bt.Insert(e.Value, e.File)
+	case in.ht != nil:
+		return in.ht.Insert(e.Value, e.File)
+	case in.kd != nil:
+		return in.kd.Insert(index.Point{Coords: e.KDCoords, File: e.File})
+	}
+	return nil
+}
+
+// rebuildKD reconstructs a KD index from current postings (after delete or
+// re-index of a point).
+func (n *Node) rebuildKD(g *group, in *inst, name string) error {
+	dims := in.spec.Dims()
+	pts := make([]index.Point, 0, len(g.postings[name]))
+	for f, e := range g.postings[name] {
+		pts = append(pts, index.Point{Coords: e.KDCoords, File: f})
+	}
+	kd, err := index.BuildKDTree(dims, pts)
+	if err != nil {
+		return fmt.Errorf("indexnode: rebuild kd %q: %w", name, err)
+	}
+	in.kd = kd
+	return nil
+}
+
+// DropCaches models a cold start: the buffer pool is emptied and KD images
+// become non-resident, so the next queries pay the full disk cost.
+func (n *Node) DropCaches() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.cfg.Store.DropCache(); err != nil {
+		return err
+	}
+	for _, g := range n.groups {
+		for _, in := range g.indexes {
+			if in.kd != nil {
+				in.kdResident = false
+			}
+		}
+	}
+	return nil
+}
+
+// encodeWALRecord serializes an update for the group log.
+func encodeWALRecord(req proto.UpdateReq) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+		return nil, fmt.Errorf("indexnode: encode wal record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeWALRecord(rec []byte) (proto.UpdateReq, error) {
+	var req proto.UpdateReq
+	if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&req); err != nil {
+		return proto.UpdateReq{}, fmt.Errorf("indexnode: decode wal record: %w", err)
+	}
+	return req, nil
+}
+
+// ACGImage serializes a group's authoritative causality graph to its
+// shared-storage form (the paper stores ACGs as regular files in the
+// underlying shared file system, §IV).
+func (n *Node) ACGImage(id proto.ACGID) ([]byte, error) {
+	n.mu.Lock()
+	g, ok := n.groups[id]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("acg %d: %w", id, ErrUnknownACG)
+	}
+	out := acg.NewGraph()
+	for f := range g.files {
+		out.AddVertex(f)
+	}
+	for src, m := range g.graph.adj {
+		for dst, w := range m {
+			out.AddEdge(src, dst, w)
+		}
+	}
+	n.mu.Unlock()
+	if n.cfg.Disk != nil {
+		img := out.Serialize()
+		if _, err := n.cfg.Disk.AppendLog(int64(len(img))); err != nil {
+			return nil, fmt.Errorf("indexnode: persist acg %d: %w", id, err)
+		}
+		return img, nil
+	}
+	return out.Serialize(), nil
+}
+
+// LoadACGImage restores a group's causality graph from a shared-storage
+// image (used when a replacement node adopts a crashed node's groups).
+func (n *Node) LoadACGImage(id proto.ACGID, img []byte) error {
+	restored, err := acg.Deserialize(img)
+	if err != nil {
+		return fmt.Errorf("indexnode: load acg %d: %w", id, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g := n.getOrCreateGroupLocked(id)
+	for _, v := range restored.Vertices() {
+		g.files[v] = true
+	}
+	restored.ForEachEdge(func(src, dst index.FileID, w int64) bool {
+		g.graph.addEdge(src, dst, w)
+		return true
+	})
+	return nil
+}
+
+// WALImage returns the group's current log image (what would sit in shared
+// storage at a crash).
+func (n *Node) WALImage(id proto.ACGID) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, ok := n.groups[id]
+	if !ok {
+		return nil, fmt.Errorf("acg %d: %w", id, ErrUnknownACG)
+	}
+	return g.log.Bytes(), nil
+}
+
+// RecoverGroup replays a WAL image into the group's cache (crash recovery:
+// acknowledged-but-uncommitted updates are not lost). A torn tail stops the
+// replay at the last intact record, which is exactly the guarantee the
+// acknowledgement made.
+func (n *Node) RecoverGroup(id proto.ACGID, walImage []byte) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g := n.getOrCreateGroupLocked(id)
+	recovered := 0
+	err := wal.ReplayBytes(walImage, func(rec []byte) bool {
+		req, derr := decodeWALRecord(rec)
+		if derr != nil {
+			return false
+		}
+		for _, e := range req.Entries {
+			g.files[e.File] = true
+		}
+		g.pending[req.IndexName] = append(g.pending[req.IndexName], req.Entries...)
+		g.pendingCount += len(req.Entries)
+		recovered += len(req.Entries)
+		return true
+	})
+	if err != nil && !errors.Is(err, wal.ErrCorrupt) {
+		return recovered, err
+	}
+	g.lastUpdate = n.cfg.Clock.Now()
+	return recovered, nil
+}
+
+// NodeStats reports local statistics.
+func (n *Node) NodeStats(proto.NodeStatsReq) (proto.NodeStatsResp, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	resp := proto.NodeStatsResp{Node: n.cfg.ID, ACGs: len(n.groups)}
+	for _, g := range n.groups {
+		resp.Files += int64(len(g.files))
+		resp.CachedOps += g.pendingCount
+		resp.WALRecords += g.log.Len()
+	}
+	st := n.cfg.Store.Stats()
+	resp.PoolHits, resp.PoolMisses = st.Hits, st.Misses
+	names := make([]string, 0, len(n.specs))
+	for name := range n.specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		resp.IndexSpecs = append(resp.IndexSpecs, n.specs[name])
+	}
+	return resp, nil
+}
+
+// Heartbeat sends one heartbeat to the Master and executes any split orders
+// it returns.
+func (n *Node) Heartbeat() error {
+	if n.cfg.Master == nil {
+		return ErrNoMaster
+	}
+	n.mu.Lock()
+	req := proto.HeartbeatReq{Node: n.cfg.ID}
+	for _, id := range n.groupIDsLocked() {
+		req.ACGs = append(req.ACGs, proto.ACGMeta{ACG: id, Files: int64(len(n.groups[id].files))})
+	}
+	n.mu.Unlock()
+
+	resp, err := rpc.Call[proto.HeartbeatReq, proto.HeartbeatResp](n.cfg.Master, proto.MethodHeartbeat, req)
+	if err != nil {
+		return fmt.Errorf("indexnode heartbeat: %w", err)
+	}
+	for _, id := range resp.SplitACGs {
+		if _, err := n.SplitACG(proto.SplitACGReq{ACG: id}); err != nil {
+			return fmt.Errorf("indexnode split order %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// groupFilesSorted returns a group's files sorted (helper for split and
+// tests).
+func (g *group) groupFilesSorted() []index.FileID {
+	out := make([]index.FileID, 0, len(g.files))
+	for f := range g.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// attrValue resolves the current value of field for file within the group
+// by consulting committed postings of any index covering that field.
+func (n *Node) attrValue(g *group, field string, f index.FileID) (attr.Value, bool) {
+	for name, post := range g.postings {
+		spec := n.specs[name]
+		if spec.Field != field || spec.Type == proto.IndexKD {
+			continue
+		}
+		if e, ok := post[f]; ok {
+			return e.Value, true
+		}
+	}
+	return attr.Value{}, false
+}

@@ -1,0 +1,481 @@
+package indexnode
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/pagestore"
+	"propeller/internal/proto"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+func newTestNode(t testing.TB, opts ...func(*Config)) (*Node, *vclock.Clock) {
+	t.Helper()
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{ID: "in-test", Store: store, Disk: disk, Clock: clk}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, clk
+}
+
+var sizeSpec = proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}
+
+func TestNewRequiresStore(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing store should be rejected")
+	}
+}
+
+func TestUpdateThenSearchIsConsistent(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	_, err := n.Update(proto.UpdateReq{
+		ACG: 1, IndexName: "size",
+		Entries: []proto.IndexEntry{
+			{File: 1, Value: attr.Int(10 << 20)},
+			{File: 2, Value: attr.Int(100 << 20)},
+			{File: 3, Value: attr.Int(1 << 30)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The update is cached (lazy), but search must still see it
+	// (commit-on-search).
+	resp, err := n.Search(proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 2 || resp.Files[0] != 2 || resp.Files[1] != 3 {
+		t.Errorf("files = %v, want [2 3]", resp.Files)
+	}
+}
+
+func TestUpdateUnknownIndexRejected(t *testing.T) {
+	n, _ := newTestNode(t)
+	_, err := n.Update(proto.UpdateReq{ACG: 1, IndexName: "ghost"})
+	if !errors.Is(err, ErrUnknownIndex) {
+		t.Errorf("err = %v, want ErrUnknownIndex", err)
+	}
+}
+
+func TestLazyCacheCommitsOnTimeout(t *testing.T) {
+	n, clk := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	if _, err := n.Update(proto.UpdateReq{
+		ACG: 1, IndexName: "size",
+		Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(5)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.NodeStats(proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CachedOps != 1 {
+		t.Fatalf("cached = %d, want 1", st.CachedOps)
+	}
+	// Before the timeout, Tick is a no-op.
+	if err := n.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := n.NodeStats(proto.NodeStatsReq{}); st.CachedOps != 1 {
+		t.Error("tick before timeout should not commit")
+	}
+	clk.Advance(6 * time.Second)
+	if err := n.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := n.NodeStats(proto.NodeStatsReq{}); st.CachedOps != 0 {
+		t.Error("tick after timeout should commit")
+	}
+}
+
+func TestCacheLimitForcesCommit(t *testing.T) {
+	n, _ := newTestNode(t, func(c *Config) { c.CacheLimit = 4 })
+	n.DeclareIndex(sizeSpec)
+	for i := 0; i < 4; i++ {
+		if _, err := n.Update(proto.UpdateReq{
+			ACG: 1, IndexName: "size",
+			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i))}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, _ := n.NodeStats(proto.NodeStatsReq{}); st.CachedOps != 0 {
+		t.Errorf("cache limit should have forced a commit; cached = %d", st.CachedOps)
+	}
+}
+
+func TestDisableLazyCacheAblation(t *testing.T) {
+	n, _ := newTestNode(t, func(c *Config) { c.DisableLazyCache = true })
+	n.DeclareIndex(sizeSpec)
+	if _, err := n.Update(proto.UpdateReq{
+		ACG: 1, IndexName: "size",
+		Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(5)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := n.NodeStats(proto.NodeStatsReq{}); st.CachedOps != 0 {
+		t.Error("synchronous mode should never cache")
+	}
+}
+
+func TestReindexReplacesValue(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	put := func(size int64) {
+		t.Helper()
+		if _, err := n.Update(proto.UpdateReq{
+			ACG: 1, IndexName: "size",
+			Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(size)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(10)
+	put(50 << 20) // file grew: re-index
+	resp, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 1 || resp.Files[0] != 1 {
+		t.Errorf("files = %v, want [1]", resp.Files)
+	}
+	// Old value must be gone.
+	resp, err = n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size<1k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 0 {
+		t.Errorf("stale posting survived: %v", resp.Files)
+	}
+}
+
+func TestDeletePosting(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	if _, err := n.Update(proto.UpdateReq{
+		ACG: 1, IndexName: "size",
+		Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(100 << 20)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Update(proto.UpdateReq{
+		ACG: 1, IndexName: "size",
+		Entries: []proto.IndexEntry{{File: 1, Delete: true}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 0 {
+		t.Errorf("deleted posting returned: %v", resp.Files)
+	}
+}
+
+func TestSearchMultiPredicate(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	n.DeclareIndex(proto.IndexSpec{Name: "uid", Type: proto.IndexHash, Field: "uid"})
+	base := time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		if _, err := n.Update(proto.UpdateReq{
+			ACG: 1, IndexName: "size",
+			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i) << 20)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Update(proto.UpdateReq{
+			ACG: 1, IndexName: "uid",
+			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(1000 + i%2))}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := n.Search(proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "size",
+		Query: "size>4m & uid=1001", NowUnixNano: base.UnixNano(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Files 5,7,9 have size>4m and uid 1001.
+	if len(resp.Files) != 3 {
+		t.Errorf("files = %v, want [5 7 9]", resp.Files)
+	}
+}
+
+func TestHashIndexPointQuery(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(proto.IndexSpec{Name: "keyword", Type: proto.IndexHash, Field: "keyword"})
+	words := []string{"firefox", "linux", "firefox"}
+	for i, w := range words {
+		if _, err := n.Update(proto.UpdateReq{
+			ACG: 1, IndexName: "keyword",
+			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Str(w)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "keyword", Query: "keyword:firefox"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 2 {
+		t.Errorf("files = %v, want 2 firefox files", resp.Files)
+	}
+}
+
+func TestKDIndexBoxQuery(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(proto.IndexSpec{
+		Name: "inode", Type: proto.IndexKD, Fields: []string{"size", "mtime"},
+	})
+	base := time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		mt := base.Add(-time.Duration(i) * 24 * time.Hour)
+		if _, err := n.Update(proto.UpdateReq{
+			ACG: 1, IndexName: "inode",
+			Entries: []proto.IndexEntry{{
+				File:     index.FileID(i),
+				KDCoords: []float64{float64(i) * float64(1<<20), float64(mt.UnixNano())},
+			}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// size > 8 MiB and modified within the last week.
+	resp, err := n.Search(proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "inode",
+		Query: "size>8m & mtime<1week", NowUnixNano: base.UnixNano(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sizes 9..20 MB are files 9..19; mtime within a week are files 0..6.
+	// Intersection is empty... use a size cut that overlaps: size>4m -> 5..19,
+	// within week -> 0..6 => {5,6}.
+	resp2, err := n.Search(proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "inode",
+		Query: "size>4m & mtime<1week", NowUnixNano: base.UnixNano(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 0 {
+		t.Errorf("disjoint box returned %v", resp.Files)
+	}
+	if len(resp2.Files) != 2 || resp2.Files[0] != 5 || resp2.Files[1] != 6 {
+		t.Errorf("box = %v, want [5 6]", resp2.Files)
+	}
+}
+
+func TestSearchUnknownGroupIsEmpty(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	resp, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{42}, IndexName: "size", Query: "size>1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 0 {
+		t.Errorf("files = %v", resp.Files)
+	}
+}
+
+func TestSearchBadQuery(t *testing.T) {
+	n, _ := newTestNode(t)
+	if _, err := n.Search(proto.SearchReq{Query: "not a query"}); err == nil {
+		t.Error("bad query should error")
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	if _, err := n.Update(proto.UpdateReq{
+		ACG: 1, IndexName: "size",
+		Entries: []proto.IndexEntry{
+			{File: 1, Value: attr.Int(20 << 20)},
+			{File: 2, Value: attr.Int(1 << 10)},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := n.WALImage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.WALImage(99); !errors.Is(err, ErrUnknownACG) {
+		t.Errorf("bogus wal image = %v", err)
+	}
+
+	// "Crash": a fresh node replays the log and serves consistent results.
+	n2, _ := newTestNode(t)
+	n2.DeclareIndex(sizeSpec)
+	recovered, err := n2.RecoverGroup(1, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 2 {
+		t.Fatalf("recovered %d entries, want 2", recovered)
+	}
+	resp, err := n2.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 1 || resp.Files[0] != 1 {
+		t.Errorf("recovered search = %v, want [1]", resp.Files)
+	}
+}
+
+func TestWALRecoveryTornTail(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	for i := 0; i < 3; i++ {
+		if _, err := n.Update(proto.UpdateReq{
+			ACG: 1, IndexName: "size",
+			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(20 << 20)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, err := n.WALImage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := img[:len(img)-3]
+	n2, _ := newTestNode(t)
+	n2.DeclareIndex(sizeSpec)
+	recovered, err := n2.RecoverGroup(1, torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 2 {
+		t.Errorf("recovered %d, want the 2 intact records", recovered)
+	}
+}
+
+func TestDropCachesMakesSearchesColdThenWarm(t *testing.T) {
+	n, clk := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	var entries []proto.IndexEntry
+	for i := 0; i < 5000; i++ {
+		entries = append(entries, proto.IndexEntry{File: index.FileID(i), Value: attr.Int(int64(i))})
+	}
+	if _, err := n.Update(proto.UpdateReq{ACG: 1, IndexName: "size", Entries: entries}); err != nil {
+		t.Fatal(err)
+	}
+	// Commit + warm up.
+	if _, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	before := clk.Now()
+	if _, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"}); err != nil {
+		t.Fatal(err)
+	}
+	cold := clk.Now() - before
+
+	before = clk.Now()
+	if _, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"}); err != nil {
+		t.Fatal(err)
+	}
+	warm := clk.Now() - before
+	if cold <= warm {
+		t.Errorf("cold search (%v) should cost more than warm (%v)", cold, warm)
+	}
+	if warm != 0 {
+		t.Errorf("fully warm search should be free of disk time, got %v", warm)
+	}
+}
+
+func TestNodeStatsFields(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	if _, err := n.Update(proto.UpdateReq{
+		ACG: 7, IndexName: "size",
+		Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(1)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := n.NodeStats(proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != "in-test" || st.ACGs != 1 || st.Files != 1 || st.WALRecords != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(st.IndexSpecs) != 1 {
+		t.Errorf("specs = %v", st.IndexSpecs)
+	}
+}
+
+func TestACGImagePersistence(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(sizeSpec)
+	if _, err := n.FlushACG(proto.FlushACGReq{
+		ACG:      1,
+		Edges:    []proto.ACGEdge{{Src: 1, Dst: 2, Weight: 4}, {Src: 2, Dst: 3, Weight: 1}},
+		Vertices: []index.FileID{9},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := n.ACGImage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ACGImage(42); !errors.Is(err, ErrUnknownACG) {
+		t.Errorf("unknown group = %v", err)
+	}
+
+	// A replacement node restores the graph from shared storage.
+	n2, _ := newTestNode(t)
+	if err := n2.LoadACGImage(1, img); err != nil {
+		t.Fatal(err)
+	}
+	n2.mu.Lock()
+	g := n2.groups[1]
+	w := g.graph.adj[1][2]
+	nFiles := len(g.files)
+	n2.mu.Unlock()
+	if w != 4 {
+		t.Errorf("restored edge weight = %d, want 4", w)
+	}
+	if nFiles != 4 { // 1,2,3 plus isolated 9
+		t.Errorf("restored files = %d, want 4", nFiles)
+	}
+	if err := n2.LoadACGImage(2, []byte("junk")); err == nil {
+		t.Error("junk image should fail")
+	}
+}
+
+func TestHeartbeatWithoutMaster(t *testing.T) {
+	n, _ := newTestNode(t)
+	if err := n.Heartbeat(); !errors.Is(err, ErrNoMaster) {
+		t.Errorf("err = %v, want ErrNoMaster", err)
+	}
+	if _, err := n.SplitACG(proto.SplitACGReq{ACG: 1}); !errors.Is(err, ErrNoMaster) {
+		t.Errorf("split err = %v, want ErrNoMaster", err)
+	}
+}

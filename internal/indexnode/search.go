@@ -1,0 +1,175 @@
+package indexnode
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/proto"
+	"propeller/internal/query"
+)
+
+// Search answers a file-search request over the given groups. Consistency:
+// each group's lazy cache is committed synchronously before the group is
+// queried, so results always reflect every acknowledged indexing request
+// (the paper's commit-on-search rule).
+func (n *Node) Search(req proto.SearchReq) (proto.SearchResp, error) {
+	q, err := query.Parse(req.Query, time.Unix(0, req.NowUnixNano))
+	if err != nil {
+		return proto.SearchResp{}, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	var resp proto.SearchResp
+	commitStart := n.cfg.Clock.Now()
+	for _, id := range req.ACGs {
+		g, ok := n.groups[id]
+		if !ok {
+			continue // group not on this node (stale routing); nothing to add
+		}
+		if err := n.commitLocked(g); err != nil {
+			return proto.SearchResp{}, err
+		}
+	}
+	resp.CommitLatencyNanos = int64(n.cfg.Clock.Now() - commitStart)
+
+	seen := make(map[index.FileID]bool)
+	for _, id := range req.ACGs {
+		g, ok := n.groups[id]
+		if !ok {
+			continue
+		}
+		files, err := n.searchGroupLocked(g, req.IndexName, q)
+		if err != nil {
+			return proto.SearchResp{}, err
+		}
+		for _, f := range files {
+			if !seen[f] {
+				seen[f] = true
+				resp.Files = append(resp.Files, f)
+			}
+		}
+	}
+	sort.Slice(resp.Files, func(i, j int) bool { return resp.Files[i] < resp.Files[j] })
+	return resp, nil
+}
+
+// searchGroupLocked runs the query against one group using the named index
+// as the primary access path and the group's committed postings for the
+// residual predicates.
+func (n *Node) searchGroupLocked(g *group, indexName string, q query.Query) ([]index.FileID, error) {
+	in, ok := g.indexes[indexName]
+	if !ok {
+		// The group never received postings for this index: no matches.
+		return nil, nil
+	}
+	spec := in.spec
+
+	var candidates []index.FileID
+	var err error
+	switch {
+	case in.bt != nil:
+		lo, hi, incLo, incHi, ok := q.Range(spec.Field)
+		if !ok {
+			lo, hi, incLo, incHi = nil, nil, true, true // full scan
+		}
+		candidates, err = in.bt.SearchRange(lo, hi, incLo, incHi)
+	case in.ht != nil:
+		lo, hi, _, _, ok := q.Range(spec.Field)
+		if ok && lo != nil && hi != nil && lo.Equal(*hi) {
+			candidates, err = in.ht.Lookup(*lo)
+		} else {
+			// Hash tables only serve point queries; fall back to a scan.
+			err = in.ht.Scan(func(_ attr.Value, f index.FileID) bool {
+				candidates = append(candidates, f)
+				return true
+			})
+		}
+	case in.kd != nil:
+		candidates, err = n.kdSearchLocked(in, q)
+	default:
+		return nil, fmt.Errorf("%q: %w", indexName, ErrUnknownIndex)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Residual filtering over all predicates using committed postings. KD
+	// fields resolve through the point's coordinates.
+	out := candidates[:0]
+	for _, f := range candidates {
+		if q.Matches(func(field string) (attr.Value, bool) {
+			if in.kd != nil {
+				for i, kf := range spec.Fields {
+					if kf != field {
+						continue
+					}
+					if e, ok := g.postings[indexName][f]; ok && i < len(e.KDCoords) {
+						return attr.Float(e.KDCoords[i]), true
+					}
+				}
+			}
+			return n.attrValue(g, field, f)
+		}) {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// kdOnlyQuery reports whether every query field is covered by the KD spec.
+func (n *Node) kdOnlyQuery(q query.Query, spec proto.IndexSpec) bool {
+	covered := make(map[string]bool, len(spec.Fields))
+	for _, f := range spec.Fields {
+		covered[f] = true
+	}
+	for _, p := range q.Preds {
+		if !covered[p.Field] {
+			return false
+		}
+	}
+	return true
+}
+
+// kdSearchLocked queries the KD index, charging the prototype's whole-tree
+// load when the image is not resident (cold query).
+func (n *Node) kdSearchLocked(in *inst, q query.Query) ([]index.FileID, error) {
+	if !in.kdResident {
+		img := in.kdImage
+		if img == nil {
+			img = in.kd.Serialize()
+			in.kdImage = img
+		}
+		kd, err := index.LoadKDTree(img, n.cfg.Disk, in.kdOffset)
+		if err != nil {
+			return nil, err
+		}
+		in.kd = kd
+		in.kdResident = true
+	}
+	dims := in.spec.Dims()
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	for i, field := range in.spec.Fields {
+		l, h, _, _, ok := q.Range(field)
+		if !ok {
+			lo[i], hi[i] = math.Inf(-1), math.Inf(1)
+			continue
+		}
+		if l != nil {
+			lo[i] = l.AsFloat()
+		} else {
+			lo[i] = math.Inf(-1)
+		}
+		if h != nil {
+			hi[i] = h.AsFloat()
+		} else {
+			hi[i] = math.Inf(1)
+		}
+	}
+	return in.kd.RangeSearch(lo, hi)
+}

@@ -1,0 +1,187 @@
+package indexnode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"propeller/internal/index"
+	"propeller/internal/partition"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+)
+
+// SplitACG background-partitions an oversized group into two balanced
+// sub-graphs with minimal cut (§III), reports the split to the Master to
+// get the new group's id and destination node, migrates the moved half, and
+// removes it locally.
+func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
+	if n.cfg.Master == nil {
+		return proto.SplitACGResp{}, ErrNoMaster
+	}
+	n.mu.Lock()
+	g, ok := n.groups[req.ACG]
+	if !ok {
+		n.mu.Unlock()
+		return proto.SplitACGResp{}, fmt.Errorf("acg %d: %w", req.ACG, ErrUnknownACG)
+	}
+	// Commit so postings reflect every acknowledged update before they
+	// migrate.
+	if err := n.commitLocked(g); err != nil {
+		n.mu.Unlock()
+		return proto.SplitACGResp{}, err
+	}
+	pg := partition.Graph{Adj: g.graph.undirected(g.files)}
+	n.mu.Unlock()
+
+	res, err := partition.Bisect(pg, partition.Options{Seed: int64(req.ACG)})
+	if err != nil {
+		return proto.SplitACGResp{}, fmt.Errorf("indexnode split %d: %w", req.ACG, err)
+	}
+	sideB := make([]index.FileID, 0, len(res.B))
+	for _, v := range res.B {
+		sideB = append(sideB, index.FileID(v))
+	}
+	sort.Slice(sideB, func(i, j int) bool { return sideB[i] < sideB[j] })
+
+	// Master assigns the new group and destination.
+	rep, err := rpc.Call[proto.SplitReportReq, proto.SplitReportResp](
+		n.cfg.Master, proto.MethodSplitReport,
+		proto.SplitReportReq{Node: n.cfg.ID, OldACG: req.ACG, SideB: sideB})
+	if err != nil {
+		return proto.SplitACGResp{}, fmt.Errorf("indexnode split report: %w", err)
+	}
+
+	// Build the migration payload.
+	n.mu.Lock()
+	moveSet := make(map[index.FileID]bool, len(sideB))
+	for _, f := range sideB {
+		moveSet[f] = true
+	}
+	recv := proto.ReceiveACGReq{ACG: rep.NewACG, Files: sideB}
+	for src, m := range g.graph.adj {
+		for dst, w := range m {
+			if moveSet[src] && moveSet[dst] {
+				recv.Edges = append(recv.Edges, proto.ACGEdge{Src: src, Dst: dst, Weight: w})
+			}
+		}
+	}
+	names := make([]string, 0, len(g.postings))
+	for name := range g.postings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mi := proto.MigratedIndex{Spec: n.specs[name]}
+		for f, e := range g.postings[name] {
+			if moveSet[f] {
+				mi.Entries = append(mi.Entries, e)
+			}
+		}
+		sort.Slice(mi.Entries, func(i, j int) bool { return mi.Entries[i].File < mi.Entries[j].File })
+		if len(mi.Entries) > 0 {
+			recv.Indexes = append(recv.Indexes, mi)
+		}
+	}
+	n.mu.Unlock()
+
+	// Ship the group. rep.Dest may be this very node (least-loaded); handle
+	// locally to avoid a self-dial.
+	if rep.Dest == n.cfg.ID {
+		if _, err := n.ReceiveACG(recv); err != nil {
+			return proto.SplitACGResp{}, err
+		}
+	} else {
+		if n.cfg.Dial == nil {
+			return proto.SplitACGResp{}, fmt.Errorf("indexnode split: no dialer for peer %s", rep.Dest)
+		}
+		peer, err := n.cfg.Dial(rep.Addr)
+		if err != nil {
+			return proto.SplitACGResp{}, fmt.Errorf("indexnode split dial %s: %w", rep.Addr, err)
+		}
+		defer peer.Close() //nolint:errcheck // best-effort teardown
+		if _, err := rpc.Call[proto.ReceiveACGReq, proto.ReceiveACGResp](peer, proto.MethodReceiveACG, recv); err != nil {
+			return proto.SplitACGResp{}, fmt.Errorf("indexnode migrate to %s: %w", rep.Dest, err)
+		}
+	}
+
+	// Remove the moved half locally.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, name := range names {
+		in := g.indexes[name]
+		post := g.postings[name]
+		for f := range moveSet {
+			e, ok := post[f]
+			if !ok {
+				continue
+			}
+			delete(post, f)
+			if in == nil {
+				continue
+			}
+			switch {
+			case in.bt != nil:
+				if derr := in.bt.Delete(e.Value, f); derr != nil && !errors.Is(derr, index.ErrNotFound) {
+					return proto.SplitACGResp{}, derr
+				}
+			case in.ht != nil:
+				if derr := in.ht.Delete(e.Value, f); derr != nil && !errors.Is(derr, index.ErrNotFound) {
+					return proto.SplitACGResp{}, derr
+				}
+			}
+		}
+		if in != nil && in.kd != nil {
+			if err := n.rebuildKD(g, in, name); err != nil {
+				return proto.SplitACGResp{}, err
+			}
+		}
+	}
+	for f := range moveSet {
+		delete(g.files, f)
+		delete(g.graph.adj, f)
+	}
+	for _, m := range g.graph.adj {
+		for dst := range m {
+			if moveSet[dst] {
+				delete(m, dst)
+			}
+		}
+	}
+	n.splitsDone++
+	return proto.SplitACGResp{
+		Moved: len(sideB), NewACG: rep.NewACG, CutWeight: res.CutWeight,
+	}, nil
+}
+
+// ReceiveACG installs a migrated group on this node.
+func (n *Node) ReceiveACG(req proto.ReceiveACGReq) (proto.ReceiveACGResp, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g := n.getOrCreateGroupLocked(req.ACG)
+	for _, f := range req.Files {
+		g.files[f] = true
+	}
+	for _, e := range req.Edges {
+		g.graph.addEdge(e.Src, e.Dst, e.Weight)
+	}
+	for _, mi := range req.Indexes {
+		if _, ok := n.specs[mi.Spec.Name]; !ok {
+			n.specs[mi.Spec.Name] = mi.Spec
+		}
+		in, err := n.instFor(g, mi.Spec.Name)
+		if err != nil {
+			return proto.ReceiveACGResp{}, err
+		}
+		for _, e := range mi.Entries {
+			if err := n.applyEntry(g, in, mi.Spec.Name, e); err != nil {
+				return proto.ReceiveACGResp{}, err
+			}
+		}
+		if in.kd != nil {
+			in.kdImage = in.kd.Serialize()
+			in.kdResident = true
+		}
+	}
+	return proto.ReceiveACGResp{OK: true}, nil
+}

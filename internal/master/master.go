@@ -1,0 +1,458 @@
+// Package master implements Propeller's Master Node (§IV): the central
+// index-metadata and coordination server. It owns the file→ACG mapping and
+// ACG→Index-Node placement, routes client indexing/search requests, tracks
+// node liveness through heartbeats, orders splits of oversized groups, and
+// periodically snapshots its metadata to shared storage.
+//
+// The Master serves routing decisions only — never file I/O or index
+// contents — which is why the paper's single-master design scales to
+// hundreds of Index Nodes.
+package master
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"propeller/internal/index"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+	"propeller/internal/vclock"
+)
+
+// Errors returned by the Master.
+var (
+	ErrNoNodes      = errors.New("master: no index nodes registered")
+	ErrUnknownNode  = errors.New("master: unknown node")
+	ErrIndexExists  = errors.New("master: index name already exists")
+	ErrUnknownIndex = errors.New("master: unknown index")
+	ErrUnknownACG   = errors.New("master: unknown acg")
+	ErrFileUnmapped = errors.New("master: file has no acg mapping")
+)
+
+// Config tunes the Master.
+type Config struct {
+	// SplitThreshold is the group size past which the Master orders a
+	// split (paper: 50,000 files).
+	SplitThreshold int64
+	// Clock provides virtual time for heartbeat staleness (optional).
+	Clock *vclock.Clock
+	// HeartbeatTimeout marks nodes dead after this much virtual silence.
+	HeartbeatTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SplitThreshold <= 0 {
+		c.SplitThreshold = 50000
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.New()
+	}
+	return c
+}
+
+type nodeInfo struct {
+	id       proto.NodeID
+	addr     string
+	capacity int64
+	files    int64
+	acgs     map[proto.ACGID]bool
+	lastSeen time.Duration
+}
+
+type acgInfo struct {
+	id    proto.ACGID
+	node  proto.NodeID
+	files int64
+}
+
+// Master is the metadata and coordination server.
+type Master struct {
+	cfg Config
+
+	mu        sync.Mutex
+	nodes     map[proto.NodeID]*nodeInfo
+	acgs      map[proto.ACGID]*acgInfo
+	fileToACG map[index.FileID]proto.ACGID
+	hintToACG map[uint64]proto.ACGID
+	specs     map[string]proto.IndexSpec
+	nextACG   proto.ACGID
+}
+
+// New returns a Master with the given configuration.
+func New(cfg Config) *Master {
+	return &Master{
+		cfg:       cfg.withDefaults(),
+		nodes:     make(map[proto.NodeID]*nodeInfo),
+		acgs:      make(map[proto.ACGID]*acgInfo),
+		fileToACG: make(map[index.FileID]proto.ACGID),
+		hintToACG: make(map[uint64]proto.ACGID),
+		specs:     make(map[string]proto.IndexSpec),
+		nextACG:   1,
+	}
+}
+
+// RegisterRPC installs the Master's methods on an RPC server.
+func (m *Master) RegisterRPC(s *rpc.Server) {
+	rpc.HandleTyped(s, proto.MethodRegisterNode, m.RegisterNode)
+	rpc.HandleTyped(s, proto.MethodHeartbeat, m.Heartbeat)
+	rpc.HandleTyped(s, proto.MethodLookupFiles, m.LookupFiles)
+	rpc.HandleTyped(s, proto.MethodLookupIndex, m.LookupIndex)
+	rpc.HandleTyped(s, proto.MethodCreateIndex, m.CreateIndex)
+	rpc.HandleTyped(s, proto.MethodSplitReport, m.SplitReport)
+	rpc.HandleTyped(s, proto.MethodMergeReport, m.MergeReport)
+	rpc.HandleTyped(s, proto.MethodClusterStats, m.ClusterStats)
+}
+
+// RegisterNode adds (or refreshes) an Index Node.
+func (m *Master) RegisterNode(req proto.RegisterNodeReq) (proto.RegisterNodeResp, error) {
+	if req.Node == "" {
+		return proto.RegisterNodeResp{}, errors.New("master: empty node id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.nodes[req.Node]
+	if n == nil {
+		n = &nodeInfo{id: req.Node, acgs: make(map[proto.ACGID]bool)}
+		m.nodes[req.Node] = n
+	}
+	n.addr = req.Addr
+	n.capacity = req.CapacityFiles
+	n.lastSeen = m.cfg.Clock.Now()
+	return proto.RegisterNodeResp{OK: true}, nil
+}
+
+// Heartbeat refreshes node status and returns split orders for oversized
+// groups on that node.
+func (m *Master) Heartbeat(req proto.HeartbeatReq) (proto.HeartbeatResp, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.nodes[req.Node]
+	if n == nil {
+		return proto.HeartbeatResp{}, fmt.Errorf("%w: %s", ErrUnknownNode, req.Node)
+	}
+	n.lastSeen = m.cfg.Clock.Now()
+	var resp proto.HeartbeatResp
+	var total int64
+	for _, am := range req.ACGs {
+		info := m.acgs[am.ACG]
+		if info == nil {
+			info = &acgInfo{id: am.ACG, node: req.Node}
+			m.acgs[am.ACG] = info
+			n.acgs[am.ACG] = true
+		}
+		info.files = am.Files
+		total += am.Files
+		if am.Files > m.cfg.SplitThreshold {
+			resp.SplitACGs = append(resp.SplitACGs, am.ACG)
+		}
+	}
+	n.files = total
+	return resp, nil
+}
+
+// LookupFiles resolves each file to its ACG and Index Node, allocating new
+// groups on the least-loaded node for unknown files when req.Allocate.
+// Files sharing a non-zero GroupHint land in the same group.
+func (m *Master) LookupFiles(req proto.LookupFilesReq) (proto.LookupFilesResp, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	resp := proto.LookupFilesResp{Mappings: make([]proto.FileMapping, 0, len(req.Files))}
+	for i, f := range req.Files {
+		var hint uint64
+		if i < len(req.GroupHints) {
+			hint = req.GroupHints[i]
+		}
+		id, ok := m.fileToACG[f]
+		if !ok {
+			if !req.Allocate {
+				return proto.LookupFilesResp{}, fmt.Errorf("file %d: %w", f, ErrFileUnmapped)
+			}
+			var err error
+			id, err = m.assignLocked(f, hint)
+			if err != nil {
+				return proto.LookupFilesResp{}, err
+			}
+		}
+		info := m.acgs[id]
+		node := m.nodes[info.node]
+		if node == nil {
+			return proto.LookupFilesResp{}, fmt.Errorf("acg %d: %w: %s", id, ErrUnknownNode, info.node)
+		}
+		resp.Mappings = append(resp.Mappings, proto.FileMapping{
+			File: f, ACG: id, Node: node.id, Addr: node.addr,
+		})
+	}
+	return resp, nil
+}
+
+// assignLocked places file f into an ACG (existing hint group or a new one
+// on the least-loaded node). Caller holds m.mu.
+func (m *Master) assignLocked(f index.FileID, hint uint64) (proto.ACGID, error) {
+	if hint != 0 {
+		if id, ok := m.hintToACG[hint]; ok {
+			m.fileToACG[f] = id
+			m.acgs[id].files++
+			m.nodes[m.acgs[id].node].files++
+			return id, nil
+		}
+	}
+	node := m.leastLoadedLocked()
+	if node == nil {
+		return 0, ErrNoNodes
+	}
+	id := m.nextACG
+	m.nextACG++
+	m.acgs[id] = &acgInfo{id: id, node: node.id, files: 1}
+	node.acgs[id] = true
+	node.files++
+	m.fileToACG[f] = id
+	if hint != 0 {
+		m.hintToACG[hint] = id
+	}
+	return id, nil
+}
+
+func (m *Master) leastLoadedLocked() *nodeInfo {
+	var best *nodeInfo
+	ids := make([]proto.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := m.nodes[id]
+		if best == nil || n.files < best.files {
+			best = n
+		}
+	}
+	return best
+}
+
+// LookupIndex returns the search fan-out: every node and its ACG list for
+// the named index. (Groups that never received postings for the index
+// return empty results; the Master routes to all groups, matching the
+// paper's "send the query to all INs holding ACGs with this index name".)
+func (m *Master) LookupIndex(req proto.LookupIndexReq) (proto.LookupIndexResp, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	spec, ok := m.specs[req.IndexName]
+	if !ok {
+		return proto.LookupIndexResp{}, fmt.Errorf("%q: %w", req.IndexName, ErrUnknownIndex)
+	}
+	byNode := make(map[proto.NodeID][]proto.ACGID)
+	for id, info := range m.acgs {
+		byNode[info.node] = append(byNode[info.node], id)
+	}
+	resp := proto.LookupIndexResp{Spec: spec}
+	ids := make([]proto.NodeID, 0, len(byNode))
+	for id := range byNode {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, nid := range ids {
+		acgs := byNode[nid]
+		sort.Slice(acgs, func(i, j int) bool { return acgs[i] < acgs[j] })
+		resp.Targets = append(resp.Targets, proto.IndexTarget{
+			Node: nid, Addr: m.nodes[nid].addr, ACGs: acgs,
+		})
+	}
+	return resp, nil
+}
+
+// CreateIndex registers a globally unique index name.
+func (m *Master) CreateIndex(req proto.CreateIndexReq) (proto.CreateIndexResp, error) {
+	if req.Spec.Name == "" {
+		return proto.CreateIndexResp{}, errors.New("master: empty index name")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.specs[req.Spec.Name]; ok {
+		return proto.CreateIndexResp{}, fmt.Errorf("%q: %w", req.Spec.Name, ErrIndexExists)
+	}
+	m.specs[req.Spec.Name] = req.Spec
+	return proto.CreateIndexResp{OK: true}, nil
+}
+
+// SplitReport finalizes a background split: the Master allocates the new
+// group id on the least-loaded node, rebinds the moved files, and tells the
+// splitting node where to migrate.
+func (m *Master) SplitReport(req proto.SplitReportReq) (proto.SplitReportResp, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.acgs[req.OldACG]
+	if old == nil {
+		return proto.SplitReportResp{}, fmt.Errorf("acg %d: %w", req.OldACG, ErrUnknownACG)
+	}
+	dest := m.leastLoadedLocked()
+	if dest == nil {
+		return proto.SplitReportResp{}, ErrNoNodes
+	}
+	id := m.nextACG
+	m.nextACG++
+	m.acgs[id] = &acgInfo{id: id, node: dest.id, files: int64(len(req.SideB))}
+	dest.acgs[id] = true
+	dest.files += int64(len(req.SideB))
+	for _, f := range req.SideB {
+		m.fileToACG[f] = id
+	}
+	old.files -= int64(len(req.SideB))
+	if src := m.nodes[old.node]; src != nil {
+		src.files -= int64(len(req.SideB))
+	}
+	return proto.SplitReportResp{NewACG: id, Dest: dest.id, Addr: dest.addr}, nil
+}
+
+// MergeReport finalizes a node-local group merge: every file mapped to Src
+// is rebound to Dst and the Src group is retired.
+func (m *Master) MergeReport(req proto.MergeReportReq) (proto.MergeReportResp, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src, dst := m.acgs[req.Src], m.acgs[req.Dst]
+	if src == nil {
+		return proto.MergeReportResp{}, fmt.Errorf("acg %d: %w", req.Src, ErrUnknownACG)
+	}
+	if dst == nil {
+		return proto.MergeReportResp{}, fmt.Errorf("acg %d: %w", req.Dst, ErrUnknownACG)
+	}
+	if src.node != dst.node {
+		return proto.MergeReportResp{}, fmt.Errorf(
+			"master: merge across nodes (%s vs %s) is not supported", src.node, dst.node)
+	}
+	moved := 0
+	for f, id := range m.fileToACG {
+		if id == req.Src {
+			m.fileToACG[f] = req.Dst
+			moved++
+		}
+	}
+	for h, id := range m.hintToACG {
+		if id == req.Src {
+			m.hintToACG[h] = req.Dst
+		}
+	}
+	dst.files += src.files
+	delete(m.acgs, req.Src)
+	if n := m.nodes[src.node]; n != nil {
+		delete(n.acgs, req.Src)
+	}
+	return proto.MergeReportResp{Moved: moved}, nil
+}
+
+// ClusterStats summarizes the cluster.
+func (m *Master) ClusterStats(proto.ClusterStatsReq) (proto.ClusterStatsResp, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var resp proto.ClusterStatsResp
+	ids := make([]proto.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := m.nodes[id]
+		resp.Nodes = append(resp.Nodes, proto.NodeStats{
+			Node: n.id, Addr: n.addr, ACGs: len(n.acgs), Files: n.files,
+		})
+		resp.Files += n.files
+	}
+	resp.ACGs = len(m.acgs)
+	names := make([]string, 0, len(m.specs))
+	for name := range m.specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		resp.Indexes = append(resp.Indexes, m.specs[name])
+	}
+	return resp, nil
+}
+
+// AliveNodes returns the nodes whose last heartbeat is within the timeout.
+func (m *Master) AliveNodes() []proto.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Clock.Now()
+	var out []proto.NodeID
+	for id, n := range m.nodes {
+		if now-n.lastSeen <= m.cfg.HeartbeatTimeout {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// metaSnapshot is the gob image of the Master's durable metadata.
+type metaSnapshot struct {
+	FileToACG map[index.FileID]proto.ACGID
+	ACGNodes  map[proto.ACGID]proto.NodeID
+	ACGFiles  map[proto.ACGID]int64
+	Specs     map[string]proto.IndexSpec
+	NextACG   proto.ACGID
+	HintToACG map[uint64]proto.ACGID
+}
+
+// SnapshotMetadata serializes the durable metadata (the paper flushes the
+// file-to-ACG mappings to shared storage periodically to survive crashes).
+func (m *Master) SnapshotMetadata() ([]byte, error) {
+	m.mu.Lock()
+	snap := metaSnapshot{
+		FileToACG: make(map[index.FileID]proto.ACGID, len(m.fileToACG)),
+		ACGNodes:  make(map[proto.ACGID]proto.NodeID, len(m.acgs)),
+		ACGFiles:  make(map[proto.ACGID]int64, len(m.acgs)),
+		Specs:     make(map[string]proto.IndexSpec, len(m.specs)),
+		NextACG:   m.nextACG,
+		HintToACG: make(map[uint64]proto.ACGID, len(m.hintToACG)),
+	}
+	for f, a := range m.fileToACG {
+		snap.FileToACG[f] = a
+	}
+	for id, info := range m.acgs {
+		snap.ACGNodes[id] = info.node
+		snap.ACGFiles[id] = info.files
+	}
+	for n, s := range m.specs {
+		snap.Specs[n] = s
+	}
+	for h, a := range m.hintToACG {
+		snap.HintToACG[h] = a
+	}
+	m.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return nil, fmt.Errorf("master snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadMetadata restores a snapshot (crash recovery). Index Nodes must
+// re-register afterwards; their heartbeats repopulate liveness.
+func (m *Master) LoadMetadata(img []byte) error {
+	var snap metaSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(img)).Decode(&snap); err != nil {
+		return fmt.Errorf("master load: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fileToACG = snap.FileToACG
+	m.specs = snap.Specs
+	m.nextACG = snap.NextACG
+	m.hintToACG = snap.HintToACG
+	m.acgs = make(map[proto.ACGID]*acgInfo, len(snap.ACGNodes))
+	for id, node := range snap.ACGNodes {
+		m.acgs[id] = &acgInfo{id: id, node: node, files: snap.ACGFiles[id]}
+		if n := m.nodes[node]; n != nil {
+			n.acgs[id] = true
+		}
+	}
+	return nil
+}

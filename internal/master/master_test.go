@@ -1,0 +1,311 @@
+package master
+
+import (
+	"errors"
+	"testing"
+
+	"propeller/internal/index"
+	"propeller/internal/proto"
+)
+
+func newTestMaster(t *testing.T, nodes ...string) *Master {
+	t.Helper()
+	m := New(Config{SplitThreshold: 100})
+	for _, n := range nodes {
+		if _, err := m.RegisterNode(proto.RegisterNodeReq{
+			Node: proto.NodeID(n), Addr: "pipe:" + n, CapacityFiles: 1 << 30,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestRegisterNodeValidation(t *testing.T) {
+	m := New(Config{})
+	if _, err := m.RegisterNode(proto.RegisterNodeReq{}); err == nil {
+		t.Fatal("empty node id should be rejected")
+	}
+}
+
+func TestLookupFilesAllocatesOnLeastLoaded(t *testing.T) {
+	m := newTestMaster(t, "a", "b")
+	// Two files, no hints: each becomes its own ACG; placement alternates
+	// by load.
+	resp, err := m.LookupFiles(proto.LookupFilesReq{
+		Files: []index.FileID{1, 2}, GroupHints: []uint64{0, 0}, Allocate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Mappings) != 2 {
+		t.Fatalf("mappings = %d", len(resp.Mappings))
+	}
+	if resp.Mappings[0].ACG == resp.Mappings[1].ACG {
+		t.Error("unhinted files should get distinct groups")
+	}
+	if resp.Mappings[0].Node == resp.Mappings[1].Node {
+		t.Error("least-loaded placement should alternate nodes")
+	}
+}
+
+func TestLookupFilesHintsCoLocate(t *testing.T) {
+	m := newTestMaster(t, "a", "b")
+	resp, err := m.LookupFiles(proto.LookupFilesReq{
+		Files:      []index.FileID{10, 11, 12},
+		GroupHints: []uint64{7, 7, 7},
+		Allocate:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mp := range resp.Mappings {
+		if mp.ACG != resp.Mappings[0].ACG {
+			t.Fatal("hinted files must share a group")
+		}
+	}
+	// Stable on re-lookup.
+	again, err := m.LookupFiles(proto.LookupFilesReq{
+		Files: []index.FileID{10}, Allocate: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Mappings[0].ACG != resp.Mappings[0].ACG {
+		t.Error("mapping must be stable")
+	}
+}
+
+func TestLookupFilesNoAllocate(t *testing.T) {
+	m := newTestMaster(t, "a")
+	_, err := m.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{99}})
+	if !errors.Is(err, ErrFileUnmapped) {
+		t.Errorf("err = %v, want ErrFileUnmapped", err)
+	}
+}
+
+func TestLookupFilesNoNodes(t *testing.T) {
+	m := New(Config{})
+	_, err := m.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{1}, Allocate: true})
+	if !errors.Is(err, ErrNoNodes) {
+		t.Errorf("err = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestCreateIndexAndLookup(t *testing.T) {
+	m := newTestMaster(t, "a")
+	spec := proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}
+	if _, err := m.CreateIndex(proto.CreateIndexReq{Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreateIndex(proto.CreateIndexReq{Spec: spec}); !errors.Is(err, ErrIndexExists) {
+		t.Errorf("duplicate create = %v", err)
+	}
+	if _, err := m.CreateIndex(proto.CreateIndexReq{}); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	if _, err := m.LookupIndex(proto.LookupIndexReq{IndexName: "nope"}); !errors.Is(err, ErrUnknownIndex) {
+		t.Errorf("unknown lookup = %v", err)
+	}
+	// Allocate a file so a target exists.
+	if _, err := m.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{1}, Allocate: true}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.LookupIndex(proto.LookupIndexReq{IndexName: "size"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Spec.Name != "size" || len(resp.Targets) != 1 {
+		t.Errorf("lookup = %+v", resp)
+	}
+}
+
+func TestHeartbeatOrdersSplits(t *testing.T) {
+	m := newTestMaster(t, "a")
+	// Seed an ACG.
+	if _, err := m.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{1}, GroupHints: []uint64{5}, Allocate: true}); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := m.Heartbeat(proto.HeartbeatReq{
+		Node: "a",
+		ACGs: []proto.ACGMeta{{ACG: 1, Files: 500}}, // threshold is 100
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.SplitACGs) != 1 || hb.SplitACGs[0] != 1 {
+		t.Errorf("split orders = %v, want [1]", hb.SplitACGs)
+	}
+	if _, err := m.Heartbeat(proto.HeartbeatReq{Node: "ghost"}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("ghost heartbeat = %v", err)
+	}
+}
+
+func TestSplitReportRebindsFiles(t *testing.T) {
+	m := newTestMaster(t, "a", "b")
+	files := []index.FileID{1, 2, 3, 4}
+	hints := []uint64{9, 9, 9, 9}
+	resp, err := m.LookupFiles(proto.LookupFilesReq{Files: files, GroupHints: hints, Allocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldACG := resp.Mappings[0].ACG
+	rep, err := m.SplitReport(proto.SplitReportReq{
+		Node: resp.Mappings[0].Node, OldACG: oldACG, SideB: []index.FileID{3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NewACG == oldACG {
+		t.Error("new group must differ")
+	}
+	after, err := m.LookupFiles(proto.LookupFilesReq{Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Mappings[0].ACG != oldACG || after.Mappings[2].ACG != rep.NewACG {
+		t.Errorf("rebind wrong: %+v", after.Mappings)
+	}
+	if _, err := m.SplitReport(proto.SplitReportReq{OldACG: 9999}); !errors.Is(err, ErrUnknownACG) {
+		t.Errorf("bogus split = %v", err)
+	}
+}
+
+func TestClusterStats(t *testing.T) {
+	m := newTestMaster(t, "a", "b")
+	if _, err := m.CreateIndex(proto.CreateIndexReq{
+		Spec: proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LookupFiles(proto.LookupFilesReq{
+		Files: []index.FileID{1, 2, 3}, GroupHints: []uint64{1, 1, 2}, Allocate: true}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.ClusterStats(proto.ClusterStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Nodes) != 2 || st.Files != 3 || st.ACGs != 2 || len(st.Indexes) != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	m := newTestMaster(t, "a")
+	if _, err := m.CreateIndex(proto.CreateIndexReq{
+		Spec: proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LookupFiles(proto.LookupFilesReq{
+		Files: []index.FileID{1, 2}, GroupHints: []uint64{3, 3}, Allocate: true}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := m.SnapshotMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh master (simulating restart) restores the mappings.
+	m2 := newTestMaster(t, "a")
+	if err := m2.LoadMetadata(img); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m2.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mappings[0].ACG != resp.Mappings[1].ACG {
+		t.Error("restored mappings lost group co-location")
+	}
+	st, err := m2.ClusterStats(proto.ClusterStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Indexes) != 1 {
+		t.Error("restored master lost index specs")
+	}
+	if err := m2.LoadMetadata([]byte("garbage")); err == nil {
+		t.Error("garbage snapshot should fail")
+	}
+}
+
+func TestMergeReport(t *testing.T) {
+	m := newTestMaster(t, "a")
+	resp, err := m.LookupFiles(proto.LookupFilesReq{
+		Files:      []index.FileID{1, 2, 3, 4},
+		GroupHints: []uint64{1, 1, 2, 2},
+		Allocate:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, src := resp.Mappings[0].ACG, resp.Mappings[2].ACG
+	rep, err := m.MergeReport(proto.MergeReportReq{Node: "a", Dst: dst, Src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Moved != 2 {
+		t.Errorf("moved = %d, want 2", rep.Moved)
+	}
+	after, err := m.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mp := range after.Mappings {
+		if mp.ACG != dst {
+			t.Errorf("file %d still maps to %d, want %d", mp.File, mp.ACG, dst)
+		}
+	}
+	st, err := m.ClusterStats(proto.ClusterStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ACGs != 1 {
+		t.Errorf("groups = %d, want 1", st.ACGs)
+	}
+	// Error paths.
+	if _, err := m.MergeReport(proto.MergeReportReq{Dst: dst, Src: 999}); !errors.Is(err, ErrUnknownACG) {
+		t.Errorf("unknown src = %v", err)
+	}
+	if _, err := m.MergeReport(proto.MergeReportReq{Dst: 999, Src: dst}); !errors.Is(err, ErrUnknownACG) {
+		t.Errorf("unknown dst = %v", err)
+	}
+}
+
+func TestMergeReportAcrossNodesRejected(t *testing.T) {
+	m := newTestMaster(t, "a", "b")
+	resp, err := m.LookupFiles(proto.LookupFilesReq{
+		Files:      []index.FileID{1, 2},
+		GroupHints: []uint64{1, 2},
+		Allocate:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mappings[0].Node == resp.Mappings[1].Node {
+		t.Skip("placement did not split nodes")
+	}
+	if _, err := m.MergeReport(proto.MergeReportReq{
+		Dst: resp.Mappings[0].ACG, Src: resp.Mappings[1].ACG,
+	}); err == nil {
+		t.Error("cross-node merge should be rejected")
+	}
+}
+
+func TestAliveNodes(t *testing.T) {
+	m := newTestMaster(t, "a", "b")
+	alive := m.AliveNodes()
+	if len(alive) != 2 {
+		t.Errorf("alive = %v", alive)
+	}
+	// Advance virtual time past the timeout; only a heartbeating node stays
+	// alive.
+	m.cfg.Clock.Advance(m.cfg.HeartbeatTimeout * 2)
+	if _, err := m.Heartbeat(proto.HeartbeatReq{Node: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	alive = m.AliveNodes()
+	if len(alive) != 1 || alive[0] != "a" {
+		t.Errorf("alive after timeout = %v, want [a]", alive)
+	}
+}

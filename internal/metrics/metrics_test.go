@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderSummary(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v", s.P99)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	r.Reset()
+	if r.Count() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	if s := NewRecorder().Summarize(); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 800 {
+		t.Errorf("count = %d", r.Count())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Header: []string{"name", "value"}}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("b", "22222")
+	out := tbl.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22222") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Errorf("got %d lines", len(lines))
+	}
+}
+
+func TestSeriesFormatting(t *testing.T) {
+	a := &Series{Name: "propeller"}
+	b := &Series{Name: "mysql"}
+	a.Add(1, 0.5)
+	a.Add(2, 0.25)
+	b.Add(1, 10)
+	out := FormatSeries("nodes", a, b)
+	if !strings.Contains(out, "propeller") || !strings.Contains(out, "mysql") {
+		t.Errorf("series output:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("missing y should render as -")
+	}
+	if FormatSeries("x") != "" {
+		t.Error("no series should render empty")
+	}
+}

@@ -1,0 +1,330 @@
+// Package pagestore provides a paged storage layer with an LRU buffer pool
+// on top of a simulated disk.
+//
+// Both Propeller's per-ACG indices and the MiniSQL baseline's global indices
+// are built on this layer. Buffer-pool misses charge simulated disk latency,
+// which is what produces the paper's central effects: small per-ACG indices
+// stay resident in memory (cheap updates, warm queries in microseconds),
+// while a global index the size of the dataset thrashes the pool (Figure 8,
+// Table IV's super-linear cluster speedup once each node's share of the
+// index fits in RAM).
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"propeller/internal/simdisk"
+)
+
+// PageSize is the fixed page size in bytes (matches common DBMS defaults).
+const PageSize = 8192
+
+// PageID identifies a page within a store.
+type PageID uint64
+
+// Common errors.
+var (
+	ErrPageNotFound = errors.New("pagestore: page not found")
+	ErrClosed       = errors.New("pagestore: store is closed")
+)
+
+// Stats summarizes buffer-pool behaviour.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+	Allocs     int64
+	PagesOnDsk int64
+}
+
+// Store is a page store with a fixed-capacity LRU buffer pool. Page contents
+// live in memory (the "disk image" is a map), but any access that misses the
+// pool charges simulated disk latency, and evicting a dirty page charges a
+// writeback.
+//
+// Store is safe for concurrent use. Page data returned by Read is a copy;
+// mutations go through Write.
+type Store struct {
+	disk     *simdisk.Disk
+	capacity int // max pages resident in the pool
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  PageID
+	backing map[PageID][]byte // the disk image
+	pool    map[PageID]*frame
+	lruHead *frame // most recently used
+	lruTail *frame // least recently used
+	stats   Stats
+}
+
+type frame struct {
+	id         PageID
+	data       []byte
+	dirty      bool
+	prev, next *frame
+}
+
+// New returns a Store whose buffer pool holds up to poolPages pages.
+// poolPages must be at least 1.
+func New(disk *simdisk.Disk, poolPages int) (*Store, error) {
+	if poolPages < 1 {
+		return nil, fmt.Errorf("pagestore: pool size %d, need >= 1", poolPages)
+	}
+	return &Store{
+		disk:     disk,
+		capacity: poolPages,
+		backing:  make(map[PageID][]byte),
+		pool:     make(map[PageID]*frame),
+	}, nil
+}
+
+// PoolPages returns the configured buffer-pool capacity in pages.
+func (s *Store) PoolPages() int { return s.capacity }
+
+// Disk returns the underlying simulated disk.
+func (s *Store) Disk() *simdisk.Disk { return s.disk }
+
+// Allocate creates a new zeroed page and returns its id. The new page is
+// resident and dirty (it will be written back on eviction or Sync).
+func (s *Store) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	id := s.nextID
+	s.nextID++
+	s.stats.Allocs++
+	s.backing[id] = nil // exists on disk, content written on eviction
+	f := &frame{id: id, data: make([]byte, PageSize), dirty: true}
+	if err := s.insertFrame(f); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Read returns a copy of the page contents, faulting it in from disk if it
+// is not resident.
+func (s *Store) Read(id PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, PageSize)
+	copy(out, f.data)
+	return out, nil
+}
+
+// Write replaces the page contents (data is copied; at most PageSize bytes
+// are used) and marks the page dirty.
+func (s *Store) Write(id PageID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.fetch(id)
+	if err != nil {
+		return err
+	}
+	n := copy(f.data, data)
+	for i := n; i < PageSize; i++ {
+		f.data[i] = 0
+	}
+	f.dirty = true
+	return nil
+}
+
+// Free releases a page. Resident copies are dropped without writeback.
+func (s *Store) Free(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.backing[id]; !ok {
+		return fmt.Errorf("free page %d: %w", id, ErrPageNotFound)
+	}
+	delete(s.backing, id)
+	if f, ok := s.pool[id]; ok {
+		s.unlink(f)
+		delete(s.pool, id)
+	}
+	return nil
+}
+
+// Sync writes back every dirty resident page and issues a disk flush.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, f := range s.pool {
+		if f.dirty {
+			if err := s.writeback(f); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := s.disk.Flush()
+	return err
+}
+
+// DropCache evicts every resident page (writing back dirty ones). It models
+// "echo 3 > /proc/sys/vm/drop_caches" before a cold run.
+func (s *Store) DropCache() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for id, f := range s.pool {
+		if f.dirty {
+			if err := s.writeback(f); err != nil {
+				return err
+			}
+		}
+		s.unlink(f)
+		delete(s.pool, id)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of buffer-pool statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.PagesOnDsk = int64(len(s.backing))
+	return st
+}
+
+// ResetStats zeroes the counters.
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// NumPages returns the number of allocated pages.
+func (s *Store) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.backing)
+}
+
+// Close flushes dirty pages and marks the store closed.
+func (s *Store) Close() error {
+	if err := s.Sync(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// fetch returns the resident frame for id, faulting from the backing image
+// when needed. Caller holds s.mu.
+func (s *Store) fetch(id PageID) (*frame, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if f, ok := s.pool[id]; ok {
+		s.stats.Hits++
+		s.touch(f)
+		return f, nil
+	}
+	img, ok := s.backing[id]
+	if !ok {
+		return nil, fmt.Errorf("page %d: %w", id, ErrPageNotFound)
+	}
+	s.stats.Misses++
+	if _, err := s.disk.Read(s.diskOffset(id), PageSize); err != nil {
+		return nil, fmt.Errorf("fault page %d: %w", id, err)
+	}
+	f := &frame{id: id, data: make([]byte, PageSize)}
+	copy(f.data, img)
+	if err := s.insertFrame(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// insertFrame adds f to the pool, evicting the LRU frame if full. Caller
+// holds s.mu.
+func (s *Store) insertFrame(f *frame) error {
+	for len(s.pool) >= s.capacity {
+		victim := s.lruTail
+		if victim == nil {
+			return errors.New("pagestore: pool full with no evictable frame")
+		}
+		if victim.dirty {
+			if err := s.writeback(victim); err != nil {
+				return err
+			}
+		}
+		s.unlink(victim)
+		delete(s.pool, victim.id)
+		s.stats.Evictions++
+	}
+	s.pool[f.id] = f
+	s.pushFront(f)
+	return nil
+}
+
+// writeback persists a dirty frame to the backing image, charging disk time.
+// Caller holds s.mu.
+func (s *Store) writeback(f *frame) error {
+	if _, err := s.disk.Write(s.diskOffset(f.id), PageSize); err != nil {
+		return fmt.Errorf("writeback page %d: %w", f.id, err)
+	}
+	img := make([]byte, PageSize)
+	copy(img, f.data)
+	s.backing[f.id] = img
+	f.dirty = false
+	s.stats.Writebacks++
+	return nil
+}
+
+func (s *Store) diskOffset(id PageID) int64 { return int64(id) * PageSize }
+
+// --- intrusive LRU list (caller holds s.mu) ---
+
+func (s *Store) pushFront(f *frame) {
+	f.prev = nil
+	f.next = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.prev = f
+	}
+	s.lruHead = f
+	if s.lruTail == nil {
+		s.lruTail = f
+	}
+}
+
+func (s *Store) unlink(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		s.lruHead = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		s.lruTail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+func (s *Store) touch(f *frame) {
+	if s.lruHead == f {
+		return
+	}
+	s.unlink(f)
+	s.pushFront(f)
+}

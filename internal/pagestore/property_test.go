@@ -1,0 +1,106 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+// Property: under any interleaving of allocate/write/read/free/drop-cache
+// operations, the store behaves exactly like an in-memory model map —
+// evictions and writebacks never lose or corrupt data.
+func TestStoreMatchesModel(t *testing.T) {
+	type op struct {
+		Kind byte // alloc, write, read, free, drop
+		Page uint8
+		Fill byte
+	}
+	f := func(ops []op, poolSize uint8) bool {
+		pool := int(poolSize%7) + 1 // tiny pools maximize eviction churn
+		store, err := New(simdisk.New(simdisk.Barracuda7200(), vclock.New()), pool)
+		if err != nil {
+			return false
+		}
+		model := map[PageID][]byte{}
+		var ids []PageID
+		for _, o := range ops {
+			switch o.Kind % 5 {
+			case 0: // allocate
+				id, err := store.Allocate()
+				if err != nil {
+					return false
+				}
+				model[id] = make([]byte, PageSize)
+				ids = append(ids, id)
+			case 1: // write
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[int(o.Page)%len(ids)]
+				data := bytes.Repeat([]byte{o.Fill}, 64)
+				err := store.Write(id, data)
+				if _, live := model[id]; !live {
+					if err == nil {
+						return false // write to freed page must fail
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				img := make([]byte, PageSize)
+				copy(img, data)
+				model[id] = img
+			case 2: // read
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[int(o.Page)%len(ids)]
+				got, err := store.Read(id)
+				want, live := model[id]
+				if !live {
+					if err == nil {
+						return false
+					}
+					continue
+				}
+				if err != nil || !bytes.Equal(got, want) {
+					return false
+				}
+			case 3: // free
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[int(o.Page)%len(ids)]
+				err := store.Free(id)
+				if _, live := model[id]; live {
+					if err != nil {
+						return false
+					}
+					delete(model, id)
+				} else if !errors.Is(err, ErrPageNotFound) {
+					return false
+				}
+			case 4: // drop cache
+				if err := store.DropCache(); err != nil {
+					return false
+				}
+			}
+		}
+		// Final sweep: every live page matches the model.
+		for id, want := range model {
+			got, err := store.Read(id)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

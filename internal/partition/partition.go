@@ -1,0 +1,597 @@
+// Package partition implements balanced 2-way graph partitioning in the
+// style of METIS (Karypis & Kumar's multilevel scheme), which the paper uses
+// to split oversized ACG components into two sub-graphs of similar scale
+// with minimal cut weight (§III, Table II).
+//
+// The pipeline is the classic multilevel one:
+//
+//  1. Coarsen with heavy-edge matching until the graph is small.
+//  2. Compute an initial bisection by greedy graph growing.
+//  3. Uncoarsen, projecting the partition back and refining each level with
+//     Kernighan–Lin boundary passes.
+//
+// The package also ships the naive partitioners used as ablation baselines
+// (random and id-order bisection).
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an undirected weighted graph keyed by opaque vertex ids. Adj must
+// be symmetric (Adj[a][b] == Adj[b][a]); Bisect verifies and returns an
+// error otherwise. VWeight gives optional vertex weights (nil = every vertex
+// weighs 1).
+type Graph struct {
+	Adj     map[uint64]map[uint64]int64
+	VWeight map[uint64]int64
+}
+
+// Options tunes Bisect.
+type Options struct {
+	// MaxImbalance is the allowed ratio of the heavier side to the ideal
+	// half weight (METIS default ~1.03; we default to 1.1).
+	MaxImbalance float64
+	// CoarsenTo stops coarsening when at most this many vertices remain.
+	CoarsenTo int
+	// RefinePasses bounds KL passes per uncoarsening level.
+	RefinePasses int
+	// Seed makes the randomized phases deterministic.
+	Seed int64
+	// DisableRefine skips KL refinement (ablation).
+	DisableRefine bool
+	// GrowTries is the number of greedy-growing seeds tried.
+	GrowTries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxImbalance <= 1 {
+		o.MaxImbalance = 1.1
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 64
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 6
+	}
+	if o.GrowTries <= 0 {
+		o.GrowTries = 4
+	}
+	return o
+}
+
+// Result is a bisection.
+type Result struct {
+	A, B      []uint64
+	CutWeight int64
+	// Balance is heavierSideWeight / idealHalfWeight (1.0 = perfect).
+	Balance float64
+}
+
+// Errors returned by Bisect.
+var (
+	ErrEmptyGraph   = errors.New("partition: empty graph")
+	ErrNotSymmetric = errors.New("partition: adjacency is not symmetric")
+)
+
+// internal compact representation of one multilevel graph
+type level struct {
+	n   int
+	adj [][]arc // adjacency per vertex
+	vwt []int64
+	// coarse mapping: vertex i of this level maps to match[i] pair in the
+	// finer level via fineMap (set on the *coarser* level).
+	fineOf [][]int // coarse vertex -> fine vertices it merged
+}
+
+type arc struct {
+	to int
+	w  int64
+}
+
+// Bisect splits g into two balanced halves minimizing cut weight.
+func Bisect(g Graph, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if len(g.Adj) == 0 {
+		return Result{}, ErrEmptyGraph
+	}
+
+	// Index vertices deterministically.
+	ids := make([]uint64, 0, len(g.Adj))
+	for v := range g.Adj {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	idx := make(map[uint64]int, len(ids))
+	for i, v := range ids {
+		idx[v] = i
+	}
+
+	base := &level{n: len(ids)}
+	base.adj = make([][]arc, base.n)
+	base.vwt = make([]int64, base.n)
+	for i, v := range ids {
+		w := int64(1)
+		if g.VWeight != nil {
+			if vw, ok := g.VWeight[v]; ok && vw > 0 {
+				w = vw
+			}
+		}
+		base.vwt[i] = w
+		nbrs := g.Adj[v]
+		keys := make([]uint64, 0, len(nbrs))
+		for u := range nbrs {
+			keys = append(keys, u)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, u := range keys {
+			j, ok := idx[u]
+			if !ok {
+				return Result{}, fmt.Errorf("%w: edge to unknown vertex %d", ErrNotSymmetric, u)
+			}
+			if j == i {
+				continue // ignore self loops
+			}
+			if g.Adj[u][v] != nbrs[u] {
+				return Result{}, fmt.Errorf("%w: %d-%d", ErrNotSymmetric, v, u)
+			}
+			base.adj[i] = append(base.adj[i], arc{to: j, w: nbrs[u]})
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// 1. Coarsen.
+	levels := []*level{base}
+	cur := base
+	for cur.n > opts.CoarsenTo {
+		next := coarsen(cur, rng)
+		if next.n >= cur.n*9/10 {
+			break // diminishing returns; stop coarsening
+		}
+		levels = append(levels, next)
+		cur = next
+	}
+
+	// 2. Initial partition on the coarsest level.
+	part := initialPartition(cur, rng, opts)
+
+	// 3. Uncoarsen and refine.
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		if li < len(levels)-1 {
+			// Project the coarser partition onto this level.
+			coarser := levels[li+1]
+			fine := make([]int, lv.n)
+			for cv, side := range part {
+				for _, fv := range coarser.fineOf[cv] {
+					fine[fv] = side
+				}
+			}
+			part = fine
+		}
+		if !opts.DisableRefine {
+			klRefine(lv, part, opts)
+		}
+	}
+
+	// Assemble result.
+	var res Result
+	var wA, wB int64
+	for i, side := range part {
+		if side == 0 {
+			res.A = append(res.A, ids[i])
+			wA += base.vwt[i]
+		} else {
+			res.B = append(res.B, ids[i])
+			wB += base.vwt[i]
+		}
+	}
+	res.CutWeight = cutOf(base, part)
+	total := wA + wB
+	heavier := wA
+	if wB > heavier {
+		heavier = wB
+	}
+	if total > 0 {
+		res.Balance = float64(heavier) / (float64(total) / 2)
+	}
+	return res, nil
+}
+
+// coarsen builds the next level via heavy-edge matching.
+func coarsen(lv *level, rng *rand.Rand) *level {
+	order := rng.Perm(lv.n)
+	match := make([]int, lv.n)
+	for i := range match {
+		match[i] = -1
+	}
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		best, bestW := -1, int64(-1)
+		for _, a := range lv.adj[v] {
+			if match[a.to] == -1 && a.w > bestW {
+				best, bestW = a.to, a.w
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v // matched with itself
+		}
+	}
+
+	coarseID := make([]int, lv.n)
+	for i := range coarseID {
+		coarseID[i] = -1
+	}
+	next := &level{}
+	for v := 0; v < lv.n; v++ {
+		if coarseID[v] != -1 {
+			continue
+		}
+		u := match[v]
+		cid := next.n
+		next.n++
+		coarseID[v] = cid
+		grp := []int{v}
+		w := lv.vwt[v]
+		if u != v && u >= 0 {
+			coarseID[u] = cid
+			grp = append(grp, u)
+			w += lv.vwt[u]
+		}
+		next.fineOf = append(next.fineOf, grp)
+		next.vwt = append(next.vwt, w)
+	}
+	// Combine edges.
+	next.adj = make([][]arc, next.n)
+	agg := make(map[int64]int64) // (cu<<32|cv) -> weight, cu < cv
+	for v := 0; v < lv.n; v++ {
+		cu := coarseID[v]
+		for _, a := range lv.adj[v] {
+			cv := coarseID[a.to]
+			if cu == cv {
+				continue
+			}
+			lo, hi := cu, cv
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			agg[int64(lo)<<32|int64(hi)] += a.w
+		}
+	}
+	// Deterministic adjacency order (map iteration would leak randomness
+	// into the next round's matching tie-breaks).
+	keys := make([]int64, 0, len(agg))
+	for key := range agg {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		lo, hi := int(key>>32), int(key&0xFFFFFFFF)
+		// Each undirected edge was counted from both endpoints.
+		w := agg[key] / 2
+		next.adj[lo] = append(next.adj[lo], arc{to: hi, w: w})
+		next.adj[hi] = append(next.adj[hi], arc{to: lo, w: w})
+	}
+	return next
+}
+
+// initialPartition greedily grows region A from several seeds and keeps the
+// best balanced cut.
+func initialPartition(lv *level, rng *rand.Rand, opts Options) []int {
+	var total int64
+	for _, w := range lv.vwt {
+		total += w
+	}
+	half := total / 2
+
+	bestPart := []int(nil)
+	bestCut := int64(-1)
+	tries := opts.GrowTries
+	if tries > lv.n {
+		tries = lv.n
+	}
+	if tries < 1 {
+		tries = 1
+	}
+	for try := 0; try < tries; try++ {
+		part := make([]int, lv.n)
+		for i := range part {
+			part[i] = 1 // everything starts in B
+		}
+		var wA int64
+		inA := func(v int) {
+			part[v] = 0
+			wA += lv.vwt[v]
+		}
+		seed := rng.Intn(lv.n)
+		inA(seed)
+		// Frontier: vertices in B adjacent to A, with gain = weight to A.
+		gain := make(map[int]int64)
+		addFrontier := func(v int) {
+			for _, a := range lv.adj[v] {
+				if part[a.to] == 1 {
+					gain[a.to] += a.w
+				}
+			}
+		}
+		addFrontier(seed)
+		for wA < half {
+			// Pick the frontier vertex with max gain; if the frontier is
+			// empty (disconnected graph), jump to an arbitrary B vertex.
+			best, bestG := -1, int64(-1)
+			for v, g := range gain {
+				if g > bestG || (g == bestG && (best == -1 || v < best)) {
+					best, bestG = v, g
+				}
+			}
+			if best == -1 {
+				for v := 0; v < lv.n; v++ {
+					if part[v] == 1 {
+						best = v
+						break
+					}
+				}
+				if best == -1 {
+					break
+				}
+			}
+			delete(gain, best)
+			inA(best)
+			addFrontier(best)
+		}
+		cut := cutOf(lv, part)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			bestPart = part
+		}
+	}
+	return bestPart
+}
+
+// klRefine runs Kernighan–Lin boundary passes in place.
+func klRefine(lv *level, part []int, opts Options) {
+	var total int64
+	for _, w := range lv.vwt {
+		total += w
+	}
+	maxSide := int64(float64(total) / 2 * opts.MaxImbalance)
+
+	sideWeight := func() (int64, int64) {
+		var a, b int64
+		for i, s := range part {
+			if s == 0 {
+				a += lv.vwt[i]
+			} else {
+				b += lv.vwt[i]
+			}
+		}
+		return a, b
+	}
+
+	// Forced rebalance: if the initial partition overshot the tolerance
+	// (greedy growing stops only after crossing half weight, and coarse
+	// vertices are heavy), move the least-connected vertices off the heavy
+	// side before gain-driven refinement.
+	{
+		wA, wB := sideWeight()
+		for guard := 0; (wA > maxSide || wB > maxSide) && guard < lv.n; guard++ {
+			heavy := 0
+			if wB > wA {
+				heavy = 1
+			}
+			best, bestG := -1, int64(0)
+			for v := 0; v < lv.n; v++ {
+				if part[v] != heavy {
+					continue
+				}
+				var g int64
+				for _, a := range lv.adj[v] {
+					if part[a.to] == part[v] {
+						g -= a.w
+					} else {
+						g += a.w
+					}
+				}
+				if best == -1 || g > bestG {
+					best, bestG = v, g
+				}
+			}
+			if best == -1 {
+				break
+			}
+			if part[best] == 0 {
+				part[best] = 1
+				wA -= lv.vwt[best]
+				wB += lv.vwt[best]
+			} else {
+				part[best] = 0
+				wA += lv.vwt[best]
+				wB -= lv.vwt[best]
+			}
+		}
+	}
+
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		wA, wB := sideWeight()
+		// gains[v] = external - internal edge weight.
+		gains := make([]int64, lv.n)
+		for v := 0; v < lv.n; v++ {
+			for _, a := range lv.adj[v] {
+				if part[a.to] == part[v] {
+					gains[v] -= a.w
+				} else {
+					gains[v] += a.w
+				}
+			}
+		}
+		moved := make([]bool, lv.n)
+		type move struct {
+			v    int
+			gain int64
+		}
+		var seq []move
+		var cumGain, bestGain int64
+		bestAt := -1
+		for step := 0; step < lv.n; step++ {
+			best, bestG := -1, int64(0)
+			first := true
+			for v := 0; v < lv.n; v++ {
+				if moved[v] {
+					continue
+				}
+				// Balance check: moving v from its side.
+				var na, nb int64
+				if part[v] == 0 {
+					na, nb = wA-lv.vwt[v], wB+lv.vwt[v]
+				} else {
+					na, nb = wA+lv.vwt[v], wB-lv.vwt[v]
+				}
+				if na > maxSide || nb > maxSide {
+					continue
+				}
+				if first || gains[v] > bestG {
+					best, bestG = v, gains[v]
+					first = false
+				}
+			}
+			if best == -1 {
+				break
+			}
+			// Apply tentative move.
+			moved[best] = true
+			if part[best] == 0 {
+				part[best] = 1
+				wA -= lv.vwt[best]
+				wB += lv.vwt[best]
+			} else {
+				part[best] = 0
+				wA += lv.vwt[best]
+				wB -= lv.vwt[best]
+			}
+			for _, a := range lv.adj[best] {
+				if part[a.to] == part[best] {
+					gains[a.to] -= 2 * a.w
+				} else {
+					gains[a.to] += 2 * a.w
+				}
+			}
+			cumGain += bestG
+			seq = append(seq, move{best, bestG})
+			if cumGain > bestGain {
+				bestGain = cumGain
+				bestAt = len(seq) - 1
+			}
+		}
+		// Roll back moves past the best prefix.
+		for i := len(seq) - 1; i > bestAt; i-- {
+			v := seq[i].v
+			part[v] ^= 1
+		}
+		if bestGain <= 0 {
+			return // no improvement this pass
+		}
+	}
+}
+
+func cutOf(lv *level, part []int) int64 {
+	var cut int64
+	for v := 0; v < lv.n; v++ {
+		for _, a := range lv.adj[v] {
+			if a.to > v && part[a.to] != part[v] {
+				cut += a.w
+			}
+		}
+	}
+	return cut
+}
+
+// CutWeight computes the weight of edges crossing the given 2-coloring of
+// graph g (sideOf maps every vertex to 0 or 1).
+func CutWeight(g Graph, sideOf map[uint64]int) int64 {
+	var cut int64
+	for v, nbrs := range g.Adj {
+		for u, w := range nbrs {
+			if u > v && sideOf[u] != sideOf[v] {
+				cut += w
+			}
+		}
+	}
+	return cut
+}
+
+// RandomBisect splits vertices into two random halves (ablation baseline).
+func RandomBisect(g Graph, seed int64) Result {
+	ids := make([]uint64, 0, len(g.Adj))
+	for v := range g.Adj {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return assembleSplit(g, ids)
+}
+
+// OrderBisect splits vertices in id order (a proxy for namespace-based
+// partitioning where ids are assigned in directory-walk order).
+func OrderBisect(g Graph) Result {
+	ids := make([]uint64, 0, len(g.Adj))
+	for v := range g.Adj {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return assembleSplit(g, ids)
+}
+
+// AttributeBisect splits vertices at the median of a static metadata
+// attribute (file size, mtime, ...) — the SmartStore-style partitioning
+// the paper contrasts with access-causality partitioning (§III). Vertices
+// missing from attrs sort as zero.
+func AttributeBisect(g Graph, attrs map[uint64]int64) Result {
+	ids := make([]uint64, 0, len(g.Adj))
+	for v := range g.Adj {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ai, aj := attrs[ids[i]], attrs[ids[j]]
+		if ai != aj {
+			return ai < aj
+		}
+		return ids[i] < ids[j]
+	})
+	return assembleSplit(g, ids)
+}
+
+func assembleSplit(g Graph, ids []uint64) Result {
+	mid := len(ids) / 2
+	sideOf := make(map[uint64]int, len(ids))
+	res := Result{}
+	for i, v := range ids {
+		if i < mid {
+			sideOf[v] = 0
+			res.A = append(res.A, v)
+		} else {
+			sideOf[v] = 1
+			res.B = append(res.B, v)
+		}
+	}
+	sort.Slice(res.A, func(i, j int) bool { return res.A[i] < res.A[j] })
+	sort.Slice(res.B, func(i, j int) bool { return res.B[i] < res.B[j] })
+	res.CutWeight = CutWeight(g, sideOf)
+	if len(ids) > 0 {
+		heavier := len(res.A)
+		if len(res.B) > heavier {
+			heavier = len(res.B)
+		}
+		res.Balance = float64(heavier) / (float64(len(ids)) / 2)
+	}
+	return res
+}

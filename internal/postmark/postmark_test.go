@@ -1,0 +1,115 @@
+package postmark
+
+import (
+	"testing"
+
+	"propeller/internal/indexnode"
+	"propeller/internal/pagestore"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+func smallCfg() Config {
+	return Config{Files: 2000, Subdirs: 20, Transactions: 1000, Seed: 1}
+}
+
+func newPropellerFS(t testing.TB, clock *vclock.Clock) *PropellerFS {
+	t.Helper()
+	disk := simdisk.New(simdisk.Barracuda7200(), clock)
+	store, err := pagestore.New(disk, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := indexnode.New(indexnode.Config{ID: "pm", Store: store, Disk: disk, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPropellerFS(clock, simdisk.New(simdisk.Barracuda7200(), clock), node)
+}
+
+func TestRunProducesSaneReport(t *testing.T) {
+	clock := vclock.New()
+	fs := StandardModels(clock)[0] // ext4
+	rep, err := Run(fs, clock, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FS != "ext4" {
+		t.Errorf("fs name = %q", rep.FS)
+	}
+	if rep.FilesPerSec <= 0 || rep.Elapsed <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.BytesWritten == 0 || rep.BytesRead == 0 {
+		t.Errorf("no data moved: %+v", rep)
+	}
+}
+
+func TestTableVIOrdering(t *testing.T) {
+	// The shape the paper reports: ext4 fastest; PTFS slower than ext4;
+	// Propeller slower than PTFS (inline indexing) but in the same class as
+	// the other FUSE file systems.
+	rates := map[string]float64{}
+	for _, name := range []string{"ext4", "btrfs", "ptfs", "ntfs-3g", "zfs-fuse"} {
+		clock := vclock.New()
+		var fs FS
+		for _, m := range StandardModels(clock) {
+			if m.Name() == name {
+				fs = m
+			}
+		}
+		rep, err := Run(fs, clock, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates[name] = rep.FilesPerSec
+	}
+	clock := vclock.New()
+	rep, err := Run(newPropellerFS(t, clock), clock, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates["propeller"] = rep.FilesPerSec
+
+	if !(rates["ext4"] > rates["btrfs"] && rates["btrfs"] > rates["ntfs-3g"]) {
+		t.Errorf("native ordering wrong: %v", rates)
+	}
+	if !(rates["ext4"] > rates["ptfs"]) {
+		t.Errorf("FUSE must cost over native: %v", rates)
+	}
+	if !(rates["ptfs"] > rates["propeller"]) {
+		t.Errorf("inline indexing must cost over pass-through: %v", rates)
+	}
+	if rates["propeller"] < rates["zfs-fuse"]/2 {
+		t.Errorf("propeller should be comparable to FUSE peers: %v", rates)
+	}
+	// Paper: Propeller ~2.4x slower than PTFS on creates.
+	ratio := rates["ptfs"] / rates["propeller"]
+	if ratio < 1.2 || ratio > 5 {
+		t.Errorf("ptfs/propeller ratio = %.2f, want ~2.4", ratio)
+	}
+}
+
+func TestPropellerFSIndexesInline(t *testing.T) {
+	clock := vclock.New()
+	fs := newPropellerFS(t, clock)
+	if err := fs.Create("/a", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/a", 2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Read("/never-created", 10); err != nil {
+		t.Fatal(err) // reads don't touch the index
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Files != 50000 || c.Subdirs != 200 {
+		t.Errorf("defaults = %+v, want the paper's 50k/200", c)
+	}
+}

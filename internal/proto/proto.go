@@ -1,0 +1,349 @@
+// Package proto defines the wire types exchanged between Propeller's
+// client, Master Node and Index Nodes (Figure 6). All types are
+// gob-encodable and carried by package rpc.
+package proto
+
+import (
+	"propeller/internal/attr"
+	"propeller/internal/index"
+)
+
+// ACGID identifies an access-causality group (an index partition).
+type ACGID uint64
+
+// NodeID identifies an Index Node.
+type NodeID string
+
+// IndexType enumerates the index structures an Index Node supports (§IV).
+type IndexType uint8
+
+// Supported index structures.
+const (
+	IndexBTree IndexType = iota + 1
+	IndexHash
+	IndexKD
+)
+
+// String implements fmt.Stringer.
+func (t IndexType) String() string {
+	switch t {
+	case IndexBTree:
+		return "btree"
+	case IndexHash:
+		return "hash"
+	case IndexKD:
+		return "kdtree"
+	default:
+		return "unknown"
+	}
+}
+
+// IndexSpec declares a user-defined index with a globally unique name.
+type IndexSpec struct {
+	// Name is the globally unique index name.
+	Name string
+	// Type selects the index structure.
+	Type IndexType
+	// Field is the attribute the index covers (b-tree/hash).
+	Field string
+	// Fields are the attributes a KD index covers, in dimension order.
+	Fields []string
+}
+
+// Dims returns the KD dimensionality (0 for non-KD specs).
+func (s IndexSpec) Dims() int {
+	if s.Type != IndexKD {
+		return 0
+	}
+	return len(s.Fields)
+}
+
+// FileMapping tells a client where a file's ACG lives.
+type FileMapping struct {
+	File index.FileID
+	ACG  ACGID
+	Node NodeID
+	Addr string
+}
+
+// --- Master RPCs ---
+
+// Master method names.
+const (
+	MethodRegisterNode = "master.RegisterNode"
+	MethodHeartbeat    = "master.Heartbeat"
+	MethodLookupFiles  = "master.LookupFiles"
+	MethodLookupIndex  = "master.LookupIndex"
+	MethodCreateIndex  = "master.CreateIndex"
+	MethodSplitReport  = "master.SplitReport"
+	MethodMergeReport  = "master.MergeReport"
+	MethodClusterStats = "master.ClusterStats"
+)
+
+// RegisterNodeReq announces an Index Node to the Master.
+type RegisterNodeReq struct {
+	Node NodeID
+	Addr string
+	// CapacityFiles is the node's advertised capacity (free-resource signal
+	// used for least-loaded placement).
+	CapacityFiles int64
+}
+
+// RegisterNodeResp acknowledges registration.
+type RegisterNodeResp struct {
+	OK bool
+}
+
+// ACGMeta is per-ACG metadata reported in heartbeats.
+type ACGMeta struct {
+	ACG   ACGID
+	Files int64
+}
+
+// HeartbeatReq is the Index Node's periodic status report.
+type HeartbeatReq struct {
+	Node NodeID
+	ACGs []ACGMeta
+	// FreeFiles is the remaining capacity.
+	FreeFiles int64
+}
+
+// HeartbeatResp carries Master instructions back to the node.
+type HeartbeatResp struct {
+	// SplitACGs lists groups the Master wants partitioned (grown past the
+	// threshold).
+	SplitACGs []ACGID
+}
+
+// LookupFilesReq resolves (or allocates) the ACG and Index Node of files.
+// Files sharing a GroupHint are placed in the same new ACG when unknown —
+// the hint is the client's connected-component id from its captured ACG.
+type LookupFilesReq struct {
+	Files []index.FileID
+	// GroupHints parallels Files (0 = no hint).
+	GroupHints []uint64
+	// Allocate controls whether unknown files get a new ACG (true for
+	// indexing, false for read-only lookups).
+	Allocate bool
+}
+
+// LookupFilesResp returns one mapping per requested file.
+type LookupFilesResp struct {
+	Mappings []FileMapping
+}
+
+// LookupIndexReq finds every Index Node holding ACGs that carry the named
+// index.
+type LookupIndexReq struct {
+	IndexName string
+}
+
+// IndexTarget is one (node, ACG set) search destination.
+type IndexTarget struct {
+	Node NodeID
+	Addr string
+	ACGs []ACGID
+}
+
+// LookupIndexResp lists the parallel fan-out targets for a search.
+type LookupIndexResp struct {
+	Spec    IndexSpec
+	Targets []IndexTarget
+}
+
+// CreateIndexReq registers a named index cluster-wide.
+type CreateIndexReq struct {
+	Spec IndexSpec
+}
+
+// CreateIndexResp acknowledges creation.
+type CreateIndexResp struct {
+	OK bool
+}
+
+// SplitReportReq tells the Master an Index Node finished partitioning an
+// oversized ACG in the background. SideB lists the files that moved to the
+// new group.
+type SplitReportReq struct {
+	Node   NodeID
+	OldACG ACGID
+	SideB  []index.FileID
+}
+
+// SplitReportResp assigns the new ACG an id and a destination node.
+type SplitReportResp struct {
+	NewACG ACGID
+	Dest   NodeID
+	Addr   string
+}
+
+// MergeReportReq tells the Master an Index Node folded group Src into Dst
+// (both local to the node) to prevent index fragmentation from many tiny
+// groups (§III clusters small components; nodes may merge later).
+type MergeReportReq struct {
+	Node NodeID
+	Dst  ACGID
+	Src  ACGID
+}
+
+// MergeReportResp acknowledges the rebinding.
+type MergeReportResp struct {
+	// Moved is the number of file mappings rebound from Src to Dst.
+	Moved int
+}
+
+// ClusterStatsReq asks for a cluster summary.
+type ClusterStatsReq struct{}
+
+// NodeStats summarizes one Index Node from the Master's view.
+type NodeStats struct {
+	Node  NodeID
+	Addr  string
+	ACGs  int
+	Files int64
+}
+
+// ClusterStatsResp is the cluster summary.
+type ClusterStatsResp struct {
+	Nodes   []NodeStats
+	Files   int64
+	ACGs    int
+	Indexes []IndexSpec
+}
+
+// --- Index Node RPCs ---
+
+// Index Node method names.
+const (
+	MethodUpdate     = "in.Update"
+	MethodSearch     = "in.Search"
+	MethodFlushACG   = "in.FlushACG"
+	MethodCreateACG  = "in.CreateACG"
+	MethodReceiveACG = "in.ReceiveACG"
+	MethodSplitACG   = "in.SplitACG"
+	MethodNodeStats  = "in.NodeStats"
+)
+
+// IndexEntry is one (file, value) posting for a named index.
+type IndexEntry struct {
+	File  index.FileID
+	Value attr.Value
+	// KDCoords carries the point for KD indices (Value unused).
+	KDCoords []float64
+	// Delete marks a removal instead of an insertion.
+	Delete bool
+}
+
+// UpdateReq appends file-indexing requests for one ACG. The Index Node
+// acknowledges after the WAL append + cache insert — the paper's lazy
+// indexing fast path.
+type UpdateReq struct {
+	ACG       ACGID
+	IndexName string
+	Entries   []IndexEntry
+}
+
+// UpdateResp acknowledges the update.
+type UpdateResp struct {
+	// Cached is the number of entries sitting in the index cache.
+	Cached int
+}
+
+// SearchReq queries the named index on a set of ACGs held by this node.
+// The query string uses package query syntax. NowUnixNano anchors relative
+// mtime predicates.
+type SearchReq struct {
+	ACGs        []ACGID
+	IndexName   string
+	Query       string
+	NowUnixNano int64
+}
+
+// SearchResp returns matching files.
+type SearchResp struct {
+	Files []index.FileID
+	// CommitLatencyNanos reports the virtual time spent committing cached
+	// updates before the search (consistency cost; Figure 10).
+	CommitLatencyNanos int64
+}
+
+// ACGEdge is one weighted causality edge.
+type ACGEdge struct {
+	Src, Dst index.FileID
+	Weight   int64
+}
+
+// FlushACGReq merges a client-captured ACG fragment into the node's
+// authoritative graph for the group (weak consistency).
+type FlushACGReq struct {
+	ACG   ACGID
+	Edges []ACGEdge
+	// Vertices lists files with no edges yet.
+	Vertices []index.FileID
+}
+
+// FlushACGResp acknowledges the merge.
+type FlushACGResp struct {
+	OK bool
+}
+
+// CreateACGReq provisions an empty group on the node.
+type CreateACGReq struct {
+	ACG ACGID
+	// Files pre-declares group membership.
+	Files []index.FileID
+}
+
+// CreateACGResp acknowledges creation.
+type CreateACGResp struct {
+	OK bool
+}
+
+// MigratedIndex carries one index's full contents during ACG migration.
+type MigratedIndex struct {
+	Spec    IndexSpec
+	Entries []IndexEntry
+}
+
+// ReceiveACGReq transfers a (split) ACG to its new home node.
+type ReceiveACGReq struct {
+	ACG     ACGID
+	Files   []index.FileID
+	Edges   []ACGEdge
+	Indexes []MigratedIndex
+}
+
+// ReceiveACGResp acknowledges the transfer.
+type ReceiveACGResp struct {
+	OK bool
+}
+
+// SplitACGReq instructs the node to background-partition an oversized group.
+type SplitACGReq struct {
+	ACG ACGID
+}
+
+// SplitACGResp reports the result of the split.
+type SplitACGResp struct {
+	// Moved is the number of files migrated to the new group.
+	Moved int
+	// NewACG is the id the Master assigned.
+	NewACG ACGID
+	// CutWeight is the partition cut (inter-group accesses).
+	CutWeight int64
+}
+
+// NodeStatsReq asks an Index Node for its local stats.
+type NodeStatsReq struct{}
+
+// NodeStatsResp summarizes an Index Node.
+type NodeStatsResp struct {
+	Node       NodeID
+	ACGs       int
+	Files      int64
+	CachedOps  int
+	WALRecords int
+	PoolHits   int64
+	PoolMisses int64
+	IndexSpecs []IndexSpec
+}

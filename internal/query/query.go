@@ -1,0 +1,334 @@
+// Package query implements Propeller's file-search predicate language, the
+// textual form behind both the dynamic query-directory syntax
+// ("/foo/bar/?size>1m") and the file-search API (§IV).
+//
+// A query is a conjunction of predicates over named attributes:
+//
+//	size>1g & mtime<1day & keyword:firefox
+//
+// Size literals accept k/m/g/t suffixes. mtime comparisons are expressed as
+// ages ("mtime<1day" = modified within the last day) and resolved against a
+// reference time at parse time.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"propeller/internal/attr"
+	"propeller/internal/vfs"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// Comparison operators.
+const (
+	OpEq Op = iota + 1
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Predicate is a single field comparison.
+type Predicate struct {
+	Field string
+	Op    Op
+	Value attr.Value
+}
+
+// Query is a conjunction of predicates.
+type Query struct {
+	Preds []Predicate
+}
+
+// ErrSyntax is returned for malformed query strings.
+var ErrSyntax = errors.New("query: syntax error")
+
+// Parse parses a query string. now anchors relative mtime ages.
+func Parse(s string, now time.Time) (Query, error) {
+	var q Query
+	for _, rawTerm := range strings.Split(s, "&") {
+		term := strings.TrimSpace(rawTerm)
+		if term == "" {
+			continue
+		}
+		p, err := parseTerm(term, now)
+		if err != nil {
+			return Query{}, err
+		}
+		q.Preds = append(q.Preds, p)
+	}
+	if len(q.Preds) == 0 {
+		return Query{}, fmt.Errorf("%w: empty query %q", ErrSyntax, s)
+	}
+	return q, nil
+}
+
+func parseTerm(term string, now time.Time) (Predicate, error) {
+	// keyword:foo shorthand.
+	if i := strings.IndexByte(term, ':'); i > 0 && !strings.ContainsAny(term[:i], "<>=") {
+		field := strings.TrimSpace(term[:i])
+		val := strings.TrimSpace(term[i+1:])
+		if val == "" {
+			return Predicate{}, fmt.Errorf("%w: empty value in %q", ErrSyntax, term)
+		}
+		return Predicate{Field: strings.ToLower(field), Op: OpEq, Value: attr.Str(val)}, nil
+	}
+
+	opPos := strings.IndexAny(term, "<>=")
+	if opPos <= 0 {
+		return Predicate{}, fmt.Errorf("%w: no operator in %q", ErrSyntax, term)
+	}
+	field := strings.ToLower(strings.TrimSpace(term[:opPos]))
+	rest := term[opPos:]
+	var op Op
+	switch {
+	case strings.HasPrefix(rest, "<="):
+		op, rest = OpLe, rest[2:]
+	case strings.HasPrefix(rest, ">="):
+		op, rest = OpGe, rest[2:]
+	case strings.HasPrefix(rest, "<"):
+		op, rest = OpLt, rest[1:]
+	case strings.HasPrefix(rest, ">"):
+		op, rest = OpGt, rest[1:]
+	case strings.HasPrefix(rest, "="):
+		op, rest = OpEq, rest[1:]
+	default:
+		return Predicate{}, fmt.Errorf("%w: bad operator in %q", ErrSyntax, term)
+	}
+	lit := strings.TrimSpace(rest)
+	if lit == "" {
+		return Predicate{}, fmt.Errorf("%w: missing literal in %q", ErrSyntax, term)
+	}
+
+	switch field {
+	case "size":
+		n, err := parseSize(lit)
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Field: field, Op: op, Value: attr.Int(n)}, nil
+	case "mtime":
+		// "mtime < 1day" means "age < 1 day": mtime after now-1day.
+		d, err := parseAge(lit)
+		if err != nil {
+			return Predicate{}, err
+		}
+		cutoff := now.Add(-d)
+		flipped := map[Op]Op{OpLt: OpGt, OpLe: OpGe, OpGt: OpLt, OpGe: OpLe, OpEq: OpEq}[op]
+		return Predicate{Field: field, Op: flipped, Value: attr.Time(cutoff)}, nil
+	case "uid":
+		n, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("%w: uid %q", ErrSyntax, lit)
+		}
+		return Predicate{Field: field, Op: op, Value: attr.Int(n)}, nil
+	default:
+		// User-defined attribute: int if it parses, else string.
+		if n, err := strconv.ParseInt(lit, 10, 64); err == nil {
+			return Predicate{Field: field, Op: op, Value: attr.Int(n)}, nil
+		}
+		if f, err := strconv.ParseFloat(lit, 64); err == nil {
+			return Predicate{Field: field, Op: op, Value: attr.Float(f)}, nil
+		}
+		return Predicate{Field: field, Op: op, Value: attr.Str(lit)}, nil
+	}
+}
+
+func parseSize(lit string) (int64, error) {
+	lit = strings.ToLower(strings.TrimSpace(lit))
+	mult := int64(1)
+	for _, sfx := range []struct {
+		s string
+		m int64
+	}{
+		{"tb", 1 << 40}, {"t", 1 << 40},
+		{"gb", 1 << 30}, {"g", 1 << 30},
+		{"mb", 1 << 20}, {"m", 1 << 20},
+		{"kb", 1 << 10}, {"k", 1 << 10},
+		{"b", 1},
+	} {
+		if strings.HasSuffix(lit, sfx.s) {
+			mult = sfx.m
+			lit = strings.TrimSuffix(lit, sfx.s)
+			break
+		}
+	}
+	lit = strings.TrimSpace(lit)
+	n, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: size literal %q", ErrSyntax, lit)
+	}
+	return int64(n * float64(mult)), nil
+}
+
+func parseAge(lit string) (time.Duration, error) {
+	lit = strings.ToLower(strings.TrimSpace(lit))
+	units := []struct {
+		s string
+		d time.Duration
+	}{
+		{"weeks", 7 * 24 * time.Hour}, {"week", 7 * 24 * time.Hour}, {"w", 7 * 24 * time.Hour},
+		{"days", 24 * time.Hour}, {"day", 24 * time.Hour}, {"d", 24 * time.Hour},
+		{"hours", time.Hour}, {"hour", time.Hour}, {"h", time.Hour},
+		{"minutes", time.Minute}, {"min", time.Minute},
+		{"seconds", time.Second}, {"sec", time.Second}, {"s", time.Second},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(lit, u.s) {
+			numStr := strings.TrimSpace(strings.TrimSuffix(lit, u.s))
+			n, err := strconv.ParseFloat(numStr, 64)
+			if err != nil {
+				return 0, fmt.Errorf("%w: age literal %q", ErrSyntax, lit)
+			}
+			return time.Duration(n * float64(u.d)), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: age literal %q needs a unit", ErrSyntax, lit)
+}
+
+// String renders the query back to its textual form.
+func (q Query) String() string {
+	parts := make([]string, 0, len(q.Preds))
+	for _, p := range q.Preds {
+		parts = append(parts, fmt.Sprintf("%s%s%s", p.Field, p.Op, p.Value))
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Matches evaluates the query against an attribute lookup function. Fields
+// missing from the record do not match.
+func (q Query) Matches(get func(field string) (attr.Value, bool)) bool {
+	for _, p := range q.Preds {
+		v, ok := get(p.Field)
+		if !ok {
+			return false
+		}
+		c, err := compareCoerced(v, p.Value)
+		if err != nil {
+			return false
+		}
+		switch p.Op {
+		case OpEq:
+			if c != 0 {
+				return false
+			}
+		case OpLt:
+			if c >= 0 {
+				return false
+			}
+		case OpLe:
+			if c > 0 {
+				return false
+			}
+		case OpGt:
+			if c <= 0 {
+				return false
+			}
+		case OpGe:
+			if c < 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// compareCoerced compares two values, coercing across numeric kinds (int,
+// float, time) so a float-typed index coordinate matches an int query
+// literal.
+func compareCoerced(a, b attr.Value) (int, error) {
+	if a.Kind() == b.Kind() {
+		return a.Compare(b)
+	}
+	numeric := func(k attr.Kind) bool {
+		return k == attr.KindInt || k == attr.KindFloat || k == attr.KindTime
+	}
+	if numeric(a.Kind()) && numeric(b.Kind()) {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return a.Compare(b) // will surface the kind mismatch
+}
+
+// AttrGetter adapts vfs.FileAttrs to the Matches lookup interface.
+func AttrGetter(fa vfs.FileAttrs) func(string) (attr.Value, bool) {
+	return func(field string) (attr.Value, bool) {
+		switch field {
+		case "size":
+			return attr.Int(fa.Size), true
+		case "mtime":
+			return attr.Time(fa.MTime), true
+		case "uid":
+			return attr.Int(fa.UID), true
+		case "keyword":
+			return attr.Str(fa.Keyword), true
+		default:
+			return attr.Value{}, false
+		}
+	}
+}
+
+// MatchesFile evaluates the query against a file's inode attributes.
+func (q Query) MatchesFile(fa vfs.FileAttrs) bool {
+	return q.Matches(AttrGetter(fa))
+}
+
+// Range converts the predicates on field into a half-open scan interval for
+// a B+tree (lo/hi nil = unbounded). It returns ok=false when the field has
+// no predicate in the query.
+func (q Query) Range(field string) (lo, hi *attr.Value, incLo, incHi, ok bool) {
+	incLo, incHi = true, true
+	for _, p := range q.Preds {
+		if p.Field != field {
+			continue
+		}
+		ok = true
+		v := p.Value
+		switch p.Op {
+		case OpEq:
+			lo, hi = &v, &v
+		case OpGt:
+			lo, incLo = &v, false
+		case OpGe:
+			lo = &v
+		case OpLt:
+			hi, incHi = &v, false
+		case OpLe:
+			hi = &v
+		}
+	}
+	return lo, hi, incLo, incHi, ok
+}

@@ -1,0 +1,59 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// QueryDir is a parsed dynamic query-directory path (§IV): a file-system
+// path of the form "/foo/bar/?size>1m & mtime<1day" whose listing is the
+// result of the embedded search. Semantic file systems expose searches this
+// way so unmodified applications can consume them via readdir.
+type QueryDir struct {
+	// Dir is the path prefix the query is scoped to ("/foo/bar").
+	Dir string
+	// Query is the parsed predicate.
+	Query Query
+}
+
+// IsQueryPath reports whether path embeds a query component.
+func IsQueryPath(path string) bool {
+	return strings.Contains(path, "/?")
+}
+
+// ParseQueryPath splits a dynamic query-directory path into its directory
+// scope and predicate. now anchors relative mtime predicates.
+func ParseQueryPath(path string, now time.Time) (QueryDir, error) {
+	i := strings.Index(path, "/?")
+	if i < 0 {
+		return QueryDir{}, fmt.Errorf("%w: %q has no query component", ErrSyntax, path)
+	}
+	dir := path[:i]
+	if dir == "" {
+		dir = "/"
+	}
+	q, err := Parse(path[i+2:], now)
+	if err != nil {
+		return QueryDir{}, err
+	}
+	return QueryDir{Dir: dir, Query: q}, nil
+}
+
+// InScope reports whether a file path falls under the query directory's
+// prefix.
+func (qd QueryDir) InScope(filePath string) bool {
+	if qd.Dir == "/" {
+		return strings.HasPrefix(filePath, "/")
+	}
+	return filePath == qd.Dir || strings.HasPrefix(filePath, qd.Dir+"/")
+}
+
+// String renders the query directory back to path form.
+func (qd QueryDir) String() string {
+	dir := qd.Dir
+	if dir == "/" {
+		dir = ""
+	}
+	return dir + "/?" + qd.Query.String()
+}

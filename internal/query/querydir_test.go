@@ -1,0 +1,95 @@
+package query
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestIsQueryPath(t *testing.T) {
+	tests := []struct {
+		path string
+		want bool
+	}{
+		{"/foo/bar/?size>1m", true},
+		{"/?size>1m", true},
+		{"/foo/bar", false},
+		{"/foo?size", false}, // needs the /? marker
+	}
+	for _, tt := range tests {
+		if got := IsQueryPath(tt.path); got != tt.want {
+			t.Errorf("IsQueryPath(%q) = %v, want %v", tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestParseQueryPath(t *testing.T) {
+	qd, err := ParseQueryPath("/data/logs/?size>1m & mtime<1day", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qd.Dir != "/data/logs" {
+		t.Errorf("dir = %q", qd.Dir)
+	}
+	if len(qd.Query.Preds) != 2 {
+		t.Errorf("preds = %d", len(qd.Query.Preds))
+	}
+	// Root-scoped query.
+	qd2, err := ParseQueryPath("/?size>1m", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qd2.Dir != "/" {
+		t.Errorf("root dir = %q", qd2.Dir)
+	}
+}
+
+func TestParseQueryPathErrors(t *testing.T) {
+	if _, err := ParseQueryPath("/plain/path", testNow); !errors.Is(err, ErrSyntax) {
+		t.Errorf("no query component = %v", err)
+	}
+	if _, err := ParseQueryPath("/x/?", testNow); !errors.Is(err, ErrSyntax) {
+		t.Errorf("empty query = %v", err)
+	}
+}
+
+func TestQueryDirScope(t *testing.T) {
+	qd, err := ParseQueryPath("/data/logs/?size>1m", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		path string
+		want bool
+	}{
+		{"/data/logs/a.log", true},
+		{"/data/logs", true},
+		{"/data/logsx/a.log", false},
+		{"/other", false},
+	}
+	for _, tt := range tests {
+		if got := qd.InScope(tt.path); got != tt.want {
+			t.Errorf("InScope(%q) = %v, want %v", tt.path, got, tt.want)
+		}
+	}
+	root, err := ParseQueryPath("/?size>1m", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.InScope("/anything/at/all") {
+		t.Error("root scope should match everything")
+	}
+}
+
+func TestQueryDirStringRoundTrip(t *testing.T) {
+	qd, err := ParseQueryPath("/data/?size>16m", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseQueryPath(qd.String(), testNow)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", qd.String(), err)
+	}
+	if back.Dir != qd.Dir || len(back.Query.Preds) != len(qd.Query.Preds) {
+		t.Errorf("round trip changed: %q -> %q", qd, back)
+	}
+}

@@ -1,0 +1,409 @@
+// Package rpc is the message layer of the Propeller cluster: a minimal
+// method-dispatch RPC over net.Conn with gob-encoded bodies.
+//
+// It supports both real transports (TCP via net.Listen, in-process via
+// net.Pipe) and an optional virtual network cost model so cluster
+// experiments charge GbE-like latency to the simulated clock regardless of
+// the physical transport.
+//
+// The layer is deliberately small: length-prefixed frames, one goroutine per
+// server connection, a multiplexing client safe for concurrent Call use —
+// the shape of the paper's "local RPC service" and node-to-node messaging.
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"propeller/internal/vclock"
+)
+
+// Errors returned by the RPC layer.
+var (
+	ErrClientClosed  = errors.New("rpc: client closed")
+	ErrServerClosed  = errors.New("rpc: server closed")
+	ErrNoSuchMethod  = errors.New("rpc: no such method")
+	ErrFrameTooLarge = errors.New("rpc: frame exceeds limit")
+)
+
+// maxFrame bounds a single message (64 MiB).
+const maxFrame = 64 << 20
+
+type frame struct {
+	ID     uint64
+	Method string
+	IsResp bool
+	ErrMsg string
+	Body   []byte
+}
+
+func writeFrame(w io.Writer, f *frame) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("rpc encode: %w", err)
+	}
+	if buf.Len() > maxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("rpc decode: %w", err)
+	}
+	return &f, nil
+}
+
+// NetProfile models the cluster interconnect (the paper uses a NetGear
+// gigabit switch).
+type NetProfile struct {
+	RTT         time.Duration
+	BytesPerSec int64
+}
+
+// GigabitLAN approximates a switched GbE LAN.
+func GigabitLAN() NetProfile {
+	return NetProfile{RTT: 120 * time.Microsecond, BytesPerSec: 110 << 20}
+}
+
+// cost returns the virtual time of moving n payload bytes one way plus half
+// the RTT.
+func (p NetProfile) cost(n int) time.Duration {
+	d := p.RTT / 2
+	if p.BytesPerSec > 0 {
+		d += time.Duration(int64(n) * int64(time.Second) / p.BytesPerSec)
+	}
+	return d
+}
+
+// Handler serves one method: raw gob body in, raw gob body out.
+type Handler func(body []byte) ([]byte, error)
+
+// Server dispatches incoming frames to registered handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	lns      []net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers a raw handler for method.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// HandleTyped registers a handler with typed request/response, gob-encoded.
+func HandleTyped[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error)) {
+	s.Handle(method, func(body []byte) ([]byte, error) {
+		var req Req
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+			return nil, fmt.Errorf("rpc %s: decode request: %w", method, err)
+		}
+		resp, err := fn(req)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&resp); err != nil {
+			return nil, fmt.Errorf("rpc %s: encode response: %w", method, err)
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// Serve accepts connections from ln until the server or listener closes.
+// It returns after the accept loop ends; per-connection goroutines are
+// tracked and joined by Close.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.trackConn(conn)
+	}
+}
+
+// ServeConn serves a single pre-established connection (used with net.Pipe
+// for in-process clusters).
+func (s *Server) ServeConn(conn net.Conn) {
+	s.trackConn(conn)
+}
+
+func (s *Server) trackConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			_ = conn.Close()
+		}()
+		s.connLoop(conn)
+	}()
+}
+
+func (s *Server) connLoop(conn net.Conn) {
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		h, ok := s.handlers[f.Method]
+		s.mu.Unlock()
+		reqWG.Add(1)
+		go func(f *frame) {
+			defer reqWG.Done()
+			resp := &frame{ID: f.ID, Method: f.Method, IsResp: true}
+			if !ok {
+				resp.ErrMsg = ErrNoSuchMethod.Error() + ": " + f.Method
+			} else if body, err := h(f.Body); err != nil {
+				resp.ErrMsg = err.Error()
+			} else {
+				resp.Body = body
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = writeFrame(conn, resp)
+		}(f)
+	}
+}
+
+// Close stops the server: listeners and connections close, handler
+// goroutines are joined.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := s.lns
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Client is a multiplexing RPC client over one connection. Safe for
+// concurrent Call use.
+type Client struct {
+	conn    net.Conn
+	clock   *vclock.Clock // optional virtual network cost
+	profile NetProfile
+
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *frame
+	closed  bool
+	readErr error
+	done    chan struct{}
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithVirtualNet charges each call's bytes and RTT to clock using profile.
+func WithVirtualNet(clock *vclock.Clock, profile NetProfile) ClientOption {
+	return func(c *Client) {
+		c.clock = clock
+		c.profile = profile
+	}
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn, opts ...ClientOption) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan *frame),
+		done:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to a TCP server address.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc dial %s: %w", addr, err)
+	}
+	return NewClient(conn, opts...), nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.closed = true
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ID]
+		if ok {
+			delete(c.pending, f.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// call performs a raw request/response exchange.
+func (c *Client) call(method string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req := &frame{ID: id, Method: method, Body: body}
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc call %s: %w", method, err)
+	}
+	if c.clock != nil {
+		c.clock.Advance(c.profile.cost(len(body)))
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("rpc call %s: connection lost: %w", method, ErrClientClosed)
+	}
+	if c.clock != nil {
+		c.clock.Advance(c.profile.cost(len(resp.Body)))
+	}
+	if resp.ErrMsg != "" {
+		return nil, errors.New(resp.ErrMsg)
+	}
+	return resp.Body, nil
+}
+
+// Call performs a typed request/response exchange: req is gob-encoded, the
+// response is decoded into resp (a non-nil pointer).
+func Call[Req, Resp any](c *Client, method string, req Req) (Resp, error) {
+	var resp Resp
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+		return resp, fmt.Errorf("rpc %s: encode request: %w", method, err)
+	}
+	body, err := c.call(method, buf.Bytes())
+	if err != nil {
+		return resp, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&resp); err != nil {
+		return resp, fmt.Errorf("rpc %s: decode response: %w", method, err)
+	}
+	return resp, nil
+}
+
+// Close tears the client down and waits for the reader to exit.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// Pipe returns a connected client/server conn pair for in-process clusters.
+func Pipe() (clientConn, serverConn net.Conn) {
+	return net.Pipe()
+}

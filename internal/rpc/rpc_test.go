@@ -1,0 +1,207 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"propeller/internal/vclock"
+)
+
+type echoReq struct {
+	Msg string
+	N   int
+}
+
+type echoResp struct {
+	Msg string
+	N   int
+}
+
+func startPipeServer(t *testing.T, s *Server) *Client {
+	t.Helper()
+	cc, sc := Pipe()
+	s.ServeConn(sc)
+	c := NewClient(cc)
+	t.Cleanup(func() {
+		_ = c.Close()
+		_ = s.Close()
+	})
+	return c
+}
+
+func TestTypedCallOverPipe(t *testing.T) {
+	s := NewServer()
+	HandleTyped(s, "echo", func(r echoReq) (echoResp, error) {
+		return echoResp{Msg: r.Msg + "!", N: r.N * 2}, nil
+	})
+	c := startPipeServer(t, s)
+	resp, err := Call[echoReq, echoResp](c, "echo", echoReq{Msg: "hi", N: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Msg != "hi!" || resp.N != 42 {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestCallOverTCP(t *testing.T) {
+	s := NewServer()
+	HandleTyped(s, "echo", func(r echoReq) (echoResp, error) {
+		return echoResp{Msg: r.Msg, N: r.N}, nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer s.Close() //nolint:errcheck
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	resp, err := Call[echoReq, echoResp](c, "echo", echoReq{Msg: "tcp", N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Msg != "tcp" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	s := NewServer()
+	HandleTyped(s, "fail", func(r echoReq) (echoResp, error) {
+		return echoResp{}, errors.New("deliberate failure")
+	})
+	c := startPipeServer(t, s)
+	_, err := Call[echoReq, echoResp](c, "fail", echoReq{})
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Errorf("err = %v, want handler error", err)
+	}
+}
+
+func TestNoSuchMethod(t *testing.T) {
+	s := NewServer()
+	c := startPipeServer(t, s)
+	_, err := Call[echoReq, echoResp](c, "missing", echoReq{})
+	if err == nil || !strings.Contains(err.Error(), "no such method") {
+		t.Errorf("err = %v, want no-such-method", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	s := NewServer()
+	HandleTyped(s, "double", func(r echoReq) (echoResp, error) {
+		time.Sleep(time.Millisecond) // force interleaving
+		return echoResp{N: r.N * 2}, nil
+	})
+	c := startPipeServer(t, s)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			resp, err := Call[echoReq, echoResp](c, "double", echoReq{N: n})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.N != n*2 {
+				errs <- errors.New("wrong response routing")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestClientClosedCallFails(t *testing.T) {
+	s := NewServer()
+	cc, sc := Pipe()
+	s.ServeConn(sc)
+	c := NewClient(cc)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+	if _, err := Call[echoReq, echoResp](c, "x", echoReq{}); err == nil {
+		t.Error("call on closed client should fail")
+	}
+}
+
+func TestServerCloseUnblocksClient(t *testing.T) {
+	s := NewServer()
+	block := make(chan struct{})
+	HandleTyped(s, "slow", func(r echoReq) (echoResp, error) {
+		<-block
+		return echoResp{}, nil
+	})
+	cc, sc := Pipe()
+	s.ServeConn(sc)
+	c := NewClient(cc)
+	defer c.Close() //nolint:errcheck
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Call[echoReq, echoResp](c, "slow", echoReq{})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(block) // let the handler finish before tearing down
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Logf("call ended with %v (acceptable on teardown)", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("call never completed")
+	}
+	_ = s.Close()
+}
+
+func TestVirtualNetChargesClock(t *testing.T) {
+	s := NewServer()
+	HandleTyped(s, "echo", func(r echoReq) (echoResp, error) {
+		return echoResp{Msg: r.Msg}, nil
+	})
+	cc, sc := Pipe()
+	s.ServeConn(sc)
+	clk := vclock.New()
+	c := NewClient(cc, WithVirtualNet(clk, GigabitLAN()))
+	defer func() { _ = c.Close(); _ = s.Close() }()
+
+	if _, err := Call[echoReq, echoResp](c, "echo", echoReq{Msg: strings.Repeat("x", 1<<20)}); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() < GigabitLAN().RTT {
+		t.Errorf("clock advanced %v, want at least one RTT", clk.Now())
+	}
+	// A 1 MiB payload over ~110MB/s should cost on the order of 10ms.
+	if clk.Now() > 100*time.Millisecond {
+		t.Errorf("virtual cost %v implausibly large", clk.Now())
+	}
+}
+
+func TestServerDoubleCloseAndLateConn(t *testing.T) {
+	s := NewServer()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Conns offered after close are rejected quietly.
+	cc, sc := Pipe()
+	s.ServeConn(sc)
+	_ = cc.Close()
+}

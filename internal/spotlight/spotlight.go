@@ -1,0 +1,224 @@
+// Package spotlight models the crawling-based desktop search engine the
+// paper compares against (Apple Spotlight, §II and §V-E). The model
+// captures the two properties the paper's Figures 1 and 11 and Table V
+// measure:
+//
+//  1. Asynchronous crawling: the queryable index is a *snapshot*; changes
+//     made after the last crawl are invisible, so recall degrades with
+//     background I/O intensity, and heavy change bursts trigger an index
+//     rebuild during which queries return nothing (recall 0).
+//  2. Limited type plugins: only supported file types are indexed at all,
+//     capping recall below 100% even on a quiet namespace.
+//
+// Latency follows the prototype's measured shape: warm queries scan the
+// snapshot at a fixed per-file cost; cold queries additionally pay the
+// whole-index disk load.
+package spotlight
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"propeller/internal/index"
+	"propeller/internal/query"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+	"propeller/internal/vfs"
+)
+
+// Config tunes the engine.
+type Config struct {
+	Namespace *vfs.Namespace
+	Clock     *vclock.Clock
+	Disk      *simdisk.Disk
+	// CrawlInterval is the period between change-crawls.
+	CrawlInterval time.Duration
+	// RebuildThreshold is the number of accumulated changes that triggers a
+	// full index rebuild instead of an incremental crawl.
+	RebuildThreshold int
+	// RebuildPerFile is the rebuild cost per namespace file.
+	RebuildPerFile time.Duration
+	// TypeSupported reports whether the engine's plugins can index a file;
+	// nil uses DefaultTypeFilter.
+	TypeSupported func(vfs.FileAttrs) bool
+	// WarmPerFile is the per-snapshot-file scan cost of a warm query.
+	WarmPerFile time.Duration
+	// ColdOverhead is the fixed extra cost of the first query (daemon
+	// start, index open).
+	ColdOverhead time.Duration
+	// IndexBytesPerFile sizes the on-disk index for the cold load.
+	IndexBytesPerFile int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CrawlInterval <= 0 {
+		c.CrawlInterval = 30 * time.Second
+	}
+	if c.RebuildThreshold <= 0 {
+		c.RebuildThreshold = 500
+	}
+	if c.RebuildPerFile <= 0 {
+		c.RebuildPerFile = 300 * time.Microsecond
+	}
+	if c.TypeSupported == nil {
+		c.TypeSupported = DefaultTypeFilter
+	}
+	if c.WarmPerFile <= 0 {
+		// Calibrated to the paper's measurements: warm queries cost ~21 ms
+		// on a 138k-file snapshot (Table V) and ~28.5 ms on the ~90k-file
+		// dynamic namespace (Figure 11), i.e. a few hundred ns per indexed
+		// file of per-query scan/merge work in the mds daemon.
+		c.WarmPerFile = 300 * time.Nanosecond
+	}
+	if c.ColdOverhead <= 0 {
+		c.ColdOverhead = 2400 * time.Millisecond
+	}
+	if c.IndexBytesPerFile <= 0 {
+		c.IndexBytesPerFile = 200
+	}
+	return c
+}
+
+// DefaultTypeFilter models the plugin coverage gap: files under directories
+// the desktop plugins do not understand (raw data trees, VM images, build
+// artifacts) are skipped. The resulting recall ceiling matches the paper's
+// observation that Spotlight "only supports limited pre-defined file types".
+func DefaultTypeFilter(fa vfs.FileAttrs) bool {
+	p := fa.Path
+	for _, skip := range []string{"/vmimage", "/raw", "/build", "/objects", "/.git"} {
+		if strings.Contains(p, skip) {
+			return false
+		}
+	}
+	// Large opaque blobs are also skipped by type sniffing.
+	return fa.Size < 2<<30
+}
+
+// Engine is a simulated crawling search engine.
+type Engine struct {
+	cfg Config
+
+	mu           sync.Mutex
+	snapshot     map[index.FileID]vfs.FileAttrs // committed index
+	pending      int                            // changes since last crawl
+	lastCrawl    time.Duration
+	rebuildUntil time.Duration
+	everQueried  bool
+}
+
+// New returns an Engine watching cfg.Namespace. The initial index is built
+// immediately (the paper rebuilds the Spotlight index before each run).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, snapshot: make(map[index.FileID]vfs.FileAttrs)}
+	e.crawlLocked(cfg.Clock.Now())
+	e.lastCrawl = cfg.Clock.Now()
+	cfg.Namespace.Watch(func(vfs.Change) {
+		e.mu.Lock()
+		e.pending++
+		e.mu.Unlock()
+	})
+	return e
+}
+
+// crawlLocked re-snapshots the namespace (supported types only).
+func (e *Engine) crawlLocked(now time.Duration) {
+	snap := make(map[index.FileID]vfs.FileAttrs)
+	for _, fa := range e.cfg.Namespace.Files() {
+		if e.cfg.TypeSupported(fa) {
+			snap[fa.ID] = fa
+		}
+	}
+	e.snapshot = snap
+	e.pending = 0
+	e.lastCrawl = now
+}
+
+// AdvanceTo processes the crawl schedule up to virtual time now: every
+// CrawlInterval the crawler either incrementally refreshes the snapshot or,
+// past RebuildThreshold accumulated changes, starts a full rebuild that
+// blanks query results until it completes.
+func (e *Engine) AdvanceTo(now time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.lastCrawl+e.cfg.CrawlInterval <= now {
+		at := e.lastCrawl + e.cfg.CrawlInterval
+		if e.pending >= e.cfg.RebuildThreshold {
+			dur := time.Duration(e.cfg.Namespace.Len()) * e.cfg.RebuildPerFile
+			e.rebuildUntil = at + dur
+		}
+		e.crawlLocked(at)
+	}
+}
+
+// Rebuilding reports whether a rebuild window covers virtual time t.
+func (e *Engine) Rebuilding(t time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return t < e.rebuildUntil
+}
+
+// SnapshotLen returns the committed index size.
+func (e *Engine) SnapshotLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.snapshot)
+}
+
+// Query runs a search against the committed snapshot, charging the latency
+// model to the clock, and returns the matching files. During a rebuild
+// window the result is empty (the paper measured recall dropping to 0).
+func (e *Engine) Query(q query.Query) []index.FileID {
+	e.mu.Lock()
+	now := e.cfg.Clock.Now()
+	cold := !e.everQueried
+	e.everQueried = true
+	rebuilding := now < e.rebuildUntil
+	snap := make([]vfs.FileAttrs, 0, len(e.snapshot))
+	for _, fa := range e.snapshot {
+		snap = append(snap, fa)
+	}
+	e.mu.Unlock()
+
+	if cold {
+		e.cfg.Clock.Advance(e.cfg.ColdOverhead)
+		if e.cfg.Disk != nil {
+			//nolint:errcheck // latency charge only
+			e.cfg.Disk.Read(1<<35, int64(len(snap))*e.cfg.IndexBytesPerFile)
+		}
+	}
+	e.cfg.Clock.Advance(time.Duration(len(snap)) * e.cfg.WarmPerFile)
+
+	if rebuilding {
+		return nil
+	}
+	var out []index.FileID
+	for _, fa := range snap {
+		if q.MatchesFile(fa) {
+			out = append(out, fa.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Recall computes |returned ∩ relevant| / |relevant| against ground truth.
+// A query with no relevant files has recall 1.
+func Recall(returned []index.FileID, relevant []index.FileID) float64 {
+	if len(relevant) == 0 {
+		return 1
+	}
+	in := make(map[index.FileID]bool, len(returned))
+	for _, f := range returned {
+		in[f] = true
+	}
+	hit := 0
+	for _, f := range relevant {
+		if in[f] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(relevant))
+}

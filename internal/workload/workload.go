@@ -1,0 +1,165 @@
+// Package workload generates the application file-access traces the paper's
+// motivation and evaluation rely on: real-execution access sets with small
+// cross-application overlap (Table I), and compile traces whose ACGs show
+// per-module disconnected components (Figure 7, Table II).
+//
+// The generators are deterministic for a given seed. They reproduce the
+// *statistical* structure of the paper's monitored executions — per-app
+// private file universes, a handful of shared system libraries, and
+// module-local compile dataflow — which is all the ACG experiments depend
+// on.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"propeller/internal/index"
+)
+
+// PathIDs assigns dense FileIDs to paths (the client's view of the inode
+// table). Safe for concurrent use.
+type PathIDs struct {
+	mu    sync.Mutex
+	ids   map[string]index.FileID
+	paths []string
+}
+
+// NewPathIDs returns an empty registry.
+func NewPathIDs() *PathIDs {
+	return &PathIDs{ids: make(map[string]index.FileID)}
+}
+
+// ID returns the stable id for path, assigning the next dense id on first
+// use.
+func (p *PathIDs) ID(path string) index.FileID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id, ok := p.ids[path]; ok {
+		return id
+	}
+	id := index.FileID(len(p.paths))
+	p.ids[path] = id
+	p.paths = append(p.paths, path)
+	return id
+}
+
+// Path returns the path of id (empty if unknown).
+func (p *PathIDs) Path(id index.FileID) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) < len(p.paths) {
+		return p.paths[id]
+	}
+	return ""
+}
+
+// Len returns the number of registered paths.
+func (p *PathIDs) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.paths)
+}
+
+// AppProfile describes one monitored application execution for the Table I
+// reproduction. PairShared holds the number of files shared with each other
+// app; the generator materialises exactly those overlaps.
+type AppProfile struct {
+	Name       string
+	TotalFiles int
+	PairShared map[string]int
+}
+
+// TableIApps reproduces the four applications of Table I with the paper's
+// access-set sizes and pairwise overlaps.
+func TableIApps() []AppProfile {
+	return []AppProfile{
+		{Name: "aptget", TotalFiles: 279, PairShared: map[string]int{
+			"firefox": 31, "openoffice": 62, "linux": 29}},
+		{Name: "firefox", TotalFiles: 2279, PairShared: map[string]int{
+			"aptget": 31, "openoffice": 464, "linux": 48}},
+		{Name: "openoffice", TotalFiles: 2696, PairShared: map[string]int{
+			"aptget": 62, "firefox": 464, "linux": 45}},
+		{Name: "linux", TotalFiles: 19715, PairShared: map[string]int{
+			"aptget": 29, "firefox": 48, "openoffice": 45}},
+	}
+}
+
+// AccessSets materialises the file sets accessed by each app: pairwise
+// shared pools (system libraries) plus app-private files, with sizes and
+// overlaps matching the profiles exactly. The returned map is
+// app -> sorted paths.
+func AccessSets(apps []AppProfile) (map[string][]string, error) {
+	sets := make(map[string]map[string]bool, len(apps))
+	for _, a := range apps {
+		sets[a.Name] = make(map[string]bool, a.TotalFiles)
+	}
+	// Pairwise shared files (deterministic names).
+	done := map[string]bool{}
+	for _, a := range apps {
+		names := make([]string, 0, len(a.PairShared))
+		for other := range a.PairShared {
+			names = append(names, other)
+		}
+		sort.Strings(names)
+		for _, other := range names {
+			lo, hi := a.Name, other
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			key := lo + "/" + hi
+			if done[key] {
+				continue
+			}
+			done[key] = true
+			n := a.PairShared[other]
+			if m, ok := sets[other]; ok {
+				for i := 0; i < n; i++ {
+					p := fmt.Sprintf("/usr/lib/shared/%s-%s/lib%04d.so", lo, hi, i)
+					sets[a.Name][p] = true
+					m[p] = true
+				}
+			}
+		}
+	}
+	// Private remainder.
+	for _, a := range apps {
+		priv := a.TotalFiles - len(sets[a.Name])
+		if priv < 0 {
+			return nil, fmt.Errorf("workload: app %q overlaps (%d) exceed total %d",
+				a.Name, len(sets[a.Name]), a.TotalFiles)
+		}
+		for i := 0; i < priv; i++ {
+			sets[a.Name][fmt.Sprintf("/opt/%s/private/f%06d", a.Name, i)] = true
+		}
+	}
+	out := make(map[string][]string, len(sets))
+	for name, m := range sets {
+		paths := make([]string, 0, len(m))
+		for p := range m {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		out[name] = paths
+	}
+	return out, nil
+}
+
+// Overlap returns |a ∩ b| for two sorted path slices.
+func Overlap(a, b []string) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

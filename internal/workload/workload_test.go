@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+
+	"propeller/internal/acg"
+)
+
+func TestPathIDsDenseAndStable(t *testing.T) {
+	reg := NewPathIDs()
+	a := reg.ID("/x")
+	b := reg.ID("/y")
+	if a != 0 || b != 1 {
+		t.Errorf("ids = %d,%d, want 0,1", a, b)
+	}
+	if reg.ID("/x") != a {
+		t.Error("repeated ID() must be stable")
+	}
+	if reg.Path(a) != "/x" || reg.Path(99) != "" {
+		t.Error("Path lookup wrong")
+	}
+	if reg.Len() != 2 {
+		t.Errorf("Len = %d, want 2", reg.Len())
+	}
+}
+
+func TestAccessSetsMatchTableI(t *testing.T) {
+	apps := TableIApps()
+	sets, err := AccessSets(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Totals match.
+	for _, a := range apps {
+		if got := len(sets[a.Name]); got != a.TotalFiles {
+			t.Errorf("%s: %d files, want %d", a.Name, got, a.TotalFiles)
+		}
+	}
+	// Pairwise overlaps match the paper's Table I exactly.
+	wantOverlap := map[[2]string]int{
+		{"aptget", "firefox"}:     31,
+		{"aptget", "openoffice"}:  62,
+		{"aptget", "linux"}:       29,
+		{"firefox", "openoffice"}: 464,
+		{"firefox", "linux"}:      48,
+		{"openoffice", "linux"}:   45,
+	}
+	for pair, want := range wantOverlap {
+		if got := Overlap(sets[pair[0]], sets[pair[1]]); got != want {
+			t.Errorf("overlap(%s,%s) = %d, want %d", pair[0], pair[1], got, want)
+		}
+	}
+	// Overlaps are small fractions: the paper's key observation.
+	for pair := range wantOverlap {
+		frac := float64(Overlap(sets[pair[0]], sets[pair[1]])) / float64(len(sets[pair[0]]))
+		if frac > 0.25 {
+			t.Errorf("overlap fraction %s/%s = %f too large", pair[0], pair[1], frac)
+		}
+	}
+}
+
+func TestAccessSetsRejectImpossibleProfile(t *testing.T) {
+	apps := []AppProfile{
+		{Name: "a", TotalFiles: 1, PairShared: map[string]int{"b": 5}},
+		{Name: "b", TotalFiles: 10, PairShared: map[string]int{"a": 5}},
+	}
+	if _, err := AccessSets(apps); err == nil {
+		t.Fatal("overlap larger than total should be rejected")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := []string{"a", "b", "c", "d"}
+	b := []string{"b", "d", "e"}
+	if got := Overlap(a, b); got != 2 {
+		t.Errorf("Overlap = %d, want 2", got)
+	}
+	if Overlap(nil, a) != 0 {
+		t.Error("nil overlap should be 0")
+	}
+}
+
+func TestCompileProfileFiles(t *testing.T) {
+	for _, p := range []CompileProfile{ThriftProfile(), GitProfile(), LinuxProfile(0.15)} {
+		if p.Files() < 100 {
+			t.Errorf("%s: suspiciously few files %d", p.Name, p.Files())
+		}
+	}
+	// Thrift is in the right ballpark of the paper's 775 vertices.
+	f := ThriftProfile().Files()
+	if f < 400 || f > 1200 {
+		t.Errorf("thrift files = %d, want ~775", f)
+	}
+}
+
+func TestCompileTraceComponents(t *testing.T) {
+	reg := NewPathIDs()
+	b := acg.NewBuilder()
+	p := ThriftProfile()
+	touched := p.Trace(b, reg)
+	g := b.Graph()
+
+	if len(touched) != p.Files() {
+		t.Errorf("touched %d files, Files() = %d", len(touched), p.Files())
+	}
+	if g.NumVertices() != p.Files() {
+		t.Errorf("graph vertices = %d, want %d", g.NumVertices(), p.Files())
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != p.Modules {
+		t.Errorf("components = %d, want %d (one per module, Fig. 7)", len(comps), p.Modules)
+	}
+}
+
+func TestCompileTraceWeightsAccumulate(t *testing.T) {
+	// Two iterations double the total edge weight but not the edge count.
+	one := ThriftProfile()
+	one.Iterations = 1
+	two := ThriftProfile()
+	two.Iterations = 2
+
+	regA, regB := NewPathIDs(), NewPathIDs()
+	bA, bB := acg.NewBuilder(), acg.NewBuilder()
+	one.Trace(bA, regA)
+	two.Trace(bB, regB)
+	gA, gB := bA.Graph(), bB.Graph()
+	if gB.NumEdges() != gA.NumEdges() {
+		t.Errorf("edge count changed across iterations: %d vs %d", gA.NumEdges(), gB.NumEdges())
+	}
+	if gB.TotalWeight() != 2*gA.TotalWeight() {
+		t.Errorf("weight %d, want 2x %d", gB.TotalWeight(), gA.TotalWeight())
+	}
+}
+
+func TestCompileTraceDataflowDirection(t *testing.T) {
+	reg := NewPathIDs()
+	b := acg.NewBuilder()
+	p := CompileProfile{Name: "t", Modules: 1, DirsPerModule: 1,
+		SourcesPerDir: 1, HeadersPerDir: 1, SharedHeaders: 0, Iterations: 1}
+	p.Trace(b, reg)
+	g := b.Graph()
+	src := reg.ID("/src/t/mod00/dir00/unit000.c")
+	obj := reg.ID("/src/t/mod00/dir00/unit000.o")
+	if g.EdgeWeight(src, obj) != 1 {
+		t.Error("source should produce object")
+	}
+	if g.EdgeWeight(obj, src) != 0 {
+		t.Error("dataflow must be directed")
+	}
+	target := reg.ID("/src/t/mod00/t-mod00.a")
+	if g.EdgeWeight(obj, target) != 1 {
+		t.Error("object should produce link target")
+	}
+}
+
+func TestLinuxProfileScales(t *testing.T) {
+	small := LinuxProfile(0.1)
+	big := LinuxProfile(0.5)
+	if big.Files() <= small.Files() {
+		t.Errorf("scale should grow the tree: %d vs %d", big.Files(), small.Files())
+	}
+	def := LinuxProfile(0)
+	if def.Modules < 2 {
+		t.Error("default scale must give at least 2 modules")
+	}
+}

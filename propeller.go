@@ -1,0 +1,286 @@
+// Package propeller is the public API of the Propeller distributed
+// real-time file-search service (Xu, Jiang, Tian, Huang — ICDCS 2014).
+//
+// Propeller keeps file indices always up to date by indexing *inline*: an
+// indexing request is acknowledged after a write-ahead-log append and a
+// cache insert, and every search commits the relevant caches first, so
+// search results are strongly consistent with acknowledged updates. Index
+// scale is kept small by partitioning along Access-Causality Graphs: files
+// an application reads and writes together share a partition, so updates
+// never fan out across the cluster.
+//
+// Quick start:
+//
+//	svc, _ := propeller.StartLocal(propeller.Options{IndexNodes: 2})
+//	defer svc.Close()
+//	cl, _ := svc.NewClient()
+//	defer cl.Close()
+//	cl.CreateIndex(propeller.BTreeIndex("size", "size"))
+//	cl.Index("size", []propeller.Update{{File: 1, Int: 64 << 20, Group: 1}})
+//	res, _ := cl.Search("size", "size>16m")
+package propeller
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"propeller/internal/acg"
+	"propeller/internal/attr"
+	"propeller/internal/client"
+	"propeller/internal/cluster"
+	"propeller/internal/index"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+)
+
+// FileID identifies a file (an inode number).
+type FileID = index.FileID
+
+// PID identifies a process in access-capture calls.
+type PID = acg.PID
+
+// IndexSpec declares a named index. Build specs with BTreeIndex, HashIndex
+// or KDIndex.
+type IndexSpec = proto.IndexSpec
+
+// BTreeIndex declares an ordered index over one attribute (range queries).
+func BTreeIndex(name, field string) IndexSpec {
+	return IndexSpec{Name: name, Type: proto.IndexBTree, Field: field}
+}
+
+// HashIndex declares an exact-match index over one attribute.
+func HashIndex(name, field string) IndexSpec {
+	return IndexSpec{Name: name, Type: proto.IndexHash, Field: field}
+}
+
+// KDIndex declares a multi-dimensional index over the given attributes.
+func KDIndex(name string, fields ...string) IndexSpec {
+	return IndexSpec{Name: name, Type: proto.IndexKD, Fields: fields}
+}
+
+// Options configures an in-process deployment.
+type Options struct {
+	// IndexNodes is the number of Index Nodes (default 1).
+	IndexNodes int
+	// UseTCP runs all node transports over loopback TCP instead of
+	// in-memory pipes.
+	UseTCP bool
+	// CommitTimeout is the lazy index-cache timeout (default 5 s).
+	CommitTimeout time.Duration
+	// SplitThreshold is the ACG size that triggers a background split
+	// (default 50,000 files).
+	SplitThreshold int
+	// Now anchors relative query predicates such as "mtime<1day"
+	// (default time.Now).
+	Now func() time.Time
+}
+
+// Service is a running Propeller deployment (one Master Node plus Index
+// Nodes) inside this process.
+type Service struct {
+	c   *cluster.Cluster
+	now func() time.Time
+}
+
+// StartLocal boots a Propeller deployment.
+func StartLocal(opts Options) (*Service, error) {
+	c, err := cluster.New(cluster.Config{
+		IndexNodes:     opts.IndexNodes,
+		UseTCP:         opts.UseTCP,
+		CommitTimeout:  opts.CommitTimeout,
+		SplitThreshold: opts.SplitThreshold,
+		NetProfile:     rpc.NetProfile{},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("propeller: start: %w", err)
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Service{c: c, now: now}, nil
+}
+
+// MasterAddr returns the Master Node's dialable address.
+func (s *Service) MasterAddr() string { return s.c.MasterAddr() }
+
+// Tick runs the lazy-cache timeout check on every node. Long-running
+// deployments call this from a ticker; short programs may ignore it
+// (searches commit caches on demand anyway).
+func (s *Service) Tick() error { return s.c.Tick() }
+
+// Rebalance runs one heartbeat round: nodes report group sizes to the
+// Master, and oversized Access-Causality groups are split and migrated.
+func (s *Service) Rebalance() error { return s.c.Heartbeat() }
+
+// Compact merges index groups smaller than minFiles on each node to undo
+// fragmentation from many tiny capture sessions. It returns the number of
+// merges performed.
+func (s *Service) Compact(minFiles int) (int, error) { return s.c.Compact(minFiles) }
+
+// Stats summarizes the cluster.
+type Stats struct {
+	Files      int64
+	Groups     int
+	IndexNodes int
+	Indexes    []string
+}
+
+// Stats fetches a cluster summary.
+func (s *Service) Stats() (Stats, error) {
+	cl, err := s.NewClient()
+	if err != nil {
+		return Stats{}, err
+	}
+	defer cl.Close() //nolint:errcheck // read-only throwaway client
+	raw, err := cl.c.ClusterStats()
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Files: raw.Files, Groups: raw.ACGs, IndexNodes: len(raw.Nodes)}
+	for _, spec := range raw.Indexes {
+		st.Indexes = append(st.Indexes, spec.Name)
+	}
+	return st, nil
+}
+
+// Close shuts the deployment down.
+func (s *Service) Close() error { return s.c.Close() }
+
+// NewClient returns a client bound to this deployment.
+func (s *Service) NewClient() (*Client, error) {
+	cl, err := s.c.NewClient(s.now)
+	if err != nil {
+		return nil, fmt.Errorf("propeller: new client: %w", err)
+	}
+	return &Client{c: cl}, nil
+}
+
+// Client is a Propeller client: the File Query Engine plus the File Access
+// Management capture interface. Safe for concurrent use.
+type Client struct {
+	c *client.Client
+}
+
+// Close releases the client's node connections.
+func (c *Client) Close() error { return c.c.Close() }
+
+// CreateIndex registers a named index cluster-wide. Names are globally
+// unique.
+func (c *Client) CreateIndex(spec IndexSpec) error { return c.c.CreateIndex(spec) }
+
+// Update is one indexing request. Exactly one of Int, Float, Str, Time or
+// Coords should be set (matching the index type); Delete removes the
+// posting.
+type Update struct {
+	File FileID
+	// Group co-locates files that are accessed together (0 = let the
+	// captured access-causality decide). Files sharing a Group land in the
+	// same index partition.
+	Group uint64
+
+	Int    int64
+	Float  float64
+	Str    string
+	Time   time.Time
+	Coords []float64
+
+	// Which holds the kind of value set; the zero value auto-detects in
+	// the order Coords, Str, Time, Float, Int.
+	Delete bool
+}
+
+// value converts the update payload to an attribute value.
+func (u Update) value() (attr.Value, []float64, error) {
+	switch {
+	case u.Coords != nil:
+		return attr.Value{}, u.Coords, nil
+	case u.Str != "":
+		return attr.Str(u.Str), nil, nil
+	case !u.Time.IsZero():
+		return attr.Time(u.Time), nil, nil
+	case u.Float != 0:
+		return attr.Float(u.Float), nil, nil
+	default:
+		return attr.Int(u.Int), nil, nil
+	}
+}
+
+// Index sends a batch of indexing requests to the named index. The batch is
+// routed through the Master and delivered to the owning Index Nodes in
+// parallel; it is acknowledged once every node has logged and cached the
+// entries, after which searches are guaranteed to see them.
+func (c *Client) Index(indexName string, updates []Update) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	converted := make([]client.FileUpdate, 0, len(updates))
+	for _, u := range updates {
+		v, coords, err := u.value()
+		if err != nil {
+			return err
+		}
+		converted = append(converted, client.FileUpdate{
+			File: u.File, Value: v, KDCoords: coords,
+			Delete: u.Delete, GroupHint: u.Group,
+		})
+	}
+	return c.c.Index(indexName, converted)
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Files are the matching file ids, ascending, de-duplicated.
+	Files []FileID
+	// Nodes is how many Index Nodes served the query in parallel.
+	Nodes int
+}
+
+// Search runs a query (package query syntax, e.g. "size>16m &
+// mtime<1day") against the named index across the whole cluster.
+func (c *Client) Search(indexName, queryStr string) (Result, error) {
+	res, err := c.c.Search(indexName, queryStr)
+	if err != nil {
+		if errors.Is(err, client.ErrNoTargets) {
+			return Result{}, nil // empty cluster: no matches
+		}
+		return Result{}, err
+	}
+	return Result{Files: res.Files, Nodes: res.Nodes}, nil
+}
+
+// SearchPath evaluates a dynamic query-directory path (the paper's
+// "/foo/bar/?size>1m" namespace syntax) against the named index. Scoping a
+// non-root directory requires a B-tree index over the "path" attribute
+// whose postings hold each file's path.
+func (c *Client) SearchPath(indexName, pathQuery string) (Result, error) {
+	res, err := c.c.SearchDir(indexName, pathQuery)
+	if err != nil {
+		if errors.Is(err, client.ErrNoTargets) {
+			return Result{}, nil
+		}
+		return Result{}, err
+	}
+	return Result{Files: res.Files, Nodes: res.Nodes}, nil
+}
+
+// Open records a file open in the access-capture layer (the FUSE
+// interception point). mode "r" is a read open; "w" a write open.
+func (c *Client) Open(proc PID, file FileID, mode string) {
+	m := acg.OpenRead
+	if mode == "w" {
+		m = acg.OpenWrite
+	}
+	c.c.Open(proc, file, m)
+}
+
+// CloseFile records a file close.
+func (c *Client) CloseFile(proc PID, file FileID) { c.c.CloseFile(proc, file) }
+
+// EndProcess ends a capture session.
+func (c *Client) EndProcess(proc PID) { c.c.EndProcess(proc) }
+
+// FlushCapture ships the captured access-causality graph to the cluster,
+// where it guides index partitioning.
+func (c *Client) FlushCapture() error { return c.c.FlushACG() }

@@ -1,0 +1,295 @@
+package propeller_test
+
+import (
+	"testing"
+	"time"
+
+	"propeller"
+)
+
+func fixedNow() time.Time { return time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC) }
+
+func startService(t *testing.T, opts propeller.Options) (*propeller.Service, *propeller.Client) {
+	t.Helper()
+	if opts.Now == nil {
+		opts.Now = fixedNow
+	}
+	svc, err := propeller.StartLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Close() })
+	cl, err := svc.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+	return svc, cl
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	_, cl := startService(t, propeller.Options{IndexNodes: 2})
+	if err := cl.CreateIndex(propeller.BTreeIndex("size", "size")); err != nil {
+		t.Fatal(err)
+	}
+	var updates []propeller.Update
+	for i := 0; i < 100; i++ {
+		updates = append(updates, propeller.Update{
+			File: propeller.FileID(i), Int: int64(i) << 20, Group: uint64(i/25) + 1,
+		})
+	}
+	if err := cl.Index("size", updates); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Search("size", "size>90m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 9 {
+		t.Errorf("got %d files, want 9", len(res.Files))
+	}
+	if res.Nodes != 2 {
+		t.Errorf("nodes = %d, want 2", res.Nodes)
+	}
+}
+
+func TestPublicAPIValueKinds(t *testing.T) {
+	_, cl := startService(t, propeller.Options{})
+	specs := []propeller.IndexSpec{
+		propeller.BTreeIndex("mtime", "mtime"),
+		propeller.HashIndex("keyword", "keyword"),
+		propeller.KDIndex("point", "x", "y"),
+	}
+	for _, s := range specs {
+		if err := cl.CreateIndex(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := fixedNow()
+	if err := cl.Index("mtime", []propeller.Update{
+		{File: 1, Time: now.Add(-time.Hour), Group: 1},
+		{File: 2, Time: now.Add(-48 * time.Hour), Group: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Index("keyword", []propeller.Update{
+		{File: 1, Str: "alpha", Group: 1},
+		{File: 2, Str: "beta", Group: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Index("point", []propeller.Update{
+		{File: 1, Coords: []float64{1, 1}, Group: 1},
+		{File: 2, Coords: []float64{9, 9}, Group: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := cl.Search("mtime", "mtime<1day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 1 || res.Files[0] != 1 {
+		t.Errorf("mtime search = %v, want [1]", res.Files)
+	}
+	res, err = cl.Search("keyword", "keyword:beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 1 || res.Files[0] != 2 {
+		t.Errorf("keyword search = %v, want [2]", res.Files)
+	}
+	res, err = cl.Search("point", "x<5 & y<5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 1 || res.Files[0] != 1 {
+		t.Errorf("kd search = %v, want [1]", res.Files)
+	}
+}
+
+func TestPublicAPIDelete(t *testing.T) {
+	_, cl := startService(t, propeller.Options{})
+	if err := cl.CreateIndex(propeller.BTreeIndex("size", "size")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Index("size", []propeller.Update{{File: 7, Int: 1 << 30, Group: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Index("size", []propeller.Update{{File: 7, Delete: true, Group: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Search("size", "size>1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 0 {
+		t.Errorf("deleted file still found: %v", res.Files)
+	}
+}
+
+func TestPublicAPICaptureAndRebalance(t *testing.T) {
+	svc, cl := startService(t, propeller.Options{IndexNodes: 2, SplitThreshold: 40})
+	if err := cl.CreateIndex(propeller.BTreeIndex("size", "size")); err != nil {
+		t.Fatal(err)
+	}
+	// Two access clusters captured through the Open/Close API.
+	var updates []propeller.Update
+	proc := propeller.PID(1)
+	for clusterIdx := 0; clusterIdx < 2; clusterIdx++ {
+		base := propeller.FileID(clusterIdx * 30)
+		for i := propeller.FileID(0); i < 30; i++ {
+			cl.Open(proc, base+i, "r")
+			cl.Open(proc, base+(i+1)%30, "w")
+			cl.EndProcess(proc)
+			proc++
+			updates = append(updates, propeller.Update{
+				File: base + i, Int: int64(base+i+1) << 20, Group: 1,
+			})
+		}
+	}
+	if err := cl.Index("size", updates); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FlushCapture(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Groups != 2 {
+		t.Errorf("groups after rebalance = %d, want 2 (split)", st.Groups)
+	}
+	if st.Files != 60 {
+		t.Errorf("files = %d, want 60", st.Files)
+	}
+	res, err := cl.Search("size", "size>0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 60 {
+		t.Errorf("post-split search = %d files, want 60", len(res.Files))
+	}
+}
+
+func TestPublicAPISearchPath(t *testing.T) {
+	_, cl := startService(t, propeller.Options{})
+	if err := cl.CreateIndex(propeller.BTreeIndex("size", "size")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CreateIndex(propeller.BTreeIndex("path", "path")); err != nil {
+		t.Fatal(err)
+	}
+	paths := []string{"/data/logs/a", "/data/logs/b", "/data/other/c", "/tmp/d"}
+	for i, p := range paths {
+		f := propeller.FileID(i)
+		if err := cl.Index("size", []propeller.Update{{File: f, Int: 100 << 20, Group: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Index("path", []propeller.Update{{File: f, Str: p, Group: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scoped query-directory: only files under /data/logs match.
+	res, err := cl.SearchPath("size", "/data/logs/?size>16m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 2 || res.Files[0] != 0 || res.Files[1] != 1 {
+		t.Errorf("scoped search = %v, want [0 1]", res.Files)
+	}
+	// Root-scoped query matches everything.
+	res, err = cl.SearchPath("size", "/?size>16m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 4 {
+		t.Errorf("root search = %v, want all 4", res.Files)
+	}
+	// Malformed paths error.
+	if _, err := cl.SearchPath("size", "/no/query/component"); err == nil {
+		t.Error("path without query should fail")
+	}
+}
+
+func TestPublicAPISearchEmptyCluster(t *testing.T) {
+	_, cl := startService(t, propeller.Options{})
+	if err := cl.CreateIndex(propeller.BTreeIndex("size", "size")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Search("size", "size>1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 0 {
+		t.Errorf("empty cluster search = %v", res.Files)
+	}
+}
+
+func TestPublicAPICompact(t *testing.T) {
+	svc, cl := startService(t, propeller.Options{IndexNodes: 1})
+	if err := cl.CreateIndex(propeller.BTreeIndex("size", "size")); err != nil {
+		t.Fatal(err)
+	}
+	// Many tiny groups (one per file).
+	for i := 0; i < 12; i++ {
+		if err := cl.Index("size", []propeller.Update{{
+			File: propeller.FileID(i), Int: int64(i + 1), Group: uint64(i) + 1,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := svc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Groups != 12 {
+		t.Fatalf("groups = %d, want 12", before.Groups)
+	}
+	merges, err := svc.Compact(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merges == 0 {
+		t.Fatal("expected merges")
+	}
+	after, err := svc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Groups >= before.Groups {
+		t.Errorf("groups %d -> %d, want fewer", before.Groups, after.Groups)
+	}
+	if after.Files != 12 {
+		t.Errorf("files = %d, want 12", after.Files)
+	}
+	// Everything still searchable.
+	res, err := cl.Search("size", "size>0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 12 {
+		t.Errorf("post-compact search = %d files, want 12", len(res.Files))
+	}
+}
+
+func TestPublicAPIOverTCP(t *testing.T) {
+	_, cl := startService(t, propeller.Options{IndexNodes: 2, UseTCP: true})
+	if err := cl.CreateIndex(propeller.BTreeIndex("size", "size")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Index("size", []propeller.Update{{File: 1, Int: 100, Group: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Search("size", "size>=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 1 {
+		t.Errorf("tcp search = %v", res.Files)
+	}
+}

@@ -1,0 +1,3 @@
+module propeller
+
+go 1.24

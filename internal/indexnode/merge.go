@@ -13,28 +13,44 @@ import (
 // of "merging small [indices]" to prevent fragmentation from many tiny
 // groups). Both groups must be local; the Master is informed so file
 // mappings rebind. Postings, causality edges and membership all move.
+//
+// Locking: this is the only path that holds two group locks at once
+// (ascending ACGID order; n.mergeMu serializes merges so that cannot
+// deadlock). The registry lock is held only for the lookup and the final
+// delete, so traffic on unrelated ACGs never waits out a merge's commits
+// and posting moves.
 func (n *Node) MergeACGs(dst, src proto.ACGID) error {
 	if dst == src {
 		return fmt.Errorf("indexnode: merge group %d into itself", dst)
 	}
-	n.mu.Lock()
-	gd, ok := n.groups[dst]
-	if !ok {
-		n.mu.Unlock()
+	n.mergeMu.Lock()
+	defer n.mergeMu.Unlock()
+	n.mu.RLock()
+	gd, gs := n.groups[dst], n.groups[src]
+	n.mu.RUnlock()
+	if gd == nil {
 		return fmt.Errorf("acg %d: %w", dst, ErrUnknownACG)
 	}
-	gs, ok := n.groups[src]
-	if !ok {
-		n.mu.Unlock()
+	if gs == nil {
 		return fmt.Errorf("acg %d: %w", src, ErrUnknownACG)
 	}
+	first, second := gd, gs
+	if second.id < first.id {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	unlock := func() {
+		second.mu.Unlock()
+		first.mu.Unlock()
+	}
 	// Commit both so postings are authoritative.
-	if err := n.commitLocked(gd); err != nil {
-		n.mu.Unlock()
+	if err := n.commitGroupLocked(gd); err != nil {
+		unlock()
 		return err
 	}
-	if err := n.commitLocked(gs); err != nil {
-		n.mu.Unlock()
+	if err := n.commitGroupLocked(gs); err != nil {
+		unlock()
 		return err
 	}
 	// Move membership and causality.
@@ -55,7 +71,7 @@ func (n *Node) MergeACGs(dst, src proto.ACGID) error {
 	for _, name := range names {
 		in, err := n.instFor(gd, name)
 		if err != nil {
-			n.mu.Unlock()
+			unlock()
 			return err
 		}
 		files := make([]uint64, 0, len(gs.postings[name]))
@@ -66,7 +82,7 @@ func (n *Node) MergeACGs(dst, src proto.ACGID) error {
 		for _, f := range files {
 			e := gs.postings[name][index.FileID(f)]
 			if err := n.applyEntry(gd, in, name, e); err != nil {
-				n.mu.Unlock()
+				unlock()
 				return err
 			}
 		}
@@ -75,8 +91,21 @@ func (n *Node) MergeACGs(dst, src proto.ACGID) error {
 			in.kdResident = true
 		}
 	}
+	// Mark the drained group dead before dropping it from the registry:
+	// a caller that resolved the pointer before this merge and is blocked
+	// on its lock must re-resolve rather than mutate the orphan. Taking
+	// n.mu here while holding group locks is safe — no path acquires a
+	// group lock while holding n.mu (lock ordering rule 2).
+	gs.dead = true
+	n.mu.Lock()
 	delete(n.groups, src)
 	n.mu.Unlock()
+	// Fold src's per-ACG counters into dst so the per-group breakdown
+	// keeps summing to the node totals and retired labels are reclaimed.
+	n.acgCommits.Get(acgLabel(dst)).Add(n.acgCommits.Remove(acgLabel(src)))
+	n.acgCommitEntries.Get(acgLabel(dst)).Add(n.acgCommitEntries.Remove(acgLabel(src)))
+	n.mergeEpoch.Add(1)
+	unlock()
 
 	if n.cfg.Master != nil {
 		if _, err := rpc.Call[proto.MergeReportReq, proto.MergeReportResp](
@@ -97,15 +126,16 @@ func (n *Node) CompactGroups(minFiles int) (int, error) {
 	}
 	merges := 0
 	for {
-		n.mu.Lock()
-		ids := n.groupIDsLocked()
 		var small []proto.ACGID
-		for _, id := range ids {
-			if len(n.groups[id].files) < minFiles {
-				small = append(small, id)
+		for _, g := range n.groupsSnapshot() {
+			if !g.lockLive() {
+				continue
 			}
+			if len(g.files) < minFiles {
+				small = append(small, g.id)
+			}
+			g.mu.Unlock()
 		}
-		n.mu.Unlock()
 		if len(small) < 2 {
 			return merges, nil
 		}

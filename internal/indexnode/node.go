@@ -10,6 +10,31 @@
 // file-search on the group — whichever comes first. Searches therefore see
 // strongly consistent results while normal I/O pays only the log-append
 // cost.
+//
+// Concurrency model. ACG partitions are independent by design (updates
+// never fan out across groups), and the node's locking mirrors that: the
+// registry lock n.mu guards only the ACGID→group table, while every group
+// carries its own mutex protecting its cache, indices and causality graph.
+// Updates and searches on different ACGs proceed in parallel; per-ACG WAL
+// appends coalesce through a shared wal.GroupCommitter so concurrent
+// acknowledgements share sequential device writes.
+//
+// Lock ordering (violations deadlock):
+//
+//  1. n.mergeMu is outermost and taken only by MergeACGs; it serializes
+//     merges, the only operations holding two group locks at once (taken
+//     in ascending ACGID order).
+//  2. n.mu (registry) is held only for map access — never while acquiring
+//     a group lock. Because of that, MergeACGs may take n.mu while holding
+//     group locks (its delete step) without deadlock.
+//  3. group.mu before n.specMu. Never acquire a group lock while holding
+//     the spec table lock.
+//
+// A group removed from the registry by a merge is marked dead under its
+// lock; lockLive/lockGroup/lockOrCreateGroup encapsulate the re-resolve
+// protocol so no caller ever mutates an orphaned group. Multi-group
+// searches re-run when n.mergeEpoch moves during the pass, so a concurrent
+// merge cannot make acknowledged files vanish from a result set.
 package indexnode
 
 import (
@@ -18,12 +43,15 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"propeller/internal/acg"
 	"propeller/internal/attr"
 	"propeller/internal/index"
+	"propeller/internal/metrics"
 	"propeller/internal/pagestore"
 	"propeller/internal/proto"
 	"propeller/internal/rpc"
@@ -95,9 +123,18 @@ type inst struct {
 	kdOffset   int64
 }
 
-// group is one ACG partition and its indices.
+// group is one ACG partition and its indices. Every field below mu is
+// protected by it; a group is only ever mutated by the goroutine holding
+// its lock, so operations on different ACGs never contend.
 type group struct {
-	id    proto.ACGID
+	id proto.ACGID
+
+	mu sync.Mutex
+	// dead marks a group that MergeACGs drained and removed from the
+	// registry. A caller that resolved the pointer before the merge and
+	// locked it after must not mutate the orphan: check dead (lockLive)
+	// first and re-resolve through the registry.
+	dead  bool
 	files map[index.FileID]bool
 	graph *groupGraph
 	// indexes by name.
@@ -116,15 +153,37 @@ type group struct {
 // Node is an Index Node.
 type Node struct {
 	cfg Config
+	// walGC batches the WAL-append charges of every group on this node
+	// into shared sequential device writes (group commit).
+	walGC *wal.GroupCommitter
 
-	mu      sync.Mutex
-	groups  map[proto.ACGID]*group
-	specs   map[string]proto.IndexSpec
-	nextOff int64 // simdisk offset allocator for KD images
-	// stats
-	commits     int64
-	commitNanos int64
-	splitsDone  int64
+	// mu guards only the group registry; per-group state is behind each
+	// group's own lock (see the package comment for the lock ordering).
+	mu     sync.RWMutex
+	groups map[proto.ACGID]*group
+
+	// mergeMu serializes merges (the only operations locking two groups),
+	// keeping the registry lock out of the merge data path.
+	mergeMu sync.Mutex
+	// mergeEpoch counts completed merges; multi-group searches use it to
+	// detect a merge moving files between their per-group snapshots.
+	mergeEpoch atomic.Int64
+
+	// specMu guards the index spec table.
+	specMu sync.RWMutex
+	specs  map[string]proto.IndexSpec
+
+	// nextOff allocates simdisk offsets for KD images.
+	nextOff atomic.Int64
+
+	// stats (lock-free; hot paths must not share a cache line with locks).
+	commits       metrics.Counter
+	commitNanos   metrics.Counter
+	commitEntries metrics.Counter
+	splitsDone    metrics.Counter
+	// per-ACG commit/entry counters, labelled by decimal ACGID.
+	acgCommits       metrics.CounterSet
+	acgCommitEntries metrics.CounterSet
 }
 
 // groupGraph is the node-side authoritative ACG of a group (plain adjacency;
@@ -175,16 +234,21 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Store == nil {
 		return nil, errors.New("indexnode: Store is required")
 	}
-	return &Node{
-		cfg:     cfg,
-		groups:  make(map[proto.ACGID]*group),
-		specs:   make(map[string]proto.IndexSpec),
-		nextOff: 1 << 40, // KD images live past the page region
-	}, nil
+	n := &Node{
+		cfg:    cfg,
+		walGC:  wal.NewGroupCommitter(cfg.Disk),
+		groups: make(map[proto.ACGID]*group),
+		specs:  make(map[string]proto.IndexSpec),
+	}
+	n.nextOff.Store(1 << 40) // KD images live past the page region
+	return n, nil
 }
 
 // ID returns the node id.
 func (n *Node) ID() proto.NodeID { return n.cfg.ID }
+
+// WALStats reports the node's WAL group-commit batching counters.
+func (n *Node) WALStats() wal.GroupCommitStats { return n.walGC.Stats() }
 
 // RegisterRPC installs the node's methods on an RPC server.
 func (n *Node) RegisterRPC(s *rpc.Server) {
@@ -200,20 +264,25 @@ func (n *Node) RegisterRPC(s *rpc.Server) {
 // DeclareIndex makes an index spec known to the node (normally learned from
 // the first update carrying the name; standalone callers declare up front).
 func (n *Node) DeclareIndex(spec proto.IndexSpec) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.specMu.Lock()
+	defer n.specMu.Unlock()
 	if _, ok := n.specs[spec.Name]; !ok {
 		n.specs[spec.Name] = spec
 	}
 }
 
+// lookupSpec returns the spec for name if the node knows it.
+func (n *Node) lookupSpec(name string) (proto.IndexSpec, bool) {
+	n.specMu.RLock()
+	defer n.specMu.RUnlock()
+	spec, ok := n.specs[name]
+	return spec, ok
+}
+
 // ensureSpec resolves an index name, asking the Master for the spec the
 // first time a node sees the name.
 func (n *Node) ensureSpec(name string) error {
-	n.mu.Lock()
-	_, ok := n.specs[name]
-	n.mu.Unlock()
-	if ok {
+	if _, ok := n.lookupSpec(name); ok {
 		return nil
 	}
 	if n.cfg.Master == nil {
@@ -228,32 +297,104 @@ func (n *Node) ensureSpec(name string) error {
 	return nil
 }
 
-// getOrCreateGroupLocked returns the group, creating it on demand (groups
-// are provisioned lazily on first contact, the Master having routed here).
-func (n *Node) getOrCreateGroupLocked(id proto.ACGID) *group {
-	g := n.groups[id]
-	if g == nil {
-		g = &group{
-			id:       id,
-			files:    make(map[index.FileID]bool),
-			graph:    newGroupGraph(),
-			indexes:  make(map[string]*inst),
-			pending:  make(map[string][]proto.IndexEntry),
-			postings: make(map[string]map[index.FileID]proto.IndexEntry),
-			log:      wal.New(n.cfg.Disk),
+// lockLive locks g and reports whether it is still a registered group. On
+// false the lock has been released and the caller must re-resolve the id
+// through the registry (the group was merged away between lookup and lock).
+func (g *group) lockLive() bool {
+	g.mu.Lock()
+	if g.dead {
+		g.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// getGroup returns the group if present (nil otherwise). The caller locks
+// the group before touching its state (via lockLive, re-resolving on
+// failure).
+func (n *Node) getGroup(id proto.ACGID) *group {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.groups[id]
+}
+
+// lockGroup returns the group locked, or nil if the node has no such
+// group.
+func (n *Node) lockGroup(id proto.ACGID) *group {
+	for {
+		g := n.getGroup(id)
+		if g == nil {
+			return nil
 		}
+		if g.lockLive() {
+			return g
+		}
+	}
+}
+
+// getOrCreateGroup returns the group, creating it on demand (groups are
+// provisioned lazily on first contact, the Master having routed here).
+func (n *Node) getOrCreateGroup(id proto.ACGID) *group {
+	n.mu.RLock()
+	g := n.groups[id]
+	n.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if g = n.groups[id]; g == nil {
+		g = n.newGroupLocked(id)
 		n.groups[id] = g
 	}
 	return g
 }
 
+// lockOrCreateGroup returns the group locked, creating it if absent. The
+// retry loop covers a concurrent merge deleting the group between lookup
+// and lock.
+func (n *Node) lockOrCreateGroup(id proto.ACGID) *group {
+	for {
+		g := n.getOrCreateGroup(id)
+		if g.lockLive() {
+			return g
+		}
+	}
+}
+
+// newGroupLocked builds an empty group. Caller holds n.mu.
+func (n *Node) newGroupLocked(id proto.ACGID) *group {
+	return &group{
+		id:       id,
+		files:    make(map[index.FileID]bool),
+		graph:    newGroupGraph(),
+		indexes:  make(map[string]*inst),
+		pending:  make(map[string][]proto.IndexEntry),
+		postings: make(map[string]map[index.FileID]proto.IndexEntry),
+		log:      wal.NewGroupCommit(n.walGC),
+	}
+}
+
+// groupsSnapshot returns the current groups sorted by id. The registry lock
+// is released before return; callers lock each group as they visit it.
+func (n *Node) groupsSnapshot() []*group {
+	n.mu.RLock()
+	out := make([]*group, 0, len(n.groups))
+	for _, g := range n.groups {
+		out = append(out, g)
+	}
+	n.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // instFor returns the group's index instance, materializing it from the
-// node's spec table on first use.
+// node's spec table on first use. Caller holds g.mu.
 func (n *Node) instFor(g *group, name string) (*inst, error) {
 	if in, ok := g.indexes[name]; ok {
 		return in, nil
 	}
-	spec, ok := n.specs[name]
+	spec, ok := n.lookupSpec(name)
 	if !ok {
 		return nil, fmt.Errorf("%q: %w", name, ErrUnknownIndex)
 	}
@@ -271,8 +412,7 @@ func (n *Node) instFor(g *group, name string) (*inst, error) {
 		}
 		in.kd, err = index.NewKDTree(dims)
 		in.kdResident = true
-		in.kdOffset = n.nextOff
-		n.nextOff += 1 << 30
+		in.kdOffset = n.nextOff.Add(1<<30) - 1<<30
 	default:
 		return nil, fmt.Errorf("indexnode: index %q has unknown type %d", name, spec.Type)
 	}
@@ -285,27 +425,27 @@ func (n *Node) instFor(g *group, name string) (*inst, error) {
 
 // CreateACG provisions a group with pre-declared membership.
 func (n *Node) CreateACG(req proto.CreateACGReq) (proto.CreateACGResp, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	g := n.getOrCreateGroupLocked(req.ACG)
+	g := n.lockOrCreateGroup(req.ACG)
+	defer g.mu.Unlock()
 	for _, f := range req.Files {
 		g.files[f] = true
 	}
 	return proto.CreateACGResp{OK: true}, nil
 }
 
-// Update is the file-indexing fast path: WAL append + cache insert.
+// Update is the file-indexing fast path: WAL append + cache insert. Only
+// the target group is locked, so updates to different ACGs run in parallel
+// and their WAL appends group-commit into shared device writes.
 func (n *Node) Update(req proto.UpdateReq) (proto.UpdateResp, error) {
 	if err := n.ensureSpec(req.IndexName); err != nil {
 		return proto.UpdateResp{}, err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	g := n.getOrCreateGroupLocked(req.ACG)
 	rec, err := encodeWALRecord(req)
 	if err != nil {
 		return proto.UpdateResp{}, err
 	}
+	g := n.lockOrCreateGroup(req.ACG)
+	defer g.mu.Unlock()
 	if err := g.log.Append(rec); err != nil {
 		return proto.UpdateResp{}, fmt.Errorf("indexnode update: %w", err)
 	}
@@ -317,7 +457,7 @@ func (n *Node) Update(req proto.UpdateReq) (proto.UpdateResp, error) {
 	g.lastUpdate = n.cfg.Clock.Now()
 
 	if n.cfg.DisableLazyCache || g.pendingCount >= n.cfg.CacheLimit {
-		if err := n.commitLocked(g); err != nil {
+		if err := n.commitGroupLocked(g); err != nil {
 			return proto.UpdateResp{}, err
 		}
 	}
@@ -327,9 +467,8 @@ func (n *Node) Update(req proto.UpdateReq) (proto.UpdateResp, error) {
 // FlushACG merges a client-captured causality fragment into the group's
 // authoritative graph.
 func (n *Node) FlushACG(req proto.FlushACGReq) (proto.FlushACGResp, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	g := n.getOrCreateGroupLocked(req.ACG)
+	g := n.lockOrCreateGroup(req.ACG)
+	defer g.mu.Unlock()
 	for _, v := range req.Vertices {
 		g.files[v] = true
 	}
@@ -343,38 +482,36 @@ func (n *Node) FlushACG(req proto.FlushACGReq) (proto.FlushACGResp, error) {
 
 // Tick commits groups whose lazy cache has exceeded the commit timeout.
 // Deployments call it from a ticker; experiments call it after advancing
-// virtual time.
+// virtual time. Groups are visited one at a time, so a tick never stalls
+// traffic on ACGs it is not committing.
 func (n *Node) Tick() error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	now := n.cfg.Clock.Now()
-	ids := n.groupIDsLocked()
-	for _, id := range ids {
-		g := n.groups[id]
+	for _, g := range n.groupsSnapshot() {
+		if !g.lockLive() {
+			continue
+		}
 		if g.pendingCount > 0 && now-g.lastUpdate >= n.cfg.CommitTimeout {
-			if err := n.commitLocked(g); err != nil {
+			if err := n.commitGroupLocked(g); err != nil {
+				g.mu.Unlock()
 				return err
 			}
 		}
+		g.mu.Unlock()
 	}
 	return nil
 }
 
-func (n *Node) groupIDsLocked() []proto.ACGID {
-	ids := make([]proto.ACGID, 0, len(n.groups))
-	for id := range n.groups {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
+// acgLabel is the metrics label for a group.
+func acgLabel(id proto.ACGID) string { return strconv.FormatUint(uint64(id), 10) }
 
-// commitLocked merges the group's pending cache into its durable indices.
-func (n *Node) commitLocked(g *group) error {
+// commitGroupLocked merges the group's pending cache into its durable
+// indices. Caller holds g.mu.
+func (n *Node) commitGroupLocked(g *group) error {
 	if g.pendingCount == 0 {
 		return nil
 	}
 	start := n.cfg.Clock.Now()
+	committed := int64(g.pendingCount)
 	names := make([]string, 0, len(g.pending))
 	for name := range g.pending {
 		names = append(names, name)
@@ -412,8 +549,11 @@ func (n *Node) commitLocked(g *group) error {
 	if err := g.log.Truncate(); err != nil {
 		return fmt.Errorf("indexnode: truncate wal: %w", err)
 	}
-	n.commits++
-	n.commitNanos += int64(n.cfg.Clock.Now() - start)
+	n.commits.Inc()
+	n.commitEntries.Add(committed)
+	n.commitNanos.Add(int64(n.cfg.Clock.Now() - start))
+	n.acgCommits.Get(acgLabel(g.id)).Inc()
+	n.acgCommitEntries.Get(acgLabel(g.id)).Add(committed)
 	return nil
 }
 
@@ -478,7 +618,7 @@ func (n *Node) applyEntry(g *group, in *inst, name string, e proto.IndexEntry) e
 }
 
 // rebuildKD reconstructs a KD index from current postings (after delete or
-// re-index of a point).
+// re-index of a point). Caller holds g.mu.
 func (n *Node) rebuildKD(g *group, in *inst, name string) error {
 	dims := in.spec.Dims()
 	pts := make([]index.Point, 0, len(g.postings[name]))
@@ -496,17 +636,19 @@ func (n *Node) rebuildKD(g *group, in *inst, name string) error {
 // DropCaches models a cold start: the buffer pool is emptied and KD images
 // become non-resident, so the next queries pay the full disk cost.
 func (n *Node) DropCaches() error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if err := n.cfg.Store.DropCache(); err != nil {
 		return err
 	}
-	for _, g := range n.groups {
+	for _, g := range n.groupsSnapshot() {
+		if !g.lockLive() {
+			continue
+		}
 		for _, in := range g.indexes {
 			if in.kd != nil {
 				in.kdResident = false
 			}
 		}
+		g.mu.Unlock()
 	}
 	return nil
 }
@@ -532,10 +674,8 @@ func decodeWALRecord(rec []byte) (proto.UpdateReq, error) {
 // shared-storage form (the paper stores ACGs as regular files in the
 // underlying shared file system, §IV).
 func (n *Node) ACGImage(id proto.ACGID) ([]byte, error) {
-	n.mu.Lock()
-	g, ok := n.groups[id]
-	if !ok {
-		n.mu.Unlock()
+	g := n.lockGroup(id)
+	if g == nil {
 		return nil, fmt.Errorf("acg %d: %w", id, ErrUnknownACG)
 	}
 	out := acg.NewGraph()
@@ -547,7 +687,7 @@ func (n *Node) ACGImage(id proto.ACGID) ([]byte, error) {
 			out.AddEdge(src, dst, w)
 		}
 	}
-	n.mu.Unlock()
+	g.mu.Unlock()
 	if n.cfg.Disk != nil {
 		img := out.Serialize()
 		if _, err := n.cfg.Disk.AppendLog(int64(len(img))); err != nil {
@@ -565,9 +705,8 @@ func (n *Node) LoadACGImage(id proto.ACGID, img []byte) error {
 	if err != nil {
 		return fmt.Errorf("indexnode: load acg %d: %w", id, err)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	g := n.getOrCreateGroupLocked(id)
+	g := n.lockOrCreateGroup(id)
+	defer g.mu.Unlock()
 	for _, v := range restored.Vertices() {
 		g.files[v] = true
 	}
@@ -581,12 +720,11 @@ func (n *Node) LoadACGImage(id proto.ACGID, img []byte) error {
 // WALImage returns the group's current log image (what would sit in shared
 // storage at a crash).
 func (n *Node) WALImage(id proto.ACGID) ([]byte, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	g, ok := n.groups[id]
-	if !ok {
+	g := n.lockGroup(id)
+	if g == nil {
 		return nil, fmt.Errorf("acg %d: %w", id, ErrUnknownACG)
 	}
+	defer g.mu.Unlock()
 	return g.log.Bytes(), nil
 }
 
@@ -595,9 +733,8 @@ func (n *Node) WALImage(id proto.ACGID) ([]byte, error) {
 // replay at the last intact record, which is exactly the guarantee the
 // acknowledgement made.
 func (n *Node) RecoverGroup(id proto.ACGID, walImage []byte) (int, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	g := n.getOrCreateGroupLocked(id)
+	g := n.lockOrCreateGroup(id)
+	defer g.mu.Unlock()
 	recovered := 0
 	err := wal.ReplayBytes(walImage, func(rec []byte) bool {
 		req, derr := decodeWALRecord(rec)
@@ -621,16 +758,39 @@ func (n *Node) RecoverGroup(id proto.ACGID, walImage []byte) (int, error) {
 
 // NodeStats reports local statistics.
 func (n *Node) NodeStats(proto.NodeStatsReq) (proto.NodeStatsResp, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	resp := proto.NodeStatsResp{Node: n.cfg.ID, ACGs: len(n.groups)}
-	for _, g := range n.groups {
+	groups := n.groupsSnapshot()
+	resp := proto.NodeStatsResp{Node: n.cfg.ID, ACGs: len(groups)}
+	for _, g := range groups {
+		if !g.lockLive() {
+			resp.ACGs--
+			continue
+		}
 		resp.Files += int64(len(g.files))
 		resp.CachedOps += g.pendingCount
 		resp.WALRecords += g.log.Len()
+		g.mu.Unlock()
 	}
+	// Per-ACG commit counters come from the counter set, not the live
+	// groups: merged-away groups' counts were folded into their merge
+	// destination, so the breakdown always sums to Commits.
+	snap := n.acgCommits.Snapshot()
+	resp.PerACGCommits = make(map[proto.ACGID]int64, len(snap))
+	for label, v := range snap {
+		id, err := strconv.ParseUint(label, 10, 64)
+		if err != nil {
+			continue // unreachable: labels are acgLabel-formatted
+		}
+		resp.PerACGCommits[proto.ACGID(id)] = v
+	}
+	resp.Commits = n.commits.Value()
+	resp.CommitEntries = n.commitEntries.Value()
+	ws := n.walGC.Stats()
+	resp.WALBatches = ws.Batches
+	resp.WALBatchedRecords = ws.Records
+	resp.MaxWALBatch = ws.MaxBatchRecords
 	st := n.cfg.Store.Stats()
 	resp.PoolHits, resp.PoolMisses = st.Hits, st.Misses
+	n.specMu.RLock()
 	names := make([]string, 0, len(n.specs))
 	for name := range n.specs {
 		names = append(names, name)
@@ -639,6 +799,7 @@ func (n *Node) NodeStats(proto.NodeStatsReq) (proto.NodeStatsResp, error) {
 	for _, name := range names {
 		resp.IndexSpecs = append(resp.IndexSpecs, n.specs[name])
 	}
+	n.specMu.RUnlock()
 	return resp, nil
 }
 
@@ -648,12 +809,14 @@ func (n *Node) Heartbeat() error {
 	if n.cfg.Master == nil {
 		return ErrNoMaster
 	}
-	n.mu.Lock()
 	req := proto.HeartbeatReq{Node: n.cfg.ID}
-	for _, id := range n.groupIDsLocked() {
-		req.ACGs = append(req.ACGs, proto.ACGMeta{ACG: id, Files: int64(len(n.groups[id].files))})
+	for _, g := range n.groupsSnapshot() {
+		if !g.lockLive() {
+			continue
+		}
+		req.ACGs = append(req.ACGs, proto.ACGMeta{ACG: g.id, Files: int64(len(g.files))})
+		g.mu.Unlock()
 	}
-	n.mu.Unlock()
 
 	resp, err := rpc.Call[proto.HeartbeatReq, proto.HeartbeatResp](n.cfg.Master, proto.MethodHeartbeat, req)
 	if err != nil {
@@ -668,7 +831,7 @@ func (n *Node) Heartbeat() error {
 }
 
 // groupFilesSorted returns a group's files sorted (helper for split and
-// tests).
+// tests). Caller holds g.mu.
 func (g *group) groupFilesSorted() []index.FileID {
 	out := make([]index.FileID, 0, len(g.files))
 	for f := range g.files {
@@ -680,7 +843,10 @@ func (g *group) groupFilesSorted() []index.FileID {
 
 // attrValue resolves the current value of field for file within the group
 // by consulting committed postings of any index covering that field.
+// Caller holds g.mu.
 func (n *Node) attrValue(g *group, field string, f index.FileID) (attr.Value, bool) {
+	n.specMu.RLock()
+	defer n.specMu.RUnlock()
 	for name, post := range g.postings {
 		spec := n.specs[name]
 		if spec.Field != field || spec.Type == proto.IndexKD {

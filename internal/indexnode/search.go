@@ -15,35 +15,47 @@ import (
 // Search answers a file-search request over the given groups. Consistency:
 // each group's lazy cache is committed synchronously before the group is
 // queried, so results always reflect every acknowledged indexing request
-// (the paper's commit-on-search rule).
+// (the paper's commit-on-search rule). Each group is committed and queried
+// under its own lock, so a search never stalls traffic on unrelated ACGs.
 func (n *Node) Search(req proto.SearchReq) (proto.SearchResp, error) {
 	q, err := query.Parse(req.Query, time.Unix(0, req.NowUnixNano))
 	if err != nil {
 		return proto.SearchResp{}, err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-
-	var resp proto.SearchResp
-	commitStart := n.cfg.Clock.Now()
-	for _, id := range req.ACGs {
-		g, ok := n.groups[id]
-		if !ok {
-			continue // group not on this node (stale routing); nothing to add
-		}
-		if err := n.commitLocked(g); err != nil {
+	// A merge landing mid-pass can move files from a not-yet-visited group
+	// into an already-visited one, making acknowledged files vanish from
+	// the result — impossible under any serial order. Re-run the pass when
+	// the merge epoch moved; merges are rare, so one pass is the norm (the
+	// retry bound only guards against a pathological merge loop).
+	for attempt := 0; ; attempt++ {
+		epoch := n.mergeEpoch.Load()
+		resp, err := n.searchGroups(req, q)
+		if err != nil {
 			return proto.SearchResp{}, err
 		}
+		if n.mergeEpoch.Load() == epoch || attempt >= 3 {
+			return resp, nil
+		}
 	}
-	resp.CommitLatencyNanos = int64(n.cfg.Clock.Now() - commitStart)
+}
 
+// searchGroups runs one commit-and-query pass over the requested groups.
+func (n *Node) searchGroups(req proto.SearchReq, q query.Query) (proto.SearchResp, error) {
+	var resp proto.SearchResp
 	seen := make(map[index.FileID]bool)
 	for _, id := range req.ACGs {
-		g, ok := n.groups[id]
-		if !ok {
-			continue
+		g := n.lockGroup(id)
+		if g == nil {
+			continue // group not on this node (stale routing); nothing to add
 		}
+		commitStart := n.cfg.Clock.Now()
+		if err := n.commitGroupLocked(g); err != nil {
+			g.mu.Unlock()
+			return proto.SearchResp{}, err
+		}
+		resp.CommitLatencyNanos += int64(n.cfg.Clock.Now() - commitStart)
 		files, err := n.searchGroupLocked(g, req.IndexName, q)
+		g.mu.Unlock()
 		if err != nil {
 			return proto.SearchResp{}, err
 		}
@@ -60,7 +72,7 @@ func (n *Node) Search(req proto.SearchReq) (proto.SearchResp, error) {
 
 // searchGroupLocked runs the query against one group using the named index
 // as the primary access path and the group's committed postings for the
-// residual predicates.
+// residual predicates. Caller holds g.mu.
 func (n *Node) searchGroupLocked(g *group, indexName string, q query.Query) ([]index.FileID, error) {
 	in, ok := g.indexes[indexName]
 	if !ok {

@@ -19,20 +19,19 @@ func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
 	if n.cfg.Master == nil {
 		return proto.SplitACGResp{}, ErrNoMaster
 	}
-	n.mu.Lock()
-	g, ok := n.groups[req.ACG]
-	if !ok {
-		n.mu.Unlock()
+	// Commit so postings reflect every acknowledged update before they
+	// migrate. Only this group is locked: the background split leaves
+	// traffic on every other ACG untouched.
+	g := n.lockGroup(req.ACG)
+	if g == nil {
 		return proto.SplitACGResp{}, fmt.Errorf("acg %d: %w", req.ACG, ErrUnknownACG)
 	}
-	// Commit so postings reflect every acknowledged update before they
-	// migrate.
-	if err := n.commitLocked(g); err != nil {
-		n.mu.Unlock()
+	if err := n.commitGroupLocked(g); err != nil {
+		g.mu.Unlock()
 		return proto.SplitACGResp{}, err
 	}
 	pg := partition.Graph{Adj: g.graph.undirected(g.files)}
-	n.mu.Unlock()
+	g.mu.Unlock()
 
 	res, err := partition.Bisect(pg, partition.Options{Seed: int64(req.ACG)})
 	if err != nil {
@@ -52,8 +51,12 @@ func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
 		return proto.SplitACGResp{}, fmt.Errorf("indexnode split report: %w", err)
 	}
 
-	// Build the migration payload.
-	n.mu.Lock()
+	// Build the migration payload. The group may have been merged away
+	// while the partitioner ran outside the lock; treat that as the group
+	// disappearing under the split order.
+	if !g.lockLive() {
+		return proto.SplitACGResp{}, fmt.Errorf("acg %d merged during split: %w", req.ACG, ErrUnknownACG)
+	}
 	moveSet := make(map[index.FileID]bool, len(sideB))
 	for _, f := range sideB {
 		moveSet[f] = true
@@ -72,7 +75,8 @@ func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		mi := proto.MigratedIndex{Spec: n.specs[name]}
+		spec, _ := n.lookupSpec(name)
+		mi := proto.MigratedIndex{Spec: spec}
 		for f, e := range g.postings[name] {
 			if moveSet[f] {
 				mi.Entries = append(mi.Entries, e)
@@ -83,7 +87,7 @@ func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
 			recv.Indexes = append(recv.Indexes, mi)
 		}
 	}
-	n.mu.Unlock()
+	g.mu.Unlock()
 
 	// Ship the group. rep.Dest may be this very node (least-loaded); handle
 	// locally to avoid a self-dial.
@@ -105,9 +109,15 @@ func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
 		}
 	}
 
-	// Remove the moved half locally.
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	// Remove the moved half locally. (An update for a moved file arriving
+	// while the migration RPC was in flight can still land in this group's
+	// cache — the Master has already rebound the file, so stale-routed
+	// postings resolve at the next commit/search; closing that window
+	// fully needs routing-level fencing, as under the old global lock.)
+	if !g.lockLive() {
+		return proto.SplitACGResp{}, fmt.Errorf("acg %d merged during split: %w", req.ACG, ErrUnknownACG)
+	}
+	defer g.mu.Unlock()
 	for _, name := range names {
 		in := g.indexes[name]
 		post := g.postings[name]
@@ -148,7 +158,7 @@ func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
 			}
 		}
 	}
-	n.splitsDone++
+	n.splitsDone.Inc()
 	return proto.SplitACGResp{
 		Moved: len(sideB), NewACG: rep.NewACG, CutWeight: res.CutWeight,
 	}, nil
@@ -156,9 +166,8 @@ func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
 
 // ReceiveACG installs a migrated group on this node.
 func (n *Node) ReceiveACG(req proto.ReceiveACGReq) (proto.ReceiveACGResp, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	g := n.getOrCreateGroupLocked(req.ACG)
+	g := n.lockOrCreateGroup(req.ACG)
+	defer g.mu.Unlock()
 	for _, f := range req.Files {
 		g.files[f] = true
 	}
@@ -166,9 +175,7 @@ func (n *Node) ReceiveACG(req proto.ReceiveACGReq) (proto.ReceiveACGResp, error)
 		g.graph.addEdge(e.Src, e.Dst, e.Weight)
 	}
 	for _, mi := range req.Indexes {
-		if _, ok := n.specs[mi.Spec.Name]; !ok {
-			n.specs[mi.Spec.Name] = mi.Spec
-		}
+		n.DeclareIndex(mi.Spec)
 		in, err := n.instFor(g, mi.Spec.Name)
 		if err != nil {
 			return proto.ReceiveACGResp{}, err

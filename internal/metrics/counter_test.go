@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("value = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers = 8
+	const per = 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("value = %d, want %d", got, workers*per)
+	}
+}
+
+func TestCounterSetConcurrentGet(t *testing.T) {
+	var s CounterSet
+	var wg sync.WaitGroup
+	const workers = 8
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Get(fmt.Sprintf("acg-%d", i%4)).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("labels = %d, want 4", len(snap))
+	}
+	var total int64
+	for _, v := range snap {
+		total += v
+	}
+	if total != workers*100 {
+		t.Errorf("total = %d, want %d", total, workers*100)
+	}
+	labels := s.Labels()
+	if len(labels) != 4 || labels[0] != "acg-0" || labels[3] != "acg-3" {
+		t.Errorf("labels = %v", labels)
+	}
+}

@@ -85,11 +85,12 @@ func (db *DB) commitLocked(rows int) error {
 
 // Table is a heap of rows plus global secondary indexes.
 type Table struct {
-	db      *DB
-	schema  Schema
-	byCol   map[string]Column
-	indexes map[string]*index.BTree // column -> global B+tree
-	rows    map[index.FileID]Row    // pk -> row (heap directory)
+	db        *DB
+	schema    Schema
+	byCol     map[string]Column
+	indexes   map[string]*index.BTree // column -> global B+tree
+	indexCols []string                // declaration order: the planner's index preference
+	rows      map[index.FileID]Row    // pk -> row (heap directory)
 	// heapPages simulates row storage: rowsPerPage rows share a page, and
 	// row fetches fault that page in, so full-table access has dataset-scale
 	// I/O cost.
@@ -113,13 +114,14 @@ func (db *DB) CreateTable(schema Schema, indexCols []string) (*Table, error) {
 		return nil, fmt.Errorf("%q: %w", schema.Table, ErrTableExists)
 	}
 	t := &Table{
-		db:       db,
-		schema:   schema,
-		byCol:    make(map[string]Column, len(schema.Columns)),
-		indexes:  make(map[string]*index.BTree),
-		rows:     make(map[index.FileID]Row),
-		heapPage: make(map[index.FileID]pagestore.PageID),
-		lastUsed: rowsPerPage, // force allocation on first insert
+		db:        db,
+		schema:    schema,
+		byCol:     make(map[string]Column, len(schema.Columns)),
+		indexes:   make(map[string]*index.BTree),
+		indexCols: append([]string(nil), indexCols...),
+		rows:      make(map[index.FileID]Row),
+		heapPage:  make(map[index.FileID]pagestore.PageID),
+		lastUsed:  rowsPerPage, // force allocation on first insert
 	}
 	for _, c := range schema.Columns {
 		t.byCol[c.Name] = c
@@ -303,13 +305,17 @@ func (t *Table) Select(q query.Query) ([]index.FileID, error) {
 
 	var candidates []index.FileID
 	used := false
-	for col, bt := range t.indexes {
+	// Deterministic planner: consider indexes in declaration order and
+	// take the first with a usable range. (Map-iteration order here made
+	// the chosen access path — and therefore the charged virtual I/O time
+	// of every experiment involving this baseline — vary run to run.)
+	for _, col := range t.indexCols {
 		lo, hi, incLo, incHi, ok := q.Range(col)
 		if !ok || (lo == nil && hi == nil) {
 			continue
 		}
 		var err error
-		candidates, err = bt.SearchRange(lo, hi, incLo, incHi)
+		candidates, err = t.indexes[col].SearchRange(lo, hi, incLo, incHi)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,18 @@
+// Package pagestore provides a paged storage layer with an LRU buffer pool
+// on top of a simulated disk.
+//
+// Both Propeller's per-ACG indices and the MiniSQL baseline's global indices
+// are built on this layer. Buffer-pool misses charge simulated disk latency,
+// which is what produces the paper's central effects: small per-ACG indices
+// stay resident in memory (cheap updates, warm queries in microseconds),
+// while a global index the size of the dataset thrashes the pool (Figure 8,
+// Table IV's super-linear cluster speedup once each node's share of the
+// index fits in RAM).
+//
+// The API is the classic DBMS quartet — Allocate, Read, Write, Free — over
+// fixed 8 KiB pages, plus Sync (write back dirty pages), DropCache (model a
+// cold start) and Stats (hit/miss/eviction counters the experiments
+// report). A Store is safe for concurrent use; one mutex guards the pool,
+// so independent callers (e.g. different ACG commits on one node) share the
+// device but never corrupt frames.
+package pagestore

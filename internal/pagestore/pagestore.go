@@ -1,18 +1,9 @@
-// Package pagestore provides a paged storage layer with an LRU buffer pool
-// on top of a simulated disk.
-//
-// Both Propeller's per-ACG indices and the MiniSQL baseline's global indices
-// are built on this layer. Buffer-pool misses charge simulated disk latency,
-// which is what produces the paper's central effects: small per-ACG indices
-// stay resident in memory (cheap updates, warm queries in microseconds),
-// while a global index the size of the dataset thrashes the pool (Figure 8,
-// Table IV's super-linear cluster speedup once each node's share of the
-// index fits in RAM).
 package pagestore
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"propeller/internal/simdisk"
@@ -157,24 +148,38 @@ func (s *Store) Free(id PageID) error {
 }
 
 // Sync writes back every dirty resident page and issues a disk flush.
+// Pages are written in ascending id (= disk offset) order so the head
+// sweeps forward and the charged virtual time is deterministic.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	for _, f := range s.pool {
-		if f.dirty {
-			if err := s.writeback(f); err != nil {
-				return err
-			}
+	for _, f := range s.dirtySortedLocked() {
+		if err := s.writeback(f); err != nil {
+			return err
 		}
 	}
 	_, err := s.disk.Flush()
 	return err
 }
 
-// DropCache evicts every resident page (writing back dirty ones). It models
+// dirtySortedLocked returns the dirty resident frames in ascending page id
+// order. Caller holds s.mu.
+func (s *Store) dirtySortedLocked() []*frame {
+	out := make([]*frame, 0, len(s.pool))
+	for _, f := range s.pool {
+		if f.dirty {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// DropCache evicts every resident page (writing back dirty ones in
+// ascending page order, as Sync does). It models
 // "echo 3 > /proc/sys/vm/drop_caches" before a cold run.
 func (s *Store) DropCache() error {
 	s.mu.Lock()
@@ -182,12 +187,12 @@ func (s *Store) DropCache() error {
 	if s.closed {
 		return ErrClosed
 	}
-	for id, f := range s.pool {
-		if f.dirty {
-			if err := s.writeback(f); err != nil {
-				return err
-			}
+	for _, f := range s.dirtySortedLocked() {
+		if err := s.writeback(f); err != nil {
+			return err
 		}
+	}
+	for id, f := range s.pool {
 		s.unlink(f)
 		delete(s.pool, id)
 	}

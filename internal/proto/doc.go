@@ -1,0 +1,15 @@
+// Package proto defines the wire types exchanged between Propeller's
+// client, Master Node and Index Nodes (Figure 6). All types are
+// gob-encodable and carried by package rpc.
+//
+// The vocabulary mirrors the paper: an ACGID names one Access-Causality
+// Group (an index partition), an IndexSpec declares a named B-tree, hash or
+// K-D index over file attributes, and the request/response pairs cover the
+// three planes of the system — data (UpdateReq/SearchReq), causality
+// (FlushACGReq, CreateACGReq, ReceiveACGReq) and control
+// (HeartbeatReq, SplitACGReq, NodeStatsReq and friends). Method name
+// constants bind each pair to its rpc dispatch label.
+//
+// Everything here is plain data: no methods with behaviour, no internal
+// state, so the package can be imported from every layer without cycles.
+package proto

@@ -1,6 +1,3 @@
-// Package proto defines the wire types exchanged between Propeller's
-// client, Master Node and Index Nodes (Figure 6). All types are
-// gob-encodable and carried by package rpc.
 package proto
 
 import (
@@ -346,4 +343,20 @@ type NodeStatsResp struct {
 	PoolHits   int64
 	PoolMisses int64
 	IndexSpecs []IndexSpec
+	// Commits counts lazy-cache commits since the node started;
+	// CommitEntries counts the cached entries those commits merged into
+	// durable indices.
+	Commits       int64
+	CommitEntries int64
+	// PerACGCommits breaks Commits down by group, exposing per-partition
+	// commit activity (independent partitions should commit independently).
+	// Groups merged away have their counts folded into the merge
+	// destination, so the values always sum to Commits.
+	PerACGCommits map[ACGID]int64
+	// WALBatches / WALBatchedRecords / MaxWALBatch summarize WAL group
+	// commit: how many sequential device writes absorbed how many appends,
+	// and the largest single batch.
+	WALBatches        int64
+	WALBatchedRecords int64
+	MaxWALBatch       int64
 }

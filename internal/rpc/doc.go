@@ -1,0 +1,17 @@
+// Package rpc is the message layer of the Propeller cluster: a minimal
+// method-dispatch RPC over net.Conn with gob-encoded bodies.
+//
+// It supports both real transports (TCP via net.Listen, in-process via
+// net.Pipe) and an optional virtual network cost model so cluster
+// experiments charge GbE-like latency to the simulated clock regardless of
+// the physical transport.
+//
+// The layer is deliberately small: length-prefixed frames, one goroutine per
+// server connection, a multiplexing client safe for concurrent Call use —
+// the shape of the paper's "local RPC service" and node-to-node messaging.
+//
+// Servers register handlers with HandleTyped (a generic adapter that
+// gob-decodes the request and encodes the response); clients invoke them
+// with the generic Call, matching requests to responses by sequence number
+// so many goroutines can share one connection.
+package rpc

@@ -1,0 +1,26 @@
+// Package simdisk models a rotational hard disk with deterministic virtual
+// latency.
+//
+// The paper's evaluation runs on Seagate Barracuda 7200.12 drives and its
+// headline effects (partition-size sensitivity, inter-partition access cost,
+// cold/warm gaps, global-index degradation) are all seek-count effects.
+// Rather than depending on host hardware, every simulated I/O charges a
+// deterministic cost to a vclock.Clock:
+//
+//	cost = seek (if the access is not sequential) + rotational latency +
+//	       size / transferRate
+//
+// The model tracks the head position (last accessed byte offset) to decide
+// whether an access is sequential. A short-stroke seek (nearby offset) costs
+// less than a full-stroke seek, mirroring real drives.
+//
+// Entry points: New builds a Disk from a Profile (Barracuda7200 and
+// Laptop5400 reproduce the paper's two machines); Read and Write charge
+// positioned I/O; AppendLog charges the sequential tail write that makes
+// the WAL fast path cheap (Index Nodes batch those charges through
+// wal.GroupCommitter); Flush charges a barrier; Stats exposes the
+// seek/sequential counters the experiments report. All methods are safe
+// for concurrent use — requests serialize on the single head, which is
+// exactly the behaviour that makes random multi-partition I/O expensive in
+// the paper's Figure 2(b).
+package simdisk

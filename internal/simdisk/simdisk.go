@@ -1,18 +1,3 @@
-// Package simdisk models a rotational hard disk with deterministic virtual
-// latency.
-//
-// The paper's evaluation runs on Seagate Barracuda 7200.12 drives and its
-// headline effects (partition-size sensitivity, inter-partition access cost,
-// cold/warm gaps, global-index degradation) are all seek-count effects.
-// Rather than depending on host hardware, every simulated I/O charges a
-// deterministic cost to a vclock.Clock:
-//
-//	cost = seek (if the access is not sequential) + rotational latency +
-//	       size / transferRate
-//
-// The model tracks the head position (last accessed byte offset) to decide
-// whether an access is sequential. A short-stroke seek (nearby offset) costs
-// less than a full-stroke seek, mirroring real drives.
 package simdisk
 
 import (

@@ -1,10 +1,3 @@
-// Package vclock provides a deterministic virtual clock used by all
-// simulated cost models (disk, network, FUSE overhead) in the repository.
-//
-// Experiments in the paper are dominated by I/O latency. Rather than
-// sleeping on a wall clock, every simulated device charges elapsed time to a
-// Clock. This makes experiment runs deterministic, fast, and independent of
-// the host machine, while preserving the relative shapes the paper reports.
 package vclock
 
 import (

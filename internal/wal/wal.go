@@ -26,7 +26,8 @@ var (
 
 // Log is an append-only record log. Safe for concurrent use.
 type Log struct {
-	disk *simdisk.Disk // optional latency model
+	disk *simdisk.Disk   // optional latency model
+	gc   *GroupCommitter // optional batched charging (shares disk with peers)
 
 	mu     sync.Mutex
 	buf    []byte
@@ -39,13 +40,21 @@ func New(disk *simdisk.Disk) *Log {
 	return &Log{disk: disk}
 }
 
+// NewGroupCommit returns a log whose append charges coalesce with every
+// other log sharing c (one physical log device per node, many per-ACG logs).
+func NewGroupCommit(c *GroupCommitter) *Log {
+	return &Log{disk: c.Disk(), gc: c}
+}
+
 const recordHeader = 4 + 4 // length + crc
 
-// Append adds a record and charges the sequential append cost.
+// Append adds a record and charges the sequential append cost. With a group
+// committer attached the charge batches with concurrent appenders; Append
+// still returns only after the batch holding this record is on the device.
 func (l *Log) Append(rec []byte) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
 	var hdr [recordHeader]byte
@@ -54,8 +63,17 @@ func (l *Log) Append(rec []byte) error {
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, rec...)
 	l.count++
+	l.mu.Unlock()
+
+	size := int64(recordHeader + len(rec))
+	if l.gc != nil {
+		if err := l.gc.Append(size); err != nil {
+			return fmt.Errorf("wal append: %w", err)
+		}
+		return nil
+	}
 	if l.disk != nil {
-		if _, err := l.disk.AppendLog(int64(recordHeader + len(rec))); err != nil {
+		if _, err := l.disk.AppendLog(size); err != nil {
 			return fmt.Errorf("wal append: %w", err)
 		}
 	}

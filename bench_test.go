@@ -9,6 +9,7 @@
 package propeller_test
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -160,7 +161,7 @@ func BenchmarkIndexNodeUpdateSerial(b *testing.B) {
 	n := newBenchIndexNode(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := n.Update(proto.UpdateReq{
+		if _, err := n.Update(context.Background(), proto.UpdateReq{
 			ACG: proto.ACGID(i%benchACGs + 1), IndexName: "size",
 			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i))}},
 		}); err != nil {
@@ -180,7 +181,7 @@ func BenchmarkIndexNodeUpdateParallelMultiACG(b *testing.B) {
 		id := proto.ACGID(worker.Add(1)%benchACGs + 1)
 		for pb.Next() {
 			f := index.FileID(file.Add(1))
-			if _, err := n.Update(proto.UpdateReq{
+			if _, err := n.Update(context.Background(), proto.UpdateReq{
 				ACG: id, IndexName: "size",
 				Entries: []proto.IndexEntry{{File: f, Value: attr.Int(int64(f))}},
 			}); err != nil {
@@ -189,7 +190,7 @@ func BenchmarkIndexNodeUpdateParallelMultiACG(b *testing.B) {
 		}
 	})
 	b.StopTimer()
-	if st, err := n.NodeStats(proto.NodeStatsReq{}); err == nil && st.WALBatches > 0 {
+	if st, err := n.NodeStats(context.Background(), proto.NodeStatsReq{}); err == nil && st.WALBatches > 0 {
 		b.ReportMetric(float64(st.WALBatchedRecords)/float64(st.WALBatches), "records/walbatch")
 	}
 }
@@ -210,11 +211,11 @@ func BenchmarkIndexNodeUpdateUnderHeavySearch(b *testing.B) {
 			File: index.FileID(1<<20 + i), Value: attr.Int(int64(i)),
 		})
 	}
-	if _, err := n.Update(proto.UpdateReq{ACG: hot, IndexName: "size", Entries: entries}); err != nil {
+	if _, err := n.Update(context.Background(), proto.UpdateReq{ACG: hot, IndexName: "size", Entries: entries}); err != nil {
 		b.Fatal(err)
 	}
 	hotQuery := proto.SearchReq{ACGs: []proto.ACGID{hot}, IndexName: "size", Query: "size>0"}
-	if _, err := n.Search(hotQuery); err != nil { // commit the hot group
+	if _, err := n.Search(context.Background(), hotQuery); err != nil { // commit the hot group
 		b.Fatal(err)
 	}
 	stop := make(chan struct{})
@@ -227,7 +228,7 @@ func BenchmarkIndexNodeUpdateUnderHeavySearch(b *testing.B) {
 				return
 			default:
 			}
-			if _, err := n.Search(hotQuery); err != nil {
+			if _, err := n.Search(context.Background(), hotQuery); err != nil {
 				b.Error(err)
 				return
 			}
@@ -237,7 +238,7 @@ func BenchmarkIndexNodeUpdateUnderHeavySearch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		if _, err := n.Update(proto.UpdateReq{
+		if _, err := n.Update(context.Background(), proto.UpdateReq{
 			ACG: proto.ACGID(i%benchACGs + 1), IndexName: "size",
 			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i))}},
 		}); err != nil {
@@ -266,7 +267,7 @@ func BenchmarkIndexNodeMixedParallelMultiACG(b *testing.B) {
 		for pb.Next() {
 			i++
 			if i%64 == 0 {
-				if _, err := n.Search(proto.SearchReq{
+				if _, err := n.Search(context.Background(), proto.SearchReq{
 					ACGs: []proto.ACGID{id}, IndexName: "size", Query: "size>0",
 				}); err != nil {
 					b.Fatal(err)
@@ -274,7 +275,7 @@ func BenchmarkIndexNodeMixedParallelMultiACG(b *testing.B) {
 				continue
 			}
 			f := index.FileID(file.Add(1))
-			if _, err := n.Update(proto.UpdateReq{
+			if _, err := n.Update(context.Background(), proto.UpdateReq{
 				ACG: id, IndexName: "size",
 				Entries: []proto.IndexEntry{{File: f, Value: attr.Int(int64(f))}},
 			}); err != nil {

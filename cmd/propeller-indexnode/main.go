@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -75,7 +76,7 @@ func run() error {
 		return err
 	}
 	if _, err := rpc.Call[proto.RegisterNodeReq, proto.RegisterNodeResp](
-		masterConn, proto.MethodRegisterNode, proto.RegisterNodeReq{
+		context.Background(), masterConn, proto.MethodRegisterNode, proto.RegisterNodeReq{
 			Node: proto.NodeID(*id), Addr: "tcp:" + ln.Addr().String(), CapacityFiles: 1 << 40,
 		}); err != nil {
 		return fmt.Errorf("register with master: %w", err)
@@ -101,7 +102,7 @@ func run() error {
 			if err := node.Tick(); err != nil {
 				log.Printf("tick: %v", err)
 			}
-			if err := node.Heartbeat(); err != nil {
+			if err := node.Heartbeat(context.Background()); err != nil {
 				log.Printf("heartbeat: %v", err)
 			}
 		case <-stop:

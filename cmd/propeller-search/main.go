@@ -6,10 +6,20 @@
 //	propeller-search -master host:7070 create-index size btree size
 //	propeller-search -master host:7070 index size 42=1073741824
 //	propeller-search -master host:7070 search size 'size>16m'
+//	propeller-search -master host:7070 -limit 100 search size 'size>16m'
+//	propeller-search -master host:7070 -limit 100 -after 512 search size 'size>16m'
+//	propeller-search -master host:7070 -stream search size 'size>16m'
 //	propeller-search -master host:7070 stats
+//
+// Searches honor -timeout (a context deadline that travels with every
+// RPC), -limit/-after (cursor pagination; the printed "next after=N" value
+// resumes the following page), -lazy (skip commit-on-search) and -stream
+// (print per-node batches as index nodes respond instead of waiting for
+// the slowest node).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,12 +45,24 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("propeller-search", flag.ContinueOnError)
 	masterAddr := fs.String("master", "127.0.0.1:7070", "master node address")
+	timeout := fs.Duration("timeout", 0, "request deadline (0 = none)")
+	limit := fs.Int("limit", 0, "max files per search page (0 = unlimited)")
+	after := fs.Int64("after", -1, "resume cursor: only files with id > after (-1 = from the top)")
+	lazy := fs.Bool("lazy", false, "lazy reads: skip commit-on-search (may miss very recent updates)")
+	stream := fs.Bool("stream", false, "stream per-node batches as they arrive")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
 		return errors.New("missing subcommand: create-index | index | search | stats")
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	masterConn, err := rpc.Dial(*masterAddr)
@@ -77,7 +99,7 @@ func run(args []string) error {
 		default:
 			return fmt.Errorf("unknown index type %q", rest[2])
 		}
-		if err := cl.CreateIndex(spec); err != nil {
+		if err := cl.CreateIndex(ctx, spec); err != nil {
 			return err
 		}
 		fmt.Printf("created index %q (%s on %s)\n", spec.Name, rest[2], rest[3])
@@ -105,7 +127,7 @@ func run(args []string) error {
 			}
 			updates = append(updates, u)
 		}
-		if err := cl.Index(rest[1], updates); err != nil {
+		if err := cl.Index(ctx, rest[1], updates); err != nil {
 			return err
 		}
 		fmt.Printf("indexed %d updates into %q\n", len(updates), rest[1])
@@ -115,8 +137,37 @@ func run(args []string) error {
 		if len(rest) != 3 {
 			return errors.New("usage: search <index> <query>")
 		}
+		q := client.Query{Index: rest[1], Text: rest[2], Limit: *limit}
+		if *lazy {
+			q.Consistency = proto.ConsistencyLazy
+		}
+		if *after >= 0 {
+			q.After, q.AfterSet = index.FileID(*after), true
+		}
 		start := time.Now()
-		res, err := cl.Search(rest[1], rest[2])
+		if *stream {
+			st, err := cl.SearchStream(ctx, q)
+			if err != nil {
+				return err
+			}
+			total := 0
+			for b, ok := st.Next(); ok; b, ok = st.Next() {
+				fmt.Printf("batch from %s: %d files (%s)\n", b.Node, len(b.Files), time.Since(start).Round(time.Microsecond))
+				for _, f := range b.Files {
+					fmt.Println(f)
+				}
+				total += len(b.Files)
+				if b.More {
+					fmt.Printf("node %s has more (raise -limit or page with -after)\n", b.Node)
+				}
+			}
+			if err := st.Err(); err != nil {
+				return err
+			}
+			fmt.Printf("%d files streamed in %s\n", total, time.Since(start).Round(time.Microsecond))
+			return nil
+		}
+		res, err := cl.Search(ctx, q)
 		if err != nil {
 			return err
 		}
@@ -124,10 +175,13 @@ func run(args []string) error {
 		for _, f := range res.Files {
 			fmt.Println(f)
 		}
+		if res.More {
+			fmt.Printf("more results: next after=%d\n", res.Next)
+		}
 		return nil
 
 	case "stats":
-		st, err := cl.ClusterStats()
+		st, err := cl.ClusterStats(ctx)
 		if err != nil {
 			return err
 		}

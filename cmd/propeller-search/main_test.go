@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -50,7 +51,7 @@ func startTestCluster(t *testing.T) string {
 		t.Fatal(err)
 	}
 	go nodeSrv.Serve(nodeLn)
-	if _, err := m.RegisterNode(proto.RegisterNodeReq{
+	if _, err := m.RegisterNode(context.Background(), proto.RegisterNodeReq{
 		Node: "in-cli", Addr: "tcp:" + nodeLn.Addr().String(), CapacityFiles: 1 << 30,
 	}); err != nil {
 		t.Fatal(err)

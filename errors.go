@@ -1,0 +1,27 @@
+package propeller
+
+import "propeller/internal/perr"
+
+// The public error taxonomy. Every failure on the request path wraps one
+// of these sentinels — consistently, including across the RPC wire — so
+// callers dispatch with errors.Is instead of matching strings:
+//
+//	res, err := cl.Search(ctx, q)
+//	switch {
+//	case errors.Is(err, propeller.ErrIndexNotFound): // create the index
+//	case errors.Is(err, propeller.ErrBadQuery):      // fix the predicate
+//	case errors.Is(err, propeller.ErrTimeout):       // retry with a longer deadline
+//	}
+//
+// Context cancellation surfaces as context.Canceled; deadline expiry
+// matches both ErrTimeout and context.DeadlineExceeded.
+var (
+	// ErrIndexNotFound reports a search against an index name the cluster
+	// does not know.
+	ErrIndexNotFound = perr.ErrIndexNotFound
+	// ErrBadQuery reports a malformed query: syntax errors, bad size or
+	// age units, invalid field names, unsupported predicate value types.
+	ErrBadQuery = perr.ErrBadQuery
+	// ErrTimeout reports a request that exceeded its context deadline.
+	ErrTimeout = perr.ErrTimeout
+)

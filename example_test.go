@@ -1,6 +1,7 @@
 package propeller_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -8,35 +9,73 @@ import (
 )
 
 // Example shows the full public-API flow: boot a local deployment, declare
-// an index, ingest postings, and search with strong consistency.
+// an index, ingest postings, and search with strong consistency through
+// the context-first Query API.
 func Example() {
-	svc, err := propeller.StartLocal(propeller.Options{IndexNodes: 2})
+	ctx := context.Background()
+	svc, err := propeller.StartLocal(ctx, propeller.Options{IndexNodes: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer svc.Close() //nolint:errcheck // example teardown
 
-	cl, err := svc.NewClient()
+	cl, err := svc.NewClient(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close() //nolint:errcheck // example teardown
 
-	if err := cl.CreateIndex(propeller.BTreeIndex("size", "size")); err != nil {
+	if err := cl.CreateIndex(ctx, propeller.BTreeIndex("size", "size")); err != nil {
 		log.Fatal(err)
 	}
 	updates := []propeller.Update{
-		{File: 1, Int: 4 << 20, Group: 1},   // 4 MiB
-		{File: 2, Int: 64 << 20, Group: 1},  // 64 MiB
-		{File: 3, Int: 512 << 20, Group: 1}, // 512 MiB
+		{File: 1, Kind: propeller.KindInt, Int: 4 << 20, Group: 1},   // 4 MiB
+		{File: 2, Kind: propeller.KindInt, Int: 64 << 20, Group: 1},  // 64 MiB
+		{File: 3, Kind: propeller.KindInt, Int: 512 << 20, Group: 1}, // 512 MiB
 	}
-	if err := cl.Index("size", updates); err != nil {
+	if err := cl.Index(ctx, "size", updates); err != nil {
 		log.Fatal(err)
 	}
-	res, err := cl.Search("size", "size>16m")
+	res, err := cl.Search(ctx, propeller.Query{Index: "size", Text: "size>16m"})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("matches:", res.Files)
 	// Output: matches: [2 3]
+}
+
+// ExampleClient_Search_typed searches with the composable typed predicate
+// builder instead of query-string formatting.
+func ExampleClient_Search_typed() {
+	ctx := context.Background()
+	svc, err := propeller.StartLocal(ctx, propeller.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close() //nolint:errcheck // example teardown
+	cl, err := svc.NewClient(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck // example teardown
+
+	if err := cl.CreateIndex(ctx, propeller.BTreeIndex("size", "size")); err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.Index(ctx, "size", []propeller.Update{
+		{File: 10, Kind: propeller.KindInt, Int: 8 << 20, Group: 1},
+		{File: 11, Kind: propeller.KindInt, Int: 100 << 20, Group: 1},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := cl.Search(ctx, propeller.Query{
+		Index: "size",
+		Where: propeller.And(propeller.Gt("size", 16<<20), propeller.Lt("size", 1<<30)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matches:", res.Files)
+	// Output: matches: [11]
 }

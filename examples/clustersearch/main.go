@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,8 @@ func main() {
 }
 
 func run() error {
-	svc, err := propeller.StartLocal(propeller.Options{
+	ctx := context.Background()
+	svc, err := propeller.StartLocal(ctx, propeller.Options{
 		IndexNodes:     4,
 		SplitThreshold: 400, // small threshold so the demo splits
 	})
@@ -26,13 +28,13 @@ func run() error {
 		return err
 	}
 	defer svc.Close() //nolint:errcheck // process exit path
-	cl, err := svc.NewClient()
+	cl, err := svc.NewClient(ctx)
 	if err != nil {
 		return err
 	}
 	defer cl.Close() //nolint:errcheck // process exit path
 
-	if err := cl.CreateIndex(propeller.BTreeIndex("size", "size")); err != nil {
+	if err := cl.CreateIndex(ctx, propeller.BTreeIndex("size", "size")); err != nil {
 		return err
 	}
 
@@ -57,14 +59,14 @@ func run() error {
 			})
 		}
 	}
-	if err := cl.Index("size", updates); err != nil {
+	if err := cl.Index(ctx, "size", updates); err != nil {
 		return err
 	}
-	if err := cl.FlushCapture(); err != nil {
+	if err := cl.FlushCapture(ctx); err != nil {
 		return err
 	}
 
-	before, err := svc.Stats()
+	before, err := svc.Stats(ctx)
 	if err != nil {
 		return err
 	}
@@ -73,20 +75,30 @@ func run() error {
 	// Heartbeat round: the Master notices the oversized group, the owning
 	// node partitions it along the captured ACG (min-cut = the app
 	// boundary) and migrates one half to the least-loaded node.
-	if err := svc.Rebalance(); err != nil {
+	if err := svc.Rebalance(ctx); err != nil {
 		return err
 	}
-	after, err := svc.Stats()
+	after, err := svc.Stats(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("after rebalance:  %d files in %d group(s)\n", after.Files, after.Groups)
 
-	res, err := cl.Search("size", "size>0")
+	res, err := cl.Search(ctx, propeller.Query{Index: "size", Text: "size>0"})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("search fan-out: %d files from %d index nodes (no postings lost in migration)\n",
 		len(res.Files), res.Nodes)
-	return nil
+
+	// Streaming fan-out: batches arrive per node as each responds, so the
+	// first results land before the slowest node finishes.
+	st, err := cl.SearchStream(ctx, propeller.Query{Index: "size", Text: "size>0"})
+	if err != nil {
+		return err
+	}
+	for b, ok := st.Next(); ok; b, ok = st.Next() {
+		fmt.Printf("  streamed batch: %d files from node %s\n", len(b.Files), b.Node)
+	}
+	return st.Err()
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -21,12 +22,13 @@ func main() {
 }
 
 func run() error {
-	svc, err := propeller.StartLocal(propeller.Options{IndexNodes: 2})
+	ctx := context.Background()
+	svc, err := propeller.StartLocal(ctx, propeller.Options{IndexNodes: 2})
 	if err != nil {
 		return err
 	}
 	defer svc.Close() //nolint:errcheck // process exit path
-	cl, err := svc.NewClient()
+	cl, err := svc.NewClient(ctx)
 	if err != nil {
 		return err
 	}
@@ -34,7 +36,7 @@ func run() error {
 
 	// Two energy characteristics per protein; the docking code filters on
 	// both at once, so a 2-d K-D index fits.
-	if err := cl.CreateIndex(propeller.KDIndex("energy", "binding", "torsion")); err != nil {
+	if err := cl.CreateIndex(ctx, propeller.KDIndex("energy", "binding", "torsion")); err != nil {
 		return err
 	}
 
@@ -53,7 +55,7 @@ func run() error {
 			Group:  uint64(i/batchSize) + 1,
 		})
 		if len(batch) == batchSize {
-			if err := cl.Index("energy", batch); err != nil {
+			if err := cl.Index(ctx, "energy", batch); err != nil {
 				return err
 			}
 			batch = batch[:0]
@@ -62,7 +64,7 @@ func run() error {
 	fmt.Printf("indexed %d protein structure files\n", proteins)
 
 	// Round 1: strong binders.
-	res, err := cl.Search("energy", "binding<-9")
+	res, err := cl.Search(ctx, propeller.Query{Index: "energy", Where: propeller.Lt("binding", -9.0)})
 	if err != nil {
 		return err
 	}
@@ -70,7 +72,10 @@ func run() error {
 
 	// Round 2: refine — strong binders with low torsional strain. The
 	// docking run recomputes only this filtered set.
-	res, err = cl.Search("energy", "binding<-9 & torsion<1.5")
+	res, err = cl.Search(ctx, propeller.Query{
+		Index: "energy",
+		Where: propeller.And(propeller.Lt("binding", -9.0), propeller.Lt("torsion", 1.5)),
+	})
 	if err != nil {
 		return err
 	}
@@ -80,12 +85,12 @@ func run() error {
 	// sees them immediately.
 	if len(res.Files) > 0 {
 		f := res.Files[0]
-		if err := cl.Index("energy", []propeller.Update{{
-			File: f, Coords: []float64{-13.5, 0.2}, Group: uint64(int(f)/batchSize) + 1,
+		if err := cl.Index(ctx, "energy", []propeller.Update{{
+			File: f, Kind: propeller.KindCoords, Coords: []float64{-13.5, 0.2}, Group: uint64(int(f)/batchSize) + 1,
 		}}); err != nil {
 			return err
 		}
-		res, err = cl.Search("energy", "binding<-13")
+		res, err = cl.Search(ctx, propeller.Query{Index: "energy", Where: propeller.Lt("binding", -13.0)})
 		if err != nil {
 			return err
 		}

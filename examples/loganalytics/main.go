@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,8 +20,9 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	epoch := time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)
-	svc, err := propeller.StartLocal(propeller.Options{
+	svc, err := propeller.StartLocal(ctx, propeller.Options{
 		IndexNodes: 4,
 		Now:        func() time.Time { return epoch },
 	})
@@ -28,7 +30,7 @@ func run() error {
 		return err
 	}
 	defer svc.Close() //nolint:errcheck // process exit path
-	cl, err := svc.NewClient()
+	cl, err := svc.NewClient(ctx)
 	if err != nil {
 		return err
 	}
@@ -41,7 +43,7 @@ func run() error {
 		propeller.BTreeIndex("mtime", "mtime"),
 		propeller.HashIndex("service", "service"),
 	} {
-		if err := cl.CreateIndex(spec); err != nil {
+		if err := cl.CreateIndex(ctx, spec); err != nil {
 			return err
 		}
 	}
@@ -57,13 +59,13 @@ func run() error {
 		nextFile++
 		group := uint64(svcIdx) + 1
 		mtime := epoch.Add(-time.Duration(hour) * time.Hour)
-		if err := cl.Index("size", []propeller.Update{{File: f, Int: sizeMB << 20, Group: group}}); err != nil {
+		if err := cl.Index(ctx, "size", []propeller.Update{{File: f, Kind: propeller.KindInt, Int: sizeMB << 20, Group: group}}); err != nil {
 			return err
 		}
-		if err := cl.Index("mtime", []propeller.Update{{File: f, Time: mtime, Group: group}}); err != nil {
+		if err := cl.Index(ctx, "mtime", []propeller.Update{{File: f, Kind: propeller.KindTime, Time: mtime, Group: group}}); err != nil {
 			return err
 		}
-		return cl.Index("service", []propeller.Update{{File: f, Str: services[svcIdx], Group: group}})
+		return cl.Index(ctx, "service", []propeller.Update{{File: f, Kind: propeller.KindStr, Str: services[svcIdx], Group: group}})
 	}
 
 	// 72 hours of rotation across four services.
@@ -78,14 +80,14 @@ func run() error {
 	fmt.Printf("ingested %d log segments across %d services\n", nextFile, len(services))
 
 	// Ad-hoc query #1: which recent segments are big enough to matter?
-	res, err := cl.Search("size", "size>100m & mtime<1day")
+	res, err := cl.Search(ctx, propeller.Query{Index: "size", Text: "size>100m & mtime<1day"})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("segments >100 MiB modified in the last day: %d\n", len(res.Files))
 
 	// Ad-hoc query #2: everything the db service wrote this week.
-	res, err = cl.Search("service", "service:db & mtime<1week")
+	res, err = cl.Search(ctx, propeller.Query{Index: "service", Text: "service:db & mtime<1week"})
 	if err != nil {
 		return err
 	}
@@ -96,7 +98,7 @@ func run() error {
 	if err := write(0, 0, 999); err != nil {
 		return err
 	}
-	res, err = cl.Search("size", "size>900m")
+	res, err = cl.Search(ctx, propeller.Query{Index: "size", Where: propeller.Gt("size", 900<<20)})
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,13 @@
 // Quickstart: boot a local Propeller deployment, create an index, ingest a
-// few files, and search — the minimal end-to-end flow.
+// few files, and search — the minimal end-to-end flow on the v2 Query API
+// (context, typed predicates, cursor pagination).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"propeller"
 )
@@ -16,48 +19,77 @@ func main() {
 }
 
 func run() error {
+	// Every call takes a context: deadlines travel with each RPC and
+	// cancellation aborts in-flight fan-outs.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// One Master Node plus two Index Nodes, in this process.
-	svc, err := propeller.StartLocal(propeller.Options{IndexNodes: 2})
+	svc, err := propeller.StartLocal(ctx, propeller.Options{IndexNodes: 2})
 	if err != nil {
 		return err
 	}
 	defer svc.Close() //nolint:errcheck // process exit path
 
-	cl, err := svc.NewClient()
+	cl, err := svc.NewClient(ctx)
 	if err != nil {
 		return err
 	}
 	defer cl.Close() //nolint:errcheck // process exit path
 
 	// A user-defined index with a globally unique name (§IV workflow).
-	if err := cl.CreateIndex(propeller.BTreeIndex("size", "size")); err != nil {
+	if err := cl.CreateIndex(ctx, propeller.BTreeIndex("size", "size")); err != nil {
 		return err
 	}
 
 	// Inline indexing: every update is visible to the very next search.
+	// Kind states which value field is set — no zero-value guessing.
 	var updates []propeller.Update
 	for i := 0; i < 1000; i++ {
 		updates = append(updates, propeller.Update{
 			File: propeller.FileID(i),
+			Kind: propeller.KindInt,
 			Int:  int64(i) << 20, // i MiB
 			// Files accessed together share a group: updates stay local to
 			// one small index partition.
 			Group: uint64(i/250) + 1,
 		})
 	}
-	if err := cl.Index("size", updates); err != nil {
+	if err := cl.Index(ctx, "size", updates); err != nil {
 		return err
 	}
 
-	res, err := cl.Search("size", "size>900m")
+	// One Query type for every search: textual or typed predicate, paged
+	// with a cursor so no node ever ships more than a page of postings.
+	res, err := cl.Search(ctx, propeller.Query{
+		Index: "size",
+		Where: propeller.Gt("size", 900<<20),
+		Limit: 50,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("files larger than 900 MiB: %d (served by %d index nodes)\n",
-		len(res.Files), res.Nodes)
+	fmt.Printf("files larger than 900 MiB: %d this page (served by %d index nodes, more=%v)\n",
+		len(res.Files), res.Nodes, res.More)
 	fmt.Printf("first few: %v\n", res.Files[:5])
 
-	st, err := svc.Stats()
+	// Follow the cursor for the rest.
+	total := len(res.Files)
+	for res.More {
+		res, err = cl.Search(ctx, propeller.Query{
+			Index:  "size",
+			Where:  propeller.Gt("size", 900<<20),
+			Limit:  50,
+			Cursor: res.Next,
+		})
+		if err != nil {
+			return err
+		}
+		total += len(res.Files)
+	}
+	fmt.Printf("all pages: %d files\n", total)
+
+	st, err := svc.Stats(ctx)
 	if err != nil {
 		return err
 	}

@@ -3,9 +3,14 @@
 // into client-RAM ACGs (the FUSE interception point), and the File Query
 // Engine that routes indexing and search requests through the Master Node
 // and fans searches out to Index Nodes in parallel.
+//
+// All network-touching methods take a context.Context: its deadline travels
+// with every RPC (index nodes see it and bound their own work) and its
+// cancellation aborts an in-flight fan-out without leaking goroutines.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -20,7 +25,10 @@ import (
 	"propeller/internal/rpc"
 )
 
-// ErrNoTargets is returned when a search resolves to zero index nodes.
+// ErrNoTargets is returned by the Master lookup when a search resolves to
+// zero index nodes. Search and SearchStream translate it to an empty result
+// — an empty cluster has no matches — so every caller (public API, cmd/
+// binaries, tests) gets that behavior from one place.
 var ErrNoTargets = errors.New("client: search resolved to no index nodes")
 
 // Config wires a Client.
@@ -81,7 +89,13 @@ func (c *Client) conn(addr string) (*rpc.Client, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if conn, ok := c.conns[addr]; ok {
-		return conn, nil
+		if !conn.Closed() {
+			return conn, nil
+		}
+		// The cached connection died (peer loss, or torn down by a
+		// cancelled mid-write call). Evict and redial — one expired
+		// deadline must not make a healthy node unreachable forever.
+		delete(c.conns, addr)
 	}
 	conn, err := c.cfg.Dial(addr)
 	if err != nil {
@@ -112,7 +126,7 @@ func (c *Client) EndProcess(proc acg.PID) {
 // FlushACG ships the captured causality graph to the owning Index Nodes
 // (called after the I/O process finishes). Captured components are used as
 // group hints so the Master co-locates causally-related files.
-func (c *Client) FlushACG() error {
+func (c *Client) FlushACG(ctx context.Context) error {
 	g := c.builder.TakeGraph()
 	if g.NumVertices() == 0 {
 		return nil
@@ -122,18 +136,17 @@ func (c *Client) FlushACG() error {
 	// One lookup for every vertex, hinted by component.
 	var files []index.FileID
 	var hints []uint64
-	for ci, comp := range comps {
+	for _, comp := range comps {
 		// Hints must be globally unique per component: derive from the
 		// smallest member (stable across flushes of the same files).
 		hint := uint64(comp[0]) + 1
-		_ = ci
 		for _, f := range comp {
 			files = append(files, f)
 			hints = append(hints, hint)
 		}
 	}
 	resp, err := rpc.Call[proto.LookupFilesReq, proto.LookupFilesResp](
-		c.cfg.Master, proto.MethodLookupFiles,
+		ctx, c.cfg.Master, proto.MethodLookupFiles,
 		proto.LookupFilesReq{Files: files, GroupHints: hints, Allocate: true})
 	if err != nil {
 		return fmt.Errorf("client flush acg: %w", err)
@@ -183,7 +196,7 @@ func (c *Client) FlushACG() error {
 		if err != nil {
 			return err
 		}
-		if _, err := rpc.Call[proto.FlushACGReq, proto.FlushACGResp](conn, proto.MethodFlushACG, d.req); err != nil {
+		if _, err := rpc.Call[proto.FlushACGReq, proto.FlushACGResp](ctx, conn, proto.MethodFlushACG, d.req); err != nil {
 			return fmt.Errorf("client flush acg: %w", err)
 		}
 	}
@@ -193,9 +206,9 @@ func (c *Client) FlushACG() error {
 // --- File Query Engine ---
 
 // CreateIndex registers a named index cluster-wide.
-func (c *Client) CreateIndex(spec proto.IndexSpec) error {
+func (c *Client) CreateIndex(ctx context.Context, spec proto.IndexSpec) error {
 	if _, err := rpc.Call[proto.CreateIndexReq, proto.CreateIndexResp](
-		c.cfg.Master, proto.MethodCreateIndex, proto.CreateIndexReq{Spec: spec}); err != nil {
+		ctx, c.cfg.Master, proto.MethodCreateIndex, proto.CreateIndexReq{Spec: spec}); err != nil {
 		return fmt.Errorf("client create index %q: %w", spec.Name, err)
 	}
 	return nil
@@ -217,7 +230,7 @@ type FileUpdate struct {
 // Index sends a batch of indexing requests for the named index. Updates are
 // routed through the Master, grouped by (Index Node, ACG) and sent in
 // parallel — the paper's batched parallel file-indexing path.
-func (c *Client) Index(indexName string, updates []FileUpdate) error {
+func (c *Client) Index(ctx context.Context, indexName string, updates []FileUpdate) error {
 	if len(updates) == 0 {
 		return nil
 	}
@@ -228,7 +241,7 @@ func (c *Client) Index(indexName string, updates []FileUpdate) error {
 		hints[i] = u.GroupHint
 	}
 	resp, err := rpc.Call[proto.LookupFilesReq, proto.LookupFilesResp](
-		c.cfg.Master, proto.MethodLookupFiles,
+		ctx, c.cfg.Master, proto.MethodLookupFiles,
 		proto.LookupFilesReq{Files: files, GroupHints: hints, Allocate: true})
 	if err != nil {
 		return fmt.Errorf("client index: %w", err)
@@ -267,7 +280,7 @@ func (c *Client) Index(indexName string, updates []FileUpdate) error {
 		wg.Add(1)
 		go func(b *batch, conn *rpc.Client) {
 			defer wg.Done()
-			if _, err := rpc.Call[proto.UpdateReq, proto.UpdateResp](conn, proto.MethodUpdate, b.req); err != nil {
+			if _, err := rpc.Call[proto.UpdateReq, proto.UpdateResp](ctx, conn, proto.MethodUpdate, b.req); err != nil {
 				errCh <- fmt.Errorf("client index acg %d: %w", b.req.ACG, err)
 			}
 		}(b, conn)
@@ -280,37 +293,142 @@ func (c *Client) Index(indexName string, updates []FileUpdate) error {
 	return nil
 }
 
+// Query is one search request: the single entry point for global searches,
+// scoped query-directory searches, paged reads and lazy reads.
+type Query struct {
+	// Index names the index to query.
+	Index string
+	// Text is the predicate in package query syntax ("size>16m &
+	// mtime<1day"). Parsed client-side against the client's reference
+	// time; parse failures surface as perr.ErrBadQuery before any RPC.
+	Text string
+	// Preds is the structured predicate (used by typed builders). Text
+	// and Preds may be combined; the conjunction of both applies.
+	Preds []query.Predicate
+	// Path optionally scopes the search to a directory subtree (the
+	// paper's query-directory namespace). Requires a B-tree index over
+	// the "path" attribute unless Path is "" or "/".
+	Path string
+	// Limit bounds the files returned per page (0 = unlimited).
+	Limit int
+	// After / AfterSet resume a paged search: only files with
+	// FileID > After are returned. Use SearchResult.Next / NextSet from
+	// the previous page.
+	After    index.FileID
+	AfterSet bool
+	// Anchor pins the reference time for relative predicates in Text
+	// ("mtime<1day"). Zero means "now" (the client's clock); paged
+	// searches carry the first page's anchor forward via
+	// SearchResult.Anchor so the match window cannot drift between pages.
+	Anchor time.Time
+	// Consistency selects strict (commit-on-search, default) or lazy
+	// reads.
+	Consistency proto.Consistency
+}
+
+// compile resolves the query's predicate set — parsed text plus
+// structured predicates plus the path scope — and the anchor time the
+// text was parsed against (for cursor continuity across pages).
+func (c *Client) compile(q Query) ([]query.Predicate, time.Time, error) {
+	anchor := q.Anchor
+	if anchor.IsZero() {
+		anchor = c.cfg.Now()
+	}
+	preds := make([]query.Predicate, 0, len(q.Preds)+2)
+	preds = append(preds, q.Preds...)
+	if q.Text != "" {
+		parsed, err := query.Parse(q.Text, anchor)
+		if err != nil {
+			return nil, anchor, err
+		}
+		preds = append(preds, parsed.Preds...)
+	}
+	if len(preds) == 0 {
+		return nil, anchor, fmt.Errorf("%w: query has no predicates", query.ErrSyntax)
+	}
+	preds = append(preds, query.PathScopePreds(q.Path)...)
+	return preds, anchor, nil
+}
+
+// lookupTargets asks the Master for the search fan-out. Zero targets
+// yields ErrNoTargets, which Search and SearchStream translate to an empty
+// result in one place.
+func (c *Client) lookupTargets(ctx context.Context, indexName string) ([]proto.IndexTarget, error) {
+	lookup, err := rpc.Call[proto.LookupIndexReq, proto.LookupIndexResp](
+		ctx, c.cfg.Master, proto.MethodLookupIndex, proto.LookupIndexReq{IndexName: indexName})
+	if err != nil {
+		return nil, fmt.Errorf("client search: %w", err)
+	}
+	if len(lookup.Targets) == 0 {
+		return nil, ErrNoTargets
+	}
+	return lookup.Targets, nil
+}
+
+// searchReq builds the per-node wire request for q.
+func searchReq(q Query, preds []query.Predicate, tgt proto.IndexTarget) proto.SearchReq {
+	return proto.SearchReq{
+		ACGs:        tgt.ACGs,
+		IndexName:   q.Index,
+		Preds:       preds,
+		Limit:       q.Limit,
+		After:       q.After,
+		AfterSet:    q.AfterSet,
+		Consistency: q.Consistency,
+	}
+}
+
 // SearchResult is the aggregated outcome of a distributed search.
 type SearchResult struct {
+	// Files are the matching file ids, ascending, de-duplicated. With
+	// Query.Limit > 0 this is one page.
 	Files []index.FileID
 	// Nodes is the number of Index Nodes queried.
 	Nodes int
 	// CommitLatency is the summed virtual commit-on-search cost reported by
 	// the nodes.
 	CommitLatency time.Duration
+	// More reports that matches beyond this page exist.
+	More bool
+	// Next / NextSet is the cursor for the following page (valid when
+	// More).
+	Next    index.FileID
+	NextSet bool
+	// Anchor is the reference time this page's relative predicates were
+	// resolved against; pass it as Query.Anchor (with Next/NextSet) so
+	// every page of one logical search shares the same match window.
+	Anchor time.Time
 }
 
-// Search runs a query against the named index: the Master supplies the
-// fan-out targets, every Index Node is queried in parallel, and the
-// client aggregates the returned file sets (§IV's parallel file-search).
-func (c *Client) Search(indexName, queryStr string) (SearchResult, error) {
-	lookup, err := rpc.Call[proto.LookupIndexReq, proto.LookupIndexResp](
-		c.cfg.Master, proto.MethodLookupIndex, proto.LookupIndexReq{IndexName: indexName})
+// Search runs a query: the Master supplies the fan-out targets, every
+// Index Node is queried in parallel, and the client merges the returned
+// (ascending) file streams (§IV's parallel file-search). With q.Limit > 0
+// each node returns at most one page and the merged result is cut to the
+// page size; because per-node responses are ascending, the last FileID of
+// the page is a valid resume cursor on every node.
+//
+// An empty cluster (no index nodes holding the index) yields an empty
+// result, not an error. An unknown index name yields perr.ErrIndexNotFound.
+func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
+	preds, anchor, err := c.compile(q)
 	if err != nil {
-		return SearchResult{}, fmt.Errorf("client search: %w", err)
+		return SearchResult{}, err
 	}
-	if len(lookup.Targets) == 0 {
-		return SearchResult{}, ErrNoTargets
+	targets, err := c.lookupTargets(ctx, q.Index)
+	if errors.Is(err, ErrNoTargets) {
+		return SearchResult{}, nil // empty cluster: no matches
 	}
-	now := c.cfg.Now().UnixNano()
+	if err != nil {
+		return SearchResult{}, err
+	}
 
 	var wg sync.WaitGroup
 	type nodeResult struct {
 		resp proto.SearchResp
 		err  error
 	}
-	results := make([]nodeResult, len(lookup.Targets))
-	for i, tgt := range lookup.Targets {
+	results := make([]nodeResult, len(targets))
+	for i, tgt := range targets {
 		conn, err := c.conn(tgt.Addr)
 		if err != nil {
 			return SearchResult{}, err
@@ -318,52 +436,125 @@ func (c *Client) Search(indexName, queryStr string) (SearchResult, error) {
 		wg.Add(1)
 		go func(i int, tgt proto.IndexTarget, conn *rpc.Client) {
 			defer wg.Done()
-			resp, err := rpc.Call[proto.SearchReq, proto.SearchResp](conn, proto.MethodSearch, proto.SearchReq{
-				ACGs: tgt.ACGs, IndexName: indexName, Query: queryStr, NowUnixNano: now,
-			})
+			resp, err := rpc.Call[proto.SearchReq, proto.SearchResp](
+				ctx, conn, proto.MethodSearch, searchReq(q, preds, tgt))
 			results[i] = nodeResult{resp: resp, err: err}
 		}(i, tgt, conn)
 	}
 	wg.Wait()
 
-	out := SearchResult{Nodes: len(lookup.Targets)}
-	seen := make(map[index.FileID]bool)
+	out := SearchResult{Nodes: len(targets)}
+	var merged []index.FileID
 	for i, r := range results {
 		if r.err != nil {
-			return SearchResult{}, fmt.Errorf("client search node %s: %w", lookup.Targets[i].Node, r.err)
+			return SearchResult{}, fmt.Errorf("client search node %s: %w", targets[i].Node, r.err)
 		}
 		out.CommitLatency += time.Duration(r.resp.CommitLatencyNanos)
-		for _, f := range r.resp.Files {
-			if !seen[f] {
-				seen[f] = true
-				out.Files = append(out.Files, f)
-			}
-		}
+		out.More = out.More || r.resp.More
+		merged = append(merged, r.resp.Files...)
 	}
-	sort.Slice(out.Files, func(i, j int) bool { return out.Files[i] < out.Files[j] })
+	files := index.SortDedup(merged)
+	if q.Limit > 0 && len(files) > q.Limit {
+		// Nodes beyond the cut still have unconsumed matches; the cursor
+		// re-covers them on the next page.
+		files = files[:q.Limit]
+		out.More = true
+	}
+	out.Files = files
+	out.Anchor = anchor
+	if out.More && len(out.Files) > 0 {
+		out.Next, out.NextSet = out.Files[len(out.Files)-1], true
+	}
 	return out, nil
 }
 
-// SearchDir evaluates a dynamic query-directory path (§IV), e.g.
-// "/data/logs/?size>1m & mtime<1day": the embedded query runs against the
-// named index, scoped to the directory prefix via range predicates on the
-// "path" attribute. Scoping requires a B-tree index over "path"; an
-// unscoped root query ("/?...") needs none.
-func (c *Client) SearchDir(indexName, pathQuery string) (SearchResult, error) {
-	qd, err := query.ParseQueryPath(pathQuery, c.cfg.Now())
+// Batch is one Index Node's contribution to a streaming search.
+type Batch struct {
+	// Node served this batch.
+	Node proto.NodeID
+	// Files are the node's matches, ascending, de-duplicated within the
+	// node (not across batches).
+	Files []index.FileID
+	// More reports the node has matches beyond its page budget.
+	More bool
+	// CommitLatency is the node's commit-on-search cost.
+	CommitLatency time.Duration
+}
+
+// Stream delivers per-node search batches in arrival order.
+type Stream struct {
+	ch        chan streamItem
+	remaining int
+	err       error
+}
+
+type streamItem struct {
+	batch Batch
+	err   error
+}
+
+// Next returns the next batch. ok is false when the stream is exhausted or
+// failed; check Err afterwards.
+func (s *Stream) Next() (Batch, bool) {
+	if s.err != nil || s.remaining == 0 {
+		return Batch{}, false
+	}
+	it := <-s.ch
+	s.remaining--
+	if it.err != nil {
+		s.err = it.err
+		return Batch{}, false
+	}
+	return it.batch, true
+}
+
+// Err returns the error that terminated the stream, if any.
+func (s *Stream) Err() error { return s.err }
+
+// SearchStream runs the same fan-out as Search but yields each Index
+// Node's batch as soon as that node responds, instead of barriering on the
+// slowest node — the first batch is available after the fastest node's
+// round trip. Batches are de-duplicated per node only. Cancelling the
+// context aborts outstanding node calls; the per-node goroutines always
+// drain into a buffered channel, so an abandoned stream leaks nothing.
+func (c *Client) SearchStream(ctx context.Context, q Query) (*Stream, error) {
+	preds, _, err := c.compile(q)
 	if err != nil {
-		return SearchResult{}, err
+		return nil, err
 	}
-	qstr := qd.Query.String()
-	if qd.Dir != "/" {
-		// [dir+"/", dir+"/\xff") brackets exactly the subtree.
-		qstr += " & path>=" + qd.Dir + "/" + " & path<" + qd.Dir + "/\xff"
+	targets, err := c.lookupTargets(ctx, q.Index)
+	if errors.Is(err, ErrNoTargets) {
+		return &Stream{}, nil // empty cluster: stream with zero batches
 	}
-	return c.Search(indexName, qstr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{ch: make(chan streamItem, len(targets)), remaining: len(targets)}
+	for _, tgt := range targets {
+		conn, err := c.conn(tgt.Addr)
+		if err != nil {
+			return nil, err
+		}
+		go func(tgt proto.IndexTarget, conn *rpc.Client) {
+			resp, err := rpc.Call[proto.SearchReq, proto.SearchResp](
+				ctx, conn, proto.MethodSearch, searchReq(q, preds, tgt))
+			if err != nil {
+				s.ch <- streamItem{err: fmt.Errorf("client search node %s: %w", tgt.Node, err)}
+				return
+			}
+			s.ch <- streamItem{batch: Batch{
+				Node:          tgt.Node,
+				Files:         resp.Files,
+				More:          resp.More,
+				CommitLatency: time.Duration(resp.CommitLatencyNanos),
+			}}
+		}(tgt, conn)
+	}
+	return s, nil
 }
 
 // ClusterStats fetches the Master's cluster summary.
-func (c *Client) ClusterStats() (proto.ClusterStatsResp, error) {
+func (c *Client) ClusterStats(ctx context.Context) (proto.ClusterStatsResp, error) {
 	return rpc.Call[proto.ClusterStatsReq, proto.ClusterStatsResp](
-		c.cfg.Master, proto.MethodClusterStats, proto.ClusterStatsReq{})
+		ctx, c.cfg.Master, proto.MethodClusterStats, proto.ClusterStatsReq{})
 }

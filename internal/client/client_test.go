@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"propeller/internal/indexnode"
 	"propeller/internal/master"
 	"propeller/internal/pagestore"
+	"propeller/internal/perr"
 	"propeller/internal/proto"
 	"propeller/internal/rpc"
 	"propeller/internal/simdisk"
@@ -50,7 +52,7 @@ func newRig(t *testing.T) *rig {
 	}
 	nodeSrv := rpc.NewServer()
 	node.RegisterRPC(nodeSrv)
-	if _, err := m.RegisterNode(proto.RegisterNodeReq{
+	if _, err := m.RegisterNode(context.Background(), proto.RegisterNodeReq{
 		Node: "in-00", Addr: "pipe:in-00", CapacityFiles: 1 << 30,
 	}); err != nil {
 		t.Fatal(err)
@@ -96,7 +98,7 @@ func TestNewValidation(t *testing.T) {
 
 func TestIndexAndSearchRoundTrip(t *testing.T) {
 	r := newRig(t)
-	if err := r.client.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := r.client.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 	var updates []FileUpdate
@@ -105,10 +107,10 @@ func TestIndexAndSearchRoundTrip(t *testing.T) {
 			File: index.FileID(i), Value: attr.Int(int64(i) << 20), GroupHint: uint64(i/10) + 1,
 		})
 	}
-	if err := r.client.Index("size", updates); err != nil {
+	if err := r.client.Index(context.Background(), "size", updates); err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.client.Search("size", "size>25m")
+	res, err := r.client.Search(context.Background(), Query{Index: "size", Text: "size>25m"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,26 +124,31 @@ func TestIndexAndSearchRoundTrip(t *testing.T) {
 
 func TestIndexEmptyBatchIsNoop(t *testing.T) {
 	r := newRig(t)
-	if err := r.client.Index("size", nil); err != nil {
+	if err := r.client.Index(context.Background(), "size", nil); err != nil {
 		t.Errorf("empty batch: %v", err)
 	}
 }
 
 func TestSearchUnknownIndexFails(t *testing.T) {
 	r := newRig(t)
-	if _, err := r.client.Search("ghost", "size>1"); err == nil ||
-		!strings.Contains(err.Error(), "unknown index") {
+	_, err := r.client.Search(context.Background(), Query{Index: "ghost", Text: "size>1"})
+	if err == nil || !strings.Contains(err.Error(), "unknown index") {
 		t.Errorf("err = %v, want unknown index", err)
+	}
+	// The taxonomy survives the wire: the master's ErrUnknownIndex arrives
+	// as perr.ErrIndexNotFound.
+	if !errors.Is(err, perr.ErrIndexNotFound) {
+		t.Errorf("err = %v, want perr.ErrIndexNotFound via errors.Is", err)
 	}
 }
 
 func TestFlushACGRoutesEdges(t *testing.T) {
 	r := newRig(t)
-	if err := r.client.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := r.client.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 	// Empty flush is a no-op.
-	if err := r.client.FlushACG(); err != nil {
+	if err := r.client.FlushACG(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -152,11 +159,11 @@ func TestFlushACGRoutesEdges(t *testing.T) {
 	r.client.Open(1, 102, acg.OpenWrite)
 	r.client.CloseFile(1, 100)
 	r.client.EndProcess(1)
-	if err := r.client.FlushACG(); err != nil {
+	if err := r.client.FlushACG(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
-	lookup, err := r.master.LookupFiles(proto.LookupFilesReq{
+	lookup, err := r.master.LookupFiles(context.Background(), proto.LookupFilesReq{
 		Files: []index.FileID{100, 101, 102},
 	})
 	if err != nil {
@@ -168,7 +175,7 @@ func TestFlushACGRoutesEdges(t *testing.T) {
 			t.Error("causally-connected files must share a group")
 		}
 	}
-	st, err := r.node.NodeStats(proto.NodeStatsReq{})
+	st, err := r.node.NodeStats(context.Background(), proto.NodeStatsReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,10 +193,10 @@ func TestFlushACGSeparateComponentsSeparateGroups(t *testing.T) {
 	r.client.Open(2, 10, acg.OpenRead)
 	r.client.Open(2, 11, acg.OpenWrite)
 	r.client.EndProcess(2)
-	if err := r.client.FlushACG(); err != nil {
+	if err := r.client.FlushACG(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	lookup, err := r.master.LookupFiles(proto.LookupFilesReq{
+	lookup, err := r.master.LookupFiles(context.Background(), proto.LookupFilesReq{
 		Files: []index.FileID{1, 10},
 	})
 	if err != nil {
@@ -202,13 +209,13 @@ func TestFlushACGSeparateComponentsSeparateGroups(t *testing.T) {
 
 func TestClusterStatsViaClient(t *testing.T) {
 	r := newRig(t)
-	if err := r.client.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := r.client.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.client.Index("size", []FileUpdate{{File: 1, Value: attr.Int(1), GroupHint: 1}}); err != nil {
+	if err := r.client.Index(context.Background(), "size", []FileUpdate{{File: 1, Value: attr.Int(1), GroupHint: 1}}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := r.client.ClusterStats()
+	st, err := r.client.ClusterStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,5 +239,20 @@ func TestConnCaching(t *testing.T) {
 	}
 	if _, err := r.client.conn("pipe:bogus"); err == nil {
 		t.Error("unknown address should fail")
+	}
+	// A dead cached connection (peer loss, cancelled mid-write teardown)
+	// is evicted and redialed rather than returned forever.
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := r.client.conn("pipe:in-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c1 {
+		t.Error("closed connection must be evicted from the cache")
+	}
+	if c3.Closed() {
+		t.Error("redialed connection should be live")
 	}
 }

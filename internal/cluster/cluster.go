@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -139,7 +140,7 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := c.master.RegisterNode(proto.RegisterNodeReq{
+		if _, err := c.master.RegisterNode(context.Background(), proto.RegisterNodeReq{
 			Node: node.ID(), Addr: addr, CapacityFiles: 1 << 40,
 		}); err != nil {
 			return nil, err
@@ -245,9 +246,9 @@ func (c *Cluster) Tick() error {
 
 // Heartbeat runs one heartbeat round (nodes report to the master and
 // execute split orders).
-func (c *Cluster) Heartbeat() error {
+func (c *Cluster) Heartbeat(ctx context.Context) error {
 	for _, n := range c.nodes {
-		if err := n.Heartbeat(); err != nil {
+		if err := n.Heartbeat(ctx); err != nil {
 			return err
 		}
 	}
@@ -257,10 +258,10 @@ func (c *Cluster) Heartbeat() error {
 // Compact merges small groups (below minFiles) on every node and returns
 // the number of merges performed (§IV's "merging small ones" maintenance
 // task).
-func (c *Cluster) Compact(minFiles int) (int, error) {
+func (c *Cluster) Compact(ctx context.Context, minFiles int) (int, error) {
 	total := 0
 	for _, n := range c.nodes {
-		m, err := n.CompactGroups(minFiles)
+		m, err := n.CompactGroups(ctx, minFiles)
 		if err != nil {
 			return total, err
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -36,7 +37,7 @@ func bootCluster(t *testing.T, cfg Config) (*Cluster, *client.Client) {
 
 func TestSingleNodeIndexAndSearch(t *testing.T) {
 	_, cl := bootCluster(t, Config{IndexNodes: 1})
-	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := cl.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 	var updates []client.FileUpdate
@@ -47,10 +48,10 @@ func TestSingleNodeIndexAndSearch(t *testing.T) {
 			GroupHint: uint64(i/10) + 1,
 		})
 	}
-	if err := cl.Index("size", updates); err != nil {
+	if err := cl.Index(context.Background(), "size", updates); err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Search("size", "size>90m")
+	res, err := cl.Search(context.Background(), client.Query{Index: "size", Text: "size>90m"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestSingleNodeIndexAndSearch(t *testing.T) {
 
 func TestMultiNodeParallelSearch(t *testing.T) {
 	c, cl := bootCluster(t, Config{IndexNodes: 4})
-	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := cl.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 	// 40 groups spread over 4 nodes by least-loaded placement.
@@ -73,11 +74,11 @@ func TestMultiNodeParallelSearch(t *testing.T) {
 				File: f, Value: attr.Int(int64(f) << 10), GroupHint: uint64(g) + 1,
 			})
 		}
-		if err := cl.Index("size", updates); err != nil {
+		if err := cl.Index(context.Background(), "size", updates); err != nil {
 			t.Fatal(err)
 		}
 	}
-	stats, err := cl.ClusterStats()
+	stats, err := cl.ClusterStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestMultiNodeParallelSearch(t *testing.T) {
 			t.Errorf("node %s has %d groups, want 10 (balanced placement)", ns.Node, ns.ACGs)
 		}
 	}
-	res, err := cl.Search("size", "size>500k")
+	res, err := cl.Search(context.Background(), client.Query{Index: "size", Text: "size>500k"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,16 +113,16 @@ func TestSearchConsistencyAfterUpdates(t *testing.T) {
 	// The inline-indexing guarantee: every acknowledged update is visible
 	// to the next search, with no crawl delay.
 	_, cl := bootCluster(t, Config{IndexNodes: 2})
-	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := cl.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 	for round := 0; round < 10; round++ {
-		if err := cl.Index("size", []client.FileUpdate{{
+		if err := cl.Index(context.Background(), "size", []client.FileUpdate{{
 			File: index.FileID(round), Value: attr.Int(int64(round+1) << 30), GroupHint: 1,
 		}}); err != nil {
 			t.Fatal(err)
 		}
-		res, err := cl.Search("size", "size>0")
+		res, err := cl.Search(context.Background(), client.Query{Index: "size", Text: "size>0"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func TestSearchConsistencyAfterUpdates(t *testing.T) {
 
 func TestACGFlushAndSplitMigration(t *testing.T) {
 	c, cl := bootCluster(t, Config{IndexNodes: 2, SplitThreshold: 50})
-	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := cl.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -159,14 +160,14 @@ func TestACGFlushAndSplitMigration(t *testing.T) {
 	cl.Open(proc, 40, acg.OpenWrite)
 	cl.EndProcess(proc)
 
-	if err := cl.Index("size", updates); err != nil {
+	if err := cl.Index(context.Background(), "size", updates); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.FlushACG(); err != nil {
+	if err := cl.FlushACG(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
-	before, err := cl.ClusterStats()
+	before, err := cl.ClusterStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,10 +177,10 @@ func TestACGFlushAndSplitMigration(t *testing.T) {
 
 	// Heartbeat: the master orders the split; the node partitions and
 	// migrates.
-	if err := c.Heartbeat(); err != nil {
+	if err := c.Heartbeat(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	after, err := cl.ClusterStats()
+	after, err := cl.ClusterStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestACGFlushAndSplitMigration(t *testing.T) {
 	}
 
 	// Search still returns every file (no postings lost in migration).
-	res, err := cl.Search("size", "size>0")
+	res, err := cl.Search(context.Background(), client.Query{Index: "size", Text: "size>0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestACGFlushAndSplitMigration(t *testing.T) {
 
 func TestClusterOverTCP(t *testing.T) {
 	_, cl := bootCluster(t, Config{IndexNodes: 2, UseTCP: true})
-	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := cl.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 	var updates []client.FileUpdate
@@ -218,10 +219,10 @@ func TestClusterOverTCP(t *testing.T) {
 			File: index.FileID(i), Value: attr.Int(int64(i)), GroupHint: uint64(i/10) + 1,
 		})
 	}
-	if err := cl.Index("size", updates); err != nil {
+	if err := cl.Index(context.Background(), "size", updates); err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Search("size", "size>=40")
+	res, err := cl.Search(context.Background(), client.Query{Index: "size", Text: "size>=40"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,11 +233,11 @@ func TestClusterOverTCP(t *testing.T) {
 
 func TestVirtualNetworkCost(t *testing.T) {
 	c, cl := bootCluster(t, Config{IndexNodes: 1, NetProfile: rpc.GigabitLAN()})
-	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := cl.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 	before := c.Clock().Now()
-	if err := cl.Index("size", []client.FileUpdate{{File: 1, Value: attr.Int(1), GroupHint: 1}}); err != nil {
+	if err := cl.Index(context.Background(), "size", []client.FileUpdate{{File: 1, Value: attr.Int(1), GroupHint: 1}}); err != nil {
 		t.Fatal(err)
 	}
 	if c.Clock().Now() == before {
@@ -246,10 +247,10 @@ func TestVirtualNetworkCost(t *testing.T) {
 
 func TestTickCommitsAcrossCluster(t *testing.T) {
 	c, cl := bootCluster(t, Config{IndexNodes: 2, CommitTimeout: 5 * time.Second})
-	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := cl.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Index("size", []client.FileUpdate{{File: 1, Value: attr.Int(7), GroupHint: 1}}); err != nil {
+	if err := cl.Index(context.Background(), "size", []client.FileUpdate{{File: 1, Value: attr.Int(7), GroupHint: 1}}); err != nil {
 		t.Fatal(err)
 	}
 	c.Clock().Advance(10 * time.Second)
@@ -258,7 +259,7 @@ func TestTickCommitsAcrossCluster(t *testing.T) {
 	}
 	total := 0
 	for _, n := range c.Nodes() {
-		st, err := n.NodeStats(proto.NodeStatsReq{})
+		st, err := n.NodeStats(context.Background(), proto.NodeStatsReq{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -276,7 +277,7 @@ func TestManyClientsConcurrently(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer adminClient.Close() //nolint:errcheck
-	if err := adminClient.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := adminClient.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -297,11 +298,11 @@ func TestManyClientsConcurrently(t *testing.T) {
 					File: f, Value: attr.Int(int64(f)), GroupHint: uint64(w) + 1,
 				})
 			}
-			if err := cl.Index("size", updates); err != nil {
+			if err := cl.Index(context.Background(), "size", updates); err != nil {
 				errCh <- fmt.Errorf("client %d: %w", w, err)
 				return
 			}
-			if _, err := cl.Search("size", "size>=0"); err != nil {
+			if _, err := cl.Search(context.Background(), client.Query{Index: "size", Text: "size>=0"}); err != nil {
 				errCh <- fmt.Errorf("client %d search: %w", w, err)
 				return
 			}
@@ -313,7 +314,7 @@ func TestManyClientsConcurrently(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := adminClient.Search("size", "size>=0")
+	res, err := adminClient.Search(context.Background(), client.Query{Index: "size", Text: "size>=0"})
 	if err != nil {
 		t.Fatal(err)
 	}

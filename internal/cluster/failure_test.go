@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -19,7 +20,7 @@ import (
 // storage; after a crash a fresh Master restores them and routing resumes.
 func TestMasterCrashRecovery(t *testing.T) {
 	c, cl := bootCluster(t, Config{IndexNodes: 2})
-	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := cl.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 	var updates []client.FileUpdate
@@ -28,7 +29,7 @@ func TestMasterCrashRecovery(t *testing.T) {
 			File: index.FileID(i), Value: attr.Int(int64(i)), GroupHint: uint64(i/20) + 1,
 		})
 	}
-	if err := cl.Index("size", updates); err != nil {
+	if err := cl.Index(context.Background(), "size", updates); err != nil {
 		t.Fatal(err)
 	}
 
@@ -42,7 +43,7 @@ func TestMasterCrashRecovery(t *testing.T) {
 	// possible without restarting the process; emulate by loading into the
 	// running master (idempotent) and verifying lookups still resolve the
 	// same groups.
-	before, err := c.Master().LookupFiles(proto.LookupFilesReq{
+	before, err := c.Master().LookupFiles(context.Background(), proto.LookupFilesReq{
 		Files: []index.FileID{0, 20, 40},
 	})
 	if err != nil {
@@ -51,7 +52,7 @@ func TestMasterCrashRecovery(t *testing.T) {
 	if err := c.Master().LoadMetadata(img); err != nil {
 		t.Fatal(err)
 	}
-	after, err := c.Master().LookupFiles(proto.LookupFilesReq{
+	after, err := c.Master().LookupFiles(context.Background(), proto.LookupFilesReq{
 		Files: []index.FileID{0, 20, 40},
 	})
 	if err != nil {
@@ -63,7 +64,7 @@ func TestMasterCrashRecovery(t *testing.T) {
 		}
 	}
 	// Searches still work after the reload.
-	res, err := cl.Search("size", "size>=0")
+	res, err := cl.Search(context.Background(), client.Query{Index: "size", Text: "size>=0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,14 +92,14 @@ func TestIndexNodeCrashRecovery(t *testing.T) {
 	spec := proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}
 	node.DeclareIndex(spec)
 	for i := 0; i < 50; i++ {
-		if _, err := node.Update(proto.UpdateReq{
+		if _, err := node.Update(context.Background(), proto.UpdateReq{
 			ACG: 1, IndexName: "size",
 			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i) << 20)}},
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st, err := node.NodeStats(proto.NodeStatsReq{})
+	st, err := node.NodeStats(context.Background(), proto.NodeStatsReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestIndexNodeCrashRecovery(t *testing.T) {
 	if recovered != 50 {
 		t.Fatalf("recovered %d updates, want 50", recovered)
 	}
-	resp, err := node2.Search(proto.SearchReq{
+	resp, err := node2.Search(context.Background(), proto.SearchReq{
 		ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m",
 	})
 	if err != nil {
@@ -145,7 +146,7 @@ func TestIndexNodeCrashRecovery(t *testing.T) {
 // and checks no postings are lost.
 func TestRepeatedSplitsUnderLoad(t *testing.T) {
 	c, cl := bootCluster(t, Config{IndexNodes: 3, SplitThreshold: 30})
-	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := cl.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 	total := 0
@@ -162,17 +163,17 @@ func TestRepeatedSplitsUnderLoad(t *testing.T) {
 			_ = proc
 		}
 		cl.EndProcess(1)
-		if err := cl.Index("size", updates); err != nil {
+		if err := cl.Index(context.Background(), "size", updates); err != nil {
 			t.Fatal(err)
 		}
-		if err := cl.FlushACG(); err != nil {
+		if err := cl.FlushACG(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		total += 25
-		if err := c.Heartbeat(); err != nil {
+		if err := c.Heartbeat(context.Background()); err != nil {
 			t.Fatal(err)
 		}
-		res, err := cl.Search("size", "size>0")
+		res, err := cl.Search(context.Background(), client.Query{Index: "size", Text: "size>0"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func TestRepeatedSplitsUnderLoad(t *testing.T) {
 			t.Fatalf("round %d: %d files found, want %d", round, len(res.Files), total)
 		}
 	}
-	stats, err := cl.ClusterStats()
+	stats, err := cl.ClusterStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestRepeatedSplitsUnderLoad(t *testing.T) {
 // to clients (used by the Figure 10 analysis).
 func TestCommitLatencyReported(t *testing.T) {
 	c, cl := bootCluster(t, Config{IndexNodes: 1, CacheLimit: 1 << 20})
-	if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+	if err := cl.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 		t.Fatal(err)
 	}
 	var updates []client.FileUpdate
@@ -202,14 +203,14 @@ func TestCommitLatencyReported(t *testing.T) {
 			File: index.FileID(i), Value: attr.Int(int64(i * 7919)), GroupHint: 1,
 		})
 	}
-	if err := cl.Index("size", updates); err != nil {
+	if err := cl.Index(context.Background(), "size", updates); err != nil {
 		t.Fatal(err)
 	}
 	// Constrain the pool so the commit performs real I/O.
 	if err := c.Nodes()[0].DropCaches(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Search("size", "size>0")
+	res, err := cl.Search(context.Background(), client.Query{Index: "size", Text: "size>0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestCommitLatencyReported(t *testing.T) {
 		t.Error("search after cached updates should report commit latency")
 	}
 	// A second search has nothing to commit.
-	res2, err := cl.Search("size", "size>0")
+	res2, err := cl.Search(context.Background(), client.Query{Index: "size", Text: "size>0"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,7 +45,7 @@ func propellerOverNamespace(ns *vfs.Namespace, groupSize int) (*singleNode, erro
 			"size":  attr.Int(fa.Size),
 			"mtime": attr.Time(fa.MTime),
 		} {
-			if _, err := sn.node.Update(proto.UpdateReq{
+			if _, err := sn.node.Update(context.Background(), proto.UpdateReq{
 				ACG: g, IndexName: name,
 				Entries: []proto.IndexEntry{{File: fa.ID, Value: v, Delete: del}},
 			}); err != nil {
@@ -79,7 +80,7 @@ func propellerSearchNamespace(sn *singleNode, ns *vfs.Namespace, groupSize int, 
 		acgs = append(acgs, proto.ACGID(g+1))
 	}
 	before := sn.clock.Now()
-	resp, err := sn.node.Search(proto.SearchReq{
+	resp, err := sn.node.Search(context.Background(), proto.SearchReq{
 		ACGs: acgs, IndexName: "size", Query: q, NowUnixNano: refTime.UnixNano(),
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -59,7 +60,7 @@ func runTab4(opts Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := cl.CreateIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+			if err := cl.CreateIndex(context.Background(), proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
 				return nil, err
 			}
 			// Load the dataset in group batches; hints co-locate each
@@ -74,7 +75,7 @@ func runTab4(opts Options) (*Result, error) {
 						File: f, Value: attr.Int(fa.Size), GroupHint: uint64(g) + 1,
 					})
 				}
-				if err := cl.Index("size", updates); err != nil {
+				if err := cl.Index(context.Background(), "size", updates); err != nil {
 					return nil, err
 				}
 			}
@@ -86,7 +87,7 @@ func runTab4(opts Options) (*Result, error) {
 			runOnce := func() (time.Duration, int, error) {
 				// Query each node's share directly and take the slowest
 				// (parallel fan-out), plus one LAN round trip.
-				lookup, err := c.Master().LookupIndex(proto.LookupIndexReq{IndexName: "size"})
+				lookup, err := c.Master().LookupIndex(context.Background(), proto.LookupIndexReq{IndexName: "size"})
 				if err != nil {
 					return 0, 0, err
 				}
@@ -99,7 +100,7 @@ func runTab4(opts Options) (*Result, error) {
 				for _, tgt := range lookup.Targets {
 					n := c.Nodes()[nodeByID[tgt.Node]]
 					before := c.Clock().Now()
-					resp, err := n.Search(proto.SearchReq{
+					resp, err := n.Search(context.Background(), proto.SearchReq{
 						ACGs: tgt.ACGs, IndexName: "size", Query: q,
 						NowUnixNano: refTime.UnixNano(),
 					})

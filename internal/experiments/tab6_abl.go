@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -167,7 +168,7 @@ func runAblLazyCache(opts Options) (*Result, error) {
 		rec := metrics.NewRecorder()
 		for i := 0; i < updates; i++ {
 			before := clk.Now()
-			if _, err := node.Update(proto.UpdateReq{
+			if _, err := node.Update(context.Background(), proto.UpdateReq{
 				ACG: proto.ACGID(i%8 + 1), IndexName: "size",
 				Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i * 7919))}},
 			}); err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -85,7 +86,7 @@ func (s *singleNode) loadDataset(ds *vfs.Dataset, groupSize, batch int) error {
 		for _, g := range gids {
 			entries := byGroup[g]
 			for i, name := range []string{"size", "mtime", "keyword"} {
-				if _, err := s.node.Update(proto.UpdateReq{ACG: g, IndexName: name, Entries: entries[i]}); err != nil {
+				if _, err := s.node.Update(context.Background(), proto.UpdateReq{ACG: g, IndexName: name, Entries: entries[i]}); err != nil {
 					return err
 				}
 			}
@@ -103,7 +104,7 @@ func (s *singleNode) search(ds *vfs.Dataset, groupSize int, indexName, q string)
 		acgs = append(acgs, proto.ACGID(g+1))
 	}
 	start := s.clock.Now()
-	resp, err := s.node.Search(proto.SearchReq{
+	resp, err := s.node.Search(context.Background(), proto.SearchReq{
 		ACGs: acgs, IndexName: indexName, Query: q, NowUnixNano: refTime.UnixNano(),
 	})
 	if err != nil {
@@ -219,7 +220,7 @@ func runFig8(opts Options) (*Result, error) {
 				for w := 0; w < nw; w++ {
 					f := index.FileID((w*groupSize + u%groupSize) % dsSize)
 					g := proto.ACGID(w + 1)
-					if _, err := sn.node.Update(proto.UpdateReq{
+					if _, err := sn.node.Update(context.Background(), proto.UpdateReq{
 						ACG: g, IndexName: "size",
 						Entries: []proto.IndexEntry{{File: f, Value: attr.Int(int64(u) << 10)}},
 					}); err != nil {
@@ -384,7 +385,7 @@ func runFig10(opts Options) (*Result, error) {
 	for i := 0; i < totalOps; i++ {
 		f := index.FileID(i % groupSize)
 		before := sn.clock.Now()
-		if _, err := sn.node.Update(proto.UpdateReq{
+		if _, err := sn.node.Update(context.Background(), proto.UpdateReq{
 			ACG: 1, IndexName: "size",
 			Entries: []proto.IndexEntry{{File: f, Value: attr.Int(int64(i) << 10)}},
 		}); err != nil {
@@ -399,7 +400,7 @@ func runFig10(opts Options) (*Result, error) {
 		}
 		if (i+1)%searchEvery == 0 {
 			before := sn.clock.Now()
-			if _, err := sn.node.Search(proto.SearchReq{
+			if _, err := sn.node.Search(context.Background(), proto.SearchReq{
 				ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>1m",
 				NowUnixNano: refTime.UnixNano(),
 			}); err != nil {

@@ -12,6 +12,7 @@ package index
 import (
 	"encoding/binary"
 	"errors"
+	"sort"
 
 	"propeller/internal/attr"
 )
@@ -23,6 +24,20 @@ type FileID uint64
 type Entry struct {
 	Key  attr.Value
 	File FileID
+}
+
+// SortDedup sorts ids ascending and compacts adjacent duplicates in
+// place, returning the shortened slice (the canonical result-set shape
+// shared by node-side pages and the client-side fan-out merge).
+func SortDedup(ids []FileID) []FileID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, f := range ids {
+		if i == 0 || f != ids[i-1] {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // Errors shared by the index implementations.

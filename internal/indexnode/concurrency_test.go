@@ -1,6 +1,7 @@
 package indexnode
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestConcurrentUpdatesAndSearches(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
 				f := index.FileID(w*perWriter + i)
-				if _, err := n.Update(proto.UpdateReq{
+				if _, err := n.Update(context.Background(), proto.UpdateReq{
 					ACG: proto.ACGID(w + 1), IndexName: "size",
 					Entries: []proto.IndexEntry{{File: f, Value: attr.Int(int64(f) + 1)}},
 				}); err != nil {
@@ -50,7 +51,7 @@ func TestConcurrentUpdatesAndSearches(t *testing.T) {
 					return
 				default:
 				}
-				resp, err := n.Search(proto.SearchReq{
+				resp, err := n.Search(context.Background(), proto.SearchReq{
 					ACGs:      []proto.ACGID{1, 2, 3, 4},
 					IndexName: "size", Query: "size>0",
 				})
@@ -75,7 +76,7 @@ func TestConcurrentUpdatesAndSearches(t *testing.T) {
 	}()
 	// Writers finish first (readers loop until stop); poll the count.
 	for {
-		st, err := n.NodeStats(proto.NodeStatsReq{})
+		st, err := n.NodeStats(context.Background(), proto.NodeStatsReq{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestConcurrentUpdatesAndSearches(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := n.Search(proto.SearchReq{
+	resp, err := n.Search(context.Background(), proto.SearchReq{
 		ACGs: []proto.ACGID{1, 2, 3, 4}, IndexName: "size", Query: "size>0",
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package indexnode
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,7 +20,7 @@ import (
 // deadlock). The registry lock is held only for the lookup and the final
 // delete, so traffic on unrelated ACGs never waits out a merge's commits
 // and posting moves.
-func (n *Node) MergeACGs(dst, src proto.ACGID) error {
+func (n *Node) MergeACGs(ctx context.Context, dst, src proto.ACGID) error {
 	if dst == src {
 		return fmt.Errorf("indexnode: merge group %d into itself", dst)
 	}
@@ -109,7 +110,7 @@ func (n *Node) MergeACGs(dst, src proto.ACGID) error {
 
 	if n.cfg.Master != nil {
 		if _, err := rpc.Call[proto.MergeReportReq, proto.MergeReportResp](
-			n.cfg.Master, proto.MethodMergeReport,
+			ctx, n.cfg.Master, proto.MethodMergeReport,
 			proto.MergeReportReq{Node: n.cfg.ID, Dst: dst, Src: src}); err != nil {
 			return fmt.Errorf("indexnode merge report: %w", err)
 		}
@@ -120,7 +121,7 @@ func (n *Node) MergeACGs(dst, src proto.ACGID) error {
 // CompactGroups merges adjacent small groups on this node until every
 // group (except possibly the last) holds at least minFiles files or no
 // further merge is possible. It returns the number of merges performed.
-func (n *Node) CompactGroups(minFiles int) (int, error) {
+func (n *Node) CompactGroups(ctx context.Context, minFiles int) (int, error) {
 	if minFiles < 1 {
 		return 0, nil
 	}
@@ -139,7 +140,7 @@ func (n *Node) CompactGroups(minFiles int) (int, error) {
 		if len(small) < 2 {
 			return merges, nil
 		}
-		if err := n.MergeACGs(small[0], small[1]); err != nil {
+		if err := n.MergeACGs(ctx, small[0], small[1]); err != nil {
 			return merges, err
 		}
 		merges++

@@ -1,6 +1,7 @@
 package indexnode
 
 import (
+	"context"
 	"testing"
 
 	"propeller/internal/attr"
@@ -14,7 +15,7 @@ func seedGroup(t *testing.T, n *Node, g proto.ACGID, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		entries = append(entries, proto.IndexEntry{File: index.FileID(i), Value: attr.Int(int64(i) << 20)})
 	}
-	if _, err := n.Update(proto.UpdateReq{ACG: g, IndexName: "size", Entries: entries}); err != nil {
+	if _, err := n.Update(context.Background(), proto.UpdateReq{ACG: g, IndexName: "size", Entries: entries}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -24,10 +25,10 @@ func TestMergeACGs(t *testing.T) {
 	n.DeclareIndex(sizeSpec)
 	seedGroup(t, n, 1, 0, 10)
 	seedGroup(t, n, 2, 10, 20)
-	if err := n.MergeACGs(1, 2); err != nil {
+	if err := n.MergeACGs(context.Background(), 1, 2); err != nil {
 		t.Fatal(err)
 	}
-	st, err := n.NodeStats(proto.NodeStatsReq{})
+	st, err := n.NodeStats(context.Background(), proto.NodeStatsReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestMergeACGs(t *testing.T) {
 		t.Fatalf("after merge: groups=%d files=%d, want 1/20", st.ACGs, st.Files)
 	}
 	// All postings live in the surviving group.
-	resp, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"})
+	resp, err := n.Search(context.Background(), proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestMergeACGs(t *testing.T) {
 		t.Errorf("post-merge search = %d files, want 19", len(resp.Files))
 	}
 	// The retired group returns nothing.
-	resp, err = n.Search(proto.SearchReq{ACGs: []proto.ACGID{2}, IndexName: "size", Query: "size>0"})
+	resp, err = n.Search(context.Background(), proto.SearchReq{ACGs: []proto.ACGID{2}, IndexName: "size", Query: "size>0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,13 +57,13 @@ func TestMergeACGsErrors(t *testing.T) {
 	n, _ := newTestNode(t)
 	n.DeclareIndex(sizeSpec)
 	seedGroup(t, n, 1, 0, 5)
-	if err := n.MergeACGs(1, 1); err == nil {
+	if err := n.MergeACGs(context.Background(), 1, 1); err == nil {
 		t.Error("self merge should fail")
 	}
-	if err := n.MergeACGs(1, 99); err == nil {
+	if err := n.MergeACGs(context.Background(), 1, 99); err == nil {
 		t.Error("unknown src should fail")
 	}
-	if err := n.MergeACGs(99, 1); err == nil {
+	if err := n.MergeACGs(context.Background(), 99, 1); err == nil {
 		t.Error("unknown dst should fail")
 	}
 }
@@ -72,12 +73,12 @@ func TestMergePreservesCausality(t *testing.T) {
 	n.DeclareIndex(sizeSpec)
 	seedGroup(t, n, 1, 0, 5)
 	seedGroup(t, n, 2, 5, 10)
-	if _, err := n.FlushACG(proto.FlushACGReq{
+	if _, err := n.FlushACG(context.Background(), proto.FlushACGReq{
 		ACG: 2, Edges: []proto.ACGEdge{{Src: 5, Dst: 6, Weight: 3}},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.MergeACGs(1, 2); err != nil {
+	if err := n.MergeACGs(context.Background(), 1, 2); err != nil {
 		t.Fatal(err)
 	}
 	n.mu.Lock()
@@ -95,14 +96,14 @@ func TestCompactGroups(t *testing.T) {
 	for g := 0; g < 5; g++ {
 		seedGroup(t, n, proto.ACGID(g+1), g*4, g*4+4)
 	}
-	merges, err := n.CompactGroups(10)
+	merges, err := n.CompactGroups(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if merges == 0 {
 		t.Fatal("expected merges")
 	}
-	st, err := n.NodeStats(proto.NodeStatsReq{})
+	st, err := n.NodeStats(context.Background(), proto.NodeStatsReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestCompactGroups(t *testing.T) {
 		t.Errorf("%d groups below the floor after compaction", below)
 	}
 	// No-op cases.
-	if m, err := n.CompactGroups(0); err != nil || m != 0 {
+	if m, err := n.CompactGroups(context.Background(), 0); err != nil || m != 0 {
 		t.Errorf("minFiles 0 should be a no-op, got %d/%v", m, err)
 	}
 }
@@ -133,12 +134,12 @@ func TestCompactAllSearchable(t *testing.T) {
 	for g := 0; g < 4; g++ {
 		seedGroup(t, n, proto.ACGID(g+1), g*5, g*5+5)
 	}
-	if _, err := n.CompactGroups(100); err != nil {
+	if _, err := n.CompactGroups(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	// Search across all original group ids still finds everything (stale
 	// ids return empty, the survivor returns all).
-	resp, err := n.Search(proto.SearchReq{
+	resp, err := n.Search(context.Background(), proto.SearchReq{
 		ACGs: []proto.ACGID{1, 2, 3, 4}, IndexName: "size", Query: "size>0",
 	})
 	if err != nil {

@@ -39,6 +39,7 @@ package indexnode
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -281,7 +282,7 @@ func (n *Node) lookupSpec(name string) (proto.IndexSpec, bool) {
 
 // ensureSpec resolves an index name, asking the Master for the spec the
 // first time a node sees the name.
-func (n *Node) ensureSpec(name string) error {
+func (n *Node) ensureSpec(ctx context.Context, name string) error {
 	if _, ok := n.lookupSpec(name); ok {
 		return nil
 	}
@@ -289,7 +290,7 @@ func (n *Node) ensureSpec(name string) error {
 		return fmt.Errorf("%q: %w", name, ErrUnknownIndex)
 	}
 	resp, err := rpc.Call[proto.LookupIndexReq, proto.LookupIndexResp](
-		n.cfg.Master, proto.MethodLookupIndex, proto.LookupIndexReq{IndexName: name})
+		ctx, n.cfg.Master, proto.MethodLookupIndex, proto.LookupIndexReq{IndexName: name})
 	if err != nil {
 		return fmt.Errorf("indexnode: resolve index %q: %w", name, err)
 	}
@@ -424,7 +425,7 @@ func (n *Node) instFor(g *group, name string) (*inst, error) {
 }
 
 // CreateACG provisions a group with pre-declared membership.
-func (n *Node) CreateACG(req proto.CreateACGReq) (proto.CreateACGResp, error) {
+func (n *Node) CreateACG(_ context.Context, req proto.CreateACGReq) (proto.CreateACGResp, error) {
 	g := n.lockOrCreateGroup(req.ACG)
 	defer g.mu.Unlock()
 	for _, f := range req.Files {
@@ -436,8 +437,8 @@ func (n *Node) CreateACG(req proto.CreateACGReq) (proto.CreateACGResp, error) {
 // Update is the file-indexing fast path: WAL append + cache insert. Only
 // the target group is locked, so updates to different ACGs run in parallel
 // and their WAL appends group-commit into shared device writes.
-func (n *Node) Update(req proto.UpdateReq) (proto.UpdateResp, error) {
-	if err := n.ensureSpec(req.IndexName); err != nil {
+func (n *Node) Update(ctx context.Context, req proto.UpdateReq) (proto.UpdateResp, error) {
+	if err := n.ensureSpec(ctx, req.IndexName); err != nil {
 		return proto.UpdateResp{}, err
 	}
 	rec, err := encodeWALRecord(req)
@@ -466,7 +467,7 @@ func (n *Node) Update(req proto.UpdateReq) (proto.UpdateResp, error) {
 
 // FlushACG merges a client-captured causality fragment into the group's
 // authoritative graph.
-func (n *Node) FlushACG(req proto.FlushACGReq) (proto.FlushACGResp, error) {
+func (n *Node) FlushACG(_ context.Context, req proto.FlushACGReq) (proto.FlushACGResp, error) {
 	g := n.lockOrCreateGroup(req.ACG)
 	defer g.mu.Unlock()
 	for _, v := range req.Vertices {
@@ -757,7 +758,7 @@ func (n *Node) RecoverGroup(id proto.ACGID, walImage []byte) (int, error) {
 }
 
 // NodeStats reports local statistics.
-func (n *Node) NodeStats(proto.NodeStatsReq) (proto.NodeStatsResp, error) {
+func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeStatsResp, error) {
 	groups := n.groupsSnapshot()
 	resp := proto.NodeStatsResp{Node: n.cfg.ID, ACGs: len(groups)}
 	for _, g := range groups {
@@ -805,7 +806,7 @@ func (n *Node) NodeStats(proto.NodeStatsReq) (proto.NodeStatsResp, error) {
 
 // Heartbeat sends one heartbeat to the Master and executes any split orders
 // it returns.
-func (n *Node) Heartbeat() error {
+func (n *Node) Heartbeat(ctx context.Context) error {
 	if n.cfg.Master == nil {
 		return ErrNoMaster
 	}
@@ -818,12 +819,12 @@ func (n *Node) Heartbeat() error {
 		g.mu.Unlock()
 	}
 
-	resp, err := rpc.Call[proto.HeartbeatReq, proto.HeartbeatResp](n.cfg.Master, proto.MethodHeartbeat, req)
+	resp, err := rpc.Call[proto.HeartbeatReq, proto.HeartbeatResp](ctx, n.cfg.Master, proto.MethodHeartbeat, req)
 	if err != nil {
 		return fmt.Errorf("indexnode heartbeat: %w", err)
 	}
 	for _, id := range resp.SplitACGs {
-		if _, err := n.SplitACG(proto.SplitACGReq{ACG: id}); err != nil {
+		if _, err := n.SplitACG(ctx, proto.SplitACGReq{ACG: id}); err != nil {
 			return fmt.Errorf("indexnode split order %d: %w", id, err)
 		}
 	}

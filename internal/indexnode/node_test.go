@@ -1,6 +1,7 @@
 package indexnode
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -43,7 +44,7 @@ func TestNewRequiresStore(t *testing.T) {
 func TestUpdateThenSearchIsConsistent(t *testing.T) {
 	n, _ := newTestNode(t)
 	n.DeclareIndex(sizeSpec)
-	_, err := n.Update(proto.UpdateReq{
+	_, err := n.Update(context.Background(), proto.UpdateReq{
 		ACG: 1, IndexName: "size",
 		Entries: []proto.IndexEntry{
 			{File: 1, Value: attr.Int(10 << 20)},
@@ -56,7 +57,7 @@ func TestUpdateThenSearchIsConsistent(t *testing.T) {
 	}
 	// The update is cached (lazy), but search must still see it
 	// (commit-on-search).
-	resp, err := n.Search(proto.SearchReq{
+	resp, err := n.Search(context.Background(), proto.SearchReq{
 		ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m",
 	})
 	if err != nil {
@@ -69,7 +70,7 @@ func TestUpdateThenSearchIsConsistent(t *testing.T) {
 
 func TestUpdateUnknownIndexRejected(t *testing.T) {
 	n, _ := newTestNode(t)
-	_, err := n.Update(proto.UpdateReq{ACG: 1, IndexName: "ghost"})
+	_, err := n.Update(context.Background(), proto.UpdateReq{ACG: 1, IndexName: "ghost"})
 	if !errors.Is(err, ErrUnknownIndex) {
 		t.Errorf("err = %v, want ErrUnknownIndex", err)
 	}
@@ -78,13 +79,13 @@ func TestUpdateUnknownIndexRejected(t *testing.T) {
 func TestLazyCacheCommitsOnTimeout(t *testing.T) {
 	n, clk := newTestNode(t)
 	n.DeclareIndex(sizeSpec)
-	if _, err := n.Update(proto.UpdateReq{
+	if _, err := n.Update(context.Background(), proto.UpdateReq{
 		ACG: 1, IndexName: "size",
 		Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(5)}},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := n.NodeStats(proto.NodeStatsReq{})
+	st, err := n.NodeStats(context.Background(), proto.NodeStatsReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,14 +96,14 @@ func TestLazyCacheCommitsOnTimeout(t *testing.T) {
 	if err := n.Tick(); err != nil {
 		t.Fatal(err)
 	}
-	if st, _ := n.NodeStats(proto.NodeStatsReq{}); st.CachedOps != 1 {
+	if st, _ := n.NodeStats(context.Background(), proto.NodeStatsReq{}); st.CachedOps != 1 {
 		t.Error("tick before timeout should not commit")
 	}
 	clk.Advance(6 * time.Second)
 	if err := n.Tick(); err != nil {
 		t.Fatal(err)
 	}
-	if st, _ := n.NodeStats(proto.NodeStatsReq{}); st.CachedOps != 0 {
+	if st, _ := n.NodeStats(context.Background(), proto.NodeStatsReq{}); st.CachedOps != 0 {
 		t.Error("tick after timeout should commit")
 	}
 }
@@ -111,14 +112,14 @@ func TestCacheLimitForcesCommit(t *testing.T) {
 	n, _ := newTestNode(t, func(c *Config) { c.CacheLimit = 4 })
 	n.DeclareIndex(sizeSpec)
 	for i := 0; i < 4; i++ {
-		if _, err := n.Update(proto.UpdateReq{
+		if _, err := n.Update(context.Background(), proto.UpdateReq{
 			ACG: 1, IndexName: "size",
 			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i))}},
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if st, _ := n.NodeStats(proto.NodeStatsReq{}); st.CachedOps != 0 {
+	if st, _ := n.NodeStats(context.Background(), proto.NodeStatsReq{}); st.CachedOps != 0 {
 		t.Errorf("cache limit should have forced a commit; cached = %d", st.CachedOps)
 	}
 }
@@ -126,13 +127,13 @@ func TestCacheLimitForcesCommit(t *testing.T) {
 func TestDisableLazyCacheAblation(t *testing.T) {
 	n, _ := newTestNode(t, func(c *Config) { c.DisableLazyCache = true })
 	n.DeclareIndex(sizeSpec)
-	if _, err := n.Update(proto.UpdateReq{
+	if _, err := n.Update(context.Background(), proto.UpdateReq{
 		ACG: 1, IndexName: "size",
 		Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(5)}},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if st, _ := n.NodeStats(proto.NodeStatsReq{}); st.CachedOps != 0 {
+	if st, _ := n.NodeStats(context.Background(), proto.NodeStatsReq{}); st.CachedOps != 0 {
 		t.Error("synchronous mode should never cache")
 	}
 }
@@ -142,7 +143,7 @@ func TestReindexReplacesValue(t *testing.T) {
 	n.DeclareIndex(sizeSpec)
 	put := func(size int64) {
 		t.Helper()
-		if _, err := n.Update(proto.UpdateReq{
+		if _, err := n.Update(context.Background(), proto.UpdateReq{
 			ACG: 1, IndexName: "size",
 			Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(size)}},
 		}); err != nil {
@@ -151,7 +152,7 @@ func TestReindexReplacesValue(t *testing.T) {
 	}
 	put(10)
 	put(50 << 20) // file grew: re-index
-	resp, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m"})
+	resp, err := n.Search(context.Background(), proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestReindexReplacesValue(t *testing.T) {
 		t.Errorf("files = %v, want [1]", resp.Files)
 	}
 	// Old value must be gone.
-	resp, err = n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size<1k"})
+	resp, err = n.Search(context.Background(), proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size<1k"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,19 +172,19 @@ func TestReindexReplacesValue(t *testing.T) {
 func TestDeletePosting(t *testing.T) {
 	n, _ := newTestNode(t)
 	n.DeclareIndex(sizeSpec)
-	if _, err := n.Update(proto.UpdateReq{
+	if _, err := n.Update(context.Background(), proto.UpdateReq{
 		ACG: 1, IndexName: "size",
 		Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(100 << 20)}},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Update(proto.UpdateReq{
+	if _, err := n.Update(context.Background(), proto.UpdateReq{
 		ACG: 1, IndexName: "size",
 		Entries: []proto.IndexEntry{{File: 1, Delete: true}},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m"})
+	resp, err := n.Search(context.Background(), proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,20 +199,20 @@ func TestSearchMultiPredicate(t *testing.T) {
 	n.DeclareIndex(proto.IndexSpec{Name: "uid", Type: proto.IndexHash, Field: "uid"})
 	base := time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)
 	for i := 0; i < 10; i++ {
-		if _, err := n.Update(proto.UpdateReq{
+		if _, err := n.Update(context.Background(), proto.UpdateReq{
 			ACG: 1, IndexName: "size",
 			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i) << 20)}},
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := n.Update(proto.UpdateReq{
+		if _, err := n.Update(context.Background(), proto.UpdateReq{
 			ACG: 1, IndexName: "uid",
 			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(1000 + i%2))}},
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	resp, err := n.Search(proto.SearchReq{
+	resp, err := n.Search(context.Background(), proto.SearchReq{
 		ACGs: []proto.ACGID{1}, IndexName: "size",
 		Query: "size>4m & uid=1001", NowUnixNano: base.UnixNano(),
 	})
@@ -229,14 +230,14 @@ func TestHashIndexPointQuery(t *testing.T) {
 	n.DeclareIndex(proto.IndexSpec{Name: "keyword", Type: proto.IndexHash, Field: "keyword"})
 	words := []string{"firefox", "linux", "firefox"}
 	for i, w := range words {
-		if _, err := n.Update(proto.UpdateReq{
+		if _, err := n.Update(context.Background(), proto.UpdateReq{
 			ACG: 1, IndexName: "keyword",
 			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Str(w)}},
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	resp, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "keyword", Query: "keyword:firefox"})
+	resp, err := n.Search(context.Background(), proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "keyword", Query: "keyword:firefox"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestKDIndexBoxQuery(t *testing.T) {
 	base := time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)
 	for i := 0; i < 20; i++ {
 		mt := base.Add(-time.Duration(i) * 24 * time.Hour)
-		if _, err := n.Update(proto.UpdateReq{
+		if _, err := n.Update(context.Background(), proto.UpdateReq{
 			ACG: 1, IndexName: "inode",
 			Entries: []proto.IndexEntry{{
 				File:     index.FileID(i),
@@ -264,7 +265,7 @@ func TestKDIndexBoxQuery(t *testing.T) {
 		}
 	}
 	// size > 8 MiB and modified within the last week.
-	resp, err := n.Search(proto.SearchReq{
+	resp, err := n.Search(context.Background(), proto.SearchReq{
 		ACGs: []proto.ACGID{1}, IndexName: "inode",
 		Query: "size>8m & mtime<1week", NowUnixNano: base.UnixNano(),
 	})
@@ -274,7 +275,7 @@ func TestKDIndexBoxQuery(t *testing.T) {
 	// Sizes 9..20 MB are files 9..19; mtime within a week are files 0..6.
 	// Intersection is empty... use a size cut that overlaps: size>4m -> 5..19,
 	// within week -> 0..6 => {5,6}.
-	resp2, err := n.Search(proto.SearchReq{
+	resp2, err := n.Search(context.Background(), proto.SearchReq{
 		ACGs: []proto.ACGID{1}, IndexName: "inode",
 		Query: "size>4m & mtime<1week", NowUnixNano: base.UnixNano(),
 	})
@@ -292,7 +293,7 @@ func TestKDIndexBoxQuery(t *testing.T) {
 func TestSearchUnknownGroupIsEmpty(t *testing.T) {
 	n, _ := newTestNode(t)
 	n.DeclareIndex(sizeSpec)
-	resp, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{42}, IndexName: "size", Query: "size>1"})
+	resp, err := n.Search(context.Background(), proto.SearchReq{ACGs: []proto.ACGID{42}, IndexName: "size", Query: "size>1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestSearchUnknownGroupIsEmpty(t *testing.T) {
 
 func TestSearchBadQuery(t *testing.T) {
 	n, _ := newTestNode(t)
-	if _, err := n.Search(proto.SearchReq{Query: "not a query"}); err == nil {
+	if _, err := n.Search(context.Background(), proto.SearchReq{Query: "not a query"}); err == nil {
 		t.Error("bad query should error")
 	}
 }
@@ -311,7 +312,7 @@ func TestSearchBadQuery(t *testing.T) {
 func TestWALRecovery(t *testing.T) {
 	n, _ := newTestNode(t)
 	n.DeclareIndex(sizeSpec)
-	if _, err := n.Update(proto.UpdateReq{
+	if _, err := n.Update(context.Background(), proto.UpdateReq{
 		ACG: 1, IndexName: "size",
 		Entries: []proto.IndexEntry{
 			{File: 1, Value: attr.Int(20 << 20)},
@@ -338,7 +339,7 @@ func TestWALRecovery(t *testing.T) {
 	if recovered != 2 {
 		t.Fatalf("recovered %d entries, want 2", recovered)
 	}
-	resp, err := n2.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m"})
+	resp, err := n2.Search(context.Background(), proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>16m"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestWALRecoveryTornTail(t *testing.T) {
 	n, _ := newTestNode(t)
 	n.DeclareIndex(sizeSpec)
 	for i := 0; i < 3; i++ {
-		if _, err := n.Update(proto.UpdateReq{
+		if _, err := n.Update(context.Background(), proto.UpdateReq{
 			ACG: 1, IndexName: "size",
 			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(20 << 20)}},
 		}); err != nil {
@@ -381,24 +382,24 @@ func TestDropCachesMakesSearchesColdThenWarm(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		entries = append(entries, proto.IndexEntry{File: index.FileID(i), Value: attr.Int(int64(i))})
 	}
-	if _, err := n.Update(proto.UpdateReq{ACG: 1, IndexName: "size", Entries: entries}); err != nil {
+	if _, err := n.Update(context.Background(), proto.UpdateReq{ACG: 1, IndexName: "size", Entries: entries}); err != nil {
 		t.Fatal(err)
 	}
 	// Commit + warm up.
-	if _, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"}); err != nil {
+	if _, err := n.Search(context.Background(), proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := n.DropCaches(); err != nil {
 		t.Fatal(err)
 	}
 	before := clk.Now()
-	if _, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"}); err != nil {
+	if _, err := n.Search(context.Background(), proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"}); err != nil {
 		t.Fatal(err)
 	}
 	cold := clk.Now() - before
 
 	before = clk.Now()
-	if _, err := n.Search(proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"}); err != nil {
+	if _, err := n.Search(context.Background(), proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"}); err != nil {
 		t.Fatal(err)
 	}
 	warm := clk.Now() - before
@@ -413,13 +414,13 @@ func TestDropCachesMakesSearchesColdThenWarm(t *testing.T) {
 func TestNodeStatsFields(t *testing.T) {
 	n, _ := newTestNode(t)
 	n.DeclareIndex(sizeSpec)
-	if _, err := n.Update(proto.UpdateReq{
+	if _, err := n.Update(context.Background(), proto.UpdateReq{
 		ACG: 7, IndexName: "size",
 		Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(1)}},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := n.NodeStats(proto.NodeStatsReq{})
+	st, err := n.NodeStats(context.Background(), proto.NodeStatsReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,7 +435,7 @@ func TestNodeStatsFields(t *testing.T) {
 func TestACGImagePersistence(t *testing.T) {
 	n, _ := newTestNode(t)
 	n.DeclareIndex(sizeSpec)
-	if _, err := n.FlushACG(proto.FlushACGReq{
+	if _, err := n.FlushACG(context.Background(), proto.FlushACGReq{
 		ACG:      1,
 		Edges:    []proto.ACGEdge{{Src: 1, Dst: 2, Weight: 4}, {Src: 2, Dst: 3, Weight: 1}},
 		Vertices: []index.FileID{9},
@@ -472,10 +473,10 @@ func TestACGImagePersistence(t *testing.T) {
 
 func TestHeartbeatWithoutMaster(t *testing.T) {
 	n, _ := newTestNode(t)
-	if err := n.Heartbeat(); !errors.Is(err, ErrNoMaster) {
+	if err := n.Heartbeat(context.Background()); !errors.Is(err, ErrNoMaster) {
 		t.Errorf("err = %v, want ErrNoMaster", err)
 	}
-	if _, err := n.SplitACG(proto.SplitACGReq{ACG: 1}); !errors.Is(err, ErrNoMaster) {
+	if _, err := n.SplitACG(context.Background(), proto.SplitACGReq{ACG: 1}); !errors.Is(err, ErrNoMaster) {
 		t.Errorf("split err = %v, want ErrNoMaster", err)
 	}
 }

@@ -1,6 +1,7 @@
 package indexnode
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestRaceMultiACGUpdateSearchTick(t *testing.T) {
 			id := proto.ACGID(w%acgs + 1)
 			for i := 0; i < perWriter; i++ {
 				f := index.FileID(w*perWriter + i)
-				if _, err := n.Update(proto.UpdateReq{
+				if _, err := n.Update(context.Background(), proto.UpdateReq{
 					ACG: id, IndexName: "size",
 					Entries: []proto.IndexEntry{{File: f, Value: attr.Int(int64(f) + 1)}},
 				}); err != nil {
@@ -41,7 +42,7 @@ func TestRaceMultiACGUpdateSearchTick(t *testing.T) {
 					return
 				}
 				if i%17 == 0 {
-					if _, err := n.FlushACG(proto.FlushACGReq{
+					if _, err := n.FlushACG(context.Background(), proto.FlushACGReq{
 						ACG:   id,
 						Edges: []proto.ACGEdge{{Src: f, Dst: f + 1, Weight: 1}},
 					}); err != nil {
@@ -77,7 +78,7 @@ func TestRaceMultiACGUpdateSearchTick(t *testing.T) {
 	}
 	for r := 0; r < 3; r++ {
 		background(func() error {
-			_, err := n.Search(proto.SearchReq{
+			_, err := n.Search(context.Background(), proto.SearchReq{
 				ACGs: allACGs, IndexName: "size", Query: "size>0",
 			})
 			return err
@@ -90,7 +91,7 @@ func TestRaceMultiACGUpdateSearchTick(t *testing.T) {
 	})
 	// Stats reader (registry + every group + spec table).
 	background(func() error {
-		_, err := n.NodeStats(proto.NodeStatsReq{})
+		_, err := n.NodeStats(context.Background(), proto.NodeStatsReq{})
 		return err
 	})
 
@@ -99,7 +100,7 @@ func TestRaceMultiACGUpdateSearchTick(t *testing.T) {
 	go func() {
 		defer close(writersDone)
 		for {
-			st, err := n.NodeStats(proto.NodeStatsReq{})
+			st, err := n.NodeStats(context.Background(), proto.NodeStatsReq{})
 			if err != nil || st.Files >= writers*perWriter {
 				return
 			}
@@ -114,14 +115,14 @@ func TestRaceMultiACGUpdateSearchTick(t *testing.T) {
 	}
 
 	// Every acknowledged update must be visible, exactly once.
-	resp, err := n.Search(proto.SearchReq{ACGs: allACGs, IndexName: "size", Query: "size>0"})
+	resp, err := n.Search(context.Background(), proto.SearchReq{ACGs: allACGs, IndexName: "size", Query: "size>0"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(resp.Files) != writers*perWriter {
 		t.Errorf("final search = %d files, want %d", len(resp.Files), writers*perWriter)
 	}
-	st, err := n.NodeStats(proto.NodeStatsReq{})
+	st, err := n.NodeStats(context.Background(), proto.NodeStatsReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestRaceMergeDoesNotLoseAcknowledgedUpdates(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
 				f := index.FileID(w*perWriter + i)
-				if _, err := n.Update(proto.UpdateReq{
+				if _, err := n.Update(context.Background(), proto.UpdateReq{
 					ACG: proto.ACGID(w%acgs + 1), IndexName: "size",
 					Entries: []proto.IndexEntry{{File: f, Value: attr.Int(int64(f) + 1)}},
 				}); err != nil {
@@ -190,7 +191,7 @@ func TestRaceMergeDoesNotLoseAcknowledgedUpdates(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := n.CompactGroups(1 << 30); err != nil {
+			if _, err := n.CompactGroups(context.Background(), 1<<30); err != nil {
 				errCh <- err
 				return
 			}
@@ -201,7 +202,7 @@ func TestRaceMergeDoesNotLoseAcknowledgedUpdates(t *testing.T) {
 	go func() {
 		defer close(writersDone)
 		for {
-			st, err := n.NodeStats(proto.NodeStatsReq{})
+			st, err := n.NodeStats(context.Background(), proto.NodeStatsReq{})
 			if err != nil || st.Files >= writers*perWriter {
 				return
 			}
@@ -220,7 +221,7 @@ func TestRaceMergeDoesNotLoseAcknowledgedUpdates(t *testing.T) {
 	for i := range allACGs {
 		allACGs[i] = proto.ACGID(i + 1)
 	}
-	resp, err := n.Search(proto.SearchReq{ACGs: allACGs, IndexName: "size", Query: "size>0"})
+	resp, err := n.Search(context.Background(), proto.SearchReq{ACGs: allACGs, IndexName: "size", Query: "size>0"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,24 +1,45 @@
 package indexnode
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"propeller/internal/attr"
 	"propeller/internal/index"
+	"propeller/internal/perr"
 	"propeller/internal/proto"
 	"propeller/internal/query"
 )
 
+// compileQuery resolves a SearchReq's predicate: structured Preds when
+// present (no re-parse), otherwise the textual form. Parse failures carry
+// the ErrBadQuery taxonomy via query.ErrSyntax.
+func compileQuery(req proto.SearchReq) (query.Query, error) {
+	if len(req.Preds) > 0 {
+		return query.Query{Preds: req.Preds}, nil
+	}
+	return query.Parse(req.Query, time.Unix(0, req.NowUnixNano))
+}
+
 // Search answers a file-search request over the given groups. Consistency:
-// each group's lazy cache is committed synchronously before the group is
-// queried, so results always reflect every acknowledged indexing request
-// (the paper's commit-on-search rule). Each group is committed and queried
-// under its own lock, so a search never stalls traffic on unrelated ACGs.
-func (n *Node) Search(req proto.SearchReq) (proto.SearchResp, error) {
-	q, err := query.Parse(req.Query, time.Unix(0, req.NowUnixNano))
+// under the default strict mode each group's lazy cache is committed
+// synchronously before the group is queried, so results always reflect
+// every acknowledged indexing request (the paper's commit-on-search rule);
+// lazy mode skips the commit and reads the durable indices as-is. Each
+// group is committed and queried under its own lock, so a search never
+// stalls traffic on unrelated ACGs.
+//
+// Pagination: with req.Limit > 0 the response holds at most Limit files —
+// the smallest matching FileIDs above the req.After cursor — and the node
+// never retains more than one page of postings while serving the request
+// (resp.MaxRetained). resp.More signals that another page exists.
+//
+// Cancellation: the context is checked between groups; an expired deadline
+// or cancelled caller aborts the pass without scanning further groups.
+func (n *Node) Search(ctx context.Context, req proto.SearchReq) (proto.SearchResp, error) {
+	q, err := compileQuery(req)
 	if err != nil {
 		return proto.SearchResp{}, err
 	}
@@ -29,7 +50,7 @@ func (n *Node) Search(req proto.SearchReq) (proto.SearchResp, error) {
 	// retry bound only guards against a pathological merge loop).
 	for attempt := 0; ; attempt++ {
 		epoch := n.mergeEpoch.Load()
-		resp, err := n.searchGroups(req, q)
+		resp, err := n.searchGroups(ctx, req, q)
 		if err != nil {
 			return proto.SearchResp{}, err
 		}
@@ -39,82 +60,166 @@ func (n *Node) Search(req proto.SearchReq) (proto.SearchResp, error) {
 	}
 }
 
+// pageCollector accumulates matching FileIDs under a page budget: the
+// limit smallest ids above the cursor, tracked in a max-heap so one page
+// of postings is the most ever held. Cross-group duplicates are rejected
+// against the retained set (O(1) via a shadow membership map), so a
+// duplicate can never evict a genuine match. With limit <= 0 it degrades
+// to an unbounded accumulator (the v1 semantics).
+type pageCollector struct {
+	limit    int
+	after    index.FileID
+	afterSet bool
+
+	heap        []index.FileID        // max-heap of the current page candidates
+	retained    map[index.FileID]bool // membership shadow of heap
+	all         []index.FileID        // unbounded mode
+	overflow    bool                  // a match beyond the page was seen
+	maxRetained int
+}
+
+func newPageCollector(req proto.SearchReq) *pageCollector {
+	c := &pageCollector{limit: req.Limit, after: req.After, afterSet: req.AfterSet}
+	if c.limit > 0 {
+		c.retained = make(map[index.FileID]bool, c.limit)
+	}
+	return c
+}
+
+func (c *pageCollector) add(f index.FileID) {
+	if c.afterSet && f <= c.after {
+		return
+	}
+	if c.limit <= 0 {
+		c.all = append(c.all, f)
+		if len(c.all) > c.maxRetained {
+			c.maxRetained = len(c.all)
+		}
+		return
+	}
+	if c.retained[f] {
+		return // duplicate of a retained candidate (cross-group); drop
+	}
+	if len(c.heap) < c.limit {
+		c.heapPush(f)
+		c.retained[f] = true
+		if len(c.heap) > c.maxRetained {
+			c.maxRetained = len(c.heap)
+		}
+		return
+	}
+	switch root := c.heap[0]; {
+	case f < root:
+		// Displaces the current page maximum, which becomes a beyond-page
+		// match.
+		c.overflow = true
+		delete(c.retained, root)
+		c.heap[0] = f
+		c.retained[f] = true
+		c.siftDown(0)
+	default:
+		c.overflow = true // a match beyond this page exists
+	}
+}
+
+func (c *pageCollector) heapPush(f index.FileID) {
+	c.heap = append(c.heap, f)
+	i := len(c.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.heap[parent] >= c.heap[i] {
+			break
+		}
+		c.heap[parent], c.heap[i] = c.heap[i], c.heap[parent]
+		i = parent
+	}
+}
+
+func (c *pageCollector) siftDown(i int) {
+	for {
+		l, r, largest := 2*i+1, 2*i+2, i
+		if l < len(c.heap) && c.heap[l] > c.heap[largest] {
+			largest = l
+		}
+		if r < len(c.heap) && c.heap[r] > c.heap[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		c.heap[i], c.heap[largest] = c.heap[largest], c.heap[i]
+		i = largest
+	}
+}
+
+// noteMaterialized records postings a non-streaming access path (hash
+// point lookup, KD box query) materialized before the collector saw them,
+// so MaxRetained reports true peak buffering instead of hiding it.
+func (c *pageCollector) noteMaterialized(n int) {
+	if n > c.maxRetained {
+		c.maxRetained = n
+	}
+}
+
+// page returns the collected files ascending and de-duplicated, plus
+// whether matches beyond the page exist. (The limited path is already
+// duplicate-free via the retained set; unlimited mode can still see a
+// file surface from two groups around merges.)
+func (c *pageCollector) page() (files []index.FileID, more bool) {
+	files = c.all
+	if c.limit > 0 {
+		files = c.heap
+	}
+	return index.SortDedup(files), c.overflow
+}
+
 // searchGroups runs one commit-and-query pass over the requested groups.
-func (n *Node) searchGroups(req proto.SearchReq, q query.Query) (proto.SearchResp, error) {
+func (n *Node) searchGroups(ctx context.Context, req proto.SearchReq, q query.Query) (proto.SearchResp, error) {
 	var resp proto.SearchResp
-	seen := make(map[index.FileID]bool)
+	col := newPageCollector(req)
 	for _, id := range req.ACGs {
+		if err := ctx.Err(); err != nil {
+			return proto.SearchResp{}, fmt.Errorf("indexnode search acg %d: %w", id, perr.Ctx(err))
+		}
 		g := n.lockGroup(id)
 		if g == nil {
 			continue // group not on this node (stale routing); nothing to add
 		}
-		commitStart := n.cfg.Clock.Now()
-		if err := n.commitGroupLocked(g); err != nil {
-			g.mu.Unlock()
-			return proto.SearchResp{}, err
+		if req.Consistency != proto.ConsistencyLazy {
+			commitStart := n.cfg.Clock.Now()
+			if err := n.commitGroupLocked(g); err != nil {
+				g.mu.Unlock()
+				return proto.SearchResp{}, err
+			}
+			resp.CommitLatencyNanos += int64(n.cfg.Clock.Now() - commitStart)
 		}
-		resp.CommitLatencyNanos += int64(n.cfg.Clock.Now() - commitStart)
-		files, err := n.searchGroupLocked(g, req.IndexName, q)
+		err := n.searchGroupLocked(g, req.IndexName, q, col)
 		g.mu.Unlock()
 		if err != nil {
 			return proto.SearchResp{}, err
 		}
-		for _, f := range files {
-			if !seen[f] {
-				seen[f] = true
-				resp.Files = append(resp.Files, f)
-			}
-		}
 	}
-	sort.Slice(resp.Files, func(i, j int) bool { return resp.Files[i] < resp.Files[j] })
+	resp.Files, resp.More = col.page()
+	resp.MaxRetained = col.maxRetained
 	return resp, nil
 }
 
 // searchGroupLocked runs the query against one group using the named index
 // as the primary access path and the group's committed postings for the
-// residual predicates. Caller holds g.mu.
-func (n *Node) searchGroupLocked(g *group, indexName string, q query.Query) ([]index.FileID, error) {
+// residual predicates, feeding matches into the page collector. Caller
+// holds g.mu.
+func (n *Node) searchGroupLocked(g *group, indexName string, q query.Query, col *pageCollector) error {
 	in, ok := g.indexes[indexName]
 	if !ok {
 		// The group never received postings for this index: no matches.
-		return nil, nil
+		return nil
 	}
 	spec := in.spec
 
-	var candidates []index.FileID
-	var err error
-	switch {
-	case in.bt != nil:
-		lo, hi, incLo, incHi, ok := q.Range(spec.Field)
-		if !ok {
-			lo, hi, incLo, incHi = nil, nil, true, true // full scan
-		}
-		candidates, err = in.bt.SearchRange(lo, hi, incLo, incHi)
-	case in.ht != nil:
-		lo, hi, _, _, ok := q.Range(spec.Field)
-		if ok && lo != nil && hi != nil && lo.Equal(*hi) {
-			candidates, err = in.ht.Lookup(*lo)
-		} else {
-			// Hash tables only serve point queries; fall back to a scan.
-			err = in.ht.Scan(func(_ attr.Value, f index.FileID) bool {
-				candidates = append(candidates, f)
-				return true
-			})
-		}
-	case in.kd != nil:
-		candidates, err = n.kdSearchLocked(in, q)
-	default:
-		return nil, fmt.Errorf("%q: %w", indexName, ErrUnknownIndex)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	// Residual filtering over all predicates using committed postings. KD
+	// residual evaluates the non-indexed predicates for one candidate. KD
 	// fields resolve through the point's coordinates.
-	out := candidates[:0]
-	for _, f := range candidates {
-		if q.Matches(func(field string) (attr.Value, bool) {
+	residual := func(f index.FileID) bool {
+		return q.Matches(func(field string) (attr.Value, bool) {
 			if in.kd != nil {
 				for i, kf := range spec.Fields {
 					if kf != field {
@@ -126,11 +231,57 @@ func (n *Node) searchGroupLocked(g *group, indexName string, q query.Query) ([]i
 				}
 			}
 			return n.attrValue(g, field, f)
-		}) {
-			out = append(out, f)
+		})
+	}
+	emit := func(f index.FileID) {
+		if residual(f) {
+			col.add(f)
 		}
 	}
-	return out, nil
+
+	switch {
+	case in.bt != nil:
+		lo, hi, incLo, incHi, ok := q.Range(spec.Field)
+		if !ok {
+			lo, hi, incLo, incHi = nil, nil, true, true // full scan
+		}
+		// ScanRange streams candidates one at a time, so only the page
+		// collector's bounded buffer is ever materialized.
+		return in.bt.ScanRange(lo, hi, incLo, incHi, func(_ attr.Value, f index.FileID) bool {
+			emit(f)
+			return true
+		})
+	case in.ht != nil:
+		lo, hi, _, _, ok := q.Range(spec.Field)
+		if ok && lo != nil && hi != nil && lo.Equal(*hi) {
+			candidates, err := in.ht.Lookup(*lo)
+			if err != nil {
+				return err
+			}
+			col.noteMaterialized(len(candidates))
+			for _, f := range candidates {
+				emit(f)
+			}
+			return nil
+		}
+		// Hash tables only serve point queries; fall back to a scan.
+		return in.ht.Scan(func(_ attr.Value, f index.FileID) bool {
+			emit(f)
+			return true
+		})
+	case in.kd != nil:
+		candidates, err := n.kdSearchLocked(in, q)
+		if err != nil {
+			return err
+		}
+		col.noteMaterialized(len(candidates))
+		for _, f := range candidates {
+			emit(f)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%q: %w", indexName, ErrUnknownIndex)
+	}
 }
 
 // kdOnlyQuery reports whether every query field is covered by the KD spec.

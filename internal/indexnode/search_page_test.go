@@ -1,0 +1,297 @@
+package indexnode
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/pagestore"
+	"propeller/internal/perr"
+	"propeller/internal/proto"
+	"propeller/internal/query"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+// newPagedNode builds a standalone node with nPostings "size" postings
+// spread across the given ACGs.
+func newPagedNode(t testing.TB, nPostings int, acgs []proto.ACGID) *Node {
+	t.Helper()
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 1<<15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{ID: "page-test", Store: store, Disk: disk, Clock: clk, CacheLimit: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.DeclareIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"})
+	ctx := context.Background()
+	batch := make([]proto.IndexEntry, 0, 1024)
+	flush := func(id proto.ACGID) {
+		if len(batch) == 0 {
+			return
+		}
+		if _, err := n.Update(ctx, proto.UpdateReq{ACG: id, IndexName: "size", Entries: batch}); err != nil {
+			t.Fatal(err)
+		}
+		batch = batch[:0]
+	}
+	for i := 0; i < nPostings; i++ {
+		id := acgs[i%len(acgs)]
+		batch = append(batch, proto.IndexEntry{File: index.FileID(i), Value: attr.Int(int64(i + 1))})
+		if len(batch) == cap(batch) {
+			flush(id)
+		}
+	}
+	// Flush leftovers once per group (entries were interleaved; simplest
+	// is to send the tail to each group's id in turn).
+	for _, id := range acgs {
+		flush(id)
+	}
+	return n
+}
+
+// TestSearchPageBudget drives a paged scan over a large index and asserts
+// the acceptance bound: every page transfers at most Limit postings and
+// the node never retains more than Limit postings while serving it, yet
+// the union of all pages is exactly the full result set.
+func TestSearchPageBudget(t *testing.T) {
+	const total = 20000
+	const limit = 100
+	acgs := []proto.ACGID{1, 2, 3}
+	n := newPagedNode(t, total, acgs)
+	ctx := context.Background()
+
+	req := proto.SearchReq{ACGs: acgs, IndexName: "size", Query: "size>0", Limit: limit}
+	seen := make(map[index.FileID]bool)
+	var last index.FileID
+	pages := 0
+	for {
+		resp, err := n.Search(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Files) > limit {
+			t.Fatalf("page %d transferred %d postings, budget is %d", pages, len(resp.Files), limit)
+		}
+		if resp.MaxRetained > limit {
+			t.Fatalf("page %d retained %d postings node-side, budget is %d", pages, resp.MaxRetained, limit)
+		}
+		for i, f := range resp.Files {
+			if req.AfterSet && f <= req.After {
+				t.Fatalf("page %d returned file %d at or below cursor %d", pages, f, req.After)
+			}
+			if i > 0 && f <= resp.Files[i-1] {
+				t.Fatalf("page %d not strictly ascending: %v", pages, resp.Files)
+			}
+			if seen[f] {
+				t.Fatalf("file %d appeared on two pages", f)
+			}
+			seen[f] = true
+			last = f
+		}
+		pages++
+		if !resp.More {
+			break
+		}
+		req.After, req.AfterSet = last, true
+		if pages > total/limit+5 {
+			t.Fatal("pagination does not terminate")
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("paged union = %d files, want %d", len(seen), total)
+	}
+	if pages != total/limit {
+		t.Errorf("pages = %d, want %d", pages, total/limit)
+	}
+}
+
+// TestSearchUnlimitedKeepsV1Semantics: Limit 0 returns everything in one
+// response with More unset.
+func TestSearchUnlimitedKeepsV1Semantics(t *testing.T) {
+	acgs := []proto.ACGID{1, 2}
+	n := newPagedNode(t, 500, acgs)
+	resp, err := n.Search(context.Background(), proto.SearchReq{ACGs: acgs, IndexName: "size", Query: "size>0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 500 || resp.More {
+		t.Errorf("unlimited search = %d files, more=%v", len(resp.Files), resp.More)
+	}
+}
+
+// TestSearchStructuredPreds: a request carrying structured predicates
+// (the v2 wire form) must behave exactly like its textual equivalent.
+func TestSearchStructuredPreds(t *testing.T) {
+	acgs := []proto.ACGID{1}
+	n := newPagedNode(t, 100, acgs)
+	ctx := context.Background()
+	textual, err := n.Search(ctx, proto.SearchReq{ACGs: acgs, IndexName: "size", Query: "size>50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	structured, err := n.Search(ctx, proto.SearchReq{
+		ACGs: acgs, IndexName: "size",
+		Preds: []query.Predicate{{Field: "size", Op: query.OpGt, Value: attr.Int(50)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(structured.Files) != len(textual.Files) {
+		t.Fatalf("structured = %d files, textual = %d", len(structured.Files), len(textual.Files))
+	}
+	for i := range structured.Files {
+		if structured.Files[i] != textual.Files[i] {
+			t.Fatalf("result divergence at %d: %v vs %v", i, structured.Files, textual.Files)
+		}
+	}
+	// A bad textual query still reports the taxonomy.
+	if _, err := n.Search(ctx, proto.SearchReq{ACGs: acgs, IndexName: "size", Query: "(size>1"}); !errors.Is(err, perr.ErrBadQuery) {
+		t.Errorf("bad query err = %v, want perr.ErrBadQuery", err)
+	}
+}
+
+// TestPageCollectorDuplicateBelowRoot: a cross-group duplicate of a
+// retained non-root candidate must be dropped outright — not displace a
+// genuine match and shrink the page.
+func TestPageCollectorDuplicateBelowRoot(t *testing.T) {
+	col := newPageCollector(proto.SearchReq{Limit: 3})
+	for _, f := range []index.FileID{1, 3, 5} {
+		col.add(f)
+	}
+	col.add(3) // duplicate below the heap root (5)
+	files, more := col.page()
+	if len(files) != 3 || files[0] != 1 || files[1] != 3 || files[2] != 5 {
+		t.Fatalf("page = %v, want [1 3 5]", files)
+	}
+	if more {
+		t.Error("duplicate must not set overflow")
+	}
+	// A genuinely smaller candidate still displaces the root.
+	col2 := newPageCollector(proto.SearchReq{Limit: 2})
+	for _, f := range []index.FileID{4, 6, 2} {
+		col2.add(f)
+	}
+	files, more = col2.page()
+	if len(files) != 2 || files[0] != 2 || files[1] != 4 || !more {
+		t.Fatalf("page = %v more=%v, want [2 4] true", files, more)
+	}
+}
+
+// TestSearchKDMaxRetainedIsHonest: KD box queries materialize their
+// candidate set before the page collector; MaxRetained must report that
+// true peak instead of pretending the page budget held.
+func TestSearchKDMaxRetainedIsHonest(t *testing.T) {
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{ID: "kd-test", Store: store, Disk: disk, Clock: clk, CacheLimit: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.DeclareIndex(proto.IndexSpec{Name: "pt", Type: proto.IndexKD, Fields: []string{"x", "y"}})
+	ctx := context.Background()
+	const total = 500
+	entries := make([]proto.IndexEntry, 0, total)
+	for i := 0; i < total; i++ {
+		entries = append(entries, proto.IndexEntry{
+			File: index.FileID(i), KDCoords: []float64{float64(i), float64(i)},
+		})
+	}
+	if _, err := n.Update(ctx, proto.UpdateReq{ACG: 1, IndexName: "pt", Entries: entries}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := n.Search(ctx, proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "pt", Query: "x>=0 & y>=0", Limit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 10 || !resp.More {
+		t.Fatalf("kd page = %d files, more=%v; want 10, true", len(resp.Files), resp.More)
+	}
+	// The transfer is capped, but the KD path materialized all matches and
+	// the stat must say so.
+	if resp.MaxRetained < total {
+		t.Errorf("MaxRetained = %d, want >= %d (the materialized candidate set)", resp.MaxRetained, total)
+	}
+}
+
+// TestSearchLazyConsistencySkipsCommit: a lazy read does not commit the
+// cache (pending updates invisible); a strict read commits and sees them.
+func TestSearchLazyConsistencySkipsCommit(t *testing.T) {
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{ID: "lazy-test", Store: store, Disk: disk, Clock: clk, CacheLimit: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.DeclareIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"})
+	ctx := context.Background()
+	if _, err := n.Update(ctx, proto.UpdateReq{
+		ACG: 1, IndexName: "size",
+		Entries: []proto.IndexEntry{{File: 7, Value: attr.Int(42)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lazyReq := proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0", Consistency: proto.ConsistencyLazy}
+	resp, err := n.Search(ctx, lazyReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 0 {
+		t.Errorf("lazy search saw uncommitted cache: %v", resp.Files)
+	}
+	if resp.CommitLatencyNanos != 0 {
+		t.Errorf("lazy search paid commit latency %d", resp.CommitLatencyNanos)
+	}
+	strict, err := n.Search(ctx, proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Files) != 1 || strict.Files[0] != 7 {
+		t.Errorf("strict search = %v, want [7]", strict.Files)
+	}
+	// Committed now: lazy sees it too.
+	resp, err = n.Search(ctx, lazyReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 1 {
+		t.Errorf("lazy search after commit = %v, want [7]", resp.Files)
+	}
+}
+
+// TestSearchCancelledContext: an already-cancelled context aborts the
+// group pass with the taxonomy error.
+func TestSearchCancelledContext(t *testing.T) {
+	acgs := []proto.ACGID{1, 2}
+	n := newPagedNode(t, 100, acgs)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := n.Search(ctx, proto.SearchReq{ACGs: acgs, IndexName: "size", Query: "size>0"})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled search err = %v, want context.Canceled", err)
+	}
+	// An expired deadline maps to the timeout taxonomy.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	_, err = n.Search(expired, proto.SearchReq{ACGs: acgs, IndexName: "size", Query: "size>0"})
+	if !errors.Is(err, perr.ErrTimeout) {
+		t.Errorf("expired search err = %v, want perr.ErrTimeout", err)
+	}
+}

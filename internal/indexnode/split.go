@@ -1,6 +1,7 @@
 package indexnode
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -15,7 +16,7 @@ import (
 // sub-graphs with minimal cut (§III), reports the split to the Master to
 // get the new group's id and destination node, migrates the moved half, and
 // removes it locally.
-func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
+func (n *Node) SplitACG(ctx context.Context, req proto.SplitACGReq) (proto.SplitACGResp, error) {
 	if n.cfg.Master == nil {
 		return proto.SplitACGResp{}, ErrNoMaster
 	}
@@ -45,7 +46,7 @@ func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
 
 	// Master assigns the new group and destination.
 	rep, err := rpc.Call[proto.SplitReportReq, proto.SplitReportResp](
-		n.cfg.Master, proto.MethodSplitReport,
+		ctx, n.cfg.Master, proto.MethodSplitReport,
 		proto.SplitReportReq{Node: n.cfg.ID, OldACG: req.ACG, SideB: sideB})
 	if err != nil {
 		return proto.SplitACGResp{}, fmt.Errorf("indexnode split report: %w", err)
@@ -92,7 +93,7 @@ func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
 	// Ship the group. rep.Dest may be this very node (least-loaded); handle
 	// locally to avoid a self-dial.
 	if rep.Dest == n.cfg.ID {
-		if _, err := n.ReceiveACG(recv); err != nil {
+		if _, err := n.ReceiveACG(ctx, recv); err != nil {
 			return proto.SplitACGResp{}, err
 		}
 	} else {
@@ -104,7 +105,7 @@ func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
 			return proto.SplitACGResp{}, fmt.Errorf("indexnode split dial %s: %w", rep.Addr, err)
 		}
 		defer peer.Close() //nolint:errcheck // best-effort teardown
-		if _, err := rpc.Call[proto.ReceiveACGReq, proto.ReceiveACGResp](peer, proto.MethodReceiveACG, recv); err != nil {
+		if _, err := rpc.Call[proto.ReceiveACGReq, proto.ReceiveACGResp](ctx, peer, proto.MethodReceiveACG, recv); err != nil {
 			return proto.SplitACGResp{}, fmt.Errorf("indexnode migrate to %s: %w", rep.Dest, err)
 		}
 	}
@@ -165,7 +166,7 @@ func (n *Node) SplitACG(req proto.SplitACGReq) (proto.SplitACGResp, error) {
 }
 
 // ReceiveACG installs a migrated group on this node.
-func (n *Node) ReceiveACG(req proto.ReceiveACGReq) (proto.ReceiveACGResp, error) {
+func (n *Node) ReceiveACG(_ context.Context, req proto.ReceiveACGReq) (proto.ReceiveACGResp, error) {
 	g := n.lockOrCreateGroup(req.ACG)
 	defer g.mu.Unlock()
 	for _, f := range req.Files {

@@ -11,6 +11,7 @@ package master
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"propeller/internal/index"
+	"propeller/internal/perr"
 	"propeller/internal/proto"
 	"propeller/internal/rpc"
 	"propeller/internal/vclock"
@@ -26,10 +28,12 @@ import (
 
 // Errors returned by the Master.
 var (
-	ErrNoNodes      = errors.New("master: no index nodes registered")
-	ErrUnknownNode  = errors.New("master: unknown node")
-	ErrIndexExists  = errors.New("master: index name already exists")
-	ErrUnknownIndex = errors.New("master: unknown index")
+	ErrNoNodes     = errors.New("master: no index nodes registered")
+	ErrUnknownNode = errors.New("master: unknown node")
+	ErrIndexExists = errors.New("master: index name already exists")
+	// ErrUnknownIndex wraps the public taxonomy's ErrIndexNotFound so
+	// clients can dispatch with errors.Is across the RPC boundary.
+	ErrUnknownIndex = fmt.Errorf("master: unknown index (%w)", perr.ErrIndexNotFound)
 	ErrUnknownACG   = errors.New("master: unknown acg")
 	ErrFileUnmapped = errors.New("master: file has no acg mapping")
 )
@@ -112,7 +116,7 @@ func (m *Master) RegisterRPC(s *rpc.Server) {
 }
 
 // RegisterNode adds (or refreshes) an Index Node.
-func (m *Master) RegisterNode(req proto.RegisterNodeReq) (proto.RegisterNodeResp, error) {
+func (m *Master) RegisterNode(_ context.Context, req proto.RegisterNodeReq) (proto.RegisterNodeResp, error) {
 	if req.Node == "" {
 		return proto.RegisterNodeResp{}, errors.New("master: empty node id")
 	}
@@ -131,7 +135,7 @@ func (m *Master) RegisterNode(req proto.RegisterNodeReq) (proto.RegisterNodeResp
 
 // Heartbeat refreshes node status and returns split orders for oversized
 // groups on that node.
-func (m *Master) Heartbeat(req proto.HeartbeatReq) (proto.HeartbeatResp, error) {
+func (m *Master) Heartbeat(_ context.Context, req proto.HeartbeatReq) (proto.HeartbeatResp, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := m.nodes[req.Node]
@@ -161,7 +165,7 @@ func (m *Master) Heartbeat(req proto.HeartbeatReq) (proto.HeartbeatResp, error) 
 // LookupFiles resolves each file to its ACG and Index Node, allocating new
 // groups on the least-loaded node for unknown files when req.Allocate.
 // Files sharing a non-zero GroupHint land in the same group.
-func (m *Master) LookupFiles(req proto.LookupFilesReq) (proto.LookupFilesResp, error) {
+func (m *Master) LookupFiles(_ context.Context, req proto.LookupFilesReq) (proto.LookupFilesResp, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	resp := proto.LookupFilesResp{Mappings: make([]proto.FileMapping, 0, len(req.Files))}
@@ -240,7 +244,7 @@ func (m *Master) leastLoadedLocked() *nodeInfo {
 // the named index. (Groups that never received postings for the index
 // return empty results; the Master routes to all groups, matching the
 // paper's "send the query to all INs holding ACGs with this index name".)
-func (m *Master) LookupIndex(req proto.LookupIndexReq) (proto.LookupIndexResp, error) {
+func (m *Master) LookupIndex(_ context.Context, req proto.LookupIndexReq) (proto.LookupIndexResp, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	spec, ok := m.specs[req.IndexName]
@@ -268,7 +272,7 @@ func (m *Master) LookupIndex(req proto.LookupIndexReq) (proto.LookupIndexResp, e
 }
 
 // CreateIndex registers a globally unique index name.
-func (m *Master) CreateIndex(req proto.CreateIndexReq) (proto.CreateIndexResp, error) {
+func (m *Master) CreateIndex(_ context.Context, req proto.CreateIndexReq) (proto.CreateIndexResp, error) {
 	if req.Spec.Name == "" {
 		return proto.CreateIndexResp{}, errors.New("master: empty index name")
 	}
@@ -284,7 +288,7 @@ func (m *Master) CreateIndex(req proto.CreateIndexReq) (proto.CreateIndexResp, e
 // SplitReport finalizes a background split: the Master allocates the new
 // group id on the least-loaded node, rebinds the moved files, and tells the
 // splitting node where to migrate.
-func (m *Master) SplitReport(req proto.SplitReportReq) (proto.SplitReportResp, error) {
+func (m *Master) SplitReport(_ context.Context, req proto.SplitReportReq) (proto.SplitReportResp, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	old := m.acgs[req.OldACG]
@@ -312,7 +316,7 @@ func (m *Master) SplitReport(req proto.SplitReportReq) (proto.SplitReportResp, e
 
 // MergeReport finalizes a node-local group merge: every file mapped to Src
 // is rebound to Dst and the Src group is retired.
-func (m *Master) MergeReport(req proto.MergeReportReq) (proto.MergeReportResp, error) {
+func (m *Master) MergeReport(_ context.Context, req proto.MergeReportReq) (proto.MergeReportResp, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	src, dst := m.acgs[req.Src], m.acgs[req.Dst]
@@ -347,7 +351,7 @@ func (m *Master) MergeReport(req proto.MergeReportReq) (proto.MergeReportResp, e
 }
 
 // ClusterStats summarizes the cluster.
-func (m *Master) ClusterStats(proto.ClusterStatsReq) (proto.ClusterStatsResp, error) {
+func (m *Master) ClusterStats(_ context.Context, _ proto.ClusterStatsReq) (proto.ClusterStatsResp, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var resp proto.ClusterStatsResp

@@ -1,6 +1,7 @@
 package master
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -12,7 +13,7 @@ func newTestMaster(t *testing.T, nodes ...string) *Master {
 	t.Helper()
 	m := New(Config{SplitThreshold: 100})
 	for _, n := range nodes {
-		if _, err := m.RegisterNode(proto.RegisterNodeReq{
+		if _, err := m.RegisterNode(context.Background(), proto.RegisterNodeReq{
 			Node: proto.NodeID(n), Addr: "pipe:" + n, CapacityFiles: 1 << 30,
 		}); err != nil {
 			t.Fatal(err)
@@ -23,7 +24,7 @@ func newTestMaster(t *testing.T, nodes ...string) *Master {
 
 func TestRegisterNodeValidation(t *testing.T) {
 	m := New(Config{})
-	if _, err := m.RegisterNode(proto.RegisterNodeReq{}); err == nil {
+	if _, err := m.RegisterNode(context.Background(), proto.RegisterNodeReq{}); err == nil {
 		t.Fatal("empty node id should be rejected")
 	}
 }
@@ -32,7 +33,7 @@ func TestLookupFilesAllocatesOnLeastLoaded(t *testing.T) {
 	m := newTestMaster(t, "a", "b")
 	// Two files, no hints: each becomes its own ACG; placement alternates
 	// by load.
-	resp, err := m.LookupFiles(proto.LookupFilesReq{
+	resp, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
 		Files: []index.FileID{1, 2}, GroupHints: []uint64{0, 0}, Allocate: true,
 	})
 	if err != nil {
@@ -51,7 +52,7 @@ func TestLookupFilesAllocatesOnLeastLoaded(t *testing.T) {
 
 func TestLookupFilesHintsCoLocate(t *testing.T) {
 	m := newTestMaster(t, "a", "b")
-	resp, err := m.LookupFiles(proto.LookupFilesReq{
+	resp, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
 		Files:      []index.FileID{10, 11, 12},
 		GroupHints: []uint64{7, 7, 7},
 		Allocate:   true,
@@ -65,7 +66,7 @@ func TestLookupFilesHintsCoLocate(t *testing.T) {
 		}
 	}
 	// Stable on re-lookup.
-	again, err := m.LookupFiles(proto.LookupFilesReq{
+	again, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
 		Files: []index.FileID{10}, Allocate: false,
 	})
 	if err != nil {
@@ -78,7 +79,7 @@ func TestLookupFilesHintsCoLocate(t *testing.T) {
 
 func TestLookupFilesNoAllocate(t *testing.T) {
 	m := newTestMaster(t, "a")
-	_, err := m.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{99}})
+	_, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{Files: []index.FileID{99}})
 	if !errors.Is(err, ErrFileUnmapped) {
 		t.Errorf("err = %v, want ErrFileUnmapped", err)
 	}
@@ -86,7 +87,7 @@ func TestLookupFilesNoAllocate(t *testing.T) {
 
 func TestLookupFilesNoNodes(t *testing.T) {
 	m := New(Config{})
-	_, err := m.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{1}, Allocate: true})
+	_, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{Files: []index.FileID{1}, Allocate: true})
 	if !errors.Is(err, ErrNoNodes) {
 		t.Errorf("err = %v, want ErrNoNodes", err)
 	}
@@ -95,23 +96,23 @@ func TestLookupFilesNoNodes(t *testing.T) {
 func TestCreateIndexAndLookup(t *testing.T) {
 	m := newTestMaster(t, "a")
 	spec := proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}
-	if _, err := m.CreateIndex(proto.CreateIndexReq{Spec: spec}); err != nil {
+	if _, err := m.CreateIndex(context.Background(), proto.CreateIndexReq{Spec: spec}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.CreateIndex(proto.CreateIndexReq{Spec: spec}); !errors.Is(err, ErrIndexExists) {
+	if _, err := m.CreateIndex(context.Background(), proto.CreateIndexReq{Spec: spec}); !errors.Is(err, ErrIndexExists) {
 		t.Errorf("duplicate create = %v", err)
 	}
-	if _, err := m.CreateIndex(proto.CreateIndexReq{}); err == nil {
+	if _, err := m.CreateIndex(context.Background(), proto.CreateIndexReq{}); err == nil {
 		t.Error("empty name should be rejected")
 	}
-	if _, err := m.LookupIndex(proto.LookupIndexReq{IndexName: "nope"}); !errors.Is(err, ErrUnknownIndex) {
+	if _, err := m.LookupIndex(context.Background(), proto.LookupIndexReq{IndexName: "nope"}); !errors.Is(err, ErrUnknownIndex) {
 		t.Errorf("unknown lookup = %v", err)
 	}
 	// Allocate a file so a target exists.
-	if _, err := m.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{1}, Allocate: true}); err != nil {
+	if _, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{Files: []index.FileID{1}, Allocate: true}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := m.LookupIndex(proto.LookupIndexReq{IndexName: "size"})
+	resp, err := m.LookupIndex(context.Background(), proto.LookupIndexReq{IndexName: "size"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +124,10 @@ func TestCreateIndexAndLookup(t *testing.T) {
 func TestHeartbeatOrdersSplits(t *testing.T) {
 	m := newTestMaster(t, "a")
 	// Seed an ACG.
-	if _, err := m.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{1}, GroupHints: []uint64{5}, Allocate: true}); err != nil {
+	if _, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{Files: []index.FileID{1}, GroupHints: []uint64{5}, Allocate: true}); err != nil {
 		t.Fatal(err)
 	}
-	hb, err := m.Heartbeat(proto.HeartbeatReq{
+	hb, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{
 		Node: "a",
 		ACGs: []proto.ACGMeta{{ACG: 1, Files: 500}}, // threshold is 100
 	})
@@ -136,7 +137,7 @@ func TestHeartbeatOrdersSplits(t *testing.T) {
 	if len(hb.SplitACGs) != 1 || hb.SplitACGs[0] != 1 {
 		t.Errorf("split orders = %v, want [1]", hb.SplitACGs)
 	}
-	if _, err := m.Heartbeat(proto.HeartbeatReq{Node: "ghost"}); !errors.Is(err, ErrUnknownNode) {
+	if _, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{Node: "ghost"}); !errors.Is(err, ErrUnknownNode) {
 		t.Errorf("ghost heartbeat = %v", err)
 	}
 }
@@ -145,12 +146,12 @@ func TestSplitReportRebindsFiles(t *testing.T) {
 	m := newTestMaster(t, "a", "b")
 	files := []index.FileID{1, 2, 3, 4}
 	hints := []uint64{9, 9, 9, 9}
-	resp, err := m.LookupFiles(proto.LookupFilesReq{Files: files, GroupHints: hints, Allocate: true})
+	resp, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{Files: files, GroupHints: hints, Allocate: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	oldACG := resp.Mappings[0].ACG
-	rep, err := m.SplitReport(proto.SplitReportReq{
+	rep, err := m.SplitReport(context.Background(), proto.SplitReportReq{
 		Node: resp.Mappings[0].Node, OldACG: oldACG, SideB: []index.FileID{3, 4},
 	})
 	if err != nil {
@@ -159,29 +160,29 @@ func TestSplitReportRebindsFiles(t *testing.T) {
 	if rep.NewACG == oldACG {
 		t.Error("new group must differ")
 	}
-	after, err := m.LookupFiles(proto.LookupFilesReq{Files: files})
+	after, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{Files: files})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if after.Mappings[0].ACG != oldACG || after.Mappings[2].ACG != rep.NewACG {
 		t.Errorf("rebind wrong: %+v", after.Mappings)
 	}
-	if _, err := m.SplitReport(proto.SplitReportReq{OldACG: 9999}); !errors.Is(err, ErrUnknownACG) {
+	if _, err := m.SplitReport(context.Background(), proto.SplitReportReq{OldACG: 9999}); !errors.Is(err, ErrUnknownACG) {
 		t.Errorf("bogus split = %v", err)
 	}
 }
 
 func TestClusterStats(t *testing.T) {
 	m := newTestMaster(t, "a", "b")
-	if _, err := m.CreateIndex(proto.CreateIndexReq{
+	if _, err := m.CreateIndex(context.Background(), proto.CreateIndexReq{
 		Spec: proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.LookupFiles(proto.LookupFilesReq{
+	if _, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
 		Files: []index.FileID{1, 2, 3}, GroupHints: []uint64{1, 1, 2}, Allocate: true}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := m.ClusterStats(proto.ClusterStatsReq{})
+	st, err := m.ClusterStats(context.Background(), proto.ClusterStatsReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,11 +193,11 @@ func TestClusterStats(t *testing.T) {
 
 func TestSnapshotRoundTrip(t *testing.T) {
 	m := newTestMaster(t, "a")
-	if _, err := m.CreateIndex(proto.CreateIndexReq{
+	if _, err := m.CreateIndex(context.Background(), proto.CreateIndexReq{
 		Spec: proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.LookupFiles(proto.LookupFilesReq{
+	if _, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
 		Files: []index.FileID{1, 2}, GroupHints: []uint64{3, 3}, Allocate: true}); err != nil {
 		t.Fatal(err)
 	}
@@ -210,14 +211,14 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err := m2.LoadMetadata(img); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := m2.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{1, 2}})
+	resp, err := m2.LookupFiles(context.Background(), proto.LookupFilesReq{Files: []index.FileID{1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Mappings[0].ACG != resp.Mappings[1].ACG {
 		t.Error("restored mappings lost group co-location")
 	}
-	st, err := m2.ClusterStats(proto.ClusterStatsReq{})
+	st, err := m2.ClusterStats(context.Background(), proto.ClusterStatsReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 func TestMergeReport(t *testing.T) {
 	m := newTestMaster(t, "a")
-	resp, err := m.LookupFiles(proto.LookupFilesReq{
+	resp, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
 		Files:      []index.FileID{1, 2, 3, 4},
 		GroupHints: []uint64{1, 1, 2, 2},
 		Allocate:   true,
@@ -240,14 +241,14 @@ func TestMergeReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	dst, src := resp.Mappings[0].ACG, resp.Mappings[2].ACG
-	rep, err := m.MergeReport(proto.MergeReportReq{Node: "a", Dst: dst, Src: src})
+	rep, err := m.MergeReport(context.Background(), proto.MergeReportReq{Node: "a", Dst: dst, Src: src})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Moved != 2 {
 		t.Errorf("moved = %d, want 2", rep.Moved)
 	}
-	after, err := m.LookupFiles(proto.LookupFilesReq{Files: []index.FileID{3, 4}})
+	after, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{Files: []index.FileID{3, 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestMergeReport(t *testing.T) {
 			t.Errorf("file %d still maps to %d, want %d", mp.File, mp.ACG, dst)
 		}
 	}
-	st, err := m.ClusterStats(proto.ClusterStatsReq{})
+	st, err := m.ClusterStats(context.Background(), proto.ClusterStatsReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,17 +265,17 @@ func TestMergeReport(t *testing.T) {
 		t.Errorf("groups = %d, want 1", st.ACGs)
 	}
 	// Error paths.
-	if _, err := m.MergeReport(proto.MergeReportReq{Dst: dst, Src: 999}); !errors.Is(err, ErrUnknownACG) {
+	if _, err := m.MergeReport(context.Background(), proto.MergeReportReq{Dst: dst, Src: 999}); !errors.Is(err, ErrUnknownACG) {
 		t.Errorf("unknown src = %v", err)
 	}
-	if _, err := m.MergeReport(proto.MergeReportReq{Dst: 999, Src: dst}); !errors.Is(err, ErrUnknownACG) {
+	if _, err := m.MergeReport(context.Background(), proto.MergeReportReq{Dst: 999, Src: dst}); !errors.Is(err, ErrUnknownACG) {
 		t.Errorf("unknown dst = %v", err)
 	}
 }
 
 func TestMergeReportAcrossNodesRejected(t *testing.T) {
 	m := newTestMaster(t, "a", "b")
-	resp, err := m.LookupFiles(proto.LookupFilesReq{
+	resp, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
 		Files:      []index.FileID{1, 2},
 		GroupHints: []uint64{1, 2},
 		Allocate:   true,
@@ -285,7 +286,7 @@ func TestMergeReportAcrossNodesRejected(t *testing.T) {
 	if resp.Mappings[0].Node == resp.Mappings[1].Node {
 		t.Skip("placement did not split nodes")
 	}
-	if _, err := m.MergeReport(proto.MergeReportReq{
+	if _, err := m.MergeReport(context.Background(), proto.MergeReportReq{
 		Dst: resp.Mappings[0].ACG, Src: resp.Mappings[1].ACG,
 	}); err == nil {
 		t.Error("cross-node merge should be rejected")
@@ -301,7 +302,7 @@ func TestAliveNodes(t *testing.T) {
 	// Advance virtual time past the timeout; only a heartbeating node stays
 	// alive.
 	m.cfg.Clock.Advance(m.cfg.HeartbeatTimeout * 2)
-	if _, err := m.Heartbeat(proto.HeartbeatReq{Node: "a"}); err != nil {
+	if _, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{Node: "a"}); err != nil {
 		t.Fatal(err)
 	}
 	alive = m.AliveNodes()

@@ -13,6 +13,7 @@
 package postmark
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -188,7 +189,7 @@ const clientIndexOverhead = 210 * time.Microsecond
 
 func (p *PropellerFS) indexOp(path string, size int64, del bool) error {
 	p.clock.Advance(clientIndexOverhead)
-	_, err := p.node.Update(proto.UpdateReq{
+	_, err := p.node.Update(context.Background(), proto.UpdateReq{
 		ACG: p.acg, IndexName: "size",
 		Entries: []proto.IndexEntry{{File: p.idFor(path), Value: attr.Int(size), Delete: del}},
 	})

@@ -3,6 +3,7 @@ package proto
 import (
 	"propeller/internal/attr"
 	"propeller/internal/index"
+	"propeller/internal/query"
 )
 
 // ACGID identifies an access-causality group (an index partition).
@@ -246,22 +247,76 @@ type UpdateResp struct {
 	Cached int
 }
 
+// Consistency selects the read semantics of a search.
+type Consistency uint8
+
+// Consistency modes.
+const (
+	// ConsistencyStrict commits each group's lazy cache before querying it
+	// (the paper's commit-on-search rule): results reflect every
+	// acknowledged update. The default.
+	ConsistencyStrict Consistency = iota
+	// ConsistencyLazy skips the cache commit and queries the durable
+	// indices as-is: faster, but acknowledged-yet-uncommitted updates (up
+	// to one commit timeout old) may be missing.
+	ConsistencyLazy
+)
+
+// String implements fmt.Stringer.
+func (c Consistency) String() string {
+	switch c {
+	case ConsistencyStrict:
+		return "strict"
+	case ConsistencyLazy:
+		return "lazy"
+	default:
+		return "unknown"
+	}
+}
+
 // SearchReq queries the named index on a set of ACGs held by this node.
-// The query string uses package query syntax. NowUnixNano anchors relative
-// mtime predicates.
+// The predicate arrives either structured in Preds (preferred: no re-parse,
+// no string-escaping pitfalls) or textual in Query (package query syntax;
+// used when Preds is empty). NowUnixNano anchors relative mtime predicates
+// in the textual form.
+//
+// Pagination: when Limit > 0 the node returns at most Limit files, the
+// smallest matching FileIDs first. When AfterSet, only files with
+// FileID > After are considered — because responses are ascending, the last
+// FileID of one page is the resume cursor for the next, and the same cursor
+// value is valid on every node of the fan-out.
 type SearchReq struct {
 	ACGs        []ACGID
 	IndexName   string
 	Query       string
+	Preds       []query.Predicate
 	NowUnixNano int64
+	// Limit bounds the response size (0 = unlimited, the v1 behavior).
+	Limit int
+	// After / AfterSet form the resume cursor (exclusive lower bound).
+	After    index.FileID
+	AfterSet bool
+	// Consistency selects strict (commit-on-search) or lazy reads.
+	Consistency Consistency
 }
 
-// SearchResp returns matching files.
+// SearchResp returns matching files in ascending FileID order.
 type SearchResp struct {
 	Files []index.FileID
 	// CommitLatencyNanos reports the virtual time spent committing cached
 	// updates before the search (consistency cost; Figure 10).
 	CommitLatencyNanos int64
+	// More reports that matches beyond Limit exist (resume with the last
+	// returned FileID as the cursor).
+	More bool
+	// MaxRetained is the peak number of postings the node buffered while
+	// serving this request. B-tree–served queries stream candidates
+	// through a bounded collector, so with Limit > 0 they never retain
+	// more than the page size (how tests verify the per-page budget).
+	// Hash point lookups and KD box queries materialize their candidate
+	// set before filtering and report that true peak here — the response
+	// transfer is still capped at Limit, but node-side buffering is not.
+	MaxRetained int
 }
 
 // ACGEdge is one weighted causality edge.

@@ -12,13 +12,13 @@
 package query
 
 import (
-	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
 	"propeller/internal/attr"
+	"propeller/internal/perr"
 	"propeller/internal/vfs"
 )
 
@@ -64,8 +64,10 @@ type Query struct {
 	Preds []Predicate
 }
 
-// ErrSyntax is returned for malformed query strings.
-var ErrSyntax = errors.New("query: syntax error")
+// ErrSyntax is returned for malformed query strings. It wraps the public
+// taxonomy's ErrBadQuery, so errors.Is(err, perr.ErrBadQuery) holds for
+// every parse failure — locally and across the RPC wire.
+var ErrSyntax = fmt.Errorf("query: syntax error (%w)", perr.ErrBadQuery)
 
 // Parse parses a query string. now anchors relative mtime ages.
 func Parse(s string, now time.Time) (Query, error) {
@@ -87,22 +89,60 @@ func Parse(s string, now time.Time) (Query, error) {
 	return q, nil
 }
 
+// validField reports whether s is a legal attribute name: a non-empty run
+// of letters, digits, '_', '-' or '.'. Anything else — parens, quotes,
+// operators — is a syntax error, which also catches unbalanced grouping
+// attempts like "(size>1m" (the language is a flat conjunction; it has no
+// parentheses).
+func validField(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NormalizeField canonicalizes an attribute name the way the parser does
+// — trimmed and lowercased — and rejects illegal names with the syntax
+// taxonomy. Typed predicate builders route through this so "Size" and
+// "size" address the same attribute on every path.
+func NormalizeField(field string) (string, error) {
+	f := strings.ToLower(strings.TrimSpace(field))
+	if !validField(f) {
+		return "", fmt.Errorf("%w: bad field name %q", ErrSyntax, field)
+	}
+	return f, nil
+}
+
 func parseTerm(term string, now time.Time) (Predicate, error) {
 	// keyword:foo shorthand.
 	if i := strings.IndexByte(term, ':'); i > 0 && !strings.ContainsAny(term[:i], "<>=") {
-		field := strings.TrimSpace(term[:i])
 		val := strings.TrimSpace(term[i+1:])
 		if val == "" {
 			return Predicate{}, fmt.Errorf("%w: empty value in %q", ErrSyntax, term)
 		}
-		return Predicate{Field: strings.ToLower(field), Op: OpEq, Value: attr.Str(val)}, nil
+		field, err := NormalizeField(term[:i])
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Field: field, Op: OpEq, Value: attr.Str(val)}, nil
 	}
 
 	opPos := strings.IndexAny(term, "<>=")
 	if opPos <= 0 {
 		return Predicate{}, fmt.Errorf("%w: no operator in %q", ErrSyntax, term)
 	}
-	field := strings.ToLower(strings.TrimSpace(term[:opPos]))
+	field, err := NormalizeField(term[:opPos])
+	if err != nil {
+		return Predicate{}, err
+	}
 	rest := term[opPos:]
 	var op Op
 	switch {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"propeller/internal/attr"
 )
 
 // QueryDir is a parsed dynamic query-directory path (§IV): a file-system
@@ -22,22 +24,48 @@ func IsQueryPath(path string) bool {
 	return strings.Contains(path, "/?")
 }
 
-// ParseQueryPath splits a dynamic query-directory path into its directory
-// scope and predicate. now anchors relative mtime predicates.
-func ParseQueryPath(path string, now time.Time) (QueryDir, error) {
+// SplitQueryPath splits a dynamic query-directory path into its directory
+// scope and raw query text without parsing the predicate (callers that
+// defer parsing — e.g. until a reference time is known — use this; the
+// rest use ParseQueryPath).
+func SplitQueryPath(path string) (dir, rawQuery string, err error) {
 	i := strings.Index(path, "/?")
 	if i < 0 {
-		return QueryDir{}, fmt.Errorf("%w: %q has no query component", ErrSyntax, path)
+		return "", "", fmt.Errorf("%w: %q has no query component", ErrSyntax, path)
 	}
-	dir := path[:i]
+	dir = path[:i]
 	if dir == "" {
 		dir = "/"
 	}
-	q, err := Parse(path[i+2:], now)
+	return dir, path[i+2:], nil
+}
+
+// ParseQueryPath splits a dynamic query-directory path into its directory
+// scope and predicate. now anchors relative mtime predicates.
+func ParseQueryPath(path string, now time.Time) (QueryDir, error) {
+	dir, raw, err := SplitQueryPath(path)
+	if err != nil {
+		return QueryDir{}, err
+	}
+	q, err := Parse(raw, now)
 	if err != nil {
 		return QueryDir{}, err
 	}
 	return QueryDir{Dir: dir, Query: q}, nil
+}
+
+// PathScopePreds returns the range predicates that bracket exactly the
+// subtree of dir on the "path" attribute: [dir+"/", dir+"/\xff"). A root or
+// empty dir needs no scoping and yields nil.
+func PathScopePreds(dir string) []Predicate {
+	if dir == "" || dir == "/" {
+		return nil
+	}
+	dir = strings.TrimSuffix(dir, "/")
+	return []Predicate{
+		{Field: "path", Op: OpGe, Value: attr.Str(dir + "/")},
+		{Field: "path", Op: OpLt, Value: attr.Str(dir + "/\xff")},
+	}
 }
 
 // InScope reports whether a file path falls under the query directory's

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"propeller/internal/perr"
 	"propeller/internal/vclock"
 )
 
@@ -30,7 +32,18 @@ type frame struct {
 	Method string
 	IsResp bool
 	ErrMsg string
-	Body   []byte
+	// ErrCode is the perr taxonomy code of ErrMsg, so errors.Is keeps
+	// working across the wire.
+	ErrCode uint8
+	// TimeoutNanos is the caller's remaining context budget at send time
+	// (0 = none); the server derives the handler context from it so remote
+	// work respects the caller's deadline. A relative duration — not an
+	// absolute timestamp — so clock skew between hosts cannot shrink or
+	// instantly expire the server-side budget (the propagated window only
+	// ignores the request's own transit time, erring longer, and the
+	// caller still enforces its exact deadline locally).
+	TimeoutNanos int64
+	Body         []byte
 }
 
 func writeFrame(w io.Writer, f *frame) error {
@@ -92,8 +105,9 @@ func (p NetProfile) cost(n int) time.Duration {
 	return d
 }
 
-// Handler serves one method: raw gob body in, raw gob body out.
-type Handler func(body []byte) ([]byte, error)
+// Handler serves one method: raw gob body in, raw gob body out. The context
+// carries the calling side's deadline (when one was set).
+type Handler func(ctx context.Context, body []byte) ([]byte, error)
 
 // Server dispatches incoming frames to registered handlers.
 type Server struct {
@@ -121,13 +135,13 @@ func (s *Server) Handle(method string, h Handler) {
 }
 
 // HandleTyped registers a handler with typed request/response, gob-encoded.
-func HandleTyped[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error)) {
-	s.Handle(method, func(body []byte) ([]byte, error) {
+func HandleTyped[Req, Resp any](s *Server, method string, fn func(context.Context, Req) (Resp, error)) {
+	s.Handle(method, func(ctx context.Context, body []byte) ([]byte, error) {
 		var req Req
 		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
 			return nil, fmt.Errorf("rpc %s: decode request: %w", method, err)
 		}
-		resp, err := fn(req)
+		resp, err := fn(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -203,11 +217,18 @@ func (s *Server) connLoop(conn net.Conn) {
 		reqWG.Add(1)
 		go func(f *frame) {
 			defer reqWG.Done()
+			ctx := context.Background()
+			if f.TimeoutNanos > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(f.TimeoutNanos))
+				defer cancel()
+			}
 			resp := &frame{ID: f.ID, Method: f.Method, IsResp: true}
 			if !ok {
 				resp.ErrMsg = ErrNoSuchMethod.Error() + ": " + f.Method
-			} else if body, err := h(f.Body); err != nil {
+			} else if body, err := h(ctx, f.Body); err != nil {
 				resp.ErrMsg = err.Error()
+				resp.ErrCode = perr.CodeOf(err)
 			} else {
 				resp.Body = body
 			}
@@ -306,6 +327,10 @@ func (c *Client) readLoop() {
 			}
 			c.closed = true
 			c.mu.Unlock()
+			// Release the descriptor now: callers that observe Closed()
+			// evict and redial, and nothing else would close this conn
+			// (Close()'s already-closed branch returns early).
+			_ = c.conn.Close()
 			return
 		}
 		c.mu.Lock()
@@ -320,8 +345,45 @@ func (c *Client) readLoop() {
 	}
 }
 
-// call performs a raw request/response exchange.
-func (c *Client) call(method string, body []byte) ([]byte, error) {
+// writeFrameCtx writes one frame under the write lock, unblocking the
+// write if ctx is cancelled or expires meanwhile (a stalled peer must not
+// pin a caller past its deadline). context.AfterFunc arms the
+// connection's write deadline only while *this* call holds the write
+// lock, and the callback is joined (via fired) before the deadline is
+// cleared, so it can never abort another call's healthy write; in the
+// common case — ctx still live when the write returns — no goroutine runs
+// at all. A write aborted mid-frame leaves a torn stream, so the
+// connection is closed — it was wedged anyway.
+func (c *Client) writeFrameCtx(ctx context.Context, req *frame) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if ctx.Done() == nil {
+		return writeFrame(c.conn, req)
+	}
+	fired := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		defer close(fired)
+		_ = c.conn.SetWriteDeadline(time.Now())
+	})
+	err := writeFrame(c.conn, req)
+	if !stop() {
+		<-fired
+		_ = c.conn.SetWriteDeadline(time.Time{})
+	}
+	if err != nil && ctx.Err() != nil {
+		_ = c.conn.Close()
+	}
+	return err
+}
+
+// call performs a raw request/response exchange. A cancelled or expired
+// context abandons the in-flight call immediately (the response, if it ever
+// arrives, is dropped by the read loop; a write blocked on a stalled
+// connection is unblocked via a write deadline).
+func (c *Client) call(ctx context.Context, method string, body []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("rpc call %s: %w", method, perr.Ctx(err))
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -334,19 +396,34 @@ func (c *Client) call(method string, body []byte) ([]byte, error) {
 	c.mu.Unlock()
 
 	req := &frame{ID: id, Method: method, Body: body}
-	c.writeMu.Lock()
-	err := writeFrame(c.conn, req)
-	c.writeMu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); remaining > 0 {
+			req.TimeoutNanos = int64(remaining)
+		}
+	}
+	err := c.writeFrameCtx(ctx, req)
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = perr.Ctx(ctxErr)
+		}
 		return nil, fmt.Errorf("rpc call %s: %w", method, err)
 	}
 	if c.clock != nil {
 		c.clock.Advance(c.profile.cost(len(body)))
 	}
-	resp, ok := <-ch
+	var resp *frame
+	var ok bool
+	select {
+	case resp, ok = <-ch:
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc call %s: %w", method, perr.Ctx(ctx.Err()))
+	}
 	if !ok {
 		return nil, fmt.Errorf("rpc call %s: connection lost: %w", method, ErrClientClosed)
 	}
@@ -354,20 +431,21 @@ func (c *Client) call(method string, body []byte) ([]byte, error) {
 		c.clock.Advance(c.profile.cost(len(resp.Body)))
 	}
 	if resp.ErrMsg != "" {
-		return nil, errors.New(resp.ErrMsg)
+		return nil, perr.FromWire(resp.ErrCode, resp.ErrMsg)
 	}
 	return resp.Body, nil
 }
 
 // Call performs a typed request/response exchange: req is gob-encoded, the
-// response is decoded into resp (a non-nil pointer).
-func Call[Req, Resp any](c *Client, method string, req Req) (Resp, error) {
+// response is decoded into resp (a non-nil pointer). The context's deadline
+// travels with the request and its cancellation abandons the call.
+func Call[Req, Resp any](ctx context.Context, c *Client, method string, req Req) (Resp, error) {
 	var resp Resp
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
 		return resp, fmt.Errorf("rpc %s: encode request: %w", method, err)
 	}
-	body, err := c.call(method, buf.Bytes())
+	body, err := c.call(ctx, method, buf.Bytes())
 	if err != nil {
 		return resp, err
 	}
@@ -375,6 +453,16 @@ func Call[Req, Resp any](c *Client, method string, req Req) (Resp, error) {
 		return resp, fmt.Errorf("rpc %s: decode response: %w", method, err)
 	}
 	return resp, nil
+}
+
+// Closed reports whether the client can no longer issue calls — torn down
+// locally, connection lost, or aborted by a cancelled write. Connection
+// caches use this to evict and redial instead of returning a dead client
+// forever.
+func (c *Client) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // Close tears the client down and waits for the reader to exit.

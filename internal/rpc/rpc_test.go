@@ -1,13 +1,16 @@
 package rpc
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"propeller/internal/perr"
 	"propeller/internal/vclock"
 )
 
@@ -35,11 +38,11 @@ func startPipeServer(t *testing.T, s *Server) *Client {
 
 func TestTypedCallOverPipe(t *testing.T) {
 	s := NewServer()
-	HandleTyped(s, "echo", func(r echoReq) (echoResp, error) {
+	HandleTyped(s, "echo", func(_ context.Context, r echoReq) (echoResp, error) {
 		return echoResp{Msg: r.Msg + "!", N: r.N * 2}, nil
 	})
 	c := startPipeServer(t, s)
-	resp, err := Call[echoReq, echoResp](c, "echo", echoReq{Msg: "hi", N: 21})
+	resp, err := Call[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: "hi", N: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +53,7 @@ func TestTypedCallOverPipe(t *testing.T) {
 
 func TestCallOverTCP(t *testing.T) {
 	s := NewServer()
-	HandleTyped(s, "echo", func(r echoReq) (echoResp, error) {
+	HandleTyped(s, "echo", func(_ context.Context, r echoReq) (echoResp, error) {
 		return echoResp{Msg: r.Msg, N: r.N}, nil
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -65,7 +68,7 @@ func TestCallOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close() //nolint:errcheck
-	resp, err := Call[echoReq, echoResp](c, "echo", echoReq{Msg: "tcp", N: 1})
+	resp, err := Call[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: "tcp", N: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,20 +79,131 @@ func TestCallOverTCP(t *testing.T) {
 
 func TestHandlerError(t *testing.T) {
 	s := NewServer()
-	HandleTyped(s, "fail", func(r echoReq) (echoResp, error) {
+	HandleTyped(s, "fail", func(_ context.Context, r echoReq) (echoResp, error) {
 		return echoResp{}, errors.New("deliberate failure")
 	})
 	c := startPipeServer(t, s)
-	_, err := Call[echoReq, echoResp](c, "fail", echoReq{})
+	_, err := Call[echoReq, echoResp](context.Background(), c, "fail", echoReq{})
 	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
 		t.Errorf("err = %v, want handler error", err)
+	}
+}
+
+func TestTaxonomyErrorsSurviveTheWire(t *testing.T) {
+	s := NewServer()
+	HandleTyped(s, "notfound", func(_ context.Context, r echoReq) (echoResp, error) {
+		return echoResp{}, fmt.Errorf("%q: %w", r.Msg, perr.ErrIndexNotFound)
+	})
+	HandleTyped(s, "badquery", func(_ context.Context, r echoReq) (echoResp, error) {
+		return echoResp{}, fmt.Errorf("parse: %w", perr.ErrBadQuery)
+	})
+	c := startPipeServer(t, s)
+	_, err := Call[echoReq, echoResp](context.Background(), c, "notfound", echoReq{Msg: "ghost"})
+	if !errors.Is(err, perr.ErrIndexNotFound) {
+		t.Errorf("err = %v, want ErrIndexNotFound across the wire", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("remote message lost: %v", err)
+	}
+	_, err = Call[echoReq, echoResp](context.Background(), c, "badquery", echoReq{})
+	if !errors.Is(err, perr.ErrBadQuery) {
+		t.Errorf("err = %v, want ErrBadQuery across the wire", err)
+	}
+}
+
+func TestCallCancellation(t *testing.T) {
+	s := NewServer()
+	release := make(chan struct{})
+	HandleTyped(s, "hang", func(_ context.Context, r echoReq) (echoResp, error) {
+		<-release
+		return echoResp{}, nil
+	})
+	defer close(release)
+	c := startPipeServer(t, s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Call[echoReq, echoResp](ctx, c, "hang", echoReq{})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled call never returned")
+	}
+
+	// A pre-cancelled context fails before any I/O.
+	if _, err := Call[echoReq, echoResp](ctx, c, "hang", echoReq{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled call err = %v", err)
+	}
+}
+
+func TestCallDeadlineMapsToTimeout(t *testing.T) {
+	s := NewServer()
+	release := make(chan struct{})
+	HandleTyped(s, "hang", func(ctx context.Context, r echoReq) (echoResp, error) {
+		// The server sees the caller's (relative) budget too.
+		if _, ok := ctx.Deadline(); !ok {
+			t.Error("handler context should carry the caller deadline")
+		}
+		select {
+		case <-release:
+			return echoResp{}, nil
+		case <-ctx.Done():
+			// Either side may notice expiry first; a remote timeout must
+			// map to the same taxonomy as a local one.
+			return echoResp{}, perr.Ctx(ctx.Err())
+		}
+	})
+	defer close(release)
+	c := startPipeServer(t, s)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := Call[echoReq, echoResp](ctx, c, "hang", echoReq{})
+	if !errors.Is(err, perr.ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded in chain", err)
+	}
+}
+
+func TestCancelUnblocksStalledWrite(t *testing.T) {
+	// A pipe with no reader: writeFrame blocks until the deadline watcher
+	// unblocks it. The call must return by its deadline, not hang.
+	cc, sc := Pipe()
+	defer sc.Close() //nolint:errcheck
+	c := NewClient(cc)
+	defer c.Close() //nolint:errcheck
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Call[echoReq, echoResp](ctx, c, "stalled", echoReq{Msg: strings.Repeat("x", 1<<16)})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, perr.ErrTimeout) {
+			t.Errorf("stalled write err = %v, want ErrTimeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("call blocked past its deadline on a stalled connection")
 	}
 }
 
 func TestNoSuchMethod(t *testing.T) {
 	s := NewServer()
 	c := startPipeServer(t, s)
-	_, err := Call[echoReq, echoResp](c, "missing", echoReq{})
+	_, err := Call[echoReq, echoResp](context.Background(), c, "missing", echoReq{})
 	if err == nil || !strings.Contains(err.Error(), "no such method") {
 		t.Errorf("err = %v, want no-such-method", err)
 	}
@@ -97,7 +211,7 @@ func TestNoSuchMethod(t *testing.T) {
 
 func TestConcurrentCalls(t *testing.T) {
 	s := NewServer()
-	HandleTyped(s, "double", func(r echoReq) (echoResp, error) {
+	HandleTyped(s, "double", func(_ context.Context, r echoReq) (echoResp, error) {
 		time.Sleep(time.Millisecond) // force interleaving
 		return echoResp{N: r.N * 2}, nil
 	})
@@ -108,7 +222,7 @@ func TestConcurrentCalls(t *testing.T) {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			resp, err := Call[echoReq, echoResp](c, "double", echoReq{N: n})
+			resp, err := Call[echoReq, echoResp](context.Background(), c, "double", echoReq{N: n})
 			if err != nil {
 				errs <- err
 				return
@@ -134,7 +248,7 @@ func TestClientClosedCallFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = s.Close()
-	if _, err := Call[echoReq, echoResp](c, "x", echoReq{}); err == nil {
+	if _, err := Call[echoReq, echoResp](context.Background(), c, "x", echoReq{}); err == nil {
 		t.Error("call on closed client should fail")
 	}
 }
@@ -142,7 +256,7 @@ func TestClientClosedCallFails(t *testing.T) {
 func TestServerCloseUnblocksClient(t *testing.T) {
 	s := NewServer()
 	block := make(chan struct{})
-	HandleTyped(s, "slow", func(r echoReq) (echoResp, error) {
+	HandleTyped(s, "slow", func(_ context.Context, r echoReq) (echoResp, error) {
 		<-block
 		return echoResp{}, nil
 	})
@@ -153,7 +267,7 @@ func TestServerCloseUnblocksClient(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := Call[echoReq, echoResp](c, "slow", echoReq{})
+		_, err := Call[echoReq, echoResp](context.Background(), c, "slow", echoReq{})
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -171,7 +285,7 @@ func TestServerCloseUnblocksClient(t *testing.T) {
 
 func TestVirtualNetChargesClock(t *testing.T) {
 	s := NewServer()
-	HandleTyped(s, "echo", func(r echoReq) (echoResp, error) {
+	HandleTyped(s, "echo", func(_ context.Context, r echoReq) (echoResp, error) {
 		return echoResp{Msg: r.Msg}, nil
 	})
 	cc, sc := Pipe()
@@ -180,7 +294,7 @@ func TestVirtualNetChargesClock(t *testing.T) {
 	c := NewClient(cc, WithVirtualNet(clk, GigabitLAN()))
 	defer func() { _ = c.Close(); _ = s.Close() }()
 
-	if _, err := Call[echoReq, echoResp](c, "echo", echoReq{Msg: strings.Repeat("x", 1<<20)}); err != nil {
+	if _, err := Call[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: strings.Repeat("x", 1<<20)}); err != nil {
 		t.Fatal(err)
 	}
 	if clk.Now() < GigabitLAN().RTT {

@@ -11,17 +11,24 @@
 //
 // Quick start:
 //
-//	svc, _ := propeller.StartLocal(propeller.Options{IndexNodes: 2})
+//	ctx := context.Background()
+//	svc, _ := propeller.StartLocal(ctx, propeller.Options{IndexNodes: 2})
 //	defer svc.Close()
-//	cl, _ := svc.NewClient()
+//	cl, _ := svc.NewClient(ctx)
 //	defer cl.Close()
-//	cl.CreateIndex(propeller.BTreeIndex("size", "size"))
-//	cl.Index("size", []propeller.Update{{File: 1, Int: 64 << 20, Group: 1}})
-//	res, _ := cl.Search("size", "size>16m")
+//	cl.CreateIndex(ctx, propeller.BTreeIndex("size", "size"))
+//	cl.Index(ctx, "size", []propeller.Update{{File: 1, Kind: propeller.KindInt, Int: 64 << 20, Group: 1}})
+//	res, _ := cl.Search(ctx, propeller.Query{Index: "size", Text: "size>16m", Limit: 100})
+//
+// Every network-touching method takes a context.Context: deadlines travel
+// with each RPC down to the Index Nodes and cancellation aborts in-flight
+// fan-outs. Searches go through a single Query type supporting textual or
+// typed predicates, query-directory path scoping, cursor pagination and a
+// consistency knob; SearchStream yields per-node batches as they arrive.
 package propeller
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
@@ -31,6 +38,7 @@ import (
 	"propeller/internal/cluster"
 	"propeller/internal/index"
 	"propeller/internal/proto"
+	"propeller/internal/query"
 	"propeller/internal/rpc"
 )
 
@@ -83,8 +91,14 @@ type Service struct {
 	now func() time.Time
 }
 
-// StartLocal boots a Propeller deployment.
-func StartLocal(opts Options) (*Service, error) {
+// StartLocal boots a Propeller deployment. The context gates entry (a
+// cancelled context refuses to boot); the boot itself is in-process —
+// loopback listeners and pipe dials — and does not block on external
+// resources.
+func StartLocal(ctx context.Context, opts Options) (*Service, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("propeller: start: %w", err)
+	}
 	c, err := cluster.New(cluster.Config{
 		IndexNodes:     opts.IndexNodes,
 		UseTCP:         opts.UseTCP,
@@ -108,16 +122,23 @@ func (s *Service) MasterAddr() string { return s.c.MasterAddr() }
 // Tick runs the lazy-cache timeout check on every node. Long-running
 // deployments call this from a ticker; short programs may ignore it
 // (searches commit caches on demand anyway).
-func (s *Service) Tick() error { return s.c.Tick() }
+func (s *Service) Tick(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.c.Tick()
+}
 
 // Rebalance runs one heartbeat round: nodes report group sizes to the
 // Master, and oversized Access-Causality groups are split and migrated.
-func (s *Service) Rebalance() error { return s.c.Heartbeat() }
+func (s *Service) Rebalance(ctx context.Context) error { return s.c.Heartbeat(ctx) }
 
 // Compact merges index groups smaller than minFiles on each node to undo
 // fragmentation from many tiny capture sessions. It returns the number of
 // merges performed.
-func (s *Service) Compact(minFiles int) (int, error) { return s.c.Compact(minFiles) }
+func (s *Service) Compact(ctx context.Context, minFiles int) (int, error) {
+	return s.c.Compact(ctx, minFiles)
+}
 
 // Stats summarizes the cluster.
 type Stats struct {
@@ -128,13 +149,13 @@ type Stats struct {
 }
 
 // Stats fetches a cluster summary.
-func (s *Service) Stats() (Stats, error) {
-	cl, err := s.NewClient()
+func (s *Service) Stats(ctx context.Context) (Stats, error) {
+	cl, err := s.NewClient(ctx)
 	if err != nil {
 		return Stats{}, err
 	}
 	defer cl.Close() //nolint:errcheck // read-only throwaway client
-	raw, err := cl.c.ClusterStats()
+	raw, err := cl.c.ClusterStats(ctx)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -149,7 +170,10 @@ func (s *Service) Stats() (Stats, error) {
 func (s *Service) Close() error { return s.c.Close() }
 
 // NewClient returns a client bound to this deployment.
-func (s *Service) NewClient() (*Client, error) {
+func (s *Service) NewClient(ctx context.Context) (*Client, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("propeller: new client: %w", err)
+	}
 	cl, err := s.c.NewClient(s.now)
 	if err != nil {
 		return nil, fmt.Errorf("propeller: new client: %w", err)
@@ -168,11 +192,30 @@ func (c *Client) Close() error { return c.c.Close() }
 
 // CreateIndex registers a named index cluster-wide. Names are globally
 // unique.
-func (c *Client) CreateIndex(spec IndexSpec) error { return c.c.CreateIndex(spec) }
+func (c *Client) CreateIndex(ctx context.Context, spec IndexSpec) error {
+	return c.c.CreateIndex(ctx, spec)
+}
 
-// Update is one indexing request. Exactly one of Int, Float, Str, Time or
-// Coords should be set (matching the index type); Delete removes the
-// posting.
+// ValueKind selects which payload field of an Update carries the value.
+type ValueKind uint8
+
+// Update value kinds.
+const (
+	// KindAuto detects the kind from the set fields in the order Coords,
+	// Str, Time, Float, Int. Ambiguous for the zero values Float(0) and
+	// Str(""): both fall through to Int. Set an explicit kind to index
+	// those.
+	KindAuto ValueKind = iota
+	KindInt
+	KindFloat
+	KindStr
+	KindTime
+	KindCoords
+)
+
+// Update is one indexing request. Kind selects the value field; KindAuto
+// (the zero value) detects it from whichever field is set. Delete removes
+// the posting.
 type Update struct {
 	File FileID
 	// Group co-locates files that are accessed together (0 = let the
@@ -180,30 +223,48 @@ type Update struct {
 	// same index partition.
 	Group uint64
 
+	// Kind selects the value field explicitly, fixing KindAuto's
+	// zero-value ambiguity (Float: 0 or Str: "" are indexable only with an
+	// explicit Kind).
+	Kind ValueKind
+
 	Int    int64
 	Float  float64
 	Str    string
 	Time   time.Time
 	Coords []float64
 
-	// Which holds the kind of value set; the zero value auto-detects in
-	// the order Coords, Str, Time, Float, Int.
 	Delete bool
 }
 
 // value converts the update payload to an attribute value.
 func (u Update) value() (attr.Value, []float64, error) {
-	switch {
-	case u.Coords != nil:
-		return attr.Value{}, u.Coords, nil
-	case u.Str != "":
-		return attr.Str(u.Str), nil, nil
-	case !u.Time.IsZero():
-		return attr.Time(u.Time), nil, nil
-	case u.Float != 0:
-		return attr.Float(u.Float), nil, nil
-	default:
+	switch u.Kind {
+	case KindAuto:
+		switch {
+		case u.Coords != nil:
+			return attr.Value{}, u.Coords, nil
+		case u.Str != "":
+			return attr.Str(u.Str), nil, nil
+		case !u.Time.IsZero():
+			return attr.Time(u.Time), nil, nil
+		case u.Float != 0:
+			return attr.Float(u.Float), nil, nil
+		default:
+			return attr.Int(u.Int), nil, nil
+		}
+	case KindInt:
 		return attr.Int(u.Int), nil, nil
+	case KindFloat:
+		return attr.Float(u.Float), nil, nil
+	case KindStr:
+		return attr.Str(u.Str), nil, nil
+	case KindTime:
+		return attr.Time(u.Time), nil, nil
+	case KindCoords:
+		return attr.Value{}, u.Coords, nil
+	default:
+		return attr.Value{}, nil, fmt.Errorf("propeller: update for file %d has unknown value kind %d", u.File, u.Kind)
 	}
 }
 
@@ -211,7 +272,7 @@ func (u Update) value() (attr.Value, []float64, error) {
 // routed through the Master and delivered to the owning Index Nodes in
 // parallel; it is acknowledged once every node has logged and cached the
 // entries, after which searches are guaranteed to see them.
-func (c *Client) Index(indexName string, updates []Update) error {
+func (c *Client) Index(ctx context.Context, indexName string, updates []Update) error {
 	if len(updates) == 0 {
 		return nil
 	}
@@ -226,43 +287,82 @@ func (c *Client) Index(indexName string, updates []Update) error {
 			Delete: u.Delete, GroupHint: u.Group,
 		})
 	}
-	return c.c.Index(indexName, converted)
+	return c.c.Index(ctx, indexName, converted)
 }
 
-// Result is the outcome of a search.
-type Result struct {
-	// Files are the matching file ids, ascending, de-duplicated.
-	Files []FileID
-	// Nodes is how many Index Nodes served the query in parallel.
-	Nodes int
-}
-
-// Search runs a query (package query syntax, e.g. "size>16m &
-// mtime<1day") against the named index across the whole cluster.
-func (c *Client) Search(indexName, queryStr string) (Result, error) {
-	res, err := c.c.Search(indexName, queryStr)
+// Search runs q against the cluster: the Master supplies the fan-out, all
+// owning Index Nodes are queried in parallel, and their (ascending) result
+// streams are merged. With q.Limit set the result is one page and each
+// node ships at most Limit postings; resume with q.Cursor = res.Next.
+//
+// An empty cluster yields an empty result. An unknown index yields
+// ErrIndexNotFound; malformed predicates yield ErrBadQuery; an expired
+// context deadline yields ErrTimeout.
+func (c *Client) Search(ctx context.Context, q Query) (Result, error) {
+	iq, err := q.toInternal()
 	if err != nil {
-		if errors.Is(err, client.ErrNoTargets) {
-			return Result{}, nil // empty cluster: no matches
-		}
 		return Result{}, err
 	}
-	return Result{Files: res.Files, Nodes: res.Nodes}, nil
+	res, err := c.c.Search(ctx, iq)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Files: res.Files, Nodes: res.Nodes, More: res.More}
+	if res.NextSet {
+		out.Next = Cursor{After: res.Next, Set: true, Anchor: res.Anchor}
+	}
+	return out, nil
+}
+
+// SearchStream runs q like Search but returns each Index Node's batch as
+// soon as that node responds instead of waiting for the slowest node:
+//
+//	st, err := cl.SearchStream(ctx, q)
+//	for b, ok := st.Next(); ok; b, ok = st.Next() {
+//		... // b.Files from b.Node
+//	}
+//	err = st.Err()
+//
+// Files are de-duplicated within a batch but not across batches (distinct
+// nodes hold distinct partitions, so cross-node duplicates only appear
+// transiently around group migrations). Cancelling the context aborts
+// outstanding node calls; abandoning the stream leaks nothing.
+func (c *Client) SearchStream(ctx context.Context, q Query) (*Stream, error) {
+	iq, err := q.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.c.SearchStream(ctx, iq)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{s: st}, nil
+}
+
+// SearchString runs a textual query against the named index.
+//
+// Deprecated: use Search with a Query — it adds context cancellation,
+// pagination, path scoping and typed predicates. This wrapper delegates to
+// Search with an unbounded context.
+func (c *Client) SearchString(indexName, queryStr string) (Result, error) {
+	return c.Search(context.Background(), Query{Index: indexName, Text: queryStr})
 }
 
 // SearchPath evaluates a dynamic query-directory path (the paper's
 // "/foo/bar/?size>1m" namespace syntax) against the named index. Scoping a
 // non-root directory requires a B-tree index over the "path" attribute
 // whose postings hold each file's path.
+//
+// Deprecated: use Search with Query{Path: dir, Text: predicate} — the
+// Path field subsumes the "/dir/?query" syntax and composes with
+// pagination and streaming. This wrapper delegates to Search with an
+// unbounded context.
 func (c *Client) SearchPath(indexName, pathQuery string) (Result, error) {
-	res, err := c.c.SearchDir(indexName, pathQuery)
+	dir, raw, err := query.SplitQueryPath(pathQuery)
 	if err != nil {
-		if errors.Is(err, client.ErrNoTargets) {
-			return Result{}, nil
-		}
 		return Result{}, err
 	}
-	return Result{Files: res.Files, Nodes: res.Nodes}, nil
+	return c.Search(context.Background(), Query{Index: indexName, Text: raw, Path: dir})
 }
 
 // Open records a file open in the access-capture layer (the FUSE
@@ -283,4 +383,4 @@ func (c *Client) EndProcess(proc PID) { c.c.EndProcess(proc) }
 
 // FlushCapture ships the captured access-causality graph to the cluster,
 // where it guides index partitioning.
-func (c *Client) FlushCapture() error { return c.c.FlushACG() }
+func (c *Client) FlushCapture(ctx context.Context) error { return c.c.FlushACG(ctx) }

@@ -163,6 +163,19 @@ func cmpInt64(a, b int64) int {
 	}
 }
 
+// EncodedLen returns the exact length Encode will append for v, letting
+// callers size a buffer in one allocation.
+func (v Value) EncodedLen() int {
+	switch v.kind {
+	case KindInt, KindTime, KindFloat:
+		return 9
+	case KindString:
+		return 1 + len(v.s)
+	default:
+		return 1
+	}
+}
+
 // Encode appends an order-preserving binary encoding of v to dst: byte
 // comparison of two encodings of the same kind matches Compare. Layout is a
 // kind tag followed by a payload:

@@ -46,6 +46,12 @@ type Config struct {
 	DisableLazyCache bool
 	// CacheLimit is each node's pending-entry bound before forced commit.
 	CacheLimit int
+	// SearchFanout bounds each node's multi-ACG search worker pool
+	// (0 = the node default: GOMAXPROCS capped at 8; 1 = serial pass).
+	// Virtual-time experiment drivers pin 1 so their simulated disk
+	// charges — and therefore their printed tables — are byte-identical
+	// across runs; deployments keep the parallel default.
+	SearchFanout int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +136,7 @@ func New(cfg Config) (*Cluster, error) {
 			Master:           masterConn,
 			Dial:             c.Dial,
 			DisableLazyCache: cfg.DisableLazyCache,
+			SearchFanout:     cfg.SearchFanout,
 		})
 		if err != nil {
 			return nil, err

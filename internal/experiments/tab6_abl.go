@@ -67,7 +67,7 @@ func runTab6(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	node, err := indexnode.New(indexnode.Config{ID: "pm", Store: store, Disk: disk, Clock: clock})
+	node, err := indexnode.New(indexnode.Config{ID: "pm", Store: store, Disk: disk, Clock: clock, SearchFanout: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +160,7 @@ func runAblLazyCache(opts Options) (*Result, error) {
 		node, err := indexnode.New(indexnode.Config{
 			ID: "abl", Store: store, Disk: disk, Clock: clk,
 			DisableLazyCache: disable, CacheLimit: 1 << 30,
+			SearchFanout: 1, // deterministic virtual-time charges
 		})
 		if err != nil {
 			return 0, err

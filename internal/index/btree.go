@@ -317,59 +317,155 @@ func (t *BTree) SearchRange(lo, hi *attr.Value, incLo, incHi bool) ([]FileID, er
 // ScanRange streams postings in the given interval to fn in key order; fn
 // returns false to stop early.
 func (t *BTree) ScanRange(lo, hi *attr.Value, incLo, incHi bool, fn func(attr.Value, FileID) bool) error {
-	var startKey []byte
+	var cur Cursor
+	cur.Reset(t)
+	var loKey []byte
 	if lo != nil {
-		startKey = lo.Encode(nil) // value prefix; file id suffix omitted -> seeks to first posting of lo
-	}
-	leafID, err := t.findLeaf(startKey)
-	if err != nil {
+		loKey = AppendValueKey(nil, *lo)
+		if err := cur.Seek(loKey); err != nil {
+			return err
+		}
+	} else if err := cur.SeekFirst(); err != nil {
 		return err
 	}
-	var hiEnc []byte
+	var hiKey []byte
 	if hi != nil {
-		hiEnc = hi.Encode(nil)
-	}
-	var loEnc []byte
-	if lo != nil {
-		loEnc = lo.Encode(nil)
+		hiKey = AppendValueKey(nil, *hi)
 	}
 	for {
-		n, err := t.readNode(leafID)
+		valKey, f, ok, err := cur.Next()
+		if err != nil || !ok {
+			return err
+		}
+		if loKey != nil {
+			c := bytes.Compare(valKey, loKey)
+			if c < 0 || (c == 0 && !incLo) {
+				continue
+			}
+		}
+		if hiKey != nil {
+			c := bytes.Compare(valKey, hiKey)
+			if c > 0 || (c == 0 && !incHi) {
+				return nil // keys are in (value, file) order; nothing further matches
+			}
+		}
+		v, err := decodeValueKey(valKey)
 		if err != nil {
 			return err
 		}
-		for _, k := range n.keys {
-			valEnc, f, err := splitComposite(k)
-			if err != nil {
-				return err
-			}
-			if loEnc != nil {
-				c := bytes.Compare(valEnc, loEnc)
-				if c < 0 || (c == 0 && !incLo) {
-					continue
-				}
-			}
-			if hiEnc != nil {
-				c := bytes.Compare(valEnc, hiEnc)
-				if c > 0 || (c == 0 && !incHi) {
-					if c > 0 {
-						return nil // keys are sorted; nothing further matches
-					}
-					continue
-				}
-			}
-			v, err := attr.Decode(valEnc)
-			if err != nil {
-				return err
-			}
-			if !fn(v, f) {
-				return nil
-			}
-		}
-		if n.next == noPage {
+		if !fn(v, f) {
 			return nil
 		}
-		leafID = pagestore.PageID(n.next)
+	}
+}
+
+// Cursor is a forward iterator over the tree's postings in key order. It is
+// the streaming access primitive behind every scan: position it with a Seek
+// method, then pull postings with Next — no candidate set is ever
+// materialized. A cursor is invalidated by tree mutation (Propeller scans
+// under the group lock, after commit-on-search, so nothing mutates
+// mid-scan). The zero Cursor is usable after Reset.
+type Cursor struct {
+	t   *BTree
+	n   *bnode
+	idx int
+	// scratch backs the composite keys the typed Seek forms build, so
+	// repeated seeks during one scan do not allocate.
+	scratch []byte
+}
+
+// NewCursor returns an unpositioned cursor; call a Seek method before Next.
+func (t *BTree) NewCursor() *Cursor {
+	c := &Cursor{}
+	c.Reset(t)
+	return c
+}
+
+// Reset re-targets the cursor at t (keeping its scratch buffer) and leaves
+// it unpositioned.
+func (c *Cursor) Reset(t *BTree) {
+	c.t = t
+	c.n = nil
+	c.idx = 0
+}
+
+// SeekFirst positions the cursor at the tree's smallest posting.
+func (c *Cursor) SeekFirst() error { return c.Seek(nil) }
+
+// Seek positions the cursor at the first composite key >= key (nil key =
+// leftmost). Composite keys order exactly like their (value, file) pairs
+// (see AppendValueKey), so seeking to a bare value key (no file-id tail)
+// lands precisely on that value's first posting.
+func (c *Cursor) Seek(key []byte) error {
+	leafID, err := c.t.findLeaf(key)
+	if err != nil {
+		return err
+	}
+	n, err := c.t.readNode(leafID)
+	if err != nil {
+		return err
+	}
+	c.n = n
+	c.idx = 0
+	if key != nil {
+		c.idx, _ = searchKeys(n.keys, key)
+	}
+	return nil
+}
+
+// SeekValue positions the cursor at the first posting whose value is >= v.
+func (c *Cursor) SeekValue(v attr.Value) error {
+	c.scratch = AppendValueKey(c.scratch[:0], v)
+	return c.Seek(c.scratch)
+}
+
+// SeekComposite positions the cursor at the first posting >= (v, f). This
+// is the paged-scan resume point: a page cursor at file id `after` within
+// an equality run restarts at (v, after+1) instead of re-scanning the run.
+func (c *Cursor) SeekComposite(v attr.Value, f FileID) error {
+	c.scratch = appendCompositeKey(c.scratch[:0], v, f)
+	return c.Seek(c.scratch)
+}
+
+// SeekEncodedComposite is SeekComposite for a value key as returned by
+// Next (the form scans use mid-flight, where keys are handled without
+// decoding).
+func (c *Cursor) SeekEncodedComposite(valKey []byte, f FileID) error {
+	c.scratch = append(c.scratch[:0], valKey...)
+	var tail [8]byte
+	binary.BigEndian.PutUint64(tail[:], uint64(f))
+	c.scratch = append(c.scratch, tail[:]...)
+	return c.Seek(c.scratch)
+}
+
+// Next returns the posting under the cursor as (value key, file id) and
+// advances. ok is false when the scan is exhausted. The returned value key
+// (the AppendValueKey form) stays valid after further cursor movement;
+// byte-comparing value keys matches value order, so scans bound and group
+// postings without decoding.
+func (c *Cursor) Next() (valKey []byte, f FileID, ok bool, err error) {
+	for {
+		if c.n == nil {
+			return nil, 0, false, nil
+		}
+		if c.idx < len(c.n.keys) {
+			k := c.n.keys[c.idx]
+			c.idx++
+			valKey, f, err = splitComposite(k)
+			return valKey, f, err == nil, err
+		}
+		// Leaf exhausted (possibly empty after lazy deletions): follow the
+		// sibling chain.
+		if c.n.next == noPage {
+			c.n = nil
+			return nil, 0, false, nil
+		}
+		n, err := c.t.readNode(pagestore.PageID(c.n.next))
+		if err != nil {
+			return nil, 0, false, err
+		}
+		c.n = n
+		c.idx = 0
 	}
 }
 

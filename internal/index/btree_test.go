@@ -1,8 +1,10 @@
 package index
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -320,6 +322,234 @@ func BenchmarkBTreeSearchEq(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := bt.SearchEq(attr.Int(int64(i % 100000))); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestCursorIteratesInKeyOrder: a cursor walk from SeekFirst visits every
+// posting exactly once, in composite-key order, across leaf splits.
+func TestCursorIteratesInKeyOrder(t *testing.T) {
+	bt := newTestBTree(t)
+	const n = 2000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		if err := bt.Insert(attr.Int(int64(i/4)), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := bt.NewCursor()
+	if err := cur.SeekFirst(); err != nil {
+		t.Fatal(err)
+	}
+	var prev []byte
+	var prevFile FileID
+	count := 0
+	for {
+		valEnc, f, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if prev != nil {
+			switch c := bytes.Compare(prev, valEnc); {
+			case c > 0:
+				t.Fatalf("values out of order at posting %d", count)
+			case c == 0:
+				if f <= prevFile {
+					t.Fatalf("files out of order within value run: %d after %d", f, prevFile)
+				}
+			}
+		}
+		prev = append(prev[:0], valEnc...)
+		prevFile = f
+		count++
+	}
+	if count != n {
+		t.Fatalf("cursor visited %d postings, want %d", count, n)
+	}
+}
+
+// TestCursorSeekComposite: SeekComposite lands on the first posting at or
+// after (value, file), resuming mid-run — the paged-scan resume point.
+func TestCursorSeekComposite(t *testing.T) {
+	bt := newTestBTree(t)
+	for i := 0; i < 500; i++ {
+		if err := bt.Insert(attr.Int(7), FileID(i*2)); err != nil { // even file ids only
+			t.Fatal(err)
+		}
+	}
+	if err := bt.Insert(attr.Int(9), FileID(1)); err != nil {
+		t.Fatal(err)
+	}
+	cur := bt.NewCursor()
+	// Resume after file 100: first posting is (7, 102).
+	if err := cur.SeekComposite(attr.Int(7), 101); err != nil {
+		t.Fatal(err)
+	}
+	_, f, ok, err := cur.Next()
+	if err != nil || !ok || f != 102 {
+		t.Fatalf("Next after SeekComposite(7,101) = %d ok=%v err=%v, want 102", f, ok, err)
+	}
+	// Seeking past the run lands on the next value's first posting.
+	if err := cur.SeekComposite(attr.Int(7), 999); err != nil {
+		t.Fatal(err)
+	}
+	valKey, f, ok, err := cur.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next past run: ok=%v err=%v", ok, err)
+	}
+	v, err := decodeValueKey(valKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 9 || f != 1 {
+		t.Fatalf("seek past run landed on (%v, %d), want (9, 1)", v, f)
+	}
+	// Seeking past everything exhausts the cursor.
+	if err := cur.SeekComposite(attr.Int(9), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := cur.Next(); ok || err != nil {
+		t.Fatalf("cursor past the last posting: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCursorSkipsEmptiedLeaves: lazy deletion can leave empty leaves in
+// the sibling chain; the cursor must walk through them.
+func TestCursorSkipsEmptiedLeaves(t *testing.T) {
+	bt := newTestBTree(t)
+	const n = 1200
+	for i := 0; i < n; i++ {
+		if err := bt.Insert(attr.Int(int64(i)), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Empty out a middle stripe, wide enough to drain whole leaves.
+	for i := 300; i < 900; i++ {
+		if err := bt.Delete(attr.Int(int64(i)), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := bt.NewCursor()
+	if err := cur.SeekValue(attr.Int(250)); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, f, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if f >= 300 && f < 900 {
+			t.Fatalf("cursor returned deleted posting %d", f)
+		}
+		count++
+	}
+	if count != (300-250)+(n-900) {
+		t.Fatalf("cursor visited %d postings, want %d", count, (300-250)+(n-900))
+	}
+}
+
+// TestScanRangeStringPrefixLowerBound: a bare-encoding seek can land on a
+// posting of a shorter string value that byte-prefixes lo when its file-id
+// tail sorts past lo's encoding; the scan's lower-bound check must reject
+// it (regression: the cursor rewrite briefly dropped the check and
+// SearchEq("ab") returned "a"'s posting).
+func TestScanRangeStringPrefixLowerBound(t *testing.T) {
+	bt := newTestBTree(t)
+	// 0x63 = 'c' as the tail's first byte: composite("a", f) sorts after
+	// the bare encoding of "ab".
+	f := FileID(0x6300000000000000)
+	if err := bt.Insert(attr.Str("a"), f); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Insert(attr.Str("ab"), 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bt.SearchEq(attr.Str("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("SearchEq(ab) = %v, want [1]", got)
+	}
+	got, err = bt.SearchRange(ptr(attr.Str("ab")), nil, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("SearchRange(ab..) = %v, want [1]", got)
+	}
+	// The prefix posting is still reachable below the bound.
+	got, err = bt.SearchEq(attr.Str("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != f {
+		t.Fatalf("SearchEq(a) = %v, want [%d]", got, f)
+	}
+}
+
+// TestCompositeKeyOrderMatchesPairOrder: composite keys must order exactly
+// like their (value, file) pairs for adversarial string values — prefixes
+// of each other, embedded NULs, 0xFF runs — which the escaped,
+// terminator-delimited value key guarantees (a raw `encoding || file id`
+// concatenation does not).
+func TestCompositeKeyOrderMatchesPairOrder(t *testing.T) {
+	values := []attr.Value{
+		attr.Str(""), attr.Str("a"), attr.Str("a\x00"), attr.Str("a\x00b"),
+		attr.Str("a\xff"), attr.Str("ab"), attr.Str("b"), attr.Str("\x00"),
+		attr.Str("\x00\xff"), attr.Int(0), attr.Int(-1), attr.Int(1 << 40),
+	}
+	files := []FileID{0, 1, 0x6300000000000000, math.MaxUint64}
+	type pair struct {
+		vi  int
+		f   FileID
+		key []byte
+	}
+	var pairs []pair
+	for vi, v := range values {
+		for _, f := range files {
+			pairs = append(pairs, pair{vi, f, compositeKey(v, f)})
+		}
+	}
+	valueLess := func(a, b int) bool {
+		va, vb := values[a], values[b]
+		if va.Kind() != vb.Kind() {
+			return va.Kind() < vb.Kind() // encoding orders by kind tag first
+		}
+		c, err := va.Compare(vb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c < 0
+	}
+	for _, a := range pairs {
+		for _, b := range pairs {
+			wantLess := valueLess(a.vi, b.vi) || (a.vi == b.vi && a.f < b.f)
+			if gotLess := bytes.Compare(a.key, b.key) < 0; gotLess != wantLess {
+				t.Errorf("key order (%v,%d) < (%v,%d): got %v, want %v",
+					values[a.vi], a.f, values[b.vi], b.f, gotLess, wantLess)
+			}
+		}
+	}
+	// And the decode round-trip survives the escaping.
+	for _, p := range pairs {
+		valKey, f, err := splitComposite(p.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := decodeValueKey(valKey)
+		if err != nil {
+			t.Fatalf("decode %v: %v", values[p.vi], err)
+		}
+		if !v.Equal(values[p.vi]) || f != p.f {
+			t.Errorf("round trip (%v,%d) = (%v,%d)", values[p.vi], p.f, v, f)
 		}
 	}
 }

@@ -196,21 +196,33 @@ func (h *HashIndex) Insert(v attr.Value, f FileID) error {
 
 // Lookup returns all files whose indexed value equals v.
 func (h *HashIndex) Lookup(v attr.Value) ([]FileID, error) {
-	valEnc := v.Encode(nil)
-	id := h.bucketFor(valEnc)
 	var out []FileID
+	err := h.LookupEach(v, func(f FileID) bool {
+		out = append(out, f)
+		return true
+	})
+	return out, err
+}
+
+// LookupEach streams the files whose indexed value equals v to fn, one at
+// a time in chain order; fn returns false to stop early. Nothing is
+// materialized: point lookups through LookupEach buffer at most one bucket
+// page, so a paged search's collector is the only candidate buffer.
+func (h *HashIndex) LookupEach(v attr.Value, fn func(FileID) bool) error {
+	valEnc := v.Encode(make([]byte, 0, v.EncodedLen()))
+	id := h.bucketFor(valEnc)
 	for {
 		b, err := h.readBucket(id)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, e := range b.entries {
-			if bytes.Equal(e.valEnc, valEnc) {
-				out = append(out, e.file)
+			if bytes.Equal(e.valEnc, valEnc) && !fn(e.file) {
+				return nil
 			}
 		}
 		if b.next == noPage {
-			return out, nil
+			return nil
 		}
 		id = pagestore.PageID(b.next)
 	}

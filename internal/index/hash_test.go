@@ -204,3 +204,54 @@ func TestHashMatchesModel(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLookupEachStreamsAndStopsEarly: LookupEach yields exactly the
+// matching files one at a time and honors an early stop.
+func TestLookupEachStreamsAndStopsEarly(t *testing.T) {
+	h := newTestHash(t, 8)
+	const dup = 50
+	for i := 0; i < dup; i++ {
+		if err := h.Insert(attr.Int(42), FileID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if err := h.Insert(attr.Int(int64(100+i)), FileID(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var streamed []FileID
+	if err := h.LookupEach(attr.Int(42), func(f FileID) bool {
+		streamed = append(streamed, f)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != dup {
+		t.Fatalf("LookupEach streamed %d files, want %d", len(streamed), dup)
+	}
+	for _, f := range streamed {
+		if f >= dup {
+			t.Errorf("file %d does not carry value 42", f)
+		}
+	}
+	// Early stop after 5 emissions.
+	calls := 0
+	if err := h.LookupEach(attr.Int(42), func(FileID) bool {
+		calls++
+		return calls < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Errorf("early stop after 5, got %d calls", calls)
+	}
+	// Lookup is the materializing wrapper and must agree.
+	all, err := h.Lookup(attr.Int(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(streamed) {
+		t.Errorf("Lookup = %d files, LookupEach = %d", len(all), len(streamed))
+	}
+}

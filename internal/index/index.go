@@ -47,20 +47,109 @@ var (
 	ErrKeyTooLong = errors.New("index: key exceeds maximum encodable length")
 )
 
-// compositeKey is an order-preserving encoding of (value, file): the value
-// encoding followed by the big-endian file id. Duplicate attribute values
-// are allowed; the composite is unique per posting.
+// compositeKey is an order-preserving encoding of (value, file): the
+// self-delimiting value key (AppendValueKey) followed by the big-endian
+// file id. Duplicate attribute values are allowed; the composite is unique
+// per posting, and composite byte order equals (value, file) pair order —
+// including across string values where one is a prefix of another, which a
+// raw `encoding || file id` concatenation gets wrong (the prefix value's
+// file-id tail can sort past the longer value).
 func compositeKey(v attr.Value, f FileID) []byte {
-	k := v.Encode(make([]byte, 0, 24))
-	var tail [8]byte
-	binary.BigEndian.PutUint64(tail[:], uint64(f))
-	return append(k, tail[:]...)
+	return appendCompositeKey(make([]byte, 0, 2*v.EncodedLen()+valueKeyTermLen+8), v, f)
 }
 
-// splitComposite recovers the value encoding and file id from a composite
-// key.
-func splitComposite(k []byte) (valEnc []byte, f FileID, err error) {
-	if len(k) < 9 {
+// appendCompositeKey appends the composite encoding of (value, file) to
+// dst, reusing its capacity (the hot-path form: a caller-held scratch
+// buffer makes repeated key construction allocation-free).
+func appendCompositeKey(dst []byte, v attr.Value, f FileID) []byte {
+	dst = AppendValueKey(dst, v)
+	var tail [8]byte
+	binary.BigEndian.PutUint64(tail[:], uint64(f))
+	return append(dst, tail[:]...)
+}
+
+// valueKeyTermLen is the length of the string value-key terminator.
+const valueKeyTermLen = 2
+
+// AppendValueKey appends the self-delimiting key form of v's encoding.
+// Fixed-width kinds (int, float, time — always 9 encoded bytes) append
+// their raw order-preserving encoding: equal lengths cannot prefix each
+// other, so no delimiting is needed and keys stay as dense as the raw
+// form. Variable-length string values escape embedded 0x00 bytes as
+// 0x00 0xFF and end with a 0x00 0x01 terminator: the escape preserves
+// byte order and the terminator sorts below any escaped continuation, so
+// a value that prefixes another still sorts strictly first. Either way,
+// value keys — and the composite (value key || file id) keys built from
+// them — order exactly like their (value, file) pairs; B-tree scans
+// compare these keys to bound their range without decoding. (Kinds are
+// distinguished by the leading tag byte, which is never 0x00, so the two
+// forms coexist in one tree.)
+func AppendValueKey(dst []byte, v attr.Value) []byte {
+	if v.Kind() != attr.KindString {
+		return v.Encode(dst)
+	}
+	var tmp [24]byte
+	raw := v.Encode(tmp[:0])
+	for _, b := range raw {
+		if b == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, b)
+		}
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// CompositeKeyFits reports whether (v, file) postings are encodable as
+// index keys (a page must fit several keys, so key length is bounded).
+// Index Nodes check this when acknowledging an update, so an oversize
+// value is rejected synchronously instead of surfacing as a commit
+// failure long after the caller was told the update succeeded.
+func CompositeKeyFits(v attr.Value) bool {
+	n := v.EncodedLen()
+	if v.Kind() == attr.KindString {
+		s := v.AsString()
+		for i := 0; i < len(s); i++ {
+			if s[i] == 0x00 {
+				n++ // escaped to two bytes
+			}
+		}
+		n += valueKeyTermLen
+	}
+	return n+8 <= maxKeyLen
+}
+
+// decodeValueKey reverses AppendValueKey: strings are unescaped and
+// stripped of their terminator; other kinds decode directly.
+func decodeValueKey(key []byte) (attr.Value, error) {
+	if len(key) == 0 {
+		return attr.Value{}, ErrCorrupt
+	}
+	if attr.Kind(key[0]) != attr.KindString {
+		return attr.Decode(key)
+	}
+	if len(key) < valueKeyTermLen || key[len(key)-2] != 0x00 || key[len(key)-1] != 0x01 {
+		return attr.Value{}, ErrCorrupt
+	}
+	payload := key[:len(key)-valueKeyTermLen]
+	raw := make([]byte, 0, len(payload))
+	for i := 0; i < len(payload); i++ {
+		b := payload[i]
+		if b == 0x00 {
+			i++
+			if i >= len(payload) || payload[i] != 0xFF {
+				return attr.Value{}, ErrCorrupt
+			}
+		}
+		raw = append(raw, b)
+	}
+	return attr.Decode(raw)
+}
+
+// splitComposite recovers the value key (still escaped and terminated —
+// the form scans compare) and the file id from a composite key.
+func splitComposite(k []byte) (valKey []byte, f FileID, err error) {
+	if len(k) < valueKeyTermLen+1+8 {
 		return nil, 0, ErrCorrupt
 	}
 	cut := len(k) - 8

@@ -241,18 +241,29 @@ func (t *PagedKDTree) Len() int { return t.size }
 // RangeSearch returns the files inside the axis-aligned box [lo, hi]
 // (inclusive), faulting in only the pages the box intersects.
 func (t *PagedKDTree) RangeSearch(lo, hi []float64) ([]FileID, error) {
+	var out []FileID
+	err := t.RangeSearchFunc(lo, hi, func(f FileID) bool {
+		out = append(out, f)
+		return true
+	})
+	return out, err
+}
+
+// RangeSearchFunc streams the files inside the axis-aligned box [lo, hi]
+// (inclusive) to fn, faulting in only the pages the box intersects; fn
+// returns false to stop early (pages past the stop are never read).
+func (t *PagedKDTree) RangeSearchFunc(lo, hi []float64, fn func(FileID) bool) error {
 	if len(lo) != t.dims || len(hi) != t.dims {
-		return nil, fmt.Errorf("paged kdtree: box dims %d/%d, want %d", len(lo), len(hi), t.dims)
+		return fmt.Errorf("paged kdtree: box dims %d/%d, want %d", len(lo), len(hi), t.dims)
 	}
 	if t.root.slot == kdRefNone {
-		return nil, nil
+		return nil
 	}
-	var out []FileID
 	// Per-query page cache: one fault per distinct page per query; the
 	// pool handles cross-query residency.
 	cache := make(map[pagestore.PageID]*kdPage)
-	err := t.search(t.root, lo, hi, 0, cache, &out)
-	return out, err
+	_, err := t.search(t.root, lo, hi, 0, cache, fn)
+	return err
 }
 
 func (t *PagedKDTree) page(id pagestore.PageID, cache map[pagestore.PageID]*kdPage) (*kdPage, error) {
@@ -271,16 +282,18 @@ func (t *PagedKDTree) page(id pagestore.PageID, cache map[pagestore.PageID]*kdPa
 	return pg, nil
 }
 
-func (t *PagedKDTree) search(ref kdRef, lo, hi []float64, depth int, cache map[pagestore.PageID]*kdPage, out *[]FileID) error {
+// search traverses the subtree at ref; cont=false propagates fn's early
+// stop up the recursion.
+func (t *PagedKDTree) search(ref kdRef, lo, hi []float64, depth int, cache map[pagestore.PageID]*kdPage, fn func(FileID) bool) (cont bool, err error) {
 	if ref.slot == kdRefNone {
-		return nil
+		return true, nil
 	}
 	pg, err := t.page(ref.page, cache)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if int(ref.slot) >= len(pg.nodes) {
-		return fmt.Errorf("%w: kd slot %d of %d", ErrCorrupt, ref.slot, len(pg.nodes))
+		return false, fmt.Errorf("%w: kd slot %d of %d", ErrCorrupt, ref.slot, len(pg.nodes))
 	}
 	n := pg.nodes[ref.slot]
 	inside := true
@@ -290,21 +303,21 @@ func (t *PagedKDTree) search(ref kdRef, lo, hi []float64, depth int, cache map[p
 			break
 		}
 	}
-	if inside {
-		*out = append(*out, n.point.File)
+	if inside && !fn(n.point.File) {
+		return false, nil
 	}
 	axis := depth % t.dims
 	if lo[axis] <= n.point.Coords[axis] {
-		if err := t.search(n.left, lo, hi, depth+1, cache, out); err != nil {
-			return err
+		if cont, err := t.search(n.left, lo, hi, depth+1, cache, fn); err != nil || !cont {
+			return cont, err
 		}
 	}
 	if hi[axis] >= n.point.Coords[axis] {
-		if err := t.search(n.right, lo, hi, depth+1, cache, out); err != nil {
-			return err
+		if cont, err := t.search(n.right, lo, hi, depth+1, cache, fn); err != nil || !cont {
+			return cont, err
 		}
 	}
-	return nil
+	return true, nil
 }
 
 // NumPages reports how many pages the tree occupies (tests and the

@@ -215,3 +215,42 @@ func BenchmarkPagedKDRange(b *testing.B) {
 		}
 	}
 }
+
+// TestPagedRangeSearchFuncEarlyStop: the paged tree's streaming form
+// matches RangeSearch and stops faulting pages after fn returns false.
+func TestPagedRangeSearchFuncEarlyStop(t *testing.T) {
+	store := newTestStore(t, 4096)
+	pts := make([]Point, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		pts = append(pts, Point{Coords: []float64{float64(i), float64(i)}, File: FileID(i)})
+	}
+	kd, err := BuildPagedKDTree(store, 2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := []float64{100, 100}, []float64{2900, 2900}
+	want, err := kd.RangeSearch(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	if err := kd.RangeSearchFunc(lo, hi, func(FileID) bool {
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != len(want) {
+		t.Fatalf("streamed %d files, RangeSearch returned %d", got, len(want))
+	}
+	calls := 0
+	if err := kd.RangeSearchFunc(lo, hi, func(FileID) bool {
+		calls++
+		return calls < 7
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 {
+		t.Errorf("early stop after 7, got %d calls", calls)
+	}
+}

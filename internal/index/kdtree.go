@@ -108,17 +108,30 @@ func insertNode(n *kdnode, p Point, depth, dims int) *kdnode {
 // RangeSearch returns the files of all points inside the axis-aligned box
 // [lo[i], hi[i]] (inclusive on both ends).
 func (t *KDTree) RangeSearch(lo, hi []float64) ([]FileID, error) {
-	if len(lo) != t.dims || len(hi) != t.dims {
-		return nil, fmt.Errorf("kdtree: box dims %d/%d, want %d", len(lo), len(hi), t.dims)
-	}
 	var out []FileID
-	rangeSearch(t.root, lo, hi, 0, t.dims, &out)
-	return out, nil
+	err := t.RangeSearchFunc(lo, hi, func(f FileID) bool {
+		out = append(out, f)
+		return true
+	})
+	return out, err
 }
 
-func rangeSearch(n *kdnode, lo, hi []float64, depth, dims int, out *[]FileID) {
+// RangeSearchFunc streams the files of all points inside the axis-aligned
+// box [lo[i], hi[i]] (inclusive) to fn, one at a time in traversal order;
+// fn returns false to stop early. No candidate set is materialized, so a
+// paged search's collector is the only buffer on the KD access path.
+func (t *KDTree) RangeSearchFunc(lo, hi []float64, fn func(FileID) bool) error {
+	if len(lo) != t.dims || len(hi) != t.dims {
+		return fmt.Errorf("kdtree: box dims %d/%d, want %d", len(lo), len(hi), t.dims)
+	}
+	rangeSearchFunc(t.root, lo, hi, 0, t.dims, fn)
+	return nil
+}
+
+// rangeSearchFunc reports whether the traversal should continue.
+func rangeSearchFunc(n *kdnode, lo, hi []float64, depth, dims int, fn func(FileID) bool) bool {
 	if n == nil {
-		return
+		return true
 	}
 	inside := true
 	for i := 0; i < dims; i++ {
@@ -127,16 +140,17 @@ func rangeSearch(n *kdnode, lo, hi []float64, depth, dims int, out *[]FileID) {
 			break
 		}
 	}
-	if inside {
-		*out = append(*out, n.point.File)
+	if inside && !fn(n.point.File) {
+		return false
 	}
 	axis := depth % dims
-	if lo[axis] <= n.point.Coords[axis] {
-		rangeSearch(n.left, lo, hi, depth+1, dims, out)
+	if lo[axis] <= n.point.Coords[axis] && !rangeSearchFunc(n.left, lo, hi, depth+1, dims, fn) {
+		return false
 	}
-	if hi[axis] >= n.point.Coords[axis] {
-		rangeSearch(n.right, lo, hi, depth+1, dims, out)
+	if hi[axis] >= n.point.Coords[axis] && !rangeSearchFunc(n.right, lo, hi, depth+1, dims, fn) {
+		return false
 	}
+	return true
 }
 
 // Nearest returns the file of the point closest to q in Euclidean distance,

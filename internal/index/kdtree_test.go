@@ -228,3 +228,51 @@ func TestLoadKDTreeChargesDisk(t *testing.T) {
 		t.Errorf("LoadKDTree without disk: %v", err)
 	}
 }
+
+// TestRangeSearchFuncStreamsAndStopsEarly: the streaming form visits the
+// same files as RangeSearch and honors an early stop mid-traversal.
+func TestRangeSearchFuncStreamsAndStopsEarly(t *testing.T) {
+	pts := make([]Point, 0, 100)
+	for i := 0; i < 100; i++ {
+		pts = append(pts, Point{Coords: []float64{float64(i), float64(i % 10)}, File: FileID(i)})
+	}
+	kd, err := BuildKDTree(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := []float64{20, 0}, []float64{80, 5}
+	want, err := kd.RangeSearch(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[FileID]bool{}
+	if err := kd.RangeSearchFunc(lo, hi, func(f FileID) bool {
+		got[f] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("RangeSearchFunc streamed %d files, RangeSearch returned %d", len(got), len(want))
+	}
+	for _, f := range want {
+		if !got[f] {
+			t.Errorf("file %d missing from the stream", f)
+		}
+	}
+	// Early stop: traversal halts after 3 emissions.
+	calls := 0
+	if err := kd.RangeSearchFunc(lo, hi, func(FileID) bool {
+		calls++
+		return calls < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("early stop after 3, got %d calls", calls)
+	}
+	// Dimension mismatch still errors.
+	if err := kd.RangeSearchFunc([]float64{0}, hi, func(FileID) bool { return true }); err == nil {
+		t.Error("bad box dims should error")
+	}
+}

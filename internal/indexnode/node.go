@@ -92,6 +92,9 @@ type Config struct {
 	Dial Dialer
 	// DisableLazyCache commits every update synchronously (ablation).
 	DisableLazyCache bool
+	// SearchFanout bounds the worker pool a multi-ACG search fans out
+	// over (0 = GOMAXPROCS capped at 8; 1 = serial pass).
+	SearchFanout int
 }
 
 func (c Config) withDefaults() Config {
@@ -182,6 +185,9 @@ type Node struct {
 	commitNanos   metrics.Counter
 	commitEntries metrics.Counter
 	splitsDone    metrics.Counter
+	// hashScanFallbacks counts searches a hash index could not serve as a
+	// point lookup and silently degraded to a full-table scan.
+	hashScanFallbacks metrics.Counter
 	// per-ACG commit/entry counters, labelled by decimal ACGID.
 	acgCommits       metrics.CounterSet
 	acgCommitEntries metrics.CounterSet
@@ -440,6 +446,18 @@ func (n *Node) CreateACG(_ context.Context, req proto.CreateACGReq) (proto.Creat
 func (n *Node) Update(ctx context.Context, req proto.UpdateReq) (proto.UpdateResp, error) {
 	if err := n.ensureSpec(ctx, req.IndexName); err != nil {
 		return proto.UpdateResp{}, err
+	}
+	// Reject unindexable values before the acknowledgement: a value whose
+	// key exceeds the page bound would otherwise be accepted here and then
+	// fail every commit of the group, wedging its strict-consistency
+	// searches forever.
+	if spec, ok := n.lookupSpec(req.IndexName); ok && spec.Type != proto.IndexKD {
+		for _, e := range req.Entries {
+			if !e.Delete && !index.CompositeKeyFits(e.Value) {
+				return proto.UpdateResp{}, fmt.Errorf("indexnode update %q file %d: %w",
+					req.IndexName, e.File, index.ErrKeyTooLong)
+			}
+		}
 	}
 	rec, err := encodeWALRecord(req)
 	if err != nil {
@@ -785,6 +803,7 @@ func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeSta
 	}
 	resp.Commits = n.commits.Value()
 	resp.CommitEntries = n.commitEntries.Value()
+	resp.HashScanFallbacks = n.hashScanFallbacks.Value()
 	ws := n.walGC.Stats()
 	resp.WALBatches = ws.Batches
 	resp.WALBatchedRecords = ws.Records

@@ -3,6 +3,7 @@ package indexnode
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -478,5 +479,35 @@ func TestHeartbeatWithoutMaster(t *testing.T) {
 	}
 	if _, err := n.SplitACG(context.Background(), proto.SplitACGReq{ACG: 1}); !errors.Is(err, ErrNoMaster) {
 		t.Errorf("split err = %v, want ErrNoMaster", err)
+	}
+}
+
+// TestUpdateRejectsOversizeValueBeforeAck: a value whose index key cannot
+// fit a page must be rejected at Update time — never acknowledged and then
+// failed inside a later commit, which would wedge the group's
+// strict-consistency searches forever.
+func TestUpdateRejectsOversizeValueBeforeAck(t *testing.T) {
+	n, _ := newTestNode(t)
+	n.DeclareIndex(proto.IndexSpec{Name: "kw", Type: proto.IndexBTree, Field: "kw"})
+	ctx := context.Background()
+	huge := strings.Repeat("x", 1<<14)
+	_, err := n.Update(ctx, proto.UpdateReq{ACG: 1, IndexName: "kw", Entries: []proto.IndexEntry{
+		{File: 1, Value: attr.Str(huge)},
+	}})
+	if !errors.Is(err, index.ErrKeyTooLong) {
+		t.Fatalf("oversize update err = %v, want index.ErrKeyTooLong", err)
+	}
+	// The group is not wedged: a normal update and search still work.
+	if _, err := n.Update(ctx, proto.UpdateReq{ACG: 1, IndexName: "kw", Entries: []proto.IndexEntry{
+		{File: 2, Value: attr.Str("ok")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := n.Search(ctx, proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "kw", Query: "kw=ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 1 || resp.Files[0] != 2 {
+		t.Fatalf("search after rejected oversize = %v, want [2]", resp.Files)
 	}
 }

@@ -1,9 +1,13 @@
 package indexnode
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"propeller/internal/attr"
@@ -32,9 +36,14 @@ func compileQuery(req proto.SearchReq) (query.Query, error) {
 // stalls traffic on unrelated ACGs.
 //
 // Pagination: with req.Limit > 0 the response holds at most Limit files —
-// the smallest matching FileIDs above the req.After cursor — and the node
-// never retains more than one page of postings while serving the request
-// (resp.MaxRetained). resp.More signals that another page exists.
+// the smallest matching FileIDs above the req.After cursor — and every
+// access path (B-tree scan, hash lookup, KD box) streams its candidates
+// into a bounded collector, so no collector ever retains more than one
+// page of postings (resp.MaxRetained). resp.More signals that another
+// page exists.
+//
+// Parallelism: multi-ACG requests fan out across a bounded worker pool
+// (per-worker collectors, merged at the end); see searchGroups.
 //
 // Cancellation: the context is checked between groups; an expired deadline
 // or cancelled caller aborts the pass without scanning further groups.
@@ -152,13 +161,12 @@ func (c *pageCollector) siftDown(i int) {
 	}
 }
 
-// noteMaterialized records postings a non-streaming access path (hash
-// point lookup, KD box query) materialized before the collector saw them,
-// so MaxRetained reports true peak buffering instead of hiding it.
-func (c *pageCollector) noteMaterialized(n int) {
-	if n > c.maxRetained {
-		c.maxRetained = n
-	}
+// pageClosed reports that f — and therefore any candidate at or above it —
+// can no longer enter the page (the page is full and f is at or beyond its
+// maximum). Sources that yield candidates in ascending file order may stop
+// once the page is closed and overflow has been recorded.
+func (c *pageCollector) pageClosed(f index.FileID) bool {
+	return c.limit > 0 && len(c.heap) == c.limit && f >= c.heap[0]
 }
 
 // page returns the collected files ascending and de-duplicated, plus
@@ -173,166 +181,492 @@ func (c *pageCollector) page() (files []index.FileID, more bool) {
 	return index.SortDedup(files), c.overflow
 }
 
-// searchGroups runs one commit-and-query pass over the requested groups.
-func (n *Node) searchGroups(ctx context.Context, req proto.SearchReq, q query.Query) (proto.SearchResp, error) {
-	var resp proto.SearchResp
-	col := newPageCollector(req)
-	for _, id := range req.ACGs {
-		if err := ctx.Err(); err != nil {
-			return proto.SearchResp{}, fmt.Errorf("indexnode search acg %d: %w", id, perr.Ctx(err))
-		}
-		g := n.lockGroup(id)
-		if g == nil {
-			continue // group not on this node (stale routing); nothing to add
-		}
-		if req.Consistency != proto.ConsistencyLazy {
-			commitStart := n.cfg.Clock.Now()
-			if err := n.commitGroupLocked(g); err != nil {
-				g.mu.Unlock()
-				return proto.SearchResp{}, err
-			}
-			resp.CommitLatencyNanos += int64(n.cfg.Clock.Now() - commitStart)
-		}
-		err := n.searchGroupLocked(g, req.IndexName, q, col)
-		g.mu.Unlock()
-		if err != nil {
-			return proto.SearchResp{}, err
+// maxSearchFanout caps the per-request worker pool: enough to overlap
+// per-group commits and page faults, small enough that a single request
+// cannot monopolize the node.
+const maxSearchFanout = 8
+
+// searchFanout returns the worker count for a pass over nACGs groups:
+// Config.SearchFanout when set, else GOMAXPROCS capped at maxSearchFanout,
+// never more than one worker per group.
+func (n *Node) searchFanout(nACGs int) int {
+	w := n.cfg.SearchFanout
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > maxSearchFanout {
+			w = maxSearchFanout
 		}
 	}
-	resp.Files, resp.More = col.page()
-	resp.MaxRetained = col.maxRetained
+	if w > nACGs {
+		w = nACGs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// searchGroups runs one commit-and-query pass over the requested groups.
+// With more than one worker the ACGs fan out across a bounded pool: each
+// worker commits and scans whole groups under their own locks and feeds a
+// private pageCollector (no shared mutable state on the scan path), and
+// the per-worker pages — each at most Limit postings — merge through one
+// final collector. Results are identical to the serial pass regardless of
+// scheduling, because every collector keeps the smallest admissible ids.
+func (n *Node) searchGroups(ctx context.Context, req proto.SearchReq, q query.Query) (proto.SearchResp, error) {
+	workers := n.searchFanout(len(req.ACGs))
+	if workers <= 1 {
+		var resp proto.SearchResp
+		col := newPageCollector(req)
+		sc := newGroupScanner(n, q, req, col)
+		for _, id := range req.ACGs {
+			if err := ctx.Err(); err != nil {
+				return proto.SearchResp{}, fmt.Errorf("indexnode search acg %d: %w", id, perr.Ctx(err))
+			}
+			nanos, err := n.searchOneGroup(id, req, sc)
+			if err != nil {
+				return proto.SearchResp{}, err
+			}
+			resp.CommitLatencyNanos += nanos
+		}
+		resp.Files, resp.More = col.page()
+		resp.MaxRetained = col.maxRetained
+		return resp, nil
+	}
+
+	var (
+		next        atomic.Int64 // index of the next ACG to claim
+		commitNanos atomic.Int64
+		wg          sync.WaitGroup
+		errOnce     sync.Once
+		firstErr    error
+	)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel() // abort the other workers' remaining groups
+		})
+	}
+	cols := make([]*pageCollector, workers)
+	for w := 0; w < workers; w++ {
+		col := newPageCollector(req)
+		cols[w] = col
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newGroupScanner(n, q, req, col)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.ACGs) {
+					return
+				}
+				id := req.ACGs[i]
+				if err := cctx.Err(); err != nil {
+					fail(fmt.Errorf("indexnode search acg %d: %w", id, perr.Ctx(err)))
+					return
+				}
+				nanos, err := n.searchOneGroup(id, req, sc)
+				if err != nil {
+					fail(err)
+					return
+				}
+				// Commit windows of concurrent workers overlap on the shared
+				// virtual clock (one worker's window includes the others'
+				// charges), so summing them would over-report. Keep the
+				// slowest window — the fork/join model the virtual clock
+				// prescribes for parallel work.
+				for {
+					cur := commitNanos.Load()
+					if nanos <= cur || commitNanos.CompareAndSwap(cur, nanos) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return proto.SearchResp{}, firstErr
+	}
+
+	// Merge the per-worker pages. Feeding each worker's (sorted, deduped,
+	// <= Limit postings) page through a final collector re-applies the
+	// page budget and cross-worker dedup; any worker overflow means the
+	// total match count exceeds the page, so More carries over.
+	var resp proto.SearchResp
+	final := newPageCollector(req)
+	maxRetained, more := 0, false
+	for _, c := range cols {
+		files, m := c.page()
+		more = more || m
+		if c.maxRetained > maxRetained {
+			maxRetained = c.maxRetained
+		}
+		for _, f := range files {
+			final.add(f)
+		}
+	}
+	resp.Files, resp.More = final.page()
+	resp.More = resp.More || more
+	if final.maxRetained > maxRetained {
+		maxRetained = final.maxRetained
+	}
+	resp.MaxRetained = maxRetained
+	resp.CommitLatencyNanos = commitNanos.Load()
 	return resp, nil
+}
+
+// searchOneGroup commits (unless lazy) and queries one group as a single
+// critical section under the group's own lock, feeding matches into sc's
+// collector. It returns the virtual time the commit cost.
+func (n *Node) searchOneGroup(id proto.ACGID, req proto.SearchReq, sc *groupScanner) (commitNanos int64, err error) {
+	g := n.lockGroup(id)
+	if g == nil {
+		return 0, nil // group not on this node (stale routing); nothing to add
+	}
+	defer g.mu.Unlock()
+	if req.Consistency != proto.ConsistencyLazy {
+		start := n.cfg.Clock.Now()
+		if err := n.commitGroupLocked(g); err != nil {
+			return 0, err
+		}
+		commitNanos = int64(n.cfg.Clock.Now() - start)
+	}
+	return commitNanos, sc.searchGroupLocked(g, req.IndexName)
+}
+
+// seekRunThreshold is how many consecutive same-value postings a B-tree
+// scan skips linearly (cursor-filtered or lo-excluded) before issuing a
+// tree seek past the run. Short runs stay on the cheap sibling walk; long
+// duplicate runs cost one O(height) descent instead of O(run).
+const seekRunThreshold = 8
+
+// groupScanner executes one compiled query against successive groups,
+// feeding one collector. Its closures and scratch buffers are allocated
+// once per (worker, request) and reused for every group and candidate, so
+// the per-group hot loop allocates nothing beyond the page reads the
+// indices themselves perform.
+type groupScanner struct {
+	n   *Node
+	q   query.Query
+	col *pageCollector
+
+	after    index.FileID
+	afterSet bool
+
+	// Per-group scan state, set by searchGroupLocked. curFile is the
+	// candidate under residual evaluation; skipResidual is set when the
+	// primary access path already proves every candidate it yields
+	// (KD-only box queries).
+	g            *group
+	in           *inst
+	name         string
+	curFile      index.FileID
+	skipResidual bool
+
+	// Reused closures (built once in newGroupScanner).
+	emit     func(index.FileID) bool
+	scanEmit func(attr.Value, index.FileID) bool
+	getField func(string) (attr.Value, bool)
+
+	// Cached per-request interval for the index's field (every group of a
+	// request shares one index spec, so the intersection and its bound
+	// allocations happen once, not per group).
+	ivInit bool
+	ivOK   bool
+	iv     query.Interval
+	// Cached KD box (kdLo/kdHi below) and its exactness.
+	kdInit  bool
+	kdExact bool
+
+	// Reused scratch: B-tree cursor and encoded bounds, KD box.
+	cur          index.Cursor
+	loBuf, hiBuf []byte
+	kdLo, kdHi   []float64
+}
+
+func newGroupScanner(n *Node, q query.Query, req proto.SearchReq, col *pageCollector) *groupScanner {
+	sc := &groupScanner{n: n, q: q, col: col, after: req.After, afterSet: req.AfterSet}
+	sc.getField = func(field string) (attr.Value, bool) {
+		if sc.in.kd != nil {
+			for i, kf := range sc.in.spec.Fields {
+				if kf != field {
+					continue
+				}
+				if e, ok := sc.g.postings[sc.name][sc.curFile]; ok && i < len(e.KDCoords) {
+					return attr.Float(e.KDCoords[i]), true
+				}
+			}
+		}
+		return sc.n.attrValue(sc.g, field, sc.curFile)
+	}
+	sc.emit = func(f index.FileID) bool {
+		if !sc.skipResidual {
+			sc.curFile = f
+			if !sc.q.Matches(sc.getField) {
+				return true
+			}
+		}
+		sc.col.add(f)
+		return true
+	}
+	sc.scanEmit = func(_ attr.Value, f index.FileID) bool { return sc.emit(f) }
+	return sc
 }
 
 // searchGroupLocked runs the query against one group using the named index
 // as the primary access path and the group's committed postings for the
-// residual predicates, feeding matches into the page collector. Caller
-// holds g.mu.
-func (n *Node) searchGroupLocked(g *group, indexName string, q query.Query, col *pageCollector) error {
+// residual predicates. Caller holds g.mu.
+func (sc *groupScanner) searchGroupLocked(g *group, indexName string) error {
 	in, ok := g.indexes[indexName]
 	if !ok {
 		// The group never received postings for this index: no matches.
 		return nil
 	}
-	spec := in.spec
-
-	// residual evaluates the non-indexed predicates for one candidate. KD
-	// fields resolve through the point's coordinates.
-	residual := func(f index.FileID) bool {
-		return q.Matches(func(field string) (attr.Value, bool) {
-			if in.kd != nil {
-				for i, kf := range spec.Fields {
-					if kf != field {
-						continue
-					}
-					if e, ok := g.postings[indexName][f]; ok && i < len(e.KDCoords) {
-						return attr.Float(e.KDCoords[i]), true
-					}
-				}
-			}
-			return n.attrValue(g, field, f)
-		})
-	}
-	emit := func(f index.FileID) {
-		if residual(f) {
-			col.add(f)
-		}
-	}
-
+	sc.g, sc.in, sc.name = g, in, indexName
+	sc.skipResidual = false
 	switch {
 	case in.bt != nil:
-		lo, hi, incLo, incHi, ok := q.Range(spec.Field)
-		if !ok {
-			lo, hi, incLo, incHi = nil, nil, true, true // full scan
-		}
-		// ScanRange streams candidates one at a time, so only the page
-		// collector's bounded buffer is ever materialized.
-		return in.bt.ScanRange(lo, hi, incLo, incHi, func(_ attr.Value, f index.FileID) bool {
-			emit(f)
-			return true
-		})
+		return sc.scanBTree()
 	case in.ht != nil:
-		lo, hi, _, _, ok := q.Range(spec.Field)
-		if ok && lo != nil && hi != nil && lo.Equal(*hi) {
-			candidates, err := in.ht.Lookup(*lo)
-			if err != nil {
-				return err
-			}
-			col.noteMaterialized(len(candidates))
-			for _, f := range candidates {
-				emit(f)
-			}
-			return nil
-		}
-		// Hash tables only serve point queries; fall back to a scan.
-		return in.ht.Scan(func(_ attr.Value, f index.FileID) bool {
-			emit(f)
-			return true
-		})
+		return sc.scanHash()
 	case in.kd != nil:
-		candidates, err := n.kdSearchLocked(in, q)
-		if err != nil {
-			return err
-		}
-		col.noteMaterialized(len(candidates))
-		for _, f := range candidates {
-			emit(f)
-		}
-		return nil
+		return sc.scanKD()
 	default:
 		return fmt.Errorf("%q: %w", indexName, ErrUnknownIndex)
 	}
 }
 
-// kdOnlyQuery reports whether every query field is covered by the KD spec.
-func (n *Node) kdOnlyQuery(q query.Query, spec proto.IndexSpec) bool {
-	covered := make(map[string]bool, len(spec.Fields))
-	for _, f := range spec.Fields {
-		covered[f] = true
+// scanBTree streams the index's postings in key order through the cursor.
+// Pagination resumes by seek instead of scan-and-discard: an inclusive
+// lower bound starts directly at (lo, After+1), and inside the scan a run
+// of same-value postings at or below the cursor is skipped with one
+// descent once it exceeds seekRunThreshold. Equality scans additionally
+// stop early: their postings arrive in ascending file order, so once the
+// page is full and overflow is recorded nothing later can matter.
+func (sc *groupScanner) scanBTree() error {
+	iv, ok := sc.fieldInterval()
+	if !ok {
+		iv = query.Interval{IncLo: true, IncHi: true} // full scan
 	}
+	if sc.afterSet && sc.after == math.MaxUint64 {
+		return nil // no file id can exceed the cursor
+	}
+	var loEnc, hiEnc []byte
+	if iv.Lo != nil {
+		sc.loBuf = index.AppendValueKey(sc.loBuf[:0], *iv.Lo)
+		loEnc = sc.loBuf
+	}
+	if iv.Hi != nil {
+		sc.hiBuf = index.AppendValueKey(sc.hiBuf[:0], *iv.Hi)
+		hiEnc = sc.hiBuf
+	}
+	eqScan := loEnc != nil && hiEnc != nil && iv.IncLo && iv.IncHi && bytes.Equal(loEnc, hiEnc)
+
+	cur := &sc.cur
+	cur.Reset(sc.in.bt)
+	var err error
+	switch {
+	case loEnc != nil && iv.IncLo && sc.afterSet:
+		// Postings of the lo value at or below the cursor are inadmissible;
+		// resume exactly where the previous page left off.
+		err = cur.SeekEncodedComposite(loEnc, sc.after+1)
+	case loEnc != nil:
+		err = cur.Seek(loEnc)
+	default:
+		err = cur.SeekFirst()
+	}
+	if err != nil {
+		return err
+	}
+
+	var prevSkip []byte
+	skipRun := 0
+	for {
+		valEnc, f, ok, err := cur.Next()
+		if err != nil || !ok {
+			return err
+		}
+		if loEnc != nil {
+			switch c := bytes.Compare(valEnc, loEnc); {
+			case c < 0:
+				continue // unreachable after the seek; cheap invariant guard
+			case c == 0 && !iv.IncLo:
+				// Exclusive lower bound: hop past the lo run once it proves
+				// long.
+				skipRun++
+				if skipRun == seekRunThreshold {
+					if err := cur.SeekEncodedComposite(valEnc, math.MaxUint64); err != nil {
+						return err
+					}
+					skipRun = 0
+				}
+				continue
+			}
+		}
+		if hiEnc != nil {
+			c := bytes.Compare(valEnc, hiEnc)
+			if c > 0 || (c == 0 && !iv.IncHi) {
+				return nil // keys are sorted; nothing further matches
+			}
+		}
+		if sc.afterSet && f <= sc.after {
+			// Below the page cursor. Runs of one value carry ascending file
+			// ids, so the rest of a long run is skippable in one seek.
+			if prevSkip != nil && bytes.Equal(prevSkip, valEnc) {
+				skipRun++
+			} else {
+				prevSkip, skipRun = valEnc, 1
+			}
+			if skipRun == seekRunThreshold {
+				if err := cur.SeekEncodedComposite(valEnc, sc.after+1); err != nil {
+					return err
+				}
+				prevSkip, skipRun = nil, 0
+			}
+			continue
+		}
+		prevSkip, skipRun = nil, 0
+		sc.emit(f)
+		// Equality runs yield ascending file ids, so once the page is full,
+		// the current id is at or beyond the page maximum and a beyond-page
+		// match is recorded (More stays truthful), nothing later in this
+		// group can change the page.
+		if eqScan && sc.col.overflow && sc.col.pageClosed(f) {
+			return nil
+		}
+	}
+}
+
+// scanHash serves point queries through the streaming LookupEach. Anything
+// else a hash index cannot answer — it degrades to a full-table scan,
+// counted in NodeStats.HashScanFallbacks so the degradation is observable
+// (the planner picked the wrong index, or the index should be a B-tree).
+func (sc *groupScanner) scanHash() error {
+	iv, ok := sc.fieldInterval()
+	if ok {
+		if iv.Empty() {
+			return nil // contradictory predicates (x=5 & x=7): nothing matches
+		}
+		if iv.Lo != nil && iv.Hi != nil && iv.IncLo && iv.IncHi && iv.Lo.Equal(*iv.Hi) {
+			return sc.in.ht.LookupEach(*iv.Lo, sc.emit)
+		}
+	}
+	sc.n.hashScanFallbacks.Inc()
+	return sc.in.ht.Scan(sc.scanEmit)
+}
+
+// fieldInterval returns the query's interval for the index's field,
+// computed once per request (index specs are per-name constants, so every
+// group shares it).
+func (sc *groupScanner) fieldInterval() (query.Interval, bool) {
+	if !sc.ivInit {
+		sc.iv, sc.ivOK = sc.q.FieldInterval(sc.in.spec.Field)
+		sc.ivInit = true
+	}
+	return sc.iv, sc.ivOK
+}
+
+// scanKD streams the box query through the KD tree. When the box captures
+// the whole query exactly — every predicate is on a KD-covered field with
+// numeric bounds the interval represents completely — residual evaluation
+// is skipped outright: no per-candidate posting-map lookups at all.
+func (sc *groupScanner) scanKD() error {
+	if err := sc.n.ensureKDResidentLocked(sc.in); err != nil {
+		return err
+	}
+	if !sc.kdInit {
+		sc.kdExact = sc.kdBox()
+		sc.kdInit = true
+	}
+	sc.skipResidual = sc.kdExact && kdOnlyQuery(sc.q, sc.in.spec)
+	err := sc.in.kd.RangeSearchFunc(sc.kdLo, sc.kdHi, sc.emit)
+	sc.skipResidual = false
+	return err
+}
+
+// kdBox fills sc.kdLo/sc.kdHi with the query's box over the index's
+// dimensions and reports whether the box enforces every predicate on the
+// covered fields exactly (strict bounds become the adjacent float, so
+// inclusive box semantics lose nothing).
+func (sc *groupScanner) kdBox() (exact bool) {
+	dims := sc.in.spec.Dims()
+	if cap(sc.kdLo) < dims {
+		sc.kdLo = make([]float64, dims)
+		sc.kdHi = make([]float64, dims)
+	}
+	sc.kdLo, sc.kdHi = sc.kdLo[:dims], sc.kdHi[:dims]
+	exact = true
+	for i, field := range sc.in.spec.Fields {
+		sc.kdLo[i], sc.kdHi[i] = math.Inf(-1), math.Inf(1)
+		iv, ok := sc.q.FieldInterval(field)
+		if !ok {
+			continue
+		}
+		if !iv.Exact {
+			exact = false
+		}
+		if iv.Lo != nil {
+			if !numericKind(iv.Lo.Kind()) {
+				exact = false
+			}
+			sc.kdLo[i] = iv.Lo.AsFloat()
+			if !iv.IncLo {
+				sc.kdLo[i] = math.Nextafter(sc.kdLo[i], math.Inf(1))
+			}
+		}
+		if iv.Hi != nil {
+			if !numericKind(iv.Hi.Kind()) {
+				exact = false
+			}
+			sc.kdHi[i] = iv.Hi.AsFloat()
+			if !iv.IncHi {
+				sc.kdHi[i] = math.Nextafter(sc.kdHi[i], math.Inf(-1))
+			}
+		}
+	}
+	return exact
+}
+
+func numericKind(k attr.Kind) bool {
+	return k == attr.KindInt || k == attr.KindFloat || k == attr.KindTime
+}
+
+// kdOnlyQuery reports whether every query field is covered by the KD spec.
+func kdOnlyQuery(q query.Query, spec proto.IndexSpec) bool {
 	for _, p := range q.Preds {
-		if !covered[p.Field] {
+		covered := false
+		for _, f := range spec.Fields {
+			if f == p.Field {
+				covered = true
+				break
+			}
+		}
+		if !covered {
 			return false
 		}
 	}
 	return true
 }
 
-// kdSearchLocked queries the KD index, charging the prototype's whole-tree
-// load when the image is not resident (cold query).
-func (n *Node) kdSearchLocked(in *inst, q query.Query) ([]index.FileID, error) {
-	if !in.kdResident {
-		img := in.kdImage
-		if img == nil {
-			img = in.kd.Serialize()
-			in.kdImage = img
-		}
-		kd, err := index.LoadKDTree(img, n.cfg.Disk, in.kdOffset)
-		if err != nil {
-			return nil, err
-		}
-		in.kd = kd
-		in.kdResident = true
+// ensureKDResidentLocked pays the prototype's whole-tree load when the KD
+// image is not resident (cold query). Caller holds g.mu.
+func (n *Node) ensureKDResidentLocked(in *inst) error {
+	if in.kdResident {
+		return nil
 	}
-	dims := in.spec.Dims()
-	lo := make([]float64, dims)
-	hi := make([]float64, dims)
-	for i, field := range in.spec.Fields {
-		l, h, _, _, ok := q.Range(field)
-		if !ok {
-			lo[i], hi[i] = math.Inf(-1), math.Inf(1)
-			continue
-		}
-		if l != nil {
-			lo[i] = l.AsFloat()
-		} else {
-			lo[i] = math.Inf(-1)
-		}
-		if h != nil {
-			hi[i] = h.AsFloat()
-		} else {
-			hi[i] = math.Inf(1)
-		}
+	img := in.kdImage
+	if img == nil {
+		img = in.kd.Serialize()
+		in.kdImage = img
 	}
-	return in.kd.RangeSearch(lo, hi)
+	kd, err := index.LoadKDTree(img, n.cfg.Disk, in.kdOffset)
+	if err != nil {
+		return err
+	}
+	in.kd = kd
+	in.kdResident = true
+	return nil
 }

@@ -185,10 +185,10 @@ func TestPageCollectorDuplicateBelowRoot(t *testing.T) {
 	}
 }
 
-// TestSearchKDMaxRetainedIsHonest: KD box queries materialize their
-// candidate set before the page collector; MaxRetained must report that
-// true peak instead of pretending the page budget held.
-func TestSearchKDMaxRetainedIsHonest(t *testing.T) {
+// newKDNode builds a standalone node with total points on the x=y diagonal
+// in one KD-indexed group.
+func newKDNode(t testing.TB, total int) *Node {
+	t.Helper()
 	clk := vclock.New()
 	disk := simdisk.New(simdisk.Barracuda7200(), clk)
 	store, err := pagestore.New(disk, 4096)
@@ -200,30 +200,194 @@ func TestSearchKDMaxRetainedIsHonest(t *testing.T) {
 		t.Fatal(err)
 	}
 	n.DeclareIndex(proto.IndexSpec{Name: "pt", Type: proto.IndexKD, Fields: []string{"x", "y"}})
-	ctx := context.Background()
-	const total = 500
 	entries := make([]proto.IndexEntry, 0, total)
 	for i := 0; i < total; i++ {
 		entries = append(entries, proto.IndexEntry{
 			File: index.FileID(i), KDCoords: []float64{float64(i), float64(i)},
 		})
 	}
-	if _, err := n.Update(ctx, proto.UpdateReq{ACG: 1, IndexName: "pt", Entries: entries}); err != nil {
+	if _, err := n.Update(context.Background(), proto.UpdateReq{ACG: 1, IndexName: "pt", Entries: entries}); err != nil {
 		t.Fatal(err)
 	}
+	return n
+}
+
+// TestSearchKDPageBudget: KD box queries now stream through the collector,
+// so the page budget holds node-side (MaxRetained <= Limit) and paging the
+// box to exhaustion still yields the exact full result set.
+func TestSearchKDPageBudget(t *testing.T) {
+	const total = 500
+	const limit = 10
+	n := newKDNode(t, total)
+	ctx := context.Background()
+
+	req := proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "pt", Query: "x>=0 & y>=0", Limit: limit}
+	seen := make(map[index.FileID]bool)
+	for pages := 0; ; pages++ {
+		resp, err := n.Search(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Files) > limit || resp.MaxRetained > limit {
+			t.Fatalf("page %d: %d files, MaxRetained %d, budget %d",
+				pages, len(resp.Files), resp.MaxRetained, limit)
+		}
+		for _, f := range resp.Files {
+			if seen[f] {
+				t.Fatalf("file %d appeared twice", f)
+			}
+			seen[f] = true
+		}
+		if !resp.More {
+			break
+		}
+		req.After, req.AfterSet = resp.Files[len(resp.Files)-1], true
+		if pages > total/limit+5 {
+			t.Fatal("pagination does not terminate")
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("paged union = %d files, want %d", len(seen), total)
+	}
+}
+
+// TestSearchKDOnlySkipsResidual: a query whose every predicate is covered
+// by the KD spec must produce identical results to the residual-checked
+// path (the box is exact, including strict bounds), and a query touching
+// an uncovered field must still filter through residual evaluation.
+func TestSearchKDOnlySkipsResidual(t *testing.T) {
+	const total = 200
+	n := newKDNode(t, total)
+	ctx := context.Background()
+
+	// Strict and mixed bounds, fully covered by the KD fields: x in (50, 120],
+	// y >= 60 & y >= 80 (duplicate predicates intersect) -> x in (80... no:
+	// x in (50,120], y in [80,inf) -> diagonal points 80..120.
 	resp, err := n.Search(ctx, proto.SearchReq{
-		ACGs: []proto.ACGID{1}, IndexName: "pt", Query: "x>=0 & y>=0", Limit: 10,
+		ACGs: []proto.ACGID{1}, IndexName: "pt", Query: "x>50 & x<=120 & y>=60 & y>=80",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Files) != 10 || !resp.More {
-		t.Fatalf("kd page = %d files, more=%v; want 10, true", len(resp.Files), resp.More)
+	if len(resp.Files) != 41 || resp.Files[0] != 80 || resp.Files[40] != 120 {
+		t.Fatalf("kd-only query = %d files %v..., want 41 files 80..120",
+			len(resp.Files), resp.Files[:min(3, len(resp.Files))])
 	}
-	// The transfer is capped, but the KD path materialized all matches and
-	// the stat must say so.
-	if resp.MaxRetained < total {
-		t.Errorf("MaxRetained = %d, want >= %d (the materialized candidate set)", resp.MaxRetained, total)
+
+	// An uncovered field forces residual evaluation; no posting carries it,
+	// so nothing matches (and nothing must panic or mis-match).
+	resp, err = n.Search(ctx, proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "pt", Query: "x>=0 & uid=7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 0 {
+		t.Fatalf("uncovered-field query matched %v, want none", resp.Files)
+	}
+}
+
+// newHashNode builds a standalone node with a hash index where dup files
+// share value 7 and the rest are distinct.
+func newHashNode(t testing.TB, dup, distinct int) *Node {
+	t.Helper()
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{ID: "hash-test", Store: store, Disk: disk, Clock: clk, CacheLimit: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.DeclareIndex(proto.IndexSpec{Name: "tag", Type: proto.IndexHash, Field: "tag"})
+	entries := make([]proto.IndexEntry, 0, dup+distinct)
+	for i := 0; i < dup; i++ {
+		entries = append(entries, proto.IndexEntry{File: index.FileID(i), Value: attr.Int(7)})
+	}
+	for i := 0; i < distinct; i++ {
+		entries = append(entries, proto.IndexEntry{File: index.FileID(dup + i), Value: attr.Int(int64(1000 + i))})
+	}
+	if _, err := n.Update(context.Background(), proto.UpdateReq{ACG: 1, IndexName: "tag", Entries: entries}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestSearchHashPageBudget: hash point lookups stream through LookupEach,
+// so MaxRetained <= Limit holds and paging the lookup to exhaustion yields
+// every file carrying the value.
+func TestSearchHashPageBudget(t *testing.T) {
+	const dup = 400
+	const limit = 25
+	n := newHashNode(t, dup, 100)
+	ctx := context.Background()
+
+	req := proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "tag", Query: "tag=7", Limit: limit}
+	seen := make(map[index.FileID]bool)
+	for pages := 0; ; pages++ {
+		resp, err := n.Search(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Files) > limit || resp.MaxRetained > limit {
+			t.Fatalf("page %d: %d files, MaxRetained %d, budget %d",
+				pages, len(resp.Files), resp.MaxRetained, limit)
+		}
+		for _, f := range resp.Files {
+			if f >= dup {
+				t.Fatalf("point lookup returned file %d with a different value", f)
+			}
+			if seen[f] {
+				t.Fatalf("file %d appeared twice", f)
+			}
+			seen[f] = true
+		}
+		if !resp.More {
+			break
+		}
+		req.After, req.AfterSet = resp.Files[len(resp.Files)-1], true
+		if pages > dup/limit+5 {
+			t.Fatal("pagination does not terminate")
+		}
+	}
+	if len(seen) != dup {
+		t.Fatalf("paged union = %d files, want %d", len(seen), dup)
+	}
+}
+
+// TestSearchHashScanFallbackCounted: a non-point query against a hash
+// index degrades to a full-table scan; NodeStats must count it.
+func TestSearchHashScanFallbackCounted(t *testing.T) {
+	n := newHashNode(t, 10, 10)
+	ctx := context.Background()
+
+	stats, err := n.NodeStats(ctx, proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HashScanFallbacks != 0 {
+		t.Fatalf("fresh node HashScanFallbacks = %d", stats.HashScanFallbacks)
+	}
+	// A point query does not count.
+	if _, err := n.Search(ctx, proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "tag", Query: "tag=7"}); err != nil {
+		t.Fatal(err)
+	}
+	// A range query cannot be served point-wise: full-table scan, counted.
+	resp, err := n.Search(ctx, proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "tag", Query: "tag>5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 20 {
+		t.Fatalf("range-over-hash = %d files, want 20", len(resp.Files))
+	}
+	stats, err = n.NodeStats(ctx, proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HashScanFallbacks != 1 {
+		t.Errorf("HashScanFallbacks = %d, want 1", stats.HashScanFallbacks)
 	}
 }
 
@@ -293,5 +457,59 @@ func TestSearchCancelledContext(t *testing.T) {
 	_, err = n.Search(expired, proto.SearchReq{ACGs: acgs, IndexName: "size", Query: "size>0"})
 	if !errors.Is(err, perr.ErrTimeout) {
 		t.Errorf("expired search err = %v, want perr.ErrTimeout", err)
+	}
+}
+
+// TestSearchStringPrefixBoundOnBTree: the node-side cursor scan has the
+// same string-prefix lower-bound hazard as ScanRange and must reject
+// prefix-value postings even though residual evaluation would also catch
+// them (residual is skipped on some paths).
+func TestSearchStringPrefixBoundOnBTree(t *testing.T) {
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{ID: "str-test", Store: store, Disk: disk, Clock: clk, CacheLimit: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.DeclareIndex(proto.IndexSpec{Name: "kw", Type: proto.IndexBTree, Field: "kw"})
+	ctx := context.Background()
+	if _, err := n.Update(ctx, proto.UpdateReq{ACG: 1, IndexName: "kw", Entries: []proto.IndexEntry{
+		{File: index.FileID(0x6300000000000000), Value: attr.Str("a")},
+		{File: 1, Value: attr.Str("ab")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := n.Search(ctx, proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "kw", Query: "kw=ab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 1 || resp.Files[0] != 1 {
+		t.Fatalf("kw=ab matched %v, want [1]", resp.Files)
+	}
+}
+
+// TestSearchHashContradictionDoesNotScan: contradictory equality
+// predicates form an empty interval; the hash path must return nothing
+// without a full-table scan (and without counting a fallback).
+func TestSearchHashContradictionDoesNotScan(t *testing.T) {
+	n := newHashNode(t, 10, 10)
+	ctx := context.Background()
+	resp, err := n.Search(ctx, proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "tag", Query: "tag=5 & tag=7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 0 {
+		t.Fatalf("contradiction matched %v", resp.Files)
+	}
+	st, err := n.NodeStats(ctx, proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HashScanFallbacks != 0 {
+		t.Errorf("contradiction counted as scan fallback (%d)", st.HashScanFallbacks)
 	}
 }

@@ -304,18 +304,24 @@ type SearchReq struct {
 type SearchResp struct {
 	Files []index.FileID
 	// CommitLatencyNanos reports the virtual time spent committing cached
-	// updates before the search (consistency cost; Figure 10).
+	// updates before the search (consistency cost; Figure 10). A serial
+	// pass sums the per-group commit windows exactly; a parallel fan-out
+	// reports the slowest worker's window (overlapped windows on the
+	// shared clock cannot be summed without double-counting). The
+	// experiment harness pins the serial pass, so figures always see the
+	// exact sum.
 	CommitLatencyNanos int64
 	// More reports that matches beyond Limit exist (resume with the last
 	// returned FileID as the cursor).
 	More bool
-	// MaxRetained is the peak number of postings the node buffered while
-	// serving this request. B-tree–served queries stream candidates
-	// through a bounded collector, so with Limit > 0 they never retain
-	// more than the page size (how tests verify the per-page budget).
-	// Hash point lookups and KD box queries materialize their candidate
-	// set before filtering and report that true peak here — the response
-	// transfer is still capped at Limit, but node-side buffering is not.
+	// MaxRetained is the peak number of postings any single collector
+	// buffered while serving this request. Every access path — B-tree
+	// range scan, hash point lookup, KD box query — streams candidates
+	// one at a time into a bounded collector, so with Limit > 0 this
+	// never exceeds the page size (how tests verify the per-page budget).
+	// A multi-ACG search may fan out over a bounded worker pool with one
+	// collector per worker; aggregate transient buffering is then at most
+	// the fan-out width (<= 8) times this value.
 	MaxRetained int
 }
 
@@ -403,6 +409,12 @@ type NodeStatsResp struct {
 	// durable indices.
 	Commits       int64
 	CommitEntries int64
+	// HashScanFallbacks counts per-group scans where a search named a
+	// hash index but was not a point query and degraded to a full-table
+	// scan of that group's index (a request spanning N groups counts N).
+	// A growing value means a query mix the hash index cannot serve — the
+	// field wants a B-tree.
+	HashScanFallbacks int64
 	// PerACGCommits breaks Commits down by group, exposing per-partition
 	// commit activity (independent partitions should commit independently).
 	// Groups merged away have their counts folded into the merge

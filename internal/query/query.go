@@ -350,7 +350,30 @@ func (q Query) MatchesFile(fa vfs.FileAttrs) bool {
 // a B+tree (lo/hi nil = unbounded). It returns ok=false when the field has
 // no predicate in the query.
 func (q Query) Range(field string) (lo, hi *attr.Value, incLo, incHi, ok bool) {
-	incLo, incHi = true, true
+	iv, ok := q.FieldInterval(field)
+	return iv.Lo, iv.Hi, iv.IncLo, iv.IncHi, ok
+}
+
+// Interval is the scan interval implied by a query's predicates on one
+// field (nil bound = unbounded).
+type Interval struct {
+	Lo, Hi       *attr.Value
+	IncLo, IncHi bool
+	// Exact reports that the interval captures the field's predicates
+	// completely: every value inside it satisfies them all, so an access
+	// path that enforces the interval needs no residual re-check for this
+	// field. It is false when bounds of incomparable kinds could not be
+	// intersected (the loosest bound is kept and the residual pass decides).
+	Exact bool
+}
+
+// FieldInterval intersects all predicates on field into one interval. It
+// returns ok=false when the field has no predicate in the query. Multiple
+// predicates tighten each other ("x>1 & x>5" scans from 5, in either
+// order); a contradiction ("x=5 & x=7") yields an empty interval, which
+// scans nothing.
+func (q Query) FieldInterval(field string) (iv Interval, ok bool) {
+	iv = Interval{IncLo: true, IncHi: true, Exact: true}
 	for _, p := range q.Preds {
 		if p.Field != field {
 			continue
@@ -359,16 +382,66 @@ func (q Query) Range(field string) (lo, hi *attr.Value, incLo, incHi, ok bool) {
 		v := p.Value
 		switch p.Op {
 		case OpEq:
-			lo, hi = &v, &v
+			iv.tightenLo(v, true)
+			iv.tightenHi(v, true)
 		case OpGt:
-			lo, incLo = &v, false
+			iv.tightenLo(v, false)
 		case OpGe:
-			lo = &v
+			iv.tightenLo(v, true)
 		case OpLt:
-			hi, incHi = &v, false
+			iv.tightenHi(v, false)
 		case OpLe:
-			hi = &v
+			iv.tightenHi(v, true)
 		}
 	}
-	return lo, hi, incLo, incHi, ok
+	return iv, ok
+}
+
+// Empty reports that the interval provably contains no value (lo above
+// hi, or a point excluded by a strict bound). Incomparable bounds report
+// false: the interval stays a conservative superset and residual
+// evaluation decides.
+func (iv Interval) Empty() bool {
+	if iv.Lo == nil || iv.Hi == nil {
+		return false
+	}
+	c, err := compareCoerced(*iv.Lo, *iv.Hi)
+	if err != nil {
+		return false
+	}
+	return c > 0 || (c == 0 && !(iv.IncLo && iv.IncHi))
+}
+
+// tightenLo raises the lower bound to (v, inc) if that is stricter.
+func (iv *Interval) tightenLo(v attr.Value, inc bool) {
+	if iv.Lo == nil {
+		iv.Lo, iv.IncLo = &v, inc
+		return
+	}
+	c, err := compareCoerced(v, *iv.Lo)
+	if err != nil {
+		// Incomparable kinds: keep the older bound (loosest safe choice)
+		// and let the residual pass enforce this predicate.
+		iv.Exact = false
+		return
+	}
+	if c > 0 || (c == 0 && !inc && iv.IncLo) {
+		iv.Lo, iv.IncLo = &v, inc
+	}
+}
+
+// tightenHi lowers the upper bound to (v, inc) if that is stricter.
+func (iv *Interval) tightenHi(v attr.Value, inc bool) {
+	if iv.Hi == nil {
+		iv.Hi, iv.IncHi = &v, inc
+		return
+	}
+	c, err := compareCoerced(v, *iv.Hi)
+	if err != nil {
+		iv.Exact = false
+		return
+	}
+	if c < 0 || (c == 0 && !inc && iv.IncHi) {
+		iv.Hi, iv.IncHi = &v, inc
+	}
 }

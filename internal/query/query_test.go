@@ -200,3 +200,91 @@ func TestSizePredicateProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFieldIntervalIntersection: multiple predicates on one field tighten
+// each other regardless of order, equalities intersect to points (or
+// empty), and incomparable kinds degrade to inexact instead of loosening
+// silently.
+func TestFieldIntervalIntersection(t *testing.T) {
+	iv := func(s string) Interval {
+		q, err := Parse(s, testNow)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		out, ok := q.FieldInterval("x")
+		if !ok {
+			t.Fatalf("%q: no interval for x", s)
+		}
+		return out
+	}
+
+	// Tightening works in both orders (the old last-wins extraction kept
+	// whichever bound came last, loosening "x>5 & x>1" to 1).
+	for _, s := range []string{"x>1 & x>5", "x>5 & x>1"} {
+		got := iv(s)
+		if got.Lo == nil || got.Lo.AsInt() != 5 || got.IncLo || !got.Exact {
+			t.Errorf("%q: lo = %v incLo=%v exact=%v, want (5, exclusive, exact)",
+				s, got.Lo, got.IncLo, got.Exact)
+		}
+	}
+	// Inclusive vs exclusive at the same bound: exclusive is stricter.
+	got := iv("x>=5 & x>5")
+	if got.Lo == nil || got.Lo.AsInt() != 5 || got.IncLo {
+		t.Errorf("x>=5 & x>5: lo = %v incLo=%v, want (5, exclusive)", got.Lo, got.IncLo)
+	}
+	// Upper bounds tighten downward.
+	got = iv("x<100 & x<=40")
+	if got.Hi == nil || got.Hi.AsInt() != 40 || !got.IncHi {
+		t.Errorf("x<100 & x<=40: hi = %v incHi=%v, want (40, inclusive)", got.Hi, got.IncHi)
+	}
+	// Contradicting equalities produce an empty interval (lo > hi), which
+	// scans nothing — not a loosened point.
+	got = iv("x=5 & x=7")
+	if got.Lo == nil || got.Hi == nil || got.Lo.AsInt() <= got.Hi.AsInt() {
+		t.Errorf("x=5 & x=7: interval [%v, %v] should be empty", got.Lo, got.Hi)
+	}
+	// Numeric kinds coerce: an int and a float bound still intersect.
+	got = iv("x>2 & x>2.5")
+	if got.Lo == nil || got.Lo.AsFloat() != 2.5 || !got.Exact {
+		t.Errorf("x>2 & x>2.5: lo = %v exact=%v, want 2.5 exact", got.Lo, got.Exact)
+	}
+	// A string bound against a numeric one cannot be compared: the first
+	// bound is kept and the interval is marked inexact so residual
+	// evaluation stays in charge.
+	got = iv("x>5 & x>abc")
+	if got.Exact {
+		t.Error("incomparable bounds must not claim exactness")
+	}
+	if got.Lo == nil || got.Lo.AsInt() != 5 {
+		t.Errorf("incomparable bounds: lo = %v, want the first bound 5", got.Lo)
+	}
+}
+
+// TestIntervalEmpty: provably empty intervals are detected; unbounded,
+// satisfiable and incomparable ones are not.
+func TestIntervalEmpty(t *testing.T) {
+	for _, tt := range []struct {
+		q    string
+		want bool
+	}{
+		{"x=5 & x=7", true},
+		{"x>5 & x<5", true},
+		{"x>=5 & x<5", true},
+		{"x=5", false},
+		{"x>1 & x<9", false},
+		{"x>5", false},
+		{"x>5 & x>abc", false}, // incomparable: conservative non-empty
+	} {
+		q, err := Parse(tt.q, testNow)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tt.q, err)
+		}
+		iv, ok := q.FieldInterval("x")
+		if !ok {
+			t.Fatalf("%q: no interval", tt.q)
+		}
+		if got := iv.Empty(); got != tt.want {
+			t.Errorf("%q: Empty = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}

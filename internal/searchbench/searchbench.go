@@ -1,0 +1,196 @@
+// Package searchbench builds the standard Index Node fixtures behind the
+// read-path benchmarks, shared by the root bench_test.go suite and
+// tools/benchjson (which emits BENCH_search.json in CI). Keeping the
+// fixtures in one place makes the JSON numbers and the `go test -bench`
+// numbers the same experiment.
+package searchbench
+
+import (
+	"context"
+	"fmt"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/indexnode"
+	"propeller/internal/pagestore"
+	"propeller/internal/proto"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+// NewNode builds a standalone Index Node with an effectively unbounded
+// lazy cache (commits are driven by the first search) and the given
+// search fan-out (0 = default).
+func NewNode(fanout int) (*indexnode.Node, error) {
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 1<<16)
+	if err != nil {
+		return nil, err
+	}
+	return indexnode.New(indexnode.Config{
+		ID: "searchbench", Store: store, Disk: disk, Clock: clk,
+		CacheLimit: 1 << 30, SearchFanout: fanout,
+	})
+}
+
+// LoadBTreeRuns declares a B-tree "size" index and loads values 1..values,
+// each carrying runs postings (file ids v, values+v, 2·values+v, …),
+// spread round-robin across the ACGs. Duplicate-heavy runs are the
+// workload where paged-scan cursor seek matters.
+func LoadBTreeRuns(n *indexnode.Node, acgs []proto.ACGID, values, runs int) error {
+	n.DeclareIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"})
+	ctx := context.Background()
+	for g, id := range acgs {
+		entries := make([]proto.IndexEntry, 0, values*runs/len(acgs)+values)
+		for v := 1; v <= values; v++ {
+			for r := 0; r < runs; r++ {
+				if (r+v)%len(acgs) != g {
+					continue // every value's run spans every group
+				}
+				entries = append(entries, proto.IndexEntry{File: index.FileID(r*values + v), Value: attr.Int(int64(v))})
+			}
+		}
+		if _, err := n.Update(ctx, proto.UpdateReq{ACG: id, IndexName: "size", Entries: entries}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadHashDup declares a hash "tag" index with dup postings of value 7
+// plus distinct singleton values, all in ACG 1.
+func LoadHashDup(n *indexnode.Node, dup, distinct int) error {
+	n.DeclareIndex(proto.IndexSpec{Name: "tag", Type: proto.IndexHash, Field: "tag"})
+	entries := make([]proto.IndexEntry, 0, dup+distinct)
+	for i := 0; i < dup; i++ {
+		entries = append(entries, proto.IndexEntry{File: index.FileID(i), Value: attr.Int(7)})
+	}
+	for i := 0; i < distinct; i++ {
+		entries = append(entries, proto.IndexEntry{File: index.FileID(dup + i), Value: attr.Int(int64(1000 + i))})
+	}
+	_, err := n.Update(context.Background(), proto.UpdateReq{ACG: 1, IndexName: "tag", Entries: entries})
+	return err
+}
+
+// LoadKDDiagonal declares a 2-D KD "pt" index with total points on the
+// x=y diagonal in ACG 1.
+func LoadKDDiagonal(n *indexnode.Node, total int) error {
+	n.DeclareIndex(proto.IndexSpec{Name: "pt", Type: proto.IndexKD, Fields: []string{"x", "y"}})
+	entries := make([]proto.IndexEntry, 0, total)
+	for i := 0; i < total; i++ {
+		entries = append(entries, proto.IndexEntry{
+			File: index.FileID(i), KDCoords: []float64{float64(i), float64(i)},
+		})
+	}
+	_, err := n.Update(context.Background(), proto.UpdateReq{ACG: 1, IndexName: "pt", Entries: entries})
+	return err
+}
+
+// CursorForPage pages req forward and returns the request positioned at
+// the given 1-based page (its After cursor filled in), committing the
+// groups along the way so timed runs measure pure read cost.
+func CursorForPage(n *indexnode.Node, req proto.SearchReq, page int) (proto.SearchReq, error) {
+	for p := 1; p < page; p++ {
+		resp, err := n.Search(context.Background(), req)
+		if err != nil {
+			return req, err
+		}
+		if len(resp.Files) == 0 || !resp.More {
+			return req, fmt.Errorf("searchbench: fixture exhausted at page %d/%d", p, page)
+		}
+		req.After, req.AfterSet = resp.Files[len(resp.Files)-1], true
+	}
+	return req, nil
+}
+
+// Standard fixture sizes. Both bench_test.go and tools/benchjson consume
+// these through Scenarios, so the committed BENCH_search.json baseline and
+// the `go test -bench` numbers always measure the same workload.
+const (
+	// BTreeValues/BTreeRuns: values 1..BTreeValues each carrying BTreeRuns
+	// postings (value 7's run is the paged-equality target).
+	BTreeValues = 20
+	BTreeRuns   = 2000
+	// HashDup/HashDistinct: duplicate chain length and distinct filler.
+	HashDup      = 2000
+	HashDistinct = 500
+	// KDPoints is the diagonal point count.
+	KDPoints = 20000
+	// PageLimit is the page size every paged scenario requests.
+	PageLimit = 100
+	// FanoutACGs is the group count of the fan-out scenarios.
+	FanoutACGs = 8
+)
+
+// Scenario is one benchmarked request shape against a prepared node.
+type Scenario struct {
+	Name string
+	// AccessPath is the primary index structure exercised: btree, hash,
+	// kd, or fanout (multi-ACG pass).
+	AccessPath string
+	// Fanout is the node's SearchFanout (0 = default, 1 = serial).
+	Fanout int
+	Load   func(*indexnode.Node) error
+	Req    proto.SearchReq
+	// Page positions the cursor at this 1-based page before timing.
+	Page int
+}
+
+// Scenarios returns the standard read-path benchmark set: the cursor-seek
+// page pair, one paged request per access path, and the serial/parallel
+// fan-out comparison.
+func Scenarios() []Scenario {
+	twoACGs := []proto.ACGID{1, 2}
+	eightACGs := make([]proto.ACGID, FanoutACGs)
+	for i := range eightACGs {
+		eightACGs[i] = proto.ACGID(i + 1)
+	}
+	btree := func(n *indexnode.Node) error { return LoadBTreeRuns(n, twoACGs, BTreeValues, BTreeRuns) }
+	wide := func(n *indexnode.Node) error { return LoadBTreeRuns(n, eightACGs, BTreeValues, BTreeRuns) }
+	eqReq := proto.SearchReq{ACGs: twoACGs, IndexName: "size", Query: "size=7", Limit: PageLimit}
+	fanReq := proto.SearchReq{ACGs: eightACGs, IndexName: "size", Query: "size>0", Limit: PageLimit}
+	return []Scenario{
+		{Name: "btree_paged_eq_page1", AccessPath: "btree", Load: btree, Req: eqReq, Page: 1},
+		{Name: "btree_paged_eq_page10", AccessPath: "btree", Load: btree, Req: eqReq, Page: 10},
+		{Name: "hash_point_paged", AccessPath: "hash",
+			Load: func(n *indexnode.Node) error { return LoadHashDup(n, HashDup, HashDistinct) },
+			Req:  proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "tag", Query: "tag=7", Limit: PageLimit}, Page: 1},
+		{Name: "kd_box_paged", AccessPath: "kd",
+			Load: func(n *indexnode.Node) error { return LoadKDDiagonal(n, KDPoints) },
+			Req:  proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "pt", Query: "x>=100 & y<15000", Limit: PageLimit}, Page: 1},
+		{Name: "fanout_serial_8acg", AccessPath: "fanout", Fanout: 1, Load: wide, Req: fanReq, Page: 1},
+		{Name: "fanout_parallel_8acg", AccessPath: "fanout", Fanout: FanoutACGs, Load: wide, Req: fanReq, Page: 1},
+	}
+}
+
+// ByName returns the named scenario.
+func ByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("searchbench: unknown scenario %q", name)
+}
+
+// Prepare builds the scenario's node, loads and commits its fixture, and
+// returns the request positioned at the scenario's page, ready for timed
+// Search calls.
+func (s Scenario) Prepare() (*indexnode.Node, proto.SearchReq, error) {
+	n, err := NewNode(s.Fanout)
+	if err != nil {
+		return nil, proto.SearchReq{}, err
+	}
+	if err := s.Load(n); err != nil {
+		return nil, proto.SearchReq{}, err
+	}
+	if _, err := n.Search(context.Background(), s.Req); err != nil { // commit every group
+		return nil, proto.SearchReq{}, err
+	}
+	req, err := CursorForPage(n, s.Req, s.Page)
+	if err != nil {
+		return nil, proto.SearchReq{}, err
+	}
+	return n, req, nil
+}

@@ -1,0 +1,134 @@
+// Command benchjson runs the streaming read-path search benchmarks on the
+// shared internal/searchbench scenarios and writes BENCH_search.json —
+// ns/op, allocs/op, bytes/op and the node-side retention peak per access
+// path — so CI archives a machine-readable perf trajectory for the search
+// engine. The scenario table lives in internal/searchbench and is the
+// same one bench_test.go benchmarks, so the committed baseline and the
+// test-suite numbers always measure the same workload.
+//
+// With -check it also enforces the cursor-seek regression bound: page 10
+// of a paged B-tree equality scan must stay within 2x page 1 (plus a small
+// absolute grace for timer noise). Before cursor seek, page N re-scanned
+// the run from the start and page 10 cost ~10x page 1; a regression to
+// scan-and-discard fails CI here.
+//
+// Usage:
+//
+//	go run ./tools/benchjson [-out BENCH_search.json] [-check]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"propeller/internal/searchbench"
+)
+
+// result is one benchmark row of the JSON document.
+type result struct {
+	Name        string  `json:"name"`
+	Path        string  `json:"path"` // access path: btree, hash, kd, fanout
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Limit       int     `json:"limit"`
+	MaxRetained int     `json:"max_retained"`
+	Iterations  int     `json:"iterations"`
+}
+
+type document struct {
+	GeneratedBy string   `json:"generated_by"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+	Benchmarks  []result `json:"benchmarks"`
+	// Page10OverPage1 is the cursor-seek health ratio the -check flag
+	// enforces (<= 2 + grace).
+	Page10OverPage1 float64 `json:"page10_over_page1"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_search.json", "output path")
+	check := flag.Bool("check", false, "fail unless page-10 latency is within 2x page-1 (cursor-seek regression bound)")
+	flag.Parse()
+
+	doc := document{GeneratedBy: "tools/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	var page1, page10 float64
+	for _, s := range searchbench.Scenarios() {
+		row, err := runScenario(s)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, row)
+		switch s.Name {
+		case "btree_paged_eq_page1":
+			page1 = row.NsPerOp
+		case "btree_paged_eq_page10":
+			page10 = row.NsPerOp
+		}
+		fmt.Printf("%-24s %12.0f ns/op %8d allocs/op %6d max-retained\n",
+			row.Name, row.NsPerOp, row.AllocsPerOp, row.MaxRetained)
+	}
+	if page1 > 0 {
+		doc.Page10OverPage1 = page10 / page1
+	}
+
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (page10/page1 = %.2f)\n", *out, doc.Page10OverPage1)
+
+	// The seek bound: page 10 must not scale with page number. The grace
+	// term absorbs timer noise on very fast pages.
+	const grace = 100e3 // 100us
+	if *check && page10 > 2*page1+grace {
+		fatal(fmt.Errorf("cursor-seek regression: page10 %.0f ns/op > 2x page1 %.0f ns/op (+%.0f ns grace)",
+			page10, page1, grace))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func runScenario(s searchbench.Scenario) (result, error) {
+	n, req, err := s.Prepare()
+	if err != nil {
+		return result{}, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	ctx := context.Background()
+	var maxRetained int
+	var benchErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp, err := n.Search(ctx, req)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			maxRetained = resp.MaxRetained
+		}
+	})
+	if benchErr != nil {
+		return result{}, fmt.Errorf("%s: %w", s.Name, benchErr)
+	}
+	return result{
+		Name:        s.Name,
+		Path:        s.AccessPath,
+		NsPerOp:     float64(br.NsPerOp()),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		Limit:       req.Limit,
+		MaxRetained: maxRetained,
+		Iterations:  br.N,
+	}, nil
+}

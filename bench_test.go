@@ -24,6 +24,7 @@ import (
 	"propeller/internal/proto"
 	"propeller/internal/searchbench"
 	"propeller/internal/simdisk"
+	"propeller/internal/updatebench"
 	"propeller/internal/vclock"
 )
 
@@ -314,6 +315,55 @@ func BenchmarkSearchFanoutSerial(b *testing.B) { benchScenario(b, "fanout_serial
 // worker pool (capped at GOMAXPROCS, so single-core machines see parity,
 // not a win).
 func BenchmarkSearchFanoutParallel(b *testing.B) { benchScenario(b, "fanout_parallel_8acg") }
+
+// --- Batched write-path (commit) benchmarks ---
+//
+// The commit engine's acceptance bound lives here: a commit window is
+// absorbed in bulk — coalesced per (index, file), applied through the
+// sorted bulk-merge index paths, with at most one K-D rebuild per commit.
+// The scenario table (fixture sizes, window shapes) is shared with
+// tools/benchjson through internal/updatebench, so the committed
+// BENCH_update.json baseline and these benchmarks measure the same
+// workload. The headline metric is ns/entry (wall time per acknowledged
+// entry absorbed).
+
+func benchUpdateScenario(b *testing.B, name string) {
+	b.Helper()
+	s, err := updatebench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := s.Prepare()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Op(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*r.EntriesPerOp), "ns/entry")
+}
+
+// BenchmarkUpdateCommitAppendOnly absorbs windows of fresh B-tree
+// postings (the sorted bulk-insert fast path).
+func BenchmarkUpdateCommitAppendOnly(b *testing.B) { benchUpdateScenario(b, "append_only_btree") }
+
+// BenchmarkUpdateCommitReindexHeavy re-indexes the same files many times
+// per window (the per-(index, file) coalescing fast path).
+func BenchmarkUpdateCommitReindexHeavy(b *testing.B) { benchUpdateScenario(b, "reindex_heavy_btree") }
+
+// BenchmarkUpdateCommitDeleteHeavyKD deletes and re-inserts K-D points in
+// bulk windows; the deferred-rebuild rule makes this one rebuild per
+// commit instead of one per delete.
+func BenchmarkUpdateCommitDeleteHeavyKD(b *testing.B) { benchUpdateScenario(b, "delete_heavy_kd") }
+
+// BenchmarkUpdateCommitMixed drives all three index structures across two
+// groups per window.
+func BenchmarkUpdateCommitMixed(b *testing.B) { benchUpdateScenario(b, "mixed") }
 
 // BenchmarkIndexNodeMixedParallelMultiACG interleaves searches with the
 // parallel update stream (one searcher op per 64 updates per worker),

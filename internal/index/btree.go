@@ -176,15 +176,24 @@ func (t *BTree) Insert(v attr.Value, f FileID) error {
 	if len(key) > maxKeyLen {
 		return ErrKeyTooLong
 	}
+	_, err := t.insertPrepared(key)
+	return err
+}
+
+// insertPrepared inserts a pre-encoded composite key via a full
+// root-to-leaf descent, splitting nodes as needed. The tree takes
+// ownership of key. It reports whether a new posting was added (false on
+// a duplicate).
+func (t *BTree) insertPrepared(key []byte) (bool, error) {
 	sepKey, newChild, inserted, err := t.insertAt(t.root, key)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if newChild != noPage {
 		// Root split: grow the tree by one level.
 		newRootID, err := t.store.Allocate()
 		if err != nil {
-			return fmt.Errorf("btree grow root: %w", err)
+			return false, fmt.Errorf("btree grow root: %w", err)
 		}
 		root := &bnode{
 			leaf:     false,
@@ -193,14 +202,14 @@ func (t *BTree) Insert(v attr.Value, f FileID) error {
 			children: []uint64{uint64(t.root), newChild},
 		}
 		if err := t.writeNode(newRootID, root); err != nil {
-			return err
+			return false, err
 		}
 		t.root = newRootID
 	}
 	if inserted {
 		t.count++
 	}
-	return nil
+	return inserted, nil
 }
 
 // insertAt inserts key under page id. If the node splits, it returns the
@@ -295,6 +304,158 @@ func (t *BTree) Delete(v attr.Value, f FileID) error {
 	}
 	t.count--
 	return nil
+}
+
+// leafWalk is the shared positioning state of the sorted bulk-merge
+// paths (InsertSorted / DeleteSorted): the currently loaded leaf, its
+// exclusive upper key bound from the descent (nil = +inf), and whether
+// the in-memory copy has unwritten changes. Sorted runs visit leaves
+// left to right, so each leaf is read and written at most once per run
+// instead of once per key. delta accumulates the staged posting-count
+// change and is folded into t.count only when the leaf is durably
+// written, so a failed flush never skews Len() against the retried run.
+type leafWalk struct {
+	t      *BTree
+	id     pagestore.PageID
+	n      *bnode
+	high   []byte
+	loaded bool
+	dirty  bool
+	delta  int
+}
+
+// flush writes the current leaf back if it changed and forgets it.
+func (w *leafWalk) flush() error {
+	if w.loaded && w.dirty {
+		if err := w.t.writeNode(w.id, w.n); err != nil {
+			return err
+		}
+		w.t.count += w.delta
+	}
+	w.loaded, w.dirty, w.delta = false, false, 0
+	return nil
+}
+
+// position ensures the loaded leaf is the one that owns key, flushing
+// and re-descending only when key moves past the current leaf's bound.
+func (w *leafWalk) position(key []byte) error {
+	if w.loaded && (w.high == nil || bytes.Compare(key, w.high) < 0) {
+		return nil
+	}
+	if err := w.flush(); err != nil {
+		return err
+	}
+	id, high, err := w.t.findLeafHigh(key)
+	if err != nil {
+		return err
+	}
+	n, err := w.t.readNode(id)
+	if err != nil {
+		return err
+	}
+	w.id, w.n, w.high, w.loaded = id, n, high, true
+	return nil
+}
+
+// InsertSorted bulk-inserts pre-encoded composite keys, which must be in
+// ascending byte order. Keys that land in the same leaf share one descent
+// and one page write, so a sorted run costs O(leaves touched) page
+// writes instead of O(keys). Duplicates already in the tree are skipped.
+// A key that overflows its leaf falls back to the splitting descent for
+// that key alone. The tree takes ownership of the key slices. It returns
+// the number of new postings placed; on error the count may include keys
+// staged in a leaf whose flush failed (t.count itself only ever reflects
+// durably written leaves).
+func (t *BTree) InsertSorted(keys [][]byte) (int, error) {
+	inserted := 0
+	w := leafWalk{t: t}
+	for _, key := range keys {
+		if len(key) > maxKeyLen {
+			if err := w.flush(); err != nil {
+				return inserted, err
+			}
+			return inserted, ErrKeyTooLong
+		}
+		if err := w.position(key); err != nil {
+			return inserted, err
+		}
+		pos, found := searchKeys(w.n.keys, key)
+		if found {
+			continue // duplicate posting
+		}
+		w.n.keys = insertKey(w.n.keys, pos, key)
+		if w.n.encodedSize() > pagestore.PageSize {
+			// The leaf must split: undo the staged insert, write what the
+			// walk has, and let the recursive descent handle the split.
+			w.n.keys = append(w.n.keys[:pos], w.n.keys[pos+1:]...)
+			if err := w.flush(); err != nil {
+				return inserted, err
+			}
+			ok, err := t.insertPrepared(key)
+			if err != nil {
+				return inserted, err
+			}
+			if ok {
+				inserted++
+			}
+			continue
+		}
+		w.dirty = true
+		w.delta++
+		inserted++
+	}
+	return inserted, w.flush()
+}
+
+// DeleteSorted bulk-removes pre-encoded composite keys, which must be in
+// ascending byte order; absent keys are skipped (the caller's coalesced
+// run may race a no-op delete). Like InsertSorted, keys sharing a leaf
+// share one descent and one write. It returns the number of postings
+// removed (same staged-on-error caveat as InsertSorted).
+func (t *BTree) DeleteSorted(keys [][]byte) (int, error) {
+	deleted := 0
+	w := leafWalk{t: t}
+	for _, key := range keys {
+		if err := w.position(key); err != nil {
+			return deleted, err
+		}
+		pos, found := searchKeys(w.n.keys, key)
+		if !found {
+			continue
+		}
+		w.n.keys = append(w.n.keys[:pos], w.n.keys[pos+1:]...)
+		w.dirty = true
+		w.delta--
+		deleted++
+	}
+	return deleted, w.flush()
+}
+
+// findLeafHigh descends to the leaf that owns key and also returns the
+// leaf's exclusive upper key bound from the descent (nil = rightmost
+// leaf): every key strictly below the bound belongs to this leaf, which
+// is what lets sorted bulk runs reuse one leaf across adjacent keys.
+func (t *BTree) findLeafHigh(key []byte) (pagestore.PageID, []byte, error) {
+	id := t.root
+	var high []byte
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return 0, nil, err
+		}
+		if n.leaf {
+			return id, high, nil
+		}
+		pos, found := searchKeys(n.keys, key)
+		childIdx := pos
+		if found {
+			childIdx = pos + 1
+		}
+		if childIdx < len(n.keys) {
+			high = n.keys[childIdx]
+		}
+		id = pagestore.PageID(n.children[childIdx])
+	}
 }
 
 // SearchEq returns the files whose indexed value equals v, in file-id order.
@@ -469,27 +630,12 @@ func (c *Cursor) Next() (valKey []byte, f FileID, ok bool, err error) {
 	}
 }
 
-// findLeaf descends to the leaf that would contain key (nil key = leftmost).
+// findLeaf descends to the leaf that would contain key (nil key =
+// leftmost; a nil key sorts before every real key, so the shared descent
+// routes it to child 0 at every level).
 func (t *BTree) findLeaf(key []byte) (pagestore.PageID, error) {
-	id := t.root
-	for {
-		n, err := t.readNode(id)
-		if err != nil {
-			return 0, err
-		}
-		if n.leaf {
-			return id, nil
-		}
-		childIdx := 0
-		if key != nil {
-			pos, found := searchKeys(n.keys, key)
-			childIdx = pos
-			if found {
-				childIdx = pos + 1
-			}
-		}
-		id = pagestore.PageID(n.children[childIdx])
-	}
+	id, _, err := t.findLeafHigh(key)
+	return id, err
 }
 
 // Height returns the tree height (1 = a single leaf). Used in tests.

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"propeller/internal/attr"
 	"propeller/internal/pagestore"
@@ -143,55 +144,23 @@ func (h *HashIndex) writeBucket(id pagestore.PageID, b *hbucket) error {
 	return nil
 }
 
-func (h *HashIndex) bucketFor(valEnc []byte) pagestore.PageID {
+func (h *HashIndex) bucketSlot(valEnc []byte) int {
 	hs := fnv.New64a()
 	hs.Write(valEnc) //nolint:errcheck // fnv never errors
-	return h.buckets[hs.Sum64()%uint64(len(h.buckets))]
+	return int(hs.Sum64() % uint64(len(h.buckets)))
+}
+
+func (h *HashIndex) bucketFor(valEnc []byte) pagestore.PageID {
+	return h.buckets[h.bucketSlot(valEnc)]
 }
 
 // Insert adds a (value, file) posting. Duplicate postings are no-ops.
+// It runs through the batch path, whose duplicate check scans the whole
+// chain before placing (a page-at-a-time walk could re-insert a posting
+// living later in the chain into room a delete freed earlier).
 func (h *HashIndex) Insert(v attr.Value, f FileID) error {
-	valEnc := v.Encode(nil)
-	if len(valEnc) > maxKeyLen {
-		return ErrKeyTooLong
-	}
-	id := h.bucketFor(valEnc)
-	entrySize := 2 + len(valEnc) + 8
-	for {
-		b, err := h.readBucket(id)
-		if err != nil {
-			return err
-		}
-		for _, e := range b.entries {
-			if e.file == f && bytes.Equal(e.valEnc, valEnc) {
-				return nil // already present
-			}
-		}
-		if b.encodedSize()+entrySize <= pagestore.PageSize {
-			b.entries = append(b.entries, hentry{valEnc: valEnc, file: f})
-			if err := h.writeBucket(id, b); err != nil {
-				return err
-			}
-			h.count++
-			return nil
-		}
-		if b.next == noPage {
-			ovf, err := h.store.Allocate()
-			if err != nil {
-				return fmt.Errorf("hash overflow: %w", err)
-			}
-			if err := h.writeBucket(ovf, &hbucket{next: noPage}); err != nil {
-				return err
-			}
-			b.next = uint64(ovf)
-			if err := h.writeBucket(id, b); err != nil {
-				return err
-			}
-			id = ovf
-			continue
-		}
-		id = pagestore.PageID(b.next)
-	}
+	_, err := h.InsertBatch([]HashOp{{ValEnc: v.Encode(nil), File: f}})
+	return err
 }
 
 // Lookup returns all files whose indexed value equals v.
@@ -226,6 +195,191 @@ func (h *HashIndex) LookupEach(v attr.Value, fn func(FileID) bool) error {
 		}
 		id = pagestore.PageID(b.next)
 	}
+}
+
+// HashOp is one posting of a bulk hash mutation, carrying its prepared
+// value encoding (attr.Value.Encode) so batch paths never re-encode. The
+// index takes ownership of ValEnc on insert.
+type HashOp struct {
+	ValEnc []byte
+	File   FileID
+}
+
+// sortOpsBySlot orders ops by bucket slot (then value, then file, for
+// determinism) so every ops run visits each bucket chain exactly once.
+// It returns the visit order plus the per-op slots, so each op's FNV
+// hash is computed exactly once.
+func (h *HashIndex) sortOpsBySlot(ops []HashOp) (order, slots []int) {
+	slots = make([]int, len(ops))
+	for i, op := range ops {
+		slots[i] = h.bucketSlot(op.ValEnc)
+	}
+	order = make([]int, len(ops))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if slots[i] != slots[j] {
+			return slots[i] < slots[j]
+		}
+		if c := bytes.Compare(ops[i].ValEnc, ops[j].ValEnc); c != 0 {
+			return c < 0
+		}
+		return ops[i].File < ops[j].File
+	})
+	return order, slots
+}
+
+// chainPage is one loaded page of a bucket chain during a bulk mutation.
+// delta is the page's staged posting-count change, folded into h.count
+// only when the page is durably written (as leafWalk.delta does for the
+// B-tree), so a failed flush never skews Len() against a retried run.
+type chainPage struct {
+	id    pagestore.PageID
+	b     *hbucket
+	dirty bool
+	delta int
+}
+
+// loadChain reads a whole bucket chain into memory once.
+func (h *HashIndex) loadChain(head pagestore.PageID) ([]chainPage, error) {
+	var pages []chainPage
+	id := head
+	for {
+		b, err := h.readBucket(id)
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, chainPage{id: id, b: b})
+		if b.next == noPage {
+			return pages, nil
+		}
+		id = pagestore.PageID(b.next)
+	}
+}
+
+// flushChain writes back the chain pages a bulk mutation touched,
+// folding each durably written page's staged count delta into h.count.
+func (h *HashIndex) flushChain(pages []chainPage) error {
+	for i := range pages {
+		if !pages[i].dirty {
+			continue
+		}
+		if err := h.writeBucket(pages[i].id, pages[i].b); err != nil {
+			return err
+		}
+		pages[i].dirty = false
+		h.count += pages[i].delta
+		pages[i].delta = 0
+	}
+	return nil
+}
+
+// mutateChains is the shared chain-at-a-time scaffolding of the bulk
+// mutation paths: it groups ops by bucket slot, loads each touched chain
+// once, applies mutate per op, and flushes each chain's dirty pages once
+// — including on the error path, so ops staged before a failing one are
+// still made durable (and counted) before the error surfaces.
+func (h *HashIndex) mutateChains(ops []HashOp, mutate func(pages *[]chainPage, op HashOp) error) error {
+	order, slots := h.sortOpsBySlot(ops)
+	for gi := 0; gi < len(order); {
+		slot := slots[order[gi]]
+		pages, err := h.loadChain(h.buckets[slot])
+		if err != nil {
+			return err
+		}
+		for ; gi < len(order) && slots[order[gi]] == slot; gi++ {
+			if err := mutate(&pages, ops[order[gi]]); err != nil {
+				if ferr := h.flushChain(pages); ferr != nil {
+					return ferr
+				}
+				return err
+			}
+		}
+		if err := h.flushChain(pages); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertBatch bulk-inserts postings: ops sharing a bucket chain share one
+// chain read and one write per touched page, instead of paying the chain
+// walk per posting. Duplicate postings are skipped (the check scans the
+// whole chain). It returns the number of postings placed; on error the
+// count may include postings staged on a page whose flush failed.
+func (h *HashIndex) InsertBatch(ops []HashOp) (int, error) {
+	inserted := 0
+	err := h.mutateChains(ops, func(pages *[]chainPage, op HashOp) error {
+		if len(op.ValEnc) > maxKeyLen {
+			return ErrKeyTooLong
+		}
+		entrySize := 2 + len(op.ValEnc) + 8
+		for pi := range *pages {
+			for _, e := range (*pages)[pi].b.entries {
+				if e.file == op.File && bytes.Equal(e.valEnc, op.ValEnc) {
+					return nil // already present
+				}
+			}
+		}
+		for pi := range *pages {
+			p := &(*pages)[pi]
+			if p.b.encodedSize()+entrySize <= pagestore.PageSize {
+				p.b.entries = append(p.b.entries, hentry{valEnc: op.ValEnc, file: op.File})
+				p.dirty = true
+				p.delta++
+				inserted++
+				return nil
+			}
+		}
+		ovf, err := h.store.Allocate()
+		if err != nil {
+			return fmt.Errorf("hash overflow: %w", err)
+		}
+		// Durably initialize the overflow page before any page links to
+		// it: if a later flush fails, the chain must never point at an
+		// unwritten page — an empty-but-valid bucket is the safe residue.
+		if err := h.writeBucket(ovf, &hbucket{next: noPage}); err != nil {
+			return err
+		}
+		last := &(*pages)[len(*pages)-1]
+		last.b.next = uint64(ovf)
+		last.dirty = true
+		*pages = append(*pages, chainPage{
+			id:    ovf,
+			b:     &hbucket{next: noPage, entries: []hentry{{valEnc: op.ValEnc, file: op.File}}},
+			dirty: true,
+			delta: 1,
+		})
+		inserted++
+		return nil
+	})
+	return inserted, err
+}
+
+// DeleteBatch bulk-removes postings with the same chain-at-a-time page
+// amortization as InsertBatch; absent postings are skipped. It returns
+// the number of postings removed (same staged-on-error caveat as
+// InsertBatch).
+func (h *HashIndex) DeleteBatch(ops []HashOp) (int, error) {
+	deleted := 0
+	err := h.mutateChains(ops, func(pages *[]chainPage, op HashOp) error {
+		for pi := range *pages {
+			p := &(*pages)[pi]
+			for ei, e := range p.b.entries {
+				if e.file == op.File && bytes.Equal(e.valEnc, op.ValEnc) {
+					p.b.entries = append(p.b.entries[:ei], p.b.entries[ei+1:]...)
+					p.dirty = true
+					p.delta--
+					deleted++
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	return deleted, err
 }
 
 // Delete removes the (value, file) posting, returning ErrNotFound if absent.

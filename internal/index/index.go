@@ -68,6 +68,14 @@ func appendCompositeKey(dst []byte, v attr.Value, f FileID) []byte {
 	return append(dst, tail[:]...)
 }
 
+// AppendCompositeKey is the exported form of the composite (value, file)
+// key encoding, used by callers that prepare B-tree keys ahead of a bulk
+// apply (e.g. the Index Node encodes pending-cache keys outside the group
+// lock and feeds them to BTree.InsertSorted/DeleteSorted at commit).
+func AppendCompositeKey(dst []byte, v attr.Value, f FileID) []byte {
+	return appendCompositeKey(dst, v, f)
+}
+
 // valueKeyTermLen is the length of the string value-key terminator.
 const valueKeyTermLen = 2
 

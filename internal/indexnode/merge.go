@@ -63,7 +63,10 @@ func (n *Node) MergeACGs(ctx context.Context, dst, src proto.ACGID) error {
 			gd.graph.addEdge(a, b, w)
 		}
 	}
-	// Re-apply src's postings into dst's indices.
+	// Re-apply src's postings into dst's indices. Committed postings are
+	// already one-per-file, i.e. a coalesced run, so they merge through
+	// the same bulk apply the commit engine uses (one KD rebuild per
+	// index, sorted bulk B-tree/hash merges).
 	names := make([]string, 0, len(gs.postings))
 	for name := range gs.postings {
 		names = append(names, name)
@@ -75,17 +78,13 @@ func (n *Node) MergeACGs(ctx context.Context, dst, src proto.ACGID) error {
 			unlock()
 			return err
 		}
-		files := make([]uint64, 0, len(gs.postings[name]))
-		for f := range gs.postings[name] {
-			files = append(files, uint64(f))
+		run := make(map[index.FileID]pendingEntry, len(gs.postings[name]))
+		for f, e := range gs.postings[name] {
+			run[f] = pendingEntry{e: e}
 		}
-		sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
-		for _, f := range files {
-			e := gs.postings[name][index.FileID(f)]
-			if err := n.applyEntry(gd, in, name, e); err != nil {
-				unlock()
-				return err
-			}
+		if err := n.applyRunLocked(gd, in, name, run); err != nil {
+			unlock()
+			return err
 		}
 		if in.kd != nil {
 			in.kdImage = in.kd.Serialize()
@@ -102,9 +101,10 @@ func (n *Node) MergeACGs(ctx context.Context, dst, src proto.ACGID) error {
 	delete(n.groups, src)
 	n.mu.Unlock()
 	// Fold src's per-ACG counters into dst so the per-group breakdown
-	// keeps summing to the node totals and retired labels are reclaimed.
-	n.acgCommits.Get(acgLabel(dst)).Add(n.acgCommits.Remove(acgLabel(src)))
-	n.acgCommitEntries.Get(acgLabel(dst)).Add(n.acgCommitEntries.Remove(acgLabel(src)))
+	// keeps summing to the node totals and retired labels are reclaimed
+	// (gd's cached handles stay valid: Fold reuses dst's counter object).
+	n.acgCommits.Fold(acgLabel(dst), acgLabel(src))
+	n.acgCommitEntries.Fold(acgLabel(dst), acgLabel(src))
 	n.mergeEpoch.Add(1)
 	unlock()
 

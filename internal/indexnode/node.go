@@ -43,6 +43,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"sync"
@@ -127,11 +128,28 @@ type inst struct {
 	kdOffset   int64
 }
 
+// pendingEntry is one coalesced, prepared lazy-cache entry: the latest
+// acknowledged update for its (index, file) pair, plus the index key the
+// commit will need — encoded outside the group lock at acknowledgement
+// time (composite key for B-tree postings, value encoding for hash
+// postings; nil for KD entries, deletes, and WAL-recovered entries,
+// which are keyed at commit).
+type pendingEntry struct {
+	e   proto.IndexEntry
+	key []byte
+}
+
 // group is one ACG partition and its indices. Every field below mu is
 // protected by it; a group is only ever mutated by the goroutine holding
 // its lock, so operations on different ACGs never contend.
 type group struct {
 	id proto.ACGID
+
+	// acgCommits/acgCommitEntries are this group's per-ACG counter
+	// handles, resolved once at creation so the commit path does no label
+	// formatting or counter-set lookups. Immutable after creation.
+	acgCommits       *metrics.Counter
+	acgCommitEntries *metrics.Counter
 
 	mu sync.Mutex
 	// dead marks a group that MergeACGs drained and removed from the
@@ -143,9 +161,13 @@ type group struct {
 	graph *groupGraph
 	// indexes by name.
 	indexes map[string]*inst
-	// pending is the lazy index cache: per index name, the uncommitted
-	// entries in arrival order.
-	pending      map[string][]proto.IndexEntry
+	// pending is the lazy index cache, coalesced per (index, file) with
+	// last-write-wins: a file re-indexed many times inside one commit
+	// window holds one pending entry and costs one index mutation at
+	// commit. pendingCount still counts acknowledged arrivals (the cache
+	// limit, UpdateResp.Cached and CommitEntries all speak in
+	// acknowledged entries, not coalesced survivors).
+	pending      map[string]map[index.FileID]pendingEntry
 	pendingCount int
 	lastUpdate   time.Duration
 	// postings holds the latest committed posting per (index, file); it
@@ -185,6 +207,16 @@ type Node struct {
 	commitNanos   metrics.Counter
 	commitEntries metrics.Counter
 	splitsDone    metrics.Counter
+	// commitFailures counts commits that returned an error (a wedged
+	// group retried every tick keeps counting — the growth rate is the
+	// alarm).
+	commitFailures metrics.Counter
+	// kdRebuilds counts full KD reconstructions; a healthy batch commit
+	// pays at most one per (KD index, commit).
+	kdRebuilds metrics.Counter
+	// coalescedEntries counts acknowledged entries superseded in the lazy
+	// cache before commit (last-write-wins): index mutations saved.
+	coalescedEntries metrics.Counter
 	// hashScanFallbacks counts searches a hash index could not serve as a
 	// point lookup and silently degraded to a full-table scan.
 	hashScanFallbacks metrics.Counter
@@ -369,16 +401,20 @@ func (n *Node) lockOrCreateGroup(id proto.ACGID) *group {
 	}
 }
 
-// newGroupLocked builds an empty group. Caller holds n.mu.
+// newGroupLocked builds an empty group. Caller holds n.mu. The per-ACG
+// counter handles are resolved here, once, so commits never format labels
+// or take the counter-set lock.
 func (n *Node) newGroupLocked(id proto.ACGID) *group {
 	return &group{
-		id:       id,
-		files:    make(map[index.FileID]bool),
-		graph:    newGroupGraph(),
-		indexes:  make(map[string]*inst),
-		pending:  make(map[string][]proto.IndexEntry),
-		postings: make(map[string]map[index.FileID]proto.IndexEntry),
-		log:      wal.NewGroupCommit(n.walGC),
+		id:               id,
+		acgCommits:       n.acgCommits.Get(acgLabel(id)),
+		acgCommitEntries: n.acgCommitEntries.Get(acgLabel(id)),
+		files:            make(map[index.FileID]bool),
+		graph:            newGroupGraph(),
+		indexes:          make(map[string]*inst),
+		pending:          make(map[string]map[index.FileID]pendingEntry),
+		postings:         make(map[string]map[index.FileID]proto.IndexEntry),
+		log:              wal.NewGroupCommit(n.walGC),
 	}
 }
 
@@ -443,15 +479,37 @@ func (n *Node) CreateACG(_ context.Context, req proto.CreateACGReq) (proto.Creat
 // Update is the file-indexing fast path: WAL append + cache insert. Only
 // the target group is locked, so updates to different ACGs run in parallel
 // and their WAL appends group-commit into shared device writes.
+//
+// Everything a commit can precompute happens before the group mutex is
+// taken (off-lock prepare): the WAL record is gob-encoded and CRC-framed,
+// and the index keys the batch apply will sort on are encoded. The
+// critical section holds only the in-memory log append and the coalescing
+// cache insert, so an update never lengthens a concurrent
+// commit-on-search stall on its group by more than that.
 func (n *Node) Update(ctx context.Context, req proto.UpdateReq) (proto.UpdateResp, error) {
 	if err := n.ensureSpec(ctx, req.IndexName); err != nil {
 		return proto.UpdateResp{}, err
 	}
-	// Reject unindexable values before the acknowledgement: a value whose
-	// key exceeds the page bound would otherwise be accepted here and then
-	// fail every commit of the group, wedging its strict-consistency
-	// searches forever.
-	if spec, ok := n.lookupSpec(req.IndexName); ok && spec.Type != proto.IndexKD {
+	spec, _ := n.lookupSpec(req.IndexName) // present after ensureSpec
+	// Reject unindexable entries before the acknowledgement: a value whose
+	// key exceeds the page bound, or a KD point whose dimensionality does
+	// not match the spec, would otherwise be accepted here and then fail
+	// every commit of the group, wedging its strict-consistency searches
+	// forever.
+	if spec.Type == proto.IndexKD {
+		dims := spec.Dims()
+		if dims == 0 {
+			// A Fields-less KD spec can never materialize an index; its
+			// updates would sit in the cache wedging every commit.
+			return proto.UpdateResp{}, fmt.Errorf("indexnode update %q: kd index has no fields", req.IndexName)
+		}
+		for _, e := range req.Entries {
+			if !e.Delete && len(e.KDCoords) != dims {
+				return proto.UpdateResp{}, fmt.Errorf("indexnode update %q file %d: kd point has %d coords, want %d",
+					req.IndexName, e.File, len(e.KDCoords), dims)
+			}
+		}
+	} else {
 		for _, e := range req.Entries {
 			if !e.Delete && !index.CompositeKeyFits(e.Value) {
 				return proto.UpdateResp{}, fmt.Errorf("indexnode update %q file %d: %w",
@@ -463,16 +521,22 @@ func (n *Node) Update(ctx context.Context, req proto.UpdateReq) (proto.UpdateRes
 	if err != nil {
 		return proto.UpdateResp{}, err
 	}
+	framed := wal.FrameRecord(rec)
+	keys := prepareEntryKeys(spec, req.Entries)
+
 	g := n.lockOrCreateGroup(req.ACG)
 	defer g.mu.Unlock()
-	if err := g.log.Append(rec); err != nil {
+	if err := g.log.AppendFramed(framed); err != nil {
 		return proto.UpdateResp{}, fmt.Errorf("indexnode update: %w", err)
 	}
-	for _, e := range req.Entries {
+	for i, e := range req.Entries {
 		g.files[e.File] = true
+		var key []byte
+		if keys != nil {
+			key = keys[i]
+		}
+		n.addPendingLocked(g, req.IndexName, e, key)
 	}
-	g.pending[req.IndexName] = append(g.pending[req.IndexName], req.Entries...)
-	g.pendingCount += len(req.Entries)
 	g.lastUpdate = n.cfg.Clock.Now()
 
 	if n.cfg.DisableLazyCache || g.pendingCount >= n.cfg.CacheLimit {
@@ -481,6 +545,53 @@ func (n *Node) Update(ctx context.Context, req proto.UpdateReq) (proto.UpdateRes
 		}
 	}
 	return proto.UpdateResp{Cached: g.pendingCount}, nil
+}
+
+// prepareEntryKeys encodes, outside any lock, the index keys a commit
+// will need for entries: composite (value, file) keys for B-tree
+// postings, bare value encodings for hash postings. Deletes keep a nil
+// key — they are keyed by the committed posting's old value, known only
+// at commit — and KD entries need none (they apply into the postings map
+// and the tree is built from points).
+func prepareEntryKeys(spec proto.IndexSpec, entries []proto.IndexEntry) [][]byte {
+	switch spec.Type {
+	case proto.IndexBTree:
+		keys := make([][]byte, len(entries))
+		for i, e := range entries {
+			if e.Delete {
+				continue
+			}
+			keys[i] = index.AppendCompositeKey(make([]byte, 0, 2*e.Value.EncodedLen()+10), e.Value, e.File)
+		}
+		return keys
+	case proto.IndexHash:
+		keys := make([][]byte, len(entries))
+		for i, e := range entries {
+			if e.Delete {
+				continue
+			}
+			keys[i] = e.Value.Encode(nil)
+		}
+		return keys
+	default:
+		return nil
+	}
+}
+
+// addPendingLocked inserts one acknowledged entry into the group's
+// coalescing cache (last-write-wins per (index, file)). Caller holds
+// g.mu.
+func (n *Node) addPendingLocked(g *group, name string, e proto.IndexEntry, key []byte) {
+	m := g.pending[name]
+	if m == nil {
+		m = make(map[index.FileID]pendingEntry)
+		g.pending[name] = m
+	}
+	if _, ok := m[e.File]; ok {
+		n.coalescedEntries.Inc()
+	}
+	m[e.File] = pendingEntry{e: e, key: key}
+	g.pendingCount++
 }
 
 // FlushACG merges a client-captured causality fragment into the group's
@@ -502,33 +613,47 @@ func (n *Node) FlushACG(_ context.Context, req proto.FlushACGReq) (proto.FlushAC
 // Tick commits groups whose lazy cache has exceeded the commit timeout.
 // Deployments call it from a ticker; experiments call it after advancing
 // virtual time. Groups are visited one at a time, so a tick never stalls
-// traffic on ACGs it is not committing.
+// traffic on ACGs it is not committing — and a wedged group never stalls
+// the sweep: its error is collected, counted in NodeStats.CommitFailures,
+// and the remaining groups still commit. The joined error reports every
+// failing group.
 func (n *Node) Tick() error {
 	now := n.cfg.Clock.Now()
+	var errs []error
 	for _, g := range n.groupsSnapshot() {
 		if !g.lockLive() {
 			continue
 		}
 		if g.pendingCount > 0 && now-g.lastUpdate >= n.cfg.CommitTimeout {
 			if err := n.commitGroupLocked(g); err != nil {
-				g.mu.Unlock()
-				return err
+				errs = append(errs, fmt.Errorf("indexnode tick acg %d: %w", g.id, err))
 			}
 		}
 		g.mu.Unlock()
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // acgLabel is the metrics label for a group.
 func acgLabel(id proto.ACGID) string { return strconv.FormatUint(uint64(id), 10) }
 
 // commitGroupLocked merges the group's pending cache into its durable
-// indices. Caller holds g.mu.
+// indices with batch semantics: each index's coalesced run (one surviving
+// entry per file) is applied through the sorted bulk paths, and KD
+// indices rebuild and re-serialize at most once per commit. Caller holds
+// g.mu.
 func (n *Node) commitGroupLocked(g *group) error {
 	if g.pendingCount == 0 {
 		return nil
 	}
+	err := n.commitPendingLocked(g)
+	if err != nil {
+		n.commitFailures.Inc()
+	}
+	return err
+}
+
+func (n *Node) commitPendingLocked(g *group) error {
 	start := n.cfg.Clock.Now()
 	committed := int64(g.pendingCount)
 	names := make([]string, 0, len(g.pending))
@@ -537,19 +662,21 @@ func (n *Node) commitGroupLocked(g *group) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		entries := g.pending[name]
-		if len(entries) == 0 {
+		run := g.pending[name]
+		if len(run) == 0 {
 			continue
 		}
 		in, err := n.instFor(g, name)
 		if err != nil {
 			return err
 		}
-		for _, e := range entries {
-			if err := n.applyEntry(g, in, name, e); err != nil {
-				return err
-			}
+		if err := n.applyRunLocked(g, in, name, run); err != nil {
+			return err
 		}
+		// Keep the name key (with an empty run): a retry after a failed
+		// KD-image persist below must still find the index in its names
+		// sweep and re-serialize it, or the WAL would eventually truncate
+		// with a stale durable image.
 		g.pending[name] = nil
 	}
 	// KD indices re-serialize once per commit (not per entry).
@@ -564,80 +691,198 @@ func (n *Node) commitGroupLocked(g *group) error {
 			in.kdResident = true
 		}
 	}
-	g.pendingCount = 0
+	// Truncate before the commit is declared done: a failed truncate
+	// leaves pendingCount non-zero, so the retry triggers (Tick's
+	// pendingCount gate, commit-on-search) re-run this function — the
+	// re-apply is a no-op over nil runs and the truncate and counters get
+	// their retry. Zeroing the count first would strand the applied
+	// window in the WAL and skip the accounting forever.
 	if err := g.log.Truncate(); err != nil {
 		return fmt.Errorf("indexnode: truncate wal: %w", err)
+	}
+	g.pendingCount = 0
+	// Fully successful commit: the consumed names can go. (Until here
+	// they must stay, so a retry after a failed KD persist still finds
+	// the index in its names sweep; dropping them now keeps later
+	// KD-free windows from re-serializing an unchanged tree.)
+	for _, name := range names {
+		delete(g.pending, name)
 	}
 	n.commits.Inc()
 	n.commitEntries.Add(committed)
 	n.commitNanos.Add(int64(n.cfg.Clock.Now() - start))
-	n.acgCommits.Get(acgLabel(g.id)).Inc()
-	n.acgCommitEntries.Get(acgLabel(g.id)).Add(committed)
+	g.acgCommits.Inc()
+	g.acgCommitEntries.Add(committed)
 	return nil
 }
 
-func (n *Node) applyEntry(g *group, in *inst, name string, e proto.IndexEntry) error {
+// applyRunLocked merges one coalesced run — at most one entry per file,
+// the last acknowledged write for that (index, file) — into the named
+// index and the group's committed postings. Files are visited in
+// ascending id order, which both makes the apply deterministic and feeds
+// the sorted bulk index paths. Equivalence contract (property-tested):
+// the index state after a batched apply is identical to replaying the
+// acknowledged entries one at a time, because each file's intermediate
+// values would have been deleted again before the commit ended. Caller
+// holds g.mu.
+func (n *Node) applyRunLocked(g *group, in *inst, name string, run map[index.FileID]pendingEntry) error {
 	post := g.postings[name]
 	if post == nil {
-		post = make(map[index.FileID]proto.IndexEntry)
+		post = make(map[index.FileID]proto.IndexEntry, len(run))
 		g.postings[name] = post
 	}
-	if e.Delete {
-		old, ok := post[e.File]
-		if !ok {
-			return nil // deleting an unindexed posting is a no-op
+	files := make([]index.FileID, 0, len(run))
+	for f := range run {
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+
+	if in.kd != nil {
+		// KD: validate every point's dimensionality up front, before any
+		// state advances — with all points valid, neither the incremental
+		// inserts nor a rebuild from (inductively valid) postings can
+		// fail, so the postings-first ordering below cannot strand the
+		// tree behind the map on a retry. (Update rejects bad dims at ack
+		// time; this guards entries that arrived by WAL recovery.)
+		dims := in.spec.Dims()
+		for _, f := range files {
+			if pe := run[f]; !pe.e.Delete && len(pe.e.KDCoords) != dims {
+				return fmt.Errorf("indexnode: kd %q file %d: point has %d coords, want %d",
+					name, f, len(pe.e.KDCoords), dims)
+			}
 		}
-		delete(post, e.File)
-		switch {
-		case in.bt != nil:
-			if err := in.bt.Delete(old.Value, e.File); err != nil && !errors.Is(err, index.ErrNotFound) {
-				return err
+		// Fold the run into the postings map first; rebuild once at the
+		// end only if a point was removed or actually moved (a
+		// delete-heavy commit costs one O(n log n) rebuild, not one per
+		// entry, and a re-ack with unchanged coordinates costs nothing).
+		// A pure insert window keeps the incremental insert path —
+		// fresh files only, since the tree already holds the unmoved
+		// points.
+		rebuild := false
+		var fresh []index.FileID
+		for _, f := range files {
+			pe := run[f]
+			if pe.e.Delete {
+				if _, ok := post[f]; ok {
+					delete(post, f)
+					rebuild = true
+				}
+				continue
 			}
-		case in.ht != nil:
-			if err := in.ht.Delete(old.Value, e.File); err != nil && !errors.Is(err, index.ErrNotFound) {
-				return err
+			if old, ok := post[f]; ok {
+				if !slices.Equal(old.KDCoords, pe.e.KDCoords) {
+					rebuild = true // re-index moved the point
+				}
+			} else {
+				fresh = append(fresh, f)
 			}
-		case in.kd != nil:
-			// KD deletion: rebuild without the point (rare path).
+			post[f] = pe.e
+		}
+		if rebuild {
 			return n.rebuildKD(g, in, name)
+		}
+		if len(fresh) > 0 {
+			// The serialized image is stale the moment the tree mutates;
+			// a cold load in the window before the commit re-serializes
+			// (ensureKDResidentLocked falls back to serializing the live
+			// tree when the image is nil) must never resurrect it.
+			in.kdImage = nil
+		}
+		for _, f := range fresh {
+			if err := in.kd.Insert(index.Point{Coords: run[f].e.KDCoords, File: f}); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
 
-	// Re-indexing an existing posting replaces the old value.
-	if old, ok := post[e.File]; ok {
-		switch {
-		case in.bt != nil:
-			if !old.Value.Equal(e.Value) {
-				if err := in.bt.Delete(old.Value, e.File); err != nil && !errors.Is(err, index.ErrNotFound) {
-					return err
-				}
+	// B-tree / hash: split the run into old-posting removals and new
+	// insertions, then apply each side in bulk so adjacent keys share
+	// descents and page writes. The postings map is only advanced after
+	// the index mutations succeed: the bulk paths are idempotent
+	// (DeleteSorted skips absent keys, InsertSorted skips duplicates), so
+	// a retry after a partial failure re-derives the same ops from the
+	// unchanged postings and self-heals instead of diverging.
+	var delKeys, insKeys [][]byte
+	var delOps, insOps []index.HashOp
+	var putFiles, dropFiles []index.FileID
+	for _, f := range files {
+		pe := run[f]
+		old, had := post[f]
+		if pe.e.Delete {
+			if !had {
+				continue // deleting an unindexed posting is a no-op
 			}
-		case in.ht != nil:
-			if !old.Value.Equal(e.Value) {
-				if err := in.ht.Delete(old.Value, e.File); err != nil && !errors.Is(err, index.ErrNotFound) {
-					return err
-				}
+			dropFiles = append(dropFiles, f)
+			if in.bt != nil {
+				delKeys = append(delKeys, index.AppendCompositeKey(nil, old.Value, f))
+			} else {
+				delOps = append(delOps, index.HashOp{ValEnc: old.Value.Encode(nil), File: f})
 			}
-		case in.kd != nil:
-			post[e.File] = e
-			return n.rebuildKD(g, in, name)
+			continue
+		}
+		putFiles = append(putFiles, f)
+		if had && !old.Value.Equal(pe.e.Value) {
+			if in.bt != nil {
+				delKeys = append(delKeys, index.AppendCompositeKey(nil, old.Value, f))
+			} else {
+				delOps = append(delOps, index.HashOp{ValEnc: old.Value.Encode(nil), File: f})
+			}
+		}
+		// The insert is staged even when the committed posting already
+		// carries this exact value: the bulk paths skip duplicates, and
+		// the unconditional re-insert heals an index entry lost to a
+		// previously failed partial apply (map and index must reconverge
+		// on retry, not trust each other).
+		key := pe.key
+		if key == nil { // WAL-recovered entries carry no prepared key
+			if in.bt != nil {
+				key = index.AppendCompositeKey(nil, pe.e.Value, f)
+			} else {
+				key = pe.e.Value.Encode(nil)
+			}
+		}
+		if in.bt != nil {
+			insKeys = append(insKeys, key)
+		} else {
+			insOps = append(insOps, index.HashOp{ValEnc: key, File: f})
 		}
 	}
-	post[e.File] = e
-	switch {
-	case in.bt != nil:
-		return in.bt.Insert(e.Value, e.File)
-	case in.ht != nil:
-		return in.ht.Insert(e.Value, e.File)
-	case in.kd != nil:
-		return in.kd.Insert(index.Point{Coords: e.KDCoords, File: e.File})
+	if in.bt != nil {
+		sortKeys(delKeys)
+		sortKeys(insKeys)
+		if _, err := in.bt.DeleteSorted(delKeys); err != nil {
+			return err
+		}
+		if _, err := in.bt.InsertSorted(insKeys); err != nil {
+			return err
+		}
+	} else {
+		if _, err := in.ht.DeleteBatch(delOps); err != nil {
+			return err
+		}
+		if _, err := in.ht.InsertBatch(insOps); err != nil {
+			return err
+		}
+	}
+	for _, f := range dropFiles {
+		delete(post, f)
+	}
+	for _, f := range putFiles {
+		post[f] = run[f].e
 	}
 	return nil
 }
 
-// rebuildKD reconstructs a KD index from current postings (after delete or
-// re-index of a point). Caller holds g.mu.
+// sortKeys orders encoded keys ascending (the bulk-path precondition).
+func sortKeys(keys [][]byte) {
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+}
+
+// rebuildKD reconstructs a KD index from current postings (after deletes
+// or re-indexed points). The batch commit engine calls this at most once
+// per (KD index, commit) — n.kdRebuilds counts invocations, which is how
+// tests pin that contract. Caller holds g.mu.
 func (n *Node) rebuildKD(g *group, in *inst, name string) error {
 	dims := in.spec.Dims()
 	pts := make([]index.Point, 0, len(g.postings[name]))
@@ -649,6 +894,11 @@ func (n *Node) rebuildKD(g *group, in *inst, name string) error {
 		return fmt.Errorf("indexnode: rebuild kd %q: %w", name, err)
 	}
 	in.kd = kd
+	// Invalidate the serialized image: it no longer matches the tree, and
+	// a cold load before the caller re-serializes must rebuild from the
+	// live tree instead of resurrecting the pre-rebuild points.
+	in.kdImage = nil
+	n.kdRebuilds.Inc()
 	return nil
 }
 
@@ -762,9 +1012,11 @@ func (n *Node) RecoverGroup(id proto.ACGID, walImage []byte) (int, error) {
 		}
 		for _, e := range req.Entries {
 			g.files[e.File] = true
+			// Recovered entries carry no prepared key (the spec table may
+			// not be populated yet on a fresh node); the commit encodes
+			// them on demand.
+			n.addPendingLocked(g, req.IndexName, e, nil)
 		}
-		g.pending[req.IndexName] = append(g.pending[req.IndexName], req.Entries...)
-		g.pendingCount += len(req.Entries)
 		recovered += len(req.Entries)
 		return true
 	})
@@ -803,6 +1055,9 @@ func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeSta
 	}
 	resp.Commits = n.commits.Value()
 	resp.CommitEntries = n.commitEntries.Value()
+	resp.CommitFailures = n.commitFailures.Value()
+	resp.KDRebuilds = n.kdRebuilds.Value()
+	resp.CoalescedEntries = n.coalescedEntries.Value()
 	resp.HashScanFallbacks = n.hashScanFallbacks.Value()
 	ws := n.walGC.Stats()
 	resp.WALBatches = ws.Batches

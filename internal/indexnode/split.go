@@ -2,7 +2,6 @@ package indexnode
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 
@@ -120,32 +119,34 @@ func (n *Node) SplitACG(ctx context.Context, req proto.SplitACGReq) (proto.Split
 	}
 	defer g.mu.Unlock()
 	for _, name := range names {
-		in := g.indexes[name]
+		// Remove the moved postings through the commit engine's bulk
+		// apply: a run of delete entries gets the same sorted B-tree /
+		// chain-batched hash removals, the single KD rebuild, and the
+		// postings-advance-only-after-index-success retry contract as any
+		// commit — one copy of the invariant.
 		post := g.postings[name]
+		run := make(map[index.FileID]pendingEntry, len(moveSet))
 		for f := range moveSet {
-			e, ok := post[f]
-			if !ok {
-				continue
-			}
-			delete(post, f)
-			if in == nil {
-				continue
-			}
-			switch {
-			case in.bt != nil:
-				if derr := in.bt.Delete(e.Value, f); derr != nil && !errors.Is(derr, index.ErrNotFound) {
-					return proto.SplitACGResp{}, derr
-				}
-			case in.ht != nil:
-				if derr := in.ht.Delete(e.Value, f); derr != nil && !errors.Is(derr, index.ErrNotFound) {
-					return proto.SplitACGResp{}, derr
-				}
+			if _, ok := post[f]; ok {
+				run[f] = pendingEntry{e: proto.IndexEntry{File: f, Delete: true}}
 			}
 		}
-		if in != nil && in.kd != nil {
-			if err := n.rebuildKD(g, in, name); err != nil {
-				return proto.SplitACGResp{}, err
-			}
+		if len(run) == 0 {
+			continue
+		}
+		in, err := n.instFor(g, name)
+		if err != nil {
+			return proto.SplitACGResp{}, err
+		}
+		if err := n.applyRunLocked(g, in, name, run); err != nil {
+			return proto.SplitACGResp{}, err
+		}
+		// Re-serialize the shrunk KD image now: commits only serialize
+		// indices with pending entries, so a stale image here would
+		// resurrect the moved points at the next cold load.
+		if in.kd != nil {
+			in.kdImage = in.kd.Serialize()
+			in.kdResident = true
 		}
 	}
 	for f := range moveSet {
@@ -181,10 +182,14 @@ func (n *Node) ReceiveACG(_ context.Context, req proto.ReceiveACGReq) (proto.Rec
 		if err != nil {
 			return proto.ReceiveACGResp{}, err
 		}
+		// Migrated postings are one-per-file: a ready-made coalesced run
+		// for the commit engine's bulk apply.
+		run := make(map[index.FileID]pendingEntry, len(mi.Entries))
 		for _, e := range mi.Entries {
-			if err := n.applyEntry(g, in, mi.Spec.Name, e); err != nil {
-				return proto.ReceiveACGResp{}, err
-			}
+			run[e.File] = pendingEntry{e: e}
+		}
+		if err := n.applyRunLocked(g, in, mi.Spec.Name, run); err != nil {
+			return proto.ReceiveACGResp{}, err
 		}
 		if in.kd != nil {
 			in.kdImage = in.kd.Serialize()

@@ -67,6 +67,15 @@ func (s *CounterSet) Remove(label string) int64 {
 	return c.Value()
 }
 
+// Fold retires the src counter and adds its final value into dst, so set
+// totals survive label retirement — e.g. an ACG merge folds the retired
+// group's counts into its merge destination. Counter handles previously
+// obtained for dst stay valid (dst's counter object is reused); handles
+// for src must be dropped.
+func (s *CounterSet) Fold(dst, src string) {
+	s.Get(dst).Add(s.Remove(src))
+}
+
 // Snapshot returns the current value of every counter in the set.
 func (s *CounterSet) Snapshot() map[string]int64 {
 	s.mu.RLock()

@@ -36,6 +36,30 @@ func TestCounterConcurrentAdds(t *testing.T) {
 	}
 }
 
+func TestCounterSetFold(t *testing.T) {
+	var s CounterSet
+	dst := s.Get("dst")
+	dst.Add(5)
+	s.Get("src").Add(7)
+	s.Fold("dst", "src")
+	if got := s.Get("dst").Value(); got != 12 {
+		t.Fatalf("dst after fold = %d, want 12", got)
+	}
+	// The previously obtained dst handle observes the fold (handles
+	// cached by callers stay valid), and src is retired.
+	if dst.Value() != 12 {
+		t.Fatalf("cached dst handle = %d, want 12", dst.Value())
+	}
+	if labels := s.Labels(); len(labels) != 1 || labels[0] != "dst" {
+		t.Fatalf("labels after fold = %v, want [dst]", labels)
+	}
+	// Folding an absent src is a no-op.
+	s.Fold("dst", "ghost")
+	if got := s.Get("dst").Value(); got != 12 {
+		t.Fatalf("dst after ghost fold = %d, want 12", got)
+	}
+}
+
 func TestCounterSetConcurrentGet(t *testing.T) {
 	var s CounterSet
 	var wg sync.WaitGroup

@@ -406,9 +406,23 @@ type NodeStatsResp struct {
 	IndexSpecs []IndexSpec
 	// Commits counts lazy-cache commits since the node started;
 	// CommitEntries counts the cached entries those commits merged into
-	// durable indices.
+	// durable indices (acknowledged arrivals — entries superseded by
+	// coalescing still count here and additionally in CoalescedEntries).
 	Commits       int64
 	CommitEntries int64
+	// CommitFailures counts commits that returned an error. The tick
+	// sweep keeps committing the remaining groups past a wedged one, so a
+	// steadily growing value means some group's cache cannot drain.
+	CommitFailures int64
+	// KDRebuilds counts full K-D tree reconstructions. The batch commit
+	// engine performs at most one per (KD index, commit) — deletes and
+	// re-indexed points are folded into the postings map first and the
+	// tree is rebuilt once, instead of once per entry.
+	KDRebuilds int64
+	// CoalescedEntries counts acknowledged entries superseded in the lazy
+	// cache before their commit (last-write-wins per (index, file)): the
+	// index mutations the commit window saved.
+	CoalescedEntries int64
 	// HashScanFallbacks counts per-group scans where a search named a
 	// hash index but was not a point query and degraded to a full-table
 	// scan of that group's index (a request spanning N groups counts N).

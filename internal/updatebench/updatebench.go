@@ -1,0 +1,342 @@
+// Package updatebench builds the standard Index Node fixtures behind the
+// write-path (commit) benchmarks, shared by the root bench_test.go suite
+// and tools/benchjson (which emits BENCH_update.json in CI). It mirrors
+// internal/searchbench for the read path: keeping the fixtures in one
+// place makes the committed JSON baseline and the `go test -bench`
+// numbers the same experiment.
+//
+// Every scenario measures the cost of absorbing one commit window of
+// acknowledged updates into the durable indices — the batch the lazy
+// index cache (§IV) exists to amortize. The headline metric is
+// ns/entry: wall time per acknowledged entry, because wall time is where
+// the CPU cost of per-entry index descents and K-D rebuilds shows up
+// (virtual disk charges advance the simulated clock, not the benchmark
+// timer).
+package updatebench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/indexnode"
+	"propeller/internal/pagestore"
+	"propeller/internal/proto"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+// Standard fixture sizes. Both bench_test.go and tools/benchjson consume
+// these through Scenarios, so the committed BENCH_update.json baseline
+// and the `go test -bench` numbers always measure the same workload.
+const (
+	// AppendInit/AppendBatch: committed B-tree volume before timing, and
+	// fresh postings appended per commit window.
+	AppendInit  = 10000
+	AppendBatch = 1000
+	// ReindexFiles/ReindexRounds: distinct files and how many times each
+	// is re-indexed inside one commit window (coalescing collapses the
+	// window to one index mutation per file).
+	ReindexFiles  = 200
+	ReindexRounds = 10
+	// KDPoints/KDDeletes: committed K-D volume and the points deleted
+	// (then re-inserted) per op. Per-entry rebuilds make this quadratic:
+	// every delete pays a full O(n log n) rebuild.
+	KDPoints  = 5000
+	KDDeletes = 200
+	// Mixed-scenario slice sizes.
+	MixedAppend  = 200
+	MixedReindex = 100
+	MixedHash    = 100
+	MixedKD      = 100
+)
+
+// commitTimeout must exceed the node's lazy-cache timeout so an op's
+// clock advance always triggers the Tick commit.
+const commitTimeout = 6 * time.Second
+
+// Run is a prepared scenario: a node with its committed fixture plus an
+// Op that enqueues one commit window of updates and commits it.
+type Run struct {
+	Node *indexnode.Node
+	// EntriesPerOp is the number of acknowledged entries each Op absorbs
+	// (the ns/entry denominator).
+	EntriesPerOp int
+	// Op enqueues the window and commits; scenarios are steady-state (or
+	// append-only), so it can be called any number of times.
+	Op func() error
+}
+
+// Scenario is one benchmarked commit workload.
+type Scenario struct {
+	Name string
+	// Kind is the dominant index structure exercised: btree, hash, kd,
+	// or mixed.
+	Kind string
+	// EntriesPerOp is the acknowledged-entry count per op (also on Run).
+	EntriesPerOp int
+	Prepare      func() (*Run, error)
+}
+
+// NewNode builds a standalone Index Node with an effectively unbounded
+// lazy cache (commits are driven by the benchmark's Tick) and returns
+// its virtual clock for timeout-driven commits.
+func NewNode() (*indexnode.Node, *vclock.Clock, error) {
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	store, err := pagestore.New(disk, 1<<16)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := indexnode.New(indexnode.Config{
+		ID: "updatebench", Store: store, Disk: disk, Clock: clk,
+		CacheLimit: 1 << 30,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, clk, nil
+}
+
+// commit advances virtual time past the lazy-cache timeout and ticks, so
+// every pending entry on the node is absorbed in one commit per group.
+func commit(n *indexnode.Node, clk *vclock.Clock) error {
+	clk.Advance(commitTimeout)
+	return n.Tick()
+}
+
+func update(n *indexnode.Node, acg proto.ACGID, name string, entries []proto.IndexEntry) error {
+	_, err := n.Update(context.Background(), proto.UpdateReq{ACG: acg, IndexName: name, Entries: entries})
+	return err
+}
+
+// diagPoint returns the i-th fixture K-D point (the x=y diagonal).
+func diagPoint(i int) proto.IndexEntry {
+	return proto.IndexEntry{File: index.FileID(i), KDCoords: []float64{float64(i), float64(i)}}
+}
+
+// appendOnly seeds AppendInit committed B-tree postings; each op appends
+// AppendBatch fresh postings and commits.
+func appendOnly() (*Run, error) {
+	n, clk, err := NewNode()
+	if err != nil {
+		return nil, err
+	}
+	n.DeclareIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"})
+	seed := make([]proto.IndexEntry, AppendInit)
+	for i := range seed {
+		seed[i] = proto.IndexEntry{File: index.FileID(i + 1), Value: attr.Int(int64(i + 1))}
+	}
+	if err := update(n, 1, "size", seed); err != nil {
+		return nil, err
+	}
+	if err := commit(n, clk); err != nil {
+		return nil, err
+	}
+	next := AppendInit + 1
+	op := func() error {
+		entries := make([]proto.IndexEntry, AppendBatch)
+		for i := range entries {
+			entries[i] = proto.IndexEntry{File: index.FileID(next), Value: attr.Int(int64(next))}
+			next++
+		}
+		if err := update(n, 1, "size", entries); err != nil {
+			return err
+		}
+		return commit(n, clk)
+	}
+	return &Run{Node: n, EntriesPerOp: AppendBatch, Op: op}, nil
+}
+
+// reindexHeavy seeds ReindexFiles committed postings; each op re-indexes
+// every file ReindexRounds times inside one commit window — the workload
+// per-(index, file) coalescing exists for.
+func reindexHeavy() (*Run, error) {
+	n, clk, err := NewNode()
+	if err != nil {
+		return nil, err
+	}
+	n.DeclareIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"})
+	seed := make([]proto.IndexEntry, ReindexFiles)
+	for i := range seed {
+		seed[i] = proto.IndexEntry{File: index.FileID(i + 1), Value: attr.Int(int64(i))}
+	}
+	if err := update(n, 1, "size", seed); err != nil {
+		return nil, err
+	}
+	if err := commit(n, clk); err != nil {
+		return nil, err
+	}
+	gen := int64(1)
+	op := func() error {
+		for r := 0; r < ReindexRounds; r++ {
+			entries := make([]proto.IndexEntry, ReindexFiles)
+			for i := range entries {
+				entries[i] = proto.IndexEntry{
+					File:  index.FileID(i + 1),
+					Value: attr.Int(gen*int64(ReindexFiles+1) + int64(i)),
+				}
+			}
+			gen++
+			if err := update(n, 1, "size", entries); err != nil {
+				return err
+			}
+		}
+		return commit(n, clk)
+	}
+	return &Run{Node: n, EntriesPerOp: ReindexFiles * ReindexRounds, Op: op}, nil
+}
+
+// deleteHeavyKD seeds KDPoints committed K-D points; each op deletes
+// KDDeletes of them in one commit window, commits, then re-inserts them
+// and commits — returning to the initial state. Per-entry K-D apply pays
+// one full rebuild per delete; the batch engine pays one per commit.
+func deleteHeavyKD() (*Run, error) {
+	n, clk, err := NewNode()
+	if err != nil {
+		return nil, err
+	}
+	n.DeclareIndex(proto.IndexSpec{Name: "pt", Type: proto.IndexKD, Fields: []string{"x", "y"}})
+	seed := make([]proto.IndexEntry, KDPoints)
+	for i := range seed {
+		seed[i] = diagPoint(i + 1)
+	}
+	if err := update(n, 1, "pt", seed); err != nil {
+		return nil, err
+	}
+	if err := commit(n, clk); err != nil {
+		return nil, err
+	}
+	stride := KDPoints / KDDeletes
+	op := func() error {
+		dels := make([]proto.IndexEntry, KDDeletes)
+		for i := range dels {
+			dels[i] = proto.IndexEntry{File: index.FileID(i*stride + 1), Delete: true}
+		}
+		if err := update(n, 1, "pt", dels); err != nil {
+			return err
+		}
+		if err := commit(n, clk); err != nil {
+			return err
+		}
+		ins := make([]proto.IndexEntry, KDDeletes)
+		for i := range ins {
+			ins[i] = diagPoint(i*stride + 1)
+		}
+		if err := update(n, 1, "pt", ins); err != nil {
+			return err
+		}
+		return commit(n, clk)
+	}
+	return &Run{Node: n, EntriesPerOp: 2 * KDDeletes, Op: op}, nil
+}
+
+// mixed drives all three index structures across two groups in one op:
+// B-tree appends and re-index churn plus hash re-index churn on ACG 1,
+// K-D deletes and re-inserts on ACG 2.
+func mixed() (*Run, error) {
+	n, clk, err := NewNode()
+	if err != nil {
+		return nil, err
+	}
+	n.DeclareIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"})
+	n.DeclareIndex(proto.IndexSpec{Name: "tag", Type: proto.IndexHash, Field: "tag"})
+	n.DeclareIndex(proto.IndexSpec{Name: "pt", Type: proto.IndexKD, Fields: []string{"x", "y"}})
+	bt := make([]proto.IndexEntry, 2000)
+	for i := range bt {
+		bt[i] = proto.IndexEntry{File: index.FileID(i + 1), Value: attr.Int(int64(i))}
+	}
+	ht := make([]proto.IndexEntry, 1000)
+	for i := range ht {
+		ht[i] = proto.IndexEntry{File: index.FileID(i + 1), Value: attr.Int(int64(i % 50))}
+	}
+	kd := make([]proto.IndexEntry, 2000)
+	for i := range kd {
+		kd[i] = diagPoint(i + 1)
+	}
+	if err := update(n, 1, "size", bt); err != nil {
+		return nil, err
+	}
+	if err := update(n, 1, "tag", ht); err != nil {
+		return nil, err
+	}
+	if err := update(n, 2, "pt", kd); err != nil {
+		return nil, err
+	}
+	if err := commit(n, clk); err != nil {
+		return nil, err
+	}
+	nextFile := 1 << 20
+	gen := int64(1)
+	op := func() error {
+		// Window 1: appends + re-index churn + KD deletes, one commit.
+		app := make([]proto.IndexEntry, MixedAppend)
+		for i := range app {
+			app[i] = proto.IndexEntry{File: index.FileID(nextFile), Value: attr.Int(int64(nextFile))}
+			nextFile++
+		}
+		if err := update(n, 1, "size", app); err != nil {
+			return err
+		}
+		for r := 0; r < 3; r++ {
+			re := make([]proto.IndexEntry, MixedReindex)
+			for i := range re {
+				re[i] = proto.IndexEntry{File: index.FileID(i + 1), Value: attr.Int(gen*4096 + int64(i))}
+			}
+			gen++
+			if err := update(n, 1, "size", re); err != nil {
+				return err
+			}
+		}
+		hre := make([]proto.IndexEntry, MixedHash)
+		for i := range hre {
+			hre[i] = proto.IndexEntry{File: index.FileID(i + 1), Value: attr.Int(gen%97 + int64(i%50))}
+		}
+		if err := update(n, 1, "tag", hre); err != nil {
+			return err
+		}
+		dels := make([]proto.IndexEntry, MixedKD)
+		for i := range dels {
+			dels[i] = proto.IndexEntry{File: index.FileID(i*20 + 1), Delete: true}
+		}
+		if err := update(n, 2, "pt", dels); err != nil {
+			return err
+		}
+		if err := commit(n, clk); err != nil {
+			return err
+		}
+		// Window 2: restore the deleted KD points, one commit.
+		ins := make([]proto.IndexEntry, MixedKD)
+		for i := range ins {
+			ins[i] = diagPoint(i*20 + 1)
+		}
+		if err := update(n, 2, "pt", ins); err != nil {
+			return err
+		}
+		return commit(n, clk)
+	}
+	entries := MixedAppend + 3*MixedReindex + MixedHash + 2*MixedKD
+	return &Run{Node: n, EntriesPerOp: entries, Op: op}, nil
+}
+
+// Scenarios returns the standard write-path benchmark set.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "append_only_btree", Kind: "btree", EntriesPerOp: AppendBatch, Prepare: appendOnly},
+		{Name: "reindex_heavy_btree", Kind: "btree", EntriesPerOp: ReindexFiles * ReindexRounds, Prepare: reindexHeavy},
+		{Name: "delete_heavy_kd", Kind: "kd", EntriesPerOp: 2 * KDDeletes, Prepare: deleteHeavyKD},
+		{Name: "mixed", Kind: "mixed", EntriesPerOp: MixedAppend + 3*MixedReindex + MixedHash + 2*MixedKD, Prepare: mixed},
+	}
+}
+
+// ByName returns the named scenario.
+func ByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("updatebench: unknown scenario %q", name)
+}

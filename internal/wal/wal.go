@@ -48,9 +48,24 @@ func NewGroupCommit(c *GroupCommitter) *Log {
 
 const recordHeader = 4 + 4 // length + crc
 
+// FrameRecord returns a record's on-log framing — the length + CRC header
+// followed by the record bytes. It takes no locks, so callers can prepare
+// an append entirely outside their own critical sections and hand the
+// frame to AppendFramed while locked (the Index Node frames WAL records
+// before taking the group mutex).
+func FrameRecord(rec []byte) []byte {
+	framed := make([]byte, recordHeader, recordHeader+len(rec))
+	binary.BigEndian.PutUint32(framed[0:4], uint32(len(rec)))
+	binary.BigEndian.PutUint32(framed[4:8], crc32.ChecksumIEEE(rec))
+	return append(framed, rec...)
+}
+
 // Append adds a record and charges the sequential append cost. With a group
 // committer attached the charge batches with concurrent appenders; Append
 // still returns only after the batch holding this record is on the device.
+// The framing is written in place into the log buffer (no intermediate
+// frame allocation; callers that want to pay the framing cost outside the
+// log mutex use FrameRecord + AppendFramed instead).
 func (l *Log) Append(rec []byte) error {
 	l.mu.Lock()
 	if l.closed {
@@ -64,8 +79,27 @@ func (l *Log) Append(rec []byte) error {
 	l.buf = append(l.buf, rec...)
 	l.count++
 	l.mu.Unlock()
+	return l.charge(int64(recordHeader + len(rec)))
+}
 
-	size := int64(recordHeader + len(rec))
+// AppendFramed appends a record already framed by FrameRecord. The log
+// mutex covers only the in-memory append; the device charge batches (or
+// is paid) outside it, exactly as Append.
+func (l *Log) AppendFramed(framed []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.buf = append(l.buf, framed...)
+	l.count++
+	l.mu.Unlock()
+	return l.charge(int64(len(framed)))
+}
+
+// charge pays one record's sequential-append device cost (batched when a
+// group committer is attached).
+func (l *Log) charge(size int64) error {
 	if l.gc != nil {
 		if err := l.gc.Append(size); err != nil {
 			return fmt.Errorf("wal append: %w", err)

@@ -41,6 +41,57 @@ func TestAppendReplay(t *testing.T) {
 	}
 }
 
+// TestAppendFramedMatchesAppend checks the off-lock prepare contract:
+// framing a record with FrameRecord and appending the frame yields a log
+// byte-identical to the locked Append path, replayable record for record.
+func TestAppendFramedMatchesAppend(t *testing.T) {
+	plain, framed := New(nil), New(nil)
+	recs := [][]byte{[]byte("x"), {}, []byte("a longer record with content")}
+	for _, r := range recs {
+		if err := plain.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := framed.AppendFramed(FrameRecord(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(plain.Bytes(), framed.Bytes()) {
+		t.Fatal("AppendFramed log image differs from Append")
+	}
+	if framed.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", framed.Len(), len(recs))
+	}
+	var got [][]byte
+	if err := framed.Replay(func(r []byte) bool {
+		cp := make([]byte, len(r))
+		copy(cp, r)
+		got = append(got, cp)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestAppendFramedChargesDisk checks a framed append still pays the
+// sequential device charge the acknowledgement promises.
+func TestAppendFramedChargesDisk(t *testing.T) {
+	clk := vclock.New()
+	disk := simdisk.New(simdisk.Barracuda7200(), clk)
+	l := New(disk)
+	before := clk.Now()
+	if err := l.AppendFramed(FrameRecord(make([]byte, 256))); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() <= before {
+		t.Fatal("framed append charged no device time")
+	}
+}
+
 func TestReplayEarlyStop(t *testing.T) {
 	l := New(nil)
 	for i := 0; i < 10; i++ {

@@ -1,20 +1,33 @@
-// Command benchjson runs the streaming read-path search benchmarks on the
-// shared internal/searchbench scenarios and writes BENCH_search.json —
-// ns/op, allocs/op, bytes/op and the node-side retention peak per access
-// path — so CI archives a machine-readable perf trajectory for the search
-// engine. The scenario table lives in internal/searchbench and is the
-// same one bench_test.go benchmarks, so the committed baseline and the
-// test-suite numbers always measure the same workload.
+// Command benchjson runs the Index Node's read-path and write-path
+// benchmarks on the shared scenario tables and writes machine-readable
+// baselines — BENCH_search.json (internal/searchbench: ns/op, allocs/op,
+// bytes/op and the node-side retention peak per access path) and
+// BENCH_update.json (internal/updatebench: ns per acknowledged entry
+// absorbed per commit scenario) — so CI archives a perf trajectory for
+// both engines. The scenario tables live next to the fixtures and are
+// the same ones bench_test.go benchmarks, so the committed baselines and
+// the test-suite numbers always measure the same workloads.
 //
-// With -check it also enforces the cursor-seek regression bound: page 10
-// of a paged B-tree equality scan must stay within 2x page 1 (plus a small
+// With -check it enforces the cursor-seek regression bound: page 10 of a
+// paged B-tree equality scan must stay within 2x page 1 (plus a small
 // absolute grace for timer noise). Before cursor seek, page N re-scanned
-// the run from the start and page 10 cost ~10x page 1; a regression to
-// scan-and-discard fails CI here.
+// the run from the start and page 10 cost ~10x page 1.
+//
+// With -update-check it enforces the batch-commit regression bound: the
+// delete-heavy-KD commit scenario's ns/entry must stay within 2x the
+// committed BENCH_update.json baseline (read before it is overwritten,
+// plus an absolute grace). A regression to per-entry KD rebuilds costs
+// >100x the baseline, so the bound catches the failure mode with a wide
+// margin for machine variance.
 //
 // Usage:
 //
 //	go run ./tools/benchjson [-out BENCH_search.json] [-check]
+//	    [-update-out BENCH_update.json] [-update-check]
+//
+// A bare invocation regenerates both baselines; passing flags for only
+// one suite runs only that suite (so `-out X -check` cannot silently
+// rewrite the committed update baseline, and vice versa).
 package main
 
 import (
@@ -27,9 +40,10 @@ import (
 	"testing"
 
 	"propeller/internal/searchbench"
+	"propeller/internal/updatebench"
 )
 
-// result is one benchmark row of the JSON document.
+// result is one search benchmark row of BENCH_search.json.
 type result struct {
 	Name        string  `json:"name"`
 	Path        string  `json:"path"` // access path: btree, hash, kd, fanout
@@ -50,11 +64,58 @@ type document struct {
 	Page10OverPage1 float64 `json:"page10_over_page1"`
 }
 
+// updateResult is one commit benchmark row of BENCH_update.json. The
+// headline column is NsPerEntry: wall time per acknowledged entry
+// absorbed into the durable indices.
+type updateResult struct {
+	Name         string  `json:"name"`
+	Kind         string  `json:"kind"` // dominant index: btree, hash, kd, mixed
+	NsPerOp      float64 `json:"ns_per_op"`
+	EntriesPerOp int     `json:"entries_per_op"`
+	NsPerEntry   float64 `json:"ns_per_entry"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	Iterations   int     `json:"iterations"`
+}
+
+type updateDocument struct {
+	GeneratedBy string         `json:"generated_by"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
+	Benchmarks  []updateResult `json:"benchmarks"`
+	// DeleteHeavyKDNsPerEntry is the commit cost the -update-check flag
+	// bounds against the committed baseline (the one-rebuild-per-commit
+	// contract: a regression to per-entry rebuilds blows far past 2x).
+	DeleteHeavyKDNsPerEntry float64 `json:"delete_heavy_kd_ns_per_entry"`
+}
+
 func main() {
-	out := flag.String("out", "BENCH_search.json", "output path")
+	out := flag.String("out", "BENCH_search.json", "search baseline output path")
 	check := flag.Bool("check", false, "fail unless page-10 latency is within 2x page-1 (cursor-seek regression bound)")
+	updateOut := flag.String("update-out", "BENCH_update.json", "update (commit) baseline output path")
+	updateCheck := flag.Bool("update-check", false,
+		"fail unless delete-heavy-KD commit ns/entry is within 2x the committed baseline (batch-commit regression bound)")
 	flag.Parse()
 
+	// A suite runs when one of its flags was passed; a bare invocation
+	// regenerates both baselines. Passing only the search flags must not
+	// silently rewrite the committed update baseline (and vice versa) —
+	// a re-committed machine-local baseline would move the CI gate.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	searchSel := set["out"] || set["check"]
+	updateSel := set["update-out"] || set["update-check"]
+	if !searchSel && !updateSel {
+		searchSel, updateSel = true, true
+	}
+	if searchSel {
+		runSearch(*out, *check)
+	}
+	if updateSel {
+		runUpdate(*updateOut, *updateCheck)
+	}
+}
+
+func runSearch(out string, check bool) {
 	doc := document{GeneratedBy: "tools/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0)}
 	var page1, page10 float64
 	for _, s := range searchbench.Scenarios() {
@@ -76,21 +137,99 @@ func main() {
 		doc.Page10OverPage1 = page10 / page1
 	}
 
+	// The seek bound: page 10 must not scale with page number. The grace
+	// term absorbs timer noise on very fast pages. Gate before write, as
+	// in runUpdate: a failing diagnostic run must not leave regressed
+	// numbers on disk for a later commit to re-base the gate on.
+	const grace = 100e3 // 100us
+	if check && page10 > 2*page1+grace {
+		fatal(fmt.Errorf("cursor-seek regression: page10 %.0f ns/op > 2x page1 %.0f ns/op (+%.0f ns grace)",
+			page10, page1, grace))
+	}
+
+	writeJSON(out, doc)
+	fmt.Printf("wrote %s (page10/page1 = %.2f)\n", out, doc.Page10OverPage1)
+}
+
+func runUpdate(out string, check bool) {
+	// Read the committed baseline before overwriting it: the regression
+	// bound compares this run against what the repository ships. An
+	// explicit -update-check with no readable baseline is a hard failure
+	// — a silently skipped gate would let a deleted or corrupted baseline
+	// turn CI green; generate the initial baseline by running without the
+	// flag.
+	var baseline float64
+	if check {
+		prev, err := readUpdateBaseline(out)
+		if err != nil {
+			fatal(fmt.Errorf("-update-check requires a committed baseline: %w", err))
+		}
+		baseline = prev
+	}
+
+	doc := updateDocument{GeneratedBy: "tools/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, s := range updatebench.Scenarios() {
+		row, err := runUpdateScenario(s)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, row)
+		if s.Name == "delete_heavy_kd" {
+			doc.DeleteHeavyKDNsPerEntry = row.NsPerEntry
+		}
+		fmt.Printf("%-24s %12.0f ns/op %10.0f ns/entry %8d allocs/op\n",
+			row.Name, row.NsPerOp, row.NsPerEntry, row.AllocsPerOp)
+	}
+
+	// The gate is evaluated before the baseline file is overwritten: a
+	// failing diagnostic run must not leave the regressed numbers on disk
+	// where a later commit would silently re-base the gate on them.
+	//
+	// A check whose scenario vanished (renamed, dropped) must not pass
+	// vacuously with a zero measurement — that would disarm the gate.
+	if check && doc.DeleteHeavyKDNsPerEntry <= 0 {
+		fatal(fmt.Errorf("-update-check found no delete_heavy_kd measurement; the gated scenario is missing"))
+	}
+	// The batch-commit bound: one KD rebuild per commit. The wall-clock
+	// baseline is cross-machine, so the grace term is sized for runner
+	// variance (with it, a ~7x slower runner still passes) while staying
+	// an order of magnitude below the per-entry-rebuild failure mode
+	// (~1.3ms/entry, >100x the baseline) this gate exists to catch. The
+	// machine-independent form of the same contract — exactly one KD
+	// rebuild per delete-heavy commit — is enforced by the test suite via
+	// NodeStats.KDRebuilds.
+	const grace = 50e3 // 50us/entry
+	if check && doc.DeleteHeavyKDNsPerEntry > 2*baseline+grace {
+		fatal(fmt.Errorf("batch-commit regression: delete_heavy_kd %.0f ns/entry > 2x baseline %.0f ns/entry (+%.0f ns grace)",
+			doc.DeleteHeavyKDNsPerEntry, baseline, grace))
+	}
+
+	writeJSON(out, doc)
+	fmt.Printf("wrote %s (delete_heavy_kd = %.0f ns/entry)\n", out, doc.DeleteHeavyKDNsPerEntry)
+}
+
+func readUpdateBaseline(path string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc updateDocument
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if doc.DeleteHeavyKDNsPerEntry <= 0 {
+		return 0, fmt.Errorf("%s carries no delete_heavy_kd_ns_per_entry", path)
+	}
+	return doc.DeleteHeavyKDNsPerEntry, nil
+}
+
+func writeJSON(path string, doc any) {
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
 		fatal(err)
-	}
-	fmt.Printf("wrote %s (page10/page1 = %.2f)\n", *out, doc.Page10OverPage1)
-
-	// The seek bound: page 10 must not scale with page number. The grace
-	// term absorbs timer noise on very fast pages.
-	const grace = 100e3 // 100us
-	if *check && page10 > 2*page1+grace {
-		fatal(fmt.Errorf("cursor-seek regression: page10 %.0f ns/op > 2x page1 %.0f ns/op (+%.0f ns grace)",
-			page10, page1, grace))
 	}
 }
 
@@ -130,5 +269,36 @@ func runScenario(s searchbench.Scenario) (result, error) {
 		Limit:       req.Limit,
 		MaxRetained: maxRetained,
 		Iterations:  br.N,
+	}, nil
+}
+
+func runUpdateScenario(s updatebench.Scenario) (updateResult, error) {
+	r, err := s.Prepare()
+	if err != nil {
+		return updateResult{}, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	var benchErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := r.Op(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return updateResult{}, fmt.Errorf("%s: %w", s.Name, benchErr)
+	}
+	nsPerOp := float64(br.NsPerOp())
+	return updateResult{
+		Name:         s.Name,
+		Kind:         s.Kind,
+		NsPerOp:      nsPerOp,
+		EntriesPerOp: r.EntriesPerOp,
+		NsPerEntry:   nsPerOp / float64(r.EntriesPerOp),
+		AllocsPerOp:  br.AllocsPerOp(),
+		BytesPerOp:   br.AllocedBytesPerOp(),
+		Iterations:   br.N,
 	}, nil
 }

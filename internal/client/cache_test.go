@@ -1,0 +1,63 @@
+package client
+
+import (
+	"context"
+	"testing"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/proto"
+)
+
+// TestWarmDataPathIsMasterFree is the placement-cache acceptance bar at the
+// client level: once every file and the search fan-out have been resolved,
+// a steady-state update/search workload issues zero Master RPCs.
+func TestWarmDataPathIsMasterFree(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	if err := r.client.CreateIndex(ctx, proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	var ups []FileUpdate
+	for i := 0; i < 50; i++ {
+		ups = append(ups, FileUpdate{File: index.FileID(i), Value: attr.Int(int64(i)), GroupHint: uint64(i/10) + 1})
+	}
+	// Cold round: resolves and caches every mapping and the fan-out.
+	if err := r.client.Index(ctx, "size", ups); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.client.Search(ctx, Query{Index: "size", Text: "size>=0"}); err != nil {
+		t.Fatal(err)
+	}
+	warm := r.client.CacheStats()
+	if warm.MasterLookups == 0 {
+		t.Fatal("cold round should have consulted the master")
+	}
+
+	// Steady state: the same files re-indexed and searched, many rounds.
+	for round := 0; round < 5; round++ {
+		for i := range ups {
+			ups[i].Value = attr.Int(int64(i + round))
+		}
+		if err := r.client.Index(ctx, "size", ups); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.client.Search(ctx, Query{Index: "size", Text: "size>=0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Files) != 50 {
+			t.Fatalf("round %d: %d files, want 50", round, len(res.Files))
+		}
+	}
+	after := r.client.CacheStats()
+	if got := after.MasterLookups - warm.MasterLookups; got != 0 {
+		t.Errorf("steady-state master lookups = %d, want 0 (warm path must be master-free)", got)
+	}
+	if after.FileHits == 0 || after.IndexHits == 0 {
+		t.Errorf("cache hits = %+v, expected warm hits on both caches", after)
+	}
+	if after.StalePlacementRetries != 0 {
+		t.Errorf("stale retries = %d, want 0 with no placement changes", after.StalePlacementRetries)
+	}
+}

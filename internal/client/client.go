@@ -4,6 +4,19 @@
 // Engine that routes indexing and search requests through the Master Node
 // and fans searches out to Index Nodes in parallel.
 //
+// The steady-state data path is Master-free: the client keeps an
+// epoch-keyed placement cache (file → mapping for updates, index → fan-out
+// targets for searches), so warm traffic goes straight to Index Nodes with
+// zero Master RPCs. Staleness is detected two ways and both trigger an
+// invalidate-and-retry bounded by placementRetries: a node rejects traffic
+// for a group it released (perr.ErrStalePlacement, or the connection to a
+// dead node fails), or a node's response quotes a placement epoch newer
+// than the one the cached fan-out was resolved at (a split, merge or
+// migration moved groups since). Only the moved entries are invalidated —
+// an update failure drops that group's file mappings, a search failure
+// drops that index's target list — so one migration never cold-starts the
+// whole cache.
+//
 // All network-touching methods take a context.Context: its deadline travels
 // with every RPC (index nodes see it and bound their own work) and its
 // cancellation aborts an in-flight fan-out without leaking goroutines.
@@ -13,13 +26,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"propeller/internal/acg"
 	"propeller/internal/attr"
 	"propeller/internal/index"
+	"propeller/internal/metrics"
+	"propeller/internal/perr"
 	"propeller/internal/proto"
 	"propeller/internal/query"
 	"propeller/internal/rpc"
@@ -43,6 +62,19 @@ type Config struct {
 	Now func() time.Time
 }
 
+// placementRetries bounds the invalidate-and-retry rounds a single request
+// performs when its placement cache proves stale: each round refetches from
+// the Master, so more than a couple means the cluster is reshaping faster
+// than the Master can answer.
+const placementRetries = 3
+
+// cachedTargets is one index's cached search fan-out and the placement
+// epoch it was resolved at.
+type cachedTargets struct {
+	targets []proto.IndexTarget
+	epoch   proto.Epoch
+}
+
 // Client is a Propeller client. Safe for concurrent use.
 type Client struct {
 	cfg     Config
@@ -50,6 +82,21 @@ type Client struct {
 
 	mu    sync.Mutex
 	conns map[string]*rpc.Client
+
+	// pmu guards the placement cache. maxEpoch is the newest placement
+	// epoch observed on any response; a cached fan-out older than it is
+	// refetched before use.
+	pmu        sync.Mutex
+	fileCache  map[index.FileID]proto.FileMapping
+	indexCache map[string]*cachedTargets
+	maxEpoch   atomic.Uint64
+
+	masterLookups metrics.Counter
+	fileHits      metrics.Counter
+	fileMisses    metrics.Counter
+	indexHits     metrics.Counter
+	indexMisses   metrics.Counter
+	staleRetries  metrics.Counter
 }
 
 // New returns a Client.
@@ -64,10 +111,89 @@ func New(cfg Config) (*Client, error) {
 		cfg.Now = time.Now
 	}
 	return &Client{
-		cfg:     cfg,
-		builder: acg.NewBuilder(),
-		conns:   make(map[string]*rpc.Client),
+		cfg:        cfg,
+		builder:    acg.NewBuilder(),
+		conns:      make(map[string]*rpc.Client),
+		fileCache:  make(map[index.FileID]proto.FileMapping),
+		indexCache: make(map[string]*cachedTargets),
 	}, nil
+}
+
+// CacheStats reports the placement cache's effectiveness. The acceptance
+// bar for the warm data path is MasterLookups not growing during
+// steady-state traffic.
+type CacheStats struct {
+	// FileHits / FileMisses count per-file placement resolutions served
+	// from cache vs. fetched from the Master.
+	FileHits, FileMisses int64
+	// IndexHits / IndexMisses count search fan-out resolutions.
+	IndexHits, IndexMisses int64
+	// MasterLookups counts LookupFiles / LookupIndex RPCs actually issued.
+	MasterLookups int64
+	// StalePlacementRetries counts invalidate-and-retry rounds (stale
+	// rejections, dead-node connections, and epoch mismatches).
+	StalePlacementRetries int64
+	// Epoch is the newest placement epoch the client has seen.
+	Epoch proto.Epoch
+}
+
+// CacheStats returns a snapshot of the placement-cache counters.
+func (c *Client) CacheStats() CacheStats {
+	return CacheStats{
+		FileHits:              c.fileHits.Value(),
+		FileMisses:            c.fileMisses.Value(),
+		IndexHits:             c.indexHits.Value(),
+		IndexMisses:           c.indexMisses.Value(),
+		MasterLookups:         c.masterLookups.Value(),
+		StalePlacementRetries: c.staleRetries.Value(),
+		Epoch:                 proto.Epoch(c.maxEpoch.Load()),
+	}
+}
+
+// noteEpoch advances the client's placement-epoch watermark (monotonic).
+func (c *Client) noteEpoch(e proto.Epoch) {
+	for {
+		cur := c.maxEpoch.Load()
+		if uint64(e) <= cur || c.maxEpoch.CompareAndSwap(cur, uint64(e)) {
+			return
+		}
+	}
+}
+
+// retryablePlacement reports whether err means the placement the request
+// was routed by is stale — the node released the group, or the node is
+// gone — so invalidating and re-resolving through the Master can fix it.
+func retryablePlacement(err error) bool {
+	return errors.Is(err, perr.ErrStalePlacement) ||
+		errors.Is(err, rpc.ErrClientClosed) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// invalidateACG drops every cached file mapping routed to the group —
+// exactly the entries a migration of that group moved — and returns how
+// many were dropped.
+func (c *Client) invalidateACG(id proto.ACGID) int {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	dropped := 0
+	for f, m := range c.fileCache {
+		if m.ACG == id {
+			delete(c.fileCache, f)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// invalidateIndex drops one index's cached search fan-out.
+func (c *Client) invalidateIndex(name string) {
+	c.pmu.Lock()
+	delete(c.indexCache, name)
+	c.pmu.Unlock()
 }
 
 // Close closes all cached Index Node connections (the Master connection is
@@ -145,16 +271,21 @@ func (c *Client) FlushACG(ctx context.Context) error {
 			hints = append(hints, hint)
 		}
 	}
+	c.masterLookups.Inc()
 	resp, err := rpc.Call[proto.LookupFilesReq, proto.LookupFilesResp](
 		ctx, c.cfg.Master, proto.MethodLookupFiles,
 		proto.LookupFilesReq{Files: files, GroupHints: hints, Allocate: true})
 	if err != nil {
 		return fmt.Errorf("client flush acg: %w", err)
 	}
+	c.noteEpoch(resp.Epoch)
 	where := make(map[index.FileID]proto.FileMapping, len(resp.Mappings))
+	c.pmu.Lock()
 	for _, m := range resp.Mappings {
 		where[m.File] = m
+		c.fileCache[m.File] = m // warm the placement cache in passing
 	}
+	c.pmu.Unlock()
 
 	// Partition edges and vertices by destination group.
 	type dest struct {
@@ -227,70 +358,146 @@ type FileUpdate struct {
 	GroupHint uint64
 }
 
-// Index sends a batch of indexing requests for the named index. Updates are
-// routed through the Master, grouped by (Index Node, ACG) and sent in
-// parallel — the paper's batched parallel file-indexing path.
-func (c *Client) Index(ctx context.Context, indexName string, updates []FileUpdate) error {
-	if len(updates) == 0 {
-		return nil
+// resolveFiles returns one mapping per update, served from the placement
+// cache when possible; only the misses cost a Master LookupFiles RPC.
+func (c *Client) resolveFiles(ctx context.Context, ups []FileUpdate) ([]proto.FileMapping, error) {
+	out := make([]proto.FileMapping, len(ups))
+	var missIdx []int
+	c.pmu.Lock()
+	for i, u := range ups {
+		if m, ok := c.fileCache[u.File]; ok {
+			out[i] = m
+		} else {
+			missIdx = append(missIdx, i)
+		}
 	}
-	files := make([]index.FileID, len(updates))
-	hints := make([]uint64, len(updates))
-	for i, u := range updates {
-		files[i] = u.File
-		hints[i] = u.GroupHint
+	c.pmu.Unlock()
+	c.fileHits.Add(int64(len(ups) - len(missIdx)))
+	if len(missIdx) == 0 {
+		return out, nil
 	}
+	c.fileMisses.Add(int64(len(missIdx)))
+	files := make([]index.FileID, len(missIdx))
+	hints := make([]uint64, len(missIdx))
+	for k, i := range missIdx {
+		files[k] = ups[i].File
+		hints[k] = ups[i].GroupHint
+	}
+	c.masterLookups.Inc()
 	resp, err := rpc.Call[proto.LookupFilesReq, proto.LookupFilesResp](
 		ctx, c.cfg.Master, proto.MethodLookupFiles,
 		proto.LookupFilesReq{Files: files, GroupHints: hints, Allocate: true})
 	if err != nil {
-		return fmt.Errorf("client index: %w", err)
+		return nil, err
 	}
-	type batch struct {
-		addr string
-		req  proto.UpdateReq
+	c.noteEpoch(resp.Epoch)
+	byFile := make(map[index.FileID]proto.FileMapping, len(resp.Mappings))
+	for _, m := range resp.Mappings {
+		byFile[m.File] = m
 	}
-	batches := make(map[proto.ACGID]*batch)
-	for i, m := range resp.Mappings {
-		b := batches[m.ACG]
-		if b == nil {
-			b = &batch{addr: m.Addr, req: proto.UpdateReq{ACG: m.ACG, IndexName: indexName}}
-			batches[m.ACG] = b
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	for _, i := range missIdx {
+		m, ok := byFile[ups[i].File]
+		if !ok {
+			return nil, fmt.Errorf("client: master returned no mapping for file %d", ups[i].File)
 		}
-		u := updates[i]
-		b.req.Entries = append(b.req.Entries, proto.IndexEntry{
-			File: u.File, Value: u.Value, KDCoords: u.KDCoords, Delete: u.Delete,
-		})
+		out[i] = m
+		c.fileCache[m.File] = m
 	}
+	return out, nil
+}
 
-	ids := make([]proto.ACGID, 0, len(batches))
-	for id := range batches {
-		ids = append(ids, id)
+// Index sends a batch of indexing requests for the named index. Mappings
+// come from the epoch-keyed placement cache (warm batches cost zero Master
+// RPCs), updates are grouped by (Index Node, ACG) and sent in parallel —
+// the paper's batched parallel file-indexing path. A batch bounced with a
+// stale-placement rejection (or a dead connection) invalidates exactly that
+// group's cached mappings, re-resolves them, and resends just the affected
+// updates; acknowledged batches are never resent.
+func (c *Client) Index(ctx context.Context, indexName string, updates []FileUpdate) error {
+	if len(updates) == 0 {
+		return nil
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(ids))
-	for _, id := range ids {
-		b := batches[id]
-		conn, err := c.conn(b.addr)
+	pending := updates
+	var lastErr error
+	for attempt := 0; attempt <= placementRetries; attempt++ {
+		mappings, err := c.resolveFiles(ctx, pending)
 		if err != nil {
-			return err
+			return fmt.Errorf("client index: %w", err)
 		}
-		wg.Add(1)
-		go func(b *batch, conn *rpc.Client) {
-			defer wg.Done()
-			if _, err := rpc.Call[proto.UpdateReq, proto.UpdateResp](ctx, conn, proto.MethodUpdate, b.req); err != nil {
-				errCh <- fmt.Errorf("client index acg %d: %w", b.req.ACG, err)
+		type batch struct {
+			addr string
+			req  proto.UpdateReq
+			ups  []FileUpdate
+		}
+		batches := make(map[proto.ACGID]*batch)
+		for i, m := range mappings {
+			b := batches[m.ACG]
+			if b == nil {
+				b = &batch{addr: m.Addr, req: proto.UpdateReq{ACG: m.ACG, IndexName: indexName}}
+				batches[m.ACG] = b
 			}
-		}(b, conn)
+			u := pending[i]
+			b.req.Entries = append(b.req.Entries, proto.IndexEntry{
+				File: u.File, Value: u.Value, KDCoords: u.KDCoords, Delete: u.Delete,
+			})
+			b.ups = append(b.ups, u)
+		}
+
+		ids := make([]proto.ACGID, 0, len(batches))
+		for id := range batches {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+		var wg sync.WaitGroup
+		errs := make([]error, len(ids))
+		epochs := make([]proto.Epoch, len(ids))
+		for k, id := range ids {
+			b := batches[id]
+			conn, err := c.conn(b.addr)
+			if err != nil {
+				errs[k] = err // a dead node's dial failure retries like a stale batch
+				continue
+			}
+			wg.Add(1)
+			go func(k int, b *batch, conn *rpc.Client) {
+				defer wg.Done()
+				resp, err := rpc.Call[proto.UpdateReq, proto.UpdateResp](ctx, conn, proto.MethodUpdate, b.req)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				epochs[k] = resp.Epoch
+			}(k, b, conn)
+		}
+		wg.Wait()
+
+		var failed []FileUpdate
+		lastErr = nil
+		for k, id := range ids {
+			if epochs[k] != 0 {
+				c.noteEpoch(epochs[k])
+			}
+			err := errs[k]
+			if err == nil {
+				continue
+			}
+			if !retryablePlacement(err) || attempt == placementRetries {
+				return fmt.Errorf("client index acg %d: %w", id, err)
+			}
+			lastErr = fmt.Errorf("client index acg %d: %w", id, err)
+			c.staleRetries.Inc()
+			c.invalidateACG(id)
+			failed = append(failed, batches[id].ups...)
+		}
+		if len(failed) == 0 {
+			return nil
+		}
+		pending = failed
 	}
-	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		return err
-	}
-	return nil
+	return lastErr
 }
 
 // Query is one search request: the single entry point for global searches,
@@ -350,19 +557,33 @@ func (c *Client) compile(q Query) ([]query.Predicate, time.Time, error) {
 	return preds, anchor, nil
 }
 
-// lookupTargets asks the Master for the search fan-out. Zero targets
-// yields ErrNoTargets, which Search and SearchStream translate to an empty
-// result in one place.
-func (c *Client) lookupTargets(ctx context.Context, indexName string) ([]proto.IndexTarget, error) {
+// lookupTargets resolves the search fan-out, served from the placement
+// cache while the cached epoch is current (no placement change observed
+// since it was fetched). Zero targets yields ErrNoTargets, which Search and
+// SearchStream translate to an empty result in one place.
+func (c *Client) lookupTargets(ctx context.Context, indexName string) ([]proto.IndexTarget, proto.Epoch, error) {
+	c.pmu.Lock()
+	e := c.indexCache[indexName]
+	c.pmu.Unlock()
+	if e != nil && uint64(e.epoch) >= c.maxEpoch.Load() {
+		c.indexHits.Inc()
+		return e.targets, e.epoch, nil
+	}
+	c.indexMisses.Inc()
+	c.masterLookups.Inc()
 	lookup, err := rpc.Call[proto.LookupIndexReq, proto.LookupIndexResp](
 		ctx, c.cfg.Master, proto.MethodLookupIndex, proto.LookupIndexReq{IndexName: indexName})
 	if err != nil {
-		return nil, fmt.Errorf("client search: %w", err)
+		return nil, 0, fmt.Errorf("client search: %w", err)
 	}
+	c.noteEpoch(lookup.Epoch)
 	if len(lookup.Targets) == 0 {
-		return nil, ErrNoTargets
+		return nil, 0, ErrNoTargets
 	}
-	return lookup.Targets, nil
+	c.pmu.Lock()
+	c.indexCache[indexName] = &cachedTargets{targets: lookup.Targets, epoch: lookup.Epoch}
+	c.pmu.Unlock()
+	return lookup.Targets, lookup.Epoch, nil
 }
 
 // searchReq builds the per-node wire request for q.
@@ -400,28 +621,10 @@ type SearchResult struct {
 	Anchor time.Time
 }
 
-// Search runs a query: the Master supplies the fan-out targets, every
-// Index Node is queried in parallel, and the client merges the returned
-// (ascending) file streams (§IV's parallel file-search). With q.Limit > 0
-// each node returns at most one page and the merged result is cut to the
-// page size; because per-node responses are ascending, the last FileID of
-// the page is a valid resume cursor on every node.
-//
-// An empty cluster (no index nodes holding the index) yields an empty
-// result, not an error. An unknown index name yields perr.ErrIndexNotFound.
-func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
-	preds, anchor, err := c.compile(q)
-	if err != nil {
-		return SearchResult{}, err
-	}
-	targets, err := c.lookupTargets(ctx, q.Index)
-	if errors.Is(err, ErrNoTargets) {
-		return SearchResult{}, nil // empty cluster: no matches
-	}
-	if err != nil {
-		return SearchResult{}, err
-	}
-
+// searchFanout queries every target in parallel and merges the pages. It
+// also returns the newest placement epoch any node quoted, so the caller
+// can detect a fan-out resolved before a placement change.
+func (c *Client) searchFanout(ctx context.Context, q Query, preds []query.Predicate, targets []proto.IndexTarget) (SearchResult, proto.Epoch, error) {
 	var wg sync.WaitGroup
 	type nodeResult struct {
 		resp proto.SearchResp
@@ -431,7 +634,8 @@ func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
 	for i, tgt := range targets {
 		conn, err := c.conn(tgt.Addr)
 		if err != nil {
-			return SearchResult{}, err
+			results[i] = nodeResult{err: err} // dead node: retried like a stale fan-out
+			continue
 		}
 		wg.Add(1)
 		go func(i int, tgt proto.IndexTarget, conn *rpc.Client) {
@@ -444,10 +648,14 @@ func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
 	wg.Wait()
 
 	out := SearchResult{Nodes: len(targets)}
+	var maxEpoch proto.Epoch
 	var merged []index.FileID
 	for i, r := range results {
 		if r.err != nil {
-			return SearchResult{}, fmt.Errorf("client search node %s: %w", targets[i].Node, r.err)
+			return SearchResult{}, maxEpoch, fmt.Errorf("client search node %s: %w", targets[i].Node, r.err)
+		}
+		if r.resp.Epoch > maxEpoch {
+			maxEpoch = r.resp.Epoch
 		}
 		out.CommitLatency += time.Duration(r.resp.CommitLatencyNanos)
 		out.More = out.More || r.resp.More
@@ -461,11 +669,65 @@ func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
 		out.More = true
 	}
 	out.Files = files
-	out.Anchor = anchor
 	if out.More && len(out.Files) > 0 {
 		out.Next, out.NextSet = out.Files[len(out.Files)-1], true
 	}
-	return out, nil
+	return out, maxEpoch, nil
+}
+
+// Search runs a query: the fan-out targets come from the epoch-keyed
+// placement cache (the Master is consulted only on a miss or after a
+// placement change), every Index Node is queried in parallel, and the
+// client merges the returned (ascending) file streams (§IV's parallel
+// file-search). With q.Limit > 0 each node returns at most one page and the
+// merged result is cut to the page size; because per-node responses are
+// ascending, the last FileID of the page is a valid resume cursor on every
+// node.
+//
+// Staleness self-heals: a node rejecting the fan-out (released group, dead
+// connection) or quoting a newer placement epoch than the fan-out was
+// resolved at invalidates the cached targets and retries, bounded by
+// placementRetries.
+//
+// An empty cluster (no index nodes holding the index) yields an empty
+// result, not an error. An unknown index name yields perr.ErrIndexNotFound.
+func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
+	preds, anchor, err := c.compile(q)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= placementRetries; attempt++ {
+		targets, tepoch, err := c.lookupTargets(ctx, q.Index)
+		if errors.Is(err, ErrNoTargets) {
+			return SearchResult{}, nil // empty cluster: no matches
+		}
+		if err != nil {
+			return SearchResult{}, err
+		}
+		out, nodeEpoch, err := c.searchFanout(ctx, q, preds, targets)
+		if err != nil {
+			if retryablePlacement(err) && attempt < placementRetries {
+				lastErr = err
+				c.staleRetries.Inc()
+				c.invalidateIndex(q.Index)
+				continue
+			}
+			return SearchResult{}, err
+		}
+		c.noteEpoch(nodeEpoch)
+		if nodeEpoch > tepoch && attempt < placementRetries {
+			// Some node has seen a newer placement than this fan-out was
+			// resolved at: a group may have moved to a node we did not
+			// query. Refetch and re-run so no acknowledged file is missed.
+			c.staleRetries.Inc()
+			c.invalidateIndex(q.Index)
+			continue
+		}
+		out.Anchor = anchor
+		return out, nil
+	}
+	return SearchResult{}, lastErr
 }
 
 // Batch is one Index Node's contribution to a streaming search.
@@ -517,12 +779,17 @@ func (s *Stream) Err() error { return s.err }
 // round trip. Batches are de-duplicated per node only. Cancelling the
 // context aborts outstanding node calls; the per-node goroutines always
 // drain into a buffered channel, so an abandoned stream leaks nothing.
+//
+// Unlike Search, a stream cannot transparently retry a stale fan-out —
+// batches were already delivered — so staleness (a released group, a dead
+// node, or a newer epoch in a batch) invalidates the cached targets and
+// surfaces on the stream; the caller's next call re-resolves and succeeds.
 func (c *Client) SearchStream(ctx context.Context, q Query) (*Stream, error) {
 	preds, _, err := c.compile(q)
 	if err != nil {
 		return nil, err
 	}
-	targets, err := c.lookupTargets(ctx, q.Index)
+	targets, tepoch, err := c.lookupTargets(ctx, q.Index)
 	if errors.Is(err, ErrNoTargets) {
 		return &Stream{}, nil // empty cluster: stream with zero batches
 	}
@@ -533,14 +800,24 @@ func (c *Client) SearchStream(ctx context.Context, q Query) (*Stream, error) {
 	for _, tgt := range targets {
 		conn, err := c.conn(tgt.Addr)
 		if err != nil {
+			if retryablePlacement(err) {
+				c.invalidateIndex(q.Index)
+			}
 			return nil, err
 		}
 		go func(tgt proto.IndexTarget, conn *rpc.Client) {
 			resp, err := rpc.Call[proto.SearchReq, proto.SearchResp](
 				ctx, conn, proto.MethodSearch, searchReq(q, preds, tgt))
 			if err != nil {
+				if retryablePlacement(err) {
+					c.invalidateIndex(q.Index)
+				}
 				s.ch <- streamItem{err: fmt.Errorf("client search node %s: %w", tgt.Node, err)}
 				return
+			}
+			c.noteEpoch(resp.Epoch)
+			if resp.Epoch > tepoch {
+				c.invalidateIndex(q.Index) // next call re-resolves the fan-out
 			}
 			s.ch <- streamItem{batch: Batch{
 				Node:          tgt.Node,

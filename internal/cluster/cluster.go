@@ -19,6 +19,7 @@ import (
 	"propeller/internal/pagestore"
 	"propeller/internal/proto"
 	"propeller/internal/rpc"
+	"propeller/internal/sharedstore"
 	"propeller/internal/simdisk"
 	"propeller/internal/vclock"
 )
@@ -52,6 +53,18 @@ type Config struct {
 	// charges — and therefore their printed tables — are byte-identical
 	// across runs; deployments keep the parallel default.
 	SearchFanout int
+	// HeartbeatTimeout enables the failure control plane: nodes are wired
+	// to a shared store (WAL mirroring + checkpoints), and the Master's
+	// liveness sweep marks nodes silent past this virtual duration dead and
+	// re-places their groups onto survivors, which recover them from the
+	// shared store on their next heartbeat. 0 (the default) disables the
+	// sweep — virtual-time experiments advance the clock far between
+	// heartbeats and must keep placements pinned.
+	HeartbeatTimeout time.Duration
+	// RebalanceRatio enables the Master's load rebalancer (> 1): an
+	// overloaded heartbeating node is ordered to migrate its hottest group
+	// to the least-loaded peer. 0 disables.
+	RebalanceRatio float64
 }
 
 func (c Config) withDefaults() Config {
@@ -85,11 +98,14 @@ type Cluster struct {
 	nodes      []*indexnode.Node
 	disks      []*simdisk.Disk
 	stores     []*pagestore.Store
+	nodeAddrs  []string
+	shared     *sharedstore.Store // nil unless the failure control plane is on
 
 	mu      sync.Mutex
 	servers map[string]*rpc.Server // addr -> server (pipe transport)
 	lns     []net.Listener
 	clients []*rpc.Client
+	killed  []bool // per-node: excluded from heartbeat/tick rounds, server closed
 	closed  bool
 }
 
@@ -102,10 +118,17 @@ func New(cfg Config) (*Cluster, error) {
 		servers: make(map[string]*rpc.Server),
 	}
 
+	if cfg.HeartbeatTimeout > 0 || cfg.RebalanceRatio > 0 {
+		c.shared = sharedstore.New()
+	}
+
 	// Master.
 	c.master = master.New(master.Config{
-		SplitThreshold: int64(cfg.SplitThreshold),
-		Clock:          c.clock,
+		SplitThreshold:   int64(cfg.SplitThreshold),
+		Clock:            c.clock,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		EnableFailover:   cfg.HeartbeatTimeout > 0,
+		RebalanceRatio:   cfg.RebalanceRatio,
 	})
 	masterSrv := rpc.NewServer()
 	c.master.RegisterRPC(masterSrv)
@@ -137,6 +160,7 @@ func New(cfg Config) (*Cluster, error) {
 			Dial:             c.Dial,
 			DisableLazyCache: cfg.DisableLazyCache,
 			SearchFanout:     cfg.SearchFanout,
+			Shared:           c.shared,
 		})
 		if err != nil {
 			return nil, err
@@ -155,7 +179,9 @@ func New(cfg Config) (*Cluster, error) {
 		c.nodes = append(c.nodes, node)
 		c.disks = append(c.disks, disk)
 		c.stores = append(c.stores, store)
+		c.nodeAddrs = append(c.nodeAddrs, addr)
 	}
+	c.killed = make([]bool, len(c.nodes))
 	c.masterAddr = masterAddr
 	return c, nil
 }
@@ -241,9 +267,59 @@ func (c *Cluster) NewClient(now func() time.Time) (*client.Client, error) {
 	})
 }
 
-// Tick runs the lazy-cache timeout check on every node.
+// Shared returns the cluster's shared store (nil unless the failure
+// control plane is enabled).
+func (c *Cluster) Shared() *sharedstore.Store { return c.shared }
+
+// KillNode fails node i: it stops heartbeating and ticking, and its RPC
+// server closes so in-flight and future connections fail — the closest an
+// in-process harness gets to pulling the plug. Its durable state (shared
+// store) remains, which is the whole point: the Master's sweep re-places
+// its groups and survivors recover them. Idempotent.
+func (c *Cluster) KillNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	c.mu.Lock()
+	if c.killed[i] {
+		c.mu.Unlock()
+		return nil
+	}
+	c.killed[i] = true
+	srv := c.servers[c.nodeAddrs[i]]
+	c.mu.Unlock()
+	if srv != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+// alive reports whether node i is still part of the rounds.
+func (c *Cluster) alive(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.killed[i]
+}
+
+// ForceMigrate orders one group moved to the dest node and runs a
+// heartbeat round so the order is delivered and executed (migration orders
+// ride heartbeat replies, like split orders).
+func (c *Cluster) ForceMigrate(ctx context.Context, id proto.ACGID, dest int) error {
+	if dest < 0 || dest >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", dest)
+	}
+	if err := c.master.OrderMigration(id, c.nodes[dest].ID()); err != nil {
+		return err
+	}
+	return c.Heartbeat(ctx)
+}
+
+// Tick runs the lazy-cache timeout check on every live node.
 func (c *Cluster) Tick() error {
-	for _, n := range c.nodes {
+	for i, n := range c.nodes {
+		if !c.alive(i) {
+			continue
+		}
 		if err := n.Tick(); err != nil {
 			return err
 		}
@@ -251,10 +327,17 @@ func (c *Cluster) Tick() error {
 	return nil
 }
 
-// Heartbeat runs one heartbeat round (nodes report to the master and
-// execute split orders).
+// Heartbeat runs one heartbeat round: every live node reports to the
+// master and executes the orders the reply carries (splits, migrations,
+// recoveries, drops). With failover enabled this round is also the failure
+// detector — the first surviving reporter triggers the sweep that
+// re-places a dead node's groups, and later reporters in the same round
+// pick up their recover orders.
 func (c *Cluster) Heartbeat(ctx context.Context) error {
-	for _, n := range c.nodes {
+	for i, n := range c.nodes {
+		if !c.alive(i) {
+			continue
+		}
 		if err := n.Heartbeat(ctx); err != nil {
 			return err
 		}
@@ -267,7 +350,10 @@ func (c *Cluster) Heartbeat(ctx context.Context) error {
 // task).
 func (c *Cluster) Compact(ctx context.Context, minFiles int) (int, error) {
 	total := 0
-	for _, n := range c.nodes {
+	for i, n := range c.nodes {
+		if !c.alive(i) {
+			continue
+		}
 		m, err := n.CompactGroups(ctx, minFiles)
 		if err != nil {
 			return total, err

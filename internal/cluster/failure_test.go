@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"propeller/internal/acg"
 	"propeller/internal/attr"
 	"propeller/internal/client"
 	"propeller/internal/index"
@@ -226,4 +227,367 @@ func TestCommitLatencyReported(t *testing.T) {
 		t.Errorf("idle commit latency = %v, want 0", res2.CommitLatency)
 	}
 	_ = time.Second
+}
+
+// TestNodeKillMidWorkloadZeroLostUpdates is the control plane's acceptance
+// test: an Index Node dies mid-workload and every acknowledged update
+// survives — the heartbeat round detects the failure, the Master re-places
+// the dead node's groups, survivors recover them from shared storage
+// (checkpoint + WAL replay), and the client's placement cache self-heals.
+// Everything runs through public cluster/client APIs; no test-only
+// recovery calls.
+func TestNodeKillMidWorkloadZeroLostUpdates(t *testing.T) {
+	c, cl := bootCluster(t, Config{
+		IndexNodes:       3,
+		HeartbeatTimeout: 30 * time.Second,
+		CacheLimit:       1 << 20, // keep updates pending: recovery must replay WALs
+	})
+	ctx := context.Background()
+	if err := cl.CreateIndex(ctx, proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: 6 groups x 20 files, then a search so part of the state is
+	// committed (recovery must restore committed and pending state alike).
+	var updates []client.FileUpdate
+	for i := 0; i < 120; i++ {
+		updates = append(updates, client.FileUpdate{
+			File: index.FileID(i), Value: attr.Int(int64(i) + 1), GroupHint: uint64(i/20) + 1,
+		})
+	}
+	if err := cl.Index(ctx, "size", updates); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Search(ctx, client.Query{Index: "size", Text: "size>0"}); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: more acknowledged updates that stay in the lazy caches.
+	var more []client.FileUpdate
+	for i := 120; i < 150; i++ {
+		more = append(more, client.FileUpdate{
+			File: index.FileID(i), Value: attr.Int(int64(i) + 1), GroupHint: uint64((i-120)/5) + 1,
+		})
+	}
+	if err := cl.Index(ctx, "size", more); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heartbeat(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The kill. Two heartbeat rounds at a live cadence follow: the first
+	// keeps the survivors fresh while the victim's silence ages; during the
+	// second the sweep declares it dead, re-places its groups, and the same
+	// round's heartbeat replies deliver the recover orders.
+	if err := c.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Clock().Advance(20 * time.Second)
+	if err := c.Heartbeat(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.Clock().Advance(20 * time.Second)
+	if err := c.Heartbeat(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every acknowledged update is searchable against the new owners; the
+	// client's cached fan-out (which still names the dead node) self-heals.
+	res, err := cl.Search(ctx, client.Query{Index: "size", Text: "size>0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 150 {
+		t.Fatalf("post-failure search = %d files, want 150 (acknowledged updates lost)", len(res.Files))
+	}
+
+	// The workload continues: updates for files previously homed on the
+	// dead node re-route transparently.
+	for i := range updates {
+		updates[i].Value = attr.Int(int64(i) + 1000)
+	}
+	if err := cl.Index(ctx, "size", updates); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := cl.Search(ctx, client.Query{Index: "size", Text: "size>=1000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Files) != 120 {
+		t.Fatalf("post-failure update round = %d files, want 120", len(res2.Files))
+	}
+
+	stats, err := cl.ClusterStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadNodes != 1 {
+		t.Errorf("DeadNodes = %d, want 1", stats.DeadNodes)
+	}
+	if stats.Recoveries == 0 {
+		t.Error("sweep should have recorded recoveries")
+	}
+	if stats.PlacementEpoch == 0 {
+		t.Error("placement epoch should have advanced")
+	}
+	var recovered int64
+	for i, n := range c.Nodes() {
+		if i == 0 {
+			continue
+		}
+		st, err := n.NodeStats(ctx, proto.NodeStatsReq{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recovered += st.GroupsRecovered
+	}
+	if recovered != stats.Recoveries {
+		t.Errorf("survivors recovered %d groups, master ordered %d", recovered, stats.Recoveries)
+	}
+	if cs := cl.CacheStats(); cs.StalePlacementRetries == 0 {
+		t.Error("the client should have healed its cache via stale retries")
+	}
+}
+
+// TestForcedMigrationInvalidatesExactlyMovedEntries pins the cache
+// invalidation granularity: migrating one group invalidates that group's
+// cached mappings only — traffic to unmoved groups stays master-free.
+func TestForcedMigrationInvalidatesExactlyMovedEntries(t *testing.T) {
+	c, cl := bootCluster(t, Config{IndexNodes: 2, RebalanceRatio: 0, CacheLimit: 1 << 20})
+	ctx := context.Background()
+	if err := cl.CreateIndex(ctx, proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	var g1, g2 []client.FileUpdate
+	for i := 0; i < 20; i++ {
+		g1 = append(g1, client.FileUpdate{File: index.FileID(i), Value: attr.Int(int64(i) + 1), GroupHint: 1})
+		g2 = append(g2, client.FileUpdate{File: index.FileID(100 + i), Value: attr.Int(int64(i) + 1), GroupHint: 2})
+	}
+	if err := cl.Index(ctx, "size", g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Index(ctx, "size", g2); err != nil {
+		t.Fatal(err)
+	}
+	// Resolve group 1's id and home, and move it to the other node.
+	look, err := c.Master().LookupFiles(ctx, proto.LookupFilesReq{Files: []index.FileID{0, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedACG := look.Mappings[0].ACG
+	dest := 0
+	if c.Nodes()[0].ID() == look.Mappings[0].Node {
+		dest = 1
+	}
+	if err := c.ForceMigrate(ctx, movedACG, dest); err != nil {
+		t.Fatal(err)
+	}
+
+	// Updates to the unmoved group first: their cached mappings must
+	// survive the migration untouched (no retries, no master lookups).
+	before := cl.CacheStats()
+	if err := cl.Index(ctx, "size", g2); err != nil {
+		t.Fatal(err)
+	}
+	mid := cl.CacheStats()
+	if d := mid.StalePlacementRetries - before.StalePlacementRetries; d != 0 {
+		t.Errorf("unmoved-group update caused %d stale retries, want 0", d)
+	}
+	if d := mid.MasterLookups - before.MasterLookups; d != 0 {
+		t.Errorf("unmoved-group update caused %d master lookups, want 0", d)
+	}
+	// Updates to the moved group bounce off the tombstone once, invalidate
+	// exactly those mappings, re-resolve, and land on the new owner.
+	if err := cl.Index(ctx, "size", g1); err != nil {
+		t.Fatal(err)
+	}
+	after := cl.CacheStats()
+	if d := after.StalePlacementRetries - mid.StalePlacementRetries; d != 1 {
+		t.Errorf("moved-group update stale retries = %d, want exactly 1", d)
+	}
+	if d := after.FileMisses - mid.FileMisses; d != int64(len(g1)) {
+		t.Errorf("moved-group re-resolutions = %d, want %d (exactly the moved entries)", d, len(g1))
+	}
+	// And the data is intact on the new owner.
+	res, err := cl.Search(ctx, client.Query{Index: "size", Text: "size>0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 40 {
+		t.Fatalf("post-migration search = %d files, want 40", len(res.Files))
+	}
+	stats, err := cl.ClusterStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MigrationsOrdered != 1 {
+		t.Errorf("MigrationsOrdered = %d, want 1", stats.MigrationsOrdered)
+	}
+}
+
+// TestRebalanceDrainsOverloadedNode builds a skewed cluster and lets the
+// heartbeat-driven rebalancer move load off the hot node.
+func TestRebalanceDrainsOverloadedNode(t *testing.T) {
+	c, cl := bootCluster(t, Config{IndexNodes: 2, RebalanceRatio: 1.2, CacheLimit: 1 << 20})
+	ctx := context.Background()
+	if err := cl.CreateIndex(ctx, proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	// Four equal groups land balanced (two per node); force one across to
+	// create the imbalance the rebalancer must undo.
+	var updates []client.FileUpdate
+	for g := 0; g < 4; g++ {
+		for i := 0; i < 50; i++ {
+			f := index.FileID(g*50 + i)
+			updates = append(updates, client.FileUpdate{File: f, Value: attr.Int(int64(f) + 1), GroupHint: uint64(g) + 1})
+		}
+	}
+	if err := cl.Index(ctx, "size", updates); err != nil {
+		t.Fatal(err)
+	}
+	look, err := c.Master().LookupFiles(ctx, proto.LookupFilesReq{Files: []index.FileID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := 0
+	if c.Nodes()[1].ID() == look.Mappings[0].Node {
+		heavy = 1
+	}
+	// Move a group from the light node onto file 0's node: 150 vs 50.
+	lightLook, err := c.Master().LookupFiles(ctx, proto.LookupFilesReq{Files: []index.FileID{50, 100, 150}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var movedIn proto.ACGID
+	for _, m := range lightLook.Mappings {
+		if m.Node != c.Nodes()[heavy].ID() {
+			movedIn = m.ACG
+			break
+		}
+	}
+	if movedIn == 0 {
+		t.Fatal("no group found on the light node")
+	}
+	if err := c.ForceMigrate(ctx, movedIn, heavy); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next heartbeat rounds rebalance: the overloaded node is ordered
+	// to migrate a group to the light one until the ratio is satisfied.
+	for round := 0; round < 3; round++ {
+		if err := c.Heartbeat(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := cl.ClusterStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MigrationsOrdered < 2 { // the forced move + at least one rebalance move
+		t.Errorf("MigrationsOrdered = %d, want >= 2", stats.MigrationsOrdered)
+	}
+	var loads []int64
+	for _, ns := range stats.Nodes {
+		loads = append(loads, ns.Files)
+	}
+	if len(loads) != 2 || loads[0] != 100 || loads[1] != 100 {
+		t.Errorf("post-rebalance loads = %v, want [100 100]", loads)
+	}
+	// No postings were lost in the moves.
+	res, err := cl.Search(ctx, client.Query{Index: "size", Text: "size>0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 200 {
+		t.Fatalf("post-rebalance search = %d files, want 200", len(res.Files))
+	}
+}
+
+// TestMasterRestartPreservesPlacement drives splits, merges and a
+// migration, snapshots the Master's metadata, restores it, and verifies
+// placement (and the epoch) survive — the satellite's round-trip coverage.
+func TestMasterRestartPreservesPlacement(t *testing.T) {
+	c, cl := bootCluster(t, Config{IndexNodes: 2, SplitThreshold: 30, HeartbeatTimeout: 30 * time.Second, CacheLimit: 1 << 20})
+	ctx := context.Background()
+	if err := cl.CreateIndex(ctx, proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	// A hinted group big enough to split, plus two tiny groups to merge.
+	proc := acg.PID(1)
+	var updates []client.FileUpdate
+	for i := 0; i < 80; i++ {
+		cl.Open(proc, index.FileID(i), acg.OpenRead)
+		cl.Open(proc, index.FileID((i+1)%80), acg.OpenWrite)
+		cl.EndProcess(proc)
+		proc++
+		updates = append(updates, client.FileUpdate{File: index.FileID(i), Value: attr.Int(int64(i) + 1), GroupHint: 1})
+	}
+	for i := 80; i < 90; i++ {
+		hint := uint64(2)
+		if i >= 85 {
+			hint = 3
+		}
+		updates = append(updates, client.FileUpdate{File: index.FileID(i), Value: attr.Int(int64(i) + 1), GroupHint: hint})
+	}
+	if err := cl.Index(ctx, "size", updates); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FlushACG(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heartbeat(ctx); err != nil { // split of the big group
+		t.Fatal(err)
+	}
+	if _, err := c.Compact(ctx, 8); err != nil { // merge the tiny groups
+		t.Fatal(err)
+	}
+	// One forced migration for good measure.
+	look, err := c.Master().LookupFiles(ctx, proto.LookupFilesReq{Files: []index.FileID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := 0
+	if c.Nodes()[0].ID() == look.Mappings[0].Node {
+		dest = 1
+	}
+	if err := c.ForceMigrate(ctx, look.Mappings[0].ACG, dest); err != nil {
+		t.Fatal(err)
+	}
+
+	allFiles := make([]index.FileID, 90)
+	for i := range allFiles {
+		allFiles[i] = index.FileID(i)
+	}
+	before, err := c.Master().LookupFiles(ctx, proto.LookupFilesReq{Files: allFiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochBefore := c.Master().PlacementEpoch()
+	img, err := c.Master().SnapshotMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Master().LoadMetadata(img); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Master().PlacementEpoch(); got != epochBefore {
+		t.Errorf("epoch after restore = %d, want %d", got, epochBefore)
+	}
+	after, err := c.Master().LookupFiles(ctx, proto.LookupFilesReq{Files: allFiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.Mappings {
+		if before.Mappings[i].ACG != after.Mappings[i].ACG || before.Mappings[i].Node != after.Mappings[i].Node {
+			t.Fatalf("file %d placement changed across restore: %+v vs %+v",
+				before.Mappings[i].File, before.Mappings[i], after.Mappings[i])
+		}
+	}
+	res, err := cl.Search(ctx, client.Query{Index: "size", Text: "size>0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 90 {
+		t.Errorf("post-restore search = %d files, want 90", len(res.Files))
+	}
 }

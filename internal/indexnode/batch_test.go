@@ -291,7 +291,10 @@ func TestTickContinuesPastWedgedGroup(t *testing.T) {
 	// dimensionality fails at apply time. Update rejects such entries at
 	// ack time, so inject it straight into the pending cache — the shape
 	// of a corrupt entry arriving via WAL recovery.
-	g := n.lockOrCreateGroup(1)
+	g, err := n.lockOrCreateGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	n.addPendingLocked(g, "pt", proto.IndexEntry{File: 1, KDCoords: []float64{1, 2, 3}}, nil)
 	g.lastUpdate = n.cfg.Clock.Now()
 	g.mu.Unlock()
@@ -303,7 +306,7 @@ func TestTickContinuesPastWedgedGroup(t *testing.T) {
 		t.Fatal(err)
 	}
 	clk.Advance(6 * time.Second)
-	err := n.Tick()
+	err = n.Tick()
 	if err == nil {
 		t.Fatal("tick over a wedged group must report its error")
 	}

@@ -54,9 +54,21 @@ func (n *Node) MergeACGs(ctx context.Context, dst, src proto.ACGID) error {
 		unlock()
 		return err
 	}
-	// Move membership and causality.
+	// Move membership and causality. Files the destination had fenced
+	// (split away earlier) are legitimately re-homed by the merge's
+	// rebind; fences the source carried follow it, unless the
+	// destination owns the file.
 	for f := range gs.files {
 		gd.files[f] = true
+		delete(gd.movedOut, f)
+	}
+	for f := range gs.movedOut {
+		if !gd.files[f] {
+			if gd.movedOut == nil {
+				gd.movedOut = make(map[index.FileID]bool)
+			}
+			gd.movedOut[f] = true
+		}
 	}
 	for a, m := range gs.graph.adj {
 		for b, w := range m {
@@ -91,6 +103,15 @@ func (n *Node) MergeACGs(ctx context.Context, dst, src proto.ACGID) error {
 			in.kdResident = true
 		}
 	}
+	// Shared storage follows the merge: dst's image now includes src's
+	// postings, and src's state is gone everywhere.
+	if err := n.checkpointLocked(gd); err != nil {
+		unlock()
+		return err
+	}
+	if n.cfg.Shared != nil {
+		n.cfg.Shared.Drop(src)
+	}
 	// Mark the drained group dead before dropping it from the registry:
 	// a caller that resolved the pointer before this merge and is blocked
 	// on its lock must re-resolve rather than mutate the orphan. Taking
@@ -109,11 +130,13 @@ func (n *Node) MergeACGs(ctx context.Context, dst, src proto.ACGID) error {
 	unlock()
 
 	if n.cfg.Master != nil {
-		if _, err := rpc.Call[proto.MergeReportReq, proto.MergeReportResp](
+		rep, err := rpc.Call[proto.MergeReportReq, proto.MergeReportResp](
 			ctx, n.cfg.Master, proto.MethodMergeReport,
-			proto.MergeReportReq{Node: n.cfg.ID, Dst: dst, Src: src}); err != nil {
+			proto.MergeReportReq{Node: n.cfg.ID, Dst: dst, Src: src})
+		if err != nil {
 			return fmt.Errorf("indexnode merge report: %w", err)
 		}
+		n.noteEpoch(rep.Epoch)
 	}
 	return nil
 }

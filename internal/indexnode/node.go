@@ -55,8 +55,10 @@ import (
 	"propeller/internal/index"
 	"propeller/internal/metrics"
 	"propeller/internal/pagestore"
+	"propeller/internal/perr"
 	"propeller/internal/proto"
 	"propeller/internal/rpc"
+	"propeller/internal/sharedstore"
 	"propeller/internal/simdisk"
 	"propeller/internal/vclock"
 	"propeller/internal/wal"
@@ -96,6 +98,12 @@ type Config struct {
 	// SearchFanout bounds the worker pool a multi-ACG search fans out
 	// over (0 = GOMAXPROCS capped at 8; 1 = serial pass).
 	SearchFanout int
+	// Shared is the cluster's shared storage (the paper's distributed file
+	// system): WAL appends are mirrored there and group images
+	// checkpointed at placement events, so a dead node's groups can be
+	// recovered by any peer. Nil disables mirroring (standalone nodes,
+	// benchmarks).
+	Shared *sharedstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -158,7 +166,15 @@ type group struct {
 	// first and re-resolve through the registry.
 	dead  bool
 	files map[index.FileID]bool
-	graph *groupGraph
+	// movedOut fences files a split migrated to another group: the Master
+	// rebound their mappings, but this group stays alive, so without the
+	// fence a client's warm (pre-split) file cache would keep landing
+	// their updates here forever — accepted, invisible to the new owner,
+	// forked ownership. Fenced updates get perr.ErrStalePlacement so the
+	// client re-resolves. Nil until a split moves files away; entries
+	// clear when an authoritative install re-homes a file here.
+	movedOut map[index.FileID]bool
+	graph    *groupGraph
 	// indexes by name.
 	indexes map[string]*inst
 	// pending is the lazy index cache, coalesced per (index, file) with
@@ -187,6 +203,18 @@ type Node struct {
 	// group's own lock (see the package comment for the lock ordering).
 	mu     sync.RWMutex
 	groups map[proto.ACGID]*group
+	// released are placement tombstones: groups this node transferred away
+	// or was ordered to drop, keyed to the epoch of the move. Traffic
+	// routed here by a stale placement cache is rejected with
+	// perr.ErrStalePlacement instead of silently recreating the group —
+	// the split-brain guard's node-side half. Guarded by mu.
+	released map[proto.ACGID]proto.Epoch
+
+	// placementEpoch is the newest placement epoch this node has seen
+	// (heartbeat replies, split/merge/migrate reports, received groups);
+	// quoted on every search/update response so clients can spot their own
+	// stale fan-outs.
+	placementEpoch atomic.Uint64
 
 	// mergeMu serializes merges (the only operations locking two groups),
 	// keeping the registry lock out of the merge data path.
@@ -220,6 +248,13 @@ type Node struct {
 	// hashScanFallbacks counts searches a hash index could not serve as a
 	// point lookup and silently degraded to a full-table scan.
 	hashScanFallbacks metrics.Counter
+	// staleRejects counts requests refused because they targeted a
+	// released (tombstoned) group.
+	staleRejects metrics.Counter
+	// groupsMigrated counts groups transferred to peers; groupsRecovered
+	// counts groups adopted from shared storage after an owner died.
+	groupsMigrated  metrics.Counter
+	groupsRecovered metrics.Counter
 	// per-ACG commit/entry counters, labelled by decimal ACGID.
 	acgCommits       metrics.CounterSet
 	acgCommitEntries metrics.CounterSet
@@ -274,10 +309,11 @@ func New(cfg Config) (*Node, error) {
 		return nil, errors.New("indexnode: Store is required")
 	}
 	n := &Node{
-		cfg:    cfg,
-		walGC:  wal.NewGroupCommitter(cfg.Disk),
-		groups: make(map[proto.ACGID]*group),
-		specs:  make(map[string]proto.IndexSpec),
+		cfg:      cfg,
+		walGC:    wal.NewGroupCommitter(cfg.Disk),
+		groups:   make(map[proto.ACGID]*group),
+		released: make(map[proto.ACGID]proto.Epoch),
+		specs:    make(map[string]proto.IndexSpec),
 	}
 	n.nextOff.Store(1 << 40) // KD images live past the page region
 	return n, nil
@@ -372,31 +408,79 @@ func (n *Node) lockGroup(id proto.ACGID) *group {
 }
 
 // getOrCreateGroup returns the group, creating it on demand (groups are
-// provisioned lazily on first contact, the Master having routed here).
-func (n *Node) getOrCreateGroup(id proto.ACGID) *group {
+// provisioned lazily on first contact, the Master having routed here). A
+// released (tombstoned) id is refused with perr.ErrStalePlacement: traffic
+// routed by a stale placement cache must not resurrect a group this node
+// no longer owns. The tombstone check shares the registry write lock with
+// creation, so a concurrent release can never interleave with it.
+func (n *Node) getOrCreateGroup(id proto.ACGID) (*group, error) {
 	n.mu.RLock()
 	g := n.groups[id]
 	n.mu.RUnlock()
 	if g != nil {
-		return g
+		return g, nil
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if g = n.groups[id]; g == nil {
-		g = n.newGroupLocked(id)
-		n.groups[id] = g
+	if g = n.groups[id]; g != nil {
+		return g, nil
 	}
-	return g
+	if ep, ok := n.released[id]; ok {
+		n.staleRejects.Inc()
+		return nil, n.staleErr(id, ep)
+	}
+	g = n.newGroupLocked(id)
+	n.groups[id] = g
+	return g, nil
 }
+
+// staleErr is the typed stale-placement rejection, carrying the epoch of
+// the move that released the group and the node's current epoch.
+func (n *Node) staleErr(id proto.ACGID, released proto.Epoch) error {
+	return fmt.Errorf("indexnode %s: acg %d released at epoch %d (node epoch %d): %w",
+		n.cfg.ID, id, released, n.placementEpoch.Load(), perr.ErrStalePlacement)
+}
+
+// releasedEpoch reports whether id is tombstoned and at which epoch.
+func (n *Node) releasedEpoch(id proto.ACGID) (proto.Epoch, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ep, ok := n.released[id]
+	return ep, ok
+}
+
+// clearReleased removes id's tombstone (the node is re-adopting the group
+// under an explicit order: recovery, transfer-in, or provisioning).
+func (n *Node) clearReleased(id proto.ACGID) {
+	n.mu.Lock()
+	delete(n.released, id)
+	n.mu.Unlock()
+}
+
+// noteEpoch advances the node's placement-epoch watermark (monotonic).
+func (n *Node) noteEpoch(e proto.Epoch) {
+	for {
+		cur := n.placementEpoch.Load()
+		if uint64(e) <= cur || n.placementEpoch.CompareAndSwap(cur, uint64(e)) {
+			return
+		}
+	}
+}
+
+// epoch returns the node's placement-epoch watermark.
+func (n *Node) epoch() proto.Epoch { return proto.Epoch(n.placementEpoch.Load()) }
 
 // lockOrCreateGroup returns the group locked, creating it if absent. The
 // retry loop covers a concurrent merge deleting the group between lookup
-// and lock.
-func (n *Node) lockOrCreateGroup(id proto.ACGID) *group {
+// and lock. Released ids yield perr.ErrStalePlacement.
+func (n *Node) lockOrCreateGroup(id proto.ACGID) (*group, error) {
 	for {
-		g := n.getOrCreateGroup(id)
+		g, err := n.getOrCreateGroup(id)
+		if err != nil {
+			return nil, err
+		}
 		if g.lockLive() {
-			return g
+			return g, nil
 		}
 	}
 }
@@ -466,12 +550,18 @@ func (n *Node) instFor(g *group, name string) (*inst, error) {
 	return in, nil
 }
 
-// CreateACG provisions a group with pre-declared membership.
+// CreateACG provisions a group with pre-declared membership. An explicit
+// provisioning order overrides any release tombstone.
 func (n *Node) CreateACG(_ context.Context, req proto.CreateACGReq) (proto.CreateACGResp, error) {
-	g := n.lockOrCreateGroup(req.ACG)
+	n.clearReleased(req.ACG)
+	g, err := n.lockOrCreateGroup(req.ACG)
+	if err != nil {
+		return proto.CreateACGResp{}, err
+	}
 	defer g.mu.Unlock()
 	for _, f := range req.Files {
 		g.files[f] = true
+		delete(g.movedOut, f)
 	}
 	return proto.CreateACGResp{OK: true}, nil
 }
@@ -524,10 +614,28 @@ func (n *Node) Update(ctx context.Context, req proto.UpdateReq) (proto.UpdateRes
 	framed := wal.FrameRecord(rec)
 	keys := prepareEntryKeys(spec, req.Entries)
 
-	g := n.lockOrCreateGroup(req.ACG)
+	g, err := n.lockOrCreateGroup(req.ACG)
+	if err != nil {
+		return proto.UpdateResp{}, err
+	}
 	defer g.mu.Unlock()
+	if g.movedOut != nil {
+		for _, e := range req.Entries {
+			if g.movedOut[e.File] {
+				n.staleRejects.Inc()
+				return proto.UpdateResp{}, fmt.Errorf(
+					"indexnode %s: file %d split away from acg %d (node epoch %d): %w",
+					n.cfg.ID, e.File, req.ACG, n.placementEpoch.Load(), perr.ErrStalePlacement)
+			}
+		}
+	}
 	if err := g.log.AppendFramed(framed); err != nil {
 		return proto.UpdateResp{}, fmt.Errorf("indexnode update: %w", err)
+	}
+	// Mirror the acknowledged record to shared storage: the durability the
+	// ack promises must survive this node, not just this process.
+	if n.cfg.Shared != nil {
+		n.cfg.Shared.AppendWAL(g.id, framed)
 	}
 	for i, e := range req.Entries {
 		g.files[e.File] = true
@@ -544,7 +652,7 @@ func (n *Node) Update(ctx context.Context, req proto.UpdateReq) (proto.UpdateRes
 			return proto.UpdateResp{}, err
 		}
 	}
-	return proto.UpdateResp{Cached: g.pendingCount}, nil
+	return proto.UpdateResp{Cached: g.pendingCount, Epoch: n.epoch()}, nil
 }
 
 // prepareEntryKeys encodes, outside any lock, the index keys a commit
@@ -595,17 +703,29 @@ func (n *Node) addPendingLocked(g *group, name string, e proto.IndexEntry, key [
 }
 
 // FlushACG merges a client-captured causality fragment into the group's
-// authoritative graph.
+// authoritative graph. Causality edges travel outside the WAL, so with a
+// shared store configured the group is checkpointed afterwards — the graph
+// a recovery restores must include them (the paper stores ACGs as regular
+// files in the shared file system).
 func (n *Node) FlushACG(_ context.Context, req proto.FlushACGReq) (proto.FlushACGResp, error) {
-	g := n.lockOrCreateGroup(req.ACG)
+	g, err := n.lockOrCreateGroup(req.ACG)
+	if err != nil {
+		return proto.FlushACGResp{}, err
+	}
 	defer g.mu.Unlock()
 	for _, v := range req.Vertices {
 		g.files[v] = true
+		delete(g.movedOut, v) // freshly Master-routed membership unfences
 	}
 	for _, e := range req.Edges {
 		g.files[e.Src] = true
 		g.files[e.Dst] = true
+		delete(g.movedOut, e.Src)
+		delete(g.movedOut, e.Dst)
 		g.graph.addEdge(e.Src, e.Dst, e.Weight)
+	}
+	if err := n.checkpointLocked(g); err != nil {
+		return proto.FlushACGResp{}, err
 	}
 	return proto.FlushACGResp{OK: true}, nil
 }
@@ -713,8 +833,24 @@ func (n *Node) commitPendingLocked(g *group) error {
 	n.commitNanos.Add(int64(n.cfg.Clock.Now() - start))
 	g.acgCommits.Inc()
 	g.acgCommitEntries.Add(committed)
+	// Compact the shared-storage mirror once its WAL has grown past the
+	// threshold: without this, a long-lived group that never splits or
+	// migrates would accumulate its entire update history there, and
+	// recovery replay time would grow with cluster age. The cost — one
+	// group-image serialization — is amortized over the threshold's worth
+	// of acknowledged records, never paid per commit.
+	if n.cfg.Shared != nil && n.cfg.Shared.WALRecords(g.id) >= sharedWALCheckpointRecords {
+		if err := n.writeCheckpointLocked(g); err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+// sharedWALCheckpointRecords is the mirrored-WAL length at which the
+// commit path folds a group's shared-storage history into a fresh
+// checkpoint.
+const sharedWALCheckpointRecords = 4096
 
 // applyRunLocked merges one coalesced run — at most one entry per file,
 // the last acknowledged write for that (index, file) — into the named
@@ -974,7 +1110,11 @@ func (n *Node) LoadACGImage(id proto.ACGID, img []byte) error {
 	if err != nil {
 		return fmt.Errorf("indexnode: load acg %d: %w", id, err)
 	}
-	g := n.lockOrCreateGroup(id)
+	n.clearReleased(id) // explicit adoption overrides any tombstone
+	g, err := n.lockOrCreateGroup(id)
+	if err != nil {
+		return err
+	}
 	defer g.mu.Unlock()
 	for _, v := range restored.Vertices() {
 		g.files[v] = true
@@ -1002,10 +1142,14 @@ func (n *Node) WALImage(id proto.ACGID) ([]byte, error) {
 // replay at the last intact record, which is exactly the guarantee the
 // acknowledgement made.
 func (n *Node) RecoverGroup(id proto.ACGID, walImage []byte) (int, error) {
-	g := n.lockOrCreateGroup(id)
+	n.clearReleased(id) // explicit recovery overrides any tombstone
+	g, err := n.lockOrCreateGroup(id)
+	if err != nil {
+		return 0, err
+	}
 	defer g.mu.Unlock()
 	recovered := 0
-	err := wal.ReplayBytes(walImage, func(rec []byte) bool {
+	err = wal.ReplayBytes(walImage, func(rec []byte) bool {
 		req, derr := decodeWALRecord(rec)
 		if derr != nil {
 			return false
@@ -1059,6 +1203,10 @@ func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeSta
 	resp.KDRebuilds = n.kdRebuilds.Value()
 	resp.CoalescedEntries = n.coalescedEntries.Value()
 	resp.HashScanFallbacks = n.hashScanFallbacks.Value()
+	resp.PlacementEpoch = n.epoch()
+	resp.StalePlacementRejects = n.staleRejects.Value()
+	resp.GroupsMigratedOut = n.groupsMigrated.Value()
+	resp.GroupsRecovered = n.groupsRecovered.Value()
 	ws := n.walGC.Stats()
 	resp.WALBatches = ws.Batches
 	resp.WALBatchedRecords = ws.Records
@@ -1078,8 +1226,11 @@ func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeSta
 	return resp, nil
 }
 
-// Heartbeat sends one heartbeat to the Master and executes any split orders
-// it returns.
+// Heartbeat sends one heartbeat to the Master and executes the orders the
+// reply carries, in dependency order: recoveries first (adopt groups whose
+// owner died), then drops of stale copies this node no longer owns, then
+// splits, then migrations off this node. All four are the Master's only
+// way to act on a node — it never dials.
 func (n *Node) Heartbeat(ctx context.Context) error {
 	if n.cfg.Master == nil {
 		return ErrNoMaster
@@ -1097,12 +1248,33 @@ func (n *Node) Heartbeat(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("indexnode heartbeat: %w", err)
 	}
-	for _, id := range resp.SplitACGs {
-		if _, err := n.SplitACG(ctx, proto.SplitACGReq{ACG: id}); err != nil {
-			return fmt.Errorf("indexnode split order %d: %w", id, err)
+	n.noteEpoch(resp.Epoch)
+	// A failed recovery must not abort its sibling orders: the Master
+	// re-issues recover orders every heartbeat until the owner's report
+	// proves the adoption, so the right behavior is to keep going and
+	// surface the joined errors.
+	var errs []error
+	for _, id := range resp.RecoverACGs {
+		if err := n.RecoverFromShared(ctx, id); err != nil {
+			errs = append(errs, fmt.Errorf("indexnode recover order %d: %w", id, err))
 		}
 	}
-	return nil
+	for _, id := range resp.DropACGs {
+		n.ReleaseACG(id, resp.Epoch)
+	}
+	for _, id := range resp.SplitACGs {
+		if _, err := n.SplitACG(ctx, proto.SplitACGReq{ACG: id}); err != nil {
+			errs = append(errs, fmt.Errorf("indexnode split order %d: %w", id, err))
+			break
+		}
+	}
+	for _, ord := range resp.MigrateACGs {
+		if err := n.TransferACG(ctx, ord); err != nil {
+			errs = append(errs, fmt.Errorf("indexnode migrate order %d → %s: %w", ord.ACG, ord.Dest, err))
+			break
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // groupFilesSorted returns a group's files sorted (helper for split and

@@ -64,6 +64,7 @@ func (n *Node) Search(ctx context.Context, req proto.SearchReq) (proto.SearchRes
 			return proto.SearchResp{}, err
 		}
 		if n.mergeEpoch.Load() == epoch || attempt >= 3 {
+			resp.Epoch = n.epoch()
 			return resp, nil
 		}
 	}
@@ -324,7 +325,16 @@ func (n *Node) searchGroups(ctx context.Context, req proto.SearchReq, q query.Qu
 func (n *Node) searchOneGroup(id proto.ACGID, req proto.SearchReq, sc *groupScanner) (commitNanos int64, err error) {
 	g := n.lockGroup(id)
 	if g == nil {
-		return 0, nil // group not on this node (stale routing); nothing to add
+		// A released group means the caller's fan-out predates a migration
+		// or recovery: silently returning nothing would hide the moved
+		// group's matches, so reject with the typed stale-placement error
+		// and let the client refetch. A group this node simply never saw
+		// stays an empty contribution (routing slop is benign).
+		if ep, gone := n.releasedEpoch(id); gone {
+			n.staleRejects.Inc()
+			return 0, n.staleErr(id, ep)
+		}
+		return 0, nil
 	}
 	defer g.mu.Unlock()
 	if req.Consistency != proto.ConsistencyLazy {

@@ -51,7 +51,8 @@ func (n *Node) SplitACG(ctx context.Context, req proto.SplitACGReq) (proto.Split
 		return proto.SplitACGResp{}, fmt.Errorf("indexnode split report: %w", err)
 	}
 
-	// Build the migration payload. The group may have been merged away
+	// Build the migration payload (the shared group-image serializer,
+	// filtered to the moved half). The group may have been merged away
 	// while the partitioner ran outside the lock; treat that as the group
 	// disappearing under the split order.
 	if !g.lockLive() {
@@ -61,33 +62,16 @@ func (n *Node) SplitACG(ctx context.Context, req proto.SplitACGReq) (proto.Split
 	for _, f := range sideB {
 		moveSet[f] = true
 	}
-	recv := proto.ReceiveACGReq{ACG: rep.NewACG, Files: sideB}
-	for src, m := range g.graph.adj {
-		for dst, w := range m {
-			if moveSet[src] && moveSet[dst] {
-				recv.Edges = append(recv.Edges, proto.ACGEdge{Src: src, Dst: dst, Weight: w})
-			}
-		}
-	}
+	recv := n.imageLocked(g, func(f index.FileID) bool { return moveSet[f] })
+	recv.ACG = rep.NewACG
+	recv.Epoch = rep.Epoch
 	names := make([]string, 0, len(g.postings))
 	for name := range g.postings {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		spec, _ := n.lookupSpec(name)
-		mi := proto.MigratedIndex{Spec: spec}
-		for f, e := range g.postings[name] {
-			if moveSet[f] {
-				mi.Entries = append(mi.Entries, e)
-			}
-		}
-		sort.Slice(mi.Entries, func(i, j int) bool { return mi.Entries[i].File < mi.Entries[j].File })
-		if len(mi.Entries) > 0 {
-			recv.Indexes = append(recv.Indexes, mi)
-		}
-	}
 	g.mu.Unlock()
+	n.noteEpoch(rep.Epoch)
 
 	// Ship the group. rep.Dest may be this very node (least-loaded); handle
 	// locally to avoid a self-dial.
@@ -149,9 +133,16 @@ func (n *Node) SplitACG(ctx context.Context, req proto.SplitACGReq) (proto.Split
 			in.kdResident = true
 		}
 	}
+	if g.movedOut == nil {
+		g.movedOut = make(map[index.FileID]bool, len(moveSet))
+	}
 	for f := range moveSet {
 		delete(g.files, f)
 		delete(g.graph.adj, f)
+		// Fence the moved file: a warm client's pre-split mapping must get
+		// ErrStalePlacement here, not a silently accepted write the new
+		// owner never sees.
+		g.movedOut[f] = true
 	}
 	for _, m := range g.graph.adj {
 		for dst := range m {
@@ -160,41 +151,43 @@ func (n *Node) SplitACG(ctx context.Context, req proto.SplitACGReq) (proto.Split
 			}
 		}
 	}
+	// Refresh the shrunk group's shared-storage image: a recovery replaying
+	// the pre-split state would resurrect the moved files into this group,
+	// forking ownership with the new ACG.
+	if err := n.checkpointLocked(g); err != nil {
+		return proto.SplitACGResp{}, err
+	}
 	n.splitsDone.Inc()
 	return proto.SplitACGResp{
 		Moved: len(sideB), NewACG: rep.NewACG, CutWeight: res.CutWeight,
 	}, nil
 }
 
-// ReceiveACG installs a migrated group on this node.
+// ReceiveACG installs a migrated group on this node: the destination half
+// of a background split or a live migration. The image's postings apply
+// through the commit engine's bulk paths, any shipped WAL replays into the
+// lazy cache, and the group is checkpointed so shared storage reflects its
+// new home. State the group already holds locally (traffic raced ahead of
+// the transfer) is never clobbered by the shipped image.
 func (n *Node) ReceiveACG(_ context.Context, req proto.ReceiveACGReq) (proto.ReceiveACGResp, error) {
-	g := n.lockOrCreateGroup(req.ACG)
+	n.clearReleased(req.ACG) // an explicit transfer-in overrides a tombstone
+	n.noteEpoch(req.Epoch)
+	g, err := n.lockOrCreateGroup(req.ACG)
+	if err != nil {
+		return proto.ReceiveACGResp{}, err
+	}
 	defer g.mu.Unlock()
-	for _, f := range req.Files {
-		g.files[f] = true
+	known := n.knownPairsLocked(g)
+	if err := n.installImageLocked(g, req, known); err != nil {
+		return proto.ReceiveACGResp{}, err
 	}
-	for _, e := range req.Edges {
-		g.graph.addEdge(e.Src, e.Dst, e.Weight)
-	}
-	for _, mi := range req.Indexes {
-		n.DeclareIndex(mi.Spec)
-		in, err := n.instFor(g, mi.Spec.Name)
-		if err != nil {
+	if len(req.WAL) > 0 {
+		if _, err := n.replayWALLocked(g, req.WAL, known); err != nil {
 			return proto.ReceiveACGResp{}, err
 		}
-		// Migrated postings are one-per-file: a ready-made coalesced run
-		// for the commit engine's bulk apply.
-		run := make(map[index.FileID]pendingEntry, len(mi.Entries))
-		for _, e := range mi.Entries {
-			run[e.File] = pendingEntry{e: e}
-		}
-		if err := n.applyRunLocked(g, in, mi.Spec.Name, run); err != nil {
-			return proto.ReceiveACGResp{}, err
-		}
-		if in.kd != nil {
-			in.kdImage = in.kd.Serialize()
-			in.kdResident = true
-		}
+	}
+	if err := n.checkpointLocked(g); err != nil {
+		return proto.ReceiveACGResp{}, err
 	}
 	return proto.ReceiveACGResp{OK: true}, nil
 }

@@ -1,0 +1,359 @@
+package indexnode
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+
+	"propeller/internal/index"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+	"propeller/internal/wal"
+)
+
+// This file implements the node side of the placement control plane: live
+// group migration (TransferACG → peer ReceiveACG → Master MigrateReport),
+// stale-copy release (ReleaseACG), and failure-driven recovery from shared
+// storage (RecoverFromShared). The group image that moves between nodes is
+// the same gob structure checkpointed to the shared store, so migration,
+// split shipping and crash recovery all exercise one install path.
+
+// imageLocked serializes the group's durable state — membership, causality
+// edges, committed postings per index — keeping only files accepted by
+// filter (nil = all). Caller holds g.mu and must have committed the group
+// if the image is meant to include every acknowledged entry.
+func (n *Node) imageLocked(g *group, filter func(index.FileID) bool) proto.ReceiveACGReq {
+	req := proto.ReceiveACGReq{ACG: g.id}
+	for _, f := range g.groupFilesSorted() {
+		if filter == nil || filter(f) {
+			req.Files = append(req.Files, f)
+		}
+	}
+	srcs := make([]index.FileID, 0, len(g.graph.adj))
+	for src := range g.graph.adj {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, src := range srcs {
+		if filter != nil && !filter(src) {
+			continue
+		}
+		m := g.graph.adj[src]
+		dsts := make([]index.FileID, 0, len(m))
+		for dst := range m {
+			dsts = append(dsts, dst)
+		}
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+		for _, dst := range dsts {
+			if filter != nil && !filter(dst) {
+				continue
+			}
+			req.Edges = append(req.Edges, proto.ACGEdge{Src: src, Dst: dst, Weight: m[dst]})
+		}
+	}
+	names := make([]string, 0, len(g.postings))
+	for name := range g.postings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec, _ := n.lookupSpec(name)
+		mi := proto.MigratedIndex{Spec: spec}
+		for f, e := range g.postings[name] {
+			if filter == nil || filter(f) {
+				mi.Entries = append(mi.Entries, e)
+			}
+		}
+		sort.Slice(mi.Entries, func(i, j int) bool { return mi.Entries[i].File < mi.Entries[j].File })
+		if len(mi.Entries) > 0 {
+			req.Indexes = append(req.Indexes, mi)
+		}
+	}
+	return req
+}
+
+func encodeGroupImage(req proto.ReceiveACGReq) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+		return nil, fmt.Errorf("indexnode: encode group image %d: %w", req.ACG, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGroupImage(raw []byte) (proto.ReceiveACGReq, error) {
+	var req proto.ReceiveACGReq
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&req); err != nil {
+		return proto.ReceiveACGReq{}, fmt.Errorf("indexnode: decode group image: %w", err)
+	}
+	return req, nil
+}
+
+// checkpointLocked commits the group and writes its full image to shared
+// storage, truncating the group's mirrored WAL (the image now reflects
+// every record it held). Called at placement events — split, merge,
+// migration, transfer-in, recovery, causality flush — and, size-triggered,
+// from the commit path (see sharedWALCheckpointRecords). No-op without a
+// shared store. Caller holds g.mu.
+func (n *Node) checkpointLocked(g *group) error {
+	if n.cfg.Shared == nil {
+		return nil
+	}
+	// The image only carries committed postings, and Checkpoint drops the
+	// mirrored WAL — so every pending entry must be committed first or the
+	// checkpoint would silently forget acknowledged updates.
+	if err := n.commitGroupLocked(g); err != nil {
+		return err
+	}
+	return n.writeCheckpointLocked(g)
+}
+
+// writeCheckpointLocked serializes the group's committed state to the
+// shared store. The group must have no pending entries (Checkpoint drops
+// the mirrored WAL they live in). Caller holds g.mu.
+func (n *Node) writeCheckpointLocked(g *group) error {
+	raw, err := encodeGroupImage(n.imageLocked(g, nil))
+	if err != nil {
+		return err
+	}
+	n.cfg.Shared.Checkpoint(g.id, raw)
+	return nil
+}
+
+// knownPairsLocked snapshots the (index, file) pairs this group already has
+// an opinion on — committed postings or pending entries. Recovery and
+// transfer installs skip these: anything the live group already holds is
+// newer than what shared storage or a migration payload carries, and stale
+// state must never clobber fresher acknowledged writes. Caller holds g.mu.
+func (n *Node) knownPairsLocked(g *group) map[string]map[index.FileID]bool {
+	known := make(map[string]map[index.FileID]bool, len(g.postings)+len(g.pending))
+	note := func(name string, f index.FileID) {
+		m := known[name]
+		if m == nil {
+			m = make(map[index.FileID]bool)
+			known[name] = m
+		}
+		m[f] = true
+	}
+	for name, post := range g.postings {
+		for f := range post {
+			note(name, f)
+		}
+	}
+	for name, run := range g.pending {
+		for f := range run {
+			note(name, f)
+		}
+	}
+	return known
+}
+
+// installImageLocked merges a group image into g: membership and edges
+// union in, and each index's postings apply through the commit engine's
+// bulk path, skipping (index, file) pairs in known. Caller holds g.mu.
+func (n *Node) installImageLocked(g *group, img proto.ReceiveACGReq, known map[string]map[index.FileID]bool) error {
+	for _, f := range img.Files {
+		g.files[f] = true
+		delete(g.movedOut, f) // an authoritative install re-homes the file here
+	}
+	for _, e := range img.Edges {
+		g.graph.addEdge(e.Src, e.Dst, e.Weight)
+	}
+	for _, mi := range img.Indexes {
+		n.DeclareIndex(mi.Spec)
+		in, err := n.instFor(g, mi.Spec.Name)
+		if err != nil {
+			return err
+		}
+		run := make(map[index.FileID]pendingEntry, len(mi.Entries))
+		for _, e := range mi.Entries {
+			if known[mi.Spec.Name][e.File] {
+				continue
+			}
+			run[e.File] = pendingEntry{e: e}
+		}
+		if len(run) == 0 {
+			continue
+		}
+		if err := n.applyRunLocked(g, in, mi.Spec.Name, run); err != nil {
+			return err
+		}
+		if in.kd != nil {
+			in.kdImage = in.kd.Serialize()
+			in.kdResident = true
+		}
+	}
+	return nil
+}
+
+// replayWALLocked replays framed records into the group's lazy cache,
+// skipping (index, file) pairs in known. It tolerates a torn tail (the
+// acknowledgement guarantee covers intact records only) and returns the
+// number of entries restored. Caller holds g.mu.
+func (n *Node) replayWALLocked(g *group, walBytes []byte, known map[string]map[index.FileID]bool) (int, error) {
+	restored := 0
+	err := wal.ReplayBytes(walBytes, func(rec []byte) bool {
+		req, derr := decodeWALRecord(rec)
+		if derr != nil {
+			return false
+		}
+		for _, e := range req.Entries {
+			if known[req.IndexName][e.File] {
+				continue
+			}
+			g.files[e.File] = true
+			n.addPendingLocked(g, req.IndexName, e, nil)
+			restored++
+		}
+		return true
+	})
+	if err != nil && !errors.Is(err, wal.ErrCorrupt) {
+		return restored, err
+	}
+	if restored > 0 {
+		g.lastUpdate = n.cfg.Clock.Now()
+	}
+	return restored, nil
+}
+
+// TransferACG executes one migration order: quiesce the group under its own
+// lock (updates and searches on it block, traffic on every other ACG is
+// untouched), commit so the image is complete, checkpoint shared storage,
+// ship the image to the destination, report the move to the Master, and
+// only then release the local copy behind an epoch tombstone. Any failure
+// before the Master's rebind leaves this node the owner (the destination's
+// orphan copy is reconciled away by the double-ownership guard).
+func (n *Node) TransferACG(ctx context.Context, ord proto.MigrateOrder) error {
+	if ord.Dest == n.cfg.ID {
+		return nil // already home
+	}
+	if n.cfg.Master == nil {
+		return ErrNoMaster
+	}
+	if n.cfg.Dial == nil {
+		return fmt.Errorf("indexnode transfer: no dialer for peer %s", ord.Dest)
+	}
+	g := n.lockGroup(ord.ACG)
+	if g == nil {
+		if _, gone := n.releasedEpoch(ord.ACG); gone {
+			return nil // already transferred (duplicate order)
+		}
+		return fmt.Errorf("acg %d: %w", ord.ACG, ErrUnknownACG)
+	}
+	defer g.mu.Unlock()
+	if err := n.commitGroupLocked(g); err != nil {
+		return err
+	}
+	img := n.imageLocked(g, nil)
+	img.Epoch = n.epoch()
+	if n.cfg.Shared != nil {
+		// Shared storage stays authoritative across the move: if the
+		// destination dies right after installing, recovery reads this.
+		raw, err := encodeGroupImage(img)
+		if err != nil {
+			return err
+		}
+		n.cfg.Shared.Checkpoint(g.id, raw)
+	}
+	peer, err := n.cfg.Dial(ord.Addr)
+	if err != nil {
+		return fmt.Errorf("indexnode transfer dial %s: %w", ord.Addr, err)
+	}
+	defer peer.Close() //nolint:errcheck // best-effort teardown
+	if _, err := rpc.Call[proto.ReceiveACGReq, proto.ReceiveACGResp](ctx, peer, proto.MethodReceiveACG, img); err != nil {
+		return fmt.Errorf("indexnode transfer acg %d to %s: %w", ord.ACG, ord.Dest, err)
+	}
+	rep, err := rpc.Call[proto.MigrateReportReq, proto.MigrateReportResp](
+		ctx, n.cfg.Master, proto.MethodMigrateReport,
+		proto.MigrateReportReq{Node: n.cfg.ID, ACG: ord.ACG, Dest: ord.Dest})
+	if err != nil {
+		return fmt.Errorf("indexnode migrate report: %w", err)
+	}
+	n.noteEpoch(rep.Epoch)
+	// Release: the group dies under its lock, the registry forgets it, and
+	// the tombstone turns stale-routed traffic into ErrStalePlacement.
+	g.dead = true
+	n.mu.Lock()
+	delete(n.groups, ord.ACG)
+	n.released[ord.ACG] = rep.Epoch
+	n.mu.Unlock()
+	n.groupsMigrated.Inc()
+	return nil
+}
+
+// ReleaseACG drops the node's copy of a group it no longer owns (a Master
+// drop order: the group was migrated or recovered elsewhere while this node
+// was silent) and tombstones the id at the given epoch. Idempotent.
+func (n *Node) ReleaseACG(id proto.ACGID, epoch proto.Epoch) {
+	n.noteEpoch(epoch)
+	g := n.lockGroup(id)
+	if g == nil {
+		n.mu.Lock()
+		if _, exists := n.groups[id]; !exists {
+			n.released[id] = epoch
+		}
+		n.mu.Unlock()
+		return
+	}
+	g.dead = true
+	n.mu.Lock()
+	delete(n.groups, id)
+	n.released[id] = epoch
+	n.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// RecoverFromShared adopts a group from shared storage (a Master recover
+// order after the previous owner died): the checkpoint image is installed,
+// the mirrored WAL is replayed into the lazy cache — restoring every
+// acknowledged-but-uncommitted update, the paper's recovery guarantee —
+// and the group is re-checkpointed so a second failure recovers from a
+// compact image. State the group already holds locally (a client re-routed
+// here before the order arrived) is never clobbered by the older shared
+// copy.
+func (n *Node) RecoverFromShared(ctx context.Context, id proto.ACGID) error {
+	if n.cfg.Shared == nil {
+		return fmt.Errorf("indexnode %s: no shared store to recover acg %d from", n.cfg.ID, id)
+	}
+	checkpoint, walBytes, ok := n.cfg.Shared.Load(id)
+	n.clearReleased(id)
+	g, err := n.lockOrCreateGroup(id)
+	if err != nil {
+		return err
+	}
+	defer g.mu.Unlock()
+	if !ok {
+		// Nothing durable: the group existed in metadata only (no
+		// acknowledged updates). Owning an empty group is correct.
+		n.groupsRecovered.Inc()
+		return nil
+	}
+	known := n.knownPairsLocked(g)
+	if checkpoint != nil {
+		img, err := decodeGroupImage(checkpoint)
+		if err != nil {
+			return fmt.Errorf("indexnode recover acg %d: %w", id, err)
+		}
+		if err := n.installImageLocked(g, img, known); err != nil {
+			return fmt.Errorf("indexnode recover acg %d: %w", id, err)
+		}
+	}
+	if _, err := n.replayWALLocked(g, walBytes, known); err != nil {
+		return fmt.Errorf("indexnode recover acg %d wal: %w", id, err)
+	}
+	// WAL-replayed entries may name indexes this node has never served
+	// (the dead owner learned them; we did not). Resolve the specs now —
+	// the re-checkpoint below commits the replayed entries and needs them.
+	for name := range g.pending {
+		if err := n.ensureSpec(ctx, name); err != nil {
+			return fmt.Errorf("indexnode recover acg %d: %w", id, err)
+		}
+	}
+	if err := n.checkpointLocked(g); err != nil {
+		return err
+	}
+	n.groupsRecovered.Inc()
+	return nil
+}

@@ -6,7 +6,20 @@
 //
 // The Master serves routing decisions only — never file I/O or index
 // contents — which is why the paper's single-master design scales to
-// hundreds of Index Nodes.
+// hundreds of Index Nodes. Placement is epoch-versioned: every move (split,
+// merge, migration, failure-driven recovery, new group) bumps a global
+// placement epoch that is stamped on every lookup response and heartbeat
+// reply, letting clients cache placement and detect staleness without
+// polling.
+//
+// The control plane is heartbeat-driven, never Master-initiated: the Master
+// cannot dial nodes, so every order — split, migrate, recover, drop — rides
+// the reply of a node's own heartbeat. With EnableFailover, each heartbeat
+// also runs the liveness sweep: nodes silent past HeartbeatTimeout are
+// marked dead and their groups re-placed onto alive nodes, which adopt them
+// from shared storage (checkpoint + WAL replay) on their next heartbeat.
+// With RebalanceRatio set, an overloaded reporting node is ordered to
+// migrate its hottest group to the least-loaded peer.
 package master
 
 import (
@@ -20,6 +33,7 @@ import (
 	"time"
 
 	"propeller/internal/index"
+	"propeller/internal/metrics"
 	"propeller/internal/perr"
 	"propeller/internal/proto"
 	"propeller/internal/rpc"
@@ -47,6 +61,17 @@ type Config struct {
 	Clock *vclock.Clock
 	// HeartbeatTimeout marks nodes dead after this much virtual silence.
 	HeartbeatTimeout time.Duration
+	// EnableFailover turns on the liveness sweep: heartbeats mark silent
+	// nodes dead and re-place their groups onto alive nodes, which recover
+	// them from shared storage. Off by default so deployments without a
+	// shared store (and virtual-time experiments that advance the clock far
+	// between heartbeats) keep placements pinned.
+	EnableFailover bool
+	// RebalanceRatio enables the load rebalancer when > 1: a heartbeating
+	// node whose file count exceeds RebalanceRatio times the alive-node
+	// mean is ordered to migrate its largest group to the least-loaded
+	// peer, provided the move strictly narrows the gap. 0 disables.
+	RebalanceRatio float64
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +94,10 @@ type nodeInfo struct {
 	files    int64
 	acgs     map[proto.ACGID]bool
 	lastSeen time.Duration
+	// dead marks a node the liveness sweep declared failed; its groups were
+	// re-placed. A heartbeat or re-registration revives it (its stale group
+	// copies are reconciled away via DropACGs orders).
+	dead bool
 }
 
 type acgInfo struct {
@@ -88,18 +117,47 @@ type Master struct {
 	hintToACG map[uint64]proto.ACGID
 	specs     map[string]proto.IndexSpec
 	nextACG   proto.ACGID
+	// epoch is the global placement version: bumped on every placement
+	// change and stamped on lookups, heartbeat replies and reports.
+	epoch proto.Epoch
+	// migrating tracks in-flight migration orders (ACG → ordered
+	// destination) so the rebalancer never double-orders a move; entries
+	// clear on MigrateReport, when a failure sweep re-places the group, or
+	// when a delivered order's source is seen still owning the group on a
+	// later heartbeat (the transfer failed — the group re-arms).
+	migrating map[proto.ACGID]proto.NodeID
+	// migrateDelivered marks orders handed to their source node; a source
+	// that heartbeats still owning a delivered group proves the transfer
+	// failed, because nodes execute orders before their next heartbeat.
+	migrateDelivered map[proto.ACGID]bool
+	// migrateOrders queues per-node migration instructions to ride the
+	// node's next heartbeat reply.
+	migrateOrders map[proto.NodeID][]proto.MigrateOrder
+	// pendingRecover tracks groups re-placed by the failure path whose new
+	// owner has not yet reported them. Recover orders are re-issued on
+	// every heartbeat until the owner's report proves the adoption — an
+	// at-least-once protocol (RecoverFromShared is idempotent), so a lost
+	// reply or a transient recovery failure cannot strand a group empty.
+	pendingRecover map[proto.ACGID]proto.NodeID
+
+	migrationsOrdered metrics.Counter
+	recoveries        metrics.Counter
 }
 
 // New returns a Master with the given configuration.
 func New(cfg Config) *Master {
 	return &Master{
-		cfg:       cfg.withDefaults(),
-		nodes:     make(map[proto.NodeID]*nodeInfo),
-		acgs:      make(map[proto.ACGID]*acgInfo),
-		fileToACG: make(map[index.FileID]proto.ACGID),
-		hintToACG: make(map[uint64]proto.ACGID),
-		specs:     make(map[string]proto.IndexSpec),
-		nextACG:   1,
+		cfg:              cfg.withDefaults(),
+		nodes:            make(map[proto.NodeID]*nodeInfo),
+		acgs:             make(map[proto.ACGID]*acgInfo),
+		fileToACG:        make(map[index.FileID]proto.ACGID),
+		hintToACG:        make(map[uint64]proto.ACGID),
+		specs:            make(map[string]proto.IndexSpec),
+		nextACG:          1,
+		migrating:        make(map[proto.ACGID]proto.NodeID),
+		migrateDelivered: make(map[proto.ACGID]bool),
+		migrateOrders:    make(map[proto.NodeID][]proto.MigrateOrder),
+		pendingRecover:   make(map[proto.ACGID]proto.NodeID),
 	}
 }
 
@@ -112,6 +170,7 @@ func (m *Master) RegisterRPC(s *rpc.Server) {
 	rpc.HandleTyped(s, proto.MethodCreateIndex, m.CreateIndex)
 	rpc.HandleTyped(s, proto.MethodSplitReport, m.SplitReport)
 	rpc.HandleTyped(s, proto.MethodMergeReport, m.MergeReport)
+	rpc.HandleTyped(s, proto.MethodMigrateReport, m.MigrateReport)
 	rpc.HandleTyped(s, proto.MethodClusterStats, m.ClusterStats)
 }
 
@@ -130,11 +189,16 @@ func (m *Master) RegisterNode(_ context.Context, req proto.RegisterNodeReq) (pro
 	n.addr = req.Addr
 	n.capacity = req.CapacityFiles
 	n.lastSeen = m.cfg.Clock.Now()
+	n.dead = false
 	return proto.RegisterNodeResp{OK: true}, nil
 }
 
-// Heartbeat refreshes node status and returns split orders for oversized
-// groups on that node.
+// Heartbeat refreshes node status and returns the Master's orders for the
+// reporting node: splits of oversized groups, recoveries of groups
+// re-placed here by the failure sweep, migrations off an overloaded node,
+// and drops of stale copies the node no longer owns. Each heartbeat also
+// drives the liveness sweep, so failure detection needs no separate timer —
+// any surviving node's heartbeat notices the silent ones.
 func (m *Master) Heartbeat(_ context.Context, req proto.HeartbeatReq) (proto.HeartbeatResp, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -143,14 +207,47 @@ func (m *Master) Heartbeat(_ context.Context, req proto.HeartbeatReq) (proto.Hea
 		return proto.HeartbeatResp{}, fmt.Errorf("%w: %s", ErrUnknownNode, req.Node)
 	}
 	n.lastSeen = m.cfg.Clock.Now()
+	n.dead = false
+	m.sweepLocked()
 	var resp proto.HeartbeatResp
 	var total int64
 	for _, am := range req.ACGs {
 		info := m.acgs[am.ACG]
-		if info == nil {
+		switch {
+		case info == nil:
+			// A group the Master has never placed (a standalone node
+			// joining with local groups): adopt it. Adoption is a placement
+			// change — cached search fan-outs are missing this group and
+			// must learn to refetch.
 			info = &acgInfo{id: am.ACG, node: req.Node}
 			m.acgs[am.ACG] = info
 			n.acgs[am.ACG] = true
+			m.epoch++
+		case info.node != req.Node:
+			if m.migrating[am.ACG] == req.Node {
+				// The reporter is the in-flight *destination* of this very
+				// group: it installed the image and the source's rebind
+				// report is still on its way. Dropping here would tombstone
+				// the group on its legitimate new owner the moment the
+				// rebind lands — leave it alone; the report resolves it.
+				continue
+			}
+			// Double-ownership guard: the group is placed elsewhere — it
+			// was migrated or recovered away while this node was silent.
+			// Never silently re-home it to the reporter (that would fork
+			// ownership); order the stale copy dropped instead. The current
+			// owner keeps serving.
+			resp.DropACGs = append(resp.DropACGs, am.ACG)
+			continue
+		}
+		// The rightful owner reports the group: a pending recovery is
+		// proven complete, and a delivered-but-unexecuted migration order
+		// is proven failed (nodes execute orders before their next
+		// heartbeat), so the group re-arms for future moves.
+		delete(m.pendingRecover, am.ACG)
+		if m.migrateDelivered[am.ACG] {
+			delete(m.migrating, am.ACG)
+			delete(m.migrateDelivered, am.ACG)
 		}
 		info.files = am.Files
 		total += am.Files
@@ -159,12 +256,211 @@ func (m *Master) Heartbeat(_ context.Context, req proto.HeartbeatReq) (proto.Hea
 		}
 	}
 	n.files = total
+	m.rebalanceLocked(n, &resp)
+	// Deliver orders. Recoveries ride first so an adopted group is
+	// installed before any later order could touch it; they are re-issued
+	// every heartbeat until the owner's report confirms the adoption.
+	for _, a := range m.sortedPendingRecoverLocked(req.Node) {
+		resp.RecoverACGs = append(resp.RecoverACGs, a)
+	}
+	resp.MigrateACGs = append(resp.MigrateACGs, m.migrateOrders[req.Node]...)
+	delete(m.migrateOrders, req.Node)
+	for _, o := range resp.MigrateACGs {
+		m.migrateDelivered[o.ACG] = true
+	}
+	resp.Epoch = m.epoch
 	return resp, nil
+}
+
+// sortedPendingRecoverLocked lists the groups awaiting recovery by node,
+// ascending. Caller holds m.mu.
+func (m *Master) sortedPendingRecoverLocked(node proto.NodeID) []proto.ACGID {
+	var out []proto.ACGID
+	for a, owner := range m.pendingRecover {
+		if owner == node {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sweepLocked is the liveness sweep: nodes silent past HeartbeatTimeout are
+// marked dead and every group they held is re-placed onto an alive node via
+// reassignLocked (the new owner adopts it from shared storage when its next
+// heartbeat delivers the recover order). Caller holds m.mu.
+func (m *Master) sweepLocked() {
+	if !m.cfg.EnableFailover {
+		return
+	}
+	now := m.cfg.Clock.Now()
+	ids := make([]proto.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := m.nodes[id]
+		if n.dead || now-n.lastSeen <= m.cfg.HeartbeatTimeout {
+			continue
+		}
+		n.dead = true
+		acgs := make([]proto.ACGID, 0, len(n.acgs))
+		for a := range n.acgs {
+			acgs = append(acgs, a)
+		}
+		sort.Slice(acgs, func(i, j int) bool { return acgs[i] < acgs[j] })
+		for _, a := range acgs {
+			// With no alive node to take the group, leave it bound: the
+			// mapping re-resolves (and re-sweeps) when a node returns.
+			if err := m.reassignLocked(a); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// reassignLocked moves one group's placement to the least-loaded alive node
+// and queues a recover order for it (failure path: the previous owner is
+// dead or unregistered, so the new owner restores the group from shared
+// storage instead of receiving a transfer). Caller holds m.mu.
+func (m *Master) reassignLocked(id proto.ACGID) error {
+	info := m.acgs[id]
+	if info == nil {
+		return fmt.Errorf("acg %d: %w", id, ErrUnknownACG)
+	}
+	dest := m.leastLoadedLocked()
+	if dest == nil {
+		return ErrNoNodes
+	}
+	if old := m.nodes[info.node]; old != nil {
+		delete(old.acgs, id)
+		old.files -= info.files
+	}
+	info.node = dest.id
+	dest.acgs[id] = true
+	dest.files += info.files
+	// Any in-flight migration of this group is moot: its source is gone.
+	delete(m.migrating, id)
+	delete(m.migrateDelivered, id)
+	m.scrubMigrateOrdersLocked(id)
+	m.epoch++
+	m.recoveries.Inc()
+	// Pending until the new owner's heartbeat reports the group; recover
+	// orders are re-issued every beat until then.
+	m.pendingRecover[id] = dest.id
+	return nil
+}
+
+// scrubMigrateOrdersLocked removes queued (undelivered) migration orders
+// for a group whose placement just changed under them. Caller holds m.mu.
+func (m *Master) scrubMigrateOrdersLocked(id proto.ACGID) {
+	for node, orders := range m.migrateOrders {
+		kept := orders[:0]
+		for _, o := range orders {
+			if o.ACG != id {
+				kept = append(kept, o)
+			}
+		}
+		if len(kept) == 0 {
+			delete(m.migrateOrders, node)
+		} else {
+			m.migrateOrders[node] = kept
+		}
+	}
+}
+
+// rebalanceLocked orders the reporting node's hottest group migrated to the
+// least-loaded alive peer when the node's load exceeds RebalanceRatio times
+// the alive mean and the move strictly narrows the gap. At most one order
+// per heartbeat, so load drains without thrashing. Caller holds m.mu.
+func (m *Master) rebalanceLocked(n *nodeInfo, resp *proto.HeartbeatResp) {
+	if m.cfg.RebalanceRatio <= 0 || n.dead {
+		return
+	}
+	var alive int
+	var total int64
+	var dest *nodeInfo
+	for _, cand := range m.sortedNodesLocked() {
+		if cand.dead {
+			continue
+		}
+		alive++
+		total += cand.files
+		if cand != n && (dest == nil || cand.files < dest.files) {
+			dest = cand
+		}
+	}
+	if alive < 2 || dest == nil {
+		return
+	}
+	mean := float64(total) / float64(alive)
+	if float64(n.files) <= m.cfg.RebalanceRatio*mean {
+		return
+	}
+	gap := n.files - dest.files
+	splitting := make(map[proto.ACGID]bool, len(resp.SplitACGs))
+	for _, a := range resp.SplitACGs {
+		splitting[a] = true
+	}
+	// Hottest group that still improves balance when moved; ties break on
+	// the smaller id for determinism.
+	var pick *acgInfo
+	for _, a := range m.sortedACGsLocked(n) {
+		info := m.acgs[a]
+		if info.files <= 0 || info.files >= gap {
+			continue
+		}
+		if m.migrating[a] != "" || splitting[a] || m.pendingRecover[a] != "" {
+			continue
+		}
+		if pick == nil || info.files > pick.files {
+			pick = info
+		}
+	}
+	if pick == nil {
+		return
+	}
+	m.migrating[pick.id] = dest.id
+	m.migrationsOrdered.Inc()
+	resp.MigrateACGs = append(resp.MigrateACGs, proto.MigrateOrder{
+		ACG: pick.id, Dest: dest.id, Addr: dest.addr,
+	})
+}
+
+// sortedNodesLocked returns the nodes ordered by id. Caller holds m.mu.
+func (m *Master) sortedNodesLocked() []*nodeInfo {
+	ids := make([]proto.NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*nodeInfo, len(ids))
+	for i, id := range ids {
+		out[i] = m.nodes[id]
+	}
+	return out
+}
+
+// sortedACGsLocked returns a node's groups ordered by id. Caller holds m.mu.
+func (m *Master) sortedACGsLocked(n *nodeInfo) []proto.ACGID {
+	out := make([]proto.ACGID, 0, len(n.acgs))
+	for a := range n.acgs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // LookupFiles resolves each file to its ACG and Index Node, allocating new
 // groups on the least-loaded node for unknown files when req.Allocate.
 // Files sharing a non-zero GroupHint land in the same group.
+//
+// A mapping pointing at an unregistered or dead node is repaired inline:
+// the group is re-placed onto an alive node (with a recover order so the
+// new owner restores it from shared storage) instead of failing the
+// client's request — stale metadata triggers recovery, never an error,
+// unless the cluster has no nodes at all.
 func (m *Master) LookupFiles(_ context.Context, req proto.LookupFilesReq) (proto.LookupFilesResp, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -187,13 +483,17 @@ func (m *Master) LookupFiles(_ context.Context, req proto.LookupFilesReq) (proto
 		}
 		info := m.acgs[id]
 		node := m.nodes[info.node]
-		if node == nil {
-			return proto.LookupFilesResp{}, fmt.Errorf("acg %d: %w: %s", id, ErrUnknownNode, info.node)
+		if node == nil || node.dead {
+			if err := m.reassignLocked(id); err != nil {
+				return proto.LookupFilesResp{}, fmt.Errorf("acg %d on lost node %s: %w", id, info.node, err)
+			}
+			node = m.nodes[info.node]
 		}
 		resp.Mappings = append(resp.Mappings, proto.FileMapping{
-			File: f, ACG: id, Node: node.id, Addr: node.addr,
+			File: f, ACG: id, Node: node.id, Addr: node.addr, Epoch: m.epoch,
 		})
 	}
+	resp.Epoch = m.epoch
 	return resp, nil
 }
 
@@ -221,18 +521,21 @@ func (m *Master) assignLocked(f index.FileID, hint uint64) (proto.ACGID, error) 
 	if hint != 0 {
 		m.hintToACG[hint] = id
 	}
+	// A new group is a placement change: clients holding cached search
+	// fan-outs learn (via the epoch on their own update acks) that the
+	// fan-out may now be missing a group.
+	m.epoch++
 	return id, nil
 }
 
+// leastLoadedLocked returns the alive node with the fewest files (dead
+// nodes never receive placements). Caller holds m.mu.
 func (m *Master) leastLoadedLocked() *nodeInfo {
 	var best *nodeInfo
-	ids := make([]proto.NodeID, 0, len(m.nodes))
-	for id := range m.nodes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		n := m.nodes[id]
+	for _, n := range m.sortedNodesLocked() {
+		if n.dead {
+			continue
+		}
 		if best == nil || n.files < best.files {
 			best = n
 		}
@@ -255,7 +558,7 @@ func (m *Master) LookupIndex(_ context.Context, req proto.LookupIndexReq) (proto
 	for id, info := range m.acgs {
 		byNode[info.node] = append(byNode[info.node], id)
 	}
-	resp := proto.LookupIndexResp{Spec: spec}
+	resp := proto.LookupIndexResp{Spec: spec, Epoch: m.epoch}
 	ids := make([]proto.NodeID, 0, len(byNode))
 	for id := range byNode {
 		ids = append(ids, id)
@@ -311,7 +614,8 @@ func (m *Master) SplitReport(_ context.Context, req proto.SplitReportReq) (proto
 	if src := m.nodes[old.node]; src != nil {
 		src.files -= int64(len(req.SideB))
 	}
-	return proto.SplitReportResp{NewACG: id, Dest: dest.id, Addr: dest.addr}, nil
+	m.epoch++
+	return proto.SplitReportResp{NewACG: id, Dest: dest.id, Addr: dest.addr, Epoch: m.epoch}, nil
 }
 
 // MergeReport finalizes a node-local group merge: every file mapped to Src
@@ -347,7 +651,78 @@ func (m *Master) MergeReport(_ context.Context, req proto.MergeReportReq) (proto
 	if n := m.nodes[src.node]; n != nil {
 		delete(n.acgs, req.Src)
 	}
-	return proto.MergeReportResp{Moved: moved}, nil
+	// The retired group can no longer be migrated or recovered.
+	delete(m.migrating, req.Src)
+	delete(m.migrateDelivered, req.Src)
+	delete(m.pendingRecover, req.Src)
+	m.scrubMigrateOrdersLocked(req.Src)
+	m.epoch++
+	return proto.MergeReportResp{Moved: moved, Epoch: m.epoch}, nil
+}
+
+// MigrateReport finalizes a live migration: the source node has shipped the
+// group image to Dest and Dest installed it; the Master rebinds the
+// placement and bumps the epoch. Only after this returns does the source
+// release its copy — on any error the source keeps serving and the
+// destination's orphan copy is reconciled away by the double-ownership
+// guard at its next heartbeat.
+func (m *Master) MigrateReport(_ context.Context, req proto.MigrateReportReq) (proto.MigrateReportResp, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info := m.acgs[req.ACG]
+	if info == nil {
+		return proto.MigrateReportResp{}, fmt.Errorf("acg %d: %w", req.ACG, ErrUnknownACG)
+	}
+	if info.node != req.Node {
+		return proto.MigrateReportResp{}, fmt.Errorf(
+			"master: migrate report for acg %d from %s, but %s owns it", req.ACG, req.Node, info.node)
+	}
+	dest := m.nodes[req.Dest]
+	if dest == nil || dest.dead {
+		return proto.MigrateReportResp{}, fmt.Errorf("%w: %s", ErrUnknownNode, req.Dest)
+	}
+	if src := m.nodes[info.node]; src != nil {
+		delete(src.acgs, req.ACG)
+		src.files -= info.files
+	}
+	info.node = dest.id
+	dest.acgs[req.ACG] = true
+	dest.files += info.files
+	delete(m.migrating, req.ACG)
+	delete(m.migrateDelivered, req.ACG)
+	m.epoch++
+	return proto.MigrateReportResp{Epoch: m.epoch}, nil
+}
+
+// OrderMigration queues a migration of one group to the named destination;
+// the order rides the owning node's next heartbeat reply. Used by operators
+// and tests to force a move outside the rebalancer's policy.
+func (m *Master) OrderMigration(id proto.ACGID, dest proto.NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info := m.acgs[id]
+	if info == nil {
+		return fmt.Errorf("acg %d: %w", id, ErrUnknownACG)
+	}
+	d := m.nodes[dest]
+	if d == nil || d.dead {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, dest)
+	}
+	if info.node == dest {
+		return nil // already home
+	}
+	if m.migrating[id] != "" {
+		return fmt.Errorf("master: acg %d already migrating to %s", id, m.migrating[id])
+	}
+	if m.pendingRecover[id] != "" {
+		return fmt.Errorf("master: acg %d awaiting recovery on %s", id, m.pendingRecover[id])
+	}
+	m.migrating[id] = dest
+	m.migrationsOrdered.Inc()
+	m.migrateOrders[info.node] = append(m.migrateOrders[info.node], proto.MigrateOrder{
+		ACG: id, Dest: dest, Addr: d.addr,
+	})
+	return nil
 }
 
 // ClusterStats summarizes the cluster.
@@ -355,19 +730,19 @@ func (m *Master) ClusterStats(_ context.Context, _ proto.ClusterStatsReq) (proto
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var resp proto.ClusterStatsResp
-	ids := make([]proto.NodeID, 0, len(m.nodes))
-	for id := range m.nodes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		n := m.nodes[id]
+	for _, n := range m.sortedNodesLocked() {
 		resp.Nodes = append(resp.Nodes, proto.NodeStats{
 			Node: n.id, Addr: n.addr, ACGs: len(n.acgs), Files: n.files,
 		})
 		resp.Files += n.files
+		if n.dead {
+			resp.DeadNodes++
+		}
 	}
 	resp.ACGs = len(m.acgs)
+	resp.PlacementEpoch = m.epoch
+	resp.MigrationsOrdered = m.migrationsOrdered.Value()
+	resp.Recoveries = m.recoveries.Value()
 	names := make([]string, 0, len(m.specs))
 	for name := range m.specs {
 		names = append(names, name)
@@ -386,12 +761,19 @@ func (m *Master) AliveNodes() []proto.NodeID {
 	now := m.cfg.Clock.Now()
 	var out []proto.NodeID
 	for id, n := range m.nodes {
-		if now-n.lastSeen <= m.cfg.HeartbeatTimeout {
+		if !n.dead && now-n.lastSeen <= m.cfg.HeartbeatTimeout {
 			out = append(out, id)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// PlacementEpoch returns the current placement epoch.
+func (m *Master) PlacementEpoch() proto.Epoch {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
 }
 
 // metaSnapshot is the gob image of the Master's durable metadata.
@@ -402,6 +784,14 @@ type metaSnapshot struct {
 	Specs     map[string]proto.IndexSpec
 	NextACG   proto.ACGID
 	HintToACG map[uint64]proto.ACGID
+	// Epoch persists the placement version: a restored Master must never
+	// hand out an older epoch than clients have already seen, or their
+	// staleness detection would invert.
+	Epoch proto.Epoch
+	// PendingRecover persists unconfirmed failure-path reassignments so a
+	// Master restart cannot strand a group on an owner that never received
+	// (or never completed) its recover order.
+	PendingRecover map[proto.ACGID]proto.NodeID
 }
 
 // SnapshotMetadata serializes the durable metadata (the paper flushes the
@@ -409,12 +799,14 @@ type metaSnapshot struct {
 func (m *Master) SnapshotMetadata() ([]byte, error) {
 	m.mu.Lock()
 	snap := metaSnapshot{
-		FileToACG: make(map[index.FileID]proto.ACGID, len(m.fileToACG)),
-		ACGNodes:  make(map[proto.ACGID]proto.NodeID, len(m.acgs)),
-		ACGFiles:  make(map[proto.ACGID]int64, len(m.acgs)),
-		Specs:     make(map[string]proto.IndexSpec, len(m.specs)),
-		NextACG:   m.nextACG,
-		HintToACG: make(map[uint64]proto.ACGID, len(m.hintToACG)),
+		FileToACG:      make(map[index.FileID]proto.ACGID, len(m.fileToACG)),
+		ACGNodes:       make(map[proto.ACGID]proto.NodeID, len(m.acgs)),
+		ACGFiles:       make(map[proto.ACGID]int64, len(m.acgs)),
+		Specs:          make(map[string]proto.IndexSpec, len(m.specs)),
+		NextACG:        m.nextACG,
+		HintToACG:      make(map[uint64]proto.ACGID, len(m.hintToACG)),
+		Epoch:          m.epoch,
+		PendingRecover: make(map[proto.ACGID]proto.NodeID, len(m.pendingRecover)),
 	}
 	for f, a := range m.fileToACG {
 		snap.FileToACG[f] = a
@@ -428,6 +820,9 @@ func (m *Master) SnapshotMetadata() ([]byte, error) {
 	}
 	for h, a := range m.hintToACG {
 		snap.HintToACG[h] = a
+	}
+	for a, node := range m.pendingRecover {
+		snap.PendingRecover[a] = node
 	}
 	m.mu.Unlock()
 
@@ -451,11 +846,26 @@ func (m *Master) LoadMetadata(img []byte) error {
 	m.specs = snap.Specs
 	m.nextACG = snap.NextACG
 	m.hintToACG = snap.HintToACG
+	if snap.Epoch > m.epoch {
+		m.epoch = snap.Epoch
+	}
+	m.pendingRecover = make(map[proto.ACGID]proto.NodeID, len(snap.PendingRecover))
+	for a, node := range snap.PendingRecover {
+		m.pendingRecover[a] = node
+	}
+	// Rebuild per-node load accounting from scratch: the snapshot's
+	// placements are authoritative, and stale load totals would misguide
+	// the least-loaded placement and the rebalancer after a restore.
+	for _, n := range m.nodes {
+		n.acgs = make(map[proto.ACGID]bool)
+		n.files = 0
+	}
 	m.acgs = make(map[proto.ACGID]*acgInfo, len(snap.ACGNodes))
 	for id, node := range snap.ACGNodes {
 		m.acgs[id] = &acgInfo{id: id, node: node, files: snap.ACGFiles[id]}
 		if n := m.nodes[node]; n != nil {
 			n.acgs[id] = true
+			n.files += snap.ACGFiles[id]
 		}
 	}
 	return nil

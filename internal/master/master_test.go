@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"propeller/internal/index"
 	"propeller/internal/proto"
@@ -308,5 +309,394 @@ func TestAliveNodes(t *testing.T) {
 	alive = m.AliveNodes()
 	if len(alive) != 1 || alive[0] != "a" {
 		t.Errorf("alive after timeout = %v, want [a]", alive)
+	}
+}
+
+func TestLookupFilesReassignsFromUnregisteredNode(t *testing.T) {
+	// Satellite fix: a mapping pointing at a node the Master no longer
+	// knows (e.g. after a metadata restore before every node re-registered)
+	// triggers reassignment + a recover order — never a client-visible
+	// error while an alive node exists.
+	m := newTestMaster(t, "a")
+	if _, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
+		Files: []index.FileID{1, 2}, GroupHints: []uint64{5, 5}, Allocate: true}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := m.SnapshotMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh master: only node "b" registers after the restore.
+	m2 := newTestMaster(t, "b")
+	if err := m2.LoadMetadata(img); err != nil {
+		t.Fatal(err)
+	}
+	epochBefore := m2.PlacementEpoch()
+	resp, err := m2.LookupFiles(context.Background(), proto.LookupFilesReq{Files: []index.FileID{1}})
+	if err != nil {
+		t.Fatalf("lookup after restore = %v, want reassignment", err)
+	}
+	if resp.Mappings[0].Node != "b" {
+		t.Fatalf("reassigned node = %s, want b", resp.Mappings[0].Node)
+	}
+	if m2.PlacementEpoch() <= epochBefore {
+		t.Error("reassignment must bump the placement epoch")
+	}
+	// The new owner's next heartbeat carries the recover order.
+	hb, err := m2.Heartbeat(context.Background(), proto.HeartbeatReq{Node: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.RecoverACGs) != 1 || hb.RecoverACGs[0] != resp.Mappings[0].ACG {
+		t.Fatalf("recover orders = %v, want [%d]", hb.RecoverACGs, resp.Mappings[0].ACG)
+	}
+	st, err := m2.ClusterStats(context.Background(), proto.ClusterStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Recoveries != 1 {
+		t.Errorf("Recoveries = %d, want 1", st.Recoveries)
+	}
+	// With no nodes at all, the lookup still fails loudly.
+	m3 := New(Config{})
+	if err := m3.LoadMetadata(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m3.LookupFiles(context.Background(), proto.LookupFilesReq{Files: []index.FileID{1}}); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("lookup with no nodes = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestHeartbeatRejectsDoubleOwnership(t *testing.T) {
+	// Satellite fix: a node reporting a group the Master placed elsewhere
+	// must not silently re-home it; the reporter is ordered to drop its
+	// stale copy.
+	m := newTestMaster(t, "a", "b")
+	resp, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
+		Files: []index.FileID{1}, GroupHints: []uint64{3}, Allocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, owner := resp.Mappings[0].ACG, resp.Mappings[0].Node
+	other := proto.NodeID("a")
+	if owner == "a" {
+		other = "b"
+	}
+	hb, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{
+		Node: other, ACGs: []proto.ACGMeta{{ACG: acg, Files: 500}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.DropACGs) != 1 || hb.DropACGs[0] != acg {
+		t.Fatalf("drop orders = %v, want [%d]", hb.DropACGs, acg)
+	}
+	if len(hb.SplitACGs) != 0 {
+		t.Error("a disowned report must not trigger split orders")
+	}
+	after, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{Files: []index.FileID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Mappings[0].Node != owner {
+		t.Errorf("ownership moved to %s on a stale report, want %s kept", after.Mappings[0].Node, owner)
+	}
+}
+
+func TestSweepReassignsDeadNodesGroups(t *testing.T) {
+	m := New(Config{SplitThreshold: 100, HeartbeatTimeout: 30 * time.Second, EnableFailover: true})
+	for _, n := range []string{"a", "b"} {
+		if _, err := m.RegisterNode(context.Background(), proto.RegisterNodeReq{
+			Node: proto.NodeID(n), Addr: "pipe:" + n, CapacityFiles: 1 << 30}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
+		Files: []index.FileID{1, 2, 3, 4}, GroupHints: []uint64{1, 1, 2, 2}, Allocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups landed on both nodes. Pick the one on "a".
+	var onA []proto.ACGID
+	seen := map[proto.ACGID]bool{}
+	for _, mp := range resp.Mappings {
+		if mp.Node == "a" && !seen[mp.ACG] {
+			seen[mp.ACG] = true
+			onA = append(onA, mp.ACG)
+		}
+	}
+	if len(onA) == 0 {
+		t.Fatal("placement put nothing on node a")
+	}
+	// Node a goes silent; b heartbeats past the timeout.
+	m.cfg.Clock.Advance(60 * time.Second)
+	hb, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{Node: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.RecoverACGs) != len(onA) {
+		t.Fatalf("recover orders = %v, want %v", hb.RecoverACGs, onA)
+	}
+	st, err := m.ClusterStats(context.Background(), proto.ClusterStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadNodes != 1 {
+		t.Errorf("DeadNodes = %d, want 1", st.DeadNodes)
+	}
+	if got := int(st.Recoveries); got != len(onA) {
+		t.Errorf("Recoveries = %d, want %d", got, len(onA))
+	}
+	// Every mapping now resolves to b.
+	after, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{Files: []index.FileID{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mp := range after.Mappings {
+		if mp.Node != "b" {
+			t.Errorf("file %d still on %s after sweep", mp.File, mp.Node)
+		}
+	}
+	// The dead node coming back with its old groups is reconciled, not
+	// re-adopted.
+	back, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{
+		Node: "a", ACGs: []proto.ACGMeta{{ACG: onA[0], Files: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.DropACGs) != 1 || back.DropACGs[0] != onA[0] {
+		t.Errorf("returning node drop orders = %v, want [%d]", back.DropACGs, onA[0])
+	}
+}
+
+func TestRebalancerOrdersHottestGroupOffOverloadedNode(t *testing.T) {
+	m := New(Config{SplitThreshold: 10000, RebalanceRatio: 1.3})
+	for _, n := range []string{"a", "b"} {
+		if _, err := m.RegisterNode(context.Background(), proto.RegisterNodeReq{
+			Node: proto.NodeID(n), Addr: "pipe:" + n, CapacityFiles: 1 << 30}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three groups on a (sizes 50, 200, 400), none on b. The mean is 325;
+	// a's 650 exceeds 1.3x. Hottest movable group: 200 (400 >= gap 650
+	// would overshoot the balance).
+	if _, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
+		Files: []index.FileID{1, 2, 3}, GroupHints: []uint64{1, 2, 3}, Allocate: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Rebind group 3's placement to a as well (hints may have alternated).
+	hb0, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{Node: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = hb0
+	hb, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{
+		Node: "a", ACGs: []proto.ACGMeta{{ACG: 1, Files: 50}, {ACG: 2, Files: 200}, {ACG: 3, Files: 400}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups 2 was placed on b by alternating least-loaded placement; the
+	// heartbeat report from a for a group owned by b yields a drop order
+	// instead. Assert on whatever migration order came back: it must move
+	// a group a owns to b and improve balance.
+	if len(hb.MigrateACGs) != 1 {
+		t.Fatalf("migrate orders = %+v, want exactly 1", hb.MigrateACGs)
+	}
+	ord := hb.MigrateACGs[0]
+	if ord.Dest != "b" {
+		t.Errorf("order dest = %s, want b", ord.Dest)
+	}
+	st, err := m.ClusterStats(context.Background(), proto.ClusterStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MigrationsOrdered != 1 {
+		t.Errorf("MigrationsOrdered = %d, want 1", st.MigrationsOrdered)
+	}
+	// The source heartbeating while still owning the delivered order's
+	// group proves the transfer failed (nodes execute orders before their
+	// next heartbeat): the group re-arms and is re-ordered — a lost or
+	// failed transfer can never permanently exclude a group from
+	// rebalancing.
+	hb2, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{
+		Node: "a", ACGs: []proto.ACGMeta{{ACG: 1, Files: 50}, {ACG: 2, Files: 200}, {ACG: 3, Files: 400}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb2.MigrateACGs) != 1 || hb2.MigrateACGs[0].ACG != ord.ACG {
+		t.Errorf("failed transfer should re-arm and re-order %d, got %+v", ord.ACG, hb2.MigrateACGs)
+	}
+	// MigrateReport rebinds and clears the in-flight mark.
+	epochBefore := m.PlacementEpoch()
+	rep, err := m.MigrateReport(context.Background(), proto.MigrateReportReq{Node: "a", ACG: ord.ACG, Dest: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch <= epochBefore {
+		t.Error("migrate report must bump the epoch")
+	}
+	// A report from a non-owner is rejected.
+	if _, err := m.MigrateReport(context.Background(), proto.MigrateReportReq{Node: "a", ACG: ord.ACG, Dest: "b"}); err == nil {
+		t.Error("migrate report from non-owner should fail")
+	}
+}
+
+func TestSnapshotPreservesEpoch(t *testing.T) {
+	m := newTestMaster(t, "a")
+	if _, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
+		Files: []index.FileID{1, 2}, GroupHints: []uint64{1, 2}, Allocate: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := m.PlacementEpoch()
+	if want == 0 {
+		t.Fatal("allocations should have bumped the epoch")
+	}
+	img, err := m.SnapshotMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newTestMaster(t, "a")
+	if err := m2.LoadMetadata(img); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.PlacementEpoch(); got != want {
+		t.Errorf("restored epoch = %d, want %d", got, want)
+	}
+}
+
+func TestMigrationDestHeartbeatNotDropped(t *testing.T) {
+	// Mid-migration race: the destination installed the group and
+	// heartbeats before the source's MigrateReport lands. The
+	// double-ownership guard must NOT order the legitimate new owner to
+	// drop it — that would tombstone the group the moment the rebind
+	// arrives, wedging it in a permanent stale-placement loop.
+	m := newTestMaster(t, "a", "b")
+	if _, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
+		Files: []index.FileID{1}, GroupHints: []uint64{1}, Allocate: true}); err != nil {
+		t.Fatal(err)
+	}
+	look, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{Files: []index.FileID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, src := look.Mappings[0].ACG, look.Mappings[0].Node
+	dest := proto.NodeID("a")
+	if src == "a" {
+		dest = "b"
+	}
+	if err := m.OrderMigration(acg, dest); err != nil {
+		t.Fatal(err)
+	}
+	// Deliver the order to the source.
+	if _, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{
+		Node: src, ACGs: []proto.ACGMeta{{ACG: acg, Files: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	// The destination reports the group it just received, pre-rebind.
+	hb, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{
+		Node: dest, ACGs: []proto.ACGMeta{{ACG: acg, Files: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range hb.DropACGs {
+		if d == acg {
+			t.Fatal("in-flight migration destination ordered to drop the group it just received")
+		}
+	}
+	// The rebind still lands cleanly.
+	if _, err := m.MigrateReport(context.Background(), proto.MigrateReportReq{Node: src, ACG: acg, Dest: dest}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverOrdersReissuedUntilReported(t *testing.T) {
+	// At-least-once recovery: the order is re-issued every heartbeat until
+	// the new owner's report proves the adoption, so a lost reply or a
+	// failed recovery attempt cannot strand a group empty.
+	m := New(Config{SplitThreshold: 100, HeartbeatTimeout: 30 * time.Second, EnableFailover: true})
+	for _, n := range []string{"a", "b"} {
+		if _, err := m.RegisterNode(context.Background(), proto.RegisterNodeReq{
+			Node: proto.NodeID(n), Addr: "pipe:" + n, CapacityFiles: 1 << 30}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
+		Files: []index.FileID{1}, GroupHints: []uint64{1}, Allocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, owner := resp.Mappings[0].ACG, resp.Mappings[0].Node
+	survivor := proto.NodeID("a")
+	if owner == "a" {
+		survivor = "b"
+	}
+	m.cfg.Clock.Advance(60 * time.Second)
+	// Two heartbeats without reporting the group: both must carry the
+	// recover order (the first recovery attempt may have failed).
+	for round := 0; round < 2; round++ {
+		hb, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{Node: survivor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hb.RecoverACGs) != 1 || hb.RecoverACGs[0] != acg {
+			t.Fatalf("round %d recover orders = %v, want [%d]", round, hb.RecoverACGs, acg)
+		}
+	}
+	// The owner's report confirms the adoption; no further orders.
+	hb, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{
+		Node: survivor, ACGs: []proto.ACGMeta{{ACG: acg, Files: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.RecoverACGs) != 0 {
+		t.Fatalf("post-report recover orders = %v, want none", hb.RecoverACGs)
+	}
+}
+
+func TestPendingRecoverSurvivesSnapshot(t *testing.T) {
+	// A Master restart between the reassignment and the new owner's
+	// adoption must not strand the group: the pending-recover mark rides
+	// the metadata snapshot.
+	m := New(Config{SplitThreshold: 100, HeartbeatTimeout: 30 * time.Second, EnableFailover: true})
+	for _, n := range []string{"a", "b"} {
+		if _, err := m.RegisterNode(context.Background(), proto.RegisterNodeReq{
+			Node: proto.NodeID(n), Addr: "pipe:" + n, CapacityFiles: 1 << 30}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
+		Files: []index.FileID{1}, GroupHints: []uint64{1}, Allocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, owner := resp.Mappings[0].ACG, resp.Mappings[0].Node
+	survivor := proto.NodeID("a")
+	if owner == "a" {
+		survivor = "b"
+	}
+	m.cfg.Clock.Advance(60 * time.Second)
+	if _, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{Node: survivor}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := m.SnapshotMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(Config{SplitThreshold: 100, HeartbeatTimeout: 30 * time.Second, EnableFailover: true})
+	if _, err := m2.RegisterNode(context.Background(), proto.RegisterNodeReq{
+		Node: survivor, Addr: "pipe:" + string(survivor), CapacityFiles: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.LoadMetadata(img); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := m2.Heartbeat(context.Background(), proto.HeartbeatReq{Node: survivor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.RecoverACGs) != 1 || hb.RecoverACGs[0] != acg {
+		t.Fatalf("restored master recover orders = %v, want [%d]", hb.RecoverACGs, acg)
 	}
 }

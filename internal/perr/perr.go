@@ -28,14 +28,21 @@ var (
 	// ErrTimeout reports a request that exceeded its context deadline at
 	// any point of the fan-out.
 	ErrTimeout = errors.New("propeller: timeout")
+	// ErrStalePlacement reports a request routed by an out-of-date placement
+	// map: the target Index Node released the group (it migrated, or was
+	// recovered elsewhere after a failure). The message carries the node's
+	// current placement epoch; clients invalidate the moved cache entries,
+	// re-resolve through the Master, and retry.
+	ErrStalePlacement = errors.New("propeller: stale placement")
 )
 
 // Wire codes. Code 0 is a generic error with no taxonomy mapping.
 const (
-	codeGeneric       uint8 = 0
-	codeIndexNotFound uint8 = 1
-	codeBadQuery      uint8 = 2
-	codeTimeout       uint8 = 3
+	codeGeneric        uint8 = 0
+	codeIndexNotFound  uint8 = 1
+	codeBadQuery       uint8 = 2
+	codeTimeout        uint8 = 3
+	codeStalePlacement uint8 = 4
 )
 
 // CodeOf flattens err to its taxonomy wire code (0 when the chain carries
@@ -50,6 +57,8 @@ func CodeOf(err error) uint8 {
 		return codeBadQuery
 	case errors.Is(err, ErrTimeout), errors.Is(err, context.DeadlineExceeded):
 		return codeTimeout
+	case errors.Is(err, ErrStalePlacement):
+		return codeStalePlacement
 	default:
 		return codeGeneric
 	}
@@ -76,6 +85,8 @@ func FromWire(code uint8, msg string) error {
 		return &wireError{ErrBadQuery, msg}
 	case codeTimeout:
 		return &wireTimeout{msg}
+	case codeStalePlacement:
+		return &wireError{ErrStalePlacement, msg}
 	default:
 		return errors.New(msg)
 	}

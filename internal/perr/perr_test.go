@@ -14,6 +14,7 @@ func TestCodeRoundTrip(t *testing.T) {
 		{ErrIndexNotFound},
 		{ErrBadQuery},
 		{ErrTimeout},
+		{ErrStalePlacement},
 	}
 	for _, c := range cases {
 		wrapped := fmt.Errorf("layer context: %w", c.sentinel)

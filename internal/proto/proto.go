@@ -12,6 +12,16 @@ type ACGID uint64
 // NodeID identifies an Index Node.
 type NodeID string
 
+// Epoch versions the cluster's placement map. The Master bumps it on every
+// placement change — a new group allocated, a split or merge rebinding
+// files, a migration, a failure-driven recovery — and stamps it on lookup
+// responses, heartbeat replies, and placement reports. Clients key their
+// placement caches by it: a node answering with a newer epoch than the
+// cached fan-out proves the cache is stale and triggers exactly one
+// refetch-and-retry. Nodes track the newest epoch they have seen and quote
+// it in stale-placement rejections.
+type Epoch uint64
+
 // IndexType enumerates the index structures an Index Node supports (§IV).
 type IndexType uint8
 
@@ -62,20 +72,23 @@ type FileMapping struct {
 	ACG  ACGID
 	Node NodeID
 	Addr string
+	// Epoch is the placement epoch this mapping was current at.
+	Epoch Epoch
 }
 
 // --- Master RPCs ---
 
 // Master method names.
 const (
-	MethodRegisterNode = "master.RegisterNode"
-	MethodHeartbeat    = "master.Heartbeat"
-	MethodLookupFiles  = "master.LookupFiles"
-	MethodLookupIndex  = "master.LookupIndex"
-	MethodCreateIndex  = "master.CreateIndex"
-	MethodSplitReport  = "master.SplitReport"
-	MethodMergeReport  = "master.MergeReport"
-	MethodClusterStats = "master.ClusterStats"
+	MethodRegisterNode  = "master.RegisterNode"
+	MethodHeartbeat     = "master.Heartbeat"
+	MethodLookupFiles   = "master.LookupFiles"
+	MethodLookupIndex   = "master.LookupIndex"
+	MethodCreateIndex   = "master.CreateIndex"
+	MethodSplitReport   = "master.SplitReport"
+	MethodMergeReport   = "master.MergeReport"
+	MethodMigrateReport = "master.MigrateReport"
+	MethodClusterStats  = "master.ClusterStats"
 )
 
 // RegisterNodeReq announces an Index Node to the Master.
@@ -111,6 +124,26 @@ type HeartbeatResp struct {
 	// SplitACGs lists groups the Master wants partitioned (grown past the
 	// threshold).
 	SplitACGs []ACGID
+	// RecoverACGs lists groups the Master re-placed onto this node after
+	// their previous owner died: the node adopts each from shared storage
+	// (checkpoint image + WAL replay), the paper's recovery path.
+	RecoverACGs []ACGID
+	// MigrateACGs lists groups the Master wants moved off this node (load
+	// rebalancing); the node runs the TransferACG protocol for each.
+	MigrateACGs []MigrateOrder
+	// DropACGs lists groups this node reported but no longer owns — they
+	// were migrated or recovered elsewhere while the node was silent. The
+	// node releases its stale copy (the current owner has the data).
+	DropACGs []ACGID
+	// Epoch is the Master's current placement epoch.
+	Epoch Epoch
+}
+
+// MigrateOrder instructs a node to transfer one of its groups to a peer.
+type MigrateOrder struct {
+	ACG  ACGID
+	Dest NodeID
+	Addr string
 }
 
 // LookupFilesReq resolves (or allocates) the ACG and Index Node of files.
@@ -128,6 +161,8 @@ type LookupFilesReq struct {
 // LookupFilesResp returns one mapping per requested file.
 type LookupFilesResp struct {
 	Mappings []FileMapping
+	// Epoch is the placement epoch the mappings were resolved at.
+	Epoch Epoch
 }
 
 // LookupIndexReq finds every Index Node holding ACGs that carry the named
@@ -147,6 +182,8 @@ type IndexTarget struct {
 type LookupIndexResp struct {
 	Spec    IndexSpec
 	Targets []IndexTarget
+	// Epoch is the placement epoch the fan-out was resolved at.
+	Epoch Epoch
 }
 
 // CreateIndexReq registers a named index cluster-wide.
@@ -173,6 +210,10 @@ type SplitReportResp struct {
 	NewACG ACGID
 	Dest   NodeID
 	Addr   string
+	// Epoch is the placement epoch after the split's rebind (the splitting
+	// node adopts it immediately, so searches routed by pre-split caches
+	// notice the move in the same round).
+	Epoch Epoch
 }
 
 // MergeReportReq tells the Master an Index Node folded group Src into Dst
@@ -188,6 +229,26 @@ type MergeReportReq struct {
 type MergeReportResp struct {
 	// Moved is the number of file mappings rebound from Src to Dst.
 	Moved int
+	// Epoch is the placement epoch after the rebind.
+	Epoch Epoch
+}
+
+// MigrateReportReq tells the Master a node finished transferring one of its
+// groups to Dest (the TransferACG protocol shipped the image and the
+// destination installed it). The Master rebinds the placement and bumps the
+// epoch; only then does the source release its copy.
+type MigrateReportReq struct {
+	Node NodeID
+	ACG  ACGID
+	Dest NodeID
+}
+
+// MigrateReportResp acknowledges the rebinding.
+type MigrateReportResp struct {
+	// Epoch is the placement epoch after the move; the source stamps it on
+	// the released group's tombstone so stale traffic learns how far behind
+	// it is.
+	Epoch Epoch
 }
 
 // ClusterStatsReq asks for a cluster summary.
@@ -207,6 +268,17 @@ type ClusterStatsResp struct {
 	Files   int64
 	ACGs    int
 	Indexes []IndexSpec
+	// PlacementEpoch is the Master's current placement epoch.
+	PlacementEpoch Epoch
+	// MigrationsOrdered counts rebalance/forced migrations the Master has
+	// ordered since it started.
+	MigrationsOrdered int64
+	// Recoveries counts failure-driven group reassignments (each one rode a
+	// recover order to the new owner).
+	Recoveries int64
+	// DeadNodes is the number of registered nodes currently considered
+	// failed by the liveness sweep.
+	DeadNodes int
 }
 
 // --- Index Node RPCs ---
@@ -245,6 +317,9 @@ type UpdateReq struct {
 type UpdateResp struct {
 	// Cached is the number of entries sitting in the index cache.
 	Cached int
+	// Epoch is the newest placement epoch the node has seen (clients use a
+	// newer-than-cached epoch as a placement-cache invalidation signal).
+	Epoch Epoch
 }
 
 // Consistency selects the read semantics of a search.
@@ -323,6 +398,11 @@ type SearchResp struct {
 	// collector per worker; aggregate transient buffering is then at most
 	// the fan-out width (<= 8) times this value.
 	MaxRetained int
+	// Epoch is the newest placement epoch the node has seen. A value newer
+	// than the epoch the client resolved its fan-out at proves the cached
+	// fan-out may be incomplete (a split, merge or migration moved groups
+	// since); the client refetches and retries once.
+	Epoch Epoch
 }
 
 // ACGEdge is one weighted causality edge.
@@ -363,12 +443,21 @@ type MigratedIndex struct {
 	Entries []IndexEntry
 }
 
-// ReceiveACGReq transfers a (split) ACG to its new home node.
+// ReceiveACGReq transfers an ACG to its new home node: the destination of a
+// background split, or of a live migration (TransferACG). The same gob
+// image doubles as the group's shared-storage checkpoint — what a
+// failure-driven recovery loads before replaying the group's WAL.
 type ReceiveACGReq struct {
 	ACG     ACGID
 	Files   []index.FileID
 	Edges   []ACGEdge
 	Indexes []MigratedIndex
+	// WAL carries the group's framed, un-checkpointed log so acknowledged-
+	// but-uncommitted entries survive the move (empty when the sender
+	// committed the group before imaging it).
+	WAL []byte
+	// Epoch stamps the placement move that shipped this group.
+	Epoch Epoch
 }
 
 // ReceiveACGResp acknowledges the transfer.
@@ -440,4 +529,17 @@ type NodeStatsResp struct {
 	WALBatches        int64
 	WALBatchedRecords int64
 	MaxWALBatch       int64
+	// PlacementEpoch is the newest placement epoch the node has seen
+	// (heartbeat replies, split/merge/migrate reports, received groups).
+	PlacementEpoch Epoch
+	// StalePlacementRejects counts requests refused with ErrStalePlacement
+	// because they targeted a group this node released (migrated away or
+	// recovered elsewhere).
+	StalePlacementRejects int64
+	// GroupsMigratedOut counts groups this node transferred to peers under
+	// Master migration orders.
+	GroupsMigratedOut int64
+	// GroupsRecovered counts groups this node adopted from shared storage
+	// after their previous owner died.
+	GroupsRecovered int64
 }

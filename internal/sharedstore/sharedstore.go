@@ -1,0 +1,139 @@
+// Package sharedstore models the shared file system every Propeller node
+// can reach (§IV: ACGs, their indices and their write-ahead logs are stored
+// as regular files in the underlying distributed file system). It is the
+// durability substrate of the failure story: an Index Node mirrors each
+// group's WAL appends here and writes a full checkpoint image at placement
+// events (split, merge, migration), so when the node dies the Master can
+// re-place its groups on any alive node, which recovers them by loading the
+// checkpoint and replaying the WAL — no state is ever held only by the
+// failed node.
+//
+// The store is keyed by ACG, not by node: ownership moves (migration,
+// recovery) change who reads and appends, never where the data lives,
+// exactly like files in a shared file system.
+package sharedstore
+
+import (
+	"sort"
+	"sync"
+
+	"propeller/internal/proto"
+)
+
+// Store is an in-process stand-in for the shared file system. Safe for
+// concurrent use by every node of a cluster. Locking is two-level —
+// Store.mu guards only the group table, and each group carries its own
+// mutex — so the per-ACG write parallelism the Index Node is built around
+// survives the mirror: concurrent updates to different groups never
+// contend here.
+type Store struct {
+	mu     sync.Mutex
+	groups map[proto.ACGID]*state
+}
+
+// state is one group's durable image: the last checkpoint plus the framed
+// WAL records appended since. Guarded by its own mutex.
+type state struct {
+	mu         sync.Mutex
+	checkpoint []byte
+	wal        []byte
+	// walRecords counts the framed appends since the checkpoint (the
+	// commit path's compaction trigger; replay is driven by the bytes).
+	walRecords int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{groups: make(map[proto.ACGID]*state)}
+}
+
+// get returns the group's state, creating it on first use. Only the table
+// lock is held, and only briefly.
+func (s *Store) get(id proto.ACGID) *state {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.groups[id]
+	if st == nil {
+		st = &state{}
+		s.groups[id] = st
+	}
+	return st
+}
+
+// AppendWAL mirrors one framed WAL record (wal.FrameRecord output) for the
+// group. The bytes are copied; callers may reuse their buffer.
+func (s *Store) AppendWAL(id proto.ACGID, framed []byte) {
+	st := s.get(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.wal = append(st.wal, framed...)
+	st.walRecords++
+}
+
+// Checkpoint replaces the group's checkpoint image and truncates its WAL:
+// the image must already reflect every record the WAL held. The bytes are
+// copied.
+func (s *Store) Checkpoint(id proto.ACGID, img []byte) {
+	st := s.get(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.checkpoint = append([]byte(nil), img...)
+	st.wal = nil
+	st.walRecords = 0
+}
+
+// Load returns copies of the group's checkpoint image (nil if none was ever
+// written) and the WAL bytes appended since. ok is false when the store has
+// never seen the group.
+func (s *Store) Load(id proto.ACGID) (checkpoint, wal []byte, ok bool) {
+	s.mu.Lock()
+	st := s.groups[id]
+	s.mu.Unlock()
+	if st == nil {
+		return nil, nil, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.checkpoint != nil {
+		checkpoint = append([]byte(nil), st.checkpoint...)
+	}
+	if st.wal != nil {
+		wal = append([]byte(nil), st.wal...)
+	}
+	return checkpoint, wal, true
+}
+
+// Drop removes the group's state (the group was merged away and no longer
+// exists anywhere).
+func (s *Store) Drop(id proto.ACGID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.groups, id)
+}
+
+// Groups returns the ids with durable state, ascending.
+func (s *Store) Groups() []proto.ACGID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]proto.ACGID, 0, len(s.groups))
+	for id := range s.groups {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WALRecords reports the number of un-checkpointed WAL records for the
+// group (the commit path's compaction trigger; tests also assert
+// checkpoints actually truncate).
+func (s *Store) WALRecords(id proto.ACGID) int {
+	s.mu.Lock()
+	st := s.groups[id]
+	s.mu.Unlock()
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.walRecords
+}

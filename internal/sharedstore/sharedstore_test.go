@@ -1,0 +1,54 @@
+package sharedstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAppendCheckpointLoad(t *testing.T) {
+	s := New()
+	if _, _, ok := s.Load(1); ok {
+		t.Fatal("unknown group should not load")
+	}
+	s.AppendWAL(1, []byte("aa"))
+	s.AppendWAL(1, []byte("bb"))
+	cp, wal, ok := s.Load(1)
+	if !ok || cp != nil || !bytes.Equal(wal, []byte("aabb")) {
+		t.Fatalf("load = %q %q %v", cp, wal, ok)
+	}
+	if s.WALRecords(1) != 2 {
+		t.Fatalf("wal records = %d, want 2", s.WALRecords(1))
+	}
+
+	s.Checkpoint(1, []byte("img"))
+	cp, wal, ok = s.Load(1)
+	if !ok || !bytes.Equal(cp, []byte("img")) || wal != nil {
+		t.Fatalf("post-checkpoint load = %q %q %v", cp, wal, ok)
+	}
+	if s.WALRecords(1) != 0 {
+		t.Fatal("checkpoint must truncate the WAL")
+	}
+
+	// Appends after a checkpoint accumulate on top of it.
+	s.AppendWAL(1, []byte("cc"))
+	cp, wal, _ = s.Load(1)
+	if !bytes.Equal(cp, []byte("img")) || !bytes.Equal(wal, []byte("cc")) {
+		t.Fatalf("post-append load = %q %q", cp, wal)
+	}
+
+	// Loads are copies: mutating them must not corrupt the store.
+	wal[0] = 'x'
+	_, wal2, _ := s.Load(1)
+	if !bytes.Equal(wal2, []byte("cc")) {
+		t.Fatal("Load must return a copy")
+	}
+
+	s.AppendWAL(2, []byte("z"))
+	if got := s.Groups(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+	s.Drop(1)
+	if _, _, ok := s.Load(1); ok {
+		t.Fatal("dropped group should not load")
+	}
+}

@@ -20,12 +20,20 @@
 // >100x the baseline, so the bound catches the failure mode with a wide
 // margin for machine variance.
 //
+// The third suite (internal/clusterbench → BENCH_cluster.json) measures
+// the placement control plane on a virtual-time cluster: warm-path Master
+// RPC count, migration cost, and failure-recovery time. With
+// -cluster-check it enforces the two correctness gates — a steady-state
+// workload must issue zero Master lookups, and a node kill must lose zero
+// acknowledged updates.
+//
 // Usage:
 //
 //	go run ./tools/benchjson [-out BENCH_search.json] [-check]
 //	    [-update-out BENCH_update.json] [-update-check]
+//	    [-cluster-out BENCH_cluster.json] [-cluster-check]
 //
-// A bare invocation regenerates both baselines; passing flags for only
+// A bare invocation regenerates every baseline; passing flags for only
 // one suite runs only that suite (so `-out X -check` cannot silently
 // rewrite the committed update baseline, and vice versa).
 package main
@@ -39,6 +47,7 @@ import (
 	"runtime"
 	"testing"
 
+	"propeller/internal/clusterbench"
 	"propeller/internal/searchbench"
 	"propeller/internal/updatebench"
 )
@@ -94,18 +103,22 @@ func main() {
 	updateOut := flag.String("update-out", "BENCH_update.json", "update (commit) baseline output path")
 	updateCheck := flag.Bool("update-check", false,
 		"fail unless delete-heavy-KD commit ns/entry is within 2x the committed baseline (batch-commit regression bound)")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "placement control-plane baseline output path")
+	clusterCheck := flag.Bool("cluster-check", false,
+		"fail unless the warm data path issues zero Master lookups and a node kill loses zero acknowledged updates")
 	flag.Parse()
 
 	// A suite runs when one of its flags was passed; a bare invocation
-	// regenerates both baselines. Passing only the search flags must not
-	// silently rewrite the committed update baseline (and vice versa) —
-	// a re-committed machine-local baseline would move the CI gate.
+	// regenerates every baseline. Passing only one suite's flags must not
+	// silently rewrite the others' committed baselines — a re-committed
+	// machine-local baseline would move the CI gate.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	searchSel := set["out"] || set["check"]
 	updateSel := set["update-out"] || set["update-check"]
-	if !searchSel && !updateSel {
-		searchSel, updateSel = true, true
+	clusterSel := set["cluster-out"] || set["cluster-check"]
+	if !searchSel && !updateSel && !clusterSel {
+		searchSel, updateSel, clusterSel = true, true, true
 	}
 	if searchSel {
 		runSearch(*out, *check)
@@ -113,6 +126,45 @@ func main() {
 	if updateSel {
 		runUpdate(*updateOut, *updateCheck)
 	}
+	if clusterSel {
+		runCluster(*clusterOut, *clusterCheck)
+	}
+}
+
+// clusterDocument is BENCH_cluster.json.
+type clusterDocument struct {
+	GeneratedBy string              `json:"generated_by"`
+	GoMaxProcs  int                 `json:"gomaxprocs"`
+	Cluster     clusterbench.Result `json:"cluster"`
+}
+
+func runCluster(out string, check bool) {
+	r, err := clusterbench.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-24s %12d lookups (%d updates, %d searches over %d rounds)\n",
+		"warm_master_lookups", r.WarmMasterLookups, r.WarmUpdates, r.WarmSearches, r.WarmRounds)
+	fmt.Printf("%-24s %12.0f virtual us (%d stale retries, %d mappings reloaded)\n",
+		"migration", r.MigrationVirtualUs, r.MigrationStaleRetries, r.MovedMappingsReloaded)
+	fmt.Printf("%-24s %12.0f virtual us (%d/%d files recovered, %d lost)\n",
+		"recovery", r.RecoveryVirtualUs, r.RecoveredFiles, r.RecoveredFiles+r.LostUpdates, r.LostUpdates)
+
+	// Correctness gates, evaluated before the baseline is written (a
+	// failing run must not leave regressed numbers for a later commit to
+	// re-base on). These are invariants, not wall-clock bounds, so no
+	// grace term: the warm path is Master-free by construction and the
+	// recovery path loses nothing by construction.
+	if check && r.WarmMasterLookups != 0 {
+		fatal(fmt.Errorf("placement-cache regression: warm data path issued %d Master lookups, want 0", r.WarmMasterLookups))
+	}
+	if check && r.LostUpdates != 0 {
+		fatal(fmt.Errorf("recovery regression: %d acknowledged updates lost after node kill, want 0", r.LostUpdates))
+	}
+
+	doc := clusterDocument{GeneratedBy: "tools/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0), Cluster: r}
+	writeJSON(out, doc)
+	fmt.Printf("wrote %s (warm lookups = %d, lost = %d)\n", out, r.WarmMasterLookups, r.LostUpdates)
 }
 
 func runSearch(out string, check bool) {

@@ -60,6 +60,21 @@ type Config struct {
 	// Now supplies the reference time for relative query predicates
 	// (defaults to time.Now).
 	Now func() time.Time
+	// ID identifies this client as a tenant to Index Node admission
+	// queues: fairness shares are carved per distinct ID. Empty means
+	// anonymous (all anonymous clients pool as one tenant).
+	ID string
+	// OverloadRetries bounds the backoff-and-retry rounds a request
+	// performs when a node sheds it with perr.ErrOverloaded. Overload is
+	// not a placement fault: the cache stays intact and the op is simply
+	// retried after a pause. 0 selects the default (3); negative disables
+	// retries so sheds surface directly to the caller (load harnesses
+	// count them).
+	OverloadRetries int
+	// Backoff overrides the inter-retry pause on overload (tests and
+	// harnesses inject a no-op or a recorder). Nil selects an exponential
+	// default: 1ms << attempt, capped at 64ms.
+	Backoff func(attempt int)
 }
 
 // placementRetries bounds the invalidate-and-retry rounds a single request
@@ -91,12 +106,13 @@ type Client struct {
 	indexCache map[string]*cachedTargets
 	maxEpoch   atomic.Uint64
 
-	masterLookups metrics.Counter
-	fileHits      metrics.Counter
-	fileMisses    metrics.Counter
-	indexHits     metrics.Counter
-	indexMisses   metrics.Counter
-	staleRetries  metrics.Counter
+	masterLookups   metrics.Counter
+	fileHits        metrics.Counter
+	fileMisses      metrics.Counter
+	indexHits       metrics.Counter
+	indexMisses     metrics.Counter
+	staleRetries    metrics.Counter
+	overloadRetries metrics.Counter
 }
 
 // New returns a Client.
@@ -133,6 +149,10 @@ type CacheStats struct {
 	// StalePlacementRetries counts invalidate-and-retry rounds (stale
 	// rejections, dead-node connections, and epoch mismatches).
 	StalePlacementRetries int64
+	// OverloadRetries counts backoff-and-retry rounds taken after a node
+	// shed a request with perr.ErrOverloaded. These rounds never touch
+	// the placement cache.
+	OverloadRetries int64
 	// Epoch is the newest placement epoch the client has seen.
 	Epoch proto.Epoch
 }
@@ -146,7 +166,42 @@ func (c *Client) CacheStats() CacheStats {
 		IndexMisses:           c.indexMisses.Value(),
 		MasterLookups:         c.masterLookups.Value(),
 		StalePlacementRetries: c.staleRetries.Value(),
+		OverloadRetries:       c.overloadRetries.Value(),
 		Epoch:                 proto.Epoch(c.maxEpoch.Load()),
+	}
+}
+
+// overloadBudget resolves Config.OverloadRetries (0 = default 3, negative
+// = disabled).
+func (c *Client) overloadBudget() int {
+	switch {
+	case c.cfg.OverloadRetries < 0:
+		return 0
+	case c.cfg.OverloadRetries == 0:
+		return 3
+	default:
+		return c.cfg.OverloadRetries
+	}
+}
+
+// backoff pauses before an overload retry: the injected Config.Backoff if
+// set, else an exponential 1ms << attempt capped at 64ms. Context expiry
+// cuts the pause short and surfaces as a taxonomy error.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	if c.cfg.Backoff != nil {
+		c.cfg.Backoff(attempt)
+		return perr.Ctx(ctx.Err())
+	}
+	if attempt > 6 {
+		attempt = 6
+	}
+	t := time.NewTimer(time.Millisecond << uint(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return perr.Ctx(ctx.Err())
+	case <-t.C:
+		return nil
 	}
 }
 
@@ -415,13 +470,21 @@ func (c *Client) resolveFiles(ctx context.Context, ups []FileUpdate) ([]proto.Fi
 // stale-placement rejection (or a dead connection) invalidates exactly that
 // group's cached mappings, re-resolves them, and resends just the affected
 // updates; acknowledged batches are never resent.
+//
+// A batch shed with perr.ErrOverloaded is different: placement is still
+// correct (the node rejected before doing any work), so the cache is left
+// intact and just the shed updates are resent after a backoff, bounded by
+// the overload budget. Overload can never lose data — a shed batch was
+// never acknowledged, and an acknowledged batch is never shed.
 func (c *Client) Index(ctx context.Context, indexName string, updates []FileUpdate) error {
 	if len(updates) == 0 {
 		return nil
 	}
 	pending := updates
-	var lastErr error
-	for attempt := 0; attempt <= placementRetries; attempt++ {
+	placementLeft := placementRetries
+	overloadLeft := c.overloadBudget()
+	backoffAttempt := 0
+	for {
 		mappings, err := c.resolveFiles(ctx, pending)
 		if err != nil {
 			return fmt.Errorf("client index: %w", err)
@@ -435,7 +498,9 @@ func (c *Client) Index(ctx context.Context, indexName string, updates []FileUpda
 		for i, m := range mappings {
 			b := batches[m.ACG]
 			if b == nil {
-				b = &batch{addr: m.Addr, req: proto.UpdateReq{ACG: m.ACG, IndexName: indexName}}
+				b = &batch{addr: m.Addr, req: proto.UpdateReq{
+					ACG: m.ACG, IndexName: indexName, Client: c.cfg.ID,
+				}}
 				batches[m.ACG] = b
 			}
 			u := pending[i]
@@ -474,8 +539,12 @@ func (c *Client) Index(ctx context.Context, indexName string, updates []FileUpda
 		}
 		wg.Wait()
 
+		// Each failed batch is classified: overload resends as-is after a
+		// backoff (cache untouched), staleness invalidates exactly that
+		// group's mappings and re-resolves. Every retry round consumes at
+		// least one of the two finite budgets, so the loop terminates.
 		var failed []FileUpdate
-		lastErr = nil
+		overloaded, stale := false, false
 		for k, id := range ids {
 			if epochs[k] != 0 {
 				c.noteEpoch(epochs[k])
@@ -484,20 +553,34 @@ func (c *Client) Index(ctx context.Context, indexName string, updates []FileUpda
 			if err == nil {
 				continue
 			}
-			if !retryablePlacement(err) || attempt == placementRetries {
+			switch {
+			case errors.Is(err, perr.ErrOverloaded) && overloadLeft > 0:
+				overloaded = true
+			case retryablePlacement(err) && placementLeft > 0:
+				stale = true
+				c.staleRetries.Inc()
+				c.invalidateACG(id)
+			default:
 				return fmt.Errorf("client index acg %d: %w", id, err)
 			}
-			lastErr = fmt.Errorf("client index acg %d: %w", id, err)
-			c.staleRetries.Inc()
-			c.invalidateACG(id)
 			failed = append(failed, batches[id].ups...)
 		}
 		if len(failed) == 0 {
 			return nil
 		}
+		if overloaded {
+			overloadLeft--
+			c.overloadRetries.Inc()
+			if err := c.backoff(ctx, backoffAttempt); err != nil {
+				return fmt.Errorf("client index: %w", err)
+			}
+			backoffAttempt++
+		}
+		if stale {
+			placementLeft--
+		}
 		pending = failed
 	}
-	return lastErr
 }
 
 // Query is one search request: the single entry point for global searches,
@@ -587,7 +670,7 @@ func (c *Client) lookupTargets(ctx context.Context, indexName string) ([]proto.I
 }
 
 // searchReq builds the per-node wire request for q.
-func searchReq(q Query, preds []query.Predicate, tgt proto.IndexTarget) proto.SearchReq {
+func (c *Client) searchReq(q Query, preds []query.Predicate, tgt proto.IndexTarget) proto.SearchReq {
 	return proto.SearchReq{
 		ACGs:        tgt.ACGs,
 		IndexName:   q.Index,
@@ -596,6 +679,7 @@ func searchReq(q Query, preds []query.Predicate, tgt proto.IndexTarget) proto.Se
 		After:       q.After,
 		AfterSet:    q.AfterSet,
 		Consistency: q.Consistency,
+		Client:      c.cfg.ID,
 	}
 }
 
@@ -641,7 +725,7 @@ func (c *Client) searchFanout(ctx context.Context, q Query, preds []query.Predic
 		go func(i int, tgt proto.IndexTarget, conn *rpc.Client) {
 			defer wg.Done()
 			resp, err := rpc.Call[proto.SearchReq, proto.SearchResp](
-				ctx, conn, proto.MethodSearch, searchReq(q, preds, tgt))
+				ctx, conn, proto.MethodSearch, c.searchReq(q, preds, tgt))
 			results[i] = nodeResult{resp: resp, err: err}
 		}(i, tgt, conn)
 	}
@@ -687,7 +771,9 @@ func (c *Client) searchFanout(ctx context.Context, q Query, preds []query.Predic
 // Staleness self-heals: a node rejecting the fan-out (released group, dead
 // connection) or quoting a newer placement epoch than the fan-out was
 // resolved at invalidates the cached targets and retries, bounded by
-// placementRetries.
+// placementRetries. Overload self-heals differently: a shed fan-out leg
+// (perr.ErrOverloaded) is retried after a backoff with the cached targets
+// intact — placement is still correct — bounded by the overload budget.
 //
 // An empty cluster (no index nodes holding the index) yields an empty
 // result, not an error. An unknown index name yields perr.ErrIndexNotFound.
@@ -696,8 +782,10 @@ func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
 	if err != nil {
 		return SearchResult{}, err
 	}
-	var lastErr error
-	for attempt := 0; attempt <= placementRetries; attempt++ {
+	placementLeft := placementRetries
+	overloadLeft := c.overloadBudget()
+	backoffAttempt := 0
+	for {
 		targets, tepoch, err := c.lookupTargets(ctx, q.Index)
 		if errors.Is(err, ErrNoTargets) {
 			return SearchResult{}, nil // empty cluster: no matches
@@ -707,8 +795,17 @@ func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
 		}
 		out, nodeEpoch, err := c.searchFanout(ctx, q, preds, targets)
 		if err != nil {
-			if retryablePlacement(err) && attempt < placementRetries {
-				lastErr = err
+			switch {
+			case errors.Is(err, perr.ErrOverloaded) && overloadLeft > 0:
+				overloadLeft--
+				c.overloadRetries.Inc()
+				if berr := c.backoff(ctx, backoffAttempt); berr != nil {
+					return SearchResult{}, fmt.Errorf("client search: %w", berr)
+				}
+				backoffAttempt++
+				continue
+			case retryablePlacement(err) && placementLeft > 0:
+				placementLeft--
 				c.staleRetries.Inc()
 				c.invalidateIndex(q.Index)
 				continue
@@ -716,10 +813,11 @@ func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
 			return SearchResult{}, err
 		}
 		c.noteEpoch(nodeEpoch)
-		if nodeEpoch > tepoch && attempt < placementRetries {
+		if nodeEpoch > tepoch && placementLeft > 0 {
 			// Some node has seen a newer placement than this fan-out was
 			// resolved at: a group may have moved to a node we did not
 			// query. Refetch and re-run so no acknowledged file is missed.
+			placementLeft--
 			c.staleRetries.Inc()
 			c.invalidateIndex(q.Index)
 			continue
@@ -727,7 +825,6 @@ func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
 		out.Anchor = anchor
 		return out, nil
 	}
-	return SearchResult{}, lastErr
 }
 
 // Batch is one Index Node's contribution to a streaming search.
@@ -807,7 +904,7 @@ func (c *Client) SearchStream(ctx context.Context, q Query) (*Stream, error) {
 		}
 		go func(tgt proto.IndexTarget, conn *rpc.Client) {
 			resp, err := rpc.Call[proto.SearchReq, proto.SearchResp](
-				ctx, conn, proto.MethodSearch, searchReq(q, preds, tgt))
+				ctx, conn, proto.MethodSearch, c.searchReq(q, preds, tgt))
 			if err != nil {
 				if retryablePlacement(err) {
 					c.invalidateIndex(q.Index)

@@ -1,0 +1,234 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/master"
+	"propeller/internal/perr"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+)
+
+// flakyOutcome scripts one Update handler response.
+type flakyOutcome uint8
+
+const (
+	outcomeOK flakyOutcome = iota
+	outcomeOverloaded
+	outcomeStale
+)
+
+// flakyNode serves a scripted sequence of outcomes per Update call (success
+// once the script runs out) across the real RPC boundary, and counts what
+// it actually served so the test can hold the client's cache counters
+// against ground truth.
+type flakyNode struct {
+	mu             sync.Mutex
+	script         []flakyOutcome
+	calls          int
+	servedOverload int
+	servedStale    int
+}
+
+func (n *flakyNode) register(srv *rpc.Server) {
+	rpc.HandleTyped(srv, proto.MethodUpdate, func(_ context.Context, req proto.UpdateReq) (proto.UpdateResp, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.calls++
+		if len(n.script) == 0 {
+			return proto.UpdateResp{Cached: len(req.Entries)}, nil
+		}
+		out := n.script[0]
+		n.script = n.script[1:]
+		switch out {
+		case outcomeOverloaded:
+			n.servedOverload++
+			return proto.UpdateResp{}, fmt.Errorf("flaky node: %w", perr.ErrOverloaded)
+		case outcomeStale:
+			n.servedStale++
+			return proto.UpdateResp{}, fmt.Errorf("flaky node: %w", perr.ErrStalePlacement)
+		default:
+			return proto.UpdateResp{Cached: len(req.Entries)}, nil
+		}
+	})
+}
+
+func (n *flakyNode) setScript(s []flakyOutcome) {
+	n.mu.Lock()
+	n.script = append([]flakyOutcome(nil), s...)
+	n.mu.Unlock()
+}
+
+func (n *flakyNode) snapshot() (calls, overload, stale int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.calls, n.servedOverload, n.servedStale
+}
+
+func newFlakyRig(t *testing.T, cfg Config) (*Client, *flakyNode) {
+	t.Helper()
+	m := master.New(master.Config{})
+	masterSrv := rpc.NewServer()
+	m.RegisterRPC(masterSrv)
+
+	node := &flakyNode{}
+	nodeSrv := rpc.NewServer()
+	node.register(nodeSrv)
+	if _, err := m.RegisterNode(context.Background(), proto.RegisterNodeReq{
+		Node: "in-00", Addr: "pipe:in-00", CapacityFiles: 1 << 30,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cc, sc := rpc.Pipe()
+	masterSrv.ServeConn(sc)
+	cfg.Master = rpc.NewClient(cc)
+	cfg.Dial = func(addr string) (*rpc.Client, error) {
+		if addr != "pipe:in-00" {
+			return nil, errors.New("unknown addr " + addr)
+		}
+		cc, sc := rpc.Pipe()
+		nodeSrv.ServeConn(sc)
+		return rpc.NewClient(cc), nil
+	}
+	cfg.Now = func() time.Time { return time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC) }
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cl.Close()
+		_ = masterSrv.Close()
+		_ = nodeSrv.Close()
+	})
+	if err := cl.CreateIndex(context.Background(), proto.IndexSpec{
+		Name: "size", Type: proto.IndexBTree, Field: "size",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cl, node
+}
+
+// TestPlacementCachePropertyUnderOverload drives the Index retry loop with
+// randomized interleavings of overload sheds, stale-placement rejections,
+// and successes, and checks the cache-discipline invariants on every call:
+//
+//   - termination: attempts are bounded by the two retry budgets;
+//   - overload never invalidates: Master lookups and file-cache misses
+//     move only with stale rejections, and by exactly one lookup (and at
+//     most one mapping-set reload) per stale retry — never more entries
+//     than the rejecting mapping covers;
+//   - a surfaced error is typed as exactly one of ErrOverloaded or
+//     ErrStalePlacement, matching which budget was exhausted.
+func TestPlacementCachePropertyUnderOverload(t *testing.T) {
+	const nFiles = 8
+	const placementBudget = 3 // client-side placementRetries
+
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		overloadBudget := 1 + rng.Intn(4)
+		var backoffs int
+		cl, node := newFlakyRig(t, Config{
+			ID:              "prop-tenant",
+			OverloadRetries: overloadBudget,
+			Backoff:         func(int) { backoffs++ },
+		})
+		ctx := context.Background()
+		ups := make([]FileUpdate, nFiles)
+		for i := range ups {
+			ups[i] = FileUpdate{File: index.FileID(1 + i), Value: attr.Int(int64(i)), GroupHint: 1}
+		}
+		// Warm round: resolve every mapping with no faults scripted.
+		if err := cl.Index(ctx, "size", ups); err != nil {
+			t.Fatalf("seed %d: warm index: %v", seed, err)
+		}
+
+		for round := 0; round < 8; round++ {
+			script := make([]flakyOutcome, rng.Intn(7))
+			for i := range script {
+				switch r := rng.Float64(); {
+				case r < 0.40:
+					script[i] = outcomeOverloaded
+				case r < 0.75:
+					script[i] = outcomeStale
+				default:
+					script[i] = outcomeOK
+				}
+			}
+			node.setScript(script)
+
+			pre := cl.CacheStats()
+			preCalls, _, preStale := node.snapshot()
+			err := cl.Index(ctx, "size", ups)
+			post := cl.CacheStats()
+			postCalls, _, postStale := node.snapshot()
+
+			calls := postCalls - preCalls
+			staleServed := postStale - preStale
+			staleRetries := post.StalePlacementRetries - pre.StalePlacementRetries
+			overloadRetries := post.OverloadRetries - pre.OverloadRetries
+			lookups := post.MasterLookups - pre.MasterLookups
+			misses := post.FileMisses - pre.FileMisses
+
+			tag := fmt.Sprintf("seed %d round %d script %v", seed, round, script)
+			// Termination: the initial attempt, one per budgeted retry, and
+			// at most one surfacing attempt.
+			if calls > 1+placementBudget+overloadBudget+1 {
+				t.Fatalf("%s: %d node calls exceed the retry budgets", tag, calls)
+			}
+			if staleRetries > placementBudget || int(overloadRetries) > overloadBudget {
+				t.Fatalf("%s: retries %d/%d exceed budgets %d/%d",
+					tag, staleRetries, overloadRetries, placementBudget, overloadBudget)
+			}
+			// Every stale actually served was either retried (counted) or
+			// surfaced (the final one).
+			if int64(staleServed) < staleRetries || int64(staleServed) > staleRetries+1 {
+				t.Fatalf("%s: node served %d stales, client counted %d retries", tag, staleServed, staleRetries)
+			}
+			// The cache moves only with stale retries: one Master RPC per
+			// retry, at most the rejecting mapping's entries reloaded.
+			if lookups != staleRetries {
+				t.Fatalf("%s: master lookups %d != stale retries %d (overload must not re-resolve)",
+					tag, lookups, staleRetries)
+			}
+			if misses != staleRetries*nFiles {
+				t.Fatalf("%s: file misses %d, want %d (exactly the rejecting mapping per stale retry)",
+					tag, misses, staleRetries*nFiles)
+			}
+			// Surfaced errors are typed, mutually exclusive, and explained
+			// by an exhausted budget.
+			switch {
+			case err == nil:
+			case errors.Is(err, perr.ErrOverloaded):
+				if errors.Is(err, perr.ErrStalePlacement) {
+					t.Fatalf("%s: error aliases both overload and stale: %v", tag, err)
+				}
+				if int(overloadRetries) != overloadBudget {
+					t.Fatalf("%s: overload surfaced with %d/%d retries spent: %v", tag, overloadRetries, overloadBudget, err)
+				}
+			case errors.Is(err, perr.ErrStalePlacement):
+				if staleRetries != placementBudget {
+					t.Fatalf("%s: stale surfaced with %d/%d retries spent: %v", tag, staleRetries, placementBudget, err)
+				}
+			default:
+				t.Fatalf("%s: untyped error %v", tag, err)
+			}
+			// A clean return means the schedule drained: the node is back
+			// to acking, so the next round starts from a warm cache.
+			if err != nil {
+				node.setScript(nil)
+				if err := cl.Index(ctx, "size", ups); err != nil {
+					t.Fatalf("%s: recovery index after surfaced error: %v", tag, err)
+				}
+			}
+		}
+	}
+}

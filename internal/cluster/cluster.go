@@ -65,6 +65,13 @@ type Config struct {
 	// overloaded heartbeating node is ordered to migrate its hottest group
 	// to the least-loaded peer. 0 disables.
 	RebalanceRatio float64
+	// MaxInflight bounds each node's admission queue: at most this many
+	// Update/Search handlers run at once per node, the rest shed with
+	// perr.ErrOverloaded (0 = unbounded, no admission control). It also
+	// arms each node's RPC transport backstop at 4× this bound, so a flood
+	// of frames sheds at frame-read time even when the scheduler starves
+	// the application handlers (the reflex a single-core host relies on).
+	MaxInflight int
 }
 
 func (c Config) withDefaults() Config {
@@ -160,12 +167,17 @@ func New(cfg Config) (*Cluster, error) {
 			Dial:             c.Dial,
 			DisableLazyCache: cfg.DisableLazyCache,
 			SearchFanout:     cfg.SearchFanout,
+			MaxInflight:      cfg.MaxInflight,
 			Shared:           c.shared,
 		})
 		if err != nil {
 			return nil, err
 		}
-		srv := rpc.NewServer()
+		var srvOpts []rpc.ServerOption
+		if cfg.MaxInflight > 0 {
+			srvOpts = append(srvOpts, rpc.WithMaxConcurrent(4*cfg.MaxInflight))
+		}
+		srv := rpc.NewServer(srvOpts...)
 		node.RegisterRPC(srv)
 		addr, err := c.expose(fmt.Sprintf("in-%02d", i), srv)
 		if err != nil {
@@ -256,15 +268,20 @@ func (c *Cluster) MasterAddr() string { return c.masterAddr }
 // NewClient returns a Propeller client bound to this cluster. now anchors
 // relative query predicates (nil = wall clock).
 func (c *Cluster) NewClient(now func() time.Time) (*client.Client, error) {
+	return c.NewClientWith(client.Config{Now: now})
+}
+
+// NewClientWith returns a client with caller-tuned knobs (tenant ID,
+// overload retry policy, backoff); the Master connection and Dial are
+// wired by the cluster, overriding whatever cfg carries.
+func (c *Cluster) NewClientWith(cfg client.Config) (*client.Client, error) {
 	masterConn, err := c.Dial(c.masterAddr)
 	if err != nil {
 		return nil, err
 	}
-	return client.New(client.Config{
-		Master: masterConn,
-		Dial:   c.Dial,
-		Now:    now,
-	})
+	cfg.Master = masterConn
+	cfg.Dial = c.Dial
+	return client.New(cfg)
 }
 
 // Shared returns the cluster's shared store (nil unless the failure

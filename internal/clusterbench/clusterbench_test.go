@@ -1,0 +1,46 @@
+package clusterbench
+
+import "testing"
+
+// TestRunDeterministicCorrectness runs the full control-plane scenario
+// twice and requires every correctness column to agree — the columns CI
+// gates BENCH_cluster.json on, plus the cache-surgery counters. (The
+// virtual-duration columns are excluded: fan-out goroutine interleavings
+// can reorder identical disk charges, which never changes what happened,
+// only when the virtual clock says it finished.)
+func TestRunDeterministicCorrectness(t *testing.T) {
+	r1, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type correctness struct {
+		WarmRounds, WarmUpdates, WarmSearches int
+		WarmMasterLookups                     int64
+		MigrationStaleRetries                 int64
+		MovedMappingsReloaded                 int64
+		RecoveredFiles, LostUpdates           int
+	}
+	c := func(r Result) correctness {
+		return correctness{
+			WarmRounds: r.WarmRounds, WarmUpdates: r.WarmUpdates, WarmSearches: r.WarmSearches,
+			WarmMasterLookups:     r.WarmMasterLookups,
+			MigrationStaleRetries: r.MigrationStaleRetries,
+			MovedMappingsReloaded: r.MovedMappingsReloaded,
+			RecoveredFiles:        r.RecoveredFiles, LostUpdates: r.LostUpdates,
+		}
+	}
+	if c1, c2 := c(r1), c(r2); c1 != c2 {
+		t.Errorf("two runs disagree on correctness columns:\n%+v\n%+v", c1, c2)
+	}
+	// The committed gates themselves.
+	if r1.WarmMasterLookups != 0 {
+		t.Errorf("warm master lookups = %d, want 0", r1.WarmMasterLookups)
+	}
+	if r1.LostUpdates != 0 {
+		t.Errorf("lost updates = %d, want 0", r1.LostUpdates)
+	}
+}

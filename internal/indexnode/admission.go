@@ -1,0 +1,108 @@
+package indexnode
+
+import (
+	"fmt"
+	"sync"
+
+	"propeller/internal/metrics"
+	"propeller/internal/perr"
+)
+
+// admission is the node's bounded admission queue. Every Update/Search
+// handler acquires a slot before doing any work and releases it when the
+// handler returns; when the node is at its limit (or a tenant above its
+// fair share while the queue is congested) the request is shed with
+// perr.ErrOverloaded before any WAL append or index read, so a shed op is
+// never acknowledged and never loses data.
+//
+// Fairness: below half the limit every request is admitted (no bookkeeping
+// penalty on an idle node). Above it, a client holding at least its fair
+// share is shed even though free slots remain, so one hot tenant
+// saturating the node cannot starve light tenants out of the remaining
+// capacity. The share divisor counts the tenants in the queue plus one —
+// a share is always reserved for a newcomer, otherwise a lone flooder
+// would legitimately own every slot and a light tenant's first op would
+// bounce off the hard limit.
+type admission struct {
+	limit int // 0 = admission disabled
+
+	mu       sync.Mutex
+	inflight int
+	// perClient counts the in-queue ops of each tenant ("" = anonymous,
+	// pooled as one tenant).
+	perClient map[string]int
+
+	// fairnessSheds counts rejections issued below the hard limit because
+	// the tenant was over its fair share; the callers count total sheds
+	// per handler (updatesShed/searchesShed) when acquire fails.
+	fairnessSheds *metrics.Counter
+}
+
+func newAdmission(limit int, fairnessSheds *metrics.Counter) *admission {
+	return &admission{
+		limit:         limit,
+		perClient:     make(map[string]int),
+		fairnessSheds: fairnessSheds,
+	}
+}
+
+// acquire claims a queue slot for client, or rejects with
+// perr.ErrOverloaded. A nil admission (no limit configured) admits
+// everything.
+func (a *admission) acquire(client string) error {
+	if a == nil || a.limit <= 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight >= a.limit {
+		return fmt.Errorf("admission queue full (%d in flight, limit %d): %w",
+			a.inflight, a.limit, perr.ErrOverloaded)
+	}
+	if a.inflight >= a.limit/2 {
+		// Congested: enforce fair shares. The divisor counts the tenants
+		// in the queue (plus this one if absent) plus one reserved
+		// newcomer share.
+		tenants := len(a.perClient)
+		if a.perClient[client] == 0 {
+			tenants++
+		}
+		share := a.limit / (tenants + 1)
+		if share < 1 {
+			share = 1
+		}
+		if a.perClient[client] >= share {
+			a.fairnessSheds.Inc()
+			return fmt.Errorf("client %q over fair share (%d of %d slots, share %d): %w",
+				client, a.perClient[client], a.limit, share, perr.ErrOverloaded)
+		}
+	}
+	a.inflight++
+	a.perClient[client]++
+	return nil
+}
+
+// release returns client's slot.
+func (a *admission) release(client string) {
+	if a == nil || a.limit <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight--
+	if a.perClient[client] <= 1 {
+		delete(a.perClient, client) // keep the tenant census current
+	} else {
+		a.perClient[client]--
+	}
+}
+
+// depth returns the current queue depth (in-flight admitted ops).
+func (a *admission) depth() int {
+	if a == nil || a.limit <= 0 {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}

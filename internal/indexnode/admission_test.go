@@ -1,0 +1,172 @@
+package indexnode
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/metrics"
+	"propeller/internal/perr"
+	"propeller/internal/proto"
+)
+
+func TestAdmissionOverloadHardLimit(t *testing.T) {
+	var fair metrics.Counter
+	a := newAdmission(4, &fair)
+	// Four distinct tenants fill the queue — each within its fair share.
+	for _, c := range []string{"a", "b", "c", "d"} {
+		if err := a.acquire(c); err != nil {
+			t.Fatalf("acquire %s: %v", c, err)
+		}
+	}
+	// At the hard limit even a brand-new tenant is shed.
+	if err := a.acquire("e"); !errors.Is(err, perr.ErrOverloaded) {
+		t.Fatalf("acquire at limit = %v, want ErrOverloaded", err)
+	}
+	a.release("a")
+	if d := a.depth(); d != 3 {
+		t.Fatalf("depth after release = %d, want 3", d)
+	}
+}
+
+func TestAdmissionFairnessProtectsLightTenant(t *testing.T) {
+	var fair metrics.Counter
+	a := newAdmission(8, &fair)
+	// A lone flooder is capped at its fair share — half the queue, since
+	// one newcomer share is always reserved — not at the hard limit.
+	hot := 0
+	for ; hot < 16; hot++ {
+		if err := a.acquire("hot"); err != nil {
+			if !errors.Is(err, perr.ErrOverloaded) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+	}
+	if hot != 4 {
+		t.Fatalf("flooder admitted %d ops, want 4 (half of limit 8)", hot)
+	}
+	if fair.Value() == 0 {
+		t.Error("flooder's shed should count as a fairness shed")
+	}
+	// The light tenant's first op still gets in — that is the point.
+	if err := a.acquire("cold"); err != nil {
+		t.Fatalf("light tenant shed alongside a capped flooder: %v", err)
+	}
+	if d := a.depth(); d != 5 {
+		t.Fatalf("depth = %d, want 5", d)
+	}
+}
+
+func TestAdmissionAnonymousClientsPoolAsOneTenant(t *testing.T) {
+	var fair metrics.Counter
+	a := newAdmission(8, &fair)
+	for i := 0; i < 4; i++ {
+		if err := a.acquire(""); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if err := a.acquire(""); !errors.Is(err, perr.ErrOverloaded) {
+		t.Fatalf("anonymous pool over share = %v, want ErrOverloaded", err)
+	}
+}
+
+func TestAdmissionDisabledAdmitsEverything(t *testing.T) {
+	var a *admission // nil: MaxInflight 0
+	for i := 0; i < 100; i++ {
+		if err := a.acquire("c"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.release("c")
+	if a.depth() != 0 {
+		t.Fatal("nil admission must report depth 0")
+	}
+}
+
+func TestAdmissionOverloadConcurrency(t *testing.T) {
+	var fair metrics.Counter
+	a := newAdmission(8, &fair)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := string(rune('a' + g%4))
+			for i := 0; i < 500; i++ {
+				if err := a.acquire(client); err == nil {
+					a.release(client)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d := a.depth(); d != 0 {
+		t.Fatalf("depth after all releases = %d, want 0", d)
+	}
+}
+
+// TestUpdateOverloadSheds proves the node-level contract: a shed update
+// carries the typed error across the handler boundary, was never logged,
+// and the shed counters and queue depth surface in NodeStats.
+func TestUpdateOverloadSheds(t *testing.T) {
+	n, _ := newTestNode(t, func(c *Config) { c.MaxInflight = 2 })
+	n.DeclareIndex(sizeSpec)
+
+	// Occupy the whole queue from a flooding tenant.
+	if err := n.adm.acquire("hot"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.adm.acquire("hot2"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := n.Update(context.Background(), proto.UpdateReq{
+		ACG: 1, IndexName: "size", Client: "hot",
+		Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(1)}},
+	})
+	if !errors.Is(err, perr.ErrOverloaded) {
+		t.Fatalf("update at limit = %v, want ErrOverloaded", err)
+	}
+	_, err = n.Search(context.Background(), proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0", Client: "hot",
+	})
+	if !errors.Is(err, perr.ErrOverloaded) {
+		t.Fatalf("search at limit = %v, want ErrOverloaded", err)
+	}
+
+	st, err := n.NodeStats(context.Background(), proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UpdatesShed != 1 || st.SearchesShed != 1 {
+		t.Errorf("sheds = %d/%d, want 1/1", st.UpdatesShed, st.SearchesShed)
+	}
+	if st.QueueDepth != 2 {
+		t.Errorf("queue depth = %d, want 2", st.QueueDepth)
+	}
+	if st.WALRecords != 0 {
+		t.Errorf("a shed update must never reach the WAL (records = %d)", st.WALRecords)
+	}
+
+	// Draining the queue re-admits: the shed was overload, not data loss.
+	n.adm.release("hot")
+	n.adm.release("hot2")
+	if _, err := n.Update(context.Background(), proto.UpdateReq{
+		ACG: 1, IndexName: "size", Client: "hot",
+		Entries: []proto.IndexEntry{{File: 1, Value: attr.Int(1)}},
+	}); err != nil {
+		t.Fatalf("update after drain: %v", err)
+	}
+	resp, err := n.Search(context.Background(), proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0", Client: "hot",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 1 || resp.Files[0] != index.FileID(1) {
+		t.Errorf("files after retry = %v, want [1]", resp.Files)
+	}
+}

@@ -98,6 +98,13 @@ type Config struct {
 	// SearchFanout bounds the worker pool a multi-ACG search fans out
 	// over (0 = GOMAXPROCS capped at 8; 1 = serial pass).
 	SearchFanout int
+	// MaxInflight bounds the admission queue: at most this many
+	// Update/Search handlers run at once, the rest are shed with
+	// perr.ErrOverloaded before any work (0 = unbounded, no admission
+	// control). Above half the limit per-client fairness kicks in: a
+	// tenant holding its fair share of the queue is shed even while free
+	// slots remain.
+	MaxInflight int
 	// Shared is the cluster's shared storage (the paper's distributed file
 	// system): WAL appends are mirrored there and group images
 	// checkpointed at placement events, so a dead node's groups can be
@@ -255,6 +262,15 @@ type Node struct {
 	// counts groups adopted from shared storage after an owner died.
 	groupsMigrated  metrics.Counter
 	groupsRecovered metrics.Counter
+	// updatesShed/searchesShed count admissions rejected with
+	// ErrOverloaded; fairnessSheds is the subset rejected below the hard
+	// limit because the tenant was over its fair share.
+	updatesShed   metrics.Counter
+	searchesShed  metrics.Counter
+	fairnessSheds metrics.Counter
+	// adm is the bounded admission queue shared by Update and Search
+	// (nil-safe; nil when MaxInflight is 0).
+	adm *admission
 	// per-ACG commit/entry counters, labelled by decimal ACGID.
 	acgCommits       metrics.CounterSet
 	acgCommitEntries metrics.CounterSet
@@ -316,6 +332,9 @@ func New(cfg Config) (*Node, error) {
 		specs:    make(map[string]proto.IndexSpec),
 	}
 	n.nextOff.Store(1 << 40) // KD images live past the page region
+	if cfg.MaxInflight > 0 {
+		n.adm = newAdmission(cfg.MaxInflight, &n.fairnessSheds)
+	}
 	return n, nil
 }
 
@@ -577,6 +596,13 @@ func (n *Node) CreateACG(_ context.Context, req proto.CreateACGReq) (proto.Creat
 // cache insert, so an update never lengthens a concurrent
 // commit-on-search stall on its group by more than that.
 func (n *Node) Update(ctx context.Context, req proto.UpdateReq) (proto.UpdateResp, error) {
+	// Admission runs before any work: a shed update was never logged or
+	// cached, so ErrOverloaded can never alias an acknowledged write.
+	if err := n.adm.acquire(req.Client); err != nil {
+		n.updatesShed.Inc()
+		return proto.UpdateResp{}, fmt.Errorf("indexnode %s update: %w", n.cfg.ID, err)
+	}
+	defer n.adm.release(req.Client)
 	if err := n.ensureSpec(ctx, req.IndexName); err != nil {
 		return proto.UpdateResp{}, err
 	}
@@ -1207,6 +1233,10 @@ func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeSta
 	resp.StalePlacementRejects = n.staleRejects.Value()
 	resp.GroupsMigratedOut = n.groupsMigrated.Value()
 	resp.GroupsRecovered = n.groupsRecovered.Value()
+	resp.QueueDepth = n.adm.depth()
+	resp.UpdatesShed = n.updatesShed.Value()
+	resp.SearchesShed = n.searchesShed.Value()
+	resp.FairnessSheds = n.fairnessSheds.Value()
 	ws := n.walGC.Stats()
 	resp.WALBatches = ws.Batches
 	resp.WALBatchedRecords = ws.Records
@@ -1235,7 +1265,11 @@ func (n *Node) Heartbeat(ctx context.Context) error {
 	if n.cfg.Master == nil {
 		return ErrNoMaster
 	}
-	req := proto.HeartbeatReq{Node: n.cfg.ID}
+	req := proto.HeartbeatReq{
+		Node:       n.cfg.ID,
+		QueueDepth: n.adm.depth(),
+		Shed:       n.updatesShed.Value() + n.searchesShed.Value(),
+	}
 	for _, g := range n.groupsSnapshot() {
 		if !g.lockLive() {
 			continue

@@ -48,6 +48,13 @@ func compileQuery(req proto.SearchReq) (query.Query, error) {
 // Cancellation: the context is checked between groups; an expired deadline
 // or cancelled caller aborts the pass without scanning further groups.
 func (n *Node) Search(ctx context.Context, req proto.SearchReq) (proto.SearchResp, error) {
+	// Admission runs before the query compiles: a shed search did no
+	// commit-on-search work and holds no collector memory.
+	if err := n.adm.acquire(req.Client); err != nil {
+		n.searchesShed.Inc()
+		return proto.SearchResp{}, fmt.Errorf("indexnode %s search: %w", n.cfg.ID, err)
+	}
+	defer n.adm.release(req.Client)
 	q, err := compileQuery(req)
 	if err != nil {
 		return proto.SearchResp{}, err

@@ -94,6 +94,10 @@ type nodeInfo struct {
 	files    int64
 	acgs     map[proto.ACGID]bool
 	lastSeen time.Duration
+	// queueDepth is the admission-queue depth the node reported in its
+	// last heartbeat — the load signal that lets the rebalancer react to
+	// arrival pressure even when file counts look balanced.
+	queueDepth int
 	// dead marks a node the liveness sweep declared failed; its groups were
 	// re-placed. A heartbeat or re-registration revives it (its stale group
 	// copies are reconciled away via DropACGs orders).
@@ -208,6 +212,7 @@ func (m *Master) Heartbeat(_ context.Context, req proto.HeartbeatReq) (proto.Hea
 	}
 	n.lastSeen = m.cfg.Clock.Now()
 	n.dead = false
+	n.queueDepth = req.QueueDepth
 	m.sweepLocked()
 	var resp proto.HeartbeatResp
 	var total int64
@@ -370,45 +375,78 @@ func (m *Master) scrubMigrateOrdersLocked(id proto.ACGID) {
 	}
 }
 
-// rebalanceLocked orders the reporting node's hottest group migrated to the
-// least-loaded alive peer when the node's load exceeds RebalanceRatio times
-// the alive mean and the move strictly narrows the gap. At most one order
-// per heartbeat, so load drains without thrashing. Caller holds m.mu.
+// minRebalanceQueueDepth is the absolute queue depth below which queue
+// pressure never triggers a migration: shallow queues are transient noise,
+// not sustained overload worth moving a group for.
+const minRebalanceQueueDepth = 4
+
+// rebalanceLocked orders one of the reporting node's groups migrated to a
+// less-loaded alive peer when the node is hot on either signal:
+//
+//   - files: its file count exceeds RebalanceRatio times the alive mean
+//     (the capacity signal). The move targets the fewest-files peer and
+//     must strictly narrow the file gap.
+//   - queue depth: its heartbeat-reported admission-queue depth exceeds
+//     RebalanceRatio times the alive mean and minRebalanceQueueDepth (the
+//     load signal — a node can hold an average share of files and still
+//     drown under a skewed arrival mix). The move targets the
+//     shallowest-queue peer, and the file-gap constraint is waived: the
+//     point is to shift request load even when file counts are balanced.
+//
+// At most one order per heartbeat, so load drains without thrashing.
+// Caller holds m.mu.
 func (m *Master) rebalanceLocked(n *nodeInfo, resp *proto.HeartbeatResp) {
 	if m.cfg.RebalanceRatio <= 0 || n.dead {
 		return
 	}
 	var alive int
-	var total int64
-	var dest *nodeInfo
+	var totalFiles, totalDepth int64
+	var fileDest, queueDest *nodeInfo
 	for _, cand := range m.sortedNodesLocked() {
 		if cand.dead {
 			continue
 		}
 		alive++
-		total += cand.files
-		if cand != n && (dest == nil || cand.files < dest.files) {
-			dest = cand
+		totalFiles += cand.files
+		totalDepth += int64(cand.queueDepth)
+		if cand == n {
+			continue
+		}
+		if fileDest == nil || cand.files < fileDest.files {
+			fileDest = cand
+		}
+		if queueDest == nil || cand.queueDepth < queueDest.queueDepth {
+			queueDest = cand
 		}
 	}
-	if alive < 2 || dest == nil {
+	if alive < 2 || fileDest == nil {
 		return
 	}
-	mean := float64(total) / float64(alive)
-	if float64(n.files) <= m.cfg.RebalanceRatio*mean {
+	meanFiles := float64(totalFiles) / float64(alive)
+	meanDepth := float64(totalDepth) / float64(alive)
+	fileHot := float64(n.files) > m.cfg.RebalanceRatio*meanFiles
+	queueHot := n.queueDepth >= minRebalanceQueueDepth &&
+		float64(n.queueDepth) > m.cfg.RebalanceRatio*meanDepth &&
+		n.queueDepth > queueDest.queueDepth
+	if !fileHot && !queueHot {
 		return
+	}
+	dest := fileDest
+	if !fileHot {
+		dest = queueDest
 	}
 	gap := n.files - dest.files
 	splitting := make(map[proto.ACGID]bool, len(resp.SplitACGs))
 	for _, a := range resp.SplitACGs {
 		splitting[a] = true
 	}
-	// Hottest group that still improves balance when moved; ties break on
-	// the smaller id for determinism.
+	// Hottest movable group; ties break on the smaller id for determinism.
+	// A file-driven move must strictly improve file balance; a queue-driven
+	// move only needs a non-empty group to carry load to the quiet peer.
 	var pick *acgInfo
 	for _, a := range m.sortedACGsLocked(n) {
 		info := m.acgs[a]
-		if info.files <= 0 || info.files >= gap {
+		if info.files <= 0 || (fileHot && info.files >= gap) {
 			continue
 		}
 		if m.migrating[a] != "" || splitting[a] || m.pendingRecover[a] != "" {
@@ -733,6 +771,7 @@ func (m *Master) ClusterStats(_ context.Context, _ proto.ClusterStatsReq) (proto
 	for _, n := range m.sortedNodesLocked() {
 		resp.Nodes = append(resp.Nodes, proto.NodeStats{
 			Node: n.id, Addr: n.addr, ACGs: len(n.acgs), Files: n.files,
+			QueueDepth: n.queueDepth,
 		})
 		resp.Files += n.files
 		if n.dead {

@@ -700,3 +700,115 @@ func TestPendingRecoverSurvivesSnapshot(t *testing.T) {
 		t.Fatalf("restored master recover orders = %v, want [%d]", hb.RecoverACGs, acg)
 	}
 }
+
+// TestRebalancerOverloadReactsToQueueDepth proves the load-signal half of
+// the rebalancer: two nodes with identical file counts (so the capacity
+// trigger stays quiet) but one drowning in admission-queue depth gets a
+// migration order toward the shallow peer — the heartbeat's QueueDepth
+// field is what makes the Master react to arrival pressure, not just
+// group counts.
+func TestRebalancerOverloadReactsToQueueDepth(t *testing.T) {
+	m := New(Config{SplitThreshold: 10000, RebalanceRatio: 1.3})
+	for _, n := range []string{"a", "b"} {
+		if _, err := m.RegisterNode(context.Background(), proto.RegisterNodeReq{
+			Node: proto.NodeID(n), Addr: "pipe:" + n, CapacityFiles: 1 << 30}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three groups: least-loaded placement alternates a, b, a.
+	if _, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
+		Files: []index.FileID{1, 2, 3}, GroupHints: []uint64{1, 2, 3}, Allocate: true}); err != nil {
+		t.Fatal(err)
+	}
+	var aOwned, bOwned []proto.ACGMeta
+	m.mu.Lock()
+	for id, info := range m.acgs {
+		if info.node == "a" {
+			aOwned = append(aOwned, proto.ACGMeta{ACG: id, Files: 100})
+		} else {
+			bOwned = append(bOwned, proto.ACGMeta{ACG: id, Files: 200 / int64(len(m.acgs)-1)})
+		}
+	}
+	m.mu.Unlock()
+	// Equalize file counts: whoever owns fewer groups reports bigger ones.
+	var aTotal, bTotal int64
+	for i := range aOwned {
+		aOwned[i].Files = 200 / int64(len(aOwned))
+		aTotal += aOwned[i].Files
+	}
+	for i := range bOwned {
+		bOwned[i].Files = 200 / int64(len(bOwned))
+		bTotal += bOwned[i].Files
+	}
+	if aTotal != bTotal {
+		t.Fatalf("test setup: unequal totals %d vs %d", aTotal, bTotal)
+	}
+	hb, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{Node: "b", ACGs: bOwned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.MigrateACGs) != 0 {
+		t.Fatalf("balanced b heartbeat ordered %+v", hb.MigrateACGs)
+	}
+	hb, err = m.Heartbeat(context.Background(), proto.HeartbeatReq{Node: "a", ACGs: aOwned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.MigrateACGs) != 0 {
+		t.Fatalf("file-balanced, queue-quiet heartbeat ordered %+v", hb.MigrateACGs)
+	}
+	// Same file counts, but now a reports a deep admission queue.
+	hb, err = m.Heartbeat(context.Background(), proto.HeartbeatReq{Node: "a", ACGs: aOwned, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.MigrateACGs) != 1 {
+		t.Fatalf("queue-hot heartbeat orders = %+v, want exactly 1", hb.MigrateACGs)
+	}
+	if hb.MigrateACGs[0].Dest != "b" {
+		t.Errorf("queue-driven order dest = %s, want the shallow peer b", hb.MigrateACGs[0].Dest)
+	}
+	st, err := m.ClusterStats(context.Background(), proto.ClusterStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ns := range st.Nodes {
+		if ns.Node == "a" && ns.QueueDepth != 8 {
+			t.Errorf("cluster stats queue depth for a = %d, want 8", ns.QueueDepth)
+		}
+	}
+}
+
+// TestRebalancerOverloadIgnoresShallowQueues proves the absolute floor: a
+// queue depth below minRebalanceQueueDepth never triggers a move, however
+// lopsided the ratio (transient depth-1-vs-0 noise must not thrash groups).
+func TestRebalancerOverloadIgnoresShallowQueues(t *testing.T) {
+	m := New(Config{SplitThreshold: 10000, RebalanceRatio: 1.3})
+	for _, n := range []string{"a", "b"} {
+		if _, err := m.RegisterNode(context.Background(), proto.RegisterNodeReq{
+			Node: proto.NodeID(n), Addr: "pipe:" + n, CapacityFiles: 1 << 30}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.LookupFiles(context.Background(), proto.LookupFilesReq{
+		Files: []index.FileID{1, 2}, GroupHints: []uint64{1, 2}, Allocate: true}); err != nil {
+		t.Fatal(err)
+	}
+	var mine []proto.ACGMeta
+	m.mu.Lock()
+	for id, info := range m.acgs {
+		if info.node == "a" {
+			mine = append(mine, proto.ACGMeta{ACG: id, Files: 100})
+		}
+	}
+	m.mu.Unlock()
+	hb, err := m.Heartbeat(context.Background(), proto.HeartbeatReq{
+		Node: "a", ACGs: mine, QueueDepth: minRebalanceQueueDepth - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.MigrateACGs) != 0 {
+		t.Errorf("shallow queue (depth %d) ordered a migration: %+v",
+			minRebalanceQueueDepth-1, hb.MigrateACGs)
+	}
+}

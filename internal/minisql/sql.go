@@ -1,0 +1,316 @@
+// SQL front-end for the minisql baseline: a parser for the tiny SELECT
+// dialect the paper's MySQL comparison issues, compiled onto the same
+// query.Query conjunctions the engine already evaluates. Keeping a real
+// textual surface (rather than hand-built Query structs) lets the fuzzer
+// drive the baseline exactly the way a workload generator would — and pins
+// the contract that malformed statements are typed errors, never panics.
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/perr"
+	"propeller/internal/query"
+)
+
+// ErrBadSQL is returned for malformed statements. It wraps the public
+// taxonomy's ErrBadQuery, so errors.Is(err, perr.ErrBadQuery) holds for
+// every parse failure — the same contract query.Parse keeps for the
+// Propeller-side predicate language.
+var ErrBadSQL = fmt.Errorf("minisql: bad statement (%w)", perr.ErrBadQuery)
+
+// Stmt is a parsed SELECT statement.
+type Stmt struct {
+	// Table is the FROM target.
+	Table string
+	// Cols are the projected columns; empty with Star set for SELECT *.
+	Cols []string
+	Star bool
+	// Where is the conjunction compiled from the WHERE clause (empty
+	// means no filter).
+	Where query.Query
+}
+
+// Parse parses one statement of the supported dialect:
+//
+//	SELECT * FROM files WHERE size >= 4096 AND uid = 7
+//	SELECT path, size FROM files WHERE keyword = 'firefox'
+//
+// Keywords are case-insensitive; literals are integers, floats, or
+// single-quoted strings (a doubled quote escapes one). The grammar is a flat
+// conjunction — no OR, no parentheses, no joins — matching what the
+// paper's evaluation issues against MySQL.
+func Parse(s string) (Stmt, error) {
+	toks, err := lexSQL(s)
+	if err != nil {
+		return Stmt{}, err
+	}
+	p := &sqlParser{toks: toks}
+	st, err := p.stmt()
+	if err != nil {
+		return Stmt{}, err
+	}
+	if !p.eof() {
+		return Stmt{}, fmt.Errorf("%w: trailing input at %q", ErrBadSQL, p.peek().text)
+	}
+	return st, nil
+}
+
+// Query parses and executes a statement: the WHERE conjunction runs
+// through the engine's planner (Select), so an indexed predicate drives a
+// B+tree scan exactly as a hand-built query would. Projected columns must
+// exist in the table's schema.
+func (db *DB) Query(stmt string) ([]index.FileID, error) {
+	st, err := Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range append(st.Cols[:len(st.Cols):len(st.Cols)], fieldsOf(st.Where)...) {
+		if _, ok := t.byCol[c]; !ok {
+			return nil, fmt.Errorf("%q: %w", c, ErrUnknownColumn)
+		}
+	}
+	return t.Select(st.Where)
+}
+
+func fieldsOf(q query.Query) []string {
+	out := make([]string, 0, len(q.Preds))
+	for _, p := range q.Preds {
+		out = append(out, p.Field)
+	}
+	return out
+}
+
+// --- lexer ---
+
+type sqlTokKind uint8
+
+const (
+	tokIdent sqlTokKind = iota + 1
+	tokNumber
+	tokString
+	tokOp
+	tokComma
+	tokStar
+)
+
+type sqlToken struct {
+	kind sqlTokKind
+	text string
+}
+
+func isSQLIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isSQLIdentByte(c byte) bool {
+	return isSQLIdentStart(c) || (c >= '0' && c <= '9') || c == '.' || c == '-'
+}
+
+func isSQLNumberByte(c byte) bool {
+	return (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-'
+}
+
+func lexSQL(s string) ([]sqlToken, error) {
+	var toks []sqlToken
+	for i := 0; i < len(s); {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, sqlToken{tokComma, ","})
+			i++
+		case c == '*':
+			toks = append(toks, sqlToken{tokStar, "*"})
+			i++
+		case c == '=':
+			toks = append(toks, sqlToken{tokOp, "="})
+			i++
+		case c == '<' || c == '>':
+			op := string(c)
+			i++
+			if i < len(s) && s[i] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, sqlToken{tokOp, op})
+		case c == '\'':
+			lit, rest, err := lexSQLString(s[i:])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, sqlToken{tokString, lit})
+			i += len(s[i:]) - len(rest)
+		case c >= '0' && c <= '9', c == '+', c == '-':
+			j := i + 1
+			for j < len(s) && isSQLNumberByte(s[j]) {
+				j++
+			}
+			toks = append(toks, sqlToken{tokNumber, s[i:j]})
+			i = j
+		case isSQLIdentStart(c):
+			j := i + 1
+			for j < len(s) && isSQLIdentByte(s[j]) {
+				j++
+			}
+			toks = append(toks, sqlToken{tokIdent, s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("%w: unexpected character %q", ErrBadSQL, rune(c))
+		}
+	}
+	return toks, nil
+}
+
+// lexSQLString consumes a single-quoted literal from the head of s (which
+// starts at the opening quote) and returns the unescaped value plus the
+// unconsumed tail. A doubled quote inside the literal escapes one quote.
+func lexSQLString(s string) (lit, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		if s[i] != '\'' {
+			b.WriteByte(s[i])
+			continue
+		}
+		if i+1 < len(s) && s[i+1] == '\'' {
+			b.WriteByte('\'')
+			i++
+			continue
+		}
+		return b.String(), s[i+1:], nil
+	}
+	return "", "", fmt.Errorf("%w: unterminated string literal", ErrBadSQL)
+}
+
+// --- parser ---
+
+type sqlParser struct {
+	toks []sqlToken
+	pos  int
+}
+
+func (p *sqlParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *sqlParser) peek() sqlToken {
+	if p.eof() {
+		return sqlToken{}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *sqlParser) next() sqlToken {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+// keyword consumes the next token if it is the given keyword
+// (case-insensitive identifier match).
+func (p *sqlParser) keyword(kw string) bool {
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// ident consumes an identifier that is not a reserved keyword, normalized
+// the way the query language normalizes field names.
+func (p *sqlParser) ident(what string) (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("%w: expected %s, got %q", ErrBadSQL, what, t.text)
+	}
+	for _, kw := range []string{"select", "from", "where", "and"} {
+		if strings.EqualFold(t.text, kw) {
+			return "", fmt.Errorf("%w: reserved word %q as %s", ErrBadSQL, t.text, what)
+		}
+	}
+	p.pos++
+	return query.NormalizeField(t.text)
+}
+
+func (p *sqlParser) stmt() (Stmt, error) {
+	var st Stmt
+	if !p.keyword("select") {
+		return st, fmt.Errorf("%w: expected SELECT", ErrBadSQL)
+	}
+	if p.peek().kind == tokStar {
+		p.pos++
+		st.Star = true
+	} else {
+		for {
+			col, err := p.ident("column")
+			if err != nil {
+				return st, err
+			}
+			st.Cols = append(st.Cols, col)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.pos++
+		}
+	}
+	if !p.keyword("from") {
+		return st, fmt.Errorf("%w: expected FROM, got %q", ErrBadSQL, p.peek().text)
+	}
+	table, err := p.ident("table name")
+	if err != nil {
+		return st, err
+	}
+	st.Table = table
+	if !p.keyword("where") {
+		return st, nil
+	}
+	for {
+		pred, err := p.pred()
+		if err != nil {
+			return st, err
+		}
+		st.Where.Preds = append(st.Where.Preds, pred)
+		if !p.keyword("and") {
+			return st, nil
+		}
+	}
+}
+
+var sqlOps = map[string]query.Op{
+	"=": query.OpEq, "<": query.OpLt, "<=": query.OpLe,
+	">": query.OpGt, ">=": query.OpGe,
+}
+
+func (p *sqlParser) pred() (query.Predicate, error) {
+	field, err := p.ident("column")
+	if err != nil {
+		return query.Predicate{}, err
+	}
+	opTok := p.next()
+	op, ok := sqlOps[opTok.text]
+	if opTok.kind != tokOp || !ok {
+		return query.Predicate{}, fmt.Errorf("%w: expected comparison operator, got %q", ErrBadSQL, opTok.text)
+	}
+	lit := p.next()
+	switch lit.kind {
+	case tokString:
+		return query.Predicate{Field: field, Op: op, Value: attr.Str(lit.text)}, nil
+	case tokNumber:
+		if n, err := strconv.ParseInt(lit.text, 10, 64); err == nil {
+			return query.Predicate{Field: field, Op: op, Value: attr.Int(n)}, nil
+		}
+		if f, err := strconv.ParseFloat(lit.text, 64); err == nil {
+			return query.Predicate{Field: field, Op: op, Value: attr.Float(f)}, nil
+		}
+		return query.Predicate{}, fmt.Errorf("%w: bad numeric literal %q", ErrBadSQL, lit.text)
+	default:
+		return query.Predicate{}, fmt.Errorf("%w: expected literal, got %q", ErrBadSQL, lit.text)
+	}
+}

@@ -1,0 +1,178 @@
+package minisql
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/pagestore"
+	"propeller/internal/perr"
+	"propeller/internal/query"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+func TestParseSelect(t *testing.T) {
+	st, err := Parse("SELECT * FROM files WHERE size >= 4096 AND uid = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Stmt{
+		Table: "files",
+		Star:  true,
+		Where: query.Query{Preds: []query.Predicate{
+			{Field: "size", Op: query.OpGe, Value: attr.Int(4096)},
+			{Field: "uid", Op: query.OpEq, Value: attr.Int(7)},
+		}},
+	}
+	if !reflect.DeepEqual(st, want) {
+		t.Errorf("Parse = %+v, want %+v", st, want)
+	}
+}
+
+func TestParseColumnListAndStrings(t *testing.T) {
+	st, err := Parse("select Path, size from files where keyword = 'o''reilly'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Cols, []string{"path", "size"}) || st.Star {
+		t.Errorf("cols = %v (star=%v), want [path size]", st.Cols, st.Star)
+	}
+	if st.Table != "files" {
+		t.Errorf("table = %q, want files", st.Table)
+	}
+	if len(st.Where.Preds) != 1 || st.Where.Preds[0].Value.AsString() != "o'reilly" {
+		t.Errorf("where = %+v, want one keyword='o'reilly' predicate", st.Where)
+	}
+}
+
+func TestParseNoWhere(t *testing.T) {
+	st, err := Parse("SELECT * FROM keywords")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Table != "keywords" || len(st.Where.Preds) != 0 {
+		t.Errorf("Parse = %+v, want bare keywords scan", st)
+	}
+}
+
+// TestParseMalformed pins the taxonomy contract: every malformed statement
+// is errors.Is(perr.ErrBadQuery) — the same code the query language uses —
+// so RPC surfaces and retry policies treat both front ends alike.
+func TestParseMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"SELECT",
+		"SELECT * files",
+		"SELECT FROM files",
+		"SELECT *, FROM files",
+		"SELECT * FROM",
+		"SELECT * FROM files WHERE",
+		"SELECT * FROM files WHERE size",
+		"SELECT * FROM files WHERE size !! 3",
+		"SELECT * FROM files WHERE size > ",
+		"SELECT * FROM files WHERE size > bare",
+		"SELECT * FROM files WHERE size > 'open",
+		"SELECT * FROM files WHERE size > 3 AND",
+		"SELECT * FROM files WHERE size > 3 trailing",
+		"SELECT * FROM select",
+		"DELETE FROM files",
+		"SELECT * FROM files; DROP TABLE files",
+		"SELECT * FROM files WHERE size > ++--..ee",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); !errors.Is(err, perr.ErrBadQuery) {
+			t.Errorf("Parse(%q) err = %v, want ErrBadQuery", s, err)
+		}
+	}
+}
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	store, err := pagestore.New(simdisk.New(simdisk.Barracuda7200(), vclock.New()), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Open(store)
+}
+
+func TestQueryExecutes(t *testing.T) {
+	db := newTestDB(t)
+	files, _, err := FileTables(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := files.Insert(index.FileID(i), Row{
+			"path": attr.Str("/f"), "size": attr.Int(int64(i * 100)), "uid": attr.Int(int64(i % 2)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.Query("SELECT * FROM files WHERE size >= 500 AND uid = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []index.FileID{5, 7, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Query = %v, want %v", got, want)
+	}
+
+	if _, err := db.Query("SELECT * FROM nosuch"); !errors.Is(err, ErrUnknownTable) {
+		t.Errorf("unknown table err = %v, want ErrUnknownTable", err)
+	}
+	if _, err := db.Query("SELECT * FROM files WHERE nosuch = 1"); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("unknown column err = %v, want ErrUnknownColumn", err)
+	}
+	if _, err := db.Query("SELECT nosuch FROM files"); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("unknown projection err = %v, want ErrUnknownColumn", err)
+	}
+	if _, err := db.Query("SELECT broken"); !errors.Is(err, perr.ErrBadQuery) {
+		t.Errorf("malformed err = %v, want ErrBadQuery", err)
+	}
+}
+
+// FuzzParse hammers the SQL front end with arbitrary bytes. The contract
+// under fuzz: Parse never panics, every failure is a typed
+// perr.ErrBadQuery, and every success yields a structurally sane
+// statement (non-empty table, a projection, in-range operators).
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"SELECT * FROM files WHERE size >= 4096 AND uid = 7",
+		"select path, size from files where keyword = 'o''reilly'",
+		"SELECT * FROM keywords",
+		"SELECT mtime FROM files WHERE size < 1.5e3",
+		"SELECT * FROM files WHERE size > 'open",
+		"SELECT * FROM files WHERE size > 3 trailing",
+		"DELETE FROM files",
+		"",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		st, err := Parse(s)
+		if err != nil {
+			if !errors.Is(err, perr.ErrBadQuery) {
+				t.Fatalf("Parse(%q) err = %v, not typed ErrBadQuery", s, err)
+			}
+			return
+		}
+		if st.Table == "" {
+			t.Fatalf("Parse(%q) succeeded with empty table", s)
+		}
+		if !st.Star && len(st.Cols) == 0 {
+			t.Fatalf("Parse(%q) succeeded with no projection", s)
+		}
+		for _, p := range st.Where.Preds {
+			if p.Field == "" {
+				t.Fatalf("Parse(%q) produced a predicate with no field", s)
+			}
+			if p.Op < query.OpEq || p.Op > query.OpGe {
+				t.Fatalf("Parse(%q) produced out-of-range op %v", s, p.Op)
+			}
+		}
+	})
+}

@@ -34,6 +34,12 @@ var (
 	// current placement epoch; clients invalidate the moved cache entries,
 	// re-resolve through the Master, and retry.
 	ErrStalePlacement = errors.New("propeller: stale placement")
+	// ErrOverloaded reports a request shed by an admission queue: the node
+	// is above capacity (or the caller above its fair share) and rejected
+	// the op before doing any work. Placement is still correct, so clients
+	// must NOT invalidate their cache — the op was never accepted and can
+	// be retried after backoff with no risk of data loss.
+	ErrOverloaded = errors.New("propeller: overloaded")
 )
 
 // Wire codes. Code 0 is a generic error with no taxonomy mapping.
@@ -43,6 +49,7 @@ const (
 	codeBadQuery       uint8 = 2
 	codeTimeout        uint8 = 3
 	codeStalePlacement uint8 = 4
+	codeOverloaded     uint8 = 5
 )
 
 // CodeOf flattens err to its taxonomy wire code (0 when the chain carries
@@ -59,6 +66,8 @@ func CodeOf(err error) uint8 {
 		return codeTimeout
 	case errors.Is(err, ErrStalePlacement):
 		return codeStalePlacement
+	case errors.Is(err, ErrOverloaded):
+		return codeOverloaded
 	default:
 		return codeGeneric
 	}
@@ -87,6 +96,8 @@ func FromWire(code uint8, msg string) error {
 		return &wireTimeout{msg}
 	case codeStalePlacement:
 		return &wireError{ErrStalePlacement, msg}
+	case codeOverloaded:
+		return &wireError{ErrOverloaded, msg}
 	default:
 		return errors.New(msg)
 	}

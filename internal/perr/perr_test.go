@@ -15,6 +15,7 @@ func TestCodeRoundTrip(t *testing.T) {
 		{ErrBadQuery},
 		{ErrTimeout},
 		{ErrStalePlacement},
+		{ErrOverloaded},
 	}
 	for _, c := range cases {
 		wrapped := fmt.Errorf("layer context: %w", c.sentinel)
@@ -45,6 +46,19 @@ func TestGenericErrorsPassThrough(t *testing.T) {
 	}
 	if errors.Is(back, ErrBadQuery) || errors.Is(back, ErrTimeout) {
 		t.Error("generic error must not match taxonomy sentinels")
+	}
+}
+
+func TestOverloadedDistinctFromStalePlacement(t *testing.T) {
+	// The client's cache logic depends on these never aliasing: stale
+	// placement invalidates mappings, overload must not.
+	code := CodeOf(fmt.Errorf("shed: %w", ErrOverloaded))
+	back := FromWire(code, "shed")
+	if !errors.Is(back, ErrOverloaded) {
+		t.Fatal("overload code must round-trip to ErrOverloaded")
+	}
+	if errors.Is(back, ErrStalePlacement) || errors.Is(back, ErrTimeout) {
+		t.Error("overload must not match placement or timeout sentinels")
 	}
 }
 

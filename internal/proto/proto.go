@@ -117,6 +117,14 @@ type HeartbeatReq struct {
 	ACGs []ACGMeta
 	// FreeFiles is the remaining capacity.
 	FreeFiles int64
+	// QueueDepth is the number of requests in the node's admission queue
+	// (in-flight Update/Search handlers) at heartbeat time — the load
+	// signal the rebalancer uses to move groups off queue-hot nodes even
+	// when file counts look balanced.
+	QueueDepth int
+	// Shed counts requests the node's admission control has rejected with
+	// ErrOverloaded since it started (monotonic).
+	Shed int64
 }
 
 // HeartbeatResp carries Master instructions back to the node.
@@ -260,6 +268,9 @@ type NodeStats struct {
 	Addr  string
 	ACGs  int
 	Files int64
+	// QueueDepth is the admission-queue depth the node reported in its
+	// last heartbeat.
+	QueueDepth int
 }
 
 // ClusterStatsResp is the cluster summary.
@@ -311,6 +322,9 @@ type UpdateReq struct {
 	ACG       ACGID
 	IndexName string
 	Entries   []IndexEntry
+	// Client identifies the submitting tenant for per-client fairness in
+	// the node's admission queue (empty = anonymous, pooled as one tenant).
+	Client string
 }
 
 // UpdateResp acknowledges the update.
@@ -373,6 +387,9 @@ type SearchReq struct {
 	AfterSet bool
 	// Consistency selects strict (commit-on-search) or lazy reads.
 	Consistency Consistency
+	// Client identifies the submitting tenant for per-client fairness in
+	// the node's admission queue (empty = anonymous, pooled as one tenant).
+	Client string
 }
 
 // SearchResp returns matching files in ascending FileID order.
@@ -542,4 +559,14 @@ type NodeStatsResp struct {
 	// GroupsRecovered counts groups this node adopted from shared storage
 	// after their previous owner died.
 	GroupsRecovered int64
+	// QueueDepth is the current admission-queue depth (in-flight
+	// Update/Search handlers).
+	QueueDepth int
+	// UpdatesShed / SearchesShed count requests rejected with
+	// ErrOverloaded because the node was at its admission limit.
+	UpdatesShed  int64
+	SearchesShed int64
+	// FairnessSheds counts the subset of sheds issued below the hard limit
+	// because one tenant exceeded its fair share of the queue.
+	FairnessSheds int64
 }

@@ -111,6 +111,11 @@ type Handler func(ctx context.Context, body []byte) ([]byte, error)
 
 // Server dispatches incoming frames to registered handlers.
 type Server struct {
+	// sem, when non-nil, bounds the handler goroutines running at once
+	// across every connection (see WithMaxConcurrent). Immutable after
+	// NewServer.
+	sem chan struct{}
+
 	mu       sync.Mutex
 	handlers map[string]Handler
 	lns      []net.Listener
@@ -119,12 +124,35 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxConcurrent bounds the handler goroutines a server runs at once
+// across all its connections. An arriving frame that finds the limit
+// exhausted is answered immediately with perr.ErrOverloaded instead of
+// spawning a handler — the transport-level backstop under application
+// admission control (which sheds with context about queues and tenants;
+// this guard only stops a flood of frames from exhausting goroutines and
+// memory before the application ever sees them). n <= 0 leaves the server
+// unbounded (the default).
+func WithMaxConcurrent(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		}
+	}
+}
+
 // NewServer returns an empty server.
-func NewServer() *Server {
-	return &Server{
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
 		handlers: make(map[string]Handler),
 		conns:    make(map[net.Conn]struct{}),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Handle registers a raw handler for method.
@@ -214,9 +242,30 @@ func (s *Server) connLoop(conn net.Conn) {
 		s.mu.Lock()
 		h, ok := s.handlers[f.Method]
 		s.mu.Unlock()
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+			default:
+				// Concurrency limit exhausted: shed on the reader goroutine
+				// without spawning a handler. The typed code crosses the
+				// wire, so clients treat it exactly like an application
+				// shed: retry after backoff, never a placement fault.
+				shedErr := fmt.Errorf("rpc: server at concurrency limit %d: %w",
+					cap(s.sem), perr.ErrOverloaded)
+				resp := &frame{ID: f.ID, Method: f.Method, IsResp: true,
+					ErrMsg: shedErr.Error(), ErrCode: perr.CodeOf(shedErr)}
+				writeMu.Lock()
+				_ = writeFrame(conn, resp)
+				writeMu.Unlock()
+				continue
+			}
+		}
 		reqWG.Add(1)
 		go func(f *frame) {
 			defer reqWG.Done()
+			if s.sem != nil {
+				defer func() { <-s.sem }()
+			}
 			ctx := context.Background()
 			if f.TimeoutNanos > 0 {
 				var cancel context.CancelFunc

@@ -319,3 +319,62 @@ func TestServerDoubleCloseAndLateConn(t *testing.T) {
 	s.ServeConn(sc)
 	_ = cc.Close()
 }
+
+// TestServerOverloadConcurrencyLimit proves the transport backstop: with
+// WithMaxConcurrent(n), frame n+1 is shed with a typed ErrOverloaded that
+// survives the wire, and capacity freed by a finishing handler re-admits.
+func TestServerOverloadConcurrencyLimit(t *testing.T) {
+	s := NewServer(WithMaxConcurrent(2))
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	HandleTyped(s, "hold", func(ctx context.Context, req echoReq) (echoResp, error) {
+		started <- struct{}{}
+		<-release
+		return echoResp{Msg: req.Msg}, nil
+	})
+	c := startPipeServer(t, s)
+
+	type result struct {
+		resp echoResp
+		err  error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			r, err := Call[echoReq, echoResp](context.Background(), c, "hold", echoReq{Msg: "slow"})
+			results <- result{r, err}
+		}(i)
+	}
+	<-started
+	<-started // both slots held
+
+	// The third frame finds the limit exhausted and is shed immediately —
+	// no handler runs, and the error is errors.Is-stable across the wire.
+	_, err := Call[echoReq, echoResp](context.Background(), c, "hold", echoReq{Msg: "shed"})
+	if !errors.Is(err, perr.ErrOverloaded) {
+		t.Fatalf("call over limit = %v, want ErrOverloaded", err)
+	}
+	if errors.Is(err, perr.ErrStalePlacement) {
+		t.Error("overload must not alias stale placement")
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if r := <-results; r.err != nil {
+			t.Fatalf("held call failed: %v", r.err)
+		}
+	}
+	// Freed capacity re-admits. The slot is released just after the held
+	// response is written, so allow the tiny race a few retries — which is
+	// exactly the client contract for ErrOverloaded anyway.
+	for i := 0; ; i++ {
+		_, err := Call[echoReq, echoResp](context.Background(), c, "hold", echoReq{Msg: "again"})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, perr.ErrOverloaded) || i > 100 {
+			t.Fatalf("call after drain: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

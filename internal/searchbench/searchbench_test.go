@@ -1,0 +1,83 @@
+package searchbench
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestScenarioTableStable pins the benchmark scenario table: the committed
+// BENCH_search.json baseline is only comparable across commits if the
+// names keep measuring the same workload shape. A harness refactor that
+// renames, drops, or re-pages a scenario must show up here, not as a
+// silent baseline shift.
+func TestScenarioTableStable(t *testing.T) {
+	type row struct {
+		AccessPath string
+		Fanout     int
+		Page       int
+	}
+	want := map[string]row{
+		"btree_paged_eq_page1":  {AccessPath: "btree", Page: 1},
+		"btree_paged_eq_page10": {AccessPath: "btree", Page: 10},
+		"hash_point_paged":      {AccessPath: "hash", Page: 1},
+		"kd_box_paged":          {AccessPath: "kd", Page: 1},
+		"fanout_serial_8acg":    {AccessPath: "fanout", Fanout: 1, Page: 1},
+		"fanout_parallel_8acg":  {AccessPath: "fanout", Fanout: FanoutACGs, Page: 1},
+	}
+	got := make(map[string]row)
+	for _, s := range Scenarios() {
+		got[s.Name] = row{AccessPath: s.AccessPath, Fanout: s.Fanout, Page: s.Page}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("scenario table = %+v, want %+v", got, want)
+	}
+}
+
+// TestScenariosDeterministic prepares every scenario twice and requires the
+// timed request to return the identical page both times: the fixture
+// loaders are seedless generators, so two preparations must be the same
+// experiment down to the file list.
+func TestScenariosDeterministic(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			run := func() ([]uint64, bool) {
+				n, req, err := s.Prepare()
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := n.Search(context.Background(), req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				files := make([]uint64, len(resp.Files))
+				for i, f := range resp.Files {
+					files[i] = uint64(f)
+				}
+				return files, resp.More
+			}
+			f1, m1 := run()
+			f2, m2 := run()
+			if len(f1) == 0 {
+				t.Fatal("scenario page is empty; nothing is being measured")
+			}
+			if !reflect.DeepEqual(f1, f2) || m1 != m2 {
+				t.Errorf("two preparations returned different pages:\n%v (more=%v)\n%v (more=%v)", f1, m1, f2, m2)
+			}
+		})
+	}
+}
+
+// TestByName round-trips every table entry and rejects unknowns.
+func TestByName(t *testing.T) {
+	for _, s := range Scenarios() {
+		got, err := ByName(s.Name)
+		if err != nil || got.Name != s.Name {
+			t.Errorf("ByName(%q) = %q, %v", s.Name, got.Name, err)
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName(nosuch) did not fail")
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package trafficbench
+
+const raceEnabled = false

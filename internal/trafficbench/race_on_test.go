@@ -1,0 +1,9 @@
+//go:build race
+
+package trafficbench
+
+// raceEnabled reports whether the race detector instrumented this build.
+// The end-to-end fairness ratio is timing-sensitive: under the detector's
+// slowdown the tenant-blind transport backstop, not the tenant-aware
+// admission queue, does most of the shedding, so the ratio is unobservable.
+const raceEnabled = true

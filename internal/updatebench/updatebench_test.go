@@ -1,0 +1,107 @@
+package updatebench
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"propeller/internal/proto"
+)
+
+// TestScenarioTableStable pins the write-path scenario table the committed
+// BENCH_update.json baseline is built from: names, dominant index kind,
+// and the ns/entry denominator. Changing any of these silently re-scales
+// the baseline, so the change has to be visible here.
+func TestScenarioTableStable(t *testing.T) {
+	type row struct {
+		Kind         string
+		EntriesPerOp int
+	}
+	want := map[string]row{
+		"append_only_btree":   {Kind: "btree", EntriesPerOp: AppendBatch},
+		"reindex_heavy_btree": {Kind: "btree", EntriesPerOp: ReindexFiles * ReindexRounds},
+		"delete_heavy_kd":     {Kind: "kd", EntriesPerOp: 2 * KDDeletes},
+		"mixed":               {Kind: "mixed", EntriesPerOp: MixedAppend + 3*MixedReindex + MixedHash + 2*MixedKD},
+	}
+	got := make(map[string]row)
+	for _, s := range Scenarios() {
+		got[s.Name] = row{Kind: s.Kind, EntriesPerOp: s.EntriesPerOp}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("scenario table = %+v, want %+v", got, want)
+	}
+}
+
+// checkQueries is the post-op probe per scenario: a full scan of every
+// index the scenario mutates, so two runs that diverge anywhere in the
+// committed state diverge here.
+var checkQueries = map[string][]proto.SearchReq{
+	"append_only_btree": {
+		{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>0", Limit: 1 << 20},
+	},
+	"reindex_heavy_btree": {
+		{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>=0", Limit: 1 << 20},
+	},
+	"delete_heavy_kd": {
+		{ACGs: []proto.ACGID{1}, IndexName: "pt", Query: "x>=0 & y<=1e9", Limit: 1 << 20},
+	},
+	"mixed": {
+		{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>=0", Limit: 1 << 20},
+		{ACGs: []proto.ACGID{1}, IndexName: "tag", Query: "tag>=0", Limit: 1 << 20},
+		{ACGs: []proto.ACGID{2}, IndexName: "pt", Query: "x>=0 & y<=1e9", Limit: 1 << 20},
+	},
+}
+
+// TestScenariosDeterministic prepares each scenario twice, applies one op
+// to each, and requires the resulting committed index state to be
+// identical: the op generators are seedless counters, so same sequence ⇒
+// same state, and a refactor that changes what an op writes must fail
+// here rather than silently move the benchmark.
+func TestScenariosDeterministic(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			probes, ok := checkQueries[s.Name]
+			if !ok {
+				t.Fatalf("no post-op probe declared for scenario %q", s.Name)
+			}
+			run := func() [][]uint64 {
+				r, err := s.Prepare()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.EntriesPerOp != s.EntriesPerOp {
+					t.Fatalf("run EntriesPerOp = %d, table says %d", r.EntriesPerOp, s.EntriesPerOp)
+				}
+				if err := r.Op(); err != nil {
+					t.Fatal(err)
+				}
+				var out [][]uint64
+				for _, req := range probes {
+					resp, err := r.Node.Search(context.Background(), req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if resp.More {
+						t.Fatalf("probe %q overflowed its page; raise the limit", req.Query)
+					}
+					files := make([]uint64, len(resp.Files))
+					for i, f := range resp.Files {
+						files[i] = uint64(f)
+					}
+					out = append(out, files)
+				}
+				return out
+			}
+			a, b := run(), run()
+			for i := range a {
+				if len(a[i]) == 0 {
+					t.Fatalf("probe %d found an empty index after the op", i)
+				}
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("two runs left different committed state:\n%v\n%v", a, b)
+			}
+		})
+	}
+}

@@ -27,11 +27,22 @@
 // workload must issue zero Master lookups, and a node kill must lose zero
 // acknowledged updates.
 //
+// The fourth suite (internal/trafficbench → BENCH_traffic.json) replays an
+// open-loop schedule against a live TCP cluster: a fixed Poisson load, a
+// bursty 8× overload with a flooding tenant, and the max-sustainable-QPS
+// ladder. With -traffic-check it enforces the graceful-overload gates —
+// zero acknowledged writes lost in any trial, the overload run actually
+// shedding (the reflex engaged), and the overload p99 of completed ops
+// bounded by the same run's fixed-load p99 (times two, with an absolute
+// floor for machine noise) — invariants of the run itself, not wall-clock
+// baselines, so they hold on any runner.
+//
 // Usage:
 //
 //	go run ./tools/benchjson [-out BENCH_search.json] [-check]
 //	    [-update-out BENCH_update.json] [-update-check]
 //	    [-cluster-out BENCH_cluster.json] [-cluster-check]
+//	    [-traffic-out BENCH_traffic.json] [-traffic-check]
 //
 // A bare invocation regenerates every baseline; passing flags for only
 // one suite runs only that suite (so `-out X -check` cannot silently
@@ -49,6 +60,7 @@ import (
 
 	"propeller/internal/clusterbench"
 	"propeller/internal/searchbench"
+	"propeller/internal/trafficbench"
 	"propeller/internal/updatebench"
 )
 
@@ -106,29 +118,51 @@ func main() {
 	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "placement control-plane baseline output path")
 	clusterCheck := flag.Bool("cluster-check", false,
 		"fail unless the warm data path issues zero Master lookups and a node kill loses zero acknowledged updates")
+	trafficOut := flag.String("traffic-out", "BENCH_traffic.json", "open-loop traffic baseline output path")
+	trafficCheck := flag.Bool("traffic-check", false,
+		"fail unless overload degrades gracefully: zero acked writes lost, sheds engaged, overload p99 bounded by fixed-load p99")
 	flag.Parse()
 
-	// A suite runs when one of its flags was passed; a bare invocation
-	// regenerates every baseline. Passing only one suite's flags must not
-	// silently rewrite the others' committed baselines — a re-committed
-	// machine-local baseline would move the CI gate.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	searchSel := set["out"] || set["check"]
-	updateSel := set["update-out"] || set["update-check"]
-	clusterSel := set["cluster-out"] || set["cluster-check"]
-	if !searchSel && !updateSel && !clusterSel {
-		searchSel, updateSel, clusterSel = true, true, true
-	}
-	if searchSel {
+	sel := selectSuites(set)
+	if sel.Search {
 		runSearch(*out, *check)
 	}
-	if updateSel {
+	if sel.Update {
 		runUpdate(*updateOut, *updateCheck)
 	}
-	if clusterSel {
+	if sel.Cluster {
 		runCluster(*clusterOut, *clusterCheck)
 	}
+	if sel.Traffic {
+		runTraffic(*trafficOut, *trafficCheck)
+	}
+}
+
+// suiteSelection records which suites an invocation runs — and therefore
+// which baseline files it may write.
+type suiteSelection struct {
+	Search, Update, Cluster, Traffic bool
+}
+
+// selectSuites maps the set of explicitly passed flag names to the suites
+// to run. A suite runs when one of its flags was passed; a bare invocation
+// regenerates every baseline. Passing only one suite's flags must not
+// silently rewrite the others' committed baselines — a re-committed
+// machine-local baseline would move the CI gate — so an unselected suite
+// never runs and never writes.
+func selectSuites(set map[string]bool) suiteSelection {
+	sel := suiteSelection{
+		Search:  set["out"] || set["check"],
+		Update:  set["update-out"] || set["update-check"],
+		Cluster: set["cluster-out"] || set["cluster-check"],
+		Traffic: set["traffic-out"] || set["traffic-check"],
+	}
+	if !sel.Search && !sel.Update && !sel.Cluster && !sel.Traffic {
+		return suiteSelection{Search: true, Update: true, Cluster: true, Traffic: true}
+	}
+	return sel
 }
 
 // clusterDocument is BENCH_cluster.json.
@@ -165,6 +199,66 @@ func runCluster(out string, check bool) {
 	doc := clusterDocument{GeneratedBy: "tools/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0), Cluster: r}
 	writeJSON(out, doc)
 	fmt.Printf("wrote %s (warm lookups = %d, lost = %d)\n", out, r.WarmMasterLookups, r.LostUpdates)
+}
+
+// trafficDocument is BENCH_traffic.json.
+type trafficDocument struct {
+	GeneratedBy string              `json:"generated_by"`
+	GoMaxProcs  int                 `json:"gomaxprocs"`
+	Traffic     trafficbench.Result `json:"traffic"`
+}
+
+func runTraffic(out string, check bool) {
+	r, err := trafficbench.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-24s %10.0f offered qps %10.0f sustained %8.1f%% shed  p99 %8.0f us (%d acked, %d lost)\n",
+		"traffic_fixed", r.FixedLoad.OfferedQPS, r.FixedLoad.SustainedQPS,
+		100*r.FixedLoad.ShedRate, r.FixedLoad.P99us, r.FixedLoad.AckedWrites, r.FixedLoad.AckedLost)
+	fmt.Printf("%-24s %10.0f offered qps %10.0f sustained %8.1f%% shed  p99 %8.0f us (%d acked, %d lost)\n",
+		"traffic_overload", r.Overload.OfferedQPS, r.Overload.SustainedQPS,
+		100*r.Overload.ShedRate, r.Overload.P99us, r.Overload.AckedWrites, r.Overload.AckedLost)
+	fmt.Printf("%-24s %10.0f offered qps %10.0f sustained %8.1f%% shed  p99 %8.0f us (%d acked, %d lost)\n",
+		"traffic_unbounded", r.OverloadUnbounded.OfferedQPS, r.OverloadUnbounded.SustainedQPS,
+		100*r.OverloadUnbounded.ShedRate, r.OverloadUnbounded.P99us,
+		r.OverloadUnbounded.AckedWrites, r.OverloadUnbounded.AckedLost)
+	for _, p := range r.ShedCurve {
+		fmt.Printf("%-24s %10.0f offered qps %10.0f sustained %8.1f%% shed  p99 %8.0f us\n",
+			"traffic_sweep", p.OfferedQPS, p.SustainedQPS, 100*p.ShedRate, p.P99us)
+	}
+
+	// Graceful-overload gates, evaluated before the baseline is written.
+	// All three are invariants of the run itself — not cross-machine
+	// wall-clock baselines — so they hold on any runner.
+	if check && (r.FixedLoad.AckedLost != 0 || r.Overload.AckedLost != 0) {
+		fatal(fmt.Errorf("overload data-loss regression: %d fixed-load + %d overload acked writes lost, want 0",
+			r.FixedLoad.AckedLost, r.Overload.AckedLost))
+	}
+	if check && r.Overload.Shed == 0 {
+		fatal(fmt.Errorf("admission-control regression: an 8x burst overload shed nothing (reflex disengaged)"))
+	}
+	// Bounded tail: completed ops under overload must not queue without
+	// limit. Two ways to pass, covering both runner regimes. A fast host
+	// absorbs the storm — p99 stays within 2x the fixed-load p99 (plus a
+	// noise floor). A saturated host cannot bound open-loop latency at all
+	// (even the generator starves), so there the yardstick is the
+	// unbounded control run of the identical schedule: shedding must keep
+	// the served tail at or below the queue-everything tail. Losing to the
+	// control means admission made things worse — the regression this gate
+	// exists to catch.
+	const floorUs = 25e3
+	absBound := 2 * max(r.FixedLoad.P99us, floorUs)
+	ctlBound := 1.2 * r.OverloadUnbounded.P99us
+	if check && r.Overload.P99us > absBound && r.Overload.P99us > ctlBound {
+		fatal(fmt.Errorf("overload tail regression: overload p99 %.0f us exceeds both the absolute bound %.0f us (2x max(fixed-load p99 %.0f us, floor)) and the unbounded-control bound %.0f us",
+			r.Overload.P99us, absBound, r.FixedLoad.P99us, ctlBound))
+	}
+
+	doc := trafficDocument{GeneratedBy: "tools/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0), Traffic: r}
+	writeJSON(out, doc)
+	fmt.Printf("wrote %s (max sustainable = %.0f qps, overload shed = %.1f%%, lost = %d)\n",
+		out, r.MaxSustainableQPS, 100*r.Overload.ShedRate, r.Overload.AckedLost)
 }
 
 func runSearch(out string, check bool) {

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+// TestSuiteSelectionNeverRewritesUnselectedBaselines is the golden table
+// for the flag → suite mapping. The property under test: an invocation that
+// names only one suite's flags runs (and may therefore rewrite the
+// committed baseline of) exactly that suite — re-committing another suite's
+// machine-local numbers would silently move its CI gate. Only the bare
+// invocation regenerates everything.
+func TestSuiteSelectionNeverRewritesUnselectedBaselines(t *testing.T) {
+	all := suiteSelection{Search: true, Update: true, Cluster: true, Traffic: true}
+	cases := []struct {
+		name string
+		set  []string
+		want suiteSelection
+	}{
+		{"bare", nil, all},
+		{"search_out", []string{"out"}, suiteSelection{Search: true}},
+		{"search_check", []string{"check"}, suiteSelection{Search: true}},
+		{"update_out", []string{"update-out"}, suiteSelection{Update: true}},
+		{"update_check", []string{"update-check"}, suiteSelection{Update: true}},
+		{"cluster_out", []string{"cluster-out"}, suiteSelection{Cluster: true}},
+		{"cluster_check", []string{"cluster-check"}, suiteSelection{Cluster: true}},
+		{"traffic_out", []string{"traffic-out"}, suiteSelection{Traffic: true}},
+		{"traffic_check", []string{"traffic-check"}, suiteSelection{Traffic: true}},
+		{"traffic_both", []string{"traffic-out", "traffic-check"}, suiteSelection{Traffic: true}},
+		{"two_suites", []string{"check", "cluster-check"}, suiteSelection{Search: true, Cluster: true}},
+		{"three_suites", []string{"out", "update-out", "traffic-out"},
+			suiteSelection{Search: true, Update: true, Traffic: true}},
+		{"all_explicit", []string{"check", "update-check", "cluster-check", "traffic-check"}, all},
+		// An unrelated flag name selects nothing explicitly, so everything
+		// runs — the bare-invocation rule keys off suite flags only.
+		{"unknown_flag_only", []string{"verbose"}, all},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := make(map[string]bool, len(tc.set))
+			for _, f := range tc.set {
+				set[f] = true
+			}
+			if got := selectSuites(set); got != tc.want {
+				t.Errorf("selectSuites(%v) = %+v, want %+v", tc.set, got, tc.want)
+			}
+		})
+	}
+}

@@ -185,9 +185,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("files=%d acgs=%d nodes=%d\n", st.Files, st.ACGs, len(st.Nodes))
+		fmt.Printf("files=%d acgs=%d nodes=%d replicated=%d promotions=%d\n",
+			st.Files, st.ACGs, len(st.Nodes), st.ReplicatedGroups, st.Promotions)
 		for _, n := range st.Nodes {
-			fmt.Printf("  %-8s %-24s acgs=%-5d files=%d\n", n.Node, n.Addr, n.ACGs, n.Files)
+			fmt.Printf("  %-8s %-24s acgs=%-5d files=%-8d followers=%-4d lag=%-4d promotions=%d\n",
+				n.Node, n.Addr, n.ACGs, n.Files, n.FollowerGroups, n.ReplicaLagFrames, n.Promotions)
 		}
 		for _, spec := range st.Indexes {
 			fmt.Printf("  index %-12s %s\n", spec.Name, spec.Type)

@@ -84,9 +84,12 @@ type Config struct {
 const placementRetries = 3
 
 // cachedTargets is one index's cached search fan-out and the placement
-// epoch it was resolved at.
+// epoch it was resolved at. routes is the per-group replica view (primary
+// plus seeded followers) lazy searches rotate over; empty when the cluster
+// runs unreplicated.
 type cachedTargets struct {
 	targets []proto.IndexTarget
+	routes  []proto.GroupRoute
 	epoch   proto.Epoch
 }
 
@@ -105,6 +108,10 @@ type Client struct {
 	fileCache  map[index.FileID]proto.FileMapping
 	indexCache map[string]*cachedTargets
 	maxEpoch   atomic.Uint64
+
+	// replicaRR rotates lazy searches across each group's replica set so
+	// concurrent readers of a hot group spread over its copies.
+	replicaRR atomic.Uint64
 
 	masterLookups   metrics.Counter
 	fileHits        metrics.Counter
@@ -213,6 +220,18 @@ func (c *Client) noteEpoch(e proto.Epoch) {
 			return
 		}
 	}
+}
+
+// typedStale wraps a placement-retryable failure whose retry budget is
+// exhausted so it surfaces typed: by the time the budget runs out, a raw
+// connection error (dead or demoted node) means exactly "the placement
+// this request was routed by is stale", and callers match the taxonomy
+// with errors.Is instead of fishing for transport errors.
+func typedStale(err error) error {
+	if errors.Is(err, perr.ErrStalePlacement) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", perr.ErrStalePlacement, err)
 }
 
 // retryablePlacement reports whether err means the placement the request
@@ -560,6 +579,8 @@ func (c *Client) Index(ctx context.Context, indexName string, updates []FileUpda
 				stale = true
 				c.staleRetries.Inc()
 				c.invalidateACG(id)
+			case retryablePlacement(err):
+				return fmt.Errorf("client index acg %d: %w", id, typedStale(err))
 			default:
 				return fmt.Errorf("client index acg %d: %w", id, err)
 			}
@@ -644,29 +665,66 @@ func (c *Client) compile(q Query) ([]query.Predicate, time.Time, error) {
 // cache while the cached epoch is current (no placement change observed
 // since it was fetched). Zero targets yields ErrNoTargets, which Search and
 // SearchStream translate to an empty result in one place.
-func (c *Client) lookupTargets(ctx context.Context, indexName string) ([]proto.IndexTarget, proto.Epoch, error) {
+func (c *Client) lookupTargets(ctx context.Context, indexName string) ([]proto.IndexTarget, []proto.GroupRoute, proto.Epoch, error) {
 	c.pmu.Lock()
 	e := c.indexCache[indexName]
 	c.pmu.Unlock()
 	if e != nil && uint64(e.epoch) >= c.maxEpoch.Load() {
 		c.indexHits.Inc()
-		return e.targets, e.epoch, nil
+		return e.targets, e.routes, e.epoch, nil
 	}
 	c.indexMisses.Inc()
 	c.masterLookups.Inc()
 	lookup, err := rpc.Call[proto.LookupIndexReq, proto.LookupIndexResp](
 		ctx, c.cfg.Master, proto.MethodLookupIndex, proto.LookupIndexReq{IndexName: indexName})
 	if err != nil {
-		return nil, 0, fmt.Errorf("client search: %w", err)
+		return nil, nil, 0, fmt.Errorf("client search: %w", err)
 	}
 	c.noteEpoch(lookup.Epoch)
 	if len(lookup.Targets) == 0 {
-		return nil, 0, ErrNoTargets
+		return nil, nil, 0, ErrNoTargets
 	}
 	c.pmu.Lock()
-	c.indexCache[indexName] = &cachedTargets{targets: lookup.Targets, epoch: lookup.Epoch}
+	c.indexCache[indexName] = &cachedTargets{targets: lookup.Targets, routes: lookup.Routes, epoch: lookup.Epoch}
 	c.pmu.Unlock()
-	return lookup.Targets, lookup.Epoch, nil
+	return lookup.Targets, lookup.Routes, lookup.Epoch, nil
+}
+
+// replicaTargets rebuilds a lazy search's fan-out over each group's
+// replica set: group i of this fan-out is served by replica
+// (rotation + i) mod (1 + followers), slot 0 being the primary, so
+// concurrent lazy readers of a hot group rotate across its copies instead
+// of converging on the primary. Strict searches never come here — a
+// follower cannot serve commit-on-search — and an unreplicated route
+// degenerates to the primary, so the result is always a valid fan-out.
+func (c *Client) replicaTargets(routes []proto.GroupRoute) []proto.IndexTarget {
+	rotation := c.replicaRR.Add(1)
+	type agg struct {
+		addr string
+		acgs []proto.ACGID
+	}
+	byNode := make(map[proto.NodeID]*agg)
+	var order []proto.NodeID
+	for i, rt := range routes {
+		pick := rt.Primary
+		if nReps := uint64(1 + len(rt.Followers)); nReps > 1 {
+			if k := (rotation + uint64(i)) % nReps; k > 0 {
+				pick = rt.Followers[k-1]
+			}
+		}
+		a := byNode[pick.Node]
+		if a == nil {
+			a = &agg{addr: pick.Addr}
+			byNode[pick.Node] = a
+			order = append(order, pick.Node)
+		}
+		a.acgs = append(a.acgs, rt.ACG)
+	}
+	out := make([]proto.IndexTarget, 0, len(order))
+	for _, id := range order {
+		out = append(out, proto.IndexTarget{Node: id, Addr: byNode[id].addr, ACGs: byNode[id].acgs})
+	}
+	return out
 }
 
 // searchReq builds the per-node wire request for q.
@@ -786,12 +844,17 @@ func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
 	overloadLeft := c.overloadBudget()
 	backoffAttempt := 0
 	for {
-		targets, tepoch, err := c.lookupTargets(ctx, q.Index)
+		targets, routes, tepoch, err := c.lookupTargets(ctx, q.Index)
 		if errors.Is(err, ErrNoTargets) {
 			return SearchResult{}, nil // empty cluster: no matches
 		}
 		if err != nil {
 			return SearchResult{}, err
+		}
+		if q.Consistency == proto.ConsistencyLazy && len(routes) > 0 {
+			// Lazy reads accept replica staleness, so fan out over the
+			// replica sets; strict reads keep the primary-only targets.
+			targets = c.replicaTargets(routes)
 		}
 		out, nodeEpoch, err := c.searchFanout(ctx, q, preds, targets)
 		if err != nil {
@@ -809,6 +872,8 @@ func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
 				c.staleRetries.Inc()
 				c.invalidateIndex(q.Index)
 				continue
+			case retryablePlacement(err):
+				return SearchResult{}, typedStale(err)
 			}
 			return SearchResult{}, err
 		}
@@ -886,12 +951,15 @@ func (c *Client) SearchStream(ctx context.Context, q Query) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	targets, tepoch, err := c.lookupTargets(ctx, q.Index)
+	targets, routes, tepoch, err := c.lookupTargets(ctx, q.Index)
 	if errors.Is(err, ErrNoTargets) {
 		return &Stream{}, nil // empty cluster: stream with zero batches
 	}
 	if err != nil {
 		return nil, err
+	}
+	if q.Consistency == proto.ConsistencyLazy && len(routes) > 0 {
+		targets = c.replicaTargets(routes)
 	}
 	s := &Stream{ch: make(chan streamItem, len(targets)), remaining: len(targets)}
 	for _, tgt := range targets {

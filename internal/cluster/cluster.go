@@ -72,6 +72,12 @@ type Config struct {
 	// of frames sheds at frame-read time even when the scheduler starves
 	// the application handlers (the reflex a single-core host relies on).
 	MaxInflight int
+	// ReplicationFactor is the k in k-way group replication: every ACG
+	// keeps one primary plus up to k-1 streaming followers on distinct
+	// nodes, so a primary death promotes a follower instead of replaying
+	// shared storage. ≤ 1 disables replication. Requires the failure
+	// control plane (HeartbeatTimeout > 0) to be useful.
+	ReplicationFactor int
 }
 
 func (c Config) withDefaults() Config {
@@ -131,11 +137,12 @@ func New(cfg Config) (*Cluster, error) {
 
 	// Master.
 	c.master = master.New(master.Config{
-		SplitThreshold:   int64(cfg.SplitThreshold),
-		Clock:            c.clock,
-		HeartbeatTimeout: cfg.HeartbeatTimeout,
-		EnableFailover:   cfg.HeartbeatTimeout > 0,
-		RebalanceRatio:   cfg.RebalanceRatio,
+		SplitThreshold:    int64(cfg.SplitThreshold),
+		Clock:             c.clock,
+		HeartbeatTimeout:  cfg.HeartbeatTimeout,
+		EnableFailover:    cfg.HeartbeatTimeout > 0,
+		RebalanceRatio:    cfg.RebalanceRatio,
+		ReplicationFactor: cfg.ReplicationFactor,
 	})
 	masterSrv := rpc.NewServer()
 	c.master.RegisterRPC(masterSrv)
@@ -145,47 +152,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	// Index nodes.
+	c.masterAddr = masterAddr
 	for i := 0; i < cfg.IndexNodes; i++ {
-		disk := simdisk.New(cfg.DiskProfile, c.clock)
-		store, err := pagestore.New(disk, cfg.PoolPagesPerNode)
+		node, disk, store, addr, err := c.bootNode(i)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: node %d store: %w", i, err)
-		}
-		masterConn, err := c.Dial(masterAddr)
-		if err != nil {
-			return nil, err
-		}
-		node, err := indexnode.New(indexnode.Config{
-			ID:               proto.NodeID(fmt.Sprintf("in-%02d", i)),
-			Store:            store,
-			Disk:             disk,
-			Clock:            c.clock,
-			CommitTimeout:    cfg.CommitTimeout,
-			CacheLimit:       cfg.CacheLimit,
-			SplitThreshold:   cfg.SplitThreshold,
-			Master:           masterConn,
-			Dial:             c.Dial,
-			DisableLazyCache: cfg.DisableLazyCache,
-			SearchFanout:     cfg.SearchFanout,
-			MaxInflight:      cfg.MaxInflight,
-			Shared:           c.shared,
-		})
-		if err != nil {
-			return nil, err
-		}
-		var srvOpts []rpc.ServerOption
-		if cfg.MaxInflight > 0 {
-			srvOpts = append(srvOpts, rpc.WithMaxConcurrent(4*cfg.MaxInflight))
-		}
-		srv := rpc.NewServer(srvOpts...)
-		node.RegisterRPC(srv)
-		addr, err := c.expose(fmt.Sprintf("in-%02d", i), srv)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := c.master.RegisterNode(context.Background(), proto.RegisterNodeReq{
-			Node: node.ID(), Addr: addr, CapacityFiles: 1 << 40,
-		}); err != nil {
 			return nil, err
 		}
 		c.nodes = append(c.nodes, node)
@@ -194,8 +164,58 @@ func New(cfg Config) (*Cluster, error) {
 		c.nodeAddrs = append(c.nodeAddrs, addr)
 	}
 	c.killed = make([]bool, len(c.nodes))
-	c.masterAddr = masterAddr
 	return c, nil
+}
+
+// bootNode constructs one index node process: fresh disk, fresh store,
+// fresh RPC server exposed under the node's name, registered with the
+// Master. Used at cluster boot and again by RestartNode — a restart is
+// the same construction, modelling a process that lost its RAM and local
+// disk and rejoins empty.
+func (c *Cluster) bootNode(i int) (*indexnode.Node, *simdisk.Disk, *pagestore.Store, string, error) {
+	disk := simdisk.New(c.cfg.DiskProfile, c.clock)
+	store, err := pagestore.New(disk, c.cfg.PoolPagesPerNode)
+	if err != nil {
+		return nil, nil, nil, "", fmt.Errorf("cluster: node %d store: %w", i, err)
+	}
+	masterConn, err := c.Dial(c.masterAddr)
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	node, err := indexnode.New(indexnode.Config{
+		ID:               proto.NodeID(fmt.Sprintf("in-%02d", i)),
+		Store:            store,
+		Disk:             disk,
+		Clock:            c.clock,
+		CommitTimeout:    c.cfg.CommitTimeout,
+		CacheLimit:       c.cfg.CacheLimit,
+		SplitThreshold:   c.cfg.SplitThreshold,
+		Master:           masterConn,
+		Dial:             c.Dial,
+		DisableLazyCache: c.cfg.DisableLazyCache,
+		SearchFanout:     c.cfg.SearchFanout,
+		MaxInflight:      c.cfg.MaxInflight,
+		Shared:           c.shared,
+	})
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	var srvOpts []rpc.ServerOption
+	if c.cfg.MaxInflight > 0 {
+		srvOpts = append(srvOpts, rpc.WithMaxConcurrent(4*c.cfg.MaxInflight))
+	}
+	srv := rpc.NewServer(srvOpts...)
+	node.RegisterRPC(srv)
+	addr, err := c.expose(fmt.Sprintf("in-%02d", i), srv)
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	if _, err := c.master.RegisterNode(context.Background(), proto.RegisterNodeReq{
+		Node: node.ID(), Addr: addr, CapacityFiles: 1 << 40,
+	}); err != nil {
+		return nil, nil, nil, "", err
+	}
+	return node, disk, store, addr, nil
 }
 
 // expose publishes an RPC server under a dialable address.
@@ -308,6 +328,37 @@ func (c *Cluster) KillNode(i int) error {
 	if srv != nil {
 		return srv.Close()
 	}
+	return nil
+}
+
+// RestartNode brings a killed node back as a fresh, empty process under
+// the same node id: new disk and store (its RAM and local state are gone —
+// only the cluster's shared store survives a crash), a new RPC server
+// exposed under its old name, and a re-registration with the Master. The
+// restarted node rejoins heartbeat/tick rounds immediately; it repopulates
+// through recover orders, replica seedings, and new traffic. No-op if the
+// node was never killed.
+func (c *Cluster) RestartNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	c.mu.Lock()
+	wasKilled := c.killed[i]
+	c.mu.Unlock()
+	if !wasKilled {
+		return nil
+	}
+	node, disk, store, addr, err := c.bootNode(i)
+	if err != nil {
+		return fmt.Errorf("cluster: restart node %d: %w", i, err)
+	}
+	c.nodes[i] = node
+	c.disks[i] = disk
+	c.stores[i] = store
+	c.nodeAddrs[i] = addr
+	c.mu.Lock()
+	c.killed[i] = false
+	c.mu.Unlock()
 	return nil
 }
 

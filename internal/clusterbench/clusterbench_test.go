@@ -44,3 +44,51 @@ func TestRunDeterministicCorrectness(t *testing.T) {
 		t.Errorf("lost updates = %d, want 0", r1.LostUpdates)
 	}
 }
+
+// TestRunReplicationDeterministicCorrectness runs the fault-injected
+// replication scenario twice and requires the committed correctness
+// columns to agree and to pass the CI gates: zero acknowledged updates
+// lost, zero untyped errors, failover by promotion (never replay), and
+// lazy reads that actually scale past the single-owner baseline.
+func TestRunReplicationDeterministicCorrectness(t *testing.T) {
+	r1, err := RunReplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunReplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type correctness struct {
+		ReplicationFactor, AckedUpdates, AckedLost, Untyped int
+		ReplayRecoveries                                    int64
+		FollowerScaling, SingleScaling                      float64
+	}
+	c := func(r ReplicationResult) correctness {
+		return correctness{
+			ReplicationFactor: r.ReplicationFactor, AckedUpdates: r.AckedUpdates,
+			AckedLost: r.AckedLostAfterPromotion, Untyped: r.UntypedErrors,
+			ReplayRecoveries: r.ReplayRecoveries,
+			FollowerScaling:  r.FollowerReadScaling, SingleScaling: r.SingleOwnerScaling,
+		}
+	}
+	if c1, c2 := c(r1), c(r2); c1 != c2 {
+		t.Errorf("two runs disagree on correctness columns:\n%+v\n%+v", c1, c2)
+	}
+	if r1.AckedLostAfterPromotion != 0 {
+		t.Errorf("acked updates lost = %d, want 0", r1.AckedLostAfterPromotion)
+	}
+	if r1.UntypedErrors != 0 {
+		t.Errorf("untyped errors = %d, want 0", r1.UntypedErrors)
+	}
+	if r1.ReplayRecoveries != 0 {
+		t.Errorf("replay recoveries = %d, want 0 (failover must promote)", r1.ReplayRecoveries)
+	}
+	if r1.Promotions == 0 {
+		t.Error("promotions = 0, want > 0 (the schedule kills primaries)")
+	}
+	if r1.FollowerReadScaling <= r1.SingleOwnerScaling {
+		t.Errorf("follower-read scaling %.2f does not beat single-owner %.2f",
+			r1.FollowerReadScaling, r1.SingleOwnerScaling)
+	}
+}

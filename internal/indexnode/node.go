@@ -197,6 +197,23 @@ type group struct {
 	// serves multi-predicate filtering and ACG migration.
 	postings map[string]map[index.FileID]proto.IndexEntry
 	log      *wal.Log
+
+	// follower marks this copy of the group as a replica: it accepts only
+	// the primary's replication stream (FollowerAppend), rejects direct
+	// updates and strict searches with perr.ErrStalePlacement, and never
+	// writes the shared-store mirror. Cleared by PromoteACG.
+	follower bool
+	// replSeq is the replication stream position: on a primary it counts
+	// acknowledged updates (bumped whether or not followers exist, so a
+	// later replica seeding starts from a true position); on a follower it
+	// is the last contiguously applied stream sequence. Carried in images
+	// so it survives migration and seeding.
+	replSeq uint64
+	// reps is the primary's streaming ack set — the followers every
+	// acknowledged frame is synchronously appended to. A failed append
+	// cuts the follower here; the Master notices it missing from the next
+	// heartbeat's Followers list and re-seeds it. Empty on followers.
+	reps []proto.ReplicaRef
 }
 
 // Node is an Index Node.
@@ -262,6 +279,16 @@ type Node struct {
 	// counts groups adopted from shared storage after an owner died.
 	groupsMigrated  metrics.Counter
 	groupsRecovered metrics.Counter
+	// followerAppends counts replication frames applied by follower copies
+	// on this node; followerCuts counts followers this node's primaries cut
+	// from their ack sets after a failed stream append; promotions counts
+	// follower copies promoted to primary here.
+	followerAppends metrics.Counter
+	followerCuts    metrics.Counter
+	promotions      metrics.Counter
+	// searchesServed counts admitted searches; replicated-read scaling is
+	// measured by how this spreads across nodes.
+	searchesServed metrics.Counter
 	// updatesShed/searchesShed count admissions rejected with
 	// ErrOverloaded; fairnessSheds is the subset rejected below the hard
 	// limit because the tenant was over its fair share.
@@ -274,6 +301,12 @@ type Node struct {
 	// per-ACG commit/entry counters, labelled by decimal ACGID.
 	acgCommits       metrics.CounterSet
 	acgCommitEntries metrics.CounterSet
+
+	// peerMu guards peers, the cached connections this node's primaries
+	// stream replication frames over (per-update path; dial once, evict on
+	// failure).
+	peerMu sync.Mutex
+	peers  map[string]*rpc.Client
 }
 
 // groupGraph is the node-side authoritative ACG of a group (plain adjacency;
@@ -353,6 +386,7 @@ func (n *Node) RegisterRPC(s *rpc.Server) {
 	rpc.HandleTyped(s, proto.MethodReceiveACG, n.ReceiveACG)
 	rpc.HandleTyped(s, proto.MethodSplitACG, n.SplitACG)
 	rpc.HandleTyped(s, proto.MethodNodeStats, n.NodeStats)
+	rpc.HandleTyped(s, proto.MethodFollowerAppend, n.FollowerAppend)
 }
 
 // DeclareIndex makes an index spec known to the node (normally learned from
@@ -645,6 +679,15 @@ func (n *Node) Update(ctx context.Context, req proto.UpdateReq) (proto.UpdateRes
 		return proto.UpdateResp{}, err
 	}
 	defer g.mu.Unlock()
+	if g.follower {
+		// Follower copies accept only the primary's replication stream; a
+		// direct update here is a client routed by a stale (or replica)
+		// target.
+		n.staleRejects.Inc()
+		return proto.UpdateResp{}, fmt.Errorf(
+			"indexnode %s: acg %d is a follower replica (node epoch %d): %w",
+			n.cfg.ID, req.ACG, n.placementEpoch.Load(), perr.ErrStalePlacement)
+	}
 	if g.movedOut != nil {
 		for _, e := range req.Entries {
 			if g.movedOut[e.File] {
@@ -662,6 +705,14 @@ func (n *Node) Update(ctx context.Context, req proto.UpdateReq) (proto.UpdateRes
 	// ack promises must survive this node, not just this process.
 	if n.cfg.Shared != nil {
 		n.cfg.Shared.AppendWAL(g.id, framed)
+	}
+	// Stream the acknowledged frame to the follower ack set before
+	// acknowledging: acked durability = primary append + shared mirror +
+	// follower appends. The sequence bumps on every ack (replicated or
+	// not) so a replica seeded later starts from a true stream position.
+	g.replSeq++
+	if len(g.reps) > 0 {
+		n.streamToFollowersLocked(ctx, g, framed)
 	}
 	for i, e := range req.Entries {
 		g.files[e.File] = true
@@ -864,8 +915,10 @@ func (n *Node) commitPendingLocked(g *group) error {
 	// migrates would accumulate its entire update history there, and
 	// recovery replay time would grow with cluster age. The cost — one
 	// group-image serialization — is amortized over the threshold's worth
-	// of acknowledged records, never paid per commit.
-	if n.cfg.Shared != nil && n.cfg.Shared.WALRecords(g.id) >= sharedWALCheckpointRecords {
+	// of acknowledged records, never paid per commit. Followers never
+	// touch the mirror — the primary owns it; a follower checkpointing
+	// would race the primary's appends.
+	if n.cfg.Shared != nil && !g.follower && n.cfg.Shared.WALRecords(g.id) >= sharedWALCheckpointRecords {
 		if err := n.writeCheckpointLocked(g); err != nil {
 			return err
 		}
@@ -1209,6 +1262,9 @@ func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeSta
 		resp.Files += int64(len(g.files))
 		resp.CachedOps += g.pendingCount
 		resp.WALRecords += g.log.Len()
+		if g.follower {
+			resp.FollowerGroups++
+		}
 		g.mu.Unlock()
 	}
 	// Per-ACG commit counters come from the counter set, not the live
@@ -1233,6 +1289,10 @@ func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeSta
 	resp.StalePlacementRejects = n.staleRejects.Value()
 	resp.GroupsMigratedOut = n.groupsMigrated.Value()
 	resp.GroupsRecovered = n.groupsRecovered.Value()
+	resp.FollowerAppends = n.followerAppends.Value()
+	resp.FollowerCuts = n.followerCuts.Value()
+	resp.Promotions = n.promotions.Value()
+	resp.SearchesServed = n.searchesServed.Value()
 	resp.QueueDepth = n.adm.depth()
 	resp.UpdatesShed = n.updatesShed.Value()
 	resp.SearchesShed = n.searchesShed.Value()
@@ -1259,8 +1319,9 @@ func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeSta
 // Heartbeat sends one heartbeat to the Master and executes the orders the
 // reply carries, in dependency order: recoveries first (adopt groups whose
 // owner died), then drops of stale copies this node no longer owns, then
-// splits, then migrations off this node. All four are the Master's only
-// way to act on a node — it never dials.
+// promotions (a follower copy takes over as primary), then splits, then
+// migrations off this node, then replica seedings. All of them are the
+// Master's only way to act on a node — it never dials.
 func (n *Node) Heartbeat(ctx context.Context) error {
 	if n.cfg.Master == nil {
 		return ErrNoMaster
@@ -1274,7 +1335,16 @@ func (n *Node) Heartbeat(ctx context.Context) error {
 		if !g.lockLive() {
 			continue
 		}
-		req.ACGs = append(req.ACGs, proto.ACGMeta{ACG: g.id, Files: int64(len(g.files))})
+		am := proto.ACGMeta{ACG: g.id, Files: int64(len(g.files)), Follower: g.follower, ReplSeq: g.replSeq}
+		if !g.follower {
+			// The primary's ack set doubles as the Master's cut detector: a
+			// registered replica missing here was cut (or never inherited
+			// after a migration) and gets unseeded and re-seeded.
+			for _, rep := range g.reps {
+				am.Followers = append(am.Followers, rep.Node)
+			}
+		}
+		req.ACGs = append(req.ACGs, am)
 		g.mu.Unlock()
 	}
 
@@ -1296,6 +1366,11 @@ func (n *Node) Heartbeat(ctx context.Context) error {
 	for _, id := range resp.DropACGs {
 		n.ReleaseACG(id, resp.Epoch)
 	}
+	for _, ord := range resp.PromoteACGs {
+		if err := n.PromoteACG(ctx, ord); err != nil {
+			errs = append(errs, fmt.Errorf("indexnode promote order %d: %w", ord.ACG, err))
+		}
+	}
 	for _, id := range resp.SplitACGs {
 		if _, err := n.SplitACG(ctx, proto.SplitACGReq{ACG: id}); err != nil {
 			errs = append(errs, fmt.Errorf("indexnode split order %d: %w", id, err))
@@ -1305,6 +1380,12 @@ func (n *Node) Heartbeat(ctx context.Context) error {
 	for _, ord := range resp.MigrateACGs {
 		if err := n.TransferACG(ctx, ord); err != nil {
 			errs = append(errs, fmt.Errorf("indexnode migrate order %d → %s: %w", ord.ACG, ord.Dest, err))
+			break
+		}
+	}
+	for _, ord := range resp.ReplicateACGs {
+		if err := n.ReplicateACG(ctx, ord); err != nil {
+			errs = append(errs, fmt.Errorf("indexnode replicate order %d → %s: %w", ord.ACG, ord.Dest, err))
 			break
 		}
 	}

@@ -1,0 +1,258 @@
+package indexnode
+
+import (
+	"context"
+	"fmt"
+
+	"propeller/internal/perr"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+)
+
+// This file implements the node side of k-way ACG replication: a primary
+// streams every acknowledged WAL frame to its follower replicas
+// synchronously (ReplicateACG seeds a copy, streamToFollowersLocked keeps
+// it caught up, FollowerAppend is the receiving half), and a Master promote
+// order turns a follower into the primary without replaying shared storage
+// (PromoteACG). Acknowledged durability for a replicated group is primary
+// WAL append + shared-store mirror + follower appends; a follower whose
+// append fails is cut from the ack set and re-seeded by the Master, with
+// the shared mirror covering the gap.
+
+// peerConn returns a cached connection to a peer node, dialing on first
+// use. Follower streaming is per-update, so unlike the one-shot transfer
+// paths it must not pay a dial per call. A connection observed closed is
+// evicted and redialed.
+func (n *Node) peerConn(addr string) (*rpc.Client, error) {
+	if n.cfg.Dial == nil {
+		return nil, fmt.Errorf("indexnode %s: no dialer for peer %s", n.cfg.ID, addr)
+	}
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	if c := n.peers[addr]; c != nil && !c.Closed() {
+		return c, nil
+	}
+	c, err := n.cfg.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if n.peers == nil {
+		n.peers = make(map[string]*rpc.Client)
+	}
+	n.peers[addr] = c
+	return c, nil
+}
+
+// dropPeer evicts (and closes) a cached peer connection after a failed
+// call, so the next use redials instead of reusing a broken pipe.
+func (n *Node) dropPeer(addr string) {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	if c := n.peers[addr]; c != nil {
+		c.Close() //nolint:errcheck // best-effort teardown
+		delete(n.peers, addr)
+	}
+}
+
+// streamToFollowersLocked streams one acknowledged framed WAL record to
+// every follower in the group's ack set, synchronously — the ack the
+// caller is about to send promises follower-append durability. A follower
+// that fails or refuses the append is cut from the ack set; the update
+// still acknowledges on the survivors, because the shared-store mirror
+// (written before this call) holds the frame regardless. The cut follower
+// disappears from the next heartbeat's Followers list, so the Master
+// unseeds it, drops it from routes and promotion picks, and re-seeds it.
+// Caller holds g.mu.
+func (n *Node) streamToFollowersLocked(ctx context.Context, g *group, framed []byte) {
+	kept := g.reps[:0]
+	for _, rep := range g.reps {
+		if err := n.followerAppend(ctx, rep, g.id, framed, g.replSeq); err != nil {
+			n.followerCuts.Inc()
+			n.dropPeer(rep.Addr)
+			continue
+		}
+		kept = append(kept, rep)
+	}
+	g.reps = kept
+}
+
+func (n *Node) followerAppend(ctx context.Context, rep proto.ReplicaRef, id proto.ACGID, framed []byte, seq uint64) error {
+	peer, err := n.peerConn(rep.Addr)
+	if err != nil {
+		return err
+	}
+	_, err = rpc.Call[proto.FollowerAppendReq, proto.FollowerAppendResp](
+		ctx, peer, proto.MethodFollowerAppend,
+		proto.FollowerAppendReq{ACG: id, Frames: framed, Seq: seq, Epoch: n.epoch()})
+	return err
+}
+
+// FollowerAppend applies one frame of a primary's replication stream to
+// this node's follower copy: local WAL append plus lazy-cache insert, the
+// same two steps the primary's own ack performs. Sequence numbers keep the
+// stream contiguous — a duplicate (re-sent frame) is acknowledged as a
+// no-op, a gap is refused so the primary cuts this follower and the Master
+// re-seeds it rather than let it silently diverge.
+func (n *Node) FollowerAppend(ctx context.Context, req proto.FollowerAppendReq) (proto.FollowerAppendResp, error) {
+	n.noteEpoch(req.Epoch)
+	g := n.lockGroup(req.ACG)
+	if g == nil {
+		if ep, gone := n.releasedEpoch(req.ACG); gone {
+			n.staleRejects.Inc()
+			return proto.FollowerAppendResp{}, n.staleErr(req.ACG, ep)
+		}
+		return proto.FollowerAppendResp{}, fmt.Errorf(
+			"indexnode %s follower append: acg %d not seeded: %w", n.cfg.ID, req.ACG, ErrUnknownACG)
+	}
+	defer g.mu.Unlock()
+	if !g.follower {
+		// This copy was promoted (or owns the group outright): the sender
+		// is a stale primary. Refuse typed so it cuts us and its own next
+		// heartbeat reconciles it against the new placement.
+		n.staleRejects.Inc()
+		return proto.FollowerAppendResp{}, fmt.Errorf(
+			"indexnode %s: acg %d is not a follower here (node epoch %d): %w",
+			n.cfg.ID, req.ACG, n.placementEpoch.Load(), perr.ErrStalePlacement)
+	}
+	if req.Seq <= g.replSeq {
+		return proto.FollowerAppendResp{Seq: g.replSeq, Epoch: n.epoch()}, nil
+	}
+	if req.Seq != g.replSeq+1 {
+		return proto.FollowerAppendResp{}, fmt.Errorf(
+			"indexnode %s follower append acg %d: stream gap (applied %d, got %d)",
+			n.cfg.ID, req.ACG, g.replSeq, req.Seq)
+	}
+	if err := g.log.AppendFramed(req.Frames); err != nil {
+		return proto.FollowerAppendResp{}, fmt.Errorf("indexnode follower append: %w", err)
+	}
+	if _, err := n.replayWALLocked(g, req.Frames, nil); err != nil {
+		return proto.FollowerAppendResp{}, fmt.Errorf("indexnode follower append: %w", err)
+	}
+	g.replSeq = req.Seq
+	// A streamed frame may name an index this follower never served;
+	// resolve the spec now so the follower's own commits (Tick, Lazy reads
+	// after promotion) never wedge on an unknown name.
+	for name := range g.pending {
+		if err := n.ensureSpec(ctx, name); err != nil {
+			return proto.FollowerAppendResp{}, err
+		}
+	}
+	n.followerAppends.Inc()
+	return proto.FollowerAppendResp{Seq: g.replSeq, Epoch: n.epoch()}, nil
+}
+
+// ReplicateACG executes one Master replicate order: commit the group, ship
+// its image to the destination as a follower copy (the same ReceiveACG
+// machinery migrations use, with the Follower flag set), report the
+// seeding, and add the destination to the streaming ack set. The whole
+// sequence holds the group lock, so no acknowledged frame can slip between
+// the image and the start of the stream. Duplicate orders (the Master
+// re-issues until the follower confirms) are no-ops once the destination
+// is in the ack set.
+func (n *Node) ReplicateACG(ctx context.Context, ord proto.MigrateOrder) error {
+	if ord.Dest == n.cfg.ID {
+		return nil // a group never follows itself
+	}
+	g := n.lockGroup(ord.ACG)
+	if g == nil {
+		if _, gone := n.releasedEpoch(ord.ACG); gone {
+			return nil // released under a stale order
+		}
+		return fmt.Errorf("acg %d: %w", ord.ACG, ErrUnknownACG)
+	}
+	defer g.mu.Unlock()
+	if g.follower {
+		return nil // only primaries seed; a stale order raced a promotion
+	}
+	for _, rep := range g.reps {
+		if rep.Node == ord.Dest {
+			return nil // already streaming (duplicate order)
+		}
+	}
+	if err := n.commitGroupLocked(g); err != nil {
+		return err
+	}
+	img := n.imageLocked(g, nil)
+	img.Epoch = n.epoch()
+	img.Follower = true
+	peer, err := n.peerConn(ord.Addr)
+	if err != nil {
+		return fmt.Errorf("indexnode replicate dial %s: %w", ord.Addr, err)
+	}
+	if _, err := rpc.Call[proto.ReceiveACGReq, proto.ReceiveACGResp](ctx, peer, proto.MethodReceiveACG, img); err != nil {
+		n.dropPeer(ord.Addr)
+		return fmt.Errorf("indexnode replicate acg %d to %s: %w", ord.ACG, ord.Dest, err)
+	}
+	if n.cfg.Master != nil {
+		// Best-effort: a lost report just delays the seeded mark until the
+		// follower's own heartbeat proves the copy.
+		if rep, err := rpc.Call[proto.ReplicateReportReq, proto.ReplicateReportResp](
+			ctx, n.cfg.Master, proto.MethodReplicateReport,
+			proto.ReplicateReportReq{Node: n.cfg.ID, ACG: ord.ACG, Dest: ord.Dest}); err == nil {
+			n.noteEpoch(rep.Epoch)
+		}
+	}
+	g.reps = append(g.reps, proto.ReplicaRef{Node: ord.Dest, Addr: ord.Addr})
+	return nil
+}
+
+// PromoteACG executes one Master promote order: this node's follower copy
+// of the group becomes the primary in place — no shared-store replay on
+// this path. The surviving replica set rides the order and becomes the new
+// ack set. Before serving, the copy reconciles the acknowledged tail it
+// may have missed (frames acked after it was cut, or after the dead
+// primary's last heartbeat, exist in the shared mirror but possibly
+// nowhere else alive); the known-pairs skip makes that an incremental
+// catch-up over the copy's own state, not a replay into an empty group.
+// Idempotent: the Master re-issues the order until this node's heartbeat
+// reports the group as primary.
+func (n *Node) PromoteACG(ctx context.Context, ord proto.PromoteOrder) error {
+	n.clearReleased(ord.ACG) // an explicit promotion overrides a tombstone
+	g, err := n.lockOrCreateGroup(ord.ACG)
+	if err != nil {
+		return err
+	}
+	defer g.mu.Unlock()
+	wasFollower := g.follower
+	g.follower = false
+	g.reps = g.reps[:0]
+	for _, r := range ord.Followers {
+		if r.Node != n.cfg.ID {
+			g.reps = append(g.reps, r)
+		}
+	}
+	if n.cfg.Shared != nil {
+		if checkpoint, walBytes, ok := n.cfg.Shared.Load(ord.ACG); ok {
+			known := n.knownPairsLocked(g)
+			if checkpoint != nil {
+				img, err := decodeGroupImage(checkpoint)
+				if err != nil {
+					return fmt.Errorf("indexnode promote acg %d: %w", ord.ACG, err)
+				}
+				if err := n.installImageLocked(g, img, known); err != nil {
+					return fmt.Errorf("indexnode promote acg %d: %w", ord.ACG, err)
+				}
+			}
+			if _, err := n.replayWALLocked(g, walBytes, known); err != nil {
+				return fmt.Errorf("indexnode promote acg %d wal: %w", ord.ACG, err)
+			}
+		}
+	}
+	if g.replSeq < ord.Seq {
+		g.replSeq = ord.Seq
+	}
+	for name := range g.pending {
+		if err := n.ensureSpec(ctx, name); err != nil {
+			return fmt.Errorf("indexnode promote acg %d: %w", ord.ACG, err)
+		}
+	}
+	// Commit and take over the shared mirror: from here this node's acks
+	// write it, and the fresh checkpoint folds in the reconciled tail.
+	if err := n.checkpointLocked(g); err != nil {
+		return err
+	}
+	if wasFollower {
+		n.promotions.Inc()
+	}
+	return nil
+}

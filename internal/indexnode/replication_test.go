@@ -1,0 +1,254 @@
+package indexnode
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/perr"
+	"propeller/internal/proto"
+	"propeller/internal/wal"
+)
+
+// seedFollower makes node b a streaming follower of a's group: the same
+// ReplicateACG order the Master's heartbeat reply would carry.
+func seedFollower(t *testing.T, r *transferRig, acg proto.ACGID) {
+	t.Helper()
+	if err := r.a.ReplicateACG(context.Background(), proto.MigrateOrder{
+		ACG: acg, Dest: r.b.cfg.ID, Addr: "pipe:in-b",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicateACGSeedsFollowerAndStreams(t *testing.T) {
+	r := newTransferRig(t)
+	ctx := context.Background()
+	seedTransferGroup(t, r.a, 1, 20)
+	seedFollower(t, r, 1)
+
+	// The follower holds a copy and reports itself as one.
+	st, err := r.b.NodeStats(ctx, proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FollowerGroups != 1 {
+		t.Fatalf("follower groups on b = %d, want 1", st.FollowerGroups)
+	}
+
+	// Every further acknowledged update on the primary streams to the
+	// follower synchronously.
+	for i := 20; i < 30; i++ {
+		if _, err := r.a.Update(ctx, proto.UpdateReq{
+			ACG: 1, IndexName: "size",
+			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i))}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err = r.b.NodeStats(ctx, proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FollowerAppends != 10 {
+		t.Errorf("follower appends = %d, want 10 (one per acked update)", st.FollowerAppends)
+	}
+
+	// The streamed state is the acknowledged state: after the follower's
+	// own lazy-cache commit (its tick), a lazy search on the follower sees
+	// every acknowledged file.
+	r.clk.Advance(10 * time.Second)
+	if err := r.b.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.b.Search(ctx, proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>=0",
+		Consistency: proto.ConsistencyLazy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 30 {
+		t.Errorf("lazy search on follower = %d files, want 30", len(resp.Files))
+	}
+
+	// A duplicate replicate order is a no-op, not a re-seed.
+	seedFollower(t, r, 1)
+	g := r.a.lockGroup(1)
+	reps := len(g.reps)
+	g.mu.Unlock()
+	if reps != 1 {
+		t.Errorf("duplicate replicate order grew the ack set to %d", reps)
+	}
+}
+
+func TestFollowerRejectsDirectTrafficTyped(t *testing.T) {
+	r := newTransferRig(t)
+	ctx := context.Background()
+	seedTransferGroup(t, r.a, 1, 5)
+	seedFollower(t, r, 1)
+
+	// Updates routed to the follower bounce typed before any WAL append.
+	if _, err := r.b.Update(ctx, proto.UpdateReq{
+		ACG: 1, IndexName: "size",
+		Entries: []proto.IndexEntry{{File: 99, Value: attr.Int(99)}},
+	}); !errors.Is(err, perr.ErrStalePlacement) {
+		t.Errorf("update on follower = %v, want ErrStalePlacement", err)
+	}
+	// Strict searches bounce typed too (the follower may trail the
+	// primary's acknowledged set).
+	if _, err := r.b.Search(ctx, proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>=0",
+	}); !errors.Is(err, perr.ErrStalePlacement) {
+		t.Errorf("strict search on follower = %v, want ErrStalePlacement", err)
+	}
+	// And a stale primary's stream is refused typed once the copy is no
+	// longer a follower (zombie-primary fencing).
+	if err := r.b.PromoteACG(ctx, proto.PromoteOrder{ACG: 1, Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := encodeWALRecord(proto.UpdateReq{
+		ACG: 1, IndexName: "size",
+		Entries: []proto.IndexEntry{{File: 100, Value: attr.Int(100)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.b.FollowerAppend(ctx, proto.FollowerAppendReq{
+		ACG: 1, Frames: wal.FrameRecord(rec), Seq: 6,
+	}); !errors.Is(err, perr.ErrStalePlacement) {
+		t.Errorf("stale primary's append = %v, want ErrStalePlacement", err)
+	}
+}
+
+func TestFollowerAppendDuplicateAndGap(t *testing.T) {
+	r := newTransferRig(t)
+	ctx := context.Background()
+	seedTransferGroup(t, r.a, 1, 5) // primary at stream position 5
+	seedFollower(t, r, 1)
+
+	rec, err := encodeWALRecord(proto.UpdateReq{
+		ACG: 1, IndexName: "size",
+		Entries: []proto.IndexEntry{{File: 50, Value: attr.Int(50)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed := wal.FrameRecord(rec)
+
+	// A duplicate (already-applied position) is acknowledged as a no-op.
+	resp, err := r.b.FollowerAppend(ctx, proto.FollowerAppendReq{ACG: 1, Frames: framed, Seq: 5})
+	if err != nil {
+		t.Fatalf("duplicate append should be a no-op, got %v", err)
+	}
+	if resp.Seq != 5 {
+		t.Errorf("duplicate append returned seq %d, want 5", resp.Seq)
+	}
+	// A gap (position 7 when 6 is next) is refused so the primary cuts us.
+	if _, err := r.b.FollowerAppend(ctx, proto.FollowerAppendReq{ACG: 1, Frames: framed, Seq: 7}); err == nil {
+		t.Error("stream gap should be refused")
+	}
+	// The next contiguous position applies.
+	resp, err = r.b.FollowerAppend(ctx, proto.FollowerAppendReq{ACG: 1, Frames: framed, Seq: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 6 {
+		t.Errorf("append returned seq %d, want 6", resp.Seq)
+	}
+}
+
+// TestPromoteACGReconcilesAcknowledgedTail is the loss-window guard: a
+// follower cut from the ack set misses frames that were still acknowledged
+// (they reached the shared mirror). Promotion must reconcile that tail
+// from the mirror — incrementally, not as a replay recovery.
+func TestPromoteACGReconcilesAcknowledgedTail(t *testing.T) {
+	r := newTransferRig(t)
+	ctx := context.Background()
+	seedTransferGroup(t, r.a, 1, 10)
+	seedFollower(t, r, 1)
+
+	// Cut the follower from the primary's ack set, then acknowledge more
+	// updates: they reach the primary and the shared mirror only.
+	g := r.a.lockGroup(1)
+	g.reps = nil
+	seq := g.replSeq
+	g.mu.Unlock()
+	for i := 10; i < 20; i++ {
+		if _, err := r.a.Update(ctx, proto.UpdateReq{
+			ACG: 1, IndexName: "size",
+			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i))}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The primary dies; the Master promotes the (cut) follower with the
+	// primary's last *reported* position — which predates the cut tail.
+	if err := r.b.PromoteACG(ctx, proto.PromoteOrder{ACG: 1, Seq: seq}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.b.Search(ctx, proto.SearchReq{
+		ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>=0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 20 {
+		t.Fatalf("post-promotion search = %d files, want 20 (acknowledged tail lost)", len(resp.Files))
+	}
+	st, err := r.b.NodeStats(ctx, proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Promotions != 1 {
+		t.Errorf("promotions = %d, want 1", st.Promotions)
+	}
+	if st.GroupsRecovered != 0 {
+		t.Errorf("promotion counted as replay recovery (GroupsRecovered = %d)", st.GroupsRecovered)
+	}
+	// The promoted primary serves updates and owns the shared mirror again.
+	if _, err := r.b.Update(ctx, proto.UpdateReq{
+		ACG: 1, IndexName: "size",
+		Entries: []proto.IndexEntry{{File: 100, Value: attr.Int(100)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowerNeverWritesSharedMirror pins mirror ownership: follower
+// appends must not grow the group's shared WAL (the primary already
+// mirrored those records; double-appending would duplicate them on
+// recovery), and a follower commit must not checkpoint.
+func TestFollowerNeverWritesSharedMirror(t *testing.T) {
+	r := newTransferRig(t)
+	ctx := context.Background()
+	seedTransferGroup(t, r.a, 1, 5)
+	seedFollower(t, r, 1)
+
+	walBefore := r.shared.WALRecords(1)
+	for i := 5; i < 10; i++ {
+		if _, err := r.a.Update(ctx, proto.UpdateReq{
+			ACG: 1, IndexName: "size",
+			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i))}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := r.shared.WALRecords(1)-walBefore, 5; got != want {
+		t.Errorf("shared WAL grew by %d records for 5 acked updates, want %d (follower must not double-append)", got, want)
+	}
+	// A follower tick commits its lazy cache locally without checkpointing
+	// (which would truncate the mirror's WAL out from under the primary).
+	walNow := r.shared.WALRecords(1)
+	r.clk.Advance(10 * time.Second)
+	if err := r.b.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if r.shared.WALRecords(1) != walNow {
+		t.Errorf("follower commit moved the shared WAL (%d → %d records)", walNow, r.shared.WALRecords(1))
+	}
+}

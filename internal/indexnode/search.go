@@ -55,6 +55,7 @@ func (n *Node) Search(ctx context.Context, req proto.SearchReq) (proto.SearchRes
 		return proto.SearchResp{}, fmt.Errorf("indexnode %s search: %w", n.cfg.ID, err)
 	}
 	defer n.adm.release(req.Client)
+	n.searchesServed.Inc()
 	q, err := compileQuery(req)
 	if err != nil {
 		return proto.SearchResp{}, err
@@ -344,6 +345,15 @@ func (n *Node) searchOneGroup(id proto.ACGID, req proto.SearchReq, sc *groupScan
 		return 0, nil
 	}
 	defer g.mu.Unlock()
+	if g.follower && req.Consistency != proto.ConsistencyLazy {
+		// Strict reads stay primary-only: a follower serves its replication
+		// stream's view, which can trail the primary's acknowledged set.
+		// Lazy reads accept that staleness by definition and are served.
+		n.staleRejects.Inc()
+		return 0, fmt.Errorf(
+			"indexnode %s: acg %d is a follower replica (node epoch %d): %w",
+			n.cfg.ID, id, n.placementEpoch.Load(), perr.ErrStalePlacement)
+	}
 	if req.Consistency != proto.ConsistencyLazy {
 		start := n.cfg.Clock.Now()
 		if err := n.commitGroupLocked(g); err != nil {

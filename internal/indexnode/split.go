@@ -177,6 +177,13 @@ func (n *Node) ReceiveACG(_ context.Context, req proto.ReceiveACGReq) (proto.Rec
 		return proto.ReceiveACGResp{}, err
 	}
 	defer g.mu.Unlock()
+	// A replica seeding ships the same image with the Follower flag: the
+	// copy installs identically but serves as a follower (stream-fed,
+	// mirror-untouched) from its replicated stream position onward.
+	g.follower = req.Follower
+	if req.ReplSeq > g.replSeq {
+		g.replSeq = req.ReplSeq
+	}
 	known := n.knownPairsLocked(g)
 	if err := n.installImageLocked(g, req, known); err != nil {
 		return proto.ReceiveACGResp{}, err

@@ -26,7 +26,7 @@ import (
 // filter (nil = all). Caller holds g.mu and must have committed the group
 // if the image is meant to include every acknowledged entry.
 func (n *Node) imageLocked(g *group, filter func(index.FileID) bool) proto.ReceiveACGReq {
-	req := proto.ReceiveACGReq{ACG: g.id}
+	req := proto.ReceiveACGReq{ACG: g.id, ReplSeq: g.replSeq}
 	for _, f := range g.groupFilesSorted() {
 		if filter == nil || filter(f) {
 			req.Files = append(req.Files, f)
@@ -106,6 +106,12 @@ func (n *Node) checkpointLocked(g *group) error {
 	// checkpoint would silently forget acknowledged updates.
 	if err := n.commitGroupLocked(g); err != nil {
 		return err
+	}
+	// Follower copies commit locally but never write the mirror: the
+	// primary owns it, and a follower's checkpoint would truncate mirrored
+	// WAL records the follower may not even hold.
+	if g.follower {
+		return nil
 	}
 	return n.writeCheckpointLocked(g)
 }

@@ -72,6 +72,14 @@ type Config struct {
 	// mean is ordered to migrate its largest group to the least-loaded
 	// peer, provided the move strictly narrows the gap. 0 disables.
 	RebalanceRatio float64
+	// ReplicationFactor is the total number of copies each group should
+	// have (primary + followers). Values <= 1 disable replication (the
+	// single-owner behavior). With k > 1 the Master tops every group up to
+	// k-1 followers on distinct alive nodes, seeds them through the owning
+	// primary (replicate orders ride its heartbeats), and on primary death
+	// promotes the most-caught-up seeded follower in one epoch bump instead
+	// of replaying shared storage.
+	ReplicationFactor int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,12 +110,45 @@ type nodeInfo struct {
 	// re-placed. A heartbeat or re-registration revives it (its stale group
 	// copies are reconciled away via DropACGs orders).
 	dead bool
+	// promotions counts follower→primary promotions performed onto this
+	// node (surfaced in ClusterStats).
+	promotions int64
+}
+
+// replicaInfo tracks one follower copy of a group.
+type replicaInfo struct {
+	node proto.NodeID
+	// seeded means the copy provably exists: the primary reported the ship
+	// done (ReplicateReport) or the follower itself heartbeat-reported the
+	// group. Only seeded followers appear in routes and promotion picks; a
+	// follower the primary cut from its ack set flips back to unseeded and
+	// is re-seeded on a later heartbeat.
+	seeded bool
+	// seq is the follower's last heartbeat-reported replication position.
+	seq uint64
 }
 
 type acgInfo struct {
 	id    proto.ACGID
 	node  proto.NodeID
 	files int64
+	// replicas is the group's follower set in placement order.
+	replicas []*replicaInfo
+	// seq is the primary's last heartbeat-reported replication position —
+	// the watermark a promoted follower must reach (reconciling the
+	// shared-store tail if behind) before serving as primary.
+	seq uint64
+}
+
+// replicaOn returns the group's replica entry for the given node, nil if
+// the node is not a registered follower.
+func (a *acgInfo) replicaOn(n proto.NodeID) *replicaInfo {
+	for _, r := range a.replicas {
+		if r.node == n {
+			return r
+		}
+	}
+	return nil
 }
 
 // Master is the metadata and coordination server.
@@ -143,9 +184,23 @@ type Master struct {
 	// at-least-once protocol (RecoverFromShared is idempotent), so a lost
 	// reply or a transient recovery failure cannot strand a group empty.
 	pendingRecover map[proto.ACGID]proto.NodeID
+	// pendingPromote tracks promotions whose new primary has not yet
+	// reported the group as primary. Promote orders are re-issued on every
+	// heartbeat until then (PromoteACG is idempotent). A group is in at
+	// most one of pendingPromote / pendingRecover: promotion and replay are
+	// alternative failover paths, never issued together.
+	pendingPromote map[proto.ACGID]promotePending
 
 	migrationsOrdered metrics.Counter
 	recoveries        metrics.Counter
+	promotions        metrics.Counter
+}
+
+// promotePending is an unconfirmed promotion: the order re-issued on each
+// of the new primary's heartbeats until its report proves adoption.
+type promotePending struct {
+	node  proto.NodeID
+	order proto.PromoteOrder
 }
 
 // New returns a Master with the given configuration.
@@ -162,6 +217,7 @@ func New(cfg Config) *Master {
 		migrateDelivered: make(map[proto.ACGID]bool),
 		migrateOrders:    make(map[proto.NodeID][]proto.MigrateOrder),
 		pendingRecover:   make(map[proto.ACGID]proto.NodeID),
+		pendingPromote:   make(map[proto.ACGID]promotePending),
 	}
 }
 
@@ -175,6 +231,7 @@ func (m *Master) RegisterRPC(s *rpc.Server) {
 	rpc.HandleTyped(s, proto.MethodSplitReport, m.SplitReport)
 	rpc.HandleTyped(s, proto.MethodMergeReport, m.MergeReport)
 	rpc.HandleTyped(s, proto.MethodMigrateReport, m.MigrateReport)
+	rpc.HandleTyped(s, proto.MethodReplicateReport, m.ReplicateReport)
 	rpc.HandleTyped(s, proto.MethodClusterStats, m.ClusterStats)
 }
 
@@ -220,6 +277,13 @@ func (m *Master) Heartbeat(_ context.Context, req proto.HeartbeatReq) (proto.Hea
 		info := m.acgs[am.ACG]
 		switch {
 		case info == nil:
+			if am.Follower {
+				// A follower copy of a group the Master no longer tracks
+				// (merged away, or a master restart dropped it): follower
+				// copies are never adopted as primaries — drop it.
+				resp.DropACGs = append(resp.DropACGs, am.ACG)
+				continue
+			}
 			// A group the Master has never placed (a standalone node
 			// joining with local groups): adopt it. Adoption is a placement
 			// change — cached search fan-outs are missing this group and
@@ -228,6 +292,23 @@ func (m *Master) Heartbeat(_ context.Context, req proto.HeartbeatReq) (proto.Hea
 			m.acgs[am.ACG] = info
 			n.acgs[am.ACG] = true
 			m.epoch++
+		case am.Follower:
+			if rep := info.replicaOn(req.Node); rep != nil {
+				// A registered follower confirms its copy: the seeding is
+				// proven durable and the replica joins Lazy routes.
+				if !rep.seeded {
+					rep.seeded = true
+					m.epoch++
+				}
+				rep.seq = am.ReplSeq
+			} else if info.node != req.Node {
+				// A follower copy the Master no longer wants (replica set
+				// shrank or moved): drop it.
+				resp.DropACGs = append(resp.DropACGs, am.ACG)
+			}
+			// info.node == req.Node: the node was promoted but has not
+			// executed the promote order yet — it re-rides this reply.
+			continue
 		case info.node != req.Node:
 			if m.migrating[am.ACG] == req.Node {
 				// The reporter is the in-flight *destination* of this very
@@ -241,20 +322,48 @@ func (m *Master) Heartbeat(_ context.Context, req proto.HeartbeatReq) (proto.Hea
 			// was migrated or recovered away while this node was silent.
 			// Never silently re-home it to the reporter (that would fork
 			// ownership); order the stale copy dropped instead. The current
-			// owner keeps serving.
+			// owner keeps serving. A reporter claiming primacy while
+			// registered as a follower lost a placement race — strip its
+			// replica entry along with the drop.
+			m.removeReplicaLocked(info, req.Node)
 			resp.DropACGs = append(resp.DropACGs, am.ACG)
 			continue
 		}
-		// The rightful owner reports the group: a pending recovery is
-		// proven complete, and a delivered-but-unexecuted migration order
-		// is proven failed (nodes execute orders before their next
-		// heartbeat), so the group re-arms for future moves.
+		// The rightful owner reports the group: a pending recovery or
+		// promotion is proven complete, and a delivered-but-unexecuted
+		// migration order is proven failed (nodes execute orders before
+		// their next heartbeat), so the group re-arms for future moves.
 		delete(m.pendingRecover, am.ACG)
+		if pp, ok := m.pendingPromote[am.ACG]; ok && pp.node == req.Node {
+			delete(m.pendingPromote, am.ACG)
+		}
 		if m.migrateDelivered[am.ACG] {
 			delete(m.migrating, am.ACG)
 			delete(m.migrateDelivered, am.ACG)
 		}
 		info.files = am.Files
+		info.seq = am.ReplSeq
+		// Reconcile the ack set: a seeded follower absent from the
+		// primary's streaming list was cut after a failed append (or the
+		// primary changed without inheriting it) — it is stale until
+		// re-seeded, so pull it out of routes and promotion picks.
+		for _, rep := range info.replicas {
+			if rep.seeded && !containsNode(am.Followers, rep.node) {
+				rep.seeded = false
+				m.epoch++
+			}
+		}
+		m.ensureReplicasLocked(info)
+		for _, rep := range info.replicas {
+			if rep.seeded {
+				continue
+			}
+			if d := m.nodes[rep.node]; d != nil && !d.dead {
+				resp.ReplicateACGs = append(resp.ReplicateACGs, proto.MigrateOrder{
+					ACG: am.ACG, Dest: rep.node, Addr: d.addr,
+				})
+			}
+		}
 		total += am.Files
 		if am.Files > m.cfg.SplitThreshold {
 			resp.SplitACGs = append(resp.SplitACGs, am.ACG)
@@ -267,6 +376,9 @@ func (m *Master) Heartbeat(_ context.Context, req proto.HeartbeatReq) (proto.Hea
 	// every heartbeat until the owner's report confirms the adoption.
 	for _, a := range m.sortedPendingRecoverLocked(req.Node) {
 		resp.RecoverACGs = append(resp.RecoverACGs, a)
+	}
+	for _, a := range m.sortedPendingPromoteLocked(req.Node) {
+		resp.PromoteACGs = append(resp.PromoteACGs, m.pendingPromote[a].order)
 	}
 	resp.MigrateACGs = append(resp.MigrateACGs, m.migrateOrders[req.Node]...)
 	delete(m.migrateOrders, req.Node)
@@ -290,6 +402,135 @@ func (m *Master) sortedPendingRecoverLocked(node proto.NodeID) []proto.ACGID {
 	return out
 }
 
+// sortedPendingPromoteLocked lists the groups awaiting promotion by node,
+// ascending. Caller holds m.mu.
+func (m *Master) sortedPendingPromoteLocked(node proto.NodeID) []proto.ACGID {
+	var out []proto.ACGID
+	for a, pp := range m.pendingPromote {
+		if pp.node == node {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func containsNode(list []proto.NodeID, n proto.NodeID) bool {
+	for _, id := range list {
+		if id == n {
+			return true
+		}
+	}
+	return false
+}
+
+// removeReplicaLocked strips a node from a group's replica set; reports
+// whether a seeded (route-visible) replica was removed. Caller holds m.mu.
+func (m *Master) removeReplicaLocked(info *acgInfo, node proto.NodeID) bool {
+	for i, r := range info.replicas {
+		if r.node == node {
+			seeded := r.seeded
+			info.replicas = append(info.replicas[:i], info.replicas[i+1:]...)
+			return seeded
+		}
+	}
+	return false
+}
+
+// ensureReplicasLocked tops a group's follower set up to ReplicationFactor-1
+// replicas on distinct alive nodes (fewest files first, ids break ties).
+// New entries start unseeded; the owning primary's next heartbeat carries
+// the replicate order that ships the copy. Caller holds m.mu.
+func (m *Master) ensureReplicasLocked(info *acgInfo) {
+	want := m.cfg.ReplicationFactor - 1
+	if want <= 0 || len(info.replicas) >= want {
+		return
+	}
+	taken := make(map[proto.NodeID]bool, len(info.replicas)+1)
+	taken[info.node] = true
+	for _, r := range info.replicas {
+		taken[r.node] = true
+	}
+	for len(info.replicas) < want {
+		var best *nodeInfo
+		for _, cand := range m.sortedNodesLocked() {
+			if cand.dead || taken[cand.id] {
+				continue
+			}
+			if best == nil || cand.files < best.files {
+				best = cand
+			}
+		}
+		if best == nil {
+			return // not enough alive nodes; topped up when one joins
+		}
+		info.replicas = append(info.replicas, &replicaInfo{node: best.id})
+		taken[best.id] = true
+	}
+}
+
+// bestFollowerLocked picks the promotion target for a group whose primary
+// died: the most-caught-up seeded follower on an alive node (highest
+// reported replication position; node-id order breaks ties). Returns nil
+// when no follower can serve — the caller falls back to shared-store
+// replay. Caller holds m.mu.
+func (m *Master) bestFollowerLocked(info *acgInfo) *replicaInfo {
+	var best *replicaInfo
+	for _, r := range info.replicas {
+		if !r.seeded {
+			continue
+		}
+		if n := m.nodes[r.node]; n == nil || n.dead {
+			continue
+		}
+		if best == nil || r.seq > best.seq || (r.seq == best.seq && r.node < best.node) {
+			best = r
+		}
+	}
+	return best
+}
+
+// promoteLocked fails a group over to one of its seeded followers in a
+// single epoch bump: the follower becomes the primary, the surviving
+// replica set rides the promote order as the new ack set, and the order is
+// re-issued on the new primary's heartbeats until its report proves the
+// adoption. No shared-store replay happens on this path — the order
+// carries the dead primary's last reported stream position, and the new
+// primary reconciles only the acknowledged tail it may have missed.
+// Caller holds m.mu.
+func (m *Master) promoteLocked(info *acgInfo, chosen *replicaInfo) {
+	dest := m.nodes[chosen.node]
+	if old := m.nodes[info.node]; old != nil {
+		delete(old.acgs, info.id)
+		old.files -= info.files
+	}
+	m.removeReplicaLocked(info, chosen.node)
+	info.node = dest.id
+	dest.acgs[info.id] = true
+	dest.files += info.files
+	dest.promotions++
+	// Any in-flight migration or replay of this group is superseded.
+	delete(m.migrating, info.id)
+	delete(m.migrateDelivered, info.id)
+	m.scrubMigrateOrdersLocked(info.id)
+	delete(m.pendingRecover, info.id)
+	m.epoch++
+	m.promotions.Inc()
+	ord := proto.PromoteOrder{ACG: info.id, Seq: info.seq}
+	for _, r := range info.replicas {
+		if !r.seeded {
+			continue
+		}
+		if n := m.nodes[r.node]; n != nil && !n.dead {
+			ord.Followers = append(ord.Followers, proto.ReplicaRef{Node: r.node, Addr: n.addr})
+		}
+	}
+	m.pendingPromote[info.id] = promotePending{node: dest.id, order: ord}
+	// Top the follower set back up; the replacement seeds from the new
+	// primary once it has adopted the group.
+	m.ensureReplicasLocked(info)
+}
+
 // sweepLocked is the liveness sweep: nodes silent past HeartbeatTimeout are
 // marked dead and every group they held is re-placed onto an alive node via
 // reassignLocked (the new owner adopts it from shared storage when its next
@@ -310,6 +551,13 @@ func (m *Master) sweepLocked() {
 			continue
 		}
 		n.dead = true
+		// Strip the dead node from every replica set first: promotion must
+		// not pick it, and routes must stop reading from it.
+		for _, a := range m.sortedAllACGsLocked() {
+			if m.removeReplicaLocked(m.acgs[a], id) {
+				m.epoch++
+			}
+		}
 		acgs := make([]proto.ACGID, 0, len(n.acgs))
 		for a := range n.acgs {
 			acgs = append(acgs, a)
@@ -325,14 +573,33 @@ func (m *Master) sweepLocked() {
 	}
 }
 
-// reassignLocked moves one group's placement to the least-loaded alive node
-// and queues a recover order for it (failure path: the previous owner is
-// dead or unregistered, so the new owner restores the group from shared
-// storage instead of receiving a transfer). Caller holds m.mu.
+// sortedAllACGsLocked returns every tracked group id, ascending. Caller
+// holds m.mu.
+func (m *Master) sortedAllACGsLocked() []proto.ACGID {
+	out := make([]proto.ACGID, 0, len(m.acgs))
+	for a := range m.acgs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// reassignLocked fails one group over after its owner died. With a live
+// seeded follower the failover is a promotion — one epoch bump, no
+// shared-store replay (the replica-aware path; a pending replay for the
+// group is cancelled so the two paths never double-issue). Only when every
+// replica is gone does it fall back to re-placing the group on the
+// least-loaded alive node with a recover order (the new owner restores the
+// group from shared storage — the last-resort replay path). Caller holds
+// m.mu.
 func (m *Master) reassignLocked(id proto.ACGID) error {
 	info := m.acgs[id]
 	if info == nil {
 		return fmt.Errorf("acg %d: %w", id, ErrUnknownACG)
+	}
+	if rep := m.bestFollowerLocked(info); rep != nil {
+		m.promoteLocked(info, rep)
+		return nil
 	}
 	dest := m.leastLoadedLocked()
 	if dest == nil {
@@ -345,10 +612,12 @@ func (m *Master) reassignLocked(id proto.ACGID) error {
 	info.node = dest.id
 	dest.acgs[id] = true
 	dest.files += info.files
-	// Any in-flight migration of this group is moot: its source is gone.
+	// Any in-flight migration or promotion of this group is moot: its
+	// source is gone and no promotable follower survives.
 	delete(m.migrating, id)
 	delete(m.migrateDelivered, id)
 	m.scrubMigrateOrdersLocked(id)
+	delete(m.pendingPromote, id)
 	m.epoch++
 	m.recoveries.Inc()
 	// Pending until the new owner's heartbeat reports the group; recover
@@ -450,6 +719,9 @@ func (m *Master) rebalanceLocked(n *nodeInfo, resp *proto.HeartbeatResp) {
 			continue
 		}
 		if m.migrating[a] != "" || splitting[a] || m.pendingRecover[a] != "" {
+			continue
+		}
+		if _, promoting := m.pendingPromote[a]; promoting {
 			continue
 		}
 		if pick == nil || info.files > pick.files {
@@ -559,6 +831,9 @@ func (m *Master) assignLocked(f index.FileID, hint uint64) (proto.ACGID, error) 
 	if hint != 0 {
 		m.hintToACG[hint] = id
 	}
+	// Reserve the new group's follower slots now; the owning primary's
+	// next heartbeat carries the replicate orders that seed them.
+	m.ensureReplicasLocked(m.acgs[id])
 	// A new group is a placement change: clients holding cached search
 	// fan-outs learn (via the epoch on their own update acks) that the
 	// fan-out may now be missing a group.
@@ -609,6 +884,28 @@ func (m *Master) LookupIndex(_ context.Context, req proto.LookupIndexReq) (proto
 			Node: nid, Addr: m.nodes[nid].addr, ACGs: acgs,
 		})
 	}
+	// With replication on, also stamp per-group replica routes so Lazy
+	// searches can spread across seeded followers. Targets above stays
+	// primary-only: strict reads and updates never touch a follower.
+	if m.cfg.ReplicationFactor > 1 {
+		for _, id := range m.sortedAllACGsLocked() {
+			info := m.acgs[id]
+			pn := m.nodes[info.node]
+			if pn == nil {
+				continue
+			}
+			rt := proto.GroupRoute{ACG: id, Primary: proto.ReplicaRef{Node: info.node, Addr: pn.addr}}
+			for _, r := range info.replicas {
+				if !r.seeded {
+					continue
+				}
+				if fn := m.nodes[r.node]; fn != nil && !fn.dead {
+					rt.Followers = append(rt.Followers, proto.ReplicaRef{Node: r.node, Addr: fn.addr})
+				}
+			}
+			resp.Routes = append(resp.Routes, rt)
+		}
+	}
 	return resp, nil
 }
 
@@ -645,6 +942,7 @@ func (m *Master) SplitReport(_ context.Context, req proto.SplitReportReq) (proto
 	m.acgs[id] = &acgInfo{id: id, node: dest.id, files: int64(len(req.SideB))}
 	dest.acgs[id] = true
 	dest.files += int64(len(req.SideB))
+	m.ensureReplicasLocked(m.acgs[id])
 	for _, f := range req.SideB {
 		m.fileToACG[f] = id
 	}
@@ -689,10 +987,12 @@ func (m *Master) MergeReport(_ context.Context, req proto.MergeReportReq) (proto
 	if n := m.nodes[src.node]; n != nil {
 		delete(n.acgs, req.Src)
 	}
-	// The retired group can no longer be migrated or recovered.
+	// The retired group can no longer be migrated, recovered or promoted;
+	// its follower copies report as unknown and get drop orders.
 	delete(m.migrating, req.Src)
 	delete(m.migrateDelivered, req.Src)
 	delete(m.pendingRecover, req.Src)
+	delete(m.pendingPromote, req.Src)
 	m.scrubMigrateOrdersLocked(req.Src)
 	m.epoch++
 	return proto.MergeReportResp{Moved: moved, Epoch: m.epoch}, nil
@@ -724,12 +1024,41 @@ func (m *Master) MigrateReport(_ context.Context, req proto.MigrateReportReq) (p
 		src.files -= info.files
 	}
 	info.node = dest.id
+	// The destination can no longer be a follower of the group it now
+	// owns. The remaining followers re-seed from the new primary: its
+	// first heartbeat omits them from its ack set, which unseeds them and
+	// queues replicate orders.
+	m.removeReplicaLocked(info, dest.id)
 	dest.acgs[req.ACG] = true
 	dest.files += info.files
 	delete(m.migrating, req.ACG)
 	delete(m.migrateDelivered, req.ACG)
 	m.epoch++
 	return proto.MigrateReportResp{Epoch: m.epoch}, nil
+}
+
+// ReplicateReport marks a follower copy seeded: the primary shipped the
+// group image to Dest and Dest installed it. The seeded replica enters
+// Lazy routes and the promotion candidate pool a round earlier than its
+// own heartbeat would confirm it. Reports that lost a placement race (the
+// reporter no longer owns the group, or Dest left the replica set) are
+// acknowledged without effect — the heartbeat protocol reconciles the
+// stray copy.
+func (m *Master) ReplicateReport(_ context.Context, req proto.ReplicateReportReq) (proto.ReplicateReportResp, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info := m.acgs[req.ACG]
+	if info == nil {
+		return proto.ReplicateReportResp{}, fmt.Errorf("acg %d: %w", req.ACG, ErrUnknownACG)
+	}
+	if info.node == req.Node {
+		if rep := info.replicaOn(req.Dest); rep != nil && !rep.seeded {
+			rep.seeded = true
+			rep.seq = info.seq
+			m.epoch++
+		}
+	}
+	return proto.ReplicateReportResp{Epoch: m.epoch}, nil
 }
 
 // OrderMigration queues a migration of one group to the named destination;
@@ -755,6 +1084,9 @@ func (m *Master) OrderMigration(id proto.ACGID, dest proto.NodeID) error {
 	if m.pendingRecover[id] != "" {
 		return fmt.Errorf("master: acg %d awaiting recovery on %s", id, m.pendingRecover[id])
 	}
+	if pp, ok := m.pendingPromote[id]; ok {
+		return fmt.Errorf("master: acg %d awaiting promotion on %s", id, pp.node)
+	}
 	m.migrating[id] = dest
 	m.migrationsOrdered.Inc()
 	m.migrateOrders[info.node] = append(m.migrateOrders[info.node], proto.MigrateOrder{
@@ -768,10 +1100,31 @@ func (m *Master) ClusterStats(_ context.Context, _ proto.ClusterStatsReq) (proto
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var resp proto.ClusterStatsResp
+	followerGroups := make(map[proto.NodeID]int)
+	lagFrames := make(map[proto.NodeID]int64)
+	for _, info := range m.acgs {
+		replicated := false
+		for _, r := range info.replicas {
+			if !r.seeded {
+				continue
+			}
+			replicated = true
+			followerGroups[r.node]++
+			if info.seq > r.seq {
+				lagFrames[r.node] += int64(info.seq - r.seq)
+			}
+		}
+		if replicated {
+			resp.ReplicatedGroups++
+		}
+	}
 	for _, n := range m.sortedNodesLocked() {
 		resp.Nodes = append(resp.Nodes, proto.NodeStats{
 			Node: n.id, Addr: n.addr, ACGs: len(n.acgs), Files: n.files,
-			QueueDepth: n.queueDepth,
+			QueueDepth:       n.queueDepth,
+			FollowerGroups:   followerGroups[n.id],
+			ReplicaLagFrames: lagFrames[n.id],
+			Promotions:       n.promotions,
 		})
 		resp.Files += n.files
 		if n.dead {
@@ -782,6 +1135,7 @@ func (m *Master) ClusterStats(_ context.Context, _ proto.ClusterStatsReq) (proto
 	resp.PlacementEpoch = m.epoch
 	resp.MigrationsOrdered = m.migrationsOrdered.Value()
 	resp.Recoveries = m.recoveries.Value()
+	resp.Promotions = m.promotions.Value()
 	names := make([]string, 0, len(m.specs))
 	for name := range m.specs {
 		names = append(names, name)
@@ -831,6 +1185,26 @@ type metaSnapshot struct {
 	// Master restart cannot strand a group on an owner that never received
 	// (or never completed) its recover order.
 	PendingRecover map[proto.ACGID]proto.NodeID
+	// ACGReplicas / ACGSeqs persist each group's follower set and the
+	// primary's last reported stream position; PendingPromote persists
+	// unconfirmed promotions, for the same never-strand reason as
+	// PendingRecover.
+	ACGReplicas    map[proto.ACGID][]replicaMeta
+	ACGSeqs        map[proto.ACGID]uint64
+	PendingPromote map[proto.ACGID]promoteMeta
+}
+
+// replicaMeta is the gob image of one replica entry.
+type replicaMeta struct {
+	Node   proto.NodeID
+	Seeded bool
+	Seq    uint64
+}
+
+// promoteMeta is the gob image of one unconfirmed promotion.
+type promoteMeta struct {
+	Node  proto.NodeID
+	Order proto.PromoteOrder
 }
 
 // SnapshotMetadata serializes the durable metadata (the paper flushes the
@@ -846,6 +1220,9 @@ func (m *Master) SnapshotMetadata() ([]byte, error) {
 		HintToACG:      make(map[uint64]proto.ACGID, len(m.hintToACG)),
 		Epoch:          m.epoch,
 		PendingRecover: make(map[proto.ACGID]proto.NodeID, len(m.pendingRecover)),
+		ACGReplicas:    make(map[proto.ACGID][]replicaMeta, len(m.acgs)),
+		ACGSeqs:        make(map[proto.ACGID]uint64, len(m.acgs)),
+		PendingPromote: make(map[proto.ACGID]promoteMeta, len(m.pendingPromote)),
 	}
 	for f, a := range m.fileToACG {
 		snap.FileToACG[f] = a
@@ -853,6 +1230,17 @@ func (m *Master) SnapshotMetadata() ([]byte, error) {
 	for id, info := range m.acgs {
 		snap.ACGNodes[id] = info.node
 		snap.ACGFiles[id] = info.files
+		if info.seq != 0 {
+			snap.ACGSeqs[id] = info.seq
+		}
+		for _, r := range info.replicas {
+			snap.ACGReplicas[id] = append(snap.ACGReplicas[id], replicaMeta{
+				Node: r.node, Seeded: r.seeded, Seq: r.seq,
+			})
+		}
+	}
+	for a, pp := range m.pendingPromote {
+		snap.PendingPromote[a] = promoteMeta{Node: pp.node, Order: pp.order}
 	}
 	for n, s := range m.specs {
 		snap.Specs[n] = s
@@ -901,10 +1289,22 @@ func (m *Master) LoadMetadata(img []byte) error {
 	}
 	m.acgs = make(map[proto.ACGID]*acgInfo, len(snap.ACGNodes))
 	for id, node := range snap.ACGNodes {
-		m.acgs[id] = &acgInfo{id: id, node: node, files: snap.ACGFiles[id]}
+		info := &acgInfo{id: id, node: node, files: snap.ACGFiles[id], seq: snap.ACGSeqs[id]}
+		for _, r := range snap.ACGReplicas[id] {
+			info.replicas = append(info.replicas, &replicaInfo{
+				node: r.Node, seeded: r.Seeded, seq: r.Seq,
+			})
+		}
+		m.acgs[id] = info
 		if n := m.nodes[node]; n != nil {
 			n.acgs[id] = true
 			n.files += snap.ACGFiles[id]
+		}
+	}
+	m.pendingPromote = make(map[proto.ACGID]promotePending, len(snap.PendingPromote))
+	for a, pp := range snap.PendingPromote {
+		if _, ok := m.acgs[a]; ok {
+			m.pendingPromote[a] = promotePending{node: pp.Node, order: pp.Order}
 		}
 	}
 	return nil

@@ -80,15 +80,16 @@ type FileMapping struct {
 
 // Master method names.
 const (
-	MethodRegisterNode  = "master.RegisterNode"
-	MethodHeartbeat     = "master.Heartbeat"
-	MethodLookupFiles   = "master.LookupFiles"
-	MethodLookupIndex   = "master.LookupIndex"
-	MethodCreateIndex   = "master.CreateIndex"
-	MethodSplitReport   = "master.SplitReport"
-	MethodMergeReport   = "master.MergeReport"
-	MethodMigrateReport = "master.MigrateReport"
-	MethodClusterStats  = "master.ClusterStats"
+	MethodRegisterNode    = "master.RegisterNode"
+	MethodHeartbeat       = "master.Heartbeat"
+	MethodLookupFiles     = "master.LookupFiles"
+	MethodLookupIndex     = "master.LookupIndex"
+	MethodCreateIndex     = "master.CreateIndex"
+	MethodSplitReport     = "master.SplitReport"
+	MethodMergeReport     = "master.MergeReport"
+	MethodMigrateReport   = "master.MigrateReport"
+	MethodReplicateReport = "master.ReplicateReport"
+	MethodClusterStats    = "master.ClusterStats"
 )
 
 // RegisterNodeReq announces an Index Node to the Master.
@@ -109,6 +110,19 @@ type RegisterNodeResp struct {
 type ACGMeta struct {
 	ACG   ACGID
 	Files int64
+	// Follower marks that the reporter holds this group as a follower
+	// replica (receives the primary's WAL stream, serves Lazy reads) rather
+	// than as its primary owner.
+	Follower bool
+	// ReplSeq is the group's replication stream position: on a primary, the
+	// sequence of the last acknowledged frame; on a follower, the last
+	// contiguously applied sequence. The Master promotes the most-caught-up
+	// follower by comparing these.
+	ReplSeq uint64
+	// Followers lists the follower nodes the primary is currently streaming
+	// to (its ack set). A registered replica absent from this list was cut
+	// after a failed append and needs re-seeding. Primary reports only.
+	Followers []NodeID
 }
 
 // HeartbeatReq is the Index Node's periodic status report.
@@ -143,15 +157,54 @@ type HeartbeatResp struct {
 	// were migrated or recovered elsewhere while the node was silent. The
 	// node releases its stale copy (the current owner has the data).
 	DropACGs []ACGID
+	// PromoteACGs lists follower groups on this node the Master promoted to
+	// primary after their previous primary died. Re-issued every heartbeat
+	// until the node reports the group as primary (at-least-once, like
+	// recover orders).
+	PromoteACGs []PromoteOrder
+	// ReplicateACGs lists groups this node owns as primary that need a
+	// follower seeded: the node ships a group image to each destination via
+	// the ReceiveACG machinery and then streams acknowledged WAL frames to
+	// it. Re-issued until the follower's own heartbeat confirms the copy.
+	ReplicateACGs []MigrateOrder
 	// Epoch is the Master's current placement epoch.
 	Epoch Epoch
 }
 
-// MigrateOrder instructs a node to transfer one of its groups to a peer.
+// MigrateOrder instructs a node to transfer one of its groups to a peer
+// (or, as a replicate order, to seed a follower copy there).
 type MigrateOrder struct {
 	ACG  ACGID
 	Dest NodeID
 	Addr string
+}
+
+// PromoteOrder instructs a node to promote its follower copy of a group to
+// primary.
+type PromoteOrder struct {
+	ACG ACGID
+	// Seq is the dead primary's last heartbeat-reported replication
+	// sequence. A promoting follower behind it provably missed acknowledged
+	// frames and reconciles the shared-store WAL tail before serving.
+	Seq uint64
+	// Followers is the surviving replica set: the new primary adopts it as
+	// its streaming ack set.
+	Followers []ReplicaRef
+}
+
+// ReplicaRef names one replica holder of a group.
+type ReplicaRef struct {
+	Node NodeID
+	Addr string
+}
+
+// GroupRoute is the per-group replica routing the Master stamps into index
+// lookups: the primary plus every seeded, alive follower. Lazy searches may
+// read from any entry; strict searches and updates go to the primary only.
+type GroupRoute struct {
+	ACG       ACGID
+	Primary   ReplicaRef
+	Followers []ReplicaRef
 }
 
 // LookupFilesReq resolves (or allocates) the ACG and Index Node of files.
@@ -190,6 +243,11 @@ type IndexTarget struct {
 type LookupIndexResp struct {
 	Spec    IndexSpec
 	Targets []IndexTarget
+	// Routes carries per-group replica routing (primary + seeded followers)
+	// so Lazy searches can spread across replicas. Targets stays
+	// primary-only: strict searches and older clients keep their exact
+	// fan-out.
+	Routes []GroupRoute
 	// Epoch is the placement epoch the fan-out was resolved at.
 	Epoch Epoch
 }
@@ -259,6 +317,22 @@ type MigrateReportResp struct {
 	Epoch Epoch
 }
 
+// ReplicateReportReq tells the Master a primary finished seeding a follower
+// copy of one of its groups onto Dest (the image shipped and installed).
+// The follower's own heartbeat is the durable confirmation; this report
+// just marks the replica seeded a round earlier so routes pick it up.
+type ReplicateReportReq struct {
+	Node NodeID
+	ACG  ACGID
+	Dest NodeID
+}
+
+// ReplicateReportResp acknowledges the seeding.
+type ReplicateReportResp struct {
+	// Epoch is the placement epoch after the replica set change.
+	Epoch Epoch
+}
+
 // ClusterStatsReq asks for a cluster summary.
 type ClusterStatsReq struct{}
 
@@ -271,6 +345,15 @@ type NodeStats struct {
 	// QueueDepth is the admission-queue depth the node reported in its
 	// last heartbeat.
 	QueueDepth int
+	// FollowerGroups is the number of groups this node holds as a follower
+	// replica (not counted in ACGs, which is primary ownership).
+	FollowerGroups int
+	// ReplicaLagFrames sums, over this node's seeded follower groups, how
+	// many frames its last reported stream position trails the primary's.
+	ReplicaLagFrames int64
+	// Promotions counts follower→primary promotions the Master performed
+	// onto this node.
+	Promotions int64
 }
 
 // ClusterStatsResp is the cluster summary.
@@ -290,19 +373,27 @@ type ClusterStatsResp struct {
 	// DeadNodes is the number of registered nodes currently considered
 	// failed by the liveness sweep.
 	DeadNodes int
+	// ReplicatedGroups counts groups with at least one seeded follower
+	// replica — the groups whose failover path is instant promotion rather
+	// than shared-store replay.
+	ReplicatedGroups int
+	// Promotions counts follower→primary promotions the Master has
+	// performed since it started (failovers that skipped replay).
+	Promotions int64
 }
 
 // --- Index Node RPCs ---
 
 // Index Node method names.
 const (
-	MethodUpdate     = "in.Update"
-	MethodSearch     = "in.Search"
-	MethodFlushACG   = "in.FlushACG"
-	MethodCreateACG  = "in.CreateACG"
-	MethodReceiveACG = "in.ReceiveACG"
-	MethodSplitACG   = "in.SplitACG"
-	MethodNodeStats  = "in.NodeStats"
+	MethodUpdate         = "in.Update"
+	MethodSearch         = "in.Search"
+	MethodFlushACG       = "in.FlushACG"
+	MethodCreateACG      = "in.CreateACG"
+	MethodReceiveACG     = "in.ReceiveACG"
+	MethodSplitACG       = "in.SplitACG"
+	MethodNodeStats      = "in.NodeStats"
+	MethodFollowerAppend = "in.FollowerAppend"
 )
 
 // IndexEntry is one (file, value) posting for a named index.
@@ -475,6 +566,17 @@ type ReceiveACGReq struct {
 	WAL []byte
 	// Epoch stamps the placement move that shipped this group.
 	Epoch Epoch
+	// Follower marks a replica-seeding transfer: the receiver installs the
+	// image as a follower copy — serves Lazy reads, rejects updates and
+	// strict searches with ErrStalePlacement, and never writes the group's
+	// shared-store mirror (that remains the primary's) — instead of taking
+	// primary ownership.
+	Follower bool
+	// ReplSeq is the sender's replication stream position at image time;
+	// the receiver's follower stream resumes from it. Non-follower
+	// transfers carry it too so a migrated primary's sequence stays
+	// monotonic across moves.
+	ReplSeq uint64
 }
 
 // ReceiveACGResp acknowledges the transfer.
@@ -495,6 +597,32 @@ type SplitACGResp struct {
 	NewACG ACGID
 	// CutWeight is the partition cut (inter-group accesses).
 	CutWeight int64
+}
+
+// FollowerAppendReq streams one acknowledged WAL frame from a group's
+// primary to one follower. Appends are synchronous on the update path:
+// acknowledged durability is primary WAL append + shared-store mirror +
+// follower appends. Seq numbers frames contiguously; a follower seeing a
+// gap (it missed frames) refuses, the primary cuts it from the ack set, and
+// the Master re-seeds it.
+type FollowerAppendReq struct {
+	ACG ACGID
+	// Frames is one framed WAL record (the exact bytes the primary
+	// appended locally and mirrored to shared storage).
+	Frames []byte
+	// Seq is this frame's sequence; the follower accepts iff its applied
+	// position is exactly Seq-1 (== Seq is an idempotent duplicate).
+	Seq uint64
+	// Epoch is the newest placement epoch the primary has seen.
+	Epoch Epoch
+}
+
+// FollowerAppendResp acknowledges the append.
+type FollowerAppendResp struct {
+	// Seq is the follower's applied stream position after the append.
+	Seq uint64
+	// Epoch is the newest placement epoch the follower has seen.
+	Epoch Epoch
 }
 
 // NodeStatsReq asks an Index Node for its local stats.
@@ -569,4 +697,19 @@ type NodeStatsResp struct {
 	// FairnessSheds counts the subset of sheds issued below the hard limit
 	// because one tenant exceeded its fair share of the queue.
 	FairnessSheds int64
+	// FollowerGroups is the number of groups this node currently holds as a
+	// follower replica.
+	FollowerGroups int
+	// FollowerAppends counts WAL frames this node applied from primaries'
+	// replication streams.
+	FollowerAppends int64
+	// FollowerCuts counts followers this node (as primary) dropped from an
+	// ack set after a failed or refused stream append.
+	FollowerCuts int64
+	// Promotions counts follower groups this node promoted to primary under
+	// Master promote orders.
+	Promotions int64
+	// SearchesServed counts search requests this node admitted and served —
+	// the per-replica load signal the follower-read scaling bench reads.
+	SearchesServed int64
 }

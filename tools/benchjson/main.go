@@ -22,10 +22,15 @@
 //
 // The third suite (internal/clusterbench → BENCH_cluster.json) measures
 // the placement control plane on a virtual-time cluster: warm-path Master
-// RPC count, migration cost, and failure-recovery time. With
-// -cluster-check it enforces the two correctness gates — a steady-state
-// workload must issue zero Master lookups, and a node kill must lose zero
-// acknowledged updates.
+// RPC count, migration cost, failure-recovery time, and the replicated
+// scenario — a seeded fault-injection run that kills the primary
+// mid-workload plus a follower-read fan-out measurement. With
+// -cluster-check it enforces the correctness gates: a steady-state
+// workload must issue zero Master lookups, a node kill must lose zero
+// acknowledged updates, a primary kill on a replicated group must lose
+// zero acknowledged updates via promotion (never shared-store replay)
+// while surfacing only typed errors, and lazy follower reads must scale
+// past the single-owner baseline.
 //
 // The fourth suite (internal/trafficbench → BENCH_traffic.json) replays an
 // open-loop schedule against a live TCP cluster: a fixed Poisson load, a
@@ -167,9 +172,10 @@ func selectSuites(set map[string]bool) suiteSelection {
 
 // clusterDocument is BENCH_cluster.json.
 type clusterDocument struct {
-	GeneratedBy string              `json:"generated_by"`
-	GoMaxProcs  int                 `json:"gomaxprocs"`
-	Cluster     clusterbench.Result `json:"cluster"`
+	GeneratedBy string                         `json:"generated_by"`
+	GoMaxProcs  int                            `json:"gomaxprocs"`
+	Cluster     clusterbench.Result            `json:"cluster"`
+	Replication clusterbench.ReplicationResult `json:"replication"`
 }
 
 func runCluster(out string, check bool) {
@@ -184,6 +190,19 @@ func runCluster(out string, check bool) {
 	fmt.Printf("%-24s %12.0f virtual us (%d/%d files recovered, %d lost)\n",
 		"recovery", r.RecoveryVirtualUs, r.RecoveredFiles, r.RecoveredFiles+r.LostUpdates, r.LostUpdates)
 
+	rr, err := clusterbench.RunReplication()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-24s %12.0f virtual us (k=%d, %d acked, %d lost, %d untyped errs)\n",
+		"promotion", rr.PromotionVirtualUs, rr.ReplicationFactor,
+		rr.AckedUpdates, rr.AckedLostAfterPromotion, rr.UntypedErrors)
+	fmt.Printf("%-24s %12d promotions (%d replay recoveries)\n",
+		"failover", rr.Promotions, rr.ReplayRecoveries)
+	fmt.Printf("%-24s %12.2fx scaling vs %.2fx single-owner (%d lazy rounds, spread %v)\n",
+		"follower_reads", rr.FollowerReadScaling, rr.SingleOwnerScaling,
+		rr.FollowerReadRounds, rr.FollowerReadsSpread)
+
 	// Correctness gates, evaluated before the baseline is written (a
 	// failing run must not leave regressed numbers for a later commit to
 	// re-base on). These are invariants, not wall-clock bounds, so no
@@ -195,10 +214,31 @@ func runCluster(out string, check bool) {
 	if check && r.LostUpdates != 0 {
 		fatal(fmt.Errorf("recovery regression: %d acknowledged updates lost after node kill, want 0", r.LostUpdates))
 	}
+	// Replication gates, same policy. Killing the primary mid-workload
+	// must lose zero acknowledged updates, and via promotion — a replay
+	// recovery on a replicated group means the instant-failover path
+	// regressed to the shared-store slow path.
+	if check && rr.AckedLostAfterPromotion != 0 {
+		fatal(fmt.Errorf("replication regression: %d acknowledged updates lost after primary kill, want 0", rr.AckedLostAfterPromotion))
+	}
+	if check && rr.ReplayRecoveries != 0 {
+		fatal(fmt.Errorf("promotion regression: %d failovers fell back to shared-store replay, want 0 (instant promotion)", rr.ReplayRecoveries))
+	}
+	if check && rr.UntypedErrors != 0 {
+		fatal(fmt.Errorf("error-taxonomy regression: %d untyped errors surfaced mid-failover, want 0", rr.UntypedErrors))
+	}
+	if check && rr.FollowerReadScaling <= rr.SingleOwnerScaling {
+		fatal(fmt.Errorf("follower-read regression: lazy scaling %.2fx does not beat the single-owner baseline %.2fx",
+			rr.FollowerReadScaling, rr.SingleOwnerScaling))
+	}
 
-	doc := clusterDocument{GeneratedBy: "tools/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0), Cluster: r}
+	doc := clusterDocument{
+		GeneratedBy: "tools/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0),
+		Cluster: r, Replication: rr,
+	}
 	writeJSON(out, doc)
-	fmt.Printf("wrote %s (warm lookups = %d, lost = %d)\n", out, r.WarmMasterLookups, r.LostUpdates)
+	fmt.Printf("wrote %s (warm lookups = %d, lost = %d, acked lost after promotion = %d)\n",
+		out, r.WarmMasterLookups, r.LostUpdates, rr.AckedLostAfterPromotion)
 }
 
 // trafficDocument is BENCH_traffic.json.

@@ -63,7 +63,7 @@ func run() error {
 		Clock:         clk,
 		CommitTimeout: *commitTimeout,
 		Master:        masterConn,
-		Dial:          func(addr string) (*rpc.Client, error) { return rpc.Dial(addr) },
+		Dial:          func(ctx context.Context, addr string) (*rpc.Client, error) { return rpc.DialContext(ctx, addr) },
 	})
 	if err != nil {
 		return err

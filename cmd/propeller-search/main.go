@@ -72,8 +72,8 @@ func run(args []string) error {
 	defer masterConn.Close() //nolint:errcheck // process exit path
 	cl, err := client.New(client.Config{
 		Master: masterConn,
-		Dial: func(addr string) (*rpc.Client, error) {
-			return rpc.Dial(strings.TrimPrefix(addr, "tcp:"))
+		Dial: func(ctx context.Context, addr string) (*rpc.Client, error) {
+			return rpc.DialContext(ctx, strings.TrimPrefix(addr, "tcp:"))
 		},
 		Now: time.Now,
 	})

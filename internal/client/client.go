@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -55,8 +56,9 @@ type Config struct {
 	// Master is the Master Node connection.
 	Master *rpc.Client
 	// Dial opens connections to Index Nodes by address. Connections are
-	// cached per address.
-	Dial func(addr string) (*rpc.Client, error)
+	// cached per address. The context bounds connection establishment, so
+	// a dial toward a partitioned node respects the caller's deadline.
+	Dial func(ctx context.Context, addr string) (*rpc.Client, error)
 	// Now supplies the reference time for relative query predicates
 	// (defaults to time.Now).
 	Now func() time.Time
@@ -72,9 +74,17 @@ type Config struct {
 	// count them).
 	OverloadRetries int
 	// Backoff overrides the inter-retry pause on overload (tests and
-	// harnesses inject a no-op or a recorder). Nil selects an exponential
-	// default: 1ms << attempt, capped at 64ms.
+	// harnesses inject a no-op or a recorder). Nil selects the default:
+	// exponential 1ms << attempt capped at 64ms, jittered so concurrent
+	// retriers desynchronize, and budgeted against the context deadline so
+	// a pause never eats the time the retried attempt needs.
 	Backoff func(attempt int)
+	// HedgeDelay arms hedged lazy reads: a lazy search leg that has not
+	// answered within this wall-clock delay races a second request against
+	// each group's next replica, and the first response wins. 0 disables
+	// hedging. Strict searches never hedge — commit-on-search is
+	// primary-only.
+	HedgeDelay time.Duration
 }
 
 // placementRetries bounds the invalidate-and-retry rounds a single request
@@ -120,6 +130,7 @@ type Client struct {
 	indexMisses     metrics.Counter
 	staleRetries    metrics.Counter
 	overloadRetries metrics.Counter
+	hedgedSearches  metrics.Counter
 }
 
 // New returns a Client.
@@ -160,6 +171,9 @@ type CacheStats struct {
 	// shed a request with perr.ErrOverloaded. These rounds never touch
 	// the placement cache.
 	OverloadRetries int64
+	// HedgedSearches counts lazy search legs that fired a hedge to an
+	// alternate replica after exceeding Config.HedgeDelay.
+	HedgedSearches int64
 	// Epoch is the newest placement epoch the client has seen.
 	Epoch proto.Epoch
 }
@@ -174,6 +188,7 @@ func (c *Client) CacheStats() CacheStats {
 		MasterLookups:         c.masterLookups.Value(),
 		StalePlacementRetries: c.staleRetries.Value(),
 		OverloadRetries:       c.overloadRetries.Value(),
+		HedgedSearches:        c.hedgedSearches.Value(),
 		Epoch:                 proto.Epoch(c.maxEpoch.Load()),
 	}
 }
@@ -192,8 +207,13 @@ func (c *Client) overloadBudget() int {
 }
 
 // backoff pauses before an overload retry: the injected Config.Backoff if
-// set, else an exponential 1ms << attempt capped at 64ms. Context expiry
-// cuts the pause short and surfaces as a taxonomy error.
+// set, else an exponential 1ms << attempt capped at 64ms with full jitter
+// on the upper half — concurrent retriers that shed together desynchronize
+// instead of thundering back in lockstep. The pause is budgeted against
+// the context deadline: it never consumes more than half the remaining
+// time, so the retried attempt always keeps at least as much budget as
+// the pause spent. Context expiry cuts the pause short and surfaces as a
+// taxonomy error.
 func (c *Client) backoff(ctx context.Context, attempt int) error {
 	if c.cfg.Backoff != nil {
 		c.cfg.Backoff(attempt)
@@ -202,7 +222,17 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 	if attempt > 6 {
 		attempt = 6
 	}
-	t := time.NewTimer(time.Millisecond << uint(attempt))
+	base := time.Millisecond << uint(attempt)
+	pause := base/2 + time.Duration(rand.Int63n(int64(base/2)+1))
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); pause > rem/2 {
+			pause = rem / 2
+		}
+	}
+	if pause <= 0 {
+		return perr.Ctx(ctx.Err())
+	}
+	t := time.NewTimer(pause)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
@@ -285,7 +315,7 @@ func (c *Client) Close() error {
 	return firstErr
 }
 
-func (c *Client) conn(addr string) (*rpc.Client, error) {
+func (c *Client) conn(ctx context.Context, addr string) (*rpc.Client, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if conn, ok := c.conns[addr]; ok {
@@ -297,7 +327,7 @@ func (c *Client) conn(addr string) (*rpc.Client, error) {
 		// deadline must not make a healthy node unreachable forever.
 		delete(c.conns, addr)
 	}
-	conn, err := c.cfg.Dial(addr)
+	conn, err := c.cfg.Dial(ctx, addr)
 	if err != nil {
 		return nil, fmt.Errorf("client dial %s: %w", addr, err)
 	}
@@ -397,7 +427,7 @@ func (c *Client) FlushACG(ctx context.Context) error {
 		}
 	}
 	for _, d := range dests {
-		conn, err := c.conn(d.addr)
+		conn, err := c.conn(ctx, d.addr)
 		if err != nil {
 			return err
 		}
@@ -540,7 +570,7 @@ func (c *Client) Index(ctx context.Context, indexName string, updates []FileUpda
 		epochs := make([]proto.Epoch, len(ids))
 		for k, id := range ids {
 			b := batches[id]
-			conn, err := c.conn(b.addr)
+			conn, err := c.conn(ctx, b.addr)
 			if err != nil {
 				errs[k] = err // a dead node's dial failure retries like a stale batch
 				continue
@@ -763,18 +793,92 @@ type SearchResult struct {
 	Anchor time.Time
 }
 
+// hedgeTargets builds the alternate fan-out a hedge races against a slow
+// leg: each of the leg's groups is re-routed to its first replica on a
+// node other than the slow one (a group whose copies all live on that
+// node keeps it — the hedge is then a plain duplicate request). Returns
+// nil when any group has no route, in which case the leg cannot hedge.
+func (c *Client) hedgeTargets(routes []proto.GroupRoute, acgs []proto.ACGID, avoid proto.NodeID) []proto.IndexTarget {
+	byACG := make(map[proto.ACGID]proto.GroupRoute, len(routes))
+	for _, rt := range routes {
+		byACG[rt.ACG] = rt
+	}
+	type agg struct {
+		addr string
+		acgs []proto.ACGID
+	}
+	byNode := make(map[proto.NodeID]*agg)
+	var order []proto.NodeID
+	for _, id := range acgs {
+		rt, ok := byACG[id]
+		if !ok {
+			return nil // a hedge that misses a group would return partial results
+		}
+		pick := rt.Primary
+		for _, f := range rt.Followers {
+			if pick.Node != avoid {
+				break
+			}
+			pick = f
+		}
+		a := byNode[pick.Node]
+		if a == nil {
+			a = &agg{addr: pick.Addr}
+			byNode[pick.Node] = a
+			order = append(order, pick.Node)
+		}
+		a.acgs = append(a.acgs, id)
+	}
+	out := make([]proto.IndexTarget, 0, len(order))
+	for _, id := range order {
+		out = append(out, proto.IndexTarget{Node: id, Addr: byNode[id].addr, ACGs: byNode[id].acgs})
+	}
+	return out
+}
+
+// searchLeg queries a (usually single-node) target list sequentially and
+// merges the responses — the hedge side of a raced leg.
+func (c *Client) searchLeg(ctx context.Context, q Query, preds []query.Predicate, targets []proto.IndexTarget) (proto.SearchResp, error) {
+	var merged proto.SearchResp
+	for _, tgt := range targets {
+		conn, err := c.conn(ctx, tgt.Addr)
+		if err != nil {
+			return proto.SearchResp{}, err
+		}
+		resp, err := rpc.Call[proto.SearchReq, proto.SearchResp](
+			ctx, conn, proto.MethodSearch, c.searchReq(q, preds, tgt))
+		if err != nil {
+			return proto.SearchResp{}, err
+		}
+		merged.Files = append(merged.Files, resp.Files...)
+		merged.More = merged.More || resp.More
+		if resp.Epoch > merged.Epoch {
+			merged.Epoch = resp.Epoch
+		}
+		merged.CommitLatencyNanos += resp.CommitLatencyNanos
+	}
+	return merged, nil
+}
+
 // searchFanout queries every target in parallel and merges the pages. It
 // also returns the newest placement epoch any node quoted, so the caller
 // can detect a fan-out resolved before a placement change.
-func (c *Client) searchFanout(ctx context.Context, q Query, preds []query.Predicate, targets []proto.IndexTarget) (SearchResult, proto.Epoch, error) {
+//
+// With hedging armed (lazy consistency, Config.HedgeDelay > 0, replica
+// routes known) a leg that has not answered within HedgeDelay of
+// wall-clock time races a second request against each group's next
+// replica; whichever leg answers first wins, and a losing leg that
+// eventually errors is ignored when the winner succeeded.
+func (c *Client) searchFanout(ctx context.Context, q Query, preds []query.Predicate, targets []proto.IndexTarget, routes []proto.GroupRoute) (SearchResult, proto.Epoch, error) {
 	var wg sync.WaitGroup
 	type nodeResult struct {
 		resp proto.SearchResp
 		err  error
 	}
+	hedged := c.cfg.HedgeDelay > 0 && q.Consistency == proto.ConsistencyLazy && len(routes) > 0
 	results := make([]nodeResult, len(targets))
 	for i, tgt := range targets {
-		conn, err := c.conn(tgt.Addr)
+		conn, err := c.conn(ctx, tgt.Addr)
 		if err != nil {
 			results[i] = nodeResult{err: err} // dead node: retried like a stale fan-out
 			continue
@@ -782,9 +886,49 @@ func (c *Client) searchFanout(ctx context.Context, q Query, preds []query.Predic
 		wg.Add(1)
 		go func(i int, tgt proto.IndexTarget, conn *rpc.Client) {
 			defer wg.Done()
-			resp, err := rpc.Call[proto.SearchReq, proto.SearchResp](
-				ctx, conn, proto.MethodSearch, c.searchReq(q, preds, tgt))
-			results[i] = nodeResult{resp: resp, err: err}
+			if !hedged {
+				resp, err := rpc.Call[proto.SearchReq, proto.SearchResp](
+					ctx, conn, proto.MethodSearch, c.searchReq(q, preds, tgt))
+				results[i] = nodeResult{resp: resp, err: err}
+				return
+			}
+			ch := make(chan nodeResult, 2) // buffered: the losing leg never blocks
+			go func() {
+				resp, err := rpc.Call[proto.SearchReq, proto.SearchResp](
+					ctx, conn, proto.MethodSearch, c.searchReq(q, preds, tgt))
+				ch <- nodeResult{resp: resp, err: err}
+			}()
+			timer := time.NewTimer(c.cfg.HedgeDelay)
+			defer timer.Stop()
+			select {
+			case r := <-ch:
+				results[i] = r
+				return
+			case <-timer.C:
+			}
+			alt := c.hedgeTargets(routes, tgt.ACGs, tgt.Node)
+			if alt == nil {
+				results[i] = <-ch // cannot hedge; wait the slow leg out
+				return
+			}
+			c.hedgedSearches.Inc()
+			go func() {
+				resp, err := c.searchLeg(ctx, q, preds, alt)
+				ch <- nodeResult{resp: resp, err: err}
+			}()
+			first := <-ch
+			if first.err == nil {
+				results[i] = first
+				return
+			}
+			// The first responder failed; the race is still undecided —
+			// the other leg may deliver (e.g. the hedge survives a slow
+			// primary's partition error).
+			if second := <-ch; second.err == nil {
+				results[i] = second
+			} else {
+				results[i] = first
+			}
 		}(i, tgt, conn)
 	}
 	wg.Wait()
@@ -856,7 +1000,7 @@ func (c *Client) Search(ctx context.Context, q Query) (SearchResult, error) {
 			// replica sets; strict reads keep the primary-only targets.
 			targets = c.replicaTargets(routes)
 		}
-		out, nodeEpoch, err := c.searchFanout(ctx, q, preds, targets)
+		out, nodeEpoch, err := c.searchFanout(ctx, q, preds, targets, routes)
 		if err != nil {
 			switch {
 			case errors.Is(err, perr.ErrOverloaded) && overloadLeft > 0:
@@ -963,7 +1107,7 @@ func (c *Client) SearchStream(ctx context.Context, q Query) (*Stream, error) {
 	}
 	s := &Stream{ch: make(chan streamItem, len(targets)), remaining: len(targets)}
 	for _, tgt := range targets {
-		conn, err := c.conn(tgt.Addr)
+		conn, err := c.conn(ctx, tgt.Addr)
 		if err != nil {
 			if retryablePlacement(err) {
 				c.invalidateIndex(q.Index)

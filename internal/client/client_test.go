@@ -58,7 +58,7 @@ func newRig(t *testing.T) *rig {
 		t.Fatal(err)
 	}
 
-	dial := func(addr string) (*rpc.Client, error) {
+	dial := func(_ context.Context, addr string) (*rpc.Client, error) {
 		switch addr {
 		case "pipe:in-00":
 			cc, sc := rpc.Pipe()
@@ -226,18 +226,18 @@ func TestClusterStatsViaClient(t *testing.T) {
 
 func TestConnCaching(t *testing.T) {
 	r := newRig(t)
-	c1, err := r.client.conn("pipe:in-00")
+	c1, err := r.client.conn(context.Background(), "pipe:in-00")
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := r.client.conn("pipe:in-00")
+	c2, err := r.client.conn(context.Background(), "pipe:in-00")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c1 != c2 {
 		t.Error("connections must be cached per address")
 	}
-	if _, err := r.client.conn("pipe:bogus"); err == nil {
+	if _, err := r.client.conn(context.Background(), "pipe:bogus"); err == nil {
 		t.Error("unknown address should fail")
 	}
 	// A dead cached connection (peer loss, cancelled mid-write teardown)
@@ -245,7 +245,7 @@ func TestConnCaching(t *testing.T) {
 	if err := c1.Close(); err != nil {
 		t.Fatal(err)
 	}
-	c3, err := r.client.conn("pipe:in-00")
+	c3, err := r.client.conn(context.Background(), "pipe:in-00")
 	if err != nil {
 		t.Fatal(err)
 	}

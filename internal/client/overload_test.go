@@ -84,7 +84,7 @@ func newShedRig(t *testing.T, cfg Config) (*Client, *shedNode) {
 	}
 
 	cfg.Master = dialMaster()
-	cfg.Dial = func(addr string) (*rpc.Client, error) {
+	cfg.Dial = func(_ context.Context, addr string) (*rpc.Client, error) {
 		if addr != "pipe:in-00" {
 			return nil, errors.New("unknown addr " + addr)
 		}

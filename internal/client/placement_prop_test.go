@@ -91,7 +91,7 @@ func newFlakyRig(t *testing.T, cfg Config) (*Client, *flakyNode) {
 	cc, sc := rpc.Pipe()
 	masterSrv.ServeConn(sc)
 	cfg.Master = rpc.NewClient(cc)
-	cfg.Dial = func(addr string) (*rpc.Client, error) {
+	cfg.Dial = func(_ context.Context, addr string) (*rpc.Client, error) {
 		if addr != "pipe:in-00" {
 			return nil, errors.New("unknown addr " + addr)
 		}

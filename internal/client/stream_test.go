@@ -74,7 +74,7 @@ func newMultiRig(t testing.TB, searchDelays []time.Duration) *Client {
 	}
 	t.Cleanup(func() { _ = masterSrv.Close() })
 
-	dial := func(addr string) (*rpc.Client, error) {
+	dial := func(_ context.Context, addr string) (*rpc.Client, error) {
 		srv, ok := srvs[addr]
 		if !ok {
 			return nil, errors.New("unknown addr " + addr)

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"propeller/internal/attr"
+	"propeller/internal/chaosnet"
+	"propeller/internal/client"
+	"propeller/internal/index"
+	"propeller/internal/proto"
+)
+
+// TestHedgedLazySearchRacesSlowReplica puts real wall-clock latency on the
+// client's link to one replica and proves a hedging client races past it:
+// lazy rounds complete at hedge speed instead of link speed, the hedge
+// counter moves, and every round still returns the full result set.
+func TestHedgedLazySearchRacesSlowReplica(t *testing.T) {
+	net := chaosnet.New(7)
+	c, cl := bootCluster(t, Config{
+		IndexNodes:        2,
+		HeartbeatTimeout:  30 * time.Second,
+		ReplicationFactor: 2,
+		CacheLimit:        1 << 20,
+		Chaos:             net,
+	})
+	ctx := context.Background()
+	if err := cl.CreateIndex(ctx, proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	var updates []client.FileUpdate
+	for i := 0; i < 30; i++ {
+		updates = append(updates, client.FileUpdate{
+			File: index.FileID(i), Value: attr.Int(int64(i) + 1), GroupHint: 1, // one hot group
+		})
+	}
+	if err := cl.Index(ctx, "size", updates); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heartbeat(ctx); err != nil { // seed the follower
+		t.Fatal(err)
+	}
+	// Commit everywhere so lazy reads see the full set: the primary via a
+	// strict search, the follower via its tick.
+	if _, err := cl.Search(ctx, client.Query{Index: "size", Text: "size>0"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Clock().Advance(10 * time.Second)
+	if err := c.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heartbeat(ctx); err != nil { // renew leases after the advance
+		t.Fatal(err)
+	}
+
+	hcl, err := c.NewClientWith(client.Config{
+		Now:        fixedNow,
+		HedgeDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = hcl.Close() })
+
+	// Slow the client's link to the group's primary. Lazy rounds rotate
+	// across both replicas, so some rounds target the slow node directly —
+	// exactly the rounds hedging must rescue.
+	look, err := c.Master().LookupFiles(ctx, proto.LookupFilesReq{Files: []index.FileID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const linkDelay = 250 * time.Millisecond
+	net.SetLink("client", string(look.Mappings[0].Node), chaosnet.Faults{Latency: linkDelay})
+
+	const rounds = 4
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		res, err := hcl.Search(ctx, client.Query{
+			Index: "size", Text: "size>0", Consistency: proto.ConsistencyLazy,
+		})
+		if err != nil {
+			t.Fatalf("hedged lazy round %d: %v", r, err)
+		}
+		if len(res.Files) != 30 {
+			t.Fatalf("hedged lazy round %d = %d files, want 30", r, len(res.Files))
+		}
+	}
+	elapsed := time.Since(start)
+
+	if got := hcl.CacheStats().HedgedSearches; got == 0 {
+		t.Error("no search hedged; the slow-replica rounds should have fired hedges")
+	}
+	// Every slow-targeted round must finish at hedge speed. One un-hedged
+	// round alone would cost the full link delay.
+	if elapsed >= linkDelay {
+		t.Errorf("%d lazy rounds took %v; hedging should beat the %v link delay", rounds, elapsed, linkDelay)
+	}
+}
+
+// TestChaosPartitionHeals pins the transport property the whole fault
+// model rests on: a partition fails writes with a connection-reset the
+// retry taxonomy understands, and healing revives the same connections —
+// no redial — so traffic resumes the moment the link returns.
+func TestChaosPartitionHeals(t *testing.T) {
+	net := chaosnet.New(3)
+	c, cl := bootCluster(t, Config{IndexNodes: 1, CacheLimit: 1 << 20, Chaos: net})
+	ctx := context.Background()
+	if err := cl.CreateIndex(ctx, proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"}); err != nil {
+		t.Fatal(err)
+	}
+	up := []client.FileUpdate{{File: 1, Value: attr.Int(1), GroupHint: 1}}
+	if err := cl.Index(ctx, "size", up); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the client's data path. The master link stays up, so retries
+	// refetch placement and land on the same cut link until the budget
+	// runs out — the surfaced error must carry the reset cause.
+	net.CutLink("client", "in-00")
+	if err := cl.Index(ctx, "size", up); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("index across the partition = %v, want a connection-reset error", err)
+	}
+
+	net.HealLink("client", "in-00")
+	if err := cl.Index(ctx, "size", up); err != nil {
+		t.Fatalf("index after heal: %v", err)
+	}
+	res, err := cl.Search(ctx, client.Query{Index: "size", Text: "size>0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 1 {
+		t.Fatalf("post-heal search = %d files, want 1", len(res.Files))
+	}
+	if s := net.Stats(); s.Cuts == 0 {
+		t.Error("no cut writes recorded; the partition never bit")
+	}
+	_ = c
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"propeller/internal/chaosnet"
 	"propeller/internal/client"
 	"propeller/internal/indexnode"
 	"propeller/internal/master"
@@ -78,6 +79,11 @@ type Config struct {
 	// shared storage. ≤ 1 disables replication. Requires the failure
 	// control plane (HeartbeatTimeout > 0) to be useful.
 	ReplicationFactor int
+	// Chaos, when set, threads every connection the cluster dials through
+	// the fault-injecting network: endpoints are named "master",
+	// "in-00".."in-NN", and "client", so schedules can partition, slow,
+	// or corrupt individual links between them.
+	Chaos *chaosnet.Network
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +121,7 @@ type Cluster struct {
 	shared     *sharedstore.Store // nil unless the failure control plane is on
 
 	mu      sync.Mutex
+	names   map[string]string      // addr -> chaos endpoint name
 	servers map[string]*rpc.Server // addr -> server (pipe transport)
 	lns     []net.Listener
 	clients []*rpc.Client
@@ -128,6 +135,7 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:     cfg,
 		clock:   cfg.Clock,
+		names:   make(map[string]string),
 		servers: make(map[string]*rpc.Server),
 	}
 
@@ -178,20 +186,23 @@ func (c *Cluster) bootNode(i int) (*indexnode.Node, *simdisk.Disk, *pagestore.St
 	if err != nil {
 		return nil, nil, nil, "", fmt.Errorf("cluster: node %d store: %w", i, err)
 	}
-	masterConn, err := c.Dial(c.masterAddr)
+	name := fmt.Sprintf("in-%02d", i)
+	masterConn, err := c.DialFrom(context.Background(), name, c.masterAddr)
 	if err != nil {
 		return nil, nil, nil, "", err
 	}
 	node, err := indexnode.New(indexnode.Config{
-		ID:               proto.NodeID(fmt.Sprintf("in-%02d", i)),
-		Store:            store,
-		Disk:             disk,
-		Clock:            c.clock,
-		CommitTimeout:    c.cfg.CommitTimeout,
-		CacheLimit:       c.cfg.CacheLimit,
-		SplitThreshold:   c.cfg.SplitThreshold,
-		Master:           masterConn,
-		Dial:             c.Dial,
+		ID:             proto.NodeID(name),
+		Store:          store,
+		Disk:           disk,
+		Clock:          c.clock,
+		CommitTimeout:  c.cfg.CommitTimeout,
+		CacheLimit:     c.cfg.CacheLimit,
+		SplitThreshold: c.cfg.SplitThreshold,
+		Master:         masterConn,
+		Dial: func(ctx context.Context, addr string) (*rpc.Client, error) {
+			return c.DialFrom(ctx, name, addr)
+		},
 		DisableLazyCache: c.cfg.DisableLazyCache,
 		SearchFanout:     c.cfg.SearchFanout,
 		MaxInflight:      c.cfg.MaxInflight,
@@ -206,7 +217,7 @@ func (c *Cluster) bootNode(i int) (*indexnode.Node, *simdisk.Disk, *pagestore.St
 	}
 	srv := rpc.NewServer(srvOpts...)
 	node.RegisterRPC(srv)
-	addr, err := c.expose(fmt.Sprintf("in-%02d", i), srv)
+	addr, err := c.expose(name, srv)
 	if err != nil {
 		return nil, nil, nil, "", err
 	}
@@ -225,26 +236,47 @@ func (c *Cluster) expose(name string, srv *rpc.Server) (string, error) {
 		if err != nil {
 			return "", fmt.Errorf("cluster: listen %s: %w", name, err)
 		}
+		addr := "tcp:" + ln.Addr().String()
 		c.mu.Lock()
 		c.lns = append(c.lns, ln)
-		c.servers["tcp:"+ln.Addr().String()] = srv
+		c.servers[addr] = srv
+		c.names[addr] = name
 		c.mu.Unlock()
 		go srv.Serve(ln)
-		return "tcp:" + ln.Addr().String(), nil
+		return addr, nil
 	}
 	addr := "pipe:" + name
 	c.mu.Lock()
 	c.servers[addr] = srv
+	c.names[addr] = name
 	c.mu.Unlock()
 	return addr, nil
 }
 
 // Dial opens a client connection to a cluster address, charging virtual
-// network cost when configured.
-func (c *Cluster) Dial(addr string) (*rpc.Client, error) {
+// network cost when configured. Connections dialed this way belong to
+// the "client" chaos endpoint.
+func (c *Cluster) Dial(ctx context.Context, addr string) (*rpc.Client, error) {
+	return c.DialFrom(ctx, "client", addr)
+}
+
+// DialFrom opens a connection under an explicit source endpoint name, so
+// a chaos network can tell a node's outbound links from a client's.
+func (c *Cluster) DialFrom(ctx context.Context, src, addr string) (*rpc.Client, error) {
 	var opts []rpc.ClientOption
 	if c.cfg.NetProfile != (rpc.NetProfile{}) {
 		opts = append(opts, rpc.WithVirtualNet(c.clock, c.cfg.NetProfile))
+	}
+	if c.cfg.Chaos != nil {
+		c.mu.Lock()
+		dst, ok := c.names[addr]
+		c.mu.Unlock()
+		if !ok {
+			dst = addr
+		}
+		opts = append(opts, rpc.WithConnWrapper(func(conn net.Conn) net.Conn {
+			return c.cfg.Chaos.Wrap(src, dst, conn)
+		}))
 	}
 	var cl *rpc.Client
 	switch {
@@ -260,7 +292,7 @@ func (c *Cluster) Dial(addr string) (*rpc.Client, error) {
 		cl = rpc.NewClient(cc, opts...)
 	case len(addr) > 4 && addr[:4] == "tcp:":
 		var err error
-		cl, err = rpc.Dial(addr[4:], opts...)
+		cl, err = rpc.DialContext(ctx, addr[4:], opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +327,7 @@ func (c *Cluster) NewClient(now func() time.Time) (*client.Client, error) {
 // overload retry policy, backoff); the Master connection and Dial are
 // wired by the cluster, overriding whatever cfg carries.
 func (c *Cluster) NewClientWith(cfg client.Config) (*client.Client, error) {
-	masterConn, err := c.Dial(c.masterAddr)
+	masterConn, err := c.Dial(context.Background(), c.masterAddr)
 	if err != nil {
 		return nil, err
 	}

@@ -72,8 +72,10 @@ var (
 )
 
 // Dialer opens RPC connections to peer nodes (injected by the cluster
-// harness so in-process and TCP transports both work).
-type Dialer func(addr string) (*rpc.Client, error)
+// harness so in-process and TCP transports both work). The context bounds
+// connection establishment — a dial toward a partitioned peer returns
+// when the caller's budget expires.
+type Dialer func(ctx context.Context, addr string) (*rpc.Client, error)
 
 // Config tunes an Index Node.
 type Config struct {
@@ -289,6 +291,17 @@ type Node struct {
 	// searchesServed counts admitted searches; replicated-read scaling is
 	// measured by how this spreads across nodes.
 	searchesServed metrics.Counter
+	// Primary lease (partition fencing). leaseDuration is the lease the
+	// Master granted with the last heartbeat reply in nanoseconds (0 =
+	// never granted = fencing off); leaseGranted is the node clock's
+	// UnixNano at the grant. Once Now-granted >= duration the node must
+	// assume a successor was promoted and refuse acks and strict searches
+	// with ErrStalePlacement until a heartbeat renews the lease.
+	leaseDuration atomic.Int64
+	leaseGranted  atomic.Int64
+	// leaseRejects counts updates and strict searches refused because the
+	// lease had lapsed.
+	leaseRejects metrics.Counter
 	// updatesShed/searchesShed count admissions rejected with
 	// ErrOverloaded; fairnessSheds is the subset rejected below the hard
 	// limit because the tenant was over its fair share.
@@ -637,6 +650,16 @@ func (n *Node) Update(ctx context.Context, req proto.UpdateReq) (proto.UpdateRes
 		return proto.UpdateResp{}, fmt.Errorf("indexnode %s update: %w", n.cfg.ID, err)
 	}
 	defer n.adm.release(req.Client)
+	// Lease fence: an un-renewed primary lease means the Master may have
+	// promoted a successor — acking here could fork history (the dual-ack
+	// the replication bench counts). Refuse before any durable work so
+	// the client retries against fresh placement.
+	if n.leaseExpired() {
+		n.leaseRejects.Inc()
+		return proto.UpdateResp{}, fmt.Errorf(
+			"indexnode %s: primary lease expired (node epoch %d): %w",
+			n.cfg.ID, n.placementEpoch.Load(), perr.ErrStalePlacement)
+	}
 	if err := n.ensureSpec(ctx, req.IndexName); err != nil {
 		return proto.UpdateResp{}, err
 	}
@@ -1293,6 +1316,7 @@ func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeSta
 	resp.FollowerCuts = n.followerCuts.Value()
 	resp.Promotions = n.promotions.Value()
 	resp.SearchesServed = n.searchesServed.Value()
+	resp.LeaseRejects = n.leaseRejects.Value()
 	resp.QueueDepth = n.adm.depth()
 	resp.UpdatesShed = n.updatesShed.Value()
 	resp.SearchesShed = n.searchesShed.Value()
@@ -1314,6 +1338,21 @@ func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeSta
 	}
 	n.specMu.RUnlock()
 	return resp, nil
+}
+
+// leaseExpired reports whether this node held a primary lease and let it
+// lapse: the Master has been unreachable for at least the lease duration,
+// long enough that its failure sweep (which waits strictly longer) may
+// have promoted a successor. A node that never received a lease (failover
+// disabled, or no heartbeat yet) never fences. The comparison is
+// inclusive (>=) while the Master's sweep is strictly greater (>), so on
+// synchronized clocks the zombie provably stops before a successor starts.
+func (n *Node) leaseExpired() bool {
+	d := n.leaseDuration.Load()
+	if d == 0 {
+		return false
+	}
+	return int64(n.cfg.Clock.Now())-n.leaseGranted.Load() >= d
 }
 
 // Heartbeat sends one heartbeat to the Master and executes the orders the
@@ -1353,6 +1392,13 @@ func (n *Node) Heartbeat(ctx context.Context) error {
 		return fmt.Errorf("indexnode heartbeat: %w", err)
 	}
 	n.noteEpoch(resp.Epoch)
+	if resp.LeaseNanos > 0 {
+		// Renew the primary lease: grant time before duration, so the
+		// enable edge (duration becoming nonzero on the first grant) can
+		// never pair with a zero grant timestamp and spuriously fence.
+		n.leaseGranted.Store(int64(n.cfg.Clock.Now()))
+		n.leaseDuration.Store(resp.LeaseNanos)
+	}
 	// A failed recovery must not abort its sibling orders: the Master
 	// re-issues recover orders every heartbeat until the owner's report
 	// proves the adoption, so the right behavior is to keep going and

@@ -23,7 +23,7 @@ import (
 // use. Follower streaming is per-update, so unlike the one-shot transfer
 // paths it must not pay a dial per call. A connection observed closed is
 // evicted and redialed.
-func (n *Node) peerConn(addr string) (*rpc.Client, error) {
+func (n *Node) peerConn(ctx context.Context, addr string) (*rpc.Client, error) {
 	if n.cfg.Dial == nil {
 		return nil, fmt.Errorf("indexnode %s: no dialer for peer %s", n.cfg.ID, addr)
 	}
@@ -32,7 +32,7 @@ func (n *Node) peerConn(addr string) (*rpc.Client, error) {
 	if c := n.peers[addr]; c != nil && !c.Closed() {
 		return c, nil
 	}
-	c, err := n.cfg.Dial(addr)
+	c, err := n.cfg.Dial(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +77,7 @@ func (n *Node) streamToFollowersLocked(ctx context.Context, g *group, framed []b
 }
 
 func (n *Node) followerAppend(ctx context.Context, rep proto.ReplicaRef, id proto.ACGID, framed []byte, seq uint64) error {
-	peer, err := n.peerConn(rep.Addr)
+	peer, err := n.peerConn(ctx, rep.Addr)
 	if err != nil {
 		return err
 	}
@@ -175,7 +175,7 @@ func (n *Node) ReplicateACG(ctx context.Context, ord proto.MigrateOrder) error {
 	img := n.imageLocked(g, nil)
 	img.Epoch = n.epoch()
 	img.Follower = true
-	peer, err := n.peerConn(ord.Addr)
+	peer, err := n.peerConn(ctx, ord.Addr)
 	if err != nil {
 		return fmt.Errorf("indexnode replicate dial %s: %w", ord.Addr, err)
 	}

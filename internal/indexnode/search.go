@@ -55,6 +55,17 @@ func (n *Node) Search(ctx context.Context, req proto.SearchReq) (proto.SearchRes
 		return proto.SearchResp{}, fmt.Errorf("indexnode %s search: %w", n.cfg.ID, err)
 	}
 	defer n.adm.release(req.Client)
+	// Lease fence for strict reads: commit-on-search promises the result
+	// reflects every acknowledged update, but a fenced-off primary cannot
+	// know what a promoted successor has acknowledged since. Lazy reads
+	// are exempt — their contract already tolerates staleness, which is
+	// what keeps follower replicas and hedged reads useful mid-partition.
+	if req.Consistency != proto.ConsistencyLazy && n.leaseExpired() {
+		n.leaseRejects.Inc()
+		return proto.SearchResp{}, fmt.Errorf(
+			"indexnode %s: primary lease expired (node epoch %d): %w",
+			n.cfg.ID, n.placementEpoch.Load(), perr.ErrStalePlacement)
+	}
 	n.searchesServed.Inc()
 	q, err := compileQuery(req)
 	if err != nil {

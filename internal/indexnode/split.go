@@ -83,7 +83,7 @@ func (n *Node) SplitACG(ctx context.Context, req proto.SplitACGReq) (proto.Split
 		if n.cfg.Dial == nil {
 			return proto.SplitACGResp{}, fmt.Errorf("indexnode split: no dialer for peer %s", rep.Dest)
 		}
-		peer, err := n.cfg.Dial(rep.Addr)
+		peer, err := n.cfg.Dial(ctx, rep.Addr)
 		if err != nil {
 			return proto.SplitACGResp{}, fmt.Errorf("indexnode split dial %s: %w", rep.Addr, err)
 		}

@@ -263,7 +263,7 @@ func (n *Node) TransferACG(ctx context.Context, ord proto.MigrateOrder) error {
 		}
 		n.cfg.Shared.Checkpoint(g.id, raw)
 	}
-	peer, err := n.cfg.Dial(ord.Addr)
+	peer, err := n.cfg.Dial(ctx, ord.Addr)
 	if err != nil {
 		return fmt.Errorf("indexnode transfer dial %s: %w", ord.Addr, err)
 	}

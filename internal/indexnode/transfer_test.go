@@ -36,7 +36,7 @@ func newTransferRig(t *testing.T) *transferRig {
 	m.RegisterRPC(masterSrv)
 
 	servers := map[string]*rpc.Server{"pipe:master": masterSrv}
-	dial := func(addr string) (*rpc.Client, error) {
+	dial := func(_ context.Context, addr string) (*rpc.Client, error) {
 		srv, ok := servers[addr]
 		if !ok {
 			return nil, errors.New("unknown addr " + addr)
@@ -52,7 +52,7 @@ func newTransferRig(t *testing.T) *transferRig {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mc, err := dial("pipe:master")
+		mc, err := dial(context.Background(), "pipe:master")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -386,6 +386,13 @@ func (m *Master) Heartbeat(_ context.Context, req proto.HeartbeatReq) (proto.Hea
 		m.migrateDelivered[o.ACG] = true
 	}
 	resp.Epoch = m.epoch
+	if m.cfg.EnableFailover {
+		// Grant a primary lease exactly as long as the failure-detection
+		// timeout: the node self-fences at >= lease while the sweep
+		// promotes only at > timeout on the Master's clock, so a zombie
+		// primary has provably stopped acking before any successor starts.
+		resp.LeaseNanos = int64(m.cfg.HeartbeatTimeout)
+	}
 	return resp, nil
 }
 

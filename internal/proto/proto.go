@@ -169,6 +169,15 @@ type HeartbeatResp struct {
 	ReplicateACGs []MigrateOrder
 	// Epoch is the Master's current placement epoch.
 	Epoch Epoch
+	// LeaseNanos is the primary lease the Master grants with this reply:
+	// the node may ack updates and serve strict searches for its groups
+	// until LeaseNanos elapses on its clock without a renewed heartbeat,
+	// after which it must self-fence (refuse with ErrStalePlacement). Zero
+	// means leases are off (failover disabled — no promotion can race a
+	// zombie primary, so fencing buys nothing). The Master only promotes a
+	// replacement after a strictly longer silence, so a partitioned
+	// primary is provably fenced before a successor can ack.
+	LeaseNanos int64
 }
 
 // MigrateOrder instructs a node to transfer one of its groups to a peer
@@ -712,4 +721,9 @@ type NodeStatsResp struct {
 	// SearchesServed counts search requests this node admitted and served —
 	// the per-replica load signal the follower-read scaling bench reads.
 	SearchesServed int64
+	// LeaseRejects counts updates and strict searches refused with
+	// ErrStalePlacement because the node's primary lease had expired (it
+	// could not reach the Master long enough that a peer may have been
+	// promoted over it).
+	LeaseRejects int64
 }

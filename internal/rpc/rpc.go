@@ -7,6 +7,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -22,10 +23,18 @@ var (
 	ErrServerClosed  = errors.New("rpc: server closed")
 	ErrNoSuchMethod  = errors.New("rpc: no such method")
 	ErrFrameTooLarge = errors.New("rpc: frame exceeds limit")
+	ErrFrameCorrupt  = errors.New("rpc: frame checksum mismatch")
 )
 
 // maxFrame bounds a single message (64 MiB).
 const maxFrame = 64 << 20
+
+// frameHeader is the wire prefix of every frame: 4-byte big-endian body
+// length + 4-byte CRC32 of the body. The checksum is what makes a
+// corrupted frame tear the connection instead of half-applying: without
+// it a flipped byte can still gob-decode into a *different valid*
+// request, and the server would ack work the caller never sent.
+const frameHeader = 8
 
 type frame struct {
 	ID     uint64
@@ -47,34 +56,40 @@ type frame struct {
 }
 
 func writeFrame(w io.Writer, f *frame) error {
+	// The header and body go out in one Write so a frame is atomic at the
+	// conn boundary: fault-injecting wrappers (chaosnet) see whole frames
+	// and a partial header can never interleave with another writer's view.
 	var buf bytes.Buffer
+	buf.Write(make([]byte, frameHeader))
 	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
 		return fmt.Errorf("rpc encode: %w", err)
 	}
-	if buf.Len() > maxFrame {
+	n := buf.Len() - frameHeader
+	if n > maxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(buf.Bytes())
+	out := buf.Bytes()
+	binary.BigEndian.PutUint32(out[:4], uint32(n))
+	binary.BigEndian.PutUint32(out[4:frameHeader], crc32.ChecksumIEEE(out[frameHeader:]))
+	_, err := w.Write(out)
 	return err
 }
 
 func readFrame(r io.Reader) (*frame, error) {
-	var hdr [4]byte
+	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > maxFrame {
 		return nil, ErrFrameTooLarge
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(body); got != binary.BigEndian.Uint32(hdr[4:frameHeader]) {
+		return nil, ErrFrameCorrupt
 	}
 	var f frame
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
@@ -340,6 +355,17 @@ func WithVirtualNet(clock *vclock.Clock, profile NetProfile) ClientOption {
 	}
 }
 
+// WithConnWrapper interposes wrap on the client's connection before the
+// read loop starts — the seam fault-injecting transports (chaosnet) plug
+// into, working identically over net.Pipe and TCP.
+func WithConnWrapper(wrap func(net.Conn) net.Conn) ClientOption {
+	return func(c *Client) {
+		if wrap != nil {
+			c.conn = wrap(c.conn)
+		}
+	}
+}
+
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn, opts ...ClientOption) *Client {
 	c := &Client{
@@ -356,7 +382,16 @@ func NewClient(conn net.Conn, opts ...ClientOption) *Client {
 
 // Dial connects to a TCP server address.
 func Dial(addr string, opts ...ClientOption) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr, opts...)
+}
+
+// DialContext connects to a TCP server address, honoring the context's
+// deadline and cancellation during connection establishment — a dial
+// toward a partitioned or black-holed address returns when the caller's
+// budget expires instead of blocking for the kernel's connect timeout.
+func DialContext(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc dial %s: %w", addr, err)
 	}

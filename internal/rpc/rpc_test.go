@@ -378,3 +378,119 @@ func TestServerOverloadConcurrencyLimit(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestReadFrameBounded feeds a length prefix far beyond maxFrame and
+// asserts the reader refuses with the typed error before allocating: a
+// corrupt (or hostile) prefix must never drive an unbounded allocation.
+func TestReadFrameBounded(t *testing.T) {
+	var hdr [frameHeader]byte
+	writeLen := func(b *[frameHeader]byte, n uint32) {
+		b[0], b[1], b[2], b[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	}
+	writeLen(&hdr, 0xFFFFFFFF) // ~4 GiB claim
+	_, err := readFrame(strings.NewReader(string(hdr[:])))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("readFrame with 0xFFFFFFFF prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+	// Just over the limit is refused too; just a header under it merely
+	// hits EOF on the missing body (the bound, not the decode, is under
+	// test).
+	writeLen(&hdr, maxFrame+1)
+	if _, err := readFrame(strings.NewReader(string(hdr[:]))); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("readFrame just over maxFrame: err = %v, want ErrFrameTooLarge", err)
+	}
+	writeLen(&hdr, 16)
+	if _, err := readFrame(strings.NewReader(string(hdr[:]))); errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("readFrame under maxFrame: err = %v, want a short-read error, not ErrFrameTooLarge", err)
+	}
+}
+
+// TestReadFrameChecksum proves the integrity property the corruption
+// fault model rests on: a frame with any body byte flipped is refused
+// with the typed checksum error — it can never gob-decode into a
+// different valid message and get acked as work the caller never sent.
+func TestReadFrameChecksum(t *testing.T) {
+	var buf strings.Builder
+	if err := writeFrame(&buf, &frame{ID: 7, Method: "m", Body: []byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte(buf.String())
+	for i := frameHeader; i < len(raw); i++ {
+		flipped := append([]byte(nil), raw...)
+		flipped[i] ^= 0x01
+		if _, err := readFrame(strings.NewReader(string(flipped))); !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("readFrame with body byte %d flipped: err = %v, want ErrFrameCorrupt", i, err)
+		}
+	}
+	// The pristine frame still round-trips.
+	f, err := readFrame(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != 7 || f.Method != "m" || string(f.Body) != "payload" {
+		t.Fatalf("round-trip = %+v", f)
+	}
+}
+
+// TestWriteFrameTooLarge mirrors the read-side bound on the write side.
+func TestWriteFrameTooLarge(t *testing.T) {
+	var sink strings.Builder
+	f := &frame{Method: "big", Body: make([]byte, maxFrame+1)}
+	if err := writeFrame(&sink, f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("writeFrame oversized: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestDialContextCancelled asserts a dial honors an already-expired
+// context instead of attempting connection establishment.
+func TestDialContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialContext(ctx, "127.0.0.1:1", nil...); err == nil {
+		t.Fatal("DialContext with cancelled context succeeded")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DialContext err = %v, want context.Canceled", err)
+	}
+}
+
+// connWrapCounter counts frames crossing a wrapped conn.
+type connWrapCounter struct {
+	net.Conn
+	writes *int
+	mu     *sync.Mutex
+}
+
+func (c connWrapCounter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	*c.writes++
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+// TestWithConnWrapper asserts the wrapper sees every outbound frame — the
+// seam chaos transports rely on — and that a frame is one Write.
+func TestWithConnWrapper(t *testing.T) {
+	s := NewServer()
+	HandleTyped(s, "echo", func(_ context.Context, r echoReq) (echoResp, error) {
+		return echoResp(r), nil
+	})
+	cc, sc := Pipe()
+	s.ServeConn(sc)
+	var mu sync.Mutex
+	writes := 0
+	c := NewClient(cc, WithConnWrapper(func(conn net.Conn) net.Conn {
+		return connWrapCounter{Conn: conn, writes: &writes, mu: &mu}
+	}))
+	defer func() { _ = c.Close(); _ = s.Close() }()
+	const calls = 3
+	for i := 0; i < calls; i++ {
+		if _, err := Call[echoReq, echoResp](context.Background(), c, "echo", echoReq{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if writes != calls {
+		t.Fatalf("wrapper saw %d writes for %d calls; writeFrame must issue one Write per frame", writes, calls)
+	}
+}

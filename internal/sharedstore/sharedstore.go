@@ -14,10 +14,13 @@
 package sharedstore
 
 import (
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"propeller/internal/proto"
+	"propeller/internal/wal"
 )
 
 // Store is an in-process stand-in for the shared file system. Safe for
@@ -29,17 +32,33 @@ import (
 type Store struct {
 	mu     sync.Mutex
 	groups map[proto.ACGID]*state
+
+	// fallbackLoads counts Loads that found the newest checkpoint corrupt
+	// and served the previous generation instead.
+	fallbackLoads atomic.Int64
 }
 
 // state is one group's durable image: the last checkpoint plus the framed
 // WAL records appended since. Guarded by its own mutex.
+//
+// Checkpoints are stored CRC-framed (the WAL's own record framing), and
+// the previous generation — the prior checkpoint and the WAL span that
+// separated it from the current one — is retained until the next
+// rotation. A torn or bit-flipped checkpoint is therefore recoverable:
+// Load falls back to the previous checkpoint and replays both WAL spans,
+// reconstructing the exact state the corrupt image held.
 type state struct {
 	mu         sync.Mutex
-	checkpoint []byte
+	checkpoint []byte // CRC-framed image (nil = never checkpointed)
 	wal        []byte
 	// walRecords counts the framed appends since the checkpoint (the
 	// commit path's compaction trigger; replay is driven by the bytes).
 	walRecords int
+	// Previous generation, kept for corruption fallback. prevWal is the
+	// WAL span between the two checkpoints, so prevCheckpoint + prevWal +
+	// wal reconstructs everything the current checkpoint + wal holds.
+	prevCheckpoint []byte
+	prevWal        []byte
 }
 
 // New returns an empty store.
@@ -72,20 +91,46 @@ func (s *Store) AppendWAL(id proto.ACGID, framed []byte) {
 
 // Checkpoint replaces the group's checkpoint image and truncates its WAL:
 // the image must already reflect every record the WAL held. The bytes are
-// copied.
+// copied, stored CRC-framed like WAL records, and the outgoing generation
+// (previous checkpoint + the WAL span it was separated by) is retained so
+// a corrupt image never wedges recovery.
 func (s *Store) Checkpoint(id proto.ACGID, img []byte) {
 	st := s.get(id)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.checkpoint = append([]byte(nil), img...)
+	st.prevCheckpoint, st.prevWal = st.checkpoint, st.wal
+	st.checkpoint = wal.FrameRecord(img)
 	st.wal = nil
 	st.walRecords = 0
+}
+
+// decodeCheckpoint verifies and unwraps one CRC-framed checkpoint image.
+func decodeCheckpoint(framed []byte) ([]byte, error) {
+	var img []byte
+	records := 0
+	if err := wal.ReplayBytes(framed, func(rec []byte) bool {
+		img = append([]byte(nil), rec...)
+		records++
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if records != 1 {
+		return nil, fmt.Errorf("%w: checkpoint holds %d records, want 1", wal.ErrCorrupt, records)
+	}
+	return img, nil
 }
 
 // Load returns copies of the group's checkpoint image (nil if none was ever
 // written) and the WAL bytes appended since. ok is false when the store has
 // never seen the group.
-func (s *Store) Load(id proto.ACGID) (checkpoint, wal []byte, ok bool) {
+//
+// The checkpoint's CRC frame is verified on every load. A torn or corrupt
+// image degrades transparently instead of wedging recovery: the previous
+// generation's checkpoint is served with both WAL spans concatenated —
+// byte-for-byte the same state, reconstructed the slower way. When both
+// generations are corrupt the group replays from its full WAL history.
+func (s *Store) Load(id proto.ACGID) (checkpoint, walBytes []byte, ok bool) {
 	s.mu.Lock()
 	st := s.groups[id]
 	s.mu.Unlock()
@@ -94,13 +139,47 @@ func (s *Store) Load(id proto.ACGID) (checkpoint, wal []byte, ok bool) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.checkpoint != nil {
-		checkpoint = append([]byte(nil), st.checkpoint...)
-	}
 	if st.wal != nil {
-		wal = append([]byte(nil), st.wal...)
+		walBytes = append([]byte(nil), st.wal...)
 	}
-	return checkpoint, wal, true
+	if st.checkpoint == nil {
+		return nil, walBytes, true
+	}
+	if img, err := decodeCheckpoint(st.checkpoint); err == nil {
+		return img, walBytes, true
+	}
+	// Newest checkpoint corrupt: fall back one generation.
+	s.fallbackLoads.Add(1)
+	walBytes = append(append([]byte(nil), st.prevWal...), st.wal...)
+	if st.prevCheckpoint != nil {
+		if img, err := decodeCheckpoint(st.prevCheckpoint); err == nil {
+			return img, walBytes, true
+		}
+	}
+	return nil, walBytes, true
+}
+
+// FallbackLoads reports how many Loads served the previous checkpoint
+// generation because the newest image failed its CRC.
+func (s *Store) FallbackLoads() int64 { return s.fallbackLoads.Load() }
+
+// TamperCheckpoint mutates the group's raw (framed) checkpoint bytes in
+// place via f — a fault-injection hook for corruption tests; f receives a
+// copy and its return value replaces the stored image. No-op for a group
+// without a checkpoint.
+func (s *Store) TamperCheckpoint(id proto.ACGID, f func(raw []byte) []byte) {
+	s.mu.Lock()
+	st := s.groups[id]
+	s.mu.Unlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.checkpoint == nil {
+		return
+	}
+	st.checkpoint = f(append([]byte(nil), st.checkpoint...))
 }
 
 // Drop removes the group's state (the group was merged away and no longer

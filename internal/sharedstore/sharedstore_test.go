@@ -52,3 +52,107 @@ func TestAppendCheckpointLoad(t *testing.T) {
 		t.Fatal("dropped group should not load")
 	}
 }
+
+// A bit-flipped checkpoint must fail its CRC and fall back to the previous
+// generation: the prior checkpoint plus both WAL spans reconstructs the
+// exact state the corrupt image held.
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	s := New()
+	s.AppendWAL(1, []byte("aa"))
+	s.Checkpoint(1, []byte("img1")) // prev = (none, "aa")
+	s.AppendWAL(1, []byte("bb"))
+	s.AppendWAL(1, []byte("cc"))
+	s.Checkpoint(1, []byte("img2")) // prev = (img1, "bbcc")
+	s.AppendWAL(1, []byte("dd"))
+
+	s.TamperCheckpoint(1, func(raw []byte) []byte {
+		raw[len(raw)-1] ^= 0xFF // bit-flip inside the payload
+		return raw
+	})
+	cp, wal, ok := s.Load(1)
+	if !ok {
+		t.Fatal("group must still load")
+	}
+	if !bytes.Equal(cp, []byte("img1")) {
+		t.Fatalf("fallback checkpoint = %q, want img1", cp)
+	}
+	if !bytes.Equal(wal, []byte("bbccdd")) {
+		t.Fatalf("fallback wal = %q, want both spans bbccdd", wal)
+	}
+	if got := s.FallbackLoads(); got != 1 {
+		t.Fatalf("fallback loads = %d, want 1", got)
+	}
+
+	// A fresh checkpoint (the recovered node re-images the group) heals the
+	// store: subsequent loads serve it directly again.
+	s.Checkpoint(1, []byte("img3"))
+	cp, wal, _ = s.Load(1)
+	if !bytes.Equal(cp, []byte("img3")) || wal != nil {
+		t.Fatalf("post-heal load = %q %q", cp, wal)
+	}
+	if got := s.FallbackLoads(); got != 1 {
+		t.Fatalf("healed load must not count a fallback, got %d", got)
+	}
+}
+
+// A torn checkpoint write (truncated mid-image) degrades the same way a
+// bit-flip does.
+func TestTruncatedCheckpointFallsBack(t *testing.T) {
+	for _, cut := range []int{1, 3, 7} { // inside payload, inside CRC, inside length header
+		s := New()
+		s.Checkpoint(1, []byte("old"))
+		s.AppendWAL(1, []byte("span"))
+		s.Checkpoint(1, []byte("new"))
+		s.TamperCheckpoint(1, func(raw []byte) []byte {
+			return raw[:len(raw)-cut]
+		})
+		cp, wal, ok := s.Load(1)
+		if !ok || !bytes.Equal(cp, []byte("old")) || !bytes.Equal(wal, []byte("span")) {
+			t.Fatalf("cut=%d: load = %q %q %v, want old/span/true", cut, cp, wal, ok)
+		}
+		if s.FallbackLoads() != 1 {
+			t.Fatalf("cut=%d: fallback loads = %d", cut, s.FallbackLoads())
+		}
+	}
+}
+
+// When the only checkpoint ever written is corrupt there is no previous
+// image, but the previous WAL span covers the group's full history: the
+// load degrades to a from-scratch replay, never a wedge.
+func TestCorruptCheckpointNoPrevReplaysFullWAL(t *testing.T) {
+	s := New()
+	s.AppendWAL(1, []byte("aa"))
+	s.AppendWAL(1, []byte("bb"))
+	s.Checkpoint(1, []byte("img")) // prev = (none, "aabb")
+	s.AppendWAL(1, []byte("cc"))
+	s.TamperCheckpoint(1, func([]byte) []byte { return []byte("garbage") })
+
+	cp, wal, ok := s.Load(1)
+	if !ok {
+		t.Fatal("group must still load")
+	}
+	if cp != nil {
+		t.Fatalf("checkpoint = %q, want nil (full replay)", cp)
+	}
+	if !bytes.Equal(wal, []byte("aabbcc")) {
+		t.Fatalf("wal = %q, want full history aabbcc", wal)
+	}
+	if s.FallbackLoads() != 1 {
+		t.Fatalf("fallback loads = %d", s.FallbackLoads())
+	}
+}
+
+// TamperCheckpoint against groups with no state must be inert.
+func TestTamperCheckpointNoops(t *testing.T) {
+	s := New()
+	s.TamperCheckpoint(9, func([]byte) []byte { return []byte("x") }) // unknown group
+	s.AppendWAL(9, []byte("a"))
+	s.TamperCheckpoint(9, func([]byte) []byte { return []byte("x") }) // no checkpoint yet
+	cp, wal, ok := s.Load(9)
+	if !ok || cp != nil || !bytes.Equal(wal, []byte("a")) {
+		t.Fatalf("load = %q %q %v", cp, wal, ok)
+	}
+	if s.FallbackLoads() != 0 {
+		t.Fatal("no checkpoint means nothing to fall back from")
+	}
+}

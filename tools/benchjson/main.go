@@ -176,6 +176,7 @@ type clusterDocument struct {
 	GoMaxProcs  int                            `json:"gomaxprocs"`
 	Cluster     clusterbench.Result            `json:"cluster"`
 	Replication clusterbench.ReplicationResult `json:"replication"`
+	Partition   clusterbench.PartitionResult   `json:"partition"`
 }
 
 func runCluster(out string, check bool) {
@@ -202,6 +203,22 @@ func runCluster(out string, check bool) {
 	fmt.Printf("%-24s %12.2fx scaling vs %.2fx single-owner (%d lazy rounds, spread %v)\n",
 		"follower_reads", rr.FollowerReadScaling, rr.SingleOwnerScaling,
 		rr.FollowerReadRounds, rr.FollowerReadsSpread)
+
+	pr, err := clusterbench.RunPartition()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-24s %12d acked (%d zombie pre-fence, %d lost, %d dual acks, %d untyped errs)\n",
+		"partition", pr.PartitionAcked, pr.ZombieAcksPreFence,
+		pr.AckedLostAfterPartition, pr.DualAcks, pr.UntypedErrors)
+	fmt.Printf("%-24s %12d lease rejects (%d self-fence, %d promotions during isolation, healed=%v)\n",
+		"lease_fence", pr.LeaseRejects, pr.SelfFenceRejects,
+		pr.PromotionsDuringIsolation, pr.HealedAfterLeaseRenewal)
+	fmt.Printf("%-24s %12d corrupted frames (%d retry errs, %d lost; %d checkpoint fallbacks, %d recovery lost)\n",
+		"corruption", pr.CorruptedFrames, pr.CorruptionRetryErrors, pr.CorruptionAckedLost,
+		pr.CheckpointFallbackLoads, pr.CheckpointRecoveryLost)
+	fmt.Printf("%-24s %12.0f us hedged p99 vs %.0f us unhedged (%d rounds, %d hedges fired)\n",
+		"hedged_reads", pr.HedgedP99Us, pr.UnhedgedP99Us, pr.HedgedRounds, pr.HedgedSearches)
 
 	// Correctness gates, evaluated before the baseline is written (a
 	// failing run must not leave regressed numbers for a later commit to
@@ -231,10 +248,45 @@ func runCluster(out string, check bool) {
 		fatal(fmt.Errorf("follower-read regression: lazy scaling %.2fx does not beat the single-owner baseline %.2fx",
 			rr.FollowerReadScaling, rr.SingleOwnerScaling))
 	}
+	// Partition-tolerance gates, same policy: invariants of the seeded
+	// chaos run, not wall-clock baselines. An acked update lost across a
+	// partition, a dual ack past the lease fence, or an untyped error on
+	// the client's path each means a safety regression, not noise.
+	if check && pr.AckedLostAfterPartition != 0 {
+		fatal(fmt.Errorf("partition regression: %d acknowledged updates lost across a primary partition, want 0", pr.AckedLostAfterPartition))
+	}
+	if check && pr.DualAcks != 0 {
+		fatal(fmt.Errorf("fencing regression: %d acks accepted by a fenced zombie primary, want 0 (split-brain)", pr.DualAcks))
+	}
+	if check && pr.UntypedErrors != 0 {
+		fatal(fmt.Errorf("error-taxonomy regression: %d untyped errors surfaced mid-partition, want 0", pr.UntypedErrors))
+	}
+	if check && pr.LeaseRejects == 0 {
+		fatal(fmt.Errorf("fencing regression: the partitioned primary never fenced (zero lease rejects)"))
+	}
+	if check && (pr.SelfFenceRejects == 0 || pr.PromotionsDuringIsolation != 0 || !pr.HealedAfterLeaseRenewal) {
+		fatal(fmt.Errorf("control-plane-isolation regression: self-fence rejects = %d (want > 0), promotions = %d (want 0), healed by renewal = %v (want true)",
+			pr.SelfFenceRejects, pr.PromotionsDuringIsolation, pr.HealedAfterLeaseRenewal))
+	}
+	if check && (pr.CorruptedFrames == 0 || pr.CorruptionAckedLost != 0) {
+		fatal(fmt.Errorf("corruption regression: %d frames corrupted (want > 0 — the fault never bit), %d acked updates lost (want 0)",
+			pr.CorruptedFrames, pr.CorruptionAckedLost))
+	}
+	if check && (pr.CheckpointFallbackLoads == 0 || pr.CheckpointRecoveryLost != 0) {
+		fatal(fmt.Errorf("checkpoint-recovery regression: %d fallback loads (want > 0), %d acked updates lost (want 0)",
+			pr.CheckpointFallbackLoads, pr.CheckpointRecoveryLost))
+	}
+	if check && pr.HedgedSearches == 0 {
+		fatal(fmt.Errorf("hedging regression: no search hedged under a slow-replica schedule"))
+	}
+	if check && pr.HedgedP99Us >= pr.UnhedgedP99Us {
+		fatal(fmt.Errorf("hedging regression: hedged lazy p99 %.0f us does not beat the unhedged control %.0f us",
+			pr.HedgedP99Us, pr.UnhedgedP99Us))
+	}
 
 	doc := clusterDocument{
 		GeneratedBy: "tools/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0),
-		Cluster: r, Replication: rr,
+		Cluster: r, Replication: rr, Partition: pr,
 	}
 	writeJSON(out, doc)
 	fmt.Printf("wrote %s (warm lookups = %d, lost = %d, acked lost after promotion = %d)\n",

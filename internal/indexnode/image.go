@@ -1,0 +1,544 @@
+package indexnode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"propeller/internal/index"
+	"propeller/internal/proto"
+)
+
+// This file defines the record-stream form of a group image: the chunked
+// wire format ACG transfers ship (MethodReceiveACGChunked) and the bytes
+// writeCheckpointLocked stores in shared storage. The image is a flat
+// sequence of self-framed records, so a sender can emit it in bounded
+// batches and a receiver can apply it incrementally from arbitrary chunk
+// boundaries — a multi-GB group never exists as one contiguous buffer on
+// either side. Legacy gob images (pre-record checkpoints) are recognized
+// by their first byte and decoded through the old path.
+//
+// Layout:
+//
+//	image   := magic(0xA7) record*
+//	record  := type(1B) uvarint(bodyLen) body
+//
+// Record types (unknown types are an error — the image is written and read
+// by the same codebase; version drift is handled by the magic byte):
+//
+//	recHeader  acg, epoch, flags(bit0=follower), replSeq   (uvarints)
+//	recFiles   count, then delta-coded sorted file ids
+//	recEdges   count, then (src, dst, weight) uvarint triples
+//	recIndex   index spec; subsequent recEntries belong to it
+//	recEntries count, then proto.IndexEntry wire encodings
+//	recWAL     raw framed WAL bytes (appended across records)
+//
+// gob's wire format length-prefixes every message with either a single
+// byte < 0x80 or a 0xF8..0xFF multi-byte marker, so 0xA7 can never open a
+// gob stream — the magic byte is an unambiguous format discriminator.
+const (
+	imageMagic = 0xA7
+
+	recHeader  = 1
+	recFiles   = 2
+	recEdges   = 3
+	recIndex   = 4
+	recEntries = 5
+	recWAL     = 6
+
+	// imageBatchTarget is the flush threshold for the writer's record
+	// buffer: emit() sees batches of roughly this size (a record can
+	// overshoot it; the rpc layer re-splits into ≤ maxChunk frames).
+	imageBatchTarget = 64 << 10
+	// entriesPerRecord bounds one recEntries record (and one bulk apply
+	// run on the receiver).
+	entriesPerRecord = 512
+)
+
+var errImageTruncated = errors.New("indexnode: truncated group image")
+
+// imageHeader carries the non-payload fields of a group image — what the
+// gob format kept in ReceiveACGReq next to the data slices.
+type imageHeader struct {
+	acg      proto.ACGID
+	epoch    proto.Epoch
+	follower bool
+	replSeq  uint64
+}
+
+// imageWriter batches records and hands them to emit in ~imageBatchTarget
+// slices. The slice passed to emit is reused; emit must not retain it.
+type imageWriter struct {
+	buf  []byte
+	emit func([]byte) error
+}
+
+func (w *imageWriter) record(typ byte, body []byte) error {
+	w.buf = append(w.buf, typ)
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(body)))
+	w.buf = append(w.buf, body...)
+	if len(w.buf) >= imageBatchTarget {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *imageWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	err := w.emit(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+func appendImageString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendImageSpec(dst []byte, spec proto.IndexSpec) []byte {
+	dst = appendImageString(dst, spec.Name)
+	dst = append(dst, byte(spec.Type))
+	dst = appendImageString(dst, spec.Field)
+	dst = binary.AppendUvarint(dst, uint64(len(spec.Fields)))
+	for _, f := range spec.Fields {
+		dst = appendImageString(dst, f)
+	}
+	return dst
+}
+
+// streamImageLocked serializes the group's durable state — membership,
+// causality edges, committed postings per index — as a record stream,
+// keeping only files accepted by filter (nil = all), delivered through
+// emit in bounded batches. The record-stream twin of imageLocked; callers
+// that need one contiguous buffer use imageBytesLocked. Caller holds g.mu
+// and must have committed the group if the image is meant to include every
+// acknowledged entry.
+func (n *Node) streamImageLocked(g *group, filter func(index.FileID) bool, hdr imageHeader, emit func([]byte) error) error {
+	w := &imageWriter{emit: emit}
+	var scratch []byte
+
+	scratch = binary.AppendUvarint(scratch, uint64(hdr.acg))
+	scratch = binary.AppendUvarint(scratch, uint64(hdr.epoch))
+	var flags byte
+	if hdr.follower {
+		flags |= 1
+	}
+	scratch = append(scratch, flags)
+	scratch = binary.AppendUvarint(scratch, hdr.replSeq)
+	// The magic byte rides in front of the first batch.
+	w.buf = append(w.buf, imageMagic)
+	if err := w.record(recHeader, scratch); err != nil {
+		return err
+	}
+
+	files := make([]index.FileID, 0, len(g.files))
+	for _, f := range g.groupFilesSorted() {
+		if filter == nil || filter(f) {
+			files = append(files, f)
+		}
+	}
+	if len(files) > 0 {
+		scratch = scratch[:0]
+		scratch = binary.AppendUvarint(scratch, uint64(len(files)))
+		prev := index.FileID(0)
+		for _, f := range files { // sorted: delta-coded
+			scratch = binary.AppendUvarint(scratch, uint64(f-prev))
+			prev = f
+		}
+		if err := w.record(recFiles, scratch); err != nil {
+			return err
+		}
+	}
+
+	srcs := make([]index.FileID, 0, len(g.graph.adj))
+	for src := range g.graph.adj {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	scratch = scratch[:0]
+	edges := 0
+	var edgeBody []byte
+	for _, src := range srcs {
+		if filter != nil && !filter(src) {
+			continue
+		}
+		m := g.graph.adj[src]
+		dsts := make([]index.FileID, 0, len(m))
+		for dst := range m {
+			dsts = append(dsts, dst)
+		}
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+		for _, dst := range dsts {
+			if filter != nil && !filter(dst) {
+				continue
+			}
+			edgeBody = binary.AppendUvarint(edgeBody, uint64(src))
+			edgeBody = binary.AppendUvarint(edgeBody, uint64(dst))
+			edgeBody = binary.AppendUvarint(edgeBody, uint64(m[dst]))
+			edges++
+			if edges == entriesPerRecord {
+				if err := flushEdges(w, &scratch, edgeBody, edges); err != nil {
+					return err
+				}
+				edgeBody, edges = edgeBody[:0], 0
+			}
+		}
+	}
+	if edges > 0 {
+		if err := flushEdges(w, &scratch, edgeBody, edges); err != nil {
+			return err
+		}
+	}
+
+	names := make([]string, 0, len(g.postings))
+	for name := range g.postings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		post := g.postings[name]
+		ids := make([]index.FileID, 0, len(post))
+		for f := range post {
+			if filter == nil || filter(f) {
+				ids = append(ids, f)
+			}
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		spec, _ := n.lookupSpec(name)
+		if err := w.record(recIndex, appendImageSpec(scratch[:0], spec)); err != nil {
+			return err
+		}
+		for start := 0; start < len(ids); start += entriesPerRecord {
+			run := ids[start:min(start+entriesPerRecord, len(ids))]
+			scratch = binary.AppendUvarint(scratch[:0], uint64(len(run)))
+			for _, f := range run {
+				scratch = post[f].AppendWire(scratch)
+			}
+			if err := w.record(recEntries, scratch); err != nil {
+				return err
+			}
+		}
+	}
+	return w.flush()
+}
+
+func flushEdges(w *imageWriter, scratch *[]byte, body []byte, count int) error {
+	*scratch = binary.AppendUvarint((*scratch)[:0], uint64(count))
+	*scratch = append(*scratch, body...)
+	return w.record(recEdges, *scratch)
+}
+
+// imageBytesLocked renders the record-stream image into one buffer — the
+// shared-storage checkpoint form. Caller holds g.mu.
+func (n *Node) imageBytesLocked(g *group, hdr imageHeader) ([]byte, error) {
+	var out []byte
+	err := n.streamImageLocked(g, nil, hdr, func(b []byte) error {
+		out = append(out, b...)
+		return nil
+	})
+	return out, err
+}
+
+// imageApplier applies a record-stream image to a locked group, fed one
+// chunk at a time with no alignment between chunk and record boundaries.
+// Records apply as soon as they complete, so the applier's footprint is
+// one partial record plus accumulated WAL bytes — never the whole image.
+// Caller holds g.mu across every feed and the finish.
+type imageApplier struct {
+	n     *Node
+	g     *group
+	known map[string]map[index.FileID]bool
+
+	buf      []byte // partial record carried across chunks
+	sawMagic bool
+	hdr      imageHeader
+
+	curName  string
+	curInst  *inst
+	haveSpec bool
+	// touched collects KD instances that received entries: their disk
+	// images re-serialize once at finish, mirroring installImageLocked.
+	touched map[string]*inst
+	walBuf  []byte
+}
+
+func newImageApplier(n *Node, g *group, known map[string]map[index.FileID]bool) *imageApplier {
+	return &imageApplier{n: n, g: g, known: known, touched: make(map[string]*inst)}
+}
+
+// feed consumes one chunk of the record stream, applying every record that
+// completes within it.
+func (a *imageApplier) feed(chunk []byte) error {
+	b := chunk
+	if len(a.buf) > 0 {
+		a.buf = append(a.buf, chunk...)
+		b = a.buf
+	}
+	if !a.sawMagic {
+		if len(b) == 0 {
+			return nil
+		}
+		if b[0] != imageMagic {
+			return fmt.Errorf("indexnode: group image: bad magic 0x%02x", b[0])
+		}
+		a.sawMagic = true
+		b = b[1:]
+	}
+	for {
+		rest, done, err := a.applyOne(b)
+		if err != nil {
+			return err
+		}
+		if done {
+			// Keep the partial record in an owned buffer: the chunk's
+			// backing array belongs to the rpc layer.
+			a.buf = append(a.buf[:0], b...)
+			return nil
+		}
+		b = rest
+	}
+}
+
+// applyOne parses and applies one record from b. done=true means b holds
+// only a record prefix (or nothing) and the caller should wait for more.
+func (a *imageApplier) applyOne(b []byte) (rest []byte, done bool, err error) {
+	if len(b) == 0 {
+		return nil, true, nil
+	}
+	typ := b[0]
+	size, k := binary.Uvarint(b[1:])
+	if k <= 0 {
+		if len(b) < 1+binary.MaxVarintLen64 {
+			return nil, true, nil // length bytes still in flight
+		}
+		return nil, false, errors.New("indexnode: group image: bad record length")
+	}
+	if size > uint64(len(b)) { // cheap pre-check before the exact one
+		return nil, true, nil
+	}
+	body := b[1+k:]
+	if uint64(len(body)) < size {
+		return nil, true, nil
+	}
+	rest = body[size:]
+	body = body[:size]
+	switch typ {
+	case recHeader:
+		err = a.applyHeader(body)
+	case recFiles:
+		err = a.applyFiles(body)
+	case recEdges:
+		err = a.applyEdges(body)
+	case recIndex:
+		err = a.applyIndex(body)
+	case recEntries:
+		err = a.applyEntries(body)
+	case recWAL:
+		a.walBuf = append(a.walBuf, body...)
+	default:
+		err = fmt.Errorf("indexnode: group image: unknown record type %d", typ)
+	}
+	return rest, false, err
+}
+
+func imageUvarint(b []byte) (uint64, []byte, error) {
+	v, k := binary.Uvarint(b)
+	if k <= 0 {
+		return 0, nil, errImageTruncated
+	}
+	return v, b[k:], nil
+}
+
+func imageString(b []byte) (string, []byte, error) {
+	ln, b, err := imageUvarint(b)
+	if err != nil || ln > uint64(len(b)) {
+		return "", nil, errImageTruncated
+	}
+	return string(b[:ln]), b[ln:], nil
+}
+
+func (a *imageApplier) applyHeader(b []byte) error {
+	acg, b, err := imageUvarint(b)
+	if err != nil {
+		return err
+	}
+	epoch, b, err := imageUvarint(b)
+	if err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return errImageTruncated
+	}
+	flags := b[0]
+	seq, _, err := imageUvarint(b[1:])
+	if err != nil {
+		return err
+	}
+	a.hdr = imageHeader{
+		acg: proto.ACGID(acg), epoch: proto.Epoch(epoch),
+		follower: flags&1 != 0, replSeq: seq,
+	}
+	return nil
+}
+
+func (a *imageApplier) applyFiles(b []byte) error {
+	count, b, err := imageUvarint(b)
+	if err != nil {
+		return err
+	}
+	if count > uint64(len(b)) { // ≥1 byte per delta
+		return errImageTruncated
+	}
+	f := index.FileID(0)
+	for i := uint64(0); i < count; i++ {
+		d, rest, err := imageUvarint(b)
+		if err != nil {
+			return err
+		}
+		b = rest
+		f += index.FileID(d)
+		a.g.files[f] = true
+		delete(a.g.movedOut, f) // an authoritative install re-homes the file
+	}
+	return nil
+}
+
+func (a *imageApplier) applyEdges(b []byte) error {
+	count, b, err := imageUvarint(b)
+	if err != nil {
+		return err
+	}
+	if count > uint64(len(b)) {
+		return errImageTruncated
+	}
+	for i := uint64(0); i < count; i++ {
+		var src, dst, w uint64
+		if src, b, err = imageUvarint(b); err != nil {
+			return err
+		}
+		if dst, b, err = imageUvarint(b); err != nil {
+			return err
+		}
+		if w, b, err = imageUvarint(b); err != nil {
+			return err
+		}
+		a.g.graph.addEdge(index.FileID(src), index.FileID(dst), int64(w))
+	}
+	return nil
+}
+
+func (a *imageApplier) applyIndex(b []byte) error {
+	var spec proto.IndexSpec
+	var err error
+	if spec.Name, b, err = imageString(b); err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return errImageTruncated
+	}
+	spec.Type = proto.IndexType(b[0])
+	if spec.Field, b, err = imageString(b[1:]); err != nil {
+		return err
+	}
+	nf, b, err := imageUvarint(b)
+	if err != nil || nf > uint64(len(b)) {
+		return errImageTruncated
+	}
+	for i := uint64(0); i < nf; i++ {
+		var f string
+		if f, b, err = imageString(b); err != nil {
+			return err
+		}
+		spec.Fields = append(spec.Fields, f)
+	}
+	a.n.DeclareIndex(spec)
+	in, err := a.n.instFor(a.g, spec.Name)
+	if err != nil {
+		return err
+	}
+	a.curName, a.curInst, a.haveSpec = spec.Name, in, true
+	a.touched[spec.Name] = in
+	return nil
+}
+
+func (a *imageApplier) applyEntries(b []byte) error {
+	if !a.haveSpec {
+		return errors.New("indexnode: group image: entries before index spec")
+	}
+	count, b, err := imageUvarint(b)
+	if err != nil {
+		return err
+	}
+	if count > uint64(len(b)) {
+		return errImageTruncated
+	}
+	run := make(map[index.FileID]pendingEntry, count)
+	for i := uint64(0); i < count; i++ {
+		var e proto.IndexEntry
+		if e, b, err = proto.DecodeIndexEntryWire(b); err != nil {
+			return fmt.Errorf("indexnode: group image: %w", err)
+		}
+		if a.known[a.curName][e.File] {
+			continue
+		}
+		run[e.File] = pendingEntry{e: e}
+	}
+	if len(run) == 0 {
+		return nil
+	}
+	// The commit engine's bulk path — sorted index mutations, postings
+	// advance only after index success — applies each completed record as
+	// it arrives, so a transfer's memory cost is one record, not the image.
+	return a.n.applyRunLocked(a.g, a.curInst, a.curName, run)
+}
+
+// finish completes the install: rejects a torn stream, re-serializes the
+// KD images entries landed in, and replays any shipped WAL into the lazy
+// cache. Returns the number of WAL entries restored.
+func (a *imageApplier) finish() (int, error) {
+	if !a.sawMagic {
+		return 0, errImageTruncated
+	}
+	if len(a.buf) > 0 {
+		return 0, errImageTruncated
+	}
+	for _, in := range a.touched {
+		if in.kd != nil {
+			in.kdImage = in.kd.Serialize()
+			in.kdResident = true
+		}
+	}
+	if len(a.walBuf) == 0 {
+		return 0, nil
+	}
+	return a.n.replayWALLocked(a.g, a.walBuf, a.known)
+}
+
+// installImageBytesLocked applies a stored group image — record-stream or
+// legacy gob, discriminated by the magic byte — to a locked group,
+// skipping (index, file) pairs in known. The recovery and promotion read
+// path. Caller holds g.mu.
+func (n *Node) installImageBytesLocked(g *group, raw []byte, known map[string]map[index.FileID]bool) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	if raw[0] != imageMagic {
+		img, err := decodeGroupImage(raw)
+		if err != nil {
+			return err
+		}
+		return n.installImageLocked(g, img, known)
+	}
+	a := newImageApplier(n, g, known)
+	if err := a.feed(raw); err != nil {
+		return err
+	}
+	_, err := a.finish()
+	return err
+}

@@ -1,0 +1,309 @@
+package indexnode
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/proto"
+	"propeller/internal/rpc"
+)
+
+// seedMixedGroup populates one ACG on n with a B-tree index, a KD index
+// and causality edges — every record type an image carries.
+func seedMixedGroup(t *testing.T, n *Node, acg proto.ACGID, files int) {
+	t.Helper()
+	ctx := context.Background()
+	n.DeclareIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"})
+	n.DeclareIndex(proto.IndexSpec{Name: "loc", Type: proto.IndexKD, Fields: []string{"x", "y"}})
+	for i := 0; i < files; i++ {
+		if _, err := n.Update(ctx, proto.UpdateReq{
+			ACG: acg, IndexName: "size",
+			Entries: []proto.IndexEntry{{File: index.FileID(i), Value: attr.Int(int64(i))}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Update(ctx, proto.UpdateReq{
+			ACG: acg, IndexName: "loc",
+			Entries: []proto.IndexEntry{{File: index.FileID(i), KDCoords: []float64{float64(i), float64(-i)}}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.FlushACG(ctx, proto.FlushACGReq{ACG: acg, Edges: []proto.ACGEdge{
+		{Src: 0, Dst: 1, Weight: 7}, {Src: 1, Dst: 2, Weight: 3},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImageRecordStreamRoundTrip checkpoints a group in the record-stream
+// format and re-installs it on a second node by feeding the applier tiny
+// chunks — record boundaries never align with chunk boundaries, the
+// condition a real chunked transfer produces.
+func TestImageRecordStreamRoundTrip(t *testing.T) {
+	r := newTransferRig(t)
+	ctx := context.Background()
+	seedMixedGroup(t, r.a, 1, 30)
+
+	g := r.a.lockGroup(1)
+	if g == nil {
+		t.Fatal("group 1 missing on source")
+	}
+	if err := r.a.commitGroupLocked(g); err != nil {
+		g.mu.Unlock()
+		t.Fatal(err)
+	}
+	raw, err := r.a.imageBytesLocked(g, imageHeader{acg: 1, replSeq: g.replSeq})
+	g.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != imageMagic {
+		t.Fatalf("image starts with 0x%02x, want magic 0x%02x", raw[0], imageMagic)
+	}
+
+	dst, err := r.b.lockOrCreateGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newImageApplier(r.b, dst, nil)
+	for off := 0; off < len(raw); off += 7 {
+		end := off + 7
+		if end > len(raw) {
+			end = len(raw)
+		}
+		if err := a.feed(raw[off:end]); err != nil {
+			dst.mu.Unlock()
+			t.Fatalf("feed at offset %d: %v", off, err)
+		}
+	}
+	if _, err := a.finish(); err != nil {
+		dst.mu.Unlock()
+		t.Fatal(err)
+	}
+	if got := a.hdr; got.acg != 1 {
+		dst.mu.Unlock()
+		t.Fatalf("applied header acg = %d, want 1", got.acg)
+	}
+	if w := dst.graph.adj[0][1]; w != 7 {
+		dst.mu.Unlock()
+		t.Fatalf("edge 0->1 weight = %d, want 7", w)
+	}
+	dst.mu.Unlock()
+
+	resp, err := r.b.Search(ctx, proto.SearchReq{ACGs: []proto.ACGID{2}, IndexName: "size", Query: "size>=0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 30 {
+		t.Fatalf("b-tree search after install = %d files, want 30", len(resp.Files))
+	}
+	resp, err = r.b.Search(ctx, proto.SearchReq{ACGs: []proto.ACGID{2}, IndexName: "loc", Query: "x>=5 & x<=9 & y<=0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 5 {
+		t.Fatalf("kd search after install = %d files, want 5", len(resp.Files))
+	}
+}
+
+// TestImageApplierRejectsTornStream cuts the record stream mid-record: the
+// install must fail instead of silently keeping the prefix — the guard that
+// makes a half-shipped migration harmless.
+func TestImageApplierRejectsTornStream(t *testing.T) {
+	r := newTransferRig(t)
+	seedMixedGroup(t, r.a, 1, 10)
+	g := r.a.lockGroup(1)
+	if err := r.a.commitGroupLocked(g); err != nil {
+		g.mu.Unlock()
+		t.Fatal(err)
+	}
+	raw, err := r.a.imageBytesLocked(g, imageHeader{acg: 1})
+	g.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := r.b.lockOrCreateGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.mu.Unlock()
+	a := newImageApplier(r.b, dst, nil)
+	if err := a.feed(raw[:len(raw)-3]); err != nil {
+		t.Fatalf("feeding a clean prefix should buffer, got %v", err)
+	}
+	if _, err := a.finish(); !errors.Is(err, errImageTruncated) {
+		t.Fatalf("finish on torn stream = %v, want errImageTruncated", err)
+	}
+}
+
+// TestLegacyGobImageStillInstalls writes a gob-format checkpoint (what
+// older builds stored) into the shared store and recovers from it: the
+// magic-byte fallback keeps mixed-version clusters recoverable.
+func TestLegacyGobImageStillInstalls(t *testing.T) {
+	r := newTransferRig(t)
+	ctx := context.Background()
+	seedMixedGroup(t, r.a, 1, 20)
+
+	g := r.a.lockGroup(1)
+	if err := r.a.commitGroupLocked(g); err != nil {
+		g.mu.Unlock()
+		t.Fatal(err)
+	}
+	legacy, err := encodeGroupImage(r.a.imageLocked(g, nil))
+	g.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.shared.Checkpoint(1, legacy)
+
+	r.b.DeclareIndex(proto.IndexSpec{Name: "size", Type: proto.IndexBTree, Field: "size"})
+	if err := r.b.RecoverFromShared(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.b.Search(ctx, proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "size", Query: "size>=0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != 20 {
+		t.Fatalf("recovered from gob image = %d files, want 20", len(resp.Files))
+	}
+}
+
+// TestStreamedTransferReceiverMemoryBounded migrates a group whose image is
+// several times the flow-control window and asserts the receiving server
+// never buffered more than the window for the stream: the receiver applies
+// incrementally, so its transient footprint is set by rpc geometry, not by
+// group size.
+func TestStreamedTransferReceiverMemoryBounded(t *testing.T) {
+	r := newTransferRig(t)
+	ctx := context.Background()
+	r.a.DeclareIndex(proto.IndexSpec{Name: "tag", Type: proto.IndexBTree, Field: "tag"})
+	// ~128 bytes of value per entry, 24k entries in batches: > 3 MiB of
+	// image against a 1 MiB window.
+	pad := strings.Repeat("v", 120)
+	const batch, batches = 256, 120
+	for b := 0; b < batches; b++ {
+		entries := make([]proto.IndexEntry, batch)
+		for i := range entries {
+			f := index.FileID(b*batch + i)
+			entries[i] = proto.IndexEntry{File: f, Value: attr.Str(pad + string(rune('a'+b%26)))}
+		}
+		if _, err := r.a.Update(ctx, proto.UpdateReq{ACG: 1, IndexName: "tag", Entries: entries}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.a.Heartbeat(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	g := r.a.lockGroup(1)
+	if err := r.a.commitGroupLocked(g); err != nil {
+		g.mu.Unlock()
+		t.Fatal(err)
+	}
+	raw, err := r.a.imageBytesLocked(g, imageHeader{acg: 1})
+	g.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 3*rpc.StreamWindow {
+		t.Fatalf("image is %d bytes; want > %d to make the bound meaningful", len(raw), 3*rpc.StreamWindow)
+	}
+
+	if err := r.a.TransferACG(ctx, proto.MigrateOrder{ACG: 1, Dest: "in-b", Addr: "pipe:in-b"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.b.Search(ctx, proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "tag", Query: `tag>=""`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Files) != batch*batches {
+		t.Fatalf("post-transfer search = %d files, want %d", len(resp.Files), batch*batches)
+	}
+
+	peak := r.servers["pipe:in-b"].StreamBufferedPeak()
+	if peak == 0 {
+		t.Fatal("receiver recorded no stream buffering; transfer did not stream")
+	}
+	if peak > rpc.StreamWindow {
+		t.Fatalf("receiver stream buffering peaked at %d bytes, want <= window %d (image was %d)",
+			peak, rpc.StreamWindow, len(raw))
+	}
+}
+
+// TestPeerConnCacheLRUEviction fills the peer-conn cache past capacity and
+// checks the least-recently-used connection is closed, evictions are
+// counted in NodeStats, and failure drops stay separate.
+func TestPeerConnCacheLRUEviction(t *testing.T) {
+	r := newTransferRig(t)
+	ctx := context.Background()
+
+	// Dial maxPeerConns distinct cache keys; every synthetic key reaches
+	// the same backend, the cache only sees the address string.
+	n := r.a
+	n.cfg.Dial = func(ctx context.Context, _ string) (*rpc.Client, error) {
+		cc, sc := rpc.Pipe()
+		r.servers["pipe:in-b"].ServeConn(sc)
+		return rpc.NewClient(cc), nil
+	}
+
+	conns := make([]*rpc.Client, 0, maxPeerConns+1)
+	for i := 0; i < maxPeerConns; i++ {
+		c, err := n.peerConn(ctx, string(rune('A'+i%26))+"-"+strings.Repeat("x", i/26+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	if got := n.peerConnEvictions.Value(); got != 0 {
+		t.Fatalf("evictions after filling to capacity = %d, want 0", got)
+	}
+	// Touch the first (oldest) peer so the second-oldest becomes the LRU
+	// victim.
+	firstKey := "A-x"
+	if _, err := n.peerConn(ctx, firstKey); err != nil {
+		t.Fatal(err)
+	}
+	over, err := n.peerConn(ctx, "overflow-peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.peerConnEvictions.Value(); got != 1 {
+		t.Fatalf("evictions after overflow = %d, want 1", got)
+	}
+	if len(n.peers) != maxPeerConns {
+		t.Fatalf("cache size after eviction = %d, want %d", len(n.peers), maxPeerConns)
+	}
+	if _, ok := n.peers[firstKey]; !ok {
+		t.Fatal("recently-touched peer was evicted; LRU order ignored")
+	}
+	if conns[1].Closed() != true {
+		t.Fatal("evicted LRU connection was not closed")
+	}
+	if over.Closed() {
+		t.Fatal("newly added connection must stay open")
+	}
+
+	// A failure drop closes and removes, but does not count as an LRU
+	// eviction.
+	n.dropPeer("overflow-peer")
+	if !over.Closed() {
+		t.Fatal("dropPeer left the connection open")
+	}
+	if got := n.peerConnEvictions.Value(); got != 1 {
+		t.Fatalf("evictions after dropPeer = %d, want 1 (drops are not evictions)", got)
+	}
+	st, err := n.NodeStats(ctx, proto.NodeStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeerConnEvictions != 1 {
+		t.Fatalf("NodeStats.PeerConnEvictions = %d, want 1", st.PeerConnEvictions)
+	}
+}

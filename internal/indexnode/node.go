@@ -317,9 +317,20 @@ type Node struct {
 
 	// peerMu guards peers, the cached connections this node's primaries
 	// stream replication frames over (per-update path; dial once, evict on
-	// failure).
-	peerMu sync.Mutex
-	peers  map[string]*rpc.Client
+	// failure), LRU-bounded at maxPeerConns. peerUse is the monotonic
+	// recency clock; peerConnEvictions counts capacity evictions.
+	peerMu  sync.Mutex
+	peers   map[string]*peerEntry
+	peerUse uint64
+	// peerConnEvictions counts peer connections closed by LRU capacity
+	// eviction (not failure drops); surfaced in NodeStats.
+	peerConnEvictions metrics.Counter
+}
+
+// peerEntry is one cached peer connection with its LRU recency stamp.
+type peerEntry struct {
+	c       *rpc.Client
+	lastUse uint64
 }
 
 // groupGraph is the node-side authoritative ACG of a group (plain adjacency;
@@ -400,6 +411,7 @@ func (n *Node) RegisterRPC(s *rpc.Server) {
 	rpc.HandleTyped(s, proto.MethodSplitACG, n.SplitACG)
 	rpc.HandleTyped(s, proto.MethodNodeStats, n.NodeStats)
 	rpc.HandleTyped(s, proto.MethodFollowerAppend, n.FollowerAppend)
+	rpc.HandleStreamTyped(s, proto.MethodReceiveACGChunked, n.receiveACGStream)
 }
 
 // DeclareIndex makes an index spec known to the node (normally learned from
@@ -1312,6 +1324,7 @@ func (n *Node) NodeStats(_ context.Context, _ proto.NodeStatsReq) (proto.NodeSta
 	resp.StalePlacementRejects = n.staleRejects.Value()
 	resp.GroupsMigratedOut = n.groupsMigrated.Value()
 	resp.GroupsRecovered = n.groupsRecovered.Value()
+	resp.PeerConnEvictions = n.peerConnEvictions.Value()
 	resp.FollowerAppends = n.followerAppends.Value()
 	resp.FollowerCuts = n.followerCuts.Value()
 	resp.Promotions = n.promotions.Value()

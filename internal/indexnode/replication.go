@@ -19,37 +19,70 @@ import (
 // append fails is cut from the ack set and re-seeded by the Master, with
 // the shared mirror covering the gap.
 
+// maxPeerConns caps the peer connection cache. A node that has streamed to
+// many peers over its lifetime (reshuffled follower sets, churned
+// placements) would otherwise pin one multiplexed conn per peer forever.
+const maxPeerConns = 32
+
 // peerConn returns a cached connection to a peer node, dialing on first
 // use. Follower streaming is per-update, so unlike the one-shot transfer
 // paths it must not pay a dial per call. A connection observed closed is
-// evicted and redialed.
+// evicted and redialed. The cache is LRU-bounded at maxPeerConns: adding a
+// new peer at capacity closes the least-recently-used conn (counted in
+// NodeStats.PeerConnEvictions) — its peer redials on next use.
 func (n *Node) peerConn(ctx context.Context, addr string) (*rpc.Client, error) {
 	if n.cfg.Dial == nil {
 		return nil, fmt.Errorf("indexnode %s: no dialer for peer %s", n.cfg.ID, addr)
 	}
 	n.peerMu.Lock()
 	defer n.peerMu.Unlock()
-	if c := n.peers[addr]; c != nil && !c.Closed() {
-		return c, nil
+	if e := n.peers[addr]; e != nil && !e.c.Closed() {
+		n.peerUse++
+		e.lastUse = n.peerUse
+		return e.c, nil
 	}
 	c, err := n.cfg.Dial(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
 	if n.peers == nil {
-		n.peers = make(map[string]*rpc.Client)
+		n.peers = make(map[string]*peerEntry)
 	}
-	n.peers[addr] = c
+	for len(n.peers) >= maxPeerConns {
+		n.evictLRUPeerLocked()
+	}
+	n.peerUse++
+	n.peers[addr] = &peerEntry{c: c, lastUse: n.peerUse}
 	return c, nil
 }
 
+// evictLRUPeerLocked closes and removes the least-recently-used cached
+// peer connection. Caller holds peerMu and has checked the cache is
+// non-empty.
+func (n *Node) evictLRUPeerLocked() {
+	var victim string
+	var oldest uint64
+	first := true
+	for addr, e := range n.peers {
+		if first || e.lastUse < oldest {
+			victim, oldest, first = addr, e.lastUse, false
+		}
+	}
+	if e := n.peers[victim]; e != nil {
+		e.c.Close() //nolint:errcheck // best-effort teardown
+		delete(n.peers, victim)
+		n.peerConnEvictions.Inc()
+	}
+}
+
 // dropPeer evicts (and closes) a cached peer connection after a failed
-// call, so the next use redials instead of reusing a broken pipe.
+// call, so the next use redials instead of reusing a broken pipe. Failure
+// drops are not LRU evictions and do not count as such.
 func (n *Node) dropPeer(addr string) {
 	n.peerMu.Lock()
 	defer n.peerMu.Unlock()
-	if c := n.peers[addr]; c != nil {
-		c.Close() //nolint:errcheck // best-effort teardown
+	if e := n.peers[addr]; e != nil {
+		e.c.Close() //nolint:errcheck // best-effort teardown
 		delete(n.peers, addr)
 	}
 }
@@ -172,14 +205,14 @@ func (n *Node) ReplicateACG(ctx context.Context, ord proto.MigrateOrder) error {
 	if err := n.commitGroupLocked(g); err != nil {
 		return err
 	}
-	img := n.imageLocked(g, nil)
-	img.Epoch = n.epoch()
-	img.Follower = true
 	peer, err := n.peerConn(ctx, ord.Addr)
 	if err != nil {
 		return fmt.Errorf("indexnode replicate dial %s: %w", ord.Addr, err)
 	}
-	if _, err := rpc.Call[proto.ReceiveACGReq, proto.ReceiveACGResp](ctx, peer, proto.MethodReceiveACG, img); err != nil {
+	meta := proto.ReceiveACGStreamMeta{
+		ACG: g.id, Epoch: n.epoch(), Follower: true, ReplSeq: g.replSeq,
+	}
+	if err := n.shipGroupStreamLocked(ctx, peer, g, nil, meta); err != nil {
 		n.dropPeer(ord.Addr)
 		return fmt.Errorf("indexnode replicate acg %d to %s: %w", ord.ACG, ord.Dest, err)
 	}
@@ -224,14 +257,8 @@ func (n *Node) PromoteACG(ctx context.Context, ord proto.PromoteOrder) error {
 	if n.cfg.Shared != nil {
 		if checkpoint, walBytes, ok := n.cfg.Shared.Load(ord.ACG); ok {
 			known := n.knownPairsLocked(g)
-			if checkpoint != nil {
-				img, err := decodeGroupImage(checkpoint)
-				if err != nil {
-					return fmt.Errorf("indexnode promote acg %d: %w", ord.ACG, err)
-				}
-				if err := n.installImageLocked(g, img, known); err != nil {
-					return fmt.Errorf("indexnode promote acg %d: %w", ord.ACG, err)
-				}
+			if err := n.installImageBytesLocked(g, checkpoint, known); err != nil {
+				return fmt.Errorf("indexnode promote acg %d: %w", ord.ACG, err)
 			}
 			if _, err := n.replayWALLocked(g, walBytes, known); err != nil {
 				return fmt.Errorf("indexnode promote acg %d wal: %w", ord.ACG, err)

@@ -3,6 +3,7 @@ package indexnode
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 
 	"propeller/internal/index"
@@ -62,34 +63,44 @@ func (n *Node) SplitACG(ctx context.Context, req proto.SplitACGReq) (proto.Split
 	for _, f := range sideB {
 		moveSet[f] = true
 	}
-	recv := n.imageLocked(g, func(f index.FileID) bool { return moveSet[f] })
-	recv.ACG = rep.NewACG
-	recv.Epoch = rep.Epoch
+	filter := func(f index.FileID) bool { return moveSet[f] }
 	names := make([]string, 0, len(g.postings))
 	for name := range g.postings {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	g.mu.Unlock()
-	n.noteEpoch(rep.Epoch)
 
-	// Ship the group. rep.Dest may be this very node (least-loaded); handle
-	// locally to avoid a self-dial.
+	// Ship the moved half. rep.Dest may be this very node (least-loaded);
+	// handle locally to avoid a self-dial. The remote path streams the
+	// filtered image in bounded chunks under the group lock — the same
+	// quiesce window the one-frame ship held, without one contiguous copy
+	// of the half on either side.
 	if rep.Dest == n.cfg.ID {
+		recv := n.imageLocked(g, filter)
+		recv.ACG = rep.NewACG
+		recv.Epoch = rep.Epoch
+		g.mu.Unlock()
+		n.noteEpoch(rep.Epoch)
 		if _, err := n.ReceiveACG(ctx, recv); err != nil {
 			return proto.SplitACGResp{}, err
 		}
 	} else {
 		if n.cfg.Dial == nil {
+			g.mu.Unlock()
 			return proto.SplitACGResp{}, fmt.Errorf("indexnode split: no dialer for peer %s", rep.Dest)
 		}
 		peer, err := n.cfg.Dial(ctx, rep.Addr)
 		if err != nil {
+			g.mu.Unlock()
 			return proto.SplitACGResp{}, fmt.Errorf("indexnode split dial %s: %w", rep.Addr, err)
 		}
-		defer peer.Close() //nolint:errcheck // best-effort teardown
-		if _, err := rpc.Call[proto.ReceiveACGReq, proto.ReceiveACGResp](ctx, peer, proto.MethodReceiveACG, recv); err != nil {
-			return proto.SplitACGResp{}, fmt.Errorf("indexnode migrate to %s: %w", rep.Dest, err)
+		meta := proto.ReceiveACGStreamMeta{ACG: rep.NewACG, Epoch: rep.Epoch, ReplSeq: g.replSeq}
+		shipErr := n.shipGroupStreamLocked(ctx, peer, g, filter, meta)
+		g.mu.Unlock()
+		peer.Close() //nolint:errcheck // best-effort teardown
+		n.noteEpoch(rep.Epoch)
+		if shipErr != nil {
+			return proto.SplitACGResp{}, fmt.Errorf("indexnode migrate to %s: %w", rep.Dest, shipErr)
 		}
 	}
 
@@ -192,6 +203,49 @@ func (n *Node) ReceiveACG(_ context.Context, req proto.ReceiveACGReq) (proto.Rec
 		if _, err := n.replayWALLocked(g, req.WAL, known); err != nil {
 			return proto.ReceiveACGResp{}, err
 		}
+	}
+	if err := n.checkpointLocked(g); err != nil {
+		return proto.ReceiveACGResp{}, err
+	}
+	return proto.ReceiveACGResp{OK: true}, nil
+}
+
+// receiveACGStream is the chunked form of ReceiveACG: the image arrives as
+// a flow-controlled record stream and applies incrementally, so the
+// receiver's transient footprint is one chunk plus one partial record — a
+// large group never materializes as a second contiguous copy here. The
+// group lock is held across the whole stream, the same quiesce the
+// single-frame install performs; flow control bounds how long a slow
+// sender can stretch that window, and other groups' traffic (and other
+// streams on the same conn) proceed throughout.
+func (n *Node) receiveACGStream(ctx context.Context, meta proto.ReceiveACGStreamMeta, st *rpc.ServerStream) (proto.ReceiveACGResp, error) {
+	n.clearReleased(meta.ACG) // an explicit transfer-in overrides a tombstone
+	n.noteEpoch(meta.Epoch)
+	g, err := n.lockOrCreateGroup(meta.ACG)
+	if err != nil {
+		return proto.ReceiveACGResp{}, err
+	}
+	defer g.mu.Unlock()
+	g.follower = meta.Follower
+	if meta.ReplSeq > g.replSeq {
+		g.replSeq = meta.ReplSeq
+	}
+	known := n.knownPairsLocked(g)
+	a := newImageApplier(n, g, known)
+	for {
+		chunk, err := st.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return proto.ReceiveACGResp{}, err
+		}
+		if err := a.feed(chunk); err != nil {
+			return proto.ReceiveACGResp{}, err
+		}
+	}
+	if _, err := a.finish(); err != nil {
+		return proto.ReceiveACGResp{}, err
 	}
 	if err := n.checkpointLocked(g); err != nil {
 		return proto.ReceiveACGResp{}, err

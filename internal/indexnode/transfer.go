@@ -18,8 +18,10 @@ import (
 // group migration (TransferACG → peer ReceiveACG → Master MigrateReport),
 // stale-copy release (ReleaseACG), and failure-driven recovery from shared
 // storage (RecoverFromShared). The group image that moves between nodes is
-// the same gob structure checkpointed to the shared store, so migration,
-// split shipping and crash recovery all exercise one install path.
+// the same record stream checkpointed to the shared store (see image.go),
+// so migration, split shipping and crash recovery all exercise one install
+// path; checkpoints written by older builds (gob) still load through the
+// legacy decoder, discriminated by the image magic byte.
 
 // imageLocked serializes the group's durable state — membership, causality
 // edges, committed postings per index — keeping only files accepted by
@@ -75,6 +77,9 @@ func (n *Node) imageLocked(g *group, filter func(index.FileID) bool) proto.Recei
 	return req
 }
 
+// encodeGroupImage renders the legacy gob image form. Nothing writes it
+// anymore (checkpoints and transfers use the record stream); it survives
+// for tests proving the mixed-version read path.
 func encodeGroupImage(req proto.ReceiveACGReq) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
@@ -117,15 +122,47 @@ func (n *Node) checkpointLocked(g *group) error {
 }
 
 // writeCheckpointLocked serializes the group's committed state to the
-// shared store. The group must have no pending entries (Checkpoint drops
-// the mirrored WAL they live in). Caller holds g.mu.
+// shared store in the record-stream image format (see image.go). The group
+// must have no pending entries (Checkpoint drops the mirrored WAL they
+// live in). Caller holds g.mu.
 func (n *Node) writeCheckpointLocked(g *group) error {
-	raw, err := encodeGroupImage(n.imageLocked(g, nil))
+	raw, err := n.imageBytesLocked(g, imageHeader{
+		acg: g.id, epoch: n.epoch(), replSeq: g.replSeq,
+	})
 	if err != nil {
 		return err
 	}
 	n.cfg.Shared.Checkpoint(g.id, raw)
 	return nil
+}
+
+// shipGroupStreamLocked ships the group's image (filtered to files accepted
+// by filter; nil = all) to peer as a chunked MethodReceiveACGChunked
+// transfer: bounded frames other streams' traffic interleaves with, applied
+// incrementally on the receiver. The group stays locked — quiesced — for
+// the duration, exactly like the old single-frame ship. Caller holds g.mu.
+func (n *Node) shipGroupStreamLocked(ctx context.Context, peer *rpc.Client, g *group,
+	filter func(index.FileID) bool, meta proto.ReceiveACGStreamMeta) error {
+	st, err := rpc.OpenStream(ctx, peer, proto.MethodReceiveACGChunked, meta)
+	if err != nil {
+		return err
+	}
+	hdr := imageHeader{acg: meta.ACG, epoch: meta.Epoch, follower: meta.Follower, replSeq: meta.ReplSeq}
+	serr := n.streamImageLocked(g, filter, hdr, func(b []byte) error {
+		return st.Send(ctx, b)
+	})
+	if serr != nil {
+		// A mid-image send failure settles the stream; the terminal error
+		// (a typed refusal from the receiver) is more precise than ours.
+		// A torn prefix cannot install: the receiver's applier rejects a
+		// stream that half-closes inside a record.
+		if _, ferr := rpc.FinishStream[proto.ReceiveACGResp](ctx, st); ferr != nil {
+			return ferr
+		}
+		return serr
+	}
+	_, err = rpc.FinishStream[proto.ReceiveACGResp](ctx, st)
+	return err
 }
 
 // knownPairsLocked snapshots the (index, file) pairs this group already has
@@ -252,23 +289,21 @@ func (n *Node) TransferACG(ctx context.Context, ord proto.MigrateOrder) error {
 	if err := n.commitGroupLocked(g); err != nil {
 		return err
 	}
-	img := n.imageLocked(g, nil)
-	img.Epoch = n.epoch()
+	epoch := n.epoch()
 	if n.cfg.Shared != nil {
 		// Shared storage stays authoritative across the move: if the
 		// destination dies right after installing, recovery reads this.
-		raw, err := encodeGroupImage(img)
-		if err != nil {
+		if err := n.writeCheckpointLocked(g); err != nil {
 			return err
 		}
-		n.cfg.Shared.Checkpoint(g.id, raw)
 	}
 	peer, err := n.cfg.Dial(ctx, ord.Addr)
 	if err != nil {
 		return fmt.Errorf("indexnode transfer dial %s: %w", ord.Addr, err)
 	}
 	defer peer.Close() //nolint:errcheck // best-effort teardown
-	if _, err := rpc.Call[proto.ReceiveACGReq, proto.ReceiveACGResp](ctx, peer, proto.MethodReceiveACG, img); err != nil {
+	meta := proto.ReceiveACGStreamMeta{ACG: g.id, Epoch: epoch, ReplSeq: g.replSeq}
+	if err := n.shipGroupStreamLocked(ctx, peer, g, nil, meta); err != nil {
 		return fmt.Errorf("indexnode transfer acg %d to %s: %w", ord.ACG, ord.Dest, err)
 	}
 	rep, err := rpc.Call[proto.MigrateReportReq, proto.MigrateReportResp](
@@ -337,14 +372,8 @@ func (n *Node) RecoverFromShared(ctx context.Context, id proto.ACGID) error {
 		return nil
 	}
 	known := n.knownPairsLocked(g)
-	if checkpoint != nil {
-		img, err := decodeGroupImage(checkpoint)
-		if err != nil {
-			return fmt.Errorf("indexnode recover acg %d: %w", id, err)
-		}
-		if err := n.installImageLocked(g, img, known); err != nil {
-			return fmt.Errorf("indexnode recover acg %d: %w", id, err)
-		}
+	if err := n.installImageBytesLocked(g, checkpoint, known); err != nil {
+		return fmt.Errorf("indexnode recover acg %d: %w", id, err)
 	}
 	if _, err := n.replayWALLocked(g, walBytes, known); err != nil {
 		return fmt.Errorf("indexnode recover acg %d wal: %w", id, err)

@@ -25,6 +25,9 @@ type transferRig struct {
 	a, b   *Node
 	shared *sharedstore.Store
 	clk    *vclock.Clock
+	// servers by pipe address, so tests can read rpc-server stats (e.g.
+	// StreamBufferedPeak on the receiving side of a chunked transfer).
+	servers map[string]*rpc.Server
 }
 
 func newTransferRig(t *testing.T) *transferRig {
@@ -73,7 +76,7 @@ func newTransferRig(t *testing.T) *transferRig {
 		}
 		return n
 	}
-	return &transferRig{m: m, a: mkNode("in-a"), b: mkNode("in-b"), shared: shared, clk: clk}
+	return &transferRig{m: m, a: mkNode("in-a"), b: mkNode("in-b"), shared: shared, clk: clk, servers: servers}
 }
 
 func seedTransferGroup(t *testing.T, n *Node, acg proto.ACGID, files int) {

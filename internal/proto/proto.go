@@ -403,7 +403,23 @@ const (
 	MethodSplitACG       = "in.SplitACG"
 	MethodNodeStats      = "in.NodeStats"
 	MethodFollowerAppend = "in.FollowerAppend"
+	// MethodReceiveACGChunked is the stream form of ReceiveACG: the group
+	// image arrives as a bounded chunk stream of self-framed records and is
+	// applied incrementally, so a large ACG never materializes as one frame
+	// (or one contiguous buffer) on the receiver.
+	MethodReceiveACGChunked = "in.ReceiveACGChunked"
 )
+
+// ReceiveACGStreamMeta opens a chunked ACG transfer: the fields of
+// ReceiveACGReq that describe the move, minus the image payload — that
+// follows as chunk frames of image records (see indexnode's record
+// format). Semantics of Epoch, Follower and ReplSeq match ReceiveACGReq.
+type ReceiveACGStreamMeta struct {
+	ACG      ACGID
+	Epoch    Epoch
+	Follower bool
+	ReplSeq  uint64
+}
 
 // IndexEntry is one (file, value) posting for a named index.
 type IndexEntry struct {
@@ -726,4 +742,9 @@ type NodeStatsResp struct {
 	// could not reach the Master long enough that a peer may have been
 	// promoted over it).
 	LeaseRejects int64
+	// PeerConnEvictions counts peer connections the node's LRU conn cache
+	// closed to stay under its cap. A steadily growing value means the
+	// node talks to more distinct peers than the cap — replication and
+	// migration then pay a reconnect per stream.
+	PeerConnEvictions int64
 }

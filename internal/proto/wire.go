@@ -1,0 +1,592 @@
+// Hand-rolled binary wire codec for the hot-path messages. Every request
+// the data plane sends millions of times — updates, searches, follower
+// appends — implements rpc's MarshalWire/UnmarshalWire pair here, so the
+// transport picks the binary form automatically; the cold control plane
+// (registration, heartbeats, placement) stays on gob and nothing breaks if
+// one side has not learned a message's binary form yet (the rpc codec byte
+// keeps both decodable on one connection).
+//
+// Layout conventions: each message starts with a version byte (wireV1);
+// unsigned integers are uvarints, signed ones zigzag varints; strings and
+// byte slices carry a uvarint length prefix; attr.Values are their
+// order-preserving Encode bytes behind a uvarint length (they are not
+// self-delimiting — a string value runs to the end of its buffer);
+// ascending FileID lists (search results) are delta-coded so dense result
+// pages cost ~1 byte per id. Decoders must survive arbitrary bytes without
+// panicking — FuzzWireDecode holds them to that — so every read is
+// bounds-checked and every claimed element count is validated against the
+// remaining buffer before allocation.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/query"
+)
+
+// wireV1 versions each message's binary layout. A decoder seeing a newer
+// version refuses (the sender should have fallen back to gob for a peer
+// this old); trailing bytes after the known fields are ignored so future
+// appended fields stay compatible.
+const wireV1 = 1
+
+// ErrWire reports a binary message that does not parse.
+var ErrWire = errors.New("proto: malformed wire message")
+
+func wireErr(what string) error {
+	return fmt.Errorf("%w: %s", ErrWire, what)
+}
+
+// --- primitive helpers -------------------------------------------------
+
+func getUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, wireErr("bad uvarint")
+	}
+	return v, b[n:], nil
+}
+
+func getVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, wireErr("bad varint")
+	}
+	return v, b[n:], nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func getString(b []byte) (string, []byte, error) {
+	raw, rest, err := getBytesRef(b)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(raw), rest, nil
+}
+
+func appendBytes(dst, p []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+// getBytesRef returns a slice aliasing b — callers that retain it past the
+// buffer's lifetime copy it (getBytes).
+func getBytesRef(b []byte) ([]byte, []byte, error) {
+	n, rest, err := getUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, wireErr("length prefix exceeds buffer")
+	}
+	return rest[:n], rest[n:], nil
+}
+
+func getBytes(b []byte) ([]byte, []byte, error) {
+	raw, rest, err := getBytesRef(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(raw) == 0 {
+		return nil, rest, nil
+	}
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out, rest, nil
+}
+
+// countGuard validates a claimed element count against the bytes left:
+// every element costs at least min bytes, so a count the buffer cannot
+// possibly hold is rejected before any allocation (a fuzzer's favorite
+// way to ask for a 2^60-element slice).
+func countGuard(n uint64, b []byte, min int) error {
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64(len(b)/min)+1 && n > uint64(len(b)) {
+		return wireErr("element count exceeds buffer")
+	}
+	return nil
+}
+
+// appendValue encodes an attr.Value behind a uvarint length. The zero
+// (invalid) Value encodes as the single byte 0, mirroring its gob form.
+func appendValue(dst []byte, v attr.Value) []byte {
+	if !v.IsValid() {
+		dst = binary.AppendUvarint(dst, 1)
+		return append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(v.EncodedLen()))
+	return v.Encode(dst)
+}
+
+func getValue(b []byte) (attr.Value, []byte, error) {
+	raw, rest, err := getBytesRef(b)
+	if err != nil {
+		return attr.Value{}, nil, err
+	}
+	if len(raw) == 1 && raw[0] == 0 {
+		return attr.Value{}, rest, nil
+	}
+	v, err := attr.Decode(raw)
+	if err != nil {
+		return attr.Value{}, nil, fmt.Errorf("%w: %v", ErrWire, err)
+	}
+	return v, rest, nil
+}
+
+func checkVersion(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, wireErr("empty message")
+	}
+	if b[0] != wireV1 {
+		return nil, wireErr(fmt.Sprintf("unknown message version %d", b[0]))
+	}
+	return b[1:], nil
+}
+
+// --- IndexEntry --------------------------------------------------------
+
+// Entry flag bits.
+const (
+	entryDelete byte = 1 << 0
+	entryHasKD  byte = 1 << 1
+)
+
+// AppendWire appends e's binary encoding to dst. Exported because the ACG
+// image record streams (indexnode) reuse the exact entry layout, so a
+// migrated index and an update batch are byte-compatible.
+func (e IndexEntry) AppendWire(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(e.File))
+	var flags byte
+	if e.Delete {
+		flags |= entryDelete
+	}
+	if len(e.KDCoords) > 0 {
+		flags |= entryHasKD
+	}
+	dst = append(dst, flags)
+	dst = appendValue(dst, e.Value)
+	if flags&entryHasKD != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(e.KDCoords)))
+		for _, c := range e.KDCoords {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c))
+		}
+	}
+	return dst
+}
+
+// DecodeIndexEntryWire parses one entry, returning the remaining buffer.
+func DecodeIndexEntryWire(b []byte) (IndexEntry, []byte, error) {
+	var e IndexEntry
+	f, b, err := getUvarint(b)
+	if err != nil {
+		return e, nil, err
+	}
+	e.File = index.FileID(f)
+	if len(b) == 0 {
+		return e, nil, wireErr("truncated entry flags")
+	}
+	flags := b[0]
+	b = b[1:]
+	e.Delete = flags&entryDelete != 0
+	if e.Value, b, err = getValue(b); err != nil {
+		return e, nil, err
+	}
+	if flags&entryHasKD != 0 {
+		n, rest, err := getUvarint(b)
+		if err != nil {
+			return e, nil, err
+		}
+		if n > uint64(len(rest)/8) {
+			return e, nil, wireErr("kd coord count exceeds buffer")
+		}
+		e.KDCoords = make([]float64, n)
+		for i := range e.KDCoords {
+			e.KDCoords[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+		}
+		b = rest
+	}
+	return e, b, nil
+}
+
+// --- UpdateReq / UpdateResp --------------------------------------------
+
+// MarshalWire implements rpc.WireMarshaler.
+func (r *UpdateReq) MarshalWire(dst []byte) []byte {
+	dst = append(dst, wireV1)
+	dst = binary.AppendUvarint(dst, uint64(r.ACG))
+	dst = appendString(dst, r.IndexName)
+	dst = appendString(dst, r.Client)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Entries)))
+	for _, e := range r.Entries {
+		dst = e.AppendWire(dst)
+	}
+	return dst
+}
+
+// UnmarshalWire implements rpc.WireUnmarshaler.
+func (r *UpdateReq) UnmarshalWire(data []byte) error {
+	*r = UpdateReq{}
+	b, err := checkVersion(data)
+	if err != nil {
+		return err
+	}
+	var acg uint64
+	if acg, b, err = getUvarint(b); err != nil {
+		return err
+	}
+	r.ACG = ACGID(acg)
+	if r.IndexName, b, err = getString(b); err != nil {
+		return err
+	}
+	if r.Client, b, err = getString(b); err != nil {
+		return err
+	}
+	n, b, err := getUvarint(b)
+	if err != nil {
+		return err
+	}
+	if err := countGuard(n, b, 3); err != nil {
+		return err
+	}
+	if n > 0 {
+		r.Entries = make([]IndexEntry, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var e IndexEntry
+			if e, b, err = DecodeIndexEntryWire(b); err != nil {
+				return err
+			}
+			r.Entries = append(r.Entries, e)
+		}
+	}
+	return nil
+}
+
+// MarshalWire implements rpc.WireMarshaler.
+func (r *UpdateResp) MarshalWire(dst []byte) []byte {
+	dst = append(dst, wireV1)
+	dst = binary.AppendVarint(dst, int64(r.Cached))
+	dst = binary.AppendUvarint(dst, uint64(r.Epoch))
+	return dst
+}
+
+// UnmarshalWire implements rpc.WireUnmarshaler.
+func (r *UpdateResp) UnmarshalWire(data []byte) error {
+	*r = UpdateResp{}
+	b, err := checkVersion(data)
+	if err != nil {
+		return err
+	}
+	var cached int64
+	if cached, b, err = getVarint(b); err != nil {
+		return err
+	}
+	r.Cached = int(cached)
+	var epoch uint64
+	if epoch, _, err = getUvarint(b); err != nil {
+		return err
+	}
+	r.Epoch = Epoch(epoch)
+	return nil
+}
+
+// --- SearchReq / SearchResp --------------------------------------------
+
+// Search flag bits.
+const searchAfterSet byte = 1 << 0
+
+// MarshalWire implements rpc.WireMarshaler.
+func (r *SearchReq) MarshalWire(dst []byte) []byte {
+	dst = append(dst, wireV1)
+	dst = binary.AppendUvarint(dst, uint64(len(r.ACGs)))
+	for _, g := range r.ACGs {
+		dst = binary.AppendUvarint(dst, uint64(g))
+	}
+	dst = appendString(dst, r.IndexName)
+	dst = appendString(dst, r.Query)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Preds)))
+	for _, p := range r.Preds {
+		dst = appendString(dst, p.Field)
+		dst = append(dst, byte(p.Op))
+		dst = appendValue(dst, p.Value)
+	}
+	dst = binary.AppendVarint(dst, r.NowUnixNano)
+	dst = binary.AppendVarint(dst, int64(r.Limit))
+	dst = binary.AppendUvarint(dst, uint64(r.After))
+	var flags byte
+	if r.AfterSet {
+		flags |= searchAfterSet
+	}
+	dst = append(dst, flags, byte(r.Consistency))
+	dst = appendString(dst, r.Client)
+	return dst
+}
+
+// UnmarshalWire implements rpc.WireUnmarshaler.
+func (r *SearchReq) UnmarshalWire(data []byte) error {
+	*r = SearchReq{}
+	b, err := checkVersion(data)
+	if err != nil {
+		return err
+	}
+	n, b, err := getUvarint(b)
+	if err != nil {
+		return err
+	}
+	if err := countGuard(n, b, 1); err != nil {
+		return err
+	}
+	if n > 0 {
+		r.ACGs = make([]ACGID, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var g uint64
+			if g, b, err = getUvarint(b); err != nil {
+				return err
+			}
+			r.ACGs = append(r.ACGs, ACGID(g))
+		}
+	}
+	if r.IndexName, b, err = getString(b); err != nil {
+		return err
+	}
+	if r.Query, b, err = getString(b); err != nil {
+		return err
+	}
+	if n, b, err = getUvarint(b); err != nil {
+		return err
+	}
+	if err := countGuard(n, b, 4); err != nil {
+		return err
+	}
+	if n > 0 {
+		r.Preds = make([]query.Predicate, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var p query.Predicate
+			if p.Field, b, err = getString(b); err != nil {
+				return err
+			}
+			if len(b) == 0 {
+				return wireErr("truncated predicate op")
+			}
+			p.Op = query.Op(b[0])
+			b = b[1:]
+			if p.Value, b, err = getValue(b); err != nil {
+				return err
+			}
+			r.Preds = append(r.Preds, p)
+		}
+	}
+	if r.NowUnixNano, b, err = getVarint(b); err != nil {
+		return err
+	}
+	var limit int64
+	if limit, b, err = getVarint(b); err != nil {
+		return err
+	}
+	r.Limit = int(limit)
+	var after uint64
+	if after, b, err = getUvarint(b); err != nil {
+		return err
+	}
+	r.After = index.FileID(after)
+	if len(b) < 2 {
+		return wireErr("truncated search flags")
+	}
+	r.AfterSet = b[0]&searchAfterSet != 0
+	r.Consistency = Consistency(b[1])
+	if r.Client, _, err = getString(b[2:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Response flag bits.
+const searchMore byte = 1 << 0
+
+// MarshalWire implements rpc.WireMarshaler. Files arrive in ascending
+// FileID order (the SearchResp contract), so ids are delta-coded; the
+// zigzag form stays correct even for an out-of-order producer, it just
+// stops being small.
+func (r *SearchResp) MarshalWire(dst []byte) []byte {
+	dst = append(dst, wireV1)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Files)))
+	prev := int64(0)
+	for _, f := range r.Files {
+		dst = binary.AppendVarint(dst, int64(f)-prev)
+		prev = int64(f)
+	}
+	dst = binary.AppendVarint(dst, r.CommitLatencyNanos)
+	var flags byte
+	if r.More {
+		flags |= searchMore
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendVarint(dst, int64(r.MaxRetained))
+	dst = binary.AppendUvarint(dst, uint64(r.Epoch))
+	return dst
+}
+
+// UnmarshalWire implements rpc.WireUnmarshaler.
+func (r *SearchResp) UnmarshalWire(data []byte) error {
+	*r = SearchResp{}
+	b, err := checkVersion(data)
+	if err != nil {
+		return err
+	}
+	n, b, err := getUvarint(b)
+	if err != nil {
+		return err
+	}
+	if err := countGuard(n, b, 1); err != nil {
+		return err
+	}
+	if n > 0 {
+		r.Files = make([]index.FileID, 0, n)
+		prev := int64(0)
+		for i := uint64(0); i < n; i++ {
+			var d int64
+			if d, b, err = getVarint(b); err != nil {
+				return err
+			}
+			prev += d
+			r.Files = append(r.Files, index.FileID(prev))
+		}
+	}
+	if r.CommitLatencyNanos, b, err = getVarint(b); err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return wireErr("truncated response flags")
+	}
+	r.More = b[0]&searchMore != 0
+	b = b[1:]
+	var retained int64
+	if retained, b, err = getVarint(b); err != nil {
+		return err
+	}
+	r.MaxRetained = int(retained)
+	var epoch uint64
+	if epoch, _, err = getUvarint(b); err != nil {
+		return err
+	}
+	r.Epoch = Epoch(epoch)
+	return nil
+}
+
+// --- FollowerAppendReq / FollowerAppendResp ----------------------------
+
+// MarshalWire implements rpc.WireMarshaler.
+func (r *FollowerAppendReq) MarshalWire(dst []byte) []byte {
+	dst = append(dst, wireV1)
+	dst = binary.AppendUvarint(dst, uint64(r.ACG))
+	dst = binary.AppendUvarint(dst, r.Seq)
+	dst = binary.AppendUvarint(dst, uint64(r.Epoch))
+	dst = appendBytes(dst, r.Frames)
+	return dst
+}
+
+// UnmarshalWire implements rpc.WireUnmarshaler.
+func (r *FollowerAppendReq) UnmarshalWire(data []byte) error {
+	*r = FollowerAppendReq{}
+	b, err := checkVersion(data)
+	if err != nil {
+		return err
+	}
+	var acg uint64
+	if acg, b, err = getUvarint(b); err != nil {
+		return err
+	}
+	r.ACG = ACGID(acg)
+	if r.Seq, b, err = getUvarint(b); err != nil {
+		return err
+	}
+	var epoch uint64
+	if epoch, b, err = getUvarint(b); err != nil {
+		return err
+	}
+	r.Epoch = Epoch(epoch)
+	if r.Frames, _, err = getBytes(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MarshalWire implements rpc.WireMarshaler.
+func (r *FollowerAppendResp) MarshalWire(dst []byte) []byte {
+	dst = append(dst, wireV1)
+	dst = binary.AppendUvarint(dst, r.Seq)
+	dst = binary.AppendUvarint(dst, uint64(r.Epoch))
+	return dst
+}
+
+// UnmarshalWire implements rpc.WireUnmarshaler.
+func (r *FollowerAppendResp) UnmarshalWire(data []byte) error {
+	*r = FollowerAppendResp{}
+	b, err := checkVersion(data)
+	if err != nil {
+		return err
+	}
+	if r.Seq, b, err = getUvarint(b); err != nil {
+		return err
+	}
+	var epoch uint64
+	if epoch, _, err = getUvarint(b); err != nil {
+		return err
+	}
+	r.Epoch = Epoch(epoch)
+	return nil
+}
+
+// --- ReceiveACGStreamMeta ----------------------------------------------
+
+// MarshalWire implements rpc.WireMarshaler.
+func (r *ReceiveACGStreamMeta) MarshalWire(dst []byte) []byte {
+	dst = append(dst, wireV1)
+	dst = binary.AppendUvarint(dst, uint64(r.ACG))
+	dst = binary.AppendUvarint(dst, uint64(r.Epoch))
+	var flags byte
+	if r.Follower {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, r.ReplSeq)
+	return dst
+}
+
+// UnmarshalWire implements rpc.WireUnmarshaler.
+func (r *ReceiveACGStreamMeta) UnmarshalWire(data []byte) error {
+	*r = ReceiveACGStreamMeta{}
+	b, err := checkVersion(data)
+	if err != nil {
+		return err
+	}
+	var acg uint64
+	if acg, b, err = getUvarint(b); err != nil {
+		return err
+	}
+	r.ACG = ACGID(acg)
+	var epoch uint64
+	if epoch, b, err = getUvarint(b); err != nil {
+		return err
+	}
+	r.Epoch = Epoch(epoch)
+	if len(b) == 0 {
+		return wireErr("truncated stream meta flags")
+	}
+	r.Follower = b[0]&1 != 0
+	if r.ReplSeq, _, err = getUvarint(b[1:]); err != nil {
+		return err
+	}
+	return nil
+}

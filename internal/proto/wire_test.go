@@ -1,0 +1,192 @@
+package proto
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/query"
+)
+
+// wireMsg is the marshal/unmarshal pair every hot-path message implements
+// (rpc.WireMarshaler + rpc.WireUnmarshaler, restated locally to keep the
+// proto tests free of an rpc import).
+type wireMsg interface {
+	MarshalWire(dst []byte) []byte
+	UnmarshalWire(data []byte) error
+}
+
+// wireFixtures returns one populated value per binary message type. Slices
+// left empty are nil (UnmarshalWire's convention), so DeepEqual round-trips
+// exactly.
+func wireFixtures() map[string]wireMsg {
+	return map[string]wireMsg{
+		"UpdateReq": &UpdateReq{
+			ACG: 42, IndexName: "size", Client: "tenant-7",
+			Entries: []IndexEntry{
+				{File: 1, Value: attr.Int(-9)},
+				{File: 9, Value: attr.Str("x/y z")},
+				{File: 12, Delete: true},
+				{File: 900, KDCoords: []float64{3.5, -0.25, math.MaxFloat64}},
+				{File: 901, Value: attr.Time(time.Unix(1402617600, 12)), KDCoords: []float64{0}},
+				{File: 1 << 60, Value: attr.Float(-2.75)},
+			},
+		},
+		"UpdateReq/empty": &UpdateReq{},
+		"UpdateResp":      &UpdateResp{Cached: -3, Epoch: 77},
+		"SearchReq": &SearchReq{
+			ACGs: []ACGID{1, 5, 1 << 40}, IndexName: "inode",
+			Query: "size>8m & mtime<1week",
+			Preds: []query.Predicate{
+				{Field: "size", Op: query.OpGt, Value: attr.Int(8 << 20)},
+				{Field: "name", Op: query.OpEq, Value: attr.Str("a.log")},
+				{Field: "bad", Op: query.OpLe}, // zero Value survives
+			},
+			NowUnixNano: -1234567, Limit: 128, After: 77, AfterSet: true,
+			Consistency: ConsistencyStrict, Client: "t9",
+		},
+		"SearchReq/empty": &SearchReq{},
+		"SearchResp": &SearchResp{
+			Files:              []index.FileID{3, 4, 9, 1000, 1 << 50},
+			CommitLatencyNanos: 12345, More: true, MaxRetained: -1, Epoch: 8,
+		},
+		"SearchResp/empty":   &SearchResp{},
+		"FollowerAppendReq":  &FollowerAppendReq{ACG: 6, Seq: 19, Epoch: 2, Frames: []byte{0, 1, 2, 0xFF}},
+		"FollowerAppendResp": &FollowerAppendResp{Seq: 20, Epoch: 3},
+		"ReceiveACGStreamMeta": &ReceiveACGStreamMeta{
+			ACG: 11, Epoch: 4, Follower: true, ReplSeq: 999,
+		},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for name, msg := range wireFixtures() {
+		raw := msg.MarshalWire(nil)
+		got := reflect.New(reflect.TypeOf(msg).Elem()).Interface().(wireMsg)
+		if err := got.UnmarshalWire(raw); err != nil {
+			t.Errorf("%s: unmarshal: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%s: round trip mismatch\n got %+v\nwant %+v", name, got, msg)
+		}
+		// Trailing bytes are future appended fields: tolerated, not state.
+		withTail := append(append([]byte{}, raw...), 0xEE, 0xEE)
+		if err := got.UnmarshalWire(withTail); err != nil {
+			t.Errorf("%s: trailing bytes rejected: %v", name, err)
+		}
+	}
+}
+
+// TestWireTruncationNeverPanics feeds every strict prefix of each encoded
+// message to its decoder: errors are expected, panics and hangs are not.
+func TestWireTruncationNeverPanics(t *testing.T) {
+	for name, msg := range wireFixtures() {
+		raw := msg.MarshalWire(nil)
+		for cut := 0; cut < len(raw); cut++ {
+			got := reflect.New(reflect.TypeOf(msg).Elem()).Interface().(wireMsg)
+			_ = got.UnmarshalWire(raw[:cut]) // must simply not panic
+		}
+		if name == "" {
+			t.Fatal("unreachable")
+		}
+	}
+}
+
+// TestWireBitFlipsNeverPanic flips each bit of each encoded message. The
+// decoder may error or may produce a different valid message (frame CRC
+// catches corruption in transit; this guards the parser itself), but it
+// must not panic or over-allocate.
+func TestWireBitFlipsNeverPanic(t *testing.T) {
+	for _, msg := range wireFixtures() {
+		raw := msg.MarshalWire(nil)
+		for i := 0; i < len(raw); i++ {
+			for bit := 0; bit < 8; bit++ {
+				mut := append([]byte{}, raw...)
+				mut[i] ^= 1 << bit
+				got := reflect.New(reflect.TypeOf(msg).Elem()).Interface().(wireMsg)
+				_ = got.UnmarshalWire(mut)
+			}
+		}
+	}
+}
+
+func TestWireRejectsUnknownVersion(t *testing.T) {
+	raw := (&UpdateResp{Cached: 1}).MarshalWire(nil)
+	raw[0] = 0x7F
+	var r UpdateResp
+	if err := r.UnmarshalWire(raw); err == nil {
+		t.Fatal("decoder accepted an unknown message version")
+	}
+	if err := r.UnmarshalWire(nil); err == nil {
+		t.Fatal("decoder accepted an empty message")
+	}
+}
+
+// fuzzTags maps a leading tag byte to a fresh message of each binary type,
+// so one fuzz corpus covers every decoder.
+func fuzzMsgFor(tag byte) wireMsg {
+	switch tag {
+	case 0:
+		return &UpdateReq{}
+	case 1:
+		return &UpdateResp{}
+	case 2:
+		return &SearchReq{}
+	case 3:
+		return &SearchResp{}
+	case 4:
+		return &FollowerAppendReq{}
+	case 5:
+		return &FollowerAppendResp{}
+	case 6:
+		return &ReceiveACGStreamMeta{}
+	default:
+		return nil
+	}
+}
+
+// FuzzWireDecode holds every binary decoder to two properties under
+// arbitrary input: never panic, and when input does decode, the decoded
+// message re-encodes canonically (marshal∘unmarshal is a fixpoint after
+// one round — byte comparison, so NaN floats and other DeepEqual hazards
+// don't matter).
+func FuzzWireDecode(f *testing.F) {
+	tags := map[string]byte{
+		"UpdateReq": 0, "UpdateReq/empty": 0, "UpdateResp": 1,
+		"SearchReq": 2, "SearchReq/empty": 2, "SearchResp": 3,
+		"SearchResp/empty": 3, "FollowerAppendReq": 4,
+		"FollowerAppendResp": 5, "ReceiveACGStreamMeta": 6,
+	}
+	for name, msg := range wireFixtures() {
+		f.Add(append([]byte{tags[name]}, msg.MarshalWire(nil)...))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{2, 1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		msg := fuzzMsgFor(data[0])
+		if msg == nil {
+			return
+		}
+		if err := msg.UnmarshalWire(data[1:]); err != nil {
+			return
+		}
+		first := msg.MarshalWire(nil)
+		again := fuzzMsgFor(data[0])
+		if err := again.UnmarshalWire(first); err != nil {
+			t.Fatalf("canonical bytes failed to decode: %v\nbytes: %x", err, first)
+		}
+		second := again.MarshalWire(nil)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("re-marshal is not canonical\nfirst:  %x\nsecond: %x", first, second)
+		}
+	})
+}

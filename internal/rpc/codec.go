@@ -1,0 +1,232 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Frame kinds. The kind byte is the first byte inside the CRC envelope and
+// versions the frame layout: a reader that meets a kind it does not know
+// ignores the frame (forward compatibility) instead of mis-parsing it.
+const (
+	// kindRequest is a unary request: id, method, timeout, body.
+	kindRequest uint8 = 0x01
+	// kindResponse terminates a request or a stream: id, error, body.
+	kindResponse uint8 = 0x02
+	// kindStreamOpen opens a client→server chunk stream: id, method,
+	// timeout, metadata body.
+	kindStreamOpen uint8 = 0x03
+	// kindChunk carries one bounded payload chunk on an open stream.
+	// flagFinal marks the sender's half-close.
+	kindChunk uint8 = 0x04
+	// kindWindow returns flow-control credit (consumed bytes) to a
+	// stream's sender.
+	kindWindow uint8 = 0x05
+	// kindCancel abandons a stream from the client side.
+	kindCancel uint8 = 0x06
+)
+
+// flagFinal on a kindChunk frame marks the sender's half-close: no more
+// chunks follow and the server handler's Next drains to io.EOF.
+const flagFinal uint8 = 0x01
+
+// errMalformedFrame reports a frame body that passed the CRC but does not
+// parse — a protocol bug or version skew, never random corruption (the
+// checksum catches that first).
+var errMalformedFrame = errors.New("rpc: malformed frame")
+
+// appendFrameBody appends the binary encoding of f (everything inside the
+// CRC envelope) to dst. A zero Kind encodes as kindRequest so existing
+// construction sites — and tests — that build request frames field-by-field
+// keep working.
+func appendFrameBody(dst []byte, f *frame) []byte {
+	k := f.Kind
+	if k == 0 {
+		k = kindRequest
+	}
+	dst = append(dst, k)
+	dst = binary.AppendUvarint(dst, f.ID)
+	switch k {
+	case kindRequest, kindStreamOpen:
+		dst = binary.AppendUvarint(dst, uint64(len(f.Method)))
+		dst = append(dst, f.Method...)
+		dst = binary.AppendUvarint(dst, uint64(f.TimeoutNanos))
+		dst = append(dst, f.Body...)
+	case kindResponse:
+		dst = append(dst, f.ErrCode)
+		dst = binary.AppendUvarint(dst, uint64(len(f.ErrMsg)))
+		dst = append(dst, f.ErrMsg...)
+		dst = append(dst, f.Body...)
+	case kindChunk:
+		dst = append(dst, f.Flags)
+		dst = append(dst, f.Body...)
+	case kindWindow:
+		dst = binary.AppendUvarint(dst, uint64(f.Window))
+	case kindCancel:
+	}
+	return dst
+}
+
+// parseFrameBody decodes a frame body produced by appendFrameBody. The
+// returned frame's Body aliases b, which readFrame allocates per frame, so
+// no reuse hazard exists. An unknown kind byte parses to a frame with only
+// Kind and ID set; dispatch loops skip it.
+func parseFrameBody(b []byte) (*frame, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("rpc decode: empty body: %w", errMalformedFrame)
+	}
+	f := &frame{Kind: b[0]}
+	b = b[1:]
+	var err error
+	if f.ID, b, err = getUvarint(b); err != nil {
+		return nil, err
+	}
+	switch f.Kind {
+	case kindRequest, kindStreamOpen:
+		var m []byte
+		if m, b, err = getPrefixed(b); err != nil {
+			return nil, err
+		}
+		f.Method = string(m)
+		var t uint64
+		if t, b, err = getUvarint(b); err != nil {
+			return nil, err
+		}
+		if t > math.MaxInt64 {
+			return nil, fmt.Errorf("rpc decode: timeout overflow: %w", errMalformedFrame)
+		}
+		f.TimeoutNanos = int64(t)
+		f.Body = b
+	case kindResponse:
+		if len(b) < 1 {
+			return nil, fmt.Errorf("rpc decode: truncated response: %w", errMalformedFrame)
+		}
+		f.ErrCode = b[0]
+		var m []byte
+		if m, b, err = getPrefixed(b[1:]); err != nil {
+			return nil, err
+		}
+		f.ErrMsg = string(m)
+		f.Body = b
+	case kindChunk:
+		if len(b) < 1 {
+			return nil, fmt.Errorf("rpc decode: truncated chunk: %w", errMalformedFrame)
+		}
+		f.Flags = b[0]
+		f.Body = b[1:]
+	case kindWindow:
+		var w uint64
+		if w, _, err = getUvarint(b); err != nil {
+			return nil, err
+		}
+		if w > math.MaxInt32 {
+			return nil, fmt.Errorf("rpc decode: window overflow: %w", errMalformedFrame)
+		}
+		f.Window = uint32(w)
+	case kindCancel:
+	}
+	return f, nil
+}
+
+func getUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("rpc decode: bad varint: %w", errMalformedFrame)
+	}
+	return v, b[n:], nil
+}
+
+func getPrefixed(b []byte) ([]byte, []byte, error) {
+	n, rest, err := getUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("rpc decode: length %d exceeds remainder: %w", n, errMalformedFrame)
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// Body codec tags. Every typed body begins with one codec byte so both
+// encodings coexist on one connection: hot messages that implement the
+// WireMarshaler/WireUnmarshaler pair travel hand-rolled binary, everything
+// else — the cold control plane — stays gob. A decoder that has not learned
+// a message's binary form still reads its gob form, which is what keeps
+// mixed-version conns working while messages migrate codec one at a time.
+const (
+	codecGob    byte = 0x01
+	codecBinary byte = 0x02
+)
+
+// WireMarshaler is implemented by messages with a hand-rolled binary
+// encoding. MarshalWire appends the encoding to dst and returns the
+// extended slice.
+type WireMarshaler interface {
+	MarshalWire(dst []byte) []byte
+}
+
+// WireUnmarshaler is the decode side of WireMarshaler. UnmarshalWire must
+// tolerate arbitrary (fuzzer-shaped) input without panicking.
+type WireUnmarshaler interface {
+	UnmarshalWire(data []byte) error
+}
+
+// Pools for the gob cold path. Only the byte carriers are pooled: a
+// gob.Encoder/Decoder pair is deliberately rebuilt per message because gob
+// streams are stateful — an encoder sends each type's descriptor once per
+// *stream*, so an encoder reused across independent frames would omit
+// descriptors the remote frame-scoped decoder has never seen. Pooling the
+// buffer and reader still removes the dominant per-call garbage (the grown
+// backing arrays); the encoder structs themselves are small.
+var (
+	gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	gobRdrPool = sync.Pool{New: func() any { return bytes.NewReader(nil) }}
+)
+
+// encodeBody serializes v (a pointer) into a codec-tagged body.
+func encodeBody(v any) ([]byte, error) {
+	if m, ok := v.(WireMarshaler); ok {
+		return m.MarshalWire([]byte{codecBinary}), nil
+	}
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteByte(codecGob)
+	err := gob.NewEncoder(buf).Encode(v)
+	if err != nil {
+		gobBufPool.Put(buf)
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	gobBufPool.Put(buf)
+	return out, nil
+}
+
+// decodeBody deserializes a codec-tagged body into v (a pointer).
+func decodeBody(data []byte, v any) error {
+	if len(data) == 0 {
+		return fmt.Errorf("rpc: empty typed body: %w", errMalformedFrame)
+	}
+	switch data[0] {
+	case codecBinary:
+		u, ok := v.(WireUnmarshaler)
+		if !ok {
+			return fmt.Errorf("rpc: binary-coded body for %T, which has no UnmarshalWire", v)
+		}
+		return u.UnmarshalWire(data[1:])
+	case codecGob:
+		r := gobRdrPool.Get().(*bytes.Reader)
+		r.Reset(data[1:])
+		err := gob.NewDecoder(r).Decode(v)
+		r.Reset(nil)
+		gobRdrPool.Put(r)
+		return err
+	default:
+		return fmt.Errorf("rpc: unknown body codec 0x%02x: %w", data[0], errMalformedFrame)
+	}
+}

@@ -1,16 +1,15 @@
 package rpc
 
 import (
-	"bytes"
 	"context"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"propeller/internal/perr"
@@ -26,20 +25,46 @@ var (
 	ErrFrameCorrupt  = errors.New("rpc: frame checksum mismatch")
 )
 
-// maxFrame bounds a single message (64 MiB).
-const maxFrame = 64 << 20
+// maxFrame bounds a single message (16 MiB). Large transfers — ACG
+// migration images — travel as bounded chunk streams, so this ceiling
+// shrank from 64 MiB when streaming landed rather than growing with group
+// size.
+const maxFrame = 16 << 20
+
+// Stream flow-control geometry. A sender may have at most streamWindow
+// un-acknowledged bytes in flight per stream, in chunks of at most
+// maxChunk, so (a) receiver buffering per stream is bounded by the window
+// regardless of the transfer's total size and (b) no single frame holds the
+// connection's write lock long enough to head-of-line-block another
+// stream's frames.
+const (
+	maxChunk     = 256 << 10
+	streamWindow = 1 << 20
+)
+
+// StreamWindow exports the per-stream flow-control window so callers can
+// assert receiver-side memory bounds (StreamBufferedPeak ≤ StreamWindow)
+// in tests and benchmarks.
+const StreamWindow = streamWindow
 
 // frameHeader is the wire prefix of every frame: 4-byte big-endian body
 // length + 4-byte CRC32 of the body. The checksum is what makes a
 // corrupted frame tear the connection instead of half-applying: without
-// it a flipped byte can still gob-decode into a *different valid*
-// request, and the server would ack work the caller never sent.
+// it a flipped byte can still decode into a *different valid* request,
+// and the server would ack work the caller never sent.
 const frameHeader = 8
 
+// frame is one wire message. Inside the CRC envelope the body is the
+// hand-rolled binary layout of appendFrameBody — a kind byte, a uvarint
+// stream/request id, then kind-specific fields — not gob: frame overhead is
+// paid on every message, so it is the first thing the binary codec
+// replaced.
 type frame struct {
+	// Kind selects the layout (kindRequest, kindResponse, kindStreamOpen,
+	// kindChunk, kindWindow, kindCancel). Zero encodes as kindRequest.
+	Kind   uint8
 	ID     uint64
 	Method string
-	IsResp bool
 	ErrMsg string
 	// ErrCode is the perr taxonomy code of ErrMsg, so errors.Is keeps
 	// working across the wire.
@@ -52,23 +77,40 @@ type frame struct {
 	// ignores the request's own transit time, erring longer, and the
 	// caller still enforces its exact deadline locally).
 	TimeoutNanos int64
-	Body         []byte
+	// Flags carries kindChunk flags (flagFinal).
+	Flags uint8
+	// Window is the credit grant of a kindWindow frame, in bytes.
+	Window uint32
+	Body   []byte
 }
+
+// frameBufPool recycles the scratch buffers writeFrame composes frames in.
+// Buffers that ballooned past pooledBufMax (a legacy oversized frame) are
+// dropped rather than pinned in the pool forever.
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4<<10)
+	return &b
+}}
+
+const pooledBufMax = 1 << 20
 
 func writeFrame(w io.Writer, f *frame) error {
 	// The header and body go out in one Write so a frame is atomic at the
 	// conn boundary: fault-injecting wrappers (chaosnet) see whole frames
 	// and a partial header can never interleave with another writer's view.
-	var buf bytes.Buffer
-	buf.Write(make([]byte, frameHeader))
-	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
-		return fmt.Errorf("rpc encode: %w", err)
-	}
-	n := buf.Len() - frameHeader
+	bp := frameBufPool.Get().(*[]byte)
+	out := append((*bp)[:0], make([]byte, frameHeader)...)
+	out = appendFrameBody(out, f)
+	defer func() {
+		if cap(out) <= pooledBufMax {
+			*bp = out[:0]
+		}
+		frameBufPool.Put(bp)
+	}()
+	n := len(out) - frameHeader
 	if n > maxFrame {
 		return ErrFrameTooLarge
 	}
-	out := buf.Bytes()
 	binary.BigEndian.PutUint32(out[:4], uint32(n))
 	binary.BigEndian.PutUint32(out[4:frameHeader], crc32.ChecksumIEEE(out[frameHeader:]))
 	_, err := w.Write(out)
@@ -91,11 +133,7 @@ func readFrame(r io.Reader) (*frame, error) {
 	if got := crc32.ChecksumIEEE(body); got != binary.BigEndian.Uint32(hdr[4:frameHeader]) {
 		return nil, ErrFrameCorrupt
 	}
-	var f frame
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
-		return nil, fmt.Errorf("rpc decode: %w", err)
-	}
-	return &f, nil
+	return parseFrameBody(body)
 }
 
 // NetProfile models the cluster interconnect (the paper uses a NetGear
@@ -120,8 +158,8 @@ func (p NetProfile) cost(n int) time.Duration {
 	return d
 }
 
-// Handler serves one method: raw gob body in, raw gob body out. The context
-// carries the calling side's deadline (when one was set).
+// Handler serves one method: codec-tagged body in, codec-tagged body out.
+// The context carries the calling side's deadline (when one was set).
 type Handler func(ctx context.Context, body []byte) ([]byte, error)
 
 // Server dispatches incoming frames to registered handlers.
@@ -131,12 +169,19 @@ type Server struct {
 	// NewServer.
 	sem chan struct{}
 
-	mu       sync.Mutex
-	handlers map[string]Handler
-	lns      []net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	wg       sync.WaitGroup
+	// streamPeak is the high-water mark of bytes buffered by any single
+	// inbound stream, across the server's lifetime. Benchmarks and tests
+	// read it to prove a migration's receiver memory stays bounded by the
+	// flow-control window, never the transfer size.
+	streamPeak atomic.Int64
+
+	mu             sync.Mutex
+	handlers       map[string]Handler
+	streamHandlers map[string]StreamHandler
+	lns            []net.Listener
+	conns          map[net.Conn]struct{}
+	closed         bool
+	wg             sync.WaitGroup
 }
 
 // ServerOption configures a Server.
@@ -148,8 +193,10 @@ type ServerOption func(*Server)
 // spawning a handler — the transport-level backstop under application
 // admission control (which sheds with context about queues and tenants;
 // this guard only stops a flood of frames from exhausting goroutines and
-// memory before the application ever sees them). n <= 0 leaves the server
-// unbounded (the default).
+// memory before the application ever sees them). Stream opens count
+// against the same limit; a stream's chunks do not (the flow-control
+// window already bounds them). n <= 0 leaves the server unbounded (the
+// default).
 func WithMaxConcurrent(n int) ServerOption {
 	return func(s *Server) {
 		if n > 0 {
@@ -161,8 +208,9 @@ func WithMaxConcurrent(n int) ServerOption {
 // NewServer returns an empty server.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
-		handlers: make(map[string]Handler),
-		conns:    make(map[net.Conn]struct{}),
+		handlers:       make(map[string]Handler),
+		streamHandlers: make(map[string]StreamHandler),
+		conns:          make(map[net.Conn]struct{}),
 	}
 	for _, o := range opts {
 		o(s)
@@ -177,22 +225,39 @@ func (s *Server) Handle(method string, h Handler) {
 	s.handlers[method] = h
 }
 
-// HandleTyped registers a handler with typed request/response, gob-encoded.
+// StreamBufferedPeak reports the most bytes any single inbound stream has
+// had buffered at once — the receiver-side memory ceiling of chunked
+// transfers.
+func (s *Server) StreamBufferedPeak() int64 {
+	return s.streamPeak.Load()
+}
+
+func (s *Server) noteStreamBuffered(n int64) {
+	for {
+		cur := s.streamPeak.Load()
+		if n <= cur || s.streamPeak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// HandleTyped registers a handler with typed request/response. Messages
+// implementing the wire codec travel hand-rolled binary; the rest gob.
 func HandleTyped[Req, Resp any](s *Server, method string, fn func(context.Context, Req) (Resp, error)) {
 	s.Handle(method, func(ctx context.Context, body []byte) ([]byte, error) {
 		var req Req
-		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+		if err := decodeBody(body, &req); err != nil {
 			return nil, fmt.Errorf("rpc %s: decode request: %w", method, err)
 		}
 		resp, err := fn(ctx, req)
 		if err != nil {
 			return nil, err
 		}
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(&resp); err != nil {
+		out, err := encodeBody(&resp)
+		if err != nil {
 			return nil, fmt.Errorf("rpc %s: encode response: %w", method, err)
 		}
-		return buf.Bytes(), nil
+		return out, nil
 	})
 }
 
@@ -245,61 +310,192 @@ func (s *Server) trackConn(conn net.Conn) {
 	}()
 }
 
+// serverConn is the per-connection state the reader loop shares with
+// handler goroutines: the write lock serializing response, window and shed
+// frames, and the registry of open inbound streams chunks are routed to.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	streams map[uint64]*ServerStream
+}
+
+func (sc *serverConn) write(f *frame) error {
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	return writeFrame(sc.conn, f)
+}
+
+func (sc *serverConn) getStream(id uint64) *ServerStream {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.streams[id]
+}
+
+func (sc *serverConn) addStream(st *ServerStream) {
+	sc.mu.Lock()
+	sc.streams[st.id] = st
+	sc.mu.Unlock()
+}
+
+func (sc *serverConn) removeStream(id uint64) {
+	sc.mu.Lock()
+	delete(sc.streams, id)
+	sc.mu.Unlock()
+}
+
+// failAll tears every open stream down when the connection dies, waking
+// handlers blocked in Next so the reqWG join in connLoop cannot deadlock.
+func (sc *serverConn) failAll(err error) {
+	sc.mu.Lock()
+	sts := make([]*ServerStream, 0, len(sc.streams))
+	for _, st := range sc.streams {
+		sts = append(sts, st)
+	}
+	sc.streams = make(map[uint64]*ServerStream)
+	sc.mu.Unlock()
+	for _, st := range sts {
+		st.fail(err)
+		st.cancel()
+	}
+}
+
+// shed answers a frame with the typed overload error without spawning a
+// handler. The typed code crosses the wire, so clients treat it exactly
+// like an application shed: retry after backoff, never a placement fault.
+func (sc *serverConn) shed(id uint64) {
+	shedErr := fmt.Errorf("rpc: server at concurrency limit %d: %w",
+		cap(sc.srv.sem), perr.ErrOverloaded)
+	_ = sc.write(&frame{Kind: kindResponse, ID: id,
+		ErrMsg: shedErr.Error(), ErrCode: perr.CodeOf(shedErr)})
+}
+
 func (s *Server) connLoop(conn net.Conn) {
-	var writeMu sync.Mutex
+	sc := &serverConn{srv: s, conn: conn, streams: make(map[uint64]*ServerStream)}
 	var reqWG sync.WaitGroup
-	defer reqWG.Wait()
+	defer func() {
+		sc.failAll(io.ErrUnexpectedEOF)
+		reqWG.Wait()
+	}()
 	for {
 		f, err := readFrame(conn)
 		if err != nil {
 			return
 		}
-		s.mu.Lock()
-		h, ok := s.handlers[f.Method]
-		s.mu.Unlock()
-		if s.sem != nil {
-			select {
-			case s.sem <- struct{}{}:
-			default:
-				// Concurrency limit exhausted: shed on the reader goroutine
-				// without spawning a handler. The typed code crosses the
-				// wire, so clients treat it exactly like an application
-				// shed: retry after backoff, never a placement fault.
-				shedErr := fmt.Errorf("rpc: server at concurrency limit %d: %w",
-					cap(s.sem), perr.ErrOverloaded)
-				resp := &frame{ID: f.ID, Method: f.Method, IsResp: true,
-					ErrMsg: shedErr.Error(), ErrCode: perr.CodeOf(shedErr)}
-				writeMu.Lock()
-				_ = writeFrame(conn, resp)
-				writeMu.Unlock()
+		switch f.Kind {
+		case kindRequest:
+			s.mu.Lock()
+			h, ok := s.handlers[f.Method]
+			s.mu.Unlock()
+			if s.sem != nil {
+				select {
+				case s.sem <- struct{}{}:
+				default:
+					// Concurrency limit exhausted: shed on the reader
+					// goroutine without spawning a handler.
+					sc.shed(f.ID)
+					continue
+				}
+			}
+			reqWG.Add(1)
+			go func(f *frame) {
+				defer reqWG.Done()
+				if s.sem != nil {
+					defer func() { <-s.sem }()
+				}
+				ctx := context.Background()
+				if f.TimeoutNanos > 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(f.TimeoutNanos))
+					defer cancel()
+				}
+				resp := &frame{Kind: kindResponse, ID: f.ID}
+				if !ok {
+					resp.ErrMsg = ErrNoSuchMethod.Error() + ": " + f.Method
+				} else if body, err := h(ctx, f.Body); err != nil {
+					resp.ErrMsg = err.Error()
+					resp.ErrCode = perr.CodeOf(err)
+				} else {
+					resp.Body = body
+				}
+				_ = sc.write(resp)
+			}(f)
+		case kindStreamOpen:
+			s.mu.Lock()
+			h, ok := s.streamHandlers[f.Method]
+			s.mu.Unlock()
+			if s.sem != nil {
+				select {
+				case s.sem <- struct{}{}:
+				default:
+					sc.shed(f.ID)
+					continue
+				}
+			}
+			if !ok {
+				// No stream registered and no stream created: chunks that
+				// may already be in flight drop as unknown-stream frames.
+				if s.sem != nil {
+					<-s.sem
+				}
+				_ = sc.write(&frame{Kind: kindResponse, ID: f.ID,
+					ErrMsg: ErrNoSuchMethod.Error() + ": " + f.Method})
 				continue
 			}
-		}
-		reqWG.Add(1)
-		go func(f *frame) {
-			defer reqWG.Done()
-			if s.sem != nil {
-				defer func() { <-s.sem }()
-			}
-			ctx := context.Background()
+			// The stream and its context are created on the reader
+			// goroutine, before any later frame for this id can arrive, so
+			// a fast kindCancel can never race an unregistered stream.
+			ctx, cancel := context.WithCancel(context.Background())
 			if f.TimeoutNanos > 0 {
-				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(ctx, time.Duration(f.TimeoutNanos))
-				defer cancel()
+				ctx, cancel = context.WithTimeout(context.Background(), time.Duration(f.TimeoutNanos))
 			}
-			resp := &frame{ID: f.ID, Method: f.Method, IsResp: true}
-			if !ok {
-				resp.ErrMsg = ErrNoSuchMethod.Error() + ": " + f.Method
-			} else if body, err := h(ctx, f.Body); err != nil {
-				resp.ErrMsg = err.Error()
-				resp.ErrCode = perr.CodeOf(err)
-			} else {
-				resp.Body = body
+			st := newServerStream(sc, f.ID, f.Body, ctx, cancel)
+			sc.addStream(st)
+			reqWG.Add(1)
+			go func(f *frame, st *ServerStream) {
+				defer reqWG.Done()
+				if s.sem != nil {
+					defer func() { <-s.sem }()
+				}
+				defer st.cancel()
+				resp := &frame{Kind: kindResponse, ID: f.ID}
+				if body, err := h(st.ctx, st.meta, st); err != nil {
+					resp.ErrMsg = err.Error()
+					resp.ErrCode = perr.CodeOf(err)
+				} else {
+					resp.Body = body
+				}
+				// Unregister before responding: once the client sees the
+				// response it may reuse nothing, and any late chunks are
+				// dropped as unknown-stream frames.
+				sc.removeStream(f.ID)
+				st.discard()
+				_ = sc.write(resp)
+			}(f, st)
+		case kindChunk:
+			st := sc.getStream(f.ID)
+			if st == nil {
+				continue // stream finished or cancelled; late chunk
 			}
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			_ = writeFrame(conn, resp)
-		}(f)
+			if !st.push(f.Body, f.Flags&flagFinal != 0) {
+				// The peer overran its flow-control window: protocol
+				// violation, tear the connection (the defer fails all
+				// streams and joins handlers).
+				return
+			}
+		case kindCancel:
+			if st := sc.getStream(f.ID); st != nil {
+				sc.removeStream(f.ID)
+				st.fail(ErrStreamCanceled)
+				st.cancel()
+			}
+		default:
+			// Unknown frame kind: a newer peer speaking a frame type this
+			// build predates. Skipping it keeps the conn alive.
+		}
 	}
 }
 
@@ -328,8 +524,9 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Client is a multiplexing RPC client over one connection. Safe for
-// concurrent Call use.
+// Client is a multiplexing RPC client over one connection: concurrent
+// calls and chunk streams interleave frame-by-frame, each routed by id in
+// the reader loop. Safe for concurrent use.
 type Client struct {
 	conn    net.Conn
 	clock   *vclock.Clock // optional virtual network cost
@@ -339,6 +536,7 @@ type Client struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan *frame
+	streams map[uint64]*ClientStream
 	closed  bool
 	readErr error
 	done    chan struct{}
@@ -371,6 +569,7 @@ func NewClient(conn net.Conn, opts ...ClientOption) *Client {
 	c := &Client{
 		conn:    conn,
 		pending: make(map[uint64]chan *frame),
+		streams: make(map[uint64]*ClientStream),
 		done:    make(chan struct{}),
 	}
 	for _, o := range opts {
@@ -409,22 +608,47 @@ func (c *Client) readLoop() {
 				close(ch)
 				delete(c.pending, id)
 			}
+			sts := make([]*ClientStream, 0, len(c.streams))
+			for id, s := range c.streams {
+				sts = append(sts, s)
+				delete(c.streams, id)
+			}
 			c.closed = true
 			c.mu.Unlock()
+			for _, s := range sts {
+				s.fail(fmt.Errorf("connection lost: %w", ErrClientClosed))
+			}
 			// Release the descriptor now: callers that observe Closed()
 			// evict and redial, and nothing else would close this conn
 			// (Close()'s already-closed branch returns early).
 			_ = c.conn.Close()
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[f.ID]
-		if ok {
-			delete(c.pending, f.ID)
-		}
-		c.mu.Unlock()
-		if ok {
-			ch <- f
+		switch f.Kind {
+		case kindResponse:
+			c.mu.Lock()
+			if ch, ok := c.pending[f.ID]; ok {
+				delete(c.pending, f.ID)
+				c.mu.Unlock()
+				ch <- f
+				continue
+			}
+			s := c.streams[f.ID]
+			delete(c.streams, f.ID)
+			c.mu.Unlock()
+			if s != nil {
+				s.finish(f)
+			}
+		case kindWindow:
+			c.mu.Lock()
+			s := c.streams[f.ID]
+			c.mu.Unlock()
+			if s != nil {
+				s.grant(int(f.Window))
+			}
+		default:
+			// Clients receive only responses and window grants today;
+			// anything else is a newer peer's frame type. Skip it.
 		}
 	}
 }
@@ -479,7 +703,7 @@ func (c *Client) call(ctx context.Context, method string, body []byte) ([]byte, 
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	req := &frame{ID: id, Method: method, Body: body}
+	req := &frame{Kind: kindRequest, ID: id, Method: method, Body: body}
 	if dl, ok := ctx.Deadline(); ok {
 		if remaining := time.Until(dl); remaining > 0 {
 			req.TimeoutNanos = int64(remaining)
@@ -520,20 +744,22 @@ func (c *Client) call(ctx context.Context, method string, body []byte) ([]byte, 
 	return resp.Body, nil
 }
 
-// Call performs a typed request/response exchange: req is gob-encoded, the
-// response is decoded into resp (a non-nil pointer). The context's deadline
-// travels with the request and its cancellation abandons the call.
+// Call performs a typed request/response exchange: messages implementing
+// the wire codec (MarshalWire/UnmarshalWire) travel hand-rolled binary,
+// anything else gob — the codec byte in the body keeps both decodable on
+// the same connection. The context's deadline travels with the request and
+// its cancellation abandons the call.
 func Call[Req, Resp any](ctx context.Context, c *Client, method string, req Req) (Resp, error) {
 	var resp Resp
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+	body, err := encodeBody(&req)
+	if err != nil {
 		return resp, fmt.Errorf("rpc %s: encode request: %w", method, err)
 	}
-	body, err := c.call(ctx, method, buf.Bytes())
+	out, err := c.call(ctx, method, body)
 	if err != nil {
 		return resp, err
 	}
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&resp); err != nil {
+	if err := decodeBody(out, &resp); err != nil {
 		return resp, fmt.Errorf("rpc %s: decode response: %w", method, err)
 	}
 	return resp, nil

@@ -1,0 +1,267 @@
+// Package wirebench builds the fixtures behind the wire-transport
+// benchmarks, shared by the root bench suite and tools/benchjson (which
+// emits BENCH_wire.json in CI). It mirrors internal/updatebench for the
+// commit path: keeping the payloads in one place makes the committed
+// JSON baseline and any ad-hoc measurement the same experiment.
+//
+// Two questions are measured. First, the codec question: for the hot
+// RPC frames (Update and Search), how do the hand-rolled binary
+// encoders compare against gob as the rpc layer actually uses gob — a
+// fresh encoder per message, so every frame re-pays type descriptors?
+// Second, the transfer question: when a multi-megabyte ACG image is
+// migrated as a chunked stream, how much does the receiving server ever
+// buffer relative to the flow-control window? The first is a throughput
+// claim (bytes/op and ns/op ratios); the second is a memory-ceiling
+// claim (peak ≤ window regardless of image size).
+package wirebench
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"strings"
+
+	"propeller/internal/attr"
+	"propeller/internal/index"
+	"propeller/internal/indexnode"
+	"propeller/internal/master"
+	"propeller/internal/pagestore"
+	"propeller/internal/proto"
+	"propeller/internal/query"
+	"propeller/internal/rpc"
+	"propeller/internal/sharedstore"
+	"propeller/internal/simdisk"
+	"propeller/internal/vclock"
+)
+
+// Standard fixture sizes. The codec payloads are one commit window of
+// acknowledged updates and one page-sized result set — the frame shapes
+// the data path sends constantly, not toy single-entry messages.
+const (
+	// UpdateEntries is the entry count in the benchmarked UpdateReq: a
+	// full client batch with mixed values, deletes and K-D coordinates.
+	UpdateEntries = 256
+	// SearchFiles is the result count in the benchmarked SearchResp.
+	SearchFiles = 1024
+	// MigrationBatch/MigrationBatches size the migrated group: ~128
+	// bytes of value per entry, so the image is several times the
+	// 1 MiB flow-control window.
+	MigrationBatch   = 256
+	MigrationBatches = 120
+)
+
+// Message is the marshal/unmarshal pair every hot-path frame implements
+// (rpc.WireMarshaler + rpc.WireUnmarshaler, restated so callers don't
+// need the rpc interfaces to drive a codec measurement).
+type Message interface {
+	MarshalWire(dst []byte) []byte
+	UnmarshalWire(data []byte) error
+}
+
+// Scenario is one benchmarked message shape: a populated fixture plus a
+// constructor for fresh decode targets.
+type Scenario struct {
+	Name string
+	Msg  Message
+	New  func() Message
+}
+
+// Scenarios returns the codec scenarios in a fixed order: the Update
+// request (write path), the Search request (read path, parsed
+// predicates included) and the Search response (result page).
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "update_req", Msg: updateFixture(), New: func() Message { return &proto.UpdateReq{} }},
+		{Name: "search_req", Msg: searchReqFixture(), New: func() Message { return &proto.SearchReq{} }},
+		{Name: "search_resp", Msg: searchRespFixture(), New: func() Message { return &proto.SearchResp{} }},
+	}
+}
+
+// updateFixture is one commit window: UpdateEntries entries with string
+// and integer values, a sprinkling of deletes and K-D points — the
+// mixture the binary entry codec has flag bits for.
+func updateFixture() Message {
+	req := &proto.UpdateReq{ACG: 7, IndexName: "size", Client: "tenant-3"}
+	req.Entries = make([]proto.IndexEntry, UpdateEntries)
+	for i := range req.Entries {
+		e := proto.IndexEntry{File: index.FileID(100_000 + i*17)}
+		switch {
+		case i%16 == 15:
+			e.Delete = true
+		case i%8 == 7:
+			e.KDCoords = []float64{float64(i) * 1.5, float64(-i) * 0.25}
+		case i%2 == 0:
+			e.Value = attr.Int(int64(i) << 20)
+		default:
+			e.Value = attr.Str(fmt.Sprintf("path/to/file-%04d.log", i))
+		}
+		req.Entries[i] = e
+	}
+	return req
+}
+
+// searchReqFixture is a strict-consistency multi-predicate query fanned
+// over several groups — the widest SearchReq the planner emits.
+func searchReqFixture() Message {
+	return &proto.SearchReq{
+		ACGs:      []proto.ACGID{3, 19, 127, 4096},
+		IndexName: "size",
+		Query:     "size>8m & mtime<1week & name=build.log",
+		Preds: []query.Predicate{
+			{Field: "size", Op: query.OpGt, Value: attr.Int(8 << 20)},
+			{Field: "mtime", Op: query.OpLt, Value: attr.Int(604_800)},
+			{Field: "name", Op: query.OpEq, Value: attr.Str("build.log")},
+		},
+		NowUnixNano: 1_402_617_600_000_000_000,
+		Limit:       SearchFiles, After: 99, AfterSet: true,
+		Consistency: proto.ConsistencyStrict, Client: "tenant-3",
+	}
+}
+
+// searchRespFixture is a full result page: SearchFiles ascending file
+// IDs (the shape delta coding in future versions would exploit; today
+// they are plain uvarints).
+func searchRespFixture() Message {
+	resp := &proto.SearchResp{CommitLatencyNanos: 1_234_567, More: true, MaxRetained: SearchFiles, Epoch: 12}
+	resp.Files = make([]index.FileID, SearchFiles)
+	for i := range resp.Files {
+		resp.Files[i] = index.FileID(1000 + i*3)
+	}
+	return resp
+}
+
+// EncodeGob encodes msg the way the rpc layer's gob path does: a fresh
+// encoder per message. Gob streams are stateful, so per-frame encoders
+// re-send type descriptors on every message — overhead the binary codec
+// exists to remove; benchmarking a long-lived shared encoder would
+// measure a configuration the transport never runs.
+func EncodeGob(buf *bytes.Buffer, msg Message) error {
+	buf.Reset()
+	return gob.NewEncoder(buf).Encode(msg)
+}
+
+// DecodeGob decodes one gob message with a fresh decoder, mirroring
+// EncodeGob.
+func DecodeGob(raw []byte, out Message) error {
+	return gob.NewDecoder(bytes.NewReader(raw)).Decode(out)
+}
+
+// MigrationResult reports the chunk-streamed transfer measurement.
+type MigrationResult struct {
+	// ImageBytes is the full serialized group image (read back from the
+	// shared-store checkpoint the transfer writes), the amount a
+	// whole-image receiver would have buffered.
+	ImageBytes int64 `json:"image_bytes"`
+	// ReceiverPeakBytes is the receiving rpc server's peak buffered
+	// stream payload during the migration.
+	ReceiverPeakBytes int64 `json:"receiver_peak_bytes"`
+	// WindowBytes is the per-stream flow-control window — the ceiling
+	// ReceiverPeakBytes is gated against.
+	WindowBytes int64 `json:"window_bytes"`
+	// FilesMoved is the post-migration search count on the destination,
+	// proving the bounded-memory path installed the whole group.
+	FilesMoved int `json:"files_moved"`
+}
+
+// RunMigration migrates one multi-megabyte ACG between two live index
+// nodes over in-process pipes and reports the receiver's peak stream
+// buffering against the flow-control window. The rig is the same shape
+// the transfer tests use: one master, two nodes, one shared store, one
+// virtual clock.
+func RunMigration() (MigrationResult, error) {
+	ctx := context.Background()
+	clk := vclock.New()
+	shared := sharedstore.New()
+	m := master.New(master.Config{Clock: clk})
+	masterSrv := rpc.NewServer()
+	m.RegisterRPC(masterSrv)
+
+	servers := map[string]*rpc.Server{"pipe:master": masterSrv}
+	dial := func(_ context.Context, addr string) (*rpc.Client, error) {
+		srv, ok := servers[addr]
+		if !ok {
+			return nil, errors.New("unknown addr " + addr)
+		}
+		cc, sc := rpc.Pipe()
+		srv.ServeConn(sc)
+		return rpc.NewClient(cc), nil
+	}
+
+	mkNode := func(id proto.NodeID) (*indexnode.Node, error) {
+		disk := simdisk.New(simdisk.Barracuda7200(), clk)
+		store, err := pagestore.New(disk, 4096)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := dial(ctx, "pipe:master")
+		if err != nil {
+			return nil, err
+		}
+		n, err := indexnode.New(indexnode.Config{
+			ID: id, Store: store, Disk: disk, Clock: clk,
+			CacheLimit: 1 << 20, Master: mc, Dial: dial, Shared: shared,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv := rpc.NewServer()
+		n.RegisterRPC(srv)
+		servers["pipe:"+string(id)] = srv
+		if _, err := m.RegisterNode(ctx, proto.RegisterNodeReq{
+			Node: id, Addr: "pipe:" + string(id), CapacityFiles: 1 << 30,
+		}); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+
+	a, err := mkNode("wire-a")
+	if err != nil {
+		return MigrationResult{}, err
+	}
+	b, err := mkNode("wire-b")
+	if err != nil {
+		return MigrationResult{}, err
+	}
+
+	a.DeclareIndex(proto.IndexSpec{Name: "tag", Type: proto.IndexBTree, Field: "tag"})
+	b.DeclareIndex(proto.IndexSpec{Name: "tag", Type: proto.IndexBTree, Field: "tag"})
+	pad := strings.Repeat("v", 120)
+	for batch := 0; batch < MigrationBatches; batch++ {
+		entries := make([]proto.IndexEntry, MigrationBatch)
+		for i := range entries {
+			f := index.FileID(batch*MigrationBatch + i)
+			entries[i] = proto.IndexEntry{File: f, Value: attr.Str(pad + string(rune('a'+batch%26)))}
+		}
+		if _, err := a.Update(ctx, proto.UpdateReq{ACG: 1, IndexName: "tag", Entries: entries}); err != nil {
+			return MigrationResult{}, err
+		}
+	}
+	if err := a.Heartbeat(ctx); err != nil {
+		return MigrationResult{}, err
+	}
+
+	if err := a.TransferACG(ctx, proto.MigrateOrder{ACG: 1, Dest: "wire-b", Addr: "pipe:wire-b"}); err != nil {
+		return MigrationResult{}, err
+	}
+
+	// The transfer checkpoints the image to the shared store before
+	// shipping, so the checkpoint length is the exact serialized size a
+	// single-frame receiver would have held in memory at once.
+	checkpoint, _, ok := shared.Load(1)
+	if !ok {
+		return MigrationResult{}, errors.New("migration left no shared-store checkpoint to size the image")
+	}
+	resp, err := b.Search(ctx, proto.SearchReq{ACGs: []proto.ACGID{1}, IndexName: "tag", Query: `tag>=""`})
+	if err != nil {
+		return MigrationResult{}, err
+	}
+	return MigrationResult{
+		ImageBytes:        int64(len(checkpoint)),
+		ReceiverPeakBytes: servers["pipe:wire-b"].StreamBufferedPeak(),
+		WindowBytes:       rpc.StreamWindow,
+		FilesMoved:        len(resp.Files),
+	}, nil
+}

@@ -1,0 +1,63 @@
+package wirebench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"propeller/internal/rpc"
+)
+
+// TestScenarioCodecsAgree round-trips every scenario through both codecs
+// and checks the binary encoding is strictly smaller — the fixture-level
+// form of the ratio gate benchjson enforces on the committed baseline.
+func TestScenarioCodecsAgree(t *testing.T) {
+	for _, s := range Scenarios() {
+		raw := s.Msg.MarshalWire(nil)
+		got := s.New()
+		if err := got.UnmarshalWire(raw); err != nil {
+			t.Fatalf("%s: binary round trip: %v", s.Name, err)
+		}
+		if !reflect.DeepEqual(got, s.Msg) {
+			t.Errorf("%s: binary round trip mismatch", s.Name)
+		}
+
+		var buf bytes.Buffer
+		if err := EncodeGob(&buf, s.Msg); err != nil {
+			t.Fatalf("%s: gob encode: %v", s.Name, err)
+		}
+		gotGob := s.New()
+		if err := DecodeGob(buf.Bytes(), gotGob); err != nil {
+			t.Fatalf("%s: gob decode: %v", s.Name, err)
+		}
+		if !reflect.DeepEqual(gotGob, s.Msg) {
+			t.Errorf("%s: gob round trip mismatch", s.Name)
+		}
+		if len(raw) >= buf.Len() {
+			t.Errorf("%s: binary %d bytes is not smaller than gob %d bytes", s.Name, len(raw), buf.Len())
+		}
+	}
+}
+
+// TestRunMigration runs the streamed-transfer measurement once and holds
+// it to the same invariants -wire-check gates: the image dwarfs the
+// window, the receiver never buffered more than the window, and every
+// file arrived.
+func TestRunMigration(t *testing.T) {
+	r, err := RunMigration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WindowBytes != rpc.StreamWindow {
+		t.Fatalf("window = %d, want %d", r.WindowBytes, rpc.StreamWindow)
+	}
+	if r.ImageBytes < 3*r.WindowBytes {
+		t.Fatalf("image = %d bytes, want >= 3x window %d to make the ceiling meaningful", r.ImageBytes, r.WindowBytes)
+	}
+	if r.ReceiverPeakBytes == 0 || r.ReceiverPeakBytes > r.WindowBytes {
+		t.Fatalf("receiver peak = %d bytes, want in (0, %d]", r.ReceiverPeakBytes, r.WindowBytes)
+	}
+	if want := MigrationBatch * MigrationBatches; r.FilesMoved != want {
+		t.Fatalf("files moved = %d, want %d", r.FilesMoved, want)
+	}
+}

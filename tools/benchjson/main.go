@@ -42,12 +42,27 @@
 // floor for machine noise) — invariants of the run itself, not wall-clock
 // baselines, so they hold on any runner.
 //
+// The fifth suite (internal/wirebench → BENCH_wire.json) measures the
+// wire transport: encode+decode ns/op and encoded bytes per message for
+// the hot Update/Search frames under both codecs (gob as the rpc layer
+// uses it — fresh encoder per message — versus the hand-rolled binary
+// format), plus one real chunk-streamed ACG migration reporting the
+// receiving server's peak stream buffering against the flow-control
+// window. With -wire-check it enforces the transport gates: for every
+// measured frame the binary codec must allocate at least 2x fewer
+// bytes/op and run at least 2x faster (encode+decode combined) than
+// gob, and never be larger on the wire; the migration receiver's peak
+// must stay within the window while the image itself is several windows
+// large. All ratios come from the same run, so the gates hold on any
+// runner.
+//
 // Usage:
 //
 //	go run ./tools/benchjson [-out BENCH_search.json] [-check]
 //	    [-update-out BENCH_update.json] [-update-check]
 //	    [-cluster-out BENCH_cluster.json] [-cluster-check]
 //	    [-traffic-out BENCH_traffic.json] [-traffic-check]
+//	    [-wire-out BENCH_wire.json] [-wire-check]
 //
 // A bare invocation regenerates every baseline; passing flags for only
 // one suite runs only that suite (so `-out X -check` cannot silently
@@ -55,6 +70,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -67,6 +83,7 @@ import (
 	"propeller/internal/searchbench"
 	"propeller/internal/trafficbench"
 	"propeller/internal/updatebench"
+	"propeller/internal/wirebench"
 )
 
 // result is one search benchmark row of BENCH_search.json.
@@ -126,6 +143,9 @@ func main() {
 	trafficOut := flag.String("traffic-out", "BENCH_traffic.json", "open-loop traffic baseline output path")
 	trafficCheck := flag.Bool("traffic-check", false,
 		"fail unless overload degrades gracefully: zero acked writes lost, sheds engaged, overload p99 bounded by fixed-load p99")
+	wireOut := flag.String("wire-out", "BENCH_wire.json", "wire transport baseline output path")
+	wireCheck := flag.Bool("wire-check", false,
+		"fail unless the binary codec allocates 2x fewer bytes/op and runs 2x faster than gob per frame and the migration receiver stays within the stream window")
 	flag.Parse()
 
 	set := map[string]bool{}
@@ -143,12 +163,15 @@ func main() {
 	if sel.Traffic {
 		runTraffic(*trafficOut, *trafficCheck)
 	}
+	if sel.Wire {
+		runWire(*wireOut, *wireCheck)
+	}
 }
 
 // suiteSelection records which suites an invocation runs — and therefore
 // which baseline files it may write.
 type suiteSelection struct {
-	Search, Update, Cluster, Traffic bool
+	Search, Update, Cluster, Traffic, Wire bool
 }
 
 // selectSuites maps the set of explicitly passed flag names to the suites
@@ -163,9 +186,10 @@ func selectSuites(set map[string]bool) suiteSelection {
 		Update:  set["update-out"] || set["update-check"],
 		Cluster: set["cluster-out"] || set["cluster-check"],
 		Traffic: set["traffic-out"] || set["traffic-check"],
+		Wire:    set["wire-out"] || set["wire-check"],
 	}
-	if !sel.Search && !sel.Update && !sel.Cluster && !sel.Traffic {
-		return suiteSelection{Search: true, Update: true, Cluster: true, Traffic: true}
+	if !sel.Search && !sel.Update && !sel.Cluster && !sel.Traffic && !sel.Wire {
+		return suiteSelection{Search: true, Update: true, Cluster: true, Traffic: true, Wire: true}
 	}
 	return sel
 }
@@ -508,6 +532,173 @@ func runScenario(s searchbench.Scenario) (result, error) {
 		MaxRetained: maxRetained,
 		Iterations:  br.N,
 	}, nil
+}
+
+// wireResult is one codec row of BENCH_wire.json: one message shape
+// under one codec. WireBytesPerMsg is the encoded size (the network
+// cost); the Enc/Dec ns and bytes columns are the CPU and allocation
+// cost per operation, the same bytes/op metric every other suite
+// reports.
+type wireResult struct {
+	Name            string  `json:"name"`
+	Codec           string  `json:"codec"` // gob, binary
+	WireBytesPerMsg int64   `json:"wire_bytes_per_msg"`
+	EncNsPerOp      float64 `json:"enc_ns_per_op"`
+	DecNsPerOp      float64 `json:"dec_ns_per_op"`
+	EncBytesPerOp   int64   `json:"enc_bytes_per_op"`
+	DecBytesPerOp   int64   `json:"dec_bytes_per_op"`
+	EncAllocsPerOp  int64   `json:"enc_allocs_per_op"`
+	DecAllocsPerOp  int64   `json:"dec_allocs_per_op"`
+	Iterations      int     `json:"iterations"`
+}
+
+// wireRatio is the per-frame gob/binary comparison the -wire-check flag
+// gates: allocated bytes/op and ns/op (encode+decode combined) must both
+// be >= 2, and the binary encoding must never be larger on the wire
+// (>= 1 — a payload-dominated frame like a string-heavy UpdateReq can't
+// shrink 2x by codec alone, but it must not grow). Ratios come from the
+// same run, so they are machine-independent.
+type wireRatio struct {
+	Name            string  `json:"name"`
+	WireBytesRatio  float64 `json:"gob_over_binary_wire_bytes"`
+	AllocBytesRatio float64 `json:"gob_over_binary_bytes_per_op"`
+	SpeedRatio      float64 `json:"gob_over_binary_enc_dec_ns"`
+}
+
+type wireDocument struct {
+	GeneratedBy string                    `json:"generated_by"`
+	GoMaxProcs  int                       `json:"gomaxprocs"`
+	Benchmarks  []wireResult              `json:"benchmarks"`
+	Ratios      []wireRatio               `json:"ratios"`
+	Migration   wirebench.MigrationResult `json:"migration"`
+}
+
+func runWire(out string, check bool) {
+	doc := wireDocument{GeneratedBy: "tools/benchjson", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, s := range wirebench.Scenarios() {
+		gobRow, binRow, err := runWireScenario(s)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, gobRow, binRow)
+		ratio := wireRatio{
+			Name:            s.Name,
+			WireBytesRatio:  float64(gobRow.WireBytesPerMsg) / float64(binRow.WireBytesPerMsg),
+			AllocBytesRatio: float64(gobRow.EncBytesPerOp+gobRow.DecBytesPerOp) / float64(binRow.EncBytesPerOp+binRow.DecBytesPerOp),
+			SpeedRatio:      (gobRow.EncNsPerOp + gobRow.DecNsPerOp) / (binRow.EncNsPerOp + binRow.DecNsPerOp),
+		}
+		doc.Ratios = append(doc.Ratios, ratio)
+		for _, row := range []wireResult{gobRow, binRow} {
+			fmt.Printf("%-24s %-7s %8d wire bytes %10.0f enc ns/op %10.0f dec ns/op %8d bytes/op\n",
+				row.Name, row.Codec, row.WireBytesPerMsg, row.EncNsPerOp, row.DecNsPerOp,
+				row.EncBytesPerOp+row.DecBytesPerOp)
+		}
+	}
+
+	mig, err := wirebench.RunMigration()
+	if err != nil {
+		fatal(err)
+	}
+	doc.Migration = mig
+	fmt.Printf("%-24s %8d image bytes %10d peak buffered %10d window (%d files)\n",
+		"migration_stream", mig.ImageBytes, mig.ReceiverPeakBytes, mig.WindowBytes, mig.FilesMoved)
+
+	// Transport gates, evaluated before the baseline is written (a
+	// failing run must not leave regressed numbers on disk for a later
+	// commit to re-base on). A check over zero scenarios must not pass
+	// vacuously — that would disarm the gate if the scenario table were
+	// emptied.
+	if check && len(doc.Ratios) == 0 {
+		fatal(fmt.Errorf("-wire-check found no codec scenarios; the gated table is empty"))
+	}
+	for _, r := range doc.Ratios {
+		if check && r.AllocBytesRatio < 2 {
+			fatal(fmt.Errorf("wire-alloc regression: %s binary encode+decode allocates only %.2fx fewer bytes/op than gob, want >= 2x", r.Name, r.AllocBytesRatio))
+		}
+		if check && r.SpeedRatio < 2 {
+			fatal(fmt.Errorf("wire-speed regression: %s binary encode+decode is only %.2fx faster than gob, want >= 2x", r.Name, r.SpeedRatio))
+		}
+		if check && r.WireBytesRatio < 1 {
+			fatal(fmt.Errorf("wire-size regression: %s binary encoding is %.2fx the size of gob on the wire, want never larger", r.Name, 1/r.WireBytesRatio))
+		}
+	}
+	// The memory-ceiling gate: the migrated image must dwarf the window
+	// (otherwise the bound is vacuous) while the receiver's buffering
+	// stays within it — the invariant that lets a small node accept an
+	// arbitrarily large group.
+	if check && mig.ImageBytes < 3*mig.WindowBytes {
+		fatal(fmt.Errorf("migration fixture regression: image %d bytes < 3x window %d; the ceiling gate is vacuous", mig.ImageBytes, mig.WindowBytes))
+	}
+	if check && (mig.ReceiverPeakBytes == 0 || mig.ReceiverPeakBytes > mig.WindowBytes) {
+		fatal(fmt.Errorf("migration memory regression: receiver peaked at %d buffered bytes, want in (0, window %d]", mig.ReceiverPeakBytes, mig.WindowBytes))
+	}
+
+	writeJSON(out, doc)
+	fmt.Printf("wrote %s (update_req binary = %.1fx fewer bytes/op, %.1fx faster; migration peak = %d/%d)\n",
+		out, doc.Ratios[0].AllocBytesRatio, doc.Ratios[0].SpeedRatio, mig.ReceiverPeakBytes, mig.WindowBytes)
+}
+
+// runWireScenario benchmarks one message shape under both codecs and
+// returns the gob row and the binary row.
+func runWireScenario(s wirebench.Scenario) (gobRow, binRow wireResult, err error) {
+	var buf bytes.Buffer
+	if err := wirebench.EncodeGob(&buf, s.Msg); err != nil {
+		return gobRow, binRow, fmt.Errorf("%s: gob encode: %w", s.Name, err)
+	}
+	gobRaw := append([]byte(nil), buf.Bytes()...)
+	binRaw := s.Msg.MarshalWire(nil)
+
+	var benchErr error
+	fail := func(b *testing.B, err error) {
+		if err != nil {
+			benchErr = err
+			b.FailNow()
+		}
+	}
+	gobEnc := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fail(b, wirebench.EncodeGob(&buf, s.Msg))
+		}
+	})
+	gobDec := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fail(b, wirebench.DecodeGob(gobRaw, s.New()))
+		}
+	})
+	binEnc := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var dst []byte
+		for i := 0; i < b.N; i++ {
+			dst = s.Msg.MarshalWire(dst[:0])
+		}
+	})
+	binDec := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fail(b, s.New().UnmarshalWire(binRaw))
+		}
+	})
+	if benchErr != nil {
+		return gobRow, binRow, fmt.Errorf("%s: %w", s.Name, benchErr)
+	}
+
+	gobRow = wireResult{
+		Name: s.Name, Codec: "gob", WireBytesPerMsg: int64(len(gobRaw)),
+		EncNsPerOp: float64(gobEnc.NsPerOp()), DecNsPerOp: float64(gobDec.NsPerOp()),
+		EncBytesPerOp: gobEnc.AllocedBytesPerOp(), DecBytesPerOp: gobDec.AllocedBytesPerOp(),
+		EncAllocsPerOp: gobEnc.AllocsPerOp(), DecAllocsPerOp: gobDec.AllocsPerOp(),
+		Iterations: gobEnc.N,
+	}
+	binRow = wireResult{
+		Name: s.Name, Codec: "binary", WireBytesPerMsg: int64(len(binRaw)),
+		EncNsPerOp: float64(binEnc.NsPerOp()), DecNsPerOp: float64(binDec.NsPerOp()),
+		EncBytesPerOp: binEnc.AllocedBytesPerOp(), DecBytesPerOp: binDec.AllocedBytesPerOp(),
+		EncAllocsPerOp: binEnc.AllocsPerOp(), DecAllocsPerOp: binDec.AllocsPerOp(),
+		Iterations: binEnc.N,
+	}
+	return gobRow, binRow, nil
 }
 
 func runUpdateScenario(s updatebench.Scenario) (updateResult, error) {

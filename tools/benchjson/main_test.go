@@ -9,7 +9,7 @@ import "testing"
 // machine-local numbers would silently move its CI gate. Only the bare
 // invocation regenerates everything.
 func TestSuiteSelectionNeverRewritesUnselectedBaselines(t *testing.T) {
-	all := suiteSelection{Search: true, Update: true, Cluster: true, Traffic: true}
+	all := suiteSelection{Search: true, Update: true, Cluster: true, Traffic: true, Wire: true}
 	cases := []struct {
 		name string
 		set  []string
@@ -25,10 +25,12 @@ func TestSuiteSelectionNeverRewritesUnselectedBaselines(t *testing.T) {
 		{"traffic_out", []string{"traffic-out"}, suiteSelection{Traffic: true}},
 		{"traffic_check", []string{"traffic-check"}, suiteSelection{Traffic: true}},
 		{"traffic_both", []string{"traffic-out", "traffic-check"}, suiteSelection{Traffic: true}},
+		{"wire_out", []string{"wire-out"}, suiteSelection{Wire: true}},
+		{"wire_check", []string{"wire-check"}, suiteSelection{Wire: true}},
 		{"two_suites", []string{"check", "cluster-check"}, suiteSelection{Search: true, Cluster: true}},
 		{"three_suites", []string{"out", "update-out", "traffic-out"},
 			suiteSelection{Search: true, Update: true, Traffic: true}},
-		{"all_explicit", []string{"check", "update-check", "cluster-check", "traffic-check"}, all},
+		{"all_explicit", []string{"check", "update-check", "cluster-check", "traffic-check", "wire-check"}, all},
 		// An unrelated flag name selects nothing explicitly, so everything
 		// runs — the bare-invocation rule keys off suite flags only.
 		{"unknown_flag_only", []string{"verbose"}, all},
